@@ -1,0 +1,230 @@
+//! AutoTVM-like template tuner over an input-centric schedule space
+//! (paper §2.3, §3.3, Fig. 7).
+//!
+//! The schedule space is built from the *factors of the input extents*: block
+//! and thread tiles must divide M/N/K perfectly. Consequences reproduced
+//! here, all central to the paper:
+//!
+//! * the space size depends on the input shape (Fig. 7: up to 10⁸ schedules
+//!   for one ResNet-50 convolution);
+//! * prime extents have no useful factors → tuning fails (Fig. 19);
+//! * finding a good schedule needs many measured trials (Fig. 17's hours).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use hidet_sim::Gpu;
+
+use crate::loop_sched::{divisors, loop_matmul_kernel, LoopTileConfig};
+
+/// Default trial budget, from the paper's §6.2 setup ("number of tuning
+/// trials in AutoTVM ... 1000, as suggested in their paper").
+pub const AUTOTVM_TRIALS: usize = 1000;
+
+/// Simulated seconds per AutoTVM compile+measure trial: full CUDA codegen,
+/// nvcc, RPC upload and on-device timing per candidate.
+pub const SECONDS_PER_TRIAL: f64 = 2.0;
+
+/// The input-centric schedule space for a matmul problem: every combination
+/// of perfect tile factors.
+pub fn matmul_space(m: i64, n: i64, k: i64) -> Vec<LoopTileConfig> {
+    let mut out = Vec::new();
+    for &bm in &divisors(m) {
+        for &bn in &divisors(n) {
+            for &bk in &divisors(k) {
+                for &tm in &divisors(bm) {
+                    for &tn in &divisors(bn) {
+                        let cfg = LoopTileConfig {
+                            block_m: bm,
+                            block_n: bn,
+                            block_k: bk,
+                            thread_m: tm,
+                            thread_n: tn,
+                        };
+                        if cfg.is_valid(m, n, k, 99 * 1024) {
+                            out.push(cfg);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Size of the input-centric space for a matmul, *before* validity filtering —
+/// the raw knob product AutoTVM reports as its space size.
+pub fn matmul_space_size(m: i64, n: i64, k: i64) -> u64 {
+    let dm = divisors(m).len() as u64;
+    let dn = divisors(n).len() as u64;
+    let dk = divisors(k).len() as u64;
+    // Two-level tiles on M and N (block x thread), one level on K, plus the
+    // usual unroll (4 options) and vectorization (2 options) knobs.
+    dm * dm * dn * dn * dk * 8
+}
+
+/// Size of AutoTVM's conv2d schedule space (direct convolution template):
+/// 3-way splits of the output channel / spatial loops and 2-way splits of the
+/// reduction loops, times unroll knobs — the quantity plotted in Fig. 7.
+pub fn conv_space_size(w: &hidet_graph::models::ConvWorkload) -> u64 {
+    // Number of ordered s-way factorizations of n.
+    fn splits(n: i64, s: u32) -> u64 {
+        if s == 1 {
+            return 1;
+        }
+        divisors(n)
+            .into_iter()
+            .map(|d| splits(n / d, s - 1))
+            .sum()
+    }
+    let oc = splits(w.out_channels, 4);
+    let oh = splits(w.out_size(), 3);
+    let ow = splits(w.out_size(), 3);
+    let rc = splits(w.in_channels, 2);
+    let rk = splits(w.kernel, 2) * splits(w.kernel, 2);
+    oc * oh * ow * rc * rk * 8 // unroll + vectorization knobs
+}
+
+/// Result of a baseline tuning run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineTuneReport {
+    /// Best latency found, `None` if no valid schedule exists (primes).
+    pub best_latency: Option<f64>,
+    /// Best configuration.
+    pub best_config: Option<LoopTileConfig>,
+    /// Trials spent (≤ budget; fewer when the space is smaller).
+    pub trials: usize,
+    /// Simulated tuning seconds.
+    pub tuning_seconds: f64,
+    /// Total schedule-space size (raw knob product).
+    pub space_size: u64,
+}
+
+/// Tunes a matmul with evolutionary search over the input-centric space.
+///
+/// Starts from a random population, then mutates the best survivors —
+/// a faithful (if compact) rendition of AutoTVM's simulated-annealing +
+/// cost-model loop. Every *measured* candidate costs one trial.
+pub fn tune_matmul(m: i64, n: i64, k: i64, trials: usize, seed: u64, gpu: &Gpu) -> BaselineTuneReport {
+    let space = matmul_space(m, n, k);
+    let space_size = matmul_space_size(m, n, k);
+    if space.is_empty() {
+        // The paper's "Failed" outcome (Fig. 19, prime sizes).
+        return BaselineTuneReport {
+            best_latency: None,
+            best_config: None,
+            trials: 0,
+            tuning_seconds: 0.0,
+            space_size,
+        };
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let budget = trials.min(space.len() * 4); // small spaces exhaust quickly
+    let mut best: Option<(f64, LoopTileConfig)> = None;
+    let mut measured = 0usize;
+    let mut population: Vec<LoopTileConfig> = Vec::new();
+    while measured < budget {
+        // Exploration: half random, half mutations of the best-so-far.
+        let cfg = if population.is_empty() || rng.gen_bool(0.5) {
+            *space.choose(&mut rng).expect("non-empty space")
+        } else {
+            *population.choose(&mut rng).expect("non-empty population")
+        };
+        measured += 1;
+        let kernel = loop_matmul_kernel(m, n, k, cfg);
+        if let Ok(est) = gpu.estimate(&kernel) {
+            if best.map_or(true, |(b, _)| est.seconds < b) {
+                best = Some((est.seconds, cfg));
+                population.push(cfg);
+                if population.len() > 8 {
+                    population.remove(0);
+                }
+            }
+        }
+    }
+    BaselineTuneReport {
+        best_latency: best.map(|(l, _)| l),
+        best_config: best.map(|(_, c)| c),
+        trials: measured,
+        tuning_seconds: measured as f64 * SECONDS_PER_TRIAL,
+        space_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidet_graph::models::ConvWorkload;
+
+    #[test]
+    fn space_size_depends_on_input_shape() {
+        // The defining property of input-centric spaces (paper §3.3).
+        let smooth = matmul_space_size(1024, 1024, 1024);
+        let rough = matmul_space_size(1021, 1021, 1021); // 1021 is prime
+        assert!(smooth > 100_000, "{smooth}");
+        assert!(rough < 300, "{rough}");
+        assert!(smooth > 1000 * rough);
+    }
+
+    #[test]
+    fn prime_matmul_has_no_valid_schedule() {
+        let gpu = Gpu::default();
+        let report = tune_matmul(2039, 2039, 2039, 100, 0, &gpu);
+        assert_eq!(report.best_latency, None, "primes must fail (Fig. 19)");
+    }
+
+    #[test]
+    fn smooth_matmul_tunes_successfully() {
+        let gpu = Gpu::default();
+        let report = tune_matmul(1024, 1024, 1024, 64, 0, &gpu);
+        assert!(report.best_latency.is_some());
+        assert!(report.trials > 0);
+        assert!(report.tuning_seconds > 0.0);
+    }
+
+    #[test]
+    fn tuning_is_deterministic_per_seed() {
+        let gpu = Gpu::default();
+        let a = tune_matmul(512, 512, 512, 32, 7, &gpu);
+        let b = tune_matmul(512, 512, 512, 32, 7, &gpu);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_trials_never_hurt() {
+        let gpu = Gpu::default();
+        let few = tune_matmul(1024, 1024, 1024, 16, 3, &gpu);
+        let many = tune_matmul(1024, 1024, 1024, 256, 3, &gpu);
+        assert!(many.best_latency.unwrap() <= few.best_latency.unwrap() * 1.0001);
+    }
+
+    #[test]
+    fn conv_space_sizes_match_fig7_magnitudes() {
+        // Fig. 7: ResNet-50 conv spaces span ~10^4..10^8, geometric mean 3.6e6.
+        let workloads = hidet_graph::models::resnet50_conv_workloads(1);
+        let sizes: Vec<u64> = workloads.iter().map(conv_space_size).collect();
+        let log_mean = sizes.iter().map(|&s| (s as f64).ln()).sum::<f64>() / sizes.len() as f64;
+        let geo_mean = log_mean.exp();
+        assert!(
+            (1e5..1e8).contains(&geo_mean),
+            "geometric mean {geo_mean:.3e} out of Fig. 7 range"
+        );
+        assert!(sizes.iter().any(|&s| s > 10_000_000), "{sizes:?}");
+    }
+
+    #[test]
+    fn conv_space_size_single_case() {
+        let w = ConvWorkload {
+            batch: 1,
+            in_channels: 256,
+            image_size: 28,
+            out_channels: 256,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        let s = conv_space_size(&w);
+        assert!(s > 100_000, "{s}");
+    }
+}

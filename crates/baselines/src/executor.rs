@@ -1,0 +1,58 @@
+//! The common interface every evaluated system implements.
+
+use hidet_graph::Graph;
+use hidet_sim::Gpu;
+
+/// End-to-end evaluation result for one model on one executor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutorReport {
+    /// Executor name (for tables).
+    pub executor: String,
+    /// Model name.
+    pub model: String,
+    /// Estimated end-to-end latency in seconds (one inference).
+    pub latency_seconds: f64,
+    /// Simulated tuning/compilation wall-clock cost in seconds.
+    pub tuning_seconds: f64,
+    /// Number of kernel launches per inference.
+    pub kernel_launches: usize,
+}
+
+impl ExecutorReport {
+    /// Latency in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        self.latency_seconds * 1e3
+    }
+}
+
+/// A system under evaluation: estimates end-to-end latency (and tuning cost)
+/// of a model graph on a simulated device.
+pub trait GraphExecutor {
+    /// Display name, e.g. `"AutoTVM"`.
+    fn name(&self) -> &str;
+
+    /// Evaluates the model.
+    fn evaluate(&self, graph: &Graph, gpu: &Gpu) -> ExecutorReport;
+}
+
+/// Streaming (memory-bound) kernel latency: the cost model every executor
+/// uses for elementwise/copy/normalization kernels that move `bytes` through
+/// DRAM.
+pub fn streaming_latency(bytes: f64, gpu: &Gpu) -> f64 {
+    let spec = gpu.spec();
+    spec.launch_overhead_s + bytes / (spec.dram_bytes_per_s() * 0.85)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_latency_scales_with_bytes() {
+        let gpu = Gpu::default();
+        let small = streaming_latency(1e6, &gpu);
+        let big = streaming_latency(1e9, &gpu);
+        assert!(big > small * 100.0);
+        assert!(small >= gpu.spec().launch_overhead_s);
+    }
+}

@@ -1,0 +1,277 @@
+//! End-to-end AutoTVM-like / Ansor-like graph executors (paper §6.2).
+//!
+//! Both tune every *distinct* GEMM-shaped workload of the model (convolutions
+//! via implicit GEMM, dense/batched matmuls) with their trial budgets, fuse
+//! elementwise chains into producers (TVM's Relay fusion), and dispatch the
+//! rest to generated streaming kernels. Tuning costs accumulate once per
+//! distinct workload — the quantity the paper plots in Fig. 17.
+//!
+//! AutoTVM's dense (matmul) template is deliberately weaker than its conv
+//! template: a handful of knobs and no register tiling, mirroring the paper's
+//! observation that "AutoTVM's schedule templates for workloads in [Bert and
+//! GPT-2] lack optimizations" (tuning takes ~2 minutes and the result is
+//! poor, §6.2).
+
+use std::collections::HashMap;
+
+use hidet_graph::{FuseClass, Graph, OpKind};
+use hidet_sim::Gpu;
+
+use crate::ansor;
+use crate::autotvm;
+use crate::executor::{streaming_latency, ExecutorReport, GraphExecutor};
+use crate::library;
+use crate::loop_sched::{divisors, loop_matmul_kernel, LoopTileConfig};
+
+/// TVM graph-runtime dispatch overhead per kernel, seconds.
+pub const TVM_DISPATCH_S: f64 = 2.0e-6;
+
+/// Which tuner drives the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    AutoTvm,
+    Ansor,
+}
+
+/// AutoTVM-like end-to-end executor.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoTvmLike {
+    /// Trial budget per workload (paper default: 1000).
+    pub trials: usize,
+    /// Search seed.
+    pub seed: u64,
+}
+
+impl Default for AutoTvmLike {
+    fn default() -> Self {
+        AutoTvmLike { trials: autotvm::AUTOTVM_TRIALS, seed: 0 }
+    }
+}
+
+/// Ansor-like end-to-end executor.
+#[derive(Debug, Clone, Copy)]
+pub struct AnsorLike {
+    /// Trial budget per workload (paper default: 800).
+    pub trials: usize,
+    /// Search seed.
+    pub seed: u64,
+}
+
+impl Default for AnsorLike {
+    fn default() -> Self {
+        AnsorLike { trials: ansor::ANSOR_TRIALS, seed: 0 }
+    }
+}
+
+/// AutoTVM's weak dense template: block tiles only (no register tiling,
+/// `thread_m = thread_n = 1`), a space of at most a few dozen candidates.
+pub fn autotvm_dense_tune(m: i64, n: i64, k: i64, gpu: &Gpu) -> autotvm::BaselineTuneReport {
+    let mut best: Option<(f64, LoopTileConfig)> = None;
+    let mut trials = 0usize;
+    for &bm in divisors(m).iter().filter(|&&d| (8..=64).contains(&d)) {
+        for &bn in divisors(n).iter().filter(|&&d| (8..=64).contains(&d)) {
+            for &bk in divisors(k).iter().filter(|&&d| (4..=32).contains(&d)) {
+                let cfg = LoopTileConfig {
+                    block_m: bm,
+                    block_n: bn,
+                    block_k: bk,
+                    thread_m: 1,
+                    thread_n: 1,
+                };
+                if !cfg.is_valid(m, n, k, 99 * 1024) {
+                    continue;
+                }
+                trials += 1;
+                if let Ok(est) = gpu.estimate(&loop_matmul_kernel(m, n, k, cfg)) {
+                    if best.map_or(true, |(b, _)| est.seconds < b) {
+                        best = Some((est.seconds, cfg));
+                    }
+                }
+            }
+        }
+    }
+    autotvm::BaselineTuneReport {
+        best_latency: best.map(|(l, _)| l),
+        best_config: best.map(|(_, c)| c),
+        trials,
+        tuning_seconds: trials as f64 * autotvm::SECONDS_PER_TRIAL,
+        space_size: trials as u64,
+    }
+}
+
+fn evaluate(flavor: Flavor, trials: usize, seed: u64, graph: &Graph, gpu: &Gpu) -> ExecutorReport {
+    // Cache per distinct GEMM problem; tuning cost is charged once per
+    // distinct workload (the second element is non-zero only on a miss).
+    let mut cache: HashMap<(i64, i64, i64, bool), f64> = HashMap::new();
+    let mut tune = |m: i64, n: i64, k: i64, dense: bool| -> (f64, f64) {
+        if let Some(&latency) = cache.get(&(m, n, k, dense)) {
+            return (latency, 0.0);
+        }
+        let report = match (flavor, dense) {
+            (Flavor::AutoTvm, true) => autotvm_dense_tune(m, n, k, gpu),
+            (Flavor::AutoTvm, false) => autotvm::tune_matmul(m, n, k, trials, seed, gpu),
+            (Flavor::Ansor, _) => ansor::tune_matmul(m, n, k, trials, seed, gpu),
+        };
+        // Tuning failure (primes) falls back to TVM's default schedule:
+        // functional, but ~5x worse than the library kernel.
+        let latency = report.best_latency.unwrap_or_else(|| {
+            library::matmul_latency(hidet_sched::MatmulProblem::new(m, n, k), gpu) * 5.0
+        });
+        cache.insert((m, n, k, dense), latency);
+        (latency, report.tuning_seconds)
+    };
+
+    let non_gemm_factor = match flavor {
+        Flavor::AutoTvm => 1.0,
+        Flavor::Ansor => ansor::NON_GEMM_ADVANTAGE,
+    };
+    let mut latency = 0.0;
+    let mut tuning = 0.0;
+    let mut launches = 0usize;
+    for op in graph.ops() {
+        let out_bytes = graph.tensor(op.output).numel() as f64 * 4.0;
+        let in_bytes: f64 = op
+            .inputs
+            .iter()
+            .map(|t| graph.tensor(*t).numel() as f64 * 4.0)
+            .sum();
+        match &op.kind {
+            OpKind::Conv2d { groups, .. } if *groups == 1 => {
+                let p = library::conv_gemm_problem(graph, op);
+                let (l, t) = tune(p.m, p.n, p.k, false);
+                latency += l + TVM_DISPATCH_S;
+                tuning += t;
+                launches += 1;
+            }
+            OpKind::Conv2d { .. } => {
+                // Depthwise: generated schedule; Ansor's sketches do better.
+                latency += library::op_latency(graph, op, gpu) * non_gemm_factor + TVM_DISPATCH_S;
+                launches += 1;
+            }
+            OpKind::Matmul => {
+                let a = graph.tensor(op.inputs[0]).shape();
+                let b = graph.tensor(op.inputs[1]).shape();
+                let (l, t) = tune(a[0], b[1], a[1], flavor == Flavor::AutoTvm);
+                latency += l + TVM_DISPATCH_S;
+                tuning += t;
+                launches += 1;
+            }
+            OpKind::BatchMatmul => {
+                let a = graph.tensor(op.inputs[0]).shape();
+                let b = graph.tensor(op.inputs[1]).shape();
+                // TVM batches the grid: tune the flattened problem.
+                let (l, t) = tune(a[0] * a[1], b[2], a[2], flavor == Flavor::AutoTvm);
+                latency += l + TVM_DISPATCH_S;
+                tuning += t;
+                launches += 1;
+            }
+            kind if kind.fuse_class() == FuseClass::Bijective
+                && op.inputs.first().and_then(|t| graph.producer(*t)).is_some() =>
+            {
+                // Relay fuses bijective consumers into their producers.
+            }
+            OpKind::Softmax { .. }
+            | OpKind::LayerNorm
+            | OpKind::MaxPool { .. }
+            | OpKind::AvgPool { .. }
+            | OpKind::GlobalAvgPool => {
+                latency += library::op_latency(graph, op, gpu) * non_gemm_factor + TVM_DISPATCH_S;
+                launches += 1;
+            }
+            _ => {
+                latency += streaming_latency(in_bytes + out_bytes, gpu) * non_gemm_factor
+                    + TVM_DISPATCH_S;
+                launches += 1;
+            }
+        }
+    }
+    ExecutorReport {
+        executor: match flavor {
+            Flavor::AutoTvm => "AutoTVM".to_string(),
+            Flavor::Ansor => "Ansor".to_string(),
+        },
+        model: graph.name().to_string(),
+        latency_seconds: latency,
+        tuning_seconds: tuning,
+        kernel_launches: launches,
+    }
+}
+
+impl GraphExecutor for AutoTvmLike {
+    fn name(&self) -> &str {
+        "AutoTVM"
+    }
+
+    fn evaluate(&self, graph: &Graph, gpu: &Gpu) -> ExecutorReport {
+        evaluate(Flavor::AutoTvm, self.trials, self.seed, graph, gpu)
+    }
+}
+
+impl GraphExecutor for AnsorLike {
+    fn name(&self) -> &str {
+        "Ansor"
+    }
+
+    fn evaluate(&self, graph: &Graph, gpu: &Gpu) -> ExecutorReport {
+        evaluate(Flavor::Ansor, self.trials, self.seed, graph, gpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidet_graph::models;
+
+    fn small_trials() -> (AutoTvmLike, AnsorLike) {
+        (AutoTvmLike { trials: 24, seed: 1 }, AnsorLike { trials: 24, seed: 1 })
+    }
+
+    #[test]
+    fn autotvm_dense_template_is_small_and_weak() {
+        let gpu = Gpu::default();
+        let report = autotvm_dense_tune(128, 768, 768, &gpu);
+        // Small space ("less than 20 schedules" in spirit): tuned in minutes.
+        assert!(report.trials < 200, "{}", report.trials);
+        assert!(report.best_latency.is_some());
+        // Weak: worse than the library's double-buffered kernel.
+        let lib = library::matmul_latency(hidet_sched::MatmulProblem::new(128, 768, 768), &gpu);
+        assert!(report.best_latency.unwrap() > lib);
+    }
+
+    #[test]
+    fn tuning_cost_counted_once_per_distinct_workload() {
+        let gpu = Gpu::default();
+        let (atvm, _) = small_trials();
+        let graph = models::resnet50(1);
+        let report = atvm.evaluate(&graph, &gpu);
+        // 53 convs but ~20 distinct shapes: tuning cost must reflect
+        // deduplication (53 * trials * 2s would be ~2x larger).
+        let distinct = models::resnet50_conv_workloads(1).len();
+        let max_expected = (distinct + 2) as f64 * 24.0 * autotvm::SECONDS_PER_TRIAL * 1.2;
+        assert!(report.tuning_seconds <= max_expected, "{}", report.tuning_seconds);
+        assert!(report.tuning_seconds > 0.0);
+    }
+
+    #[test]
+    fn ansor_tunes_transformers_better_than_autotvm() {
+        let gpu = Gpu::default();
+        let (atvm, ansor_exec) = small_trials();
+        let graph = models::bert_base(1, 128);
+        let a = atvm.evaluate(&graph, &gpu);
+        let b = ansor_exec.evaluate(&graph, &gpu);
+        assert!(
+            b.latency_seconds < a.latency_seconds,
+            "Ansor {} vs AutoTVM {}",
+            b.latency_seconds,
+            a.latency_seconds
+        );
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let gpu = Gpu::default();
+        let (atvm, _) = small_trials();
+        let graph = models::mobilenet_v2(1);
+        assert_eq!(atvm.evaluate(&graph, &gpu), atvm.evaluate(&graph, &gpu));
+    }
+}

@@ -1,0 +1,48 @@
+//! Criterion benches of the DESIGN.md ablation axes on the *simulated
+//! device*: each benchmark reports the estimated kernel latency as its
+//! measured quantity by spinning the estimator (fast), keeping Criterion's
+//! statistics meaningful for compiler-side costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hidet_graph::models;
+use hidet_sched::{matmul_kernel, MatmulConfig, MatmulIo, MatmulProblem};
+use hidet_sim::Gpu;
+
+/// Pipeline-stage ablation: instantiation+estimation cost per stage setting.
+fn bench_stages(c: &mut Criterion) {
+    let gpu = Gpu::default();
+    let problem = MatmulProblem::new(2048, 2048, 2048);
+    let mut group = c.benchmark_group("stages_ablation");
+    for stages in [1u32, 2] {
+        let cfg = MatmulConfig { stages, ..MatmulConfig::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &cfg, |b, cfg| {
+            b.iter(|| {
+                let kernels = matmul_kernel(problem, *cfg, MatmulIo::direct("a", problem));
+                std::hint::black_box(gpu.estimate(&kernels[0]).unwrap().seconds)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end compilation speed per model (untuned): the compiler must be
+/// fast enough that tuning time is dominated by measurements, not codegen.
+fn bench_model_compilation(c: &mut Criterion) {
+    let gpu = Gpu::default();
+    let mut group = c.benchmark_group("model_compilation");
+    group.sample_size(10);
+    for name in ["resnet50", "bert"] {
+        let graph = models::by_name(name, 1).expect("model");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, g| {
+            b.iter(|| {
+                std::hint::black_box(
+                    hidet::compile(g, &gpu, &hidet::CompilerOptions::quick()).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages, bench_model_compilation);
+criterion_main!(benches);

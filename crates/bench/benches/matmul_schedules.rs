@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks of the compilation pipeline itself: how fast
+//! Hidet instantiates, lowers and cost-models schedules. (The *simulated
+//! device* latencies are produced by the `fig*` binaries; these benches
+//! measure the compiler's own speed, which is what bounds tuning time.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hidet_sched::{matmul_kernel, matmul_space, tune_matmul, MatmulConfig, MatmulIo, MatmulProblem};
+use hidet_sim::{Gpu, GpuSpec};
+
+fn bench_template_instantiation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("template_instantiation");
+    for &size in &[256i64, 1024, 4096] {
+        let problem = MatmulProblem::new(size, size, size);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &problem, |b, &p| {
+            b.iter(|| {
+                let io = MatmulIo::direct("bench", p);
+                std::hint::black_box(matmul_kernel(p, MatmulConfig::default(), io))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let gpu = Gpu::default();
+    let problem = MatmulProblem::new(1024, 1024, 1024);
+    let kernels = matmul_kernel(problem, MatmulConfig::default(), MatmulIo::direct("b", problem));
+    c.bench_function("cost_model_estimate", |b| {
+        b.iter(|| std::hint::black_box(gpu.estimate(&kernels[0]).unwrap()))
+    });
+}
+
+fn bench_space_enumeration(c: &mut Criterion) {
+    let spec = GpuSpec::rtx3090();
+    c.bench_function("hardware_centric_space_enumeration", |b| {
+        b.iter(|| std::hint::black_box(matmul_space(&spec).len()))
+    });
+}
+
+fn bench_full_tuning(c: &mut Criterion) {
+    let gpu = Gpu::default();
+    let mut group = c.benchmark_group("exhaustive_tuning");
+    group.sample_size(10);
+    group.bench_function("tune_matmul_1024", |b| {
+        b.iter(|| std::hint::black_box(tune_matmul(MatmulProblem::new(1024, 1024, 1024), &gpu)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_template_instantiation,
+    bench_cost_model,
+    bench_space_enumeration,
+    bench_full_tuning
+);
+criterion_main!(benches);

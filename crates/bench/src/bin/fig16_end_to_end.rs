@@ -1,0 +1,49 @@
+//! Figure 16: end-to-end inference latency, batch 1, five models × five
+//! executors (PyTorch, ONNX Runtime, AutoTVM, Ansor, Hidet).
+//!
+//! Pass `--tvm-trials N` / `--ansor-trials N` to shrink the tuning budgets
+//! for a quick run (paper defaults: 1000 / 800).
+
+use hidet_bench::{arg_usize, geomean, print_table, PAPER_FIG16_SPEEDUPS};
+use hidet_graph::models;
+use hidet_sim::Gpu;
+
+fn main() {
+    let tvm_trials = arg_usize("--tvm-trials", 1000);
+    let ansor_trials = arg_usize("--ansor-trials", 800);
+    let gpu = Gpu::default();
+    println!("=== Fig. 16: end-to-end latency (ms), batch 1, simulated RTX 3090 ===");
+    println!("(AutoTVM {tvm_trials} trials, Ansor {ansor_trials} trials)\n");
+
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for graph in models::all_models(1) {
+        eprintln!("[fig16] evaluating {} ...", graph.name());
+        let reports = hidet_bench::run_lineup(&graph, &gpu, tvm_trials, ansor_trials);
+        let hidet = reports.last().expect("five reports").latency_seconds;
+        let best_baseline = reports[..4]
+            .iter()
+            .map(|r| r.latency_seconds)
+            .fold(f64::INFINITY, f64::min);
+        let speedup = best_baseline / hidet;
+        speedups.push(speedup);
+        let paper = PAPER_FIG16_SPEEDUPS
+            .iter()
+            .find(|(m, _)| *m == graph.name())
+            .map(|(_, s)| *s)
+            .unwrap_or(f64::NAN);
+        let mut row = vec![graph.name().to_string()];
+        row.extend(reports.iter().map(|r| format!("{:.3}", r.latency_ms())));
+        row.push(format!("{speedup:.2}x"));
+        row.push(format!("{paper:.2}x"));
+        rows.push(row);
+    }
+    print_table(
+        &["model", "PyTorch", "OnnxRT", "AutoTVM", "Ansor", "Hidet", "speedup", "paper"],
+        &rows,
+    );
+    println!(
+        "\ngeometric-mean speedup vs best baseline: {:.2}x   [paper: 1.26x in Fig. 16, 1.22x avg in abstract]",
+        geomean(&speedups)
+    );
+}

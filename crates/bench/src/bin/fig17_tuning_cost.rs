@@ -1,0 +1,52 @@
+//! Figure 17: tuning cost of AutoTVM, Ansor and Hidet on the five models.
+//!
+//! Paper: Hidet reduces tuning cost 20× vs AutoTVM and 11× vs Ansor.
+
+use hidet::HidetExecutor;
+use hidet_baselines::tvm::{AnsorLike, AutoTvmLike};
+use hidet_baselines::GraphExecutor;
+use hidet_bench::{arg_usize, fmt_duration, print_table, PAPER_FIG17_TUNING};
+use hidet_graph::models;
+use hidet_sim::Gpu;
+
+fn main() {
+    let tvm_trials = arg_usize("--tvm-trials", 1000);
+    let ansor_trials = arg_usize("--ansor-trials", 800);
+    let gpu = Gpu::default();
+    println!("=== Fig. 17: tuning cost ===");
+    println!("(AutoTVM {tvm_trials} trials/workload, Ansor {ansor_trials}, Hidet exhaustive)\n");
+
+    let mut rows = Vec::new();
+    let (mut sum_atvm, mut sum_ansor, mut sum_hidet) = (0.0, 0.0, 0.0);
+    for graph in models::all_models(1) {
+        eprintln!("[fig17] tuning {} ...", graph.name());
+        let atvm = AutoTvmLike { trials: tvm_trials, seed: 0 }.evaluate(&graph, &gpu);
+        let ansor = AnsorLike { trials: ansor_trials, seed: 0 }.evaluate(&graph, &gpu);
+        let hidet = HidetExecutor::tuned().evaluate(&graph, &gpu);
+        sum_atvm += atvm.tuning_seconds;
+        sum_ansor += ansor.tuning_seconds;
+        sum_hidet += hidet.tuning_seconds;
+        let paper = PAPER_FIG17_TUNING
+            .iter()
+            .find(|(m, ..)| *m == graph.name())
+            .expect("paper data");
+        rows.push(vec![
+            graph.name().to_string(),
+            fmt_duration(atvm.tuning_seconds),
+            fmt_duration(ansor.tuning_seconds),
+            fmt_duration(hidet.tuning_seconds),
+            format!(
+                "{}/{}/{}",
+                fmt_duration(paper.1),
+                fmt_duration(paper.2),
+                fmt_duration(paper.3)
+            ),
+        ]);
+    }
+    print_table(&["model", "AutoTVM", "Ansor", "Hidet", "paper (A/An/H)"], &rows);
+    println!(
+        "\nmeasured speedup: {:.0}x vs AutoTVM, {:.0}x vs Ansor   [paper: 20x / 11x]",
+        sum_atvm / sum_hidet,
+        sum_ansor / sum_hidet
+    );
+}

@@ -1,0 +1,53 @@
+//! Figure 21: the Conv2d-Bn-ReLU sub-graphs of ResNet-50 (batch 1) compared
+//! across ONNX Runtime, Ansor and Hidet.
+//!
+//! Paper: Hidet wins most of them thanks to implicit-GEMM + post-scheduling
+//! fusion (+ parallel-k where the grid is small), §6.3.4.
+
+use hidet::prelude::*;
+use hidet_baselines::frameworks::OnnxRuntimeLike;
+use hidet_baselines::tvm::AnsorLike;
+use hidet_baselines::GraphExecutor;
+use hidet_bench::{arg_usize, geomean, print_table};
+use hidet_graph::models::resnet50_conv_workloads;
+use hidet_graph::GraphBuilder;
+
+fn main() {
+    let ansor_trials = arg_usize("--ansor-trials", 300);
+    let gpu = Gpu::default();
+    let workloads = resnet50_conv_workloads(1);
+    println!("=== Fig. 21: Conv2d-Bn-ReLU sub-graphs of ResNet-50 (latency, us) ===\n");
+
+    let mut rows = Vec::new();
+    let mut hidet_wins = 0usize;
+    let mut speedups_ort = Vec::new();
+    for w in &workloads {
+        let mut g = GraphBuilder::new("conv_bn_relu");
+        let x = g.input("x", &[w.batch, w.in_channels, w.image_size, w.image_size]);
+        let y = g.conv_bn_relu(x, w.out_channels, w.kernel, w.stride, w.padding);
+        let graph = g.output(y).build();
+
+        let ort = OnnxRuntimeLike.evaluate(&graph, &gpu);
+        let ansor = AnsorLike { trials: ansor_trials, seed: 0 }.evaluate(&graph, &gpu);
+        let hidet = HidetExecutor::tuned().evaluate(&graph, &gpu);
+        if hidet.latency_seconds <= ort.latency_seconds
+            && hidet.latency_seconds <= ansor.latency_seconds
+        {
+            hidet_wins += 1;
+        }
+        speedups_ort.push(ort.latency_seconds / hidet.latency_seconds);
+        rows.push(vec![
+            format!("c{}hw{}k{}s{}", w.in_channels, w.image_size, w.kernel, w.stride),
+            format!("{:.1}", ort.latency_seconds * 1e6),
+            format!("{:.1}", ansor.latency_seconds * 1e6),
+            format!("{:.1}", hidet.latency_seconds * 1e6),
+        ]);
+    }
+    print_table(&["conv", "OnnxRT", "Ansor", "Hidet"], &rows);
+    println!(
+        "\nHidet fastest on {hidet_wins}/{} sub-graphs; geomean speedup vs OnnxRuntime {:.2}x",
+        rows.len(),
+        geomean(&speedups_ort)
+    );
+    println!("[paper: Hidet outperforms Onnx Runtime and Ansor on most convolutions]");
+}

@@ -1,0 +1,42 @@
+//! Figure 22: Hidet vs a TensorRT-like engine on the five models.
+//!
+//! Paper: Hidet wins on the three CNNs (per-shape tuning + automatic fusion);
+//! TensorRT wins on Bert/GPT-2 (dedicated fused self-attention kernels).
+
+use hidet::HidetExecutor;
+use hidet_baselines::GraphExecutor;
+use hidet_bench::print_table;
+use hidet_graph::models;
+use hidet_sim::Gpu;
+
+fn main() {
+    let gpu = Gpu::default();
+    println!("=== Fig. 22: TensorRT vs Hidet (latency, ms, batch 1) ===\n");
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    for graph in models::all_models(1) {
+        eprintln!("[fig22] {} ...", graph.name());
+        let trt = hidet_bench::run_tensorrt(&graph, &gpu);
+        let hidet = HidetExecutor::tuned().evaluate(&graph, &gpu);
+        let ratio = trt.latency_seconds / hidet.latency_seconds;
+        ratios.push(ratio);
+        let winner = if ratio >= 1.0 { "Hidet" } else { "TensorRT" };
+        let paper_winner = match graph.name() {
+            "bert" | "gpt2" => "TensorRT",
+            _ => "Hidet",
+        };
+        rows.push(vec![
+            graph.name().to_string(),
+            format!("{:.3}", trt.latency_ms()),
+            format!("{:.3}", hidet.latency_ms()),
+            winner.to_string(),
+            paper_winner.to_string(),
+        ]);
+    }
+    print_table(&["model", "TensorRT", "Hidet", "winner", "paper winner"], &rows);
+    println!(
+        "\ngeomean TensorRT/Hidet ratio: {:.2}x",
+        hidet_bench::geomean(&ratios)
+    );
+    println!("[paper: Hidet wins the CNNs; TensorRT wins the transformers via fused attention]");
+}

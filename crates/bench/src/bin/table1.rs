@@ -1,0 +1,59 @@
+//! Table 1: the four declarative loop-oriented scheduling primitives
+//! (`fuse`, `split`, `reorder`, `bind`) applied to the paper's example nests.
+
+use hidet_baselines::{LoopAxis, LoopNest};
+
+fn show(title: &str, before: &LoopNest, after: &LoopNest) {
+    println!("{title}");
+    println!("  original : {}", render(before));
+    println!("  scheduled: {}", render(after));
+    println!();
+}
+
+fn render(nest: &LoopNest) -> String {
+    nest.loops()
+        .iter()
+        .map(|l| {
+            let bind = match l.axis {
+                LoopAxis::Serial => String::new(),
+                LoopAxis::ThreadIdx => " -> threadIdx.x".to_string(),
+                LoopAxis::BlockIdx => " -> blockIdx.x".to_string(),
+            };
+            format!("for {} in 0..{}{}", l.name, l.extent, bind)
+        })
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+fn main() {
+    println!("=== Table 1: loop-oriented scheduling primitives (TVM) ===\n");
+
+    let before = LoopNest::new(&[("i", 128), ("j", 4)]);
+    let mut after = before.clone();
+    after.fuse("i", "j");
+    show("fuse(i, j)", &before, &after);
+
+    let before = LoopNest::new(&[("i", 512)]);
+    let mut after = before.clone();
+    after.split("i", 128);
+    show("split(i, 128)", &before, &after);
+
+    let before = LoopNest::new(&[("i", 128), ("j", 4)]);
+    let mut after = before.clone();
+    after.reorder(&["j", "i"]);
+    show("reorder(i, j)", &before, &after);
+
+    let before = LoopNest::new(&[("i", 128)]);
+    let mut after = before.clone();
+    after.bind("i", LoopAxis::ThreadIdx);
+    show("bind(i, threadIdx.x)", &before, &after);
+
+    println!("Fig. 4 workflow (matmul): split x2, reorder, bind:");
+    let mut nest = LoopNest::new(&[("i", 1024), ("j", 1024), ("k", 1024)]);
+    nest.split("i", 64);
+    nest.split("j", 64);
+    nest.reorder(&["i.o", "j.o", "i.i", "j.i"]);
+    nest.bind("i.o", LoopAxis::BlockIdx);
+    nest.bind("j.o", LoopAxis::BlockIdx);
+    println!("  {}", render(&nest));
+}

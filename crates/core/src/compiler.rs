@@ -1,0 +1,413 @@
+//! The Hidet compilation pipeline (paper Fig. 10).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use hidet_graph::passes::{constant_fold, lower_convs, partition};
+use hidet_graph::{Graph, OpKind, TensorId};
+use hidet_sched::fusion::{compile_group, CompiledGroup, GroupSchedule};
+use hidet_sched::{pick_reduce_config, tune_matmul, MatmulConfig, MatmulProblem};
+use hidet_sim::{DeviceMemory, Gpu, SimError};
+
+/// Per-kernel dispatch overhead of Hidet's lean graph executor, seconds.
+pub const HIDET_DISPATCH_S: f64 = 2.0e-6;
+
+/// Errors from compilation or compiled-graph execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// A fused group could not be scheduled.
+    Schedule(String),
+    /// Simulation failed while executing a compiled graph.
+    Sim(SimError),
+    /// A runtime input was missing or missized.
+    BadInput(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Schedule(msg) => write!(f, "scheduling failed: {msg}"),
+            CompileError::Sim(e) => write!(f, "simulation failed: {e}"),
+            CompileError::BadInput(msg) => write!(f, "bad input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<SimError> for CompileError {
+    fn from(e: SimError) -> Self {
+        CompileError::Sim(e)
+    }
+}
+
+/// Compiler options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompilerOptions {
+    /// Tune matmul anchors over the hardware-centric space. When `false`,
+    /// the default configuration is used everywhere (fast compiles, e.g. in
+    /// tests).
+    pub tune: bool,
+    /// Force double buffering off (ablation studies).
+    pub disable_double_buffering: bool,
+    /// Force parallel-k off (ablation studies).
+    pub disable_parallel_k: bool,
+}
+
+impl CompilerOptions {
+    /// Full tuning (the paper's configuration).
+    pub fn tuned() -> CompilerOptions {
+        CompilerOptions {
+            tune: true,
+            disable_double_buffering: false,
+            disable_parallel_k: false,
+        }
+    }
+
+    /// No tuning: default schedules only.
+    pub fn quick() -> CompilerOptions {
+        CompilerOptions { tune: false, ..CompilerOptions::tuned() }
+    }
+}
+
+impl Default for CompilerOptions {
+    fn default() -> CompilerOptions {
+        CompilerOptions::tuned()
+    }
+}
+
+/// A compiled model: fused groups, their kernels and tuning records.
+#[derive(Debug, Clone)]
+pub struct CompiledGraph {
+    graph: Graph,
+    groups: Vec<CompiledGroup>,
+    tuning_seconds: f64,
+    tuned: HashMap<(i64, i64, i64, i64), MatmulConfig>,
+}
+
+/// Compiles a model for the given device (paper Fig. 10, steps 2–5).
+///
+/// # Errors
+/// [`CompileError::Schedule`] if a fused group has no applicable template.
+pub fn compile(
+    graph: &Graph,
+    gpu: &Gpu,
+    options: &CompilerOptions,
+) -> Result<CompiledGraph, CompileError> {
+    let mut g = graph.clone();
+    lower_convs(&mut g);
+    constant_fold(&mut g);
+    let groups = partition(&g);
+
+    let mut tuning_seconds = 0.0;
+    let mut tuned: HashMap<(i64, i64, i64, i64), MatmulConfig> = HashMap::new();
+    let mut compiled_groups = Vec::with_capacity(groups.len());
+    for group in &groups {
+        let mut schedule = GroupSchedule::default();
+        if let Some(anchor) = group.anchor {
+            let op = g.op(anchor);
+            match &op.kind {
+                OpKind::Matmul | OpKind::BatchMatmul => {
+                    let problem = matmul_problem(&g, anchor);
+                    let key = (problem.batch, problem.m, problem.n, problem.k);
+                    let config = if options.tune {
+                        if let Some(cfg) = tuned.get(&key) {
+                            *cfg
+                        } else {
+                            let report = tune_matmul(problem, gpu);
+                            tuning_seconds += report.tuning_seconds;
+                            tuned.insert(key, report.best);
+                            report.best
+                        }
+                    } else {
+                        MatmulConfig::default()
+                    };
+                    schedule.matmul = apply_ablations(config, options);
+                }
+                OpKind::Softmax { axis } => {
+                    let shape = g.tensor(op.inputs[0]).shape();
+                    let len = shape[*axis];
+                    let rows: i64 = shape.iter().product::<i64>() / len;
+                    schedule.reduce = pick_reduce_config(rows, len, gpu);
+                }
+                OpKind::LayerNorm => {
+                    let shape = g.tensor(op.inputs[0]).shape();
+                    let len = *shape.last().expect("rank >= 1");
+                    let rows: i64 = shape.iter().product::<i64>() / len;
+                    schedule.reduce = pick_reduce_config(rows, len, gpu);
+                }
+                OpKind::GlobalAvgPool => {
+                    let shape = g.tensor(op.inputs[0]).shape();
+                    let rows = shape[0] * shape[1];
+                    let len = shape[2] * shape[3];
+                    schedule.reduce = pick_reduce_config(rows, len, gpu);
+                }
+                _ => {}
+            }
+        }
+        let compiled = compile_group(&g, group, &schedule).map_err(CompileError::Schedule)?;
+        compiled_groups.push(compiled);
+    }
+    Ok(CompiledGraph { graph: g, groups: compiled_groups, tuning_seconds, tuned })
+}
+
+fn matmul_problem(g: &Graph, anchor: hidet_graph::OpId) -> MatmulProblem {
+    let op = g.op(anchor);
+    let a = g.tensor(op.inputs[0]).shape();
+    let b = g.tensor(op.inputs[1]).shape();
+    match op.kind {
+        OpKind::Matmul => MatmulProblem::new(a[0], b[1], a[1]),
+        OpKind::BatchMatmul => MatmulProblem { batch: a[0], m: a[1], n: b[2], k: a[2] },
+        _ => unreachable!("matmul_problem on non-matmul anchor"),
+    }
+}
+
+fn apply_ablations(mut cfg: MatmulConfig, options: &CompilerOptions) -> MatmulConfig {
+    if options.disable_double_buffering {
+        cfg.stages = 1;
+    }
+    if options.disable_parallel_k {
+        cfg.split_k = 1;
+    }
+    cfg
+}
+
+impl CompiledGraph {
+    /// The optimized graph (after conv lowering and constant folding).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Compiled fused groups, in execution order.
+    pub fn groups(&self) -> &[CompiledGroup] {
+        &self.groups
+    }
+
+    /// Total kernels launched per inference.
+    pub fn num_kernels(&self) -> usize {
+        self.groups.iter().map(|g| g.kernels.len()).sum()
+    }
+
+    /// Simulated tuning wall-clock cost accumulated during compilation.
+    pub fn tuning_seconds(&self) -> f64 {
+        self.tuning_seconds
+    }
+
+    /// Tuned matmul configurations, keyed by `(batch, m, n, k)`.
+    pub fn tuned_configs(&self) -> &HashMap<(i64, i64, i64, i64), MatmulConfig> {
+        &self.tuned
+    }
+
+    /// Estimated end-to-end latency on `gpu` in seconds (kernel estimates +
+    /// dispatch overhead).
+    pub fn estimate(&self, gpu: &Gpu) -> f64 {
+        let mut total = 0.0;
+        for group in &self.groups {
+            for kernel in &group.kernels {
+                total += gpu
+                    .estimate(kernel)
+                    .map(|e| e.seconds)
+                    .unwrap_or(f64::INFINITY)
+                    + HIDET_DISPATCH_S;
+            }
+        }
+        total
+    }
+
+    /// Functionally executes the compiled model on the simulated device.
+    ///
+    /// `inputs` maps each graph input tensor to its flat `f32` data. Returns
+    /// the value of every graph output tensor.
+    ///
+    /// # Errors
+    /// [`CompileError::BadInput`] on missing/missized inputs, or
+    /// [`CompileError::Sim`] if a kernel faults.
+    pub fn run(
+        &self,
+        inputs: &HashMap<TensorId, Vec<f32>>,
+        gpu: &Gpu,
+    ) -> Result<HashMap<TensorId, Vec<f32>>, CompileError> {
+        let mut mem = DeviceMemory::new();
+        for &t in self.graph.inputs() {
+            let data = inputs.get(&t).ok_or_else(|| {
+                CompileError::BadInput(format!("missing input tensor t{}", t.0))
+            })?;
+            let expect = self.graph.tensor(t).numel() as usize;
+            if data.len() != expect {
+                return Err(CompileError::BadInput(format!(
+                    "input t{} has {} elements, expected {expect}",
+                    t.0,
+                    data.len()
+                )));
+            }
+            mem.alloc(&format!("t{}", t.0), data);
+        }
+        // Upload constants.
+        for idx in 0..self.graph.num_tensors() {
+            let t = TensorId(idx);
+            if let Some(data) = self.graph.tensor(t).data() {
+                mem.alloc(&format!("t{idx}"), data);
+            }
+        }
+        for group in &self.groups {
+            mem.alloc_zeroed(
+                &format!("t{}", group.output.0),
+                self.graph.tensor(group.output).numel() as usize,
+            );
+            for (name, len) in &group.scratch {
+                mem.alloc_zeroed(name, *len);
+            }
+            for kernel in &group.kernels {
+                gpu.run(kernel, &mut mem)?;
+            }
+        }
+        let mut out = HashMap::new();
+        for &t in self.graph.outputs() {
+            out.insert(t, mem.read(&format!("t{}", t.0)).to_vec());
+        }
+        Ok(out)
+    }
+
+    /// The full CUDA C source of every kernel, concatenated — what a real
+    /// deployment would compile with `nvcc`.
+    pub fn cuda_source(&self) -> String {
+        let mut out = String::new();
+        for group in &self.groups {
+            for kernel in &group.kernels {
+                out.push_str(&hidet_ir::cuda::to_cuda(kernel));
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidet_graph::reference::{execute, ValueMap};
+    use hidet_graph::{GraphBuilder, Tensor};
+
+    fn toy_graph() -> (Graph, TensorId, TensorId) {
+        let mut g = GraphBuilder::new("toy");
+        let x = g.input("x", &[8, 16]);
+        let w = g.constant(Tensor::randn(&[16, 12], 1));
+        let b = g.constant(Tensor::randn(&[12], 2));
+        let y = g.matmul(x, w);
+        let y = g.add(y, b);
+        let y = g.relu(y);
+        (g.output(y).build(), x, y)
+    }
+
+    #[test]
+    fn compile_fuses_to_single_kernel() {
+        let (graph, _, _) = toy_graph();
+        let gpu = Gpu::default();
+        let compiled = compile(&graph, &gpu, &CompilerOptions::quick()).unwrap();
+        assert_eq!(compiled.num_kernels(), 1);
+        assert_eq!(compiled.tuning_seconds(), 0.0);
+    }
+
+    #[test]
+    fn compiled_graph_matches_reference() {
+        let (graph, x, y) = toy_graph();
+        let gpu = Gpu::default();
+        let compiled = compile(&graph, &gpu, &CompilerOptions::quick()).unwrap();
+        let data: Vec<f32> = Tensor::randn(&[8, 16], 3).data().unwrap().to_vec();
+        let mut inputs = HashMap::new();
+        inputs.insert(x, data.clone());
+        let got = compiled.run(&inputs, &gpu).unwrap();
+        let mut ref_inputs = ValueMap::new();
+        ref_inputs.insert(x, data);
+        let expect = execute(&graph, &ref_inputs);
+        for (a, b) in got[&y].iter().zip(&expect[&y]) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn tuned_compile_records_cost_and_configs() {
+        let (graph, _, _) = toy_graph();
+        let gpu = Gpu::default();
+        let compiled = compile(&graph, &gpu, &CompilerOptions::tuned()).unwrap();
+        assert!(compiled.tuning_seconds() > 0.0);
+        assert_eq!(compiled.tuned_configs().len(), 1);
+    }
+
+    #[test]
+    fn tuning_cost_deduplicates_identical_problems() {
+        // Two identical matmuls: one tuning task.
+        let mut g = GraphBuilder::new("twin");
+        let x = g.input("x", &[64, 64]);
+        let w1 = g.constant(Tensor::randn(&[64, 64], 1));
+        let w2 = g.constant(Tensor::randn(&[64, 64], 2));
+        let a = g.matmul(x, w1);
+        let b = g.matmul(x, w2);
+        let y = g.add(a, b);
+        let graph = g.output(y).build();
+        let gpu = Gpu::default();
+        let compiled = compile(&graph, &gpu, &CompilerOptions::tuned()).unwrap();
+        assert_eq!(compiled.tuned_configs().len(), 1);
+    }
+
+    #[test]
+    fn ablation_flags_apply() {
+        let (graph, _, _) = toy_graph();
+        let gpu = Gpu::default();
+        let opts = CompilerOptions {
+            tune: false,
+            disable_double_buffering: true,
+            disable_parallel_k: false,
+        };
+        let compiled = compile(&graph, &gpu, &opts).unwrap();
+        for group in compiled.groups() {
+            for kernel in &group.kernels {
+                assert_eq!(kernel.meta().pipeline_stages, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn missing_input_reported() {
+        let (graph, _, _) = toy_graph();
+        let gpu = Gpu::default();
+        let compiled = compile(&graph, &gpu, &CompilerOptions::quick()).unwrap();
+        let err = compiled.run(&HashMap::new(), &gpu).unwrap_err();
+        assert!(matches!(err, CompileError::BadInput(_)), "{err}");
+    }
+
+    #[test]
+    fn cuda_source_contains_all_kernels() {
+        let (graph, _, _) = toy_graph();
+        let gpu = Gpu::default();
+        let compiled = compile(&graph, &gpu, &CompilerOptions::quick()).unwrap();
+        let src = compiled.cuda_source();
+        assert!(src.contains("__global__ void"));
+        assert!(src.contains("__shared__ float SmemA"));
+    }
+
+    #[test]
+    fn small_cnn_end_to_end() {
+        let mut g = GraphBuilder::new("cnn");
+        let x = g.input("x", &[1, 3, 16, 16]);
+        let y = g.conv_bn_relu(x, 8, 3, 2, 1);
+        let p = g.global_avg_pool(y);
+        let out = g.linear(p, 4);
+        let graph = g.output(out).build();
+        let gpu = Gpu::default();
+        let compiled = compile(&graph, &gpu, &CompilerOptions::quick()).unwrap();
+        let data: Vec<f32> = Tensor::randn(&[1, 3, 16, 16], 5).data().unwrap().to_vec();
+        let mut inputs = HashMap::new();
+        inputs.insert(x, data.clone());
+        let got = compiled.run(&inputs, &gpu).unwrap();
+        let mut ref_inputs = ValueMap::new();
+        ref_inputs.insert(x, data);
+        let expect = execute(&graph, &ref_inputs);
+        for (a, b) in got[&out].iter().zip(&expect[&out]) {
+            assert!((a - b).abs() < 1e-2 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+        // Conv-bn-relu fused into the implicit-GEMM matmul: far fewer kernels
+        // than operators.
+        assert!(compiled.num_kernels() <= 4, "{}", compiled.num_kernels());
+    }
+}

@@ -1,0 +1,89 @@
+//! Hidet as a [`GraphExecutor`], for the end-to-end comparisons of
+//! paper §6.2 (Figs. 16/17/20/22).
+
+use hidet_baselines::{ExecutorReport, GraphExecutor};
+use hidet_graph::Graph;
+use hidet_sim::Gpu;
+
+use crate::compiler::{compile, CompilerOptions};
+
+/// End-to-end Hidet executor: compile (optionally tuned), then estimate.
+#[derive(Debug, Clone, Copy)]
+pub struct HidetExecutor {
+    /// Compiler options used for every model.
+    pub options: CompilerOptions,
+}
+
+impl Default for HidetExecutor {
+    fn default() -> Self {
+        HidetExecutor { options: CompilerOptions::tuned() }
+    }
+}
+
+impl HidetExecutor {
+    /// Tuned executor (the paper's configuration).
+    pub fn tuned() -> HidetExecutor {
+        HidetExecutor::default()
+    }
+
+    /// Untuned executor (default schedules; useful for quick tests).
+    pub fn quick() -> HidetExecutor {
+        HidetExecutor { options: CompilerOptions::quick() }
+    }
+}
+
+impl GraphExecutor for HidetExecutor {
+    fn name(&self) -> &str {
+        "Hidet"
+    }
+
+    fn evaluate(&self, graph: &Graph, gpu: &Gpu) -> ExecutorReport {
+        match compile(graph, gpu, &self.options) {
+            Ok(compiled) => ExecutorReport {
+                executor: self.name().to_string(),
+                model: graph.name().to_string(),
+                latency_seconds: compiled.estimate(gpu),
+                tuning_seconds: compiled.tuning_seconds(),
+                kernel_launches: compiled.num_kernels(),
+            },
+            Err(e) => panic!("hidet failed to compile {}: {e}", graph.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidet_baselines::frameworks::PyTorchLike;
+    use hidet_graph::{GraphBuilder, Tensor};
+
+    fn mlp() -> Graph {
+        let mut g = GraphBuilder::new("mlp");
+        let x = g.input("x", &[128, 256]);
+        let w1 = g.constant(Tensor::randn(&[256, 512], 1));
+        let w2 = g.constant(Tensor::randn(&[512, 128], 2));
+        let h = g.matmul(x, w1);
+        let h = g.relu(h);
+        let y = g.matmul(h, w2);
+        g.output(y).build()
+    }
+
+    #[test]
+    fn hidet_executor_produces_report() {
+        let gpu = Gpu::default();
+        let report = HidetExecutor::quick().evaluate(&mlp(), &gpu);
+        assert_eq!(report.executor, "Hidet");
+        assert!(report.latency_seconds > 0.0);
+        assert_eq!(report.tuning_seconds, 0.0);
+        assert_eq!(report.kernel_launches, 2);
+    }
+
+    #[test]
+    fn hidet_fuses_more_than_pytorch() {
+        let gpu = Gpu::default();
+        let graph = mlp();
+        let hidet = HidetExecutor::quick().evaluate(&graph, &gpu);
+        let pytorch = PyTorchLike.evaluate(&graph, &gpu);
+        assert!(hidet.kernel_launches < pytorch.kernel_launches);
+    }
+}

@@ -1,0 +1,140 @@
+//! Inception-V3 (Szegedy et al., CVPR'16), torchvision layer configuration.
+//!
+//! Multi-branch blocks with mixed kernel sizes — the paper picks it precisely
+//! because its many distinct convolution shapes stress input-centric tuners
+//! (AutoTVM needs 15 h on it, §1/§3.3).
+
+use crate::graph::{GraphBuilder, TensorId};
+
+fn branch_pool_avg(g: &mut GraphBuilder, x: TensorId, out_channels: i64) -> TensorId {
+    let p = g.avg_pool(x, 3, 1, 1);
+    g.conv_bn_relu(p, out_channels, 1, 1, 0)
+}
+
+/// Inception-A: 1x1, 5x5 (via 1x1→5x5), 3x3 double, pool branches.
+fn inception_a(g: &mut GraphBuilder, x: TensorId, pool_features: i64) -> TensorId {
+    let b1 = g.conv_bn_relu(x, 64, 1, 1, 0);
+    let b5 = g.conv_bn_relu(x, 48, 1, 1, 0);
+    let b5 = g.conv_bn_relu(b5, 64, 5, 1, 2);
+    let b3 = g.conv_bn_relu(x, 64, 1, 1, 0);
+    let b3 = g.conv_bn_relu(b3, 96, 3, 1, 1);
+    let b3 = g.conv_bn_relu(b3, 96, 3, 1, 1);
+    let bp = branch_pool_avg(g, x, pool_features);
+    g.concat(&[b1, b5, b3, bp], 1)
+}
+
+/// Inception-B (grid reduction 35→17).
+fn inception_b(g: &mut GraphBuilder, x: TensorId) -> TensorId {
+    let b3 = g.conv_bn_relu(x, 384, 3, 2, 0);
+    let bd = g.conv_bn_relu(x, 64, 1, 1, 0);
+    let bd = g.conv_bn_relu(bd, 96, 3, 1, 1);
+    let bd = g.conv_bn_relu(bd, 96, 3, 2, 0);
+    let bp = g.max_pool(x, 3, 2, 0);
+    g.concat(&[b3, bd, bp], 1)
+}
+
+/// Inception-C with factorized 7x7 (approximated by square 7x7 pad 3 —
+/// torchvision uses 1x7/7x1 pairs; square kernels keep the same receptive
+/// field and GEMM K-dimension within 2%, see DESIGN.md).
+fn inception_c(g: &mut GraphBuilder, x: TensorId, channels_7x7: i64) -> TensorId {
+    let c7 = channels_7x7;
+    let b1 = g.conv_bn_relu(x, 192, 1, 1, 0);
+    let b7 = g.conv_bn_relu(x, c7, 1, 1, 0);
+    let b7 = g.conv_bn_relu(b7, c7, 7, 1, 3);
+    let b7 = g.conv_bn_relu(b7, 192, 1, 1, 0);
+    let b77 = g.conv_bn_relu(x, c7, 1, 1, 0);
+    let b77 = g.conv_bn_relu(b77, c7, 7, 1, 3);
+    let b77 = g.conv_bn_relu(b77, 192, 7, 1, 3);
+    let bp = branch_pool_avg(g, x, 192);
+    g.concat(&[b1, b7, b77, bp], 1)
+}
+
+/// Inception-D (grid reduction 17→8).
+fn inception_d(g: &mut GraphBuilder, x: TensorId) -> TensorId {
+    let b3 = g.conv_bn_relu(x, 192, 1, 1, 0);
+    let b3 = g.conv_bn_relu(b3, 320, 3, 2, 0);
+    let b7 = g.conv_bn_relu(x, 192, 1, 1, 0);
+    let b7 = g.conv_bn_relu(b7, 192, 7, 1, 3);
+    let b7 = g.conv_bn_relu(b7, 192, 3, 2, 0);
+    let bp = g.max_pool(x, 3, 2, 0);
+    g.concat(&[b3, b7, bp], 1)
+}
+
+/// Inception-E (expanded 8x8 blocks).
+fn inception_e(g: &mut GraphBuilder, x: TensorId) -> TensorId {
+    let b1 = g.conv_bn_relu(x, 320, 1, 1, 0);
+    let b3 = g.conv_bn_relu(x, 384, 1, 1, 0);
+    let b3a = g.conv_bn_relu(b3, 384, 3, 1, 1);
+    let b3b = g.conv_bn_relu(b3, 384, 3, 1, 1);
+    let b3 = g.concat(&[b3a, b3b], 1);
+    let bd = g.conv_bn_relu(x, 448, 1, 1, 0);
+    let bd = g.conv_bn_relu(bd, 384, 3, 1, 1);
+    let bda = g.conv_bn_relu(bd, 384, 3, 1, 1);
+    let bdb = g.conv_bn_relu(bd, 384, 3, 1, 1);
+    let bd = g.concat(&[bda, bdb], 1);
+    let bp = branch_pool_avg(g, x, 192);
+    g.concat(&[b1, b3, bd, bp], 1)
+}
+
+/// Builds Inception-V3 for `batch` 299×299 RGB images.
+pub fn inception_v3(batch: i64) -> crate::graph::Graph {
+    let mut g = GraphBuilder::new("inception_v3");
+    let x = g.input("images", &[batch, 3, 299, 299]);
+    // Stem.
+    let mut y = g.conv_bn_relu(x, 32, 3, 2, 0);
+    y = g.conv_bn_relu(y, 32, 3, 1, 0);
+    y = g.conv_bn_relu(y, 64, 3, 1, 1);
+    y = g.max_pool(y, 3, 2, 0);
+    y = g.conv_bn_relu(y, 80, 1, 1, 0);
+    y = g.conv_bn_relu(y, 192, 3, 1, 0);
+    y = g.max_pool(y, 3, 2, 0);
+    // 3 x Inception-A at 35x35.
+    y = inception_a(&mut g, y, 32);
+    y = inception_a(&mut g, y, 64);
+    y = inception_a(&mut g, y, 64);
+    // Reduction.
+    y = inception_b(&mut g, y);
+    // 4 x Inception-C at 17x17.
+    y = inception_c(&mut g, y, 128);
+    y = inception_c(&mut g, y, 160);
+    y = inception_c(&mut g, y, 160);
+    y = inception_c(&mut g, y, 192);
+    // Reduction.
+    y = inception_d(&mut g, y);
+    // 2 x Inception-E at 8x8.
+    y = inception_e(&mut g, y);
+    y = inception_e(&mut g, y);
+    // Classifier.
+    let pooled = g.global_avg_pool(y);
+    let logits = g.linear(pooled, 1000);
+    g.output(logits).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inception_output_and_flops() {
+        let g = inception_v3(1);
+        assert_eq!(g.tensor(g.outputs()[0]).shape(), &[1, 1000]);
+        let gflops = g.total_flops() / 1e9;
+        // torchvision reports ~5.7 GFLOPs; the square-7x7 substitution raises
+        // the count somewhat.
+        assert!((8.0..25.0).contains(&gflops), "got {gflops}");
+    }
+
+    #[test]
+    fn has_many_distinct_conv_shapes() {
+        let g = inception_v3(1);
+        let mut shapes = std::collections::HashSet::new();
+        for op in g.ops() {
+            if matches!(op.kind, crate::op::OpKind::Conv2d { .. }) {
+                let xs = g.tensor(op.inputs[0]).shape().to_vec();
+                let ws = g.tensor(op.inputs[1]).shape().to_vec();
+                shapes.insert((xs, ws));
+            }
+        }
+        assert!(shapes.len() > 30, "got {}", shapes.len());
+    }
+}

@@ -1,0 +1,104 @@
+//! MobileNet-V2 (Sandler et al., CVPR'18), torchvision layer configuration.
+//!
+//! Inverted residual blocks with depthwise separable convolutions. Depthwise
+//! convolutions stay un-lowered (rule-based schedules), which is exactly why
+//! Ansor edges out Hidet on this model in the paper (§6.2, 0.88×).
+
+use crate::graph::{GraphBuilder, TensorId};
+
+/// One inverted residual block: 1x1 expand → 3x3 depthwise → 1x1 project.
+fn inverted_residual(
+    g: &mut GraphBuilder,
+    x: TensorId,
+    expand_ratio: i64,
+    out_channels: i64,
+    stride: i64,
+) -> TensorId {
+    let in_channels = g.shape(x)[1];
+    let hidden = in_channels * expand_ratio;
+    let mut y = x;
+    if expand_ratio != 1 {
+        let we = g.weight(&[hidden, in_channels, 1, 1]);
+        y = g.conv2d(y, we, 1, 0);
+        y = g.batch_norm(y);
+        y = g.relu6(y);
+    }
+    // Depthwise 3x3.
+    let wd = g.weight(&[hidden, 1, 3, 3]);
+    y = g.depthwise_conv2d(y, wd, stride, 1);
+    y = g.batch_norm(y);
+    y = g.relu6(y);
+    // Linear projection (no activation).
+    let wp = g.weight(&[out_channels, hidden, 1, 1]);
+    y = g.conv2d(y, wp, 1, 0);
+    y = g.batch_norm(y);
+    if stride == 1 && in_channels == out_channels {
+        y = g.add(y, x);
+    }
+    y
+}
+
+/// Builds MobileNet-V2 for `batch` 224×224 RGB images.
+///
+/// Block table `(expansion t, channels c, repeats n, stride s)` from the
+/// paper/torchvision: (1,16,1,1), (6,24,2,2), (6,32,3,2), (6,64,4,2),
+/// (6,96,3,1), (6,160,3,2), (6,320,1,1).
+pub fn mobilenet_v2(batch: i64) -> crate::graph::Graph {
+    let mut g = GraphBuilder::new("mobilenet_v2");
+    let x = g.input("images", &[batch, 3, 224, 224]);
+    let mut y = {
+        let w = g.weight(&[32, 3, 3, 3]);
+        let y = g.conv2d(x, w, 2, 1);
+        let y = g.batch_norm(y);
+        g.relu6(y)
+    };
+    let table: [(i64, i64, usize, i64); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    for (t, c, n, s) in table {
+        y = inverted_residual(&mut g, y, t, c, s);
+        for _ in 1..n {
+            y = inverted_residual(&mut g, y, t, c, 1);
+        }
+    }
+    // Final 1x1 conv to 1280.
+    let wf = g.weight(&[1280, 320, 1, 1]);
+    y = g.conv2d(y, wf, 1, 0);
+    y = g.batch_norm(y);
+    y = g.relu6(y);
+    let pooled = g.global_avg_pool(y);
+    let logits = g.linear(pooled, 1000);
+    g.output(logits).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    #[test]
+    fn mobilenet_output_and_flops() {
+        let g = mobilenet_v2(1);
+        assert_eq!(g.tensor(g.outputs()[0]).shape(), &[1, 1000]);
+        let gflops = g.total_flops() / 1e9;
+        // torchvision reports ~0.3 GFLOPs (MACs x2 = 0.6).
+        assert!((0.2..1.2).contains(&gflops), "got {gflops}");
+    }
+
+    #[test]
+    fn contains_depthwise_convs() {
+        let g = mobilenet_v2(1);
+        let depthwise = g
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Conv2d { groups, .. } if groups > 1))
+            .count();
+        assert_eq!(depthwise, 17); // one per inverted residual block
+    }
+}

@@ -1,0 +1,69 @@
+//! Model zoo: the five networks of the paper's evaluation (§6.1).
+//!
+//! Architectures follow the torchvision / HuggingFace reference
+//! implementations the paper exports to ONNX: ResNet-50 and Inception-V3
+//! (CNNs), MobileNet-V2 (separable convolutions), Bert-base and GPT-2
+//! (transformers, sequence length 128). Weights are deterministic random
+//! tensors — the evaluation measures latency, not accuracy, and shapes are
+//! what matter.
+//!
+//! Transformer models start from embedded hidden states (the embedding lookup
+//! is a memory gather the paper's operator-level evaluation does not turn on).
+
+mod inception;
+mod mobilenet;
+mod resnet;
+mod transformer;
+
+pub use inception::inception_v3;
+pub use mobilenet::mobilenet_v2;
+pub use resnet::{resnet50, resnet50_conv_workloads, ConvWorkload};
+pub use transformer::{bert_base, gpt2};
+
+use crate::graph::Graph;
+
+/// The paper's five evaluation models at the given batch size.
+pub fn all_models(batch: i64) -> Vec<Graph> {
+    vec![
+        resnet50(batch),
+        inception_v3(batch),
+        mobilenet_v2(batch),
+        bert_base(batch, 128),
+        gpt2(batch, 128),
+    ]
+}
+
+/// A model by its evaluation name.
+///
+/// Accepted names: `resnet50`, `inception_v3`, `mobilenet_v2`, `bert`, `gpt2`.
+pub fn by_name(name: &str, batch: i64) -> Option<Graph> {
+    match name {
+        "resnet50" => Some(resnet50(batch)),
+        "inception_v3" => Some(inception_v3(batch)),
+        "mobilenet_v2" => Some(mobilenet_v2(batch)),
+        "bert" => Some(bert_base(batch, 128)),
+        "gpt2" => Some(gpt2(batch, 128)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_build() {
+        for g in all_models(1) {
+            assert!(!g.ops().is_empty(), "{} is empty", g.name());
+            assert!(g.total_flops() > 1e8, "{} has too few FLOPs", g.name());
+        }
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        for name in ["resnet50", "inception_v3", "mobilenet_v2", "bert", "gpt2"] {
+            assert_eq!(by_name(name, 1).unwrap().name(), name);
+        }
+        assert!(by_name("vgg", 1).is_none());
+    }
+}

@@ -1,0 +1,172 @@
+//! ResNet-50 (He et al., CVPR'16), torchvision layer configuration.
+
+use crate::graph::{GraphBuilder, TensorId};
+
+/// One bottleneck residual block: 1x1 reduce, 3x3, 1x1 expand (+ projection
+/// shortcut when shapes change).
+fn bottleneck(
+    g: &mut GraphBuilder,
+    x: TensorId,
+    mid_channels: i64,
+    out_channels: i64,
+    stride: i64,
+) -> TensorId {
+    let in_channels = g.shape(x)[1];
+    let a = g.conv_bn_relu(x, mid_channels, 1, 1, 0);
+    let b = g.conv_bn_relu(a, mid_channels, 3, stride, 1);
+    // Third conv has BN but no ReLU before the residual add.
+    let wc = g.weight(&[out_channels, mid_channels, 1, 1]);
+    let c = g.conv2d(b, wc, 1, 0);
+    let c = g.batch_norm(c);
+    let shortcut = if stride != 1 || in_channels != out_channels {
+        let ws = g.weight(&[out_channels, in_channels, 1, 1]);
+        let s = g.conv2d(x, ws, stride, 0);
+        g.batch_norm(s)
+    } else {
+        x
+    };
+    let sum = g.add(c, shortcut);
+    g.relu(sum)
+}
+
+/// Builds ResNet-50 for `batch` 224×224 RGB images.
+///
+/// Stage configuration `(mid, out, blocks, stride)` matches torchvision:
+/// `(64, 256, 3, 1)`, `(128, 512, 4, 2)`, `(256, 1024, 6, 2)`,
+/// `(512, 2048, 3, 2)`; stem 7×7/2 conv + 3×3/2 max-pool; classifier GAP + FC.
+pub fn resnet50(batch: i64) -> crate::graph::Graph {
+    let mut g = GraphBuilder::new("resnet50");
+    let x = g.input("images", &[batch, 3, 224, 224]);
+    let mut y = g.conv_bn_relu(x, 64, 7, 2, 3);
+    y = g.max_pool(y, 3, 2, 1);
+    let stages: [(i64, i64, usize, i64); 4] =
+        [(64, 256, 3, 1), (128, 512, 4, 2), (256, 1024, 6, 2), (512, 2048, 3, 2)];
+    for (mid, out, blocks, stride) in stages {
+        y = bottleneck(&mut g, y, mid, out, stride);
+        for _ in 1..blocks {
+            y = bottleneck(&mut g, y, mid, out, 1);
+        }
+    }
+    let pooled = g.global_avg_pool(y);
+    let logits = g.linear(pooled, 1000);
+    g.output(logits).build()
+}
+
+/// The distinct convolution workloads of ResNet-50 at the given batch size,
+/// as `(in_channels, height/width, out_channels, kernel, stride, padding)` —
+/// the workload set behind the paper's Fig. 7 and Fig. 18.
+pub fn resnet50_conv_workloads(batch: i64) -> Vec<ConvWorkload> {
+    let graph = resnet50(batch);
+    let mut out: Vec<ConvWorkload> = Vec::new();
+    for op in graph.ops() {
+        if let crate::op::OpKind::Conv2d { stride, padding, .. } = op.kind {
+            let xs = graph.tensor(op.inputs[0]).shape();
+            let ws = graph.tensor(op.inputs[1]).shape();
+            let w = ConvWorkload {
+                batch,
+                in_channels: xs[1],
+                image_size: xs[2],
+                out_channels: ws[0],
+                kernel: ws[2],
+                stride,
+                padding,
+            };
+            if !out.contains(&w) {
+                out.push(w);
+            }
+        }
+    }
+    out
+}
+
+/// A convolution layer workload (used by the experiment harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvWorkload {
+    /// Batch size.
+    pub batch: i64,
+    /// Input channels.
+    pub in_channels: i64,
+    /// Input spatial size (square).
+    pub image_size: i64,
+    /// Output channels.
+    pub out_channels: i64,
+    /// Kernel size (square).
+    pub kernel: i64,
+    /// Stride.
+    pub stride: i64,
+    /// Padding.
+    pub padding: i64,
+}
+
+impl ConvWorkload {
+    /// Output spatial size.
+    pub fn out_size(&self) -> i64 {
+        (self.image_size + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// The implicit-GEMM problem `(M, N, K)` this convolution maps to.
+    pub fn gemm_shape(&self) -> (i64, i64, i64) {
+        let m = self.batch * self.out_size() * self.out_size();
+        let n = self.out_channels;
+        let k = self.in_channels * self.kernel * self.kernel;
+        (m, n, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_shape_and_size() {
+        let g = resnet50(1);
+        assert_eq!(g.tensor(g.outputs()[0]).shape(), &[1, 1000]);
+        // 53 convolutions (49 in blocks + 4 projections ... torchvision: 53).
+        let convs = g
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, crate::op::OpKind::Conv2d { .. }))
+            .count();
+        assert_eq!(convs, 53);
+        // ~8.2 GFLOPs at batch 1 (torchvision reports 4.09 GMACs = 8.2 GFLOPs).
+        let gflops = g.total_flops() / 1e9;
+        assert!((7.0..9.5).contains(&gflops), "got {gflops}");
+    }
+
+    #[test]
+    fn conv_workload_extraction() {
+        let ws = resnet50_conv_workloads(1);
+        // Paper Fig. 7 plots the distinct conv shapes; torchvision ResNet-50
+        // has ~20 distinct ones.
+        assert!((18..=24).contains(&ws.len()), "got {}", ws.len());
+        // The Fig. 18 case study workload must be present:
+        // c=256, hw=28, k=3(?padding 1, stride 2) — that's conv4 downsample path.
+        assert!(ws
+            .iter()
+            .any(|w| w.in_channels == 256 && w.image_size == 28 && w.kernel == 3));
+    }
+
+    #[test]
+    fn gemm_shape_mapping() {
+        let w = ConvWorkload {
+            batch: 1,
+            in_channels: 256,
+            image_size: 28,
+            out_channels: 256,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        assert_eq!(w.out_size(), 14);
+        assert_eq!(w.gemm_shape(), (196, 256, 2304));
+    }
+
+    #[test]
+    fn batch_scales_input_only() {
+        let g1 = resnet50(1);
+        let g8 = resnet50(8);
+        assert_eq!(g8.tensor(g8.inputs()[0]).shape(), &[8, 3, 224, 224]);
+        let r = g8.total_flops() / g1.total_flops();
+        assert!((7.5..8.5).contains(&r), "flops should scale ~8x, got {r}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Transformer models: Bert-base and GPT-2 (small), sequence length 128
+//! throughout the paper's experiments (§6.1).
+//!
+//! Both models start from embedded hidden states `[seq, hidden]` per batch
+//! element; the attention pattern `reshape → matmul → transpose` is the
+//! transformer fusion workload the paper calls out in §3.2.
+
+use crate::graph::{GraphBuilder, TensorId};
+
+/// Multi-head self-attention + FFN block shared by Bert and GPT-2
+/// (pre-LN for GPT-2, post-LN for Bert).
+#[allow(clippy::too_many_arguments)]
+fn transformer_block(
+    g: &mut GraphBuilder,
+    x: TensorId, // [seq, hidden]
+    seq: i64,
+    hidden: i64,
+    heads: i64,
+    ffn_dim: i64,
+    pre_ln: bool,
+) -> TensorId {
+    let head_dim = hidden / heads;
+    let attn_in = if pre_ln { g.layer_norm(x) } else { x };
+    // QKV projections.
+    let wq = g.weight(&[hidden, hidden]);
+    let wk = g.weight(&[hidden, hidden]);
+    let wv = g.weight(&[hidden, hidden]);
+    let q = g.matmul(attn_in, wq);
+    let k = g.matmul(attn_in, wk);
+    let v = g.matmul(attn_in, wv);
+    // [seq, hidden] -> [heads, seq, head_dim] (the Reshape-Matmul-Transpose
+    // pattern of paper §1/§3.2).
+    let split = |g: &mut GraphBuilder, t: TensorId| -> TensorId {
+        let r = g.reshape(t, &[seq, heads, head_dim]);
+        g.transpose(r, &[1, 0, 2])
+    };
+    let qh = split(g, q);
+    let kh = split(g, k);
+    let vh = split(g, v);
+    // Scores: [heads, seq, seq] = qh x kh^T, scaled.
+    let kt = g.transpose(kh, &[0, 2, 1]);
+    let scores = g.batch_matmul(qh, kt);
+    let scale = g.constant(crate::tensor::Tensor::full(&[1], 1.0 / (head_dim as f32).sqrt()));
+    let scores = g.mul(scores, scale);
+    let probs = g.softmax(scores, 2);
+    // Context: [heads, seq, head_dim] -> [seq, hidden].
+    let ctx = g.batch_matmul(probs, vh);
+    let ctx = g.transpose(ctx, &[1, 0, 2]);
+    let ctx = g.reshape(ctx, &[seq, hidden]);
+    let wo = g.weight(&[hidden, hidden]);
+    let proj = g.matmul(ctx, wo);
+    let attn_out = g.add(proj, x);
+    let attn_out = if pre_ln { attn_out } else { g.layer_norm(attn_out) };
+    // Feed-forward.
+    let ffn_in = if pre_ln { g.layer_norm(attn_out) } else { attn_out };
+    let w1 = g.weight(&[hidden, ffn_dim]);
+    let b1 = g.weight(&[ffn_dim]);
+    let h = g.matmul(ffn_in, w1);
+    let h = g.add(h, b1);
+    let h = g.gelu(h);
+    let w2 = g.weight(&[ffn_dim, hidden]);
+    let b2 = g.weight(&[hidden]);
+    let h = g.matmul(h, w2);
+    let h = g.add(h, b2);
+    let out = g.add(h, attn_out);
+    if pre_ln {
+        out
+    } else {
+        g.layer_norm(out)
+    }
+}
+
+fn build_transformer(
+    name: &str,
+    batch: i64,
+    seq: i64,
+    layers: usize,
+    hidden: i64,
+    heads: i64,
+    pre_ln: bool,
+) -> crate::graph::Graph {
+    let mut g = GraphBuilder::new(name);
+    // Per-batch-element hidden states; batch folds into the sequence axis
+    // (identical kernel shapes, matching single-stream inference).
+    let x = g.input("hidden_states", &[batch * seq, hidden]);
+    let mut y = x;
+    for _ in 0..layers {
+        y = transformer_block(&mut g, y, batch * seq, hidden, heads, 4 * hidden, pre_ln);
+    }
+    if pre_ln {
+        y = g.layer_norm(y);
+    }
+    // LM/classifier head projection.
+    let w = g.weight(&[hidden, hidden]);
+    let out = g.matmul(y, w);
+    g.output(out).build()
+}
+
+/// Bert-base-uncased: 12 layers, hidden 768, 12 heads, post-LN.
+pub fn bert_base(batch: i64, seq: i64) -> crate::graph::Graph {
+    build_transformer("bert", batch, seq, 12, 768, 12, false)
+}
+
+/// GPT-2 small: 12 layers, hidden 768, 12 heads, pre-LN.
+pub fn gpt2(batch: i64, seq: i64) -> crate::graph::Graph {
+    build_transformer("gpt2", batch, seq, 12, 768, 12, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    #[test]
+    fn bert_structure() {
+        let g = bert_base(1, 128);
+        assert_eq!(g.tensor(g.outputs()[0]).shape(), &[128, 768]);
+        let matmuls = g.ops().iter().filter(|o| matches!(o.kind, OpKind::Matmul)).count();
+        // 12 layers x (3 QKV + 1 out + 2 FFN) + 1 head = 73.
+        assert_eq!(matmuls, 73);
+        let bmm = g
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::BatchMatmul))
+            .count();
+        assert_eq!(bmm, 24); // scores + context per layer
+        // ~22.3 GFLOPs for Bert-base at seq 128 (matmul-dominated).
+        let gflops = g.total_flops() / 1e9;
+        assert!((15.0..30.0).contains(&gflops), "got {gflops}");
+    }
+
+    #[test]
+    fn gpt2_uses_pre_ln() {
+        let g = gpt2(1, 128);
+        assert_eq!(g.tensor(g.outputs()[0]).shape(), &[128, 768]);
+        let lns = g.ops().iter().filter(|o| matches!(o.kind, OpKind::LayerNorm)).count();
+        assert_eq!(lns, 25); // 2 per layer + final
+    }
+
+    #[test]
+    fn attention_reshape_transpose_pattern_present() {
+        let g = bert_base(1, 128);
+        let reshapes = g
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Reshape { .. }))
+            .count();
+        let transposes = g
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Transpose { .. }))
+            .count();
+        assert!(reshapes >= 48 && transposes >= 60, "{reshapes} reshapes, {transposes} transposes");
+    }
+}

@@ -1,0 +1,95 @@
+//! Scalar data types of the tensor-program IR.
+
+use std::fmt;
+
+/// Scalar element type. The paper's kernels use `fp32` (CUDA cores) and `fp16`
+/// accumulation inputs (Tensor Cores); integer types carry index arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DType {
+    /// 32-bit IEEE-754 float (CUDA `float`).
+    #[default]
+    F32,
+    /// 16-bit IEEE-754 float (CUDA `half`). Stored as `f32` in the simulator,
+    /// but occupies 2 bytes for bandwidth/footprint accounting.
+    F16,
+    /// 32-bit signed integer (CUDA `int`).
+    I32,
+    /// 64-bit signed integer; used for index arithmetic.
+    I64,
+    /// Boolean (predicates).
+    Bool,
+}
+
+impl DType {
+    /// Size of one element in bytes, as used for memory-traffic accounting.
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            DType::F32 | DType::I32 => 4,
+            DType::F16 => 2,
+            DType::I64 => 8,
+            DType::Bool => 1,
+        }
+    }
+
+    /// True for `F32`/`F16`.
+    pub fn is_float(self) -> bool {
+        matches!(self, DType::F32 | DType::F16)
+    }
+
+    /// True for `I32`/`I64`.
+    pub fn is_int(self) -> bool {
+        matches!(self, DType::I32 | DType::I64)
+    }
+
+    /// The CUDA C type name used by the code generator.
+    pub fn cuda_name(self) -> &'static str {
+        match self {
+            DType::F32 => "float",
+            DType::F16 => "half",
+            DType::I32 => "int",
+            DType::I64 => "int64_t",
+            DType::Bool => "bool",
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DType::F32 => "f32",
+            DType::F16 => "f16",
+            DType::I32 => "i32",
+            DType::I64 => "i64",
+            DType::Bool => "bool",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_cuda() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::I64.size_bytes(), 8);
+        assert_eq!(DType::Bool.size_bytes(), 1);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(DType::F32.is_float());
+        assert!(!DType::F32.is_int());
+        assert!(DType::I64.is_int());
+        assert!(!DType::Bool.is_float());
+    }
+
+    #[test]
+    fn display_and_cuda_names() {
+        assert_eq!(DType::F32.to_string(), "f32");
+        assert_eq!(DType::F32.cuda_name(), "float");
+        assert_eq!(DType::I64.cuda_name(), "int64_t");
+    }
+}

@@ -1,0 +1,298 @@
+//! Simplification passes: constant folding and algebraic canonicalization.
+//!
+//! Lowered task mappings produce index arithmetic such as `(0 * 16 + t / 8)`;
+//! the simplifier folds these so both the CUDA output and the simulator's
+//! interpreter see compact expressions.
+
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::kernel::Kernel;
+use crate::stmt::Stmt;
+use crate::visit::{rewrite_expr, substitute_stmt};
+
+/// Simplifies an expression: constant folding plus algebraic identities.
+///
+/// ```
+/// use hidet_ir::passes::simplify_expr;
+/// use hidet_ir::prelude::*;
+/// let e = (c(0) * 16 + thread_idx() * 1) % 1024;
+/// assert_eq!(simplify_expr(&e).to_string(), "(threadIdx.x % 1024)");
+/// ```
+pub fn simplify_expr(e: &Expr) -> Expr {
+    rewrite_expr(e, &mut |node| simplify_node(node))
+}
+
+fn simplify_node(e: &Expr) -> Option<Expr> {
+    match e {
+        Expr::Binary { op, lhs, rhs } => simplify_binary(*op, lhs, rhs),
+        Expr::Unary { op, operand } => simplify_unary(*op, operand),
+        Expr::Cast { dtype, value } => match (&**value, dtype) {
+            (Expr::Int(v), d) if d.is_float() => Some(Expr::Float(*v as f32)),
+            (Expr::Float(v), d) if d.is_int() => Some(Expr::Int(*v as i64)),
+            (Expr::Int(v), d) if d.is_int() => Some(Expr::Int(*v)),
+            (Expr::Float(v), d) if d.is_float() => Some(Expr::Float(*v)),
+            _ => None,
+        },
+        Expr::Select { cond, then_value, else_value } => match &**cond {
+            Expr::Bool(true) => Some((**then_value).clone()),
+            Expr::Bool(false) => Some((**else_value).clone()),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn simplify_binary(op: BinOp, lhs: &Expr, rhs: &Expr) -> Option<Expr> {
+    use BinOp::*;
+    // Integer constant folding.
+    if let (Some(a), Some(b)) = (lhs.as_int(), rhs.as_int()) {
+        return Some(match op {
+            Add => Expr::Int(a + b),
+            Sub => Expr::Int(a - b),
+            Mul => Expr::Int(a * b),
+            Div if b != 0 => Expr::Int(a / b),
+            Mod if b != 0 => Expr::Int(a % b),
+            Min => Expr::Int(a.min(b)),
+            Max => Expr::Int(a.max(b)),
+            Lt => Expr::Bool(a < b),
+            Le => Expr::Bool(a <= b),
+            Eq => Expr::Bool(a == b),
+            Ne => Expr::Bool(a != b),
+            _ => return None,
+        });
+    }
+    // Float constant folding.
+    if let (Some(a), Some(b)) = (lhs.as_float(), rhs.as_float()) {
+        return Some(match op {
+            Add => Expr::Float(a + b),
+            Sub => Expr::Float(a - b),
+            Mul => Expr::Float(a * b),
+            Div => Expr::Float(a / b),
+            Min => Expr::Float(a.min(b)),
+            Max => Expr::Float(a.max(b)),
+            Lt => Expr::Bool(a < b),
+            Le => Expr::Bool(a <= b),
+            _ => return None,
+        });
+    }
+    // Boolean folding.
+    if let (Expr::Bool(a), Expr::Bool(b)) = (lhs, rhs) {
+        return Some(match op {
+            And => Expr::Bool(*a && *b),
+            Or => Expr::Bool(*a || *b),
+            _ => return None,
+        });
+    }
+    // Algebraic identities (all expressions are pure, so dropping is safe).
+    match (op, lhs.as_int(), rhs.as_int()) {
+        (Add, Some(0), _) => return Some(rhs.clone()),
+        (Add, _, Some(0)) | (Sub, _, Some(0)) => return Some(lhs.clone()),
+        (Mul, Some(1), _) => return Some(rhs.clone()),
+        (Mul, _, Some(1)) | (Div, _, Some(1)) => return Some(lhs.clone()),
+        (Mul, Some(0), _) | (Mul, _, Some(0)) => return Some(Expr::Int(0)),
+        (Mod, _, Some(1)) => return Some(Expr::Int(0)),
+        (Div, Some(0), _) | (Mod, Some(0), _) => return Some(Expr::Int(0)),
+        _ => {}
+    }
+    match (op, lhs.as_float(), rhs.as_float()) {
+        (Add, Some(x), _) if x == 0.0 => return Some(rhs.clone()),
+        (Add, _, Some(x)) | (Sub, _, Some(x)) if x == 0.0 => return Some(lhs.clone()),
+        (Mul, Some(x), _) if x == 1.0 => return Some(rhs.clone()),
+        (Mul, _, Some(x)) | (Div, _, Some(x)) if x == 1.0 => return Some(lhs.clone()),
+        _ => {}
+    }
+    // ((x * c) / c) == x and ((x * c) % c) == 0 for integer c > 0.
+    if let (Div | Mod, Expr::Binary { op: Mul, lhs: il, rhs: ir }, Some(c)) =
+        (op, lhs, rhs.as_int())
+    {
+        if c > 0 && ir.as_int() == Some(c) {
+            return Some(if op == Div { (**il).clone() } else { Expr::Int(0) });
+        }
+    }
+    // ((x / a) / b) == x / (a * b) for positive a, b.
+    if let (Div, Expr::Binary { op: Div, lhs: il, rhs: ir }, Some(b)) = (op, lhs, rhs.as_int()) {
+        if let Some(a) = ir.as_int() {
+            if a > 0 && b > 0 {
+                return Some(Expr::Binary {
+                    op: Div,
+                    lhs: il.clone(),
+                    rhs: Box::new(Expr::Int(a * b)),
+                });
+            }
+        }
+    }
+    // and/or with constants.
+    match (op, lhs, rhs) {
+        (And, Expr::Bool(true), other) | (And, other, Expr::Bool(true)) => {
+            return Some(other.clone())
+        }
+        (And, Expr::Bool(false), _) | (And, _, Expr::Bool(false)) => {
+            return Some(Expr::Bool(false))
+        }
+        (Or, Expr::Bool(false), other) | (Or, other, Expr::Bool(false)) => {
+            return Some(other.clone())
+        }
+        (Or, Expr::Bool(true), _) | (Or, _, Expr::Bool(true)) => return Some(Expr::Bool(true)),
+        _ => {}
+    }
+    None
+}
+
+fn simplify_unary(op: UnOp, operand: &Expr) -> Option<Expr> {
+    match (op, operand) {
+        (UnOp::Neg, Expr::Int(v)) => Some(Expr::Int(-v)),
+        (UnOp::Neg, Expr::Float(v)) => Some(Expr::Float(-v)),
+        (UnOp::Not, Expr::Bool(v)) => Some(Expr::Bool(!v)),
+        (UnOp::Abs, Expr::Float(v)) => Some(Expr::Float(v.abs())),
+        (UnOp::Abs, Expr::Int(v)) => Some(Expr::Int(v.abs())),
+        _ => None,
+    }
+}
+
+/// Simplifies a statement tree: folds expressions, prunes constant branches,
+/// unwraps trivial loops and flattens sequences.
+pub fn simplify(s: &Stmt) -> Stmt {
+    match s {
+        Stmt::Seq(items) => {
+            let mut out = Stmt::Nop;
+            for item in items {
+                out = out.then(simplify(item));
+            }
+            out
+        }
+        Stmt::For { var, extent, body, unroll } => {
+            let extent = simplify_expr(extent);
+            match extent.as_int() {
+                Some(0) => Stmt::Nop,
+                Some(1) => simplify(&substitute_stmt(body, var, &Expr::Int(0))),
+                _ => {
+                    let body = simplify(body);
+                    if matches!(body, Stmt::Nop) {
+                        Stmt::Nop
+                    } else {
+                        Stmt::For {
+                            var: var.clone(),
+                            extent,
+                            body: Box::new(body),
+                            unroll: *unroll,
+                        }
+                    }
+                }
+            }
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            let cond = simplify_expr(cond);
+            match cond {
+                Expr::Bool(true) => simplify(then_body),
+                Expr::Bool(false) => else_body.as_deref().map_or(Stmt::Nop, simplify),
+                _ => {
+                    let then_body = simplify(then_body);
+                    let else_body = else_body.as_deref().map(simplify);
+                    match (&then_body, &else_body) {
+                        (Stmt::Nop, None) => Stmt::Nop,
+                        (Stmt::Nop, Some(Stmt::Nop)) => Stmt::Nop,
+                        _ => Stmt::If {
+                            cond,
+                            then_body: Box::new(then_body),
+                            else_body: else_body
+                                .filter(|e| !matches!(e, Stmt::Nop))
+                                .map(Box::new),
+                        },
+                    }
+                }
+            }
+        }
+        Stmt::Let { var, value } => Stmt::Let { var: var.clone(), value: simplify_expr(value) },
+        Stmt::Store { buffer, indices, value } => Stmt::Store {
+            buffer: buffer.clone(),
+            indices: indices.iter().map(simplify_expr).collect(),
+            value: simplify_expr(value),
+        },
+        Stmt::SyncThreads | Stmt::Nop | Stmt::Comment(_) => s.clone(),
+    }
+}
+
+/// Simplifies a kernel's body.
+pub fn simplify_kernel(k: &Kernel) -> Kernel {
+    k.with_body(simplify(k.body()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{c, for_range, if_then, store, thread_idx, var};
+    use crate::buffer::{Buffer, MemScope};
+    use crate::dtype::DType;
+
+    #[test]
+    fn folds_integer_arithmetic() {
+        let e = (c(2) + 3) * 4 - 1;
+        assert_eq!(simplify_expr(&e), Expr::Int(19));
+    }
+
+    #[test]
+    fn folds_identities() {
+        let t = thread_idx();
+        assert_eq!(simplify_expr(&(t.clone() + 0)).to_string(), "threadIdx.x");
+        assert_eq!(simplify_expr(&(t.clone() * 1)).to_string(), "threadIdx.x");
+        assert_eq!(simplify_expr(&(t.clone() * 0)), Expr::Int(0));
+        assert_eq!(simplify_expr(&(t.clone() % 1)), Expr::Int(0));
+        assert_eq!(simplify_expr(&(t.clone() / 1)).to_string(), "threadIdx.x");
+        assert_eq!(simplify_expr(&((t.clone() * 8) / 8)).to_string(), "threadIdx.x");
+        assert_eq!(simplify_expr(&((t.clone() * 8) % 8)), Expr::Int(0));
+        assert_eq!(simplify_expr(&((t / 4) / 8)).to_string(), "(threadIdx.x / 32)");
+    }
+
+    #[test]
+    fn folds_predicates_and_selects() {
+        assert_eq!(simplify_expr(&c(3).lt(5)), Expr::Bool(true));
+        let sel = c(3).lt(5).select(1.0f32, 2.0f32);
+        assert_eq!(simplify_expr(&sel), Expr::Float(1.0));
+        let t = thread_idx().lt(10).and(Expr::Bool(true));
+        assert_eq!(simplify_expr(&t).to_string(), "(threadIdx.x < 10)");
+    }
+
+    #[test]
+    fn folds_casts() {
+        assert_eq!(simplify_expr(&c(3).cast(DType::F32)), Expr::Float(3.0));
+        assert_eq!(simplify_expr(&Expr::Float(2.7).cast(DType::I64)), Expr::Int(2));
+    }
+
+    #[test]
+    fn trivial_loops_unwrapped() {
+        let b = Buffer::new("A", MemScope::Global, DType::F32, &[4]);
+        let loop1 = for_range("i", 1, |i| store(&b, vec![i + 2], Expr::Float(0.0)));
+        let out = simplify(&loop1);
+        assert_eq!(out.to_string().trim(), "A[2] = 0.0");
+        let loop0 = for_range("i", 0, |_| Stmt::Nop);
+        assert_eq!(simplify(&loop0), Stmt::Nop);
+    }
+
+    #[test]
+    fn constant_branches_pruned() {
+        let b = Buffer::new("A", MemScope::Global, DType::F32, &[4]);
+        let s = if_then(c(1).lt(2), store(&b, vec![c(0)], Expr::Float(1.0)));
+        assert!(matches!(simplify(&s), Stmt::Store { .. }));
+        let dead = if_then(c(3).lt(2), store(&b, vec![c(0)], Expr::Float(1.0)));
+        assert_eq!(simplify(&dead), Stmt::Nop);
+    }
+
+    #[test]
+    fn empty_loops_removed() {
+        let s = for_range("i", 16, |_| Stmt::Nop);
+        assert_eq!(simplify(&s), Stmt::Nop);
+    }
+
+    #[test]
+    fn div_by_zero_not_folded() {
+        let e = c(4) / 0;
+        // Left intact; the interpreter reports the error at run time.
+        assert!(matches!(simplify_expr(&e), Expr::Binary { .. }));
+    }
+
+    #[test]
+    fn simplify_preserves_var_semantics() {
+        let v = var("n");
+        let e = v.expr() * 1 + 0;
+        assert_eq!(simplify_expr(&e), v.expr());
+    }
+}

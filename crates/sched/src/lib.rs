@@ -1,0 +1,34 @@
+//! Hidet's schedulers (paper §4 and §5.1–5.2).
+//!
+//! This crate turns fused sub-graphs into `hidet-ir` kernels:
+//!
+//! * [`templates::matmul`] — the **template-based** matmul schedule written in
+//!   the task-mapping paradigm: block/warp/thread task mappings, predicated
+//!   (partial-tile) loads, optional **double buffering** (paper Fig. 5) and
+//!   **parallel-k reduction** (§6.3.4);
+//! * [`templates::reduce`] — the reduction template covering softmax,
+//!   layernorm and global pooling (the paper ships exactly these two
+//!   templates, §6.1 "Implementation");
+//! * [`rule_based`] — rule-based scheduling for operators without reductions
+//!   (§5.1.3), translating computation definitions directly into kernels, and
+//!   direct window-loop schedules for pooling/depthwise convolution;
+//! * [`space`] — the **hardware-centric schedule space** (§4.3): ~180 tile
+//!   configurations aligned to hardware limits, independent of input sizes;
+//! * [`fusion`] — **post-scheduling fusion** (§4.2/§5.2): prologues are
+//!   inlined into the scheduled anchor's input loads, epilogues into its
+//!   output stores, with index remapping through bijective operators;
+//! * [`tuner`] — exhaustive enumeration of the (small) space with the
+//!   simulator's cost model, reporting the simulated tuning cost the paper
+//!   plots in Fig. 17.
+
+pub mod fusion;
+pub mod rule_based;
+pub mod space;
+pub mod templates;
+pub mod tuner;
+
+pub use fusion::{compile_group, CompiledGroup, Epilogue, GroupSchedule, Prologue};
+pub use space::{matmul_space, reduce_space, MatmulConfig, ReduceConfig};
+pub use templates::matmul::{matmul_kernel, MatmulIo, MatmulProblem, Sink, Source};
+pub use templates::reduce::{reduce_kernel, ReduceIo, RowReduceKind};
+pub use tuner::{pick_reduce_config, tune_matmul, TuneReport, SECONDS_PER_TRIAL};

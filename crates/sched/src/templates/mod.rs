@@ -1,0 +1,9 @@
+//! Template-based scheduling (paper §5.1.3).
+//!
+//! The paper implements exactly two schedule templates — matrix multiplication
+//! and reduction — and covers every operator in the evaluated models with
+//! them (plus rule-based scheduling and post-scheduling fusion). So does this
+//! reproduction.
+
+pub mod matmul;
+pub mod reduce;

@@ -1,0 +1,665 @@
+//! Functional interpreter for `hidet-ir` kernels.
+//!
+//! Thread blocks execute sequentially over the grid (dispatch order does not
+//! affect functional results for well-formed kernels, whose blocks write
+//! disjoint output regions). Within a block, execution is *lockstep* across
+//! `__syncthreads()` barriers: any statement whose subtree contains a barrier
+//! is executed one step at a time for all threads (the paper's kernels have
+//! uniform control flow around barriers, which the interpreter validates);
+//! barrier-free subtrees run each thread to completion independently.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use hidet_ir::buffer::BufferRef;
+use hidet_ir::{Expr, Kernel, MemScope, Stmt, Var};
+
+use crate::memory::DeviceMemory;
+use crate::spec::GpuSpec;
+use crate::value::Value;
+
+/// Errors produced by the simulator (interpreter and cost model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A kernel parameter has no corresponding buffer in device memory.
+    MissingBuffer(String),
+    /// A device buffer has the wrong number of elements for its parameter.
+    BufferSizeMismatch {
+        /// Buffer name.
+        name: String,
+        /// Elements the kernel expects.
+        expected: usize,
+        /// Elements actually allocated.
+        actual: usize,
+    },
+    /// An access index fell outside a buffer dimension.
+    OutOfBounds {
+        /// Buffer name.
+        buffer: String,
+        /// Dimension of the offending index.
+        dim: usize,
+        /// The index value.
+        index: i64,
+        /// The dimension extent.
+        extent: i64,
+    },
+    /// Integer division or modulo by zero.
+    DivByZero,
+    /// An unbound variable was referenced.
+    UnboundVar(String),
+    /// A type error (e.g. boolean used as an index).
+    TypeError(String),
+    /// Threads disagreed on a loop extent or branch condition that encloses a
+    /// barrier — undefined behaviour on real hardware, an error here.
+    NonUniformControl(String),
+    /// The kernel exceeds a device resource limit and cannot launch.
+    ResourceLimit(String),
+    /// A loop extent is not a compile-time constant where one is required.
+    NonConstExtent(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingBuffer(name) => write!(f, "no device buffer named {name}"),
+            SimError::BufferSizeMismatch { name, expected, actual } => write!(
+                f,
+                "buffer {name} has {actual} elements but the kernel expects {expected}"
+            ),
+            SimError::OutOfBounds { buffer, dim, index, extent } => write!(
+                f,
+                "index {index} out of bounds for dimension {dim} (extent {extent}) of buffer {buffer}"
+            ),
+            SimError::DivByZero => f.write_str("integer division by zero"),
+            SimError::UnboundVar(name) => write!(f, "unbound variable {name}"),
+            SimError::TypeError(msg) => write!(f, "type error: {msg}"),
+            SimError::NonUniformControl(msg) => {
+                write!(f, "non-uniform control flow around a barrier: {msg}")
+            }
+            SimError::ResourceLimit(msg) => write!(f, "resource limit exceeded: {msg}"),
+            SimError::NonConstExtent(msg) => write!(f, "non-constant loop extent: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Executes `kernel` against `memory` on the given device.
+///
+/// See [`crate::Gpu::run`] for the error contract.
+pub fn run_kernel(
+    kernel: &Kernel,
+    memory: &mut DeviceMemory,
+    spec: &GpuSpec,
+) -> Result<(), SimError> {
+    // Launch validation.
+    if kernel.shared_bytes() > spec.shared_mem_per_block {
+        return Err(SimError::ResourceLimit(format!(
+            "kernel {} needs {} B of shared memory; device allows {} B per block",
+            kernel.name(),
+            kernel.shared_bytes(),
+            spec.shared_mem_per_block
+        )));
+    }
+    if kernel.launch().block_dim > spec.max_threads_per_sm as i64 {
+        return Err(SimError::ResourceLimit(format!(
+            "block of {} threads exceeds {} threads per SM",
+            kernel.launch().block_dim,
+            spec.max_threads_per_sm
+        )));
+    }
+    for param in kernel.params() {
+        let expected = param.num_elements() as usize;
+        let actual = memory
+            .get(param.name())
+            .ok_or_else(|| SimError::MissingBuffer(param.name().to_string()))?
+            .len();
+        if actual != expected {
+            return Err(SimError::BufferSizeMismatch {
+                name: param.name().to_string(),
+                expected,
+                actual,
+            });
+        }
+    }
+    let launch = kernel.launch();
+    let body = kernel.body().clone();
+    for block in 0..launch.grid_dim {
+        let mut ctx = BlockCtx::new(kernel, block, memory);
+        ctx.exec(&body)?;
+    }
+    Ok(())
+}
+
+/// Per-thread variable environment with truncate-based scoping.
+#[derive(Debug, Default, Clone)]
+struct Env {
+    bindings: Vec<(String, Value)>,
+}
+
+impl Env {
+    fn lookup(&self, name: &str) -> Option<Value> {
+        self.bindings
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    fn push(&mut self, name: &str, value: Value) {
+        self.bindings.push((name.to_string(), value));
+    }
+
+    fn set(&mut self, slot: usize, value: Value) {
+        self.bindings[slot].1 = value;
+    }
+
+    fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    fn truncate(&mut self, len: usize) {
+        self.bindings.truncate(len);
+    }
+}
+
+struct BlockCtx<'a> {
+    kernel: &'a Kernel,
+    block: i64,
+    block_dim: usize,
+    global: &'a mut DeviceMemory,
+    shared: HashMap<String, Vec<f32>>,
+    locals: Vec<HashMap<String, Vec<f32>>>,
+    envs: Vec<Env>,
+}
+
+impl<'a> BlockCtx<'a> {
+    fn new(kernel: &'a Kernel, block: i64, global: &'a mut DeviceMemory) -> BlockCtx<'a> {
+        let block_dim = kernel.launch().block_dim as usize;
+        let shared = kernel
+            .shared_buffers()
+            .iter()
+            .map(|b| (b.name().to_string(), vec![0.0f32; b.num_elements() as usize]))
+            .collect();
+        let locals = (0..block_dim)
+            .map(|_| {
+                kernel
+                    .local_buffers()
+                    .iter()
+                    .map(|b| (b.name().to_string(), vec![0.0f32; b.num_elements() as usize]))
+                    .collect()
+            })
+            .collect();
+        BlockCtx {
+            kernel,
+            block,
+            block_dim,
+            global,
+            shared,
+            locals,
+            envs: vec![Env::default(); block_dim],
+        }
+    }
+
+    /// Executes a statement for all threads of the block.
+    fn exec(&mut self, stmt: &Stmt) -> Result<(), SimError> {
+        if !stmt.contains_sync() {
+            for tid in 0..self.block_dim {
+                self.exec_thread(stmt, tid)?;
+            }
+            return Ok(());
+        }
+        // Lockstep path: the subtree contains a barrier.
+        match stmt {
+            Stmt::Seq(items) => {
+                let marks: Vec<usize> = self.envs.iter().map(Env::len).collect();
+                for item in items {
+                    self.exec(item)?;
+                }
+                for (env, mark) in self.envs.iter_mut().zip(marks) {
+                    env.truncate(mark);
+                }
+                Ok(())
+            }
+            Stmt::For { var, extent, body, .. } => {
+                let n = self.uniform_int(extent, "loop extent")?;
+                let slots: Vec<usize> = self.envs.iter().map(Env::len).collect();
+                for env in &mut self.envs {
+                    env.push(var.name(), Value::I64(0));
+                }
+                for i in 0..n {
+                    for (env, &slot) in self.envs.iter_mut().zip(&slots) {
+                        env.set(slot, Value::I64(i));
+                    }
+                    self.exec(body)?;
+                }
+                for (env, slot) in self.envs.iter_mut().zip(slots) {
+                    env.truncate(slot);
+                }
+                Ok(())
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                let taken = self.uniform_bool(cond)?;
+                if taken {
+                    self.exec(then_body)
+                } else if let Some(e) = else_body {
+                    self.exec(e)
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::SyncThreads => Ok(()), // lockstep already synchronizes
+            // Leaves never contain a sync, so this is unreachable.
+            _ => unreachable!("leaf statement flagged as containing a barrier"),
+        }
+    }
+
+    /// Executes a barrier-free statement for one thread to completion.
+    fn exec_thread(&mut self, stmt: &Stmt, tid: usize) -> Result<(), SimError> {
+        match stmt {
+            Stmt::Seq(items) => {
+                let mark = self.envs[tid].len();
+                for item in items {
+                    self.exec_thread(item, tid)?;
+                }
+                self.envs[tid].truncate(mark);
+                Ok(())
+            }
+            Stmt::For { var, extent, body, .. } => {
+                let n = self
+                    .eval(extent, tid)?
+                    .as_i64()
+                    .ok_or_else(|| SimError::TypeError("loop extent must be integer".into()))?;
+                let slot = self.envs[tid].len();
+                self.envs[tid].push(var.name(), Value::I64(0));
+                for i in 0..n {
+                    self.envs[tid].set(slot, Value::I64(i));
+                    self.exec_thread(body, tid)?;
+                }
+                self.envs[tid].truncate(slot);
+                Ok(())
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                let taken = self
+                    .eval(cond, tid)?
+                    .as_bool()
+                    .ok_or_else(|| SimError::TypeError("condition must be boolean".into()))?;
+                if taken {
+                    self.exec_thread(then_body, tid)
+                } else if let Some(e) = else_body {
+                    self.exec_thread(e, tid)
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::Let { var, value } => {
+                let v = self.eval(value, tid)?;
+                self.envs[tid].push(var.name(), v);
+                Ok(())
+            }
+            Stmt::Store { buffer, indices, value } => {
+                let flat = self.flat_index(buffer, indices, tid)?;
+                let v = self
+                    .eval(value, tid)?
+                    .cast(buffer.dtype())
+                    .as_f32()
+                    .ok_or_else(|| SimError::TypeError("stored value must be numeric".into()))?;
+                let storage = self.storage_mut(buffer, tid)?;
+                storage[flat] = v;
+                Ok(())
+            }
+            Stmt::SyncThreads => unreachable!("barrier in thread-local path"),
+            Stmt::Nop | Stmt::Comment(_) => Ok(()),
+        }
+    }
+
+    fn eval(&self, expr: &Expr, tid: usize) -> Result<Value, SimError> {
+        match expr {
+            Expr::Int(v) => Ok(Value::I64(*v)),
+            Expr::Float(v) => Ok(Value::F32(*v)),
+            Expr::Bool(v) => Ok(Value::Bool(*v)),
+            Expr::ThreadIdx => Ok(Value::I64(tid as i64)),
+            Expr::BlockIdx => Ok(Value::I64(self.block)),
+            Expr::Var(v) => self.lookup(v, tid),
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self.eval(lhs, tid)?;
+                let b = self.eval(rhs, tid)?;
+                Value::binary(*op, a, b).ok_or(SimError::DivByZero)
+            }
+            Expr::Unary { op, operand } => {
+                let v = self.eval(operand, tid)?;
+                Value::unary(*op, v)
+                    .ok_or_else(|| SimError::TypeError(format!("cannot apply {op:?}")))
+            }
+            Expr::Cast { dtype, value } => Ok(self.eval(value, tid)?.cast(*dtype)),
+            Expr::Select { cond, then_value, else_value } => {
+                let c = self
+                    .eval(cond, tid)?
+                    .as_bool()
+                    .ok_or_else(|| SimError::TypeError("select condition must be boolean".into()))?;
+                if c {
+                    self.eval(then_value, tid)
+                } else {
+                    self.eval(else_value, tid)
+                }
+            }
+            Expr::Load { buffer, indices } => {
+                let flat = self.flat_index(buffer, indices, tid)?;
+                let storage = self.storage(buffer, tid)?;
+                Ok(Value::F32(storage[flat]))
+            }
+        }
+    }
+
+    fn lookup(&self, var: &Var, tid: usize) -> Result<Value, SimError> {
+        self.envs[tid]
+            .lookup(var.name())
+            .ok_or_else(|| SimError::UnboundVar(var.name().to_string()))
+    }
+
+    fn flat_index(
+        &self,
+        buffer: &BufferRef,
+        indices: &[Expr],
+        tid: usize,
+    ) -> Result<usize, SimError> {
+        let shape = buffer.shape();
+        let mut flat: i64 = 0;
+        for (dim, (idx_expr, &extent)) in indices.iter().zip(shape).enumerate() {
+            let idx = self
+                .eval(idx_expr, tid)?
+                .as_i64()
+                .ok_or_else(|| SimError::TypeError("index must be integer".into()))?;
+            if idx < 0 || idx >= extent {
+                return Err(SimError::OutOfBounds {
+                    buffer: buffer.name().to_string(),
+                    dim,
+                    index: idx,
+                    extent,
+                });
+            }
+            flat = flat * extent + idx;
+        }
+        Ok(flat as usize)
+    }
+
+    fn storage(&self, buffer: &BufferRef, tid: usize) -> Result<&[f32], SimError> {
+        match buffer.scope() {
+            MemScope::Global => self
+                .global
+                .get(buffer.name())
+                .ok_or_else(|| SimError::MissingBuffer(buffer.name().to_string())),
+            MemScope::Shared => self
+                .shared
+                .get(buffer.name())
+                .map(Vec::as_slice)
+                .ok_or_else(|| SimError::MissingBuffer(buffer.name().to_string())),
+            MemScope::Register => self.locals[tid]
+                .get(buffer.name())
+                .map(Vec::as_slice)
+                .ok_or_else(|| SimError::MissingBuffer(buffer.name().to_string())),
+        }
+    }
+
+    fn storage_mut(&mut self, buffer: &BufferRef, tid: usize) -> Result<&mut [f32], SimError> {
+        match buffer.scope() {
+            MemScope::Global => self
+                .global
+                .get_mut(buffer.name())
+                .map(Vec::as_mut_slice)
+                .ok_or_else(|| SimError::MissingBuffer(buffer.name().to_string())),
+            MemScope::Shared => self
+                .shared
+                .get_mut(buffer.name())
+                .map(Vec::as_mut_slice)
+                .ok_or_else(|| SimError::MissingBuffer(buffer.name().to_string())),
+            MemScope::Register => self.locals[tid]
+                .get_mut(buffer.name())
+                .map(Vec::as_mut_slice)
+                .ok_or_else(|| SimError::MissingBuffer(buffer.name().to_string())),
+        }
+    }
+
+    /// Evaluates `expr` for every thread and requires agreement.
+    fn uniform_int(&self, expr: &Expr, what: &str) -> Result<i64, SimError> {
+        let first = self
+            .eval(expr, 0)?
+            .as_i64()
+            .ok_or_else(|| SimError::TypeError(format!("{what} must be integer")))?;
+        for tid in 1..self.block_dim {
+            let v = self.eval(expr, tid)?.as_i64();
+            if v != Some(first) {
+                return Err(SimError::NonUniformControl(format!(
+                    "{what} {expr} differs across threads in kernel {}",
+                    self.kernel.name()
+                )));
+            }
+        }
+        Ok(first)
+    }
+
+    fn uniform_bool(&self, expr: &Expr) -> Result<bool, SimError> {
+        let first = self
+            .eval(expr, 0)?
+            .as_bool()
+            .ok_or_else(|| SimError::TypeError("condition must be boolean".into()))?;
+        for tid in 1..self.block_dim {
+            let v = self.eval(expr, tid)?.as_bool();
+            if v != Some(first) {
+                return Err(SimError::NonUniformControl(format!(
+                    "branch condition {expr} differs across threads in kernel {}",
+                    self.kernel.name()
+                )));
+            }
+        }
+        Ok(first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidet_ir::prelude::*;
+
+    fn run(kernel: &Kernel, mem: &mut DeviceMemory) -> Result<(), SimError> {
+        run_kernel(kernel, mem, &GpuSpec::rtx3090())
+    }
+
+    #[test]
+    fn elementwise_double() {
+        let mut kb = KernelBuilder::new("double", 2, 4);
+        let x = kb.param("X", DType::F32, &[8]);
+        let i = block_idx() * 4 + thread_idx();
+        kb.push(store(&x, vec![i.clone()], load(&x, vec![i]) * 2.0f32));
+        let kernel = kb.build();
+        let mut mem = DeviceMemory::new();
+        mem.alloc("X", &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        run(&kernel, &mut mem).unwrap();
+        assert_eq!(mem.read("X"), &[2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn shared_memory_reversal_with_barrier() {
+        // Each thread writes smem[t], barrier, reads smem[blockDim-1-t].
+        let mut kb = KernelBuilder::new("reverse", 1, 8);
+        let x = kb.param("X", DType::F32, &[8]);
+        let y = kb.param("Y", DType::F32, &[8]);
+        let s = kb.shared("S", DType::F32, &[8]);
+        kb.push(store(&s, vec![thread_idx()], load(&x, vec![thread_idx()])));
+        kb.push(sync_threads());
+        kb.push(store(&y, vec![thread_idx()], load(&s, vec![c(7) - thread_idx()])));
+        let kernel = kb.build();
+        let mut mem = DeviceMemory::new();
+        mem.alloc("X", &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        mem.alloc_zeroed("Y", 8);
+        run(&kernel, &mut mem).unwrap();
+        assert_eq!(mem.read("Y"), &[7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn register_buffers_are_private_per_thread() {
+        let mut kb = KernelBuilder::new("private", 1, 4);
+        let y = kb.param("Y", DType::F32, &[4]);
+        let r = kb.local("R", DType::F32, &[1]);
+        kb.push(store(&r, vec![c(0)], thread_idx().cast(DType::F32)));
+        kb.push(store(&y, vec![thread_idx()], load(&r, vec![c(0)])));
+        let kernel = kb.build();
+        let mut mem = DeviceMemory::new();
+        mem.alloc_zeroed("Y", 4);
+        run(&kernel, &mut mem).unwrap();
+        assert_eq!(mem.read("Y"), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn loop_accumulation() {
+        let mut kb = KernelBuilder::new("sum", 1, 1);
+        let y = kb.param("Y", DType::F32, &[1]);
+        kb.push(store(&y, vec![c(0)], fconst(0.0)));
+        kb.push(for_range("i", 5, |i| {
+            store(&y, vec![c(0)], load(&y, vec![c(0)]) + i.cast(DType::F32))
+        }));
+        let kernel = kb.build();
+        let mut mem = DeviceMemory::new();
+        mem.alloc_zeroed("Y", 1);
+        run(&kernel, &mut mem).unwrap();
+        assert_eq!(mem.read("Y"), &[10.0]);
+    }
+
+    #[test]
+    fn let_bindings_scope_within_seq() {
+        let mut kb = KernelBuilder::new("lets", 1, 2);
+        let y = kb.param("Y", DType::F32, &[2]);
+        let v = var("v");
+        kb.push(seq(vec![
+            let_(&v, thread_idx() * 10),
+            store(&y, vec![thread_idx()], v.expr().cast(DType::F32)),
+        ]));
+        let kernel = kb.build();
+        let mut mem = DeviceMemory::new();
+        mem.alloc_zeroed("Y", 2);
+        run(&kernel, &mut mem).unwrap();
+        assert_eq!(mem.read("Y"), &[0.0, 10.0]);
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let mut kb = KernelBuilder::new("oob", 1, 4);
+        let x = kb.param("X", DType::F32, &[2]);
+        kb.push(store(&x, vec![thread_idx()], fconst(1.0)));
+        let kernel = kb.build();
+        let mut mem = DeviceMemory::new();
+        mem.alloc_zeroed("X", 2);
+        let err = run(&kernel, &mut mem).unwrap_err();
+        assert!(matches!(err, SimError::OutOfBounds { .. }), "{err}");
+    }
+
+    #[test]
+    fn predicated_store_stays_in_bounds() {
+        let mut kb = KernelBuilder::new("pred", 1, 4);
+        let x = kb.param("X", DType::F32, &[2]);
+        kb.push(if_then(
+            thread_idx().lt(2),
+            store(&x, vec![thread_idx()], fconst(1.0)),
+        ));
+        let kernel = kb.build();
+        let mut mem = DeviceMemory::new();
+        mem.alloc_zeroed("X", 2);
+        run(&kernel, &mut mem).unwrap();
+        assert_eq!(mem.read("X"), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn missing_buffer_reported() {
+        let mut kb = KernelBuilder::new("k", 1, 1);
+        kb.param("X", DType::F32, &[1]);
+        let kernel = kb.build();
+        let mut mem = DeviceMemory::new();
+        let err = run(&kernel, &mut mem).unwrap_err();
+        assert_eq!(err, SimError::MissingBuffer("X".to_string()));
+    }
+
+    #[test]
+    fn size_mismatch_reported() {
+        let mut kb = KernelBuilder::new("k", 1, 1);
+        kb.param("X", DType::F32, &[4]);
+        let kernel = kb.build();
+        let mut mem = DeviceMemory::new();
+        mem.alloc_zeroed("X", 2);
+        let err = run(&kernel, &mut mem).unwrap_err();
+        assert!(matches!(err, SimError::BufferSizeMismatch { .. }));
+    }
+
+    #[test]
+    fn non_uniform_extent_around_barrier_rejected() {
+        // for i in 0..threadIdx { sync } — thread-dependent extent around a barrier.
+        let mut kb = KernelBuilder::new("bad", 1, 4);
+        kb.param("X", DType::F32, &[1]);
+        kb.push(for_range("i", thread_idx(), |_| sync_threads()));
+        let kernel = kb.build();
+        let mut mem = DeviceMemory::new();
+        mem.alloc_zeroed("X", 1);
+        let err = run(&kernel, &mut mem).unwrap_err();
+        assert!(matches!(err, SimError::NonUniformControl(_)), "{err}");
+    }
+
+    #[test]
+    fn shared_memory_limit_enforced() {
+        let mut kb = KernelBuilder::new("big", 1, 32);
+        kb.param("X", DType::F32, &[1]);
+        kb.shared("S", DType::F32, &[64 * 1024]); // 256 KiB > limit
+        let kernel = kb.build();
+        let mut mem = DeviceMemory::new();
+        mem.alloc_zeroed("X", 1);
+        let err = run(&kernel, &mut mem).unwrap_err();
+        assert!(matches!(err, SimError::ResourceLimit(_)), "{err}");
+    }
+
+    #[test]
+    fn double_buffered_pipeline_is_functionally_correct() {
+        // A miniature double-buffered sum over 4 tiles of 8 elements:
+        // smem[2][8], preload tile 0, then overlap "load next" and "consume".
+        let mut kb = KernelBuilder::new("dbuf", 1, 8);
+        let x = kb.param("X", DType::F32, &[32]);
+        let y = kb.param("Y", DType::F32, &[8]);
+        let s = kb.shared("S", DType::F32, &[2, 8]);
+        let r = kb.local("Acc", DType::F32, &[1]);
+        let t = thread_idx();
+        kb.push(store(&r, vec![c(0)], fconst(0.0)));
+        kb.push(store(&s, vec![c(0), t.clone()], load(&x, vec![t.clone()])));
+        kb.push(sync_threads());
+        kb.push(for_range("k", 3, |k| {
+            let p = k.clone() % 2;
+            let q = (k.clone() + 1) % 2;
+            seq(vec![
+                // Preload next tile into the other buffer.
+                store(
+                    &s,
+                    vec![q, t.clone()],
+                    load(&x, vec![(k.clone() + 1) * 8 + t.clone()]),
+                ),
+                // Consume the current buffer.
+                store(
+                    &r,
+                    vec![c(0)],
+                    load(&r, vec![c(0)]) + load(&s, vec![p, t.clone()]),
+                ),
+                sync_threads(),
+            ])
+        }));
+        kb.push(store(
+            &r,
+            vec![c(0)],
+            load(&r, vec![c(0)]) + load(&s, vec![c(3) % 2, t.clone()]),
+        ));
+        kb.push(store(&y, vec![t.clone()], load(&r, vec![c(0)])));
+        let kernel = kb.build();
+        let mut mem = DeviceMemory::new();
+        let xs: Vec<f32> = (0..32).map(|i| i as f32).collect();
+        mem.alloc("X", &xs);
+        mem.alloc_zeroed("Y", 8);
+        run(&kernel, &mut mem).unwrap();
+        // Thread t sums x[t], x[8+t], x[16+t], x[24+t] = 4t + 48.
+        let expect: Vec<f32> = (0..8).map(|t| 4.0 * t as f32 + 48.0).collect();
+        assert_eq!(mem.read("Y"), &expect[..]);
+    }
+}

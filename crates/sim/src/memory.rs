@@ -1,0 +1,101 @@
+//! Simulated device global memory: named flat `f32` buffers.
+//!
+//! All tensor element types evaluate in `f32` precision in the simulator
+//! (`F16` buffers still *account* as 2 bytes/element in the cost model); index
+//! and predicate types never live in buffers in the kernels this project
+//! generates.
+
+use std::collections::HashMap;
+
+/// Named global-memory buffers, keyed by kernel parameter name.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceMemory {
+    buffers: HashMap<String, Vec<f32>>,
+}
+
+impl DeviceMemory {
+    /// An empty device memory.
+    pub fn new() -> DeviceMemory {
+        DeviceMemory::default()
+    }
+
+    /// Allocates (or replaces) a buffer with the given contents.
+    pub fn alloc(&mut self, name: &str, data: &[f32]) {
+        self.buffers.insert(name.to_string(), data.to_vec());
+    }
+
+    /// Allocates a zero-filled buffer of `len` elements.
+    pub fn alloc_zeroed(&mut self, name: &str, len: usize) {
+        self.buffers.insert(name.to_string(), vec![0.0; len]);
+    }
+
+    /// Reads a buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer does not exist; use [`DeviceMemory::get`] for a
+    /// fallible lookup.
+    pub fn read(&self, name: &str) -> &[f32] {
+        self.get(name)
+            .unwrap_or_else(|| panic!("no buffer named {name} in device memory"))
+    }
+
+    /// Fallible buffer lookup.
+    pub fn get(&self, name: &str) -> Option<&[f32]> {
+        self.buffers.get(name).map(Vec::as_slice)
+    }
+
+    /// Mutable fallible lookup.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Vec<f32>> {
+        self.buffers.get_mut(name)
+    }
+
+    /// True if a buffer with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.buffers.contains_key(name)
+    }
+
+    /// Removes a buffer, returning its contents.
+    pub fn free(&mut self, name: &str) -> Option<Vec<f32>> {
+        self.buffers.remove(name)
+    }
+
+    /// Names of all resident buffers (unordered).
+    pub fn buffer_names(&self) -> impl Iterator<Item = &str> {
+        self.buffers.keys().map(String::as_str)
+    }
+
+    /// Total resident bytes (4 bytes per element).
+    pub fn total_bytes(&self) -> usize {
+        self.buffers.values().map(|b| b.len() * 4).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_read_roundtrip() {
+        let mut m = DeviceMemory::new();
+        m.alloc("A", &[1.0, 2.0]);
+        assert_eq!(m.read("A"), &[1.0, 2.0]);
+        assert!(m.contains("A"));
+        assert!(!m.contains("B"));
+    }
+
+    #[test]
+    fn alloc_zeroed_and_free() {
+        let mut m = DeviceMemory::new();
+        m.alloc_zeroed("A", 4);
+        assert_eq!(m.read("A"), &[0.0; 4]);
+        assert_eq!(m.total_bytes(), 16);
+        assert_eq!(m.free("A"), Some(vec![0.0; 4]));
+        assert!(m.get("A").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no buffer named")]
+    fn read_missing_panics() {
+        DeviceMemory::new().read("missing");
+    }
+}

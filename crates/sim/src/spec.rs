@@ -1,0 +1,136 @@
+//! GPU device specifications.
+
+/// Architectural parameters of a simulated GPU.
+///
+/// The defaults model an NVIDIA RTX 3090 (GA102), the device used throughout
+/// the paper's evaluation (§6.1). All limits that constrain *occupancy* —
+/// shared memory, register file, warp slots, resident blocks — are included
+/// because the hardware-centric schedule space is built around them (§4.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident thread blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Shared memory per SM in bytes.
+    pub shared_mem_per_sm: u64,
+    /// Shared memory limit per thread block in bytes.
+    pub shared_mem_per_block: u64,
+    /// 32-bit registers per SM.
+    pub registers_per_sm: u64,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// DRAM bandwidth in GB/s.
+    pub dram_bandwidth_gbps: f64,
+    /// Peak FP32 throughput on CUDA cores, in TFLOP/s.
+    pub fp32_tflops: f64,
+    /// Peak FP16/TF32 throughput on Tensor Cores, in TFLOP/s.
+    pub tensor_tflops: f64,
+    /// Aggregate shared-memory bandwidth in GB/s (all SMs).
+    pub smem_bandwidth_gbps: f64,
+    /// Fixed kernel launch overhead in seconds.
+    pub launch_overhead_s: f64,
+    /// Number of SMs that must be reading before DRAM bandwidth saturates.
+    pub bandwidth_saturation_sms: u32,
+}
+
+impl GpuSpec {
+    /// The paper's evaluation GPU: NVIDIA GeForce RTX 3090.
+    ///
+    /// Sources for the constants: GA102 whitepaper (82 SMs, 936 GB/s GDDR6X,
+    /// 35.6 FP32 TFLOP/s, 71 FP16 Tensor TFLOP/s dense, 128 KB combined
+    /// L1/shared per SM, 64K registers per SM, 1.70 GHz boost).
+    pub fn rtx3090() -> GpuSpec {
+        GpuSpec {
+            name: "NVIDIA GeForce RTX 3090 (simulated)".to_string(),
+            num_sms: 82,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 16,
+            shared_mem_per_sm: 100 * 1024,
+            shared_mem_per_block: 99 * 1024,
+            registers_per_sm: 65536,
+            warp_size: 32,
+            clock_ghz: 1.70,
+            dram_bandwidth_gbps: 936.0,
+            fp32_tflops: 35.6,
+            tensor_tflops: 71.0,
+            // 128 B/clk/SM with dual-issued 128-bit vector accesses
+            // (LDS.128): 256 B/clk effective x 82 SMs x 1.7 GHz.
+            smem_bandwidth_gbps: 35_600.0,
+            launch_overhead_s: 4.0e-6,
+            bandwidth_saturation_sms: 24,
+        }
+    }
+
+    /// A small, laptop-class device — useful in tests for exercising
+    /// occupancy limits with tiny kernels.
+    pub fn tiny() -> GpuSpec {
+        GpuSpec {
+            name: "tiny test GPU".to_string(),
+            num_sms: 4,
+            max_threads_per_sm: 512,
+            max_blocks_per_sm: 4,
+            shared_mem_per_sm: 32 * 1024,
+            shared_mem_per_block: 16 * 1024,
+            registers_per_sm: 16384,
+            warp_size: 32,
+            clock_ghz: 1.0,
+            dram_bandwidth_gbps: 50.0,
+            fp32_tflops: 1.0,
+            tensor_tflops: 2.0,
+            smem_bandwidth_gbps: 500.0,
+            launch_overhead_s: 4.0e-6,
+            bandwidth_saturation_sms: 2,
+        }
+    }
+
+    /// Peak FP32 FLOP/s (not TFLOP/s).
+    pub fn fp32_flops(&self) -> f64 {
+        self.fp32_tflops * 1e12
+    }
+
+    /// Peak Tensor-Core FLOP/s.
+    pub fn tensor_flops(&self) -> f64 {
+        self.tensor_tflops * 1e12
+    }
+
+    /// DRAM bandwidth in bytes/s.
+    pub fn dram_bytes_per_s(&self) -> f64 {
+        self.dram_bandwidth_gbps * 1e9
+    }
+
+    /// Shared-memory bandwidth in bytes/s.
+    pub fn smem_bytes_per_s(&self) -> f64 {
+        self.smem_bandwidth_gbps * 1e9
+    }
+}
+
+impl Default for GpuSpec {
+    fn default() -> GpuSpec {
+        GpuSpec::rtx3090()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtx3090_constants() {
+        let g = GpuSpec::rtx3090();
+        assert_eq!(g.num_sms, 82);
+        assert!(g.dram_bytes_per_s() > 9e11);
+        assert!(g.tensor_flops() > g.fp32_flops());
+    }
+
+    #[test]
+    fn default_is_rtx3090() {
+        assert_eq!(GpuSpec::default(), GpuSpec::rtx3090());
+    }
+}

@@ -1,0 +1,153 @@
+//! Validation of task-mapping coverage properties.
+//!
+//! A *valid* scheduling mapping must cover every task at least once; most useful
+//! mappings cover every task **exactly** once (a partition of the task domain).
+//! Custom mappings may violate either, so [`TaskMapping::check`] reports the
+//! exact accounting.
+
+use std::collections::HashMap;
+
+use crate::{linearize, Task, TaskMapping};
+
+/// Coverage properties a mapping may satisfy. See [`TaskMapping::check`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingProperty {
+    /// Every task in the domain is executed by at least one worker.
+    Complete,
+    /// No task is executed more than once across all workers.
+    Disjoint,
+    /// Every worker executes the same number of tasks.
+    Uniform,
+    /// `Complete` + `Disjoint`: the mapping partitions the task domain.
+    Partition,
+}
+
+/// Result of validating a mapping; see [`TaskMapping::check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageReport {
+    /// Tasks never assigned to any worker.
+    pub missing: Vec<Task>,
+    /// Tasks assigned more than once, with their multiplicity.
+    pub duplicated: Vec<(Task, usize)>,
+    /// Tasks returned by the mapping that fall outside the task domain.
+    pub out_of_domain: Vec<Task>,
+    /// Minimum and maximum number of tasks per worker.
+    pub tasks_per_worker: (usize, usize),
+}
+
+impl CoverageReport {
+    /// True if `property` holds according to this report.
+    pub fn satisfies(&self, property: MappingProperty) -> bool {
+        match property {
+            MappingProperty::Complete => self.missing.is_empty() && self.out_of_domain.is_empty(),
+            MappingProperty::Disjoint => self.duplicated.is_empty(),
+            MappingProperty::Uniform => self.tasks_per_worker.0 == self.tasks_per_worker.1,
+            MappingProperty::Partition => {
+                self.satisfies(MappingProperty::Complete) && self.satisfies(MappingProperty::Disjoint)
+            }
+        }
+    }
+}
+
+impl TaskMapping {
+    /// Exhaustively validates the mapping and reports coverage statistics.
+    ///
+    /// Cost is `O(num_workers × tasks_per_worker)`; intended for tests and for
+    /// validating custom mappings at schedule-construction time, not for inner
+    /// loops.
+    ///
+    /// ```
+    /// use hidet_taskmap::{repeat, spatial, MappingProperty};
+    /// let tm = repeat(&[4, 1]) * spatial(&[16, 8]);
+    /// assert!(tm.check().satisfies(MappingProperty::Partition));
+    /// ```
+    pub fn check(&self) -> CoverageReport {
+        let shape = self.task_shape().to_vec();
+        let total = self.num_tasks();
+        let mut counts: HashMap<i64, usize> = HashMap::new();
+        let mut out_of_domain = Vec::new();
+        let mut min_per = usize::MAX;
+        let mut max_per = 0usize;
+        for w in 0..self.num_workers() {
+            let tasks = self.worker_tasks(w).collect::<Vec<_>>();
+            min_per = min_per.min(tasks.len());
+            max_per = max_per.max(tasks.len());
+            for t in tasks {
+                let in_domain = t.len() == shape.len()
+                    && t.iter().zip(&shape).all(|(i, d)| (0..*d).contains(i));
+                if in_domain {
+                    *counts.entry(linearize(&t, &shape)).or_insert(0) += 1;
+                } else {
+                    out_of_domain.push(t);
+                }
+            }
+        }
+        let mut missing = Vec::new();
+        let mut duplicated = Vec::new();
+        for flat in 0..total {
+            match counts.get(&flat).copied().unwrap_or(0) {
+                0 => missing.push(crate::delinearize(flat, &shape)),
+                1 => {}
+                n => duplicated.push((crate::delinearize(flat, &shape), n)),
+            }
+        }
+        CoverageReport {
+            missing,
+            duplicated,
+            out_of_domain,
+            tasks_per_worker: (min_per, max_per),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{repeat, spatial, TaskMapping};
+
+    #[test]
+    fn basic_mappings_are_partitions() {
+        for tm in [repeat(&[3, 5]), spatial(&[4, 2]), repeat(&[2]) * spatial(&[8])] {
+            let report = tm.check();
+            assert!(report.satisfies(MappingProperty::Partition), "{tm}");
+            assert!(report.satisfies(MappingProperty::Uniform));
+        }
+    }
+
+    #[test]
+    fn custom_mapping_with_missing_tasks_detected() {
+        let tm = TaskMapping::custom(&[2, 2], 2, |w| vec![vec![0, w]]);
+        let report = tm.check();
+        assert!(!report.satisfies(MappingProperty::Complete));
+        assert_eq!(report.missing.len(), 2); // (1,0) and (1,1) never executed
+        assert!(report.satisfies(MappingProperty::Disjoint));
+    }
+
+    #[test]
+    fn custom_mapping_with_duplicates_detected() {
+        let tm = TaskMapping::custom(&[2], 2, |_| vec![vec![0], vec![1]]);
+        let report = tm.check();
+        assert!(report.satisfies(MappingProperty::Complete));
+        assert!(!report.satisfies(MappingProperty::Disjoint));
+        assert_eq!(report.duplicated, vec![(vec![0], 2), (vec![1], 2)]);
+    }
+
+    #[test]
+    fn custom_mapping_out_of_domain_detected() {
+        let tm = TaskMapping::custom(&[2], 1, |_| vec![vec![5]]);
+        let report = tm.check();
+        assert_eq!(report.out_of_domain, vec![vec![5]]);
+        assert!(!report.satisfies(MappingProperty::Complete));
+    }
+
+    #[test]
+    fn non_uniform_custom_mapping_detected() {
+        let tm = TaskMapping::custom(&[3], 2, |w| {
+            if w == 0 { vec![vec![0], vec![1]] } else { vec![vec![2]] }
+        });
+        let report = tm.check();
+        assert!(!report.satisfies(MappingProperty::Uniform));
+        assert_eq!(report.tasks_per_worker, (1, 2));
+        assert!(report.satisfies(MappingProperty::Partition));
+    }
+}

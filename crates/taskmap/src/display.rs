@@ -1,0 +1,42 @@
+//! `Display` renders mappings in the paper's notation, e.g.
+//! `repeat(4, 1) * spatial(16, 8)`.
+
+use std::fmt;
+
+use crate::{TaskMapping, TaskMappingKind};
+
+impl fmt::Display for TaskMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn shape_list(shape: &[i64]) -> String {
+            shape.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(", ")
+        }
+        match self.kind() {
+            TaskMappingKind::Repeat { shape } => write!(f, "repeat({})", shape_list(shape)),
+            TaskMappingKind::Spatial { shape } => write!(f, "spatial({})", shape_list(shape)),
+            TaskMappingKind::Compose { outer, inner } => write!(f, "{outer} * {inner}"),
+            TaskMappingKind::Custom { shape, workers, .. } => {
+                write!(f, "custom(shape=[{}], workers={workers})", shape_list(shape))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{repeat, spatial, TaskMapping};
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let tm = spatial(&[4, 2]) * repeat(&[2, 2]) * spatial(&[4, 8]) * repeat(&[4, 4]);
+        assert_eq!(
+            tm.to_string(),
+            "spatial(4, 2) * repeat(2, 2) * spatial(4, 8) * repeat(4, 4)"
+        );
+    }
+
+    #[test]
+    fn display_custom_is_nonempty() {
+        let tm = TaskMapping::custom(&[2], 2, |w| vec![vec![w]]);
+        assert_eq!(tm.to_string(), "custom(shape=[2], workers=2)");
+    }
+}

@@ -1,0 +1,116 @@
+//! Iterators over task assignments.
+
+use crate::{Task, TaskMapping};
+
+/// Iterator over the ordered tasks of one worker.
+///
+/// Produced by [`TaskMapping::worker_tasks`].
+#[derive(Debug, Clone)]
+pub struct WorkerTaskIter {
+    tasks: std::vec::IntoIter<Task>,
+}
+
+impl WorkerTaskIter {
+    pub(crate) fn new(tasks: Vec<Task>) -> Self {
+        WorkerTaskIter { tasks: tasks.into_iter() }
+    }
+}
+
+impl Iterator for WorkerTaskIter {
+    type Item = Task;
+
+    fn next(&mut self) -> Option<Task> {
+        self.tasks.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.tasks.size_hint()
+    }
+}
+
+impl ExactSizeIterator for WorkerTaskIter {}
+
+/// One `(worker, order, task)` triple: `worker` executes `task` as its
+/// `order`-th task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// Worker id in `0..num_workers`.
+    pub worker: i64,
+    /// Execution position within the worker's task list.
+    pub order: usize,
+    /// The task index.
+    pub task: Task,
+}
+
+/// Iterator over every assignment of a mapping, produced by
+/// [`TaskMapping::assignments`]. Workers are visited in ascending order, and
+/// each worker's tasks in execution order.
+#[derive(Debug)]
+pub struct AssignmentIter<'a> {
+    mapping: &'a TaskMapping,
+    worker: i64,
+    current: Option<(usize, std::vec::IntoIter<Task>)>,
+}
+
+impl<'a> AssignmentIter<'a> {
+    pub(crate) fn new(mapping: &'a TaskMapping) -> Self {
+        AssignmentIter { mapping, worker: 0, current: None }
+    }
+}
+
+impl Iterator for AssignmentIter<'_> {
+    type Item = Assignment;
+
+    fn next(&mut self) -> Option<Assignment> {
+        loop {
+            if let Some((order, iter)) = &mut self.current {
+                if let Some(task) = iter.next() {
+                    let a = Assignment { worker: self.worker - 1, order: *order, task };
+                    *order += 1;
+                    return Some(a);
+                }
+                self.current = None;
+            }
+            if self.worker >= self.mapping.num_workers() {
+                return None;
+            }
+            let tasks = self.mapping.mapped_tasks(self.worker);
+            self.worker += 1;
+            self.current = Some((0, tasks.into_iter()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{repeat, spatial};
+
+    #[test]
+    fn assignment_iter_visits_every_task_once_for_basic_mappings() {
+        let tm = spatial(&[2, 3]);
+        let all: Vec<Assignment> = tm.assignments().collect();
+        assert_eq!(all.len(), 6);
+        for (w, a) in all.iter().enumerate() {
+            assert_eq!(a.worker, w as i64);
+            assert_eq!(a.order, 0);
+        }
+    }
+
+    #[test]
+    fn assignment_iter_orders_within_worker() {
+        let tm = repeat(&[3]);
+        let all: Vec<Assignment> = tm.assignments().collect();
+        assert_eq!(
+            all.iter().map(|a| (a.worker, a.order)).collect::<Vec<_>>(),
+            vec![(0, 0), (0, 1), (0, 2)]
+        );
+    }
+
+    #[test]
+    fn worker_task_iter_is_exact_size() {
+        let tm = repeat(&[2, 2]) * spatial(&[2, 2]);
+        let iter = tm.worker_tasks(0);
+        assert_eq!(iter.len(), 4);
+    }
+}

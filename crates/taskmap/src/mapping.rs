@@ -1,0 +1,475 @@
+//! The [`TaskMapping`] type and its constructors.
+
+use std::ops::Mul;
+use std::sync::Arc;
+
+use crate::{delinearize, iter::WorkerTaskIter};
+
+/// A task index: one point of the task domain, `task.len()` == task dimension.
+pub type Task = Vec<i64>;
+
+/// Structural description of a task mapping.
+///
+/// Exposed so that downstream crates (the IR lowering in `hidet-ir`) can lower a
+/// mapping to loops and index arithmetic by matching on its structure.
+#[derive(Clone)]
+pub enum TaskMappingKind {
+    /// `repeat(d0, ..., dm)`: all `prod(d)` tasks on one worker, row-major order.
+    Repeat {
+        /// Task shape.
+        shape: Vec<i64>,
+    },
+    /// `spatial(d0, ..., dm)`: `prod(d)` tasks on `prod(d)` workers, one each.
+    Spatial {
+        /// Task shape (== worker grid shape).
+        shape: Vec<i64>,
+    },
+    /// `outer ∘ inner` composition (paper §5.1.2).
+    Compose {
+        /// The coarse-grained (macro-task) mapping.
+        outer: Arc<TaskMapping>,
+        /// The fine-grained mapping refining each macro-task.
+        inner: Arc<TaskMapping>,
+    },
+    /// A user-supplied mapping function (paper §5.1.1 "custom task mappings").
+    Custom {
+        /// Task shape.
+        shape: Vec<i64>,
+        /// Number of workers.
+        workers: i64,
+        /// Maps a worker id to the ordered list of its tasks.
+        func: Arc<dyn Fn(i64) -> Vec<Task> + Send + Sync>,
+    },
+}
+
+impl std::fmt::Debug for TaskMappingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskMappingKind::Repeat { shape } => f.debug_struct("Repeat").field("shape", shape).finish(),
+            TaskMappingKind::Spatial { shape } => {
+                f.debug_struct("Spatial").field("shape", shape).finish()
+            }
+            TaskMappingKind::Compose { outer, inner } => f
+                .debug_struct("Compose")
+                .field("outer", outer)
+                .field("inner", inner)
+                .finish(),
+            TaskMappingKind::Custom { shape, workers, .. } => f
+                .debug_struct("Custom")
+                .field("shape", shape)
+                .field("workers", workers)
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+/// A mapping from workers to ordered lists of tasks (paper §5.1.1).
+///
+/// See the [crate-level documentation](crate) for an overview and examples.
+#[derive(Clone, Debug)]
+pub struct TaskMapping {
+    kind: TaskMappingKind,
+    /// Cached task shape (element-wise product along compositions).
+    shape: Vec<i64>,
+    /// Cached worker count (product along compositions).
+    workers: i64,
+}
+
+impl TaskMapping {
+    /// The `repeat` basic mapping: a single worker executes the whole `shape`
+    /// grid of tasks sequentially in row-major order (paper Fig. 11 (a)).
+    ///
+    /// ```
+    /// use hidet_taskmap::TaskMapping;
+    /// let tm = TaskMapping::repeat(&[2, 2]);
+    /// assert_eq!(tm.num_workers(), 1);
+    /// let order: Vec<_> = tm.worker_tasks(0).collect();
+    /// assert_eq!(order, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `shape` is empty or any extent is non-positive.
+    pub fn repeat(shape: &[i64]) -> TaskMapping {
+        validate_shape(shape);
+        TaskMapping {
+            shape: shape.to_vec(),
+            workers: 1,
+            kind: TaskMappingKind::Repeat { shape: shape.to_vec() },
+        }
+    }
+
+    /// The `spatial` basic mapping: `prod(shape)` workers, each executing the
+    /// single task whose row-major rank equals its worker id (paper Fig. 11 (b)).
+    ///
+    /// ```
+    /// use hidet_taskmap::TaskMapping;
+    /// let tm = TaskMapping::spatial(&[2, 2]);
+    /// assert_eq!(tm.num_workers(), 4);
+    /// assert_eq!(tm.worker_tasks(3).next(), Some(vec![1, 1]));
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `shape` is empty or any extent is non-positive.
+    pub fn spatial(shape: &[i64]) -> TaskMapping {
+        validate_shape(shape);
+        TaskMapping {
+            shape: shape.to_vec(),
+            workers: shape.iter().product(),
+            kind: TaskMappingKind::Spatial { shape: shape.to_vec() },
+        }
+    }
+
+    /// A custom mapping given a task `shape`, a worker count and an explicit
+    /// worker → tasks function.
+    ///
+    /// The function must return, for every worker id in `0..workers`, the ordered
+    /// list of tasks executed by that worker; each task must lie in the task
+    /// domain. Use [`TaskMapping::check`] to validate coverage properties.
+    ///
+    /// ```
+    /// use hidet_taskmap::TaskMapping;
+    /// // Column-major assignment of 4 tasks to 4 workers.
+    /// let tm = TaskMapping::custom(&[2, 2], 4, |w| vec![vec![w % 2, w / 2]]);
+    /// assert_eq!(tm.worker_tasks(1).next(), Some(vec![1, 0]));
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `shape` is empty, any extent is non-positive, or `workers <= 0`.
+    pub fn custom<F>(shape: &[i64], workers: i64, func: F) -> TaskMapping
+    where
+        F: Fn(i64) -> Vec<Task> + Send + Sync + 'static,
+    {
+        validate_shape(shape);
+        assert!(workers > 0, "worker count must be positive, got {workers}");
+        TaskMapping {
+            shape: shape.to_vec(),
+            workers,
+            kind: TaskMappingKind::Custom {
+                shape: shape.to_vec(),
+                workers,
+                func: Arc::new(func),
+            },
+        }
+    }
+
+    /// Composes two mappings: `self` distributes macro-tasks, `inner` refines
+    /// each macro-task (paper §5.1.2).
+    ///
+    /// The result has task shape `self.shape ⊙ inner.shape` (element-wise
+    /// product) and `self.workers × inner.workers` workers. Composition is
+    /// associative; `a * b` is sugar for `a.compose(&b)`.
+    ///
+    /// # Panics
+    /// Panics if the two mappings have different task dimensions.
+    pub fn compose(&self, inner: &TaskMapping) -> TaskMapping {
+        assert_eq!(
+            self.task_dim(),
+            inner.task_dim(),
+            "cannot compose mappings of different task dimension ({} vs {})",
+            self.task_dim(),
+            inner.task_dim()
+        );
+        let shape: Vec<i64> = self
+            .shape
+            .iter()
+            .zip(&inner.shape)
+            .map(|(a, b)| a * b)
+            .collect();
+        TaskMapping {
+            shape,
+            workers: self.workers * inner.workers,
+            kind: TaskMappingKind::Compose {
+                outer: Arc::new(self.clone()),
+                inner: Arc::new(inner.clone()),
+            },
+        }
+    }
+
+    /// The task shape `d = (d0, ..., dm-1)` of the task domain.
+    pub fn task_shape(&self) -> &[i64] {
+        &self.shape
+    }
+
+    /// The task dimension `m`.
+    pub fn task_dim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// The number of workers `n`.
+    pub fn num_workers(&self) -> i64 {
+        self.workers
+    }
+
+    /// The total number of tasks `prod(task_shape)`.
+    pub fn num_tasks(&self) -> i64 {
+        self.shape.iter().product()
+    }
+
+    /// The number of tasks each worker executes, **if uniform**.
+    ///
+    /// `repeat`/`spatial` and their compositions are always uniform; custom
+    /// mappings may not be, in which case this is `num_tasks / num_workers`
+    /// rounded down (use [`TaskMapping::check`] for exact accounting).
+    pub fn tasks_per_worker(&self) -> i64 {
+        self.num_tasks() / self.workers
+    }
+
+    /// Structural view of this mapping, for lowering.
+    pub fn kind(&self) -> &TaskMappingKind {
+        &self.kind
+    }
+
+    /// The ordered tasks of `worker`, as an iterator (paper's `f(w)`).
+    ///
+    /// ```
+    /// use hidet_taskmap::TaskMapping;
+    /// let tm = TaskMapping::spatial(&[2]) * TaskMapping::repeat(&[2]) * TaskMapping::spatial(&[2]);
+    /// // Paper Fig. 12(c): worker 1 of 4 executes tasks 1 and 3 of an 8-task row.
+    /// assert_eq!(tm.worker_tasks(1).collect::<Vec<_>>(), vec![vec![1], vec![3]]);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `worker` is outside `0..num_workers()`.
+    pub fn worker_tasks(&self, worker: i64) -> WorkerTaskIter {
+        assert!(
+            (0..self.workers).contains(&worker),
+            "worker {worker} out of range 0..{}",
+            self.workers
+        );
+        WorkerTaskIter::new(self.mapped_tasks(worker))
+    }
+
+    /// The ordered tasks of `worker`, as an owned `Vec` (paper's `f(w)`).
+    pub(crate) fn mapped_tasks(&self, worker: i64) -> Vec<Task> {
+        match &self.kind {
+            TaskMappingKind::Repeat { shape } => {
+                let n: i64 = shape.iter().product();
+                (0..n).map(|flat| delinearize(flat, shape)).collect()
+            }
+            TaskMappingKind::Spatial { shape } => vec![delinearize(worker, shape)],
+            TaskMappingKind::Compose { outer, inner } => {
+                let n2 = inner.num_workers();
+                let outer_tasks = outer.mapped_tasks(worker / n2);
+                let inner_tasks = inner.mapped_tasks(worker % n2);
+                let d2 = inner.task_shape();
+                let mut out = Vec::with_capacity(outer_tasks.len() * inner_tasks.len());
+                for t1 in &outer_tasks {
+                    for t2 in &inner_tasks {
+                        out.push(
+                            t1.iter()
+                                .zip(d2)
+                                .zip(t2)
+                                .map(|((a, d), b)| a * d + b)
+                                .collect(),
+                        );
+                    }
+                }
+                out
+            }
+            TaskMappingKind::Custom { func, .. } => func(worker),
+        }
+    }
+
+    /// Iterates over all `(worker, order, task)` assignments, workers ascending.
+    pub fn assignments(&self) -> crate::iter::AssignmentIter<'_> {
+        crate::iter::AssignmentIter::new(self)
+    }
+
+    /// True if this mapping (transitively) contains a custom mapping, which
+    /// cannot be lowered to closed-form index arithmetic.
+    pub fn contains_custom(&self) -> bool {
+        match &self.kind {
+            TaskMappingKind::Custom { .. } => true,
+            TaskMappingKind::Compose { outer, inner } => {
+                outer.contains_custom() || inner.contains_custom()
+            }
+            _ => false,
+        }
+    }
+
+    /// Flattens a right-leaning composition chain into its atoms, outermost first.
+    ///
+    /// `(a * b) * c` and `a * (b * c)` both flatten to `[a, b, c]`.
+    pub fn atoms(&self) -> Vec<&TaskMapping> {
+        let mut out = Vec::new();
+        fn walk<'a>(tm: &'a TaskMapping, out: &mut Vec<&'a TaskMapping>) {
+            match &tm.kind {
+                TaskMappingKind::Compose { outer, inner } => {
+                    walk(outer, out);
+                    walk(inner, out);
+                }
+                _ => out.push(tm),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+impl Mul for TaskMapping {
+    type Output = TaskMapping;
+
+    /// `a * b` is [`TaskMapping::compose`]`(a, b)` (paper's `×` operator).
+    fn mul(self, rhs: TaskMapping) -> TaskMapping {
+        self.compose(&rhs)
+    }
+}
+
+impl Mul<&TaskMapping> for &TaskMapping {
+    type Output = TaskMapping;
+
+    fn mul(self, rhs: &TaskMapping) -> TaskMapping {
+        self.compose(rhs)
+    }
+}
+
+impl PartialEq for TaskMapping {
+    /// Extensional equality: same task shape, same worker count, and the same
+    /// ordered task list for every worker. Paper Fig. 12 relies on this notion
+    /// (e.g. associativity holds extensionally, commutativity does not).
+    fn eq(&self, other: &Self) -> bool {
+        if self.shape != other.shape || self.workers != other.workers {
+            return false;
+        }
+        (0..self.workers).all(|w| self.mapped_tasks(w) == other.mapped_tasks(w))
+    }
+}
+
+fn validate_shape(shape: &[i64]) {
+    assert!(!shape.is_empty(), "task shape must have at least one dimension");
+    for &d in shape {
+        assert!(d > 0, "task shape extents must be positive, got {shape:?}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{repeat, spatial};
+
+    #[test]
+    fn repeat_assigns_all_tasks_to_single_worker() {
+        let tm = repeat(&[2, 2]);
+        assert_eq!(tm.num_workers(), 1);
+        assert_eq!(tm.num_tasks(), 4);
+        let tasks: Vec<_> = tm.worker_tasks(0).collect();
+        assert_eq!(tasks, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn spatial_assigns_one_task_per_worker() {
+        let tm = spatial(&[2, 2]);
+        assert_eq!(tm.num_workers(), 4);
+        for w in 0..4 {
+            let tasks: Vec<_> = tm.worker_tasks(w).collect();
+            assert_eq!(tasks, vec![vec![w / 2, w % 2]]);
+        }
+    }
+
+    #[test]
+    fn fig8_cooperative_load_mapping() {
+        // repeat(4, 1) x spatial(16, 8): shape (64, 8), 128 workers,
+        // f(w) = [(w/8, w%8), (w/8+16, w%8), (w/8+32, w%8), (w/8+48, w%8)].
+        let tm = repeat(&[4, 1]) * spatial(&[16, 8]);
+        assert_eq!(tm.task_shape(), &[64, 8]);
+        assert_eq!(tm.num_workers(), 128);
+        for w in 0..128 {
+            let tasks: Vec<_> = tm.worker_tasks(w).collect();
+            let expect: Vec<Task> = (0..4).map(|r| vec![w / 8 + 16 * r, w % 8]).collect();
+            assert_eq!(tasks, expect, "worker {w}");
+        }
+    }
+
+    #[test]
+    fn fig12a_repeat_then_spatial() {
+        // repeat(1, 3) x spatial(2, 2): 2x6 grid over 4 workers,
+        // worker 0 handles (0,0),(0,2),(0,4) in order.
+        let tm = repeat(&[1, 3]) * spatial(&[2, 2]);
+        assert_eq!(tm.task_shape(), &[2, 6]);
+        let tasks: Vec<_> = tm.worker_tasks(0).collect();
+        assert_eq!(tasks, vec![vec![0, 0], vec![0, 2], vec![0, 4]]);
+    }
+
+    #[test]
+    fn fig12b_spatial_then_repeat() {
+        // spatial(2, 2) x repeat(1, 3): worker 0 handles (0,0),(0,1),(0,2).
+        let tm = spatial(&[2, 2]) * repeat(&[1, 3]);
+        assert_eq!(tm.task_shape(), &[2, 6]);
+        let tasks: Vec<_> = tm.worker_tasks(0).collect();
+        assert_eq!(tasks, vec![vec![0, 0], vec![0, 1], vec![0, 2]]);
+        // Not commutative: differs from fig12a's mapping.
+        let other = repeat(&[1, 3]) * spatial(&[2, 2]);
+        assert_ne!(tm, other);
+    }
+
+    #[test]
+    fn fig12c_three_way_composition_associative() {
+        let a = spatial(&[2]);
+        let b = repeat(&[2]);
+        let c = spatial(&[2]);
+        let left = (a.clone() * b.clone()) * c.clone();
+        let right = a * (b * c);
+        assert_eq!(left, right);
+        // Worker w of 4 executes tasks [2*(w/2)*2? ...] — check the paper's figure:
+        // workers 0..4 execute [(0),(2)], [(1),(3)], [(4),(6)], [(5),(7)].
+        let expect: [[i64; 2]; 4] = [[0, 2], [1, 3], [4, 6], [5, 7]];
+        for (w, exp) in expect.iter().enumerate() {
+            let tasks: Vec<_> = left.worker_tasks(w as i64).collect();
+            assert_eq!(tasks, exp.iter().map(|&t| vec![t]).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn fig12d_column_major() {
+        // repeat(1, 2) x repeat(2, 1): single worker, column-major order
+        // (0,0),(1,0),(0,1),(1,1).
+        let tm = repeat(&[1, 2]) * repeat(&[2, 1]);
+        let tasks: Vec<_> = tm.worker_tasks(0).collect();
+        assert_eq!(tasks, vec![vec![0, 0], vec![1, 0], vec![0, 1], vec![1, 1]]);
+    }
+
+    #[test]
+    fn matmul_cuda_core_mapping_counts() {
+        // Paper §5.1.2: spatial(4,2) * repeat(2,2) * spatial(4,8) * repeat(4,4).
+        let tm = spatial(&[4, 2]) * repeat(&[2, 2]) * spatial(&[4, 8]) * repeat(&[4, 4]);
+        assert_eq!(tm.task_shape(), &[128, 128]);
+        assert_eq!(tm.num_workers(), 256);
+        assert_eq!(tm.tasks_per_worker(), 64);
+    }
+
+    #[test]
+    fn custom_mapping_round_trip() {
+        let tm = TaskMapping::custom(&[2, 2], 4, |w| vec![vec![w % 2, w / 2]]);
+        assert_eq!(tm.worker_tasks(2).collect::<Vec<_>>(), vec![vec![0, 1]]);
+        assert!(tm.contains_custom());
+    }
+
+    #[test]
+    fn atoms_flatten_compositions() {
+        let tm = spatial(&[2]) * repeat(&[3]) * spatial(&[5]);
+        let atoms = tm.atoms();
+        assert_eq!(atoms.len(), 3);
+        assert_eq!(atoms[0].task_shape(), &[2]);
+        assert_eq!(atoms[1].task_shape(), &[3]);
+        assert_eq!(atoms[2].task_shape(), &[5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different task dimension")]
+    fn compose_dimension_mismatch_panics() {
+        let _ = repeat(&[2]) * repeat(&[2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extent_panics() {
+        let _ = repeat(&[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn worker_out_of_range_panics() {
+        let tm = spatial(&[2]);
+        let _ = tm.worker_tasks(2);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the task-mapping algebra invariants (paper §5.1).
+
+use hidet_taskmap::{repeat, spatial, MappingProperty, TaskMapping};
+use proptest::prelude::*;
+
+/// A strategy producing small random shapes of the given dimension.
+fn shape(dim: usize) -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(1i64..5, dim)
+}
+
+/// A strategy producing a random basic mapping of the given dimension.
+fn basic_mapping(dim: usize) -> impl Strategy<Value = TaskMapping> {
+    prop_oneof![
+        shape(dim).prop_map(|s| repeat(&s)),
+        shape(dim).prop_map(|s| spatial(&s)),
+    ]
+}
+
+/// Random composition of 1..=4 basic mappings, all of dimension `dim`.
+fn composed_mapping(dim: usize) -> impl Strategy<Value = TaskMapping> {
+    prop::collection::vec(basic_mapping(dim), 1..=4).prop_map(|parts| {
+        let mut iter = parts.into_iter();
+        let first = iter.next().expect("at least one part");
+        iter.fold(first, |acc, next| acc * next)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every composition of repeat/spatial partitions the task domain:
+    /// each task is executed exactly once across all workers.
+    #[test]
+    fn compositions_partition_task_domain(tm in composed_mapping(2)) {
+        let report = tm.check();
+        prop_assert!(report.satisfies(MappingProperty::Partition), "{tm}: {report:?}");
+        prop_assert!(report.satisfies(MappingProperty::Uniform));
+    }
+
+    /// Composition is associative (paper §5.1.2): (a∘b)∘c == a∘(b∘c) extensionally.
+    #[test]
+    fn composition_is_associative(
+        a in basic_mapping(2),
+        b in basic_mapping(2),
+        c in basic_mapping(2),
+    ) {
+        let left = (a.clone() * b.clone()) * c.clone();
+        let right = a * (b * c);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Shape and worker counts multiply under composition.
+    #[test]
+    fn composition_multiplies_counts(a in composed_mapping(3), b in composed_mapping(3)) {
+        let c = a.compose(&b);
+        prop_assert_eq!(c.num_workers(), a.num_workers() * b.num_workers());
+        let expect_shape: Vec<i64> = a.task_shape().iter()
+            .zip(b.task_shape())
+            .map(|(x, y)| x * y)
+            .collect();
+        prop_assert_eq!(c.task_shape(), &expect_shape[..]);
+        prop_assert_eq!(c.num_tasks(), a.num_tasks() * b.num_tasks());
+    }
+
+    /// `spatial` is a bijection from workers to tasks.
+    #[test]
+    fn spatial_is_bijective(s in shape(3)) {
+        let tm = spatial(&s);
+        let mut seen = std::collections::HashSet::new();
+        for w in 0..tm.num_workers() {
+            let tasks: Vec<_> = tm.worker_tasks(w).collect();
+            prop_assert_eq!(tasks.len(), 1);
+            prop_assert!(seen.insert(tasks[0].clone()));
+        }
+        prop_assert_eq!(seen.len() as i64, tm.num_tasks());
+    }
+
+    /// `repeat` visits tasks in strictly increasing row-major rank.
+    #[test]
+    fn repeat_order_is_row_major(s in shape(2)) {
+        let tm = repeat(&s);
+        let ranks: Vec<i64> = tm
+            .worker_tasks(0)
+            .map(|t| hidet_taskmap::linearize(&t, &s))
+            .collect();
+        let expect: Vec<i64> = (0..tm.num_tasks()).collect();
+        prop_assert_eq!(ranks, expect);
+    }
+
+    /// `assignments()` enumerates exactly num_tasks assignments for partitions.
+    #[test]
+    fn assignments_count_matches(tm in composed_mapping(2)) {
+        let n = tm.assignments().count() as i64;
+        prop_assert_eq!(n, tm.num_tasks());
+    }
+
+    /// Worker-task lists agree between the iterator and the composition formula
+    /// computed by hand: f3(w) = [t1 ⊙ d2 + t2 | t1 ∈ f1(w / n2), t2 ∈ f2(w % n2)].
+    #[test]
+    fn composition_formula_matches_definition(a in basic_mapping(2), b in basic_mapping(2)) {
+        let c = a.compose(&b);
+        let n2 = b.num_workers();
+        let d2 = b.task_shape().to_vec();
+        for w in 0..c.num_workers() {
+            let got: Vec<_> = c.worker_tasks(w).collect();
+            let mut expect = Vec::new();
+            for t1 in a.worker_tasks(w / n2) {
+                for t2 in b.worker_tasks(w % n2) {
+                    expect.push(
+                        t1.iter().zip(&d2).zip(&t2).map(|((x, d), y)| x * d + y).collect::<Vec<_>>(),
+                    );
+                }
+            }
+            prop_assert_eq!(&got, &expect, "worker {}", w);
+        }
+    }
+}

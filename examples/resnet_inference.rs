@@ -1,0 +1,92 @@
+//! Compile ResNet-50 end to end and run one (tiny) inference on the
+//! simulated GPU, comparing against the CPU reference executor.
+//!
+//! The full 224x224 network is functionally simulated kernel by kernel, which
+//! is slow in an interpreter — so this example runs a scaled-down ResNet-style
+//! network for the functional check, and then *estimates* full ResNet-50
+//! latency with the cost model (what the paper's Fig. 16 measures).
+//!
+//! ```text
+//! cargo run --release --example resnet_inference
+//! ```
+
+use std::collections::HashMap;
+
+use hidet::prelude::*;
+use hidet_graph::models;
+use hidet_graph::reference;
+
+/// A 3-block ResNet-style network on 32x32 inputs (CIFAR-scale).
+fn mini_resnet() -> (hidet_graph::Graph, TensorId, TensorId) {
+    let mut g = GraphBuilder::new("mini_resnet");
+    let x = g.input("images", &[1, 3, 32, 32]);
+    let mut y = g.conv_bn_relu(x, 16, 3, 1, 1);
+    for (channels, stride) in [(16, 1), (32, 2), (64, 2)] {
+        let shortcut_needed = g.shape(y)[1] != channels || stride != 1;
+        let input = y;
+        let a = g.conv_bn_relu(input, channels, 3, stride, 1);
+        let w = g.weight(&[channels, channels, 3, 3]);
+        let b = g.conv2d(a, w, 1, 1);
+        let b = g.batch_norm(b);
+        let shortcut = if shortcut_needed {
+            let ws = g.weight(&[channels, g.shape(input)[1], 1, 1]);
+            let s = g.conv2d(input, ws, stride, 0);
+            g.batch_norm(s)
+        } else {
+            input
+        };
+        let sum = g.add(b, shortcut);
+        y = g.relu(sum);
+    }
+    let pooled = g.global_avg_pool(y);
+    let logits = g.linear(pooled, 10);
+    let graph = g.output(logits).build();
+    (graph, x, logits)
+}
+
+fn main() -> Result<(), CompileError> {
+    let gpu = Gpu::default();
+
+    // --- Functional check on the mini network. ---
+    let (graph, x, logits) = mini_resnet();
+    println!(
+        "mini resnet: {} ops, {:.2} GFLOPs",
+        graph.ops().len(),
+        graph.total_flops() / 1e9
+    );
+    let compiled = hidet::compile(&graph, &gpu, &CompilerOptions::quick())?;
+    println!(
+        "compiled to {} kernels (operators fused {}x)",
+        compiled.num_kernels(),
+        graph.ops().len() as f64 / compiled.num_kernels() as f64
+    );
+    let image: Vec<f32> = Tensor::randn(&[1, 3, 32, 32], 7).data().unwrap().to_vec();
+    let mut inputs = HashMap::new();
+    inputs.insert(x, image.clone());
+    let got = compiled.run(&inputs, &gpu)?;
+
+    let mut ref_inputs = reference::ValueMap::new();
+    ref_inputs.insert(x, image);
+    let expect = reference::execute(&graph, &ref_inputs);
+    let max_err = got[&logits]
+        .iter()
+        .zip(&expect[&logits])
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!("max |simulated - reference| over logits: {max_err:.2e}");
+    assert!(max_err < 1e-2, "functional mismatch");
+
+    // --- Performance estimate for the real ResNet-50 (paper Fig. 16/20). ---
+    println!("\nfull ResNet-50 latency estimates (tuned):");
+    for batch in [1, 4, 8] {
+        let graph = models::resnet50(batch);
+        let compiled = hidet::compile(&graph, &gpu, &CompilerOptions::tuned())?;
+        println!(
+            "  batch {batch}: {:.3} ms ({} kernels, tuning {:.0} simulated s)",
+            compiled.estimate(&gpu) * 1e3,
+            compiled.num_kernels(),
+            compiled.tuning_seconds()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the Hidet reproduction workspace: re-exports every
+//! sub-crate so examples and integration tests have one import root.
+//!
+//! See the repository `README.md` and `DESIGN.md` for the full picture, and
+//! the [`hidet`] crate for the compiler entry points.
+
+pub use hidet;
+pub use hidet_baselines as baselines;
+pub use hidet_graph as graph;
+pub use hidet_ir as ir;
+pub use hidet_sched as sched;
+pub use hidet_sim as sim;
+pub use hidet_taskmap as taskmap;

@@ -1,0 +1,138 @@
+//! Property-based end-to-end fuzzing: random small graphs are compiled with
+//! the full Hidet pipeline, executed on the simulated GPU, and compared
+//! element-wise against the CPU reference executor.
+//!
+//! This is the strongest correctness net in the repository: it composes the
+//! graph builder, conv lowering, constant folding, fusion partitioning, both
+//! schedule templates, rule-based scheduling, post-scheduling fusion, the
+//! lowering of task mappings, the simplifier and the interpreter in one shot.
+
+use std::collections::HashMap;
+
+use hidet::prelude::*;
+use hidet_graph::reference::{self, ValueMap};
+use hidet_graph::GraphBuilder;
+use proptest::prelude::*;
+
+/// A step applied to the running activation in a random chain.
+#[derive(Debug, Clone)]
+enum Step {
+    Relu,
+    Gelu,
+    Tanh,
+    AddBias,
+    MulScale,
+    Linear { out: i64 },
+    Softmax,
+    LayerNorm,
+    Reshape2x,
+    TransposeLast,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        Just(Step::Relu),
+        Just(Step::Gelu),
+        Just(Step::Tanh),
+        Just(Step::AddBias),
+        Just(Step::MulScale),
+        (4i64..24).prop_map(|out| Step::Linear { out }),
+        Just(Step::Softmax),
+        Just(Step::LayerNorm),
+        Just(Step::Reshape2x),
+        Just(Step::TransposeLast),
+    ]
+}
+
+/// Applies a step; returns the new activation (some steps are skipped when
+/// the current shape does not admit them).
+fn apply(g: &mut GraphBuilder, t: TensorId, step: &Step, seed: &mut u64) -> TensorId {
+    *seed += 1;
+    let shape = g.shape(t).to_vec();
+    match step {
+        Step::Relu => g.relu(t),
+        Step::Gelu => g.gelu(t),
+        Step::Tanh => g.tanh(t),
+        Step::AddBias => {
+            let last = *shape.last().expect("rank >= 1");
+            let b = g.constant(Tensor::randn(&[last], *seed));
+            g.add(t, b)
+        }
+        Step::MulScale => {
+            let s = g.constant(Tensor::full(&[1], 0.5));
+            g.mul(t, s)
+        }
+        Step::Linear { out } => {
+            if shape.len() != 2 {
+                return t;
+            }
+            let w = g.constant(Tensor::randn(&[shape[1], *out], *seed));
+            g.matmul(t, w)
+        }
+        Step::Softmax => g.softmax(t, shape.len() - 1),
+        Step::LayerNorm => {
+            if *shape.last().expect("rank >= 1") < 2 {
+                return t;
+            }
+            g.layer_norm(t)
+        }
+        Step::Reshape2x => {
+            if shape.len() != 2 || shape[1] % 2 != 0 {
+                return t;
+            }
+            g.reshape(t, &[shape[0] * 2, shape[1] / 2])
+        }
+        Step::TransposeLast => {
+            if shape.len() != 2 {
+                return t;
+            }
+            g.transpose(t, &[1, 0])
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_graphs_compile_and_match_reference(
+        rows in 2i64..12,
+        cols in prop::sample::select(vec![4i64, 6, 8, 12, 16]),
+        steps in prop::collection::vec(step_strategy(), 1..6),
+        seed in 0u64..1000,
+    ) {
+        let mut g = GraphBuilder::new("fuzz");
+        let x = g.input("x", &[rows, cols]);
+        let mut t = x;
+        let mut wseed = seed;
+        for step in &steps {
+            t = apply(&mut g, t, step, &mut wseed);
+        }
+        // Ensure at least one op exists.
+        if g.graph().ops().is_empty() {
+            t = g.relu(t);
+        }
+        let graph = g.output(t).build();
+
+        let gpu = Gpu::default();
+        let compiled = hidet::compile(&graph, &gpu, &CompilerOptions::quick())
+            .expect("random graph compiles");
+        let data = Tensor::randn(&[rows, cols], seed ^ 0xF00D).data().unwrap().to_vec();
+        let mut inputs = HashMap::new();
+        inputs.insert(x, data.clone());
+        let got = compiled.run(&inputs, &gpu).expect("random graph runs");
+
+        let mut ref_inputs = ValueMap::new();
+        ref_inputs.insert(x, data);
+        let expect = reference::execute(&graph, &ref_inputs);
+        let out = graph.outputs()[0];
+        prop_assert_eq!(got[&out].len(), expect[&out].len());
+        for (i, (a, b)) in got[&out].iter().zip(&expect[&out]).enumerate() {
+            prop_assert!(
+                (a - b).abs() < 2e-2 * (1.0 + b.abs()),
+                "element {} differs: {} vs {} (steps {:?})",
+                i, a, b, steps
+            );
+        }
+    }
+}
