@@ -47,7 +47,14 @@ pub fn matmul_space_size(m: i64, n: i64, k: i64) -> u64 {
 /// Differences from the AutoTVM-like tuner: a larger initial random
 /// population (sketch sampling), tournament selection, and tile mutations
 /// that resample one knob at a time.
-pub fn tune_matmul(m: i64, n: i64, k: i64, trials: usize, seed: u64, gpu: &Gpu) -> BaselineTuneReport {
+pub fn tune_matmul(
+    m: i64,
+    n: i64,
+    k: i64,
+    trials: usize,
+    seed: u64,
+    gpu: &Gpu,
+) -> BaselineTuneReport {
     let space = crate::autotvm::matmul_space(m, n, k);
     let space_size = matmul_space_size(m, n, k);
     if space.is_empty() {
@@ -59,7 +66,7 @@ pub fn tune_matmul(m: i64, n: i64, k: i64, trials: usize, seed: u64, gpu: &Gpu) 
             space_size,
         };
     }
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xA45_0_A45);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0A45_0A45);
     let budget = trials.min(space.len() * 4);
     let mut measured = 0usize;
     let mut scored: Vec<(f64, LoopTileConfig)> = Vec::new();

@@ -73,10 +73,7 @@ pub fn conv_space_size(w: &hidet_graph::models::ConvWorkload) -> u64 {
         if s == 1 {
             return 1;
         }
-        divisors(n)
-            .into_iter()
-            .map(|d| splits(n / d, s - 1))
-            .sum()
+        divisors(n).into_iter().map(|d| splits(n / d, s - 1)).sum()
     }
     let oc = splits(w.out_channels, 4);
     let oh = splits(w.out_size(), 3);
@@ -106,7 +103,14 @@ pub struct BaselineTuneReport {
 /// Starts from a random population, then mutates the best survivors —
 /// a faithful (if compact) rendition of AutoTVM's simulated-annealing +
 /// cost-model loop. Every *measured* candidate costs one trial.
-pub fn tune_matmul(m: i64, n: i64, k: i64, trials: usize, seed: u64, gpu: &Gpu) -> BaselineTuneReport {
+pub fn tune_matmul(
+    m: i64,
+    n: i64,
+    k: i64,
+    trials: usize,
+    seed: u64,
+    gpu: &Gpu,
+) -> BaselineTuneReport {
     let space = matmul_space(m, n, k);
     let space_size = matmul_space_size(m, n, k);
     if space.is_empty() {
@@ -134,7 +138,7 @@ pub fn tune_matmul(m: i64, n: i64, k: i64, trials: usize, seed: u64, gpu: &Gpu) 
         measured += 1;
         let kernel = loop_matmul_kernel(m, n, k, cfg);
         if let Ok(est) = gpu.estimate(&kernel) {
-            if best.map_or(true, |(b, _)| est.seconds < b) {
+            if best.is_none_or(|(b, _)| est.seconds < b) {
                 best = Some((est.seconds, cfg));
                 population.push(cfg);
                 if population.len() > 8 {

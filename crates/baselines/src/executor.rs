@@ -16,12 +16,34 @@ pub struct ExecutorReport {
     pub tuning_seconds: f64,
     /// Number of kernel launches per inference.
     pub kernel_launches: usize,
+    /// Why evaluation failed, if it did. A failed report carries infinite
+    /// latency so comparisons and "best baseline" reductions stay
+    /// well-defined without panicking the whole harness (the paper itself
+    /// charts failures, e.g. AutoTVM on prime sizes in Fig. 19).
+    pub failure: Option<String>,
 }
 
 impl ExecutorReport {
     /// Latency in milliseconds.
     pub fn latency_ms(&self) -> f64 {
         self.latency_seconds * 1e3
+    }
+
+    /// A report for a failed evaluation.
+    pub fn failed(executor: &str, model: &str, reason: impl Into<String>) -> ExecutorReport {
+        ExecutorReport {
+            executor: executor.to_string(),
+            model: model.to_string(),
+            latency_seconds: f64::INFINITY,
+            tuning_seconds: 0.0,
+            kernel_launches: 0,
+            failure: Some(reason.into()),
+        }
+    }
+
+    /// Whether the evaluation completed.
+    pub fn is_ok(&self) -> bool {
+        self.failure.is_none()
     }
 }
 

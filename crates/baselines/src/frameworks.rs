@@ -47,6 +47,7 @@ impl GraphExecutor for PyTorchLike {
             latency_seconds: latency,
             tuning_seconds: 0.0,
             kernel_launches: launches,
+            failure: None,
         }
     }
 }
@@ -69,11 +70,7 @@ impl GraphExecutor for OnnxRuntimeLike {
                 // graph optimizer merges activation/bn/layout chains into the
                 // producing kernel (no extra pass over memory).
                 FuseClass::Bijective
-                    if op
-                        .inputs
-                        .first()
-                        .and_then(|t| graph.producer(*t))
-                        .is_some() =>
+                    if op.inputs.first().and_then(|t| graph.producer(*t)).is_some() =>
                 {
                     // Reshape is free (metadata only) for ORT.
                     if matches!(op.kind, OpKind::Reshape { .. }) {
@@ -94,6 +91,7 @@ impl GraphExecutor for OnnxRuntimeLike {
             latency_seconds: latency,
             tuning_seconds: 0.0,
             kernel_launches: launches,
+            failure: None,
         }
     }
 }

@@ -30,8 +30,8 @@ pub mod executor;
 pub mod frameworks;
 pub mod library;
 pub mod loop_sched;
-pub mod tvm;
 pub mod trt;
+pub mod tvm;
 
 pub use executor::{ExecutorReport, GraphExecutor};
 pub use loop_sched::{LoopAxis, LoopNest, LoopTileConfig};

@@ -43,7 +43,11 @@ pub fn library_matmul_config(m: i64, n: i64, k: i64) -> MatmulConfig {
         (128, 32) => (4, 1),
         _ => (1, 1),
     };
-    let (thread_m, thread_n) = if block_m >= 64 && block_n >= 64 { (4, 4) } else { (2, 2) };
+    let (thread_m, thread_n) = if block_m >= 64 && block_n >= 64 {
+        (4, 4)
+    } else {
+        (2, 2)
+    };
     // SplitK selection: not enough output tiles to fill half the SMs, long K.
     let tiles = ((m + block_m - 1) / block_m) * ((n + block_n - 1) / block_n);
     let split_k = if tiles < 41 && k >= 1024 { 4 } else { 1 };
@@ -117,7 +121,12 @@ pub fn op_latency(graph: &Graph, op: &Operator, gpu: &Gpu) -> f64 {
             let a = graph.tensor(op.inputs[0]).shape();
             let b = graph.tensor(op.inputs[1]).shape();
             matmul_latency(
-                MatmulProblem { batch: a[0], m: a[1], n: b[2], k: a[2] },
+                MatmulProblem {
+                    batch: a[0],
+                    m: a[1],
+                    n: b[2],
+                    k: a[2],
+                },
                 gpu,
             )
         }
@@ -142,8 +151,16 @@ pub fn op_latency(graph: &Graph, op: &Operator, gpu: &Gpu) -> f64 {
                 gpu,
             )
         }
-        OpKind::MaxPool { kernel, stride, padding }
-        | OpKind::AvgPool { kernel, stride, padding } => {
+        OpKind::MaxPool {
+            kernel,
+            stride,
+            padding,
+        }
+        | OpKind::AvgPool {
+            kernel,
+            stride,
+            padding,
+        } => {
             let reduce = if matches!(op.kind, OpKind::MaxPool { .. }) {
                 WindowReduce::Max
             } else {
@@ -152,8 +169,12 @@ pub fn op_latency(graph: &Graph, op: &Operator, gpu: &Gpu) -> f64 {
             let in_shape = graph.tensor(op.inputs[0]).shape().to_vec();
             let out_shape = graph.tensor(op.output).shape().to_vec();
             let io = direct_window_io("lib_pool", &in_shape, &out_shape);
-            let kernel = pool_kernel(reduce, &in_shape, &out_shape, *kernel, *stride, *padding, io);
-            gpu.estimate(&kernel).map(|e| e.seconds).unwrap_or(f64::INFINITY)
+            let kernel = pool_kernel(
+                reduce, &in_shape, &out_shape, *kernel, *stride, *padding, io,
+            );
+            gpu.estimate(&kernel)
+                .map(|e| e.seconds)
+                .unwrap_or(f64::INFINITY)
         }
         // Everything else is a memory-bound elementwise/copy kernel.
         _ => streaming_latency(in_bytes + out_bytes, gpu),
@@ -161,8 +182,18 @@ pub fn op_latency(graph: &Graph, op: &Operator, gpu: &Gpu) -> f64 {
 }
 
 fn direct_window_io(name: &str, in_shape: &[i64], out_shape: &[i64]) -> WindowIo {
-    let x = hidet_ir::Buffer::new("X", hidet_ir::MemScope::Global, hidet_ir::DType::F32, in_shape);
-    let y = hidet_ir::Buffer::new("Y", hidet_ir::MemScope::Global, hidet_ir::DType::F32, out_shape);
+    let x = hidet_ir::Buffer::new(
+        "X",
+        hidet_ir::MemScope::Global,
+        hidet_ir::DType::F32,
+        in_shape,
+    );
+    let y = hidet_ir::Buffer::new(
+        "Y",
+        hidet_ir::MemScope::Global,
+        hidet_ir::DType::F32,
+        out_shape,
+    );
     let x2 = x.clone();
     let y2 = y.clone();
     WindowIo {
@@ -174,23 +205,36 @@ fn direct_window_io(name: &str, in_shape: &[i64], out_shape: &[i64]) -> WindowIo
 }
 
 fn depthwise_latency(graph: &Graph, op: &Operator, gpu: &Gpu) -> f64 {
-    let OpKind::Conv2d { stride, padding, .. } = op.kind else { unreachable!() };
+    let OpKind::Conv2d {
+        stride, padding, ..
+    } = op.kind
+    else {
+        unreachable!()
+    };
     let in_shape = graph.tensor(op.inputs[0]).shape().to_vec();
     let out_shape = graph.tensor(op.output).shape().to_vec();
     let w_shape = graph.tensor(op.inputs[1]).shape().to_vec();
-    let w = hidet_ir::Buffer::new("W", hidet_ir::MemScope::Global, hidet_ir::DType::F32, &w_shape);
+    let w = hidet_ir::Buffer::new(
+        "W",
+        hidet_ir::MemScope::Global,
+        hidet_ir::DType::F32,
+        &w_shape,
+    );
     let mut io = direct_window_io("lib_dwconv", &in_shape, &out_shape);
     io.params.push(w.clone());
-    let kernel =
-        depthwise_conv_kernel(&in_shape, &out_shape, w, w_shape[2], stride, padding, io);
-    gpu.estimate(&kernel).map(|e| e.seconds).unwrap_or(f64::INFINITY)
+    let kernel = depthwise_conv_kernel(&in_shape, &out_shape, w, w_shape[2], stride, padding, io);
+    gpu.estimate(&kernel)
+        .map(|e| e.seconds)
+        .unwrap_or(f64::INFINITY)
 }
 
 fn row_reduce_latency(kind: RowReduceKind, rows: i64, len: i64, gpu: &Gpu) -> f64 {
     let cfg = hidet_sched::pick_reduce_config(rows, len, gpu);
     let io = ReduceIo::direct("lib_reduce", kind, rows, len);
     let kernel = reduce_kernel(kind, rows, len, cfg, io);
-    gpu.estimate(&kernel).map(|e| e.seconds).unwrap_or(f64::INFINITY)
+    gpu.estimate(&kernel)
+        .map(|e| e.seconds)
+        .unwrap_or(f64::INFINITY)
 }
 
 #[cfg(test)]
@@ -225,7 +269,10 @@ mod tests {
         let odd = matmul_latency(MatmulProblem::new(1025, 1025, 1024), &gpu);
         let round_per_flop = round / (1024f64 * 1024.0 * 1024.0);
         let odd_per_flop = odd / (1025f64 * 1025.0 * 1024.0);
-        assert!(odd_per_flop > round_per_flop, "{odd_per_flop} <= {round_per_flop}");
+        assert!(
+            odd_per_flop > round_per_flop,
+            "{odd_per_flop} <= {round_per_flop}"
+        );
     }
 
     #[test]

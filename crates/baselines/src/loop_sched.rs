@@ -50,7 +50,11 @@ impl LoopNest {
         LoopNest {
             loops: loops
                 .iter()
-                .map(|(n, e)| Loop { name: n.to_string(), extent: *e, axis: LoopAxis::Serial })
+                .map(|(n, e)| Loop {
+                    name: n.to_string(),
+                    extent: *e,
+                    axis: LoopAxis::Serial,
+                })
                 .collect(),
         }
     }
@@ -82,10 +86,18 @@ impl LoopNest {
         );
         let outer = format!("{name}.o");
         let inner = format!("{name}.i");
-        self.loops[pos] = Loop { name: outer.clone(), extent: extent / factor, axis: LoopAxis::Serial };
+        self.loops[pos] = Loop {
+            name: outer.clone(),
+            extent: extent / factor,
+            axis: LoopAxis::Serial,
+        };
         self.loops.insert(
             pos + 1,
-            Loop { name: inner.clone(), extent: factor, axis: LoopAxis::Serial },
+            Loop {
+                name: inner.clone(),
+                extent: factor,
+                axis: LoopAxis::Serial,
+            },
         );
         (outer, inner)
     }
@@ -100,7 +112,11 @@ impl LoopNest {
         assert_eq!(pj, pi + 1, "fuse requires j directly inside i");
         let fused = format!("{i}.{j}");
         let extent = self.loops[pi].extent * self.loops[pj].extent;
-        self.loops[pi] = Loop { name: fused.clone(), extent, axis: LoopAxis::Serial };
+        self.loops[pi] = Loop {
+            name: fused.clone(),
+            extent,
+            axis: LoopAxis::Serial,
+        };
         self.loops.remove(pj);
         fused
     }
@@ -185,8 +201,17 @@ impl LoopTileConfig {
 /// Panics if the config is invalid for the problem (use
 /// [`LoopTileConfig::is_valid`] first).
 pub fn loop_matmul_kernel(m: i64, n: i64, k: i64, cfg: LoopTileConfig) -> Kernel {
-    assert!(cfg.is_valid(m, n, k, u64::MAX), "invalid loop tile config {cfg:?}");
-    let LoopTileConfig { block_m: bm, block_n: bn, block_k: bk, thread_m: tm, thread_n: tn } = cfg;
+    assert!(
+        cfg.is_valid(m, n, k, u64::MAX),
+        "invalid loop tile config {cfg:?}"
+    );
+    let LoopTileConfig {
+        block_m: bm,
+        block_n: bn,
+        block_k: bk,
+        thread_m: tm,
+        thread_n: tn,
+    } = cfg;
     let threads = cfg.threads();
     let grid = (m / bm) * (n / bn);
     let mut kb = KernelBuilder::new("loop_matmul", grid, threads);
@@ -273,7 +298,8 @@ pub fn loop_matmul_kernel(m: i64, n: i64, k: i64, cfg: LoopTileConfig) -> Kernel
                     for_range("i", tm, |i| {
                         for_range("j", tn, |j| {
                             let cur = load(&acc, vec![i.clone(), j.clone()]);
-                            let prod = load(&frag_a, vec![i.clone()]) * load(&frag_b, vec![j.clone()]);
+                            let prod =
+                                load(&frag_a, vec![i.clone()]) * load(&frag_b, vec![j.clone()]);
                             store(&acc, vec![i.clone(), j], cur + prod)
                         })
                     }),
@@ -298,7 +324,10 @@ pub fn loop_matmul_kernel(m: i64, n: i64, k: i64, cfg: LoopTileConfig) -> Kernel
 
     kb.body(hidet_ir::passes::simplify(&seq(body)));
     // No pipelining: the defining limitation of loop-oriented scheduling.
-    kb.meta(KernelMeta { pipeline_stages: 1, ..KernelMeta::default() });
+    kb.meta(KernelMeta {
+        pipeline_stages: 1,
+        ..KernelMeta::default()
+    });
     kb.build()
 }
 
@@ -384,7 +413,13 @@ mod tests {
 
     #[test]
     fn loop_matmul_is_functionally_correct() {
-        let cfg = LoopTileConfig { block_m: 32, block_n: 32, block_k: 8, thread_m: 4, thread_n: 4 };
+        let cfg = LoopTileConfig {
+            block_m: 32,
+            block_n: 32,
+            block_k: 8,
+            thread_m: 4,
+            thread_n: 4,
+        };
         let kernel = loop_matmul_kernel(64, 64, 32, cfg);
         let gpu = Gpu::default();
         let mut mem = DeviceMemory::new();
@@ -402,7 +437,13 @@ mod tests {
 
     #[test]
     fn loop_matmul_cannot_express_double_buffering() {
-        let cfg = LoopTileConfig { block_m: 32, block_n: 32, block_k: 8, thread_m: 4, thread_n: 4 };
+        let cfg = LoopTileConfig {
+            block_m: 32,
+            block_n: 32,
+            block_k: 8,
+            thread_m: 4,
+            thread_n: 4,
+        };
         let kernel = loop_matmul_kernel(64, 64, 32, cfg);
         assert_eq!(kernel.meta().pipeline_stages, 1);
         assert_eq!(kernel.find_buffer("SmemA").unwrap().shape()[0], 32); // no stage dim
@@ -410,7 +451,13 @@ mod tests {
 
     #[test]
     fn validity_requires_divisibility() {
-        let cfg = LoopTileConfig { block_m: 32, block_n: 32, block_k: 8, thread_m: 4, thread_n: 4 };
+        let cfg = LoopTileConfig {
+            block_m: 32,
+            block_n: 32,
+            block_k: 8,
+            thread_m: 4,
+            thread_n: 4,
+        };
         assert!(cfg.is_valid(64, 64, 32, u64::MAX));
         assert!(!cfg.is_valid(100, 64, 32, u64::MAX)); // 32 does not divide 100
         assert!(!cfg.is_valid(2039, 2039, 2039, u64::MAX)); // prime

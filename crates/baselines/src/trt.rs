@@ -67,7 +67,10 @@ fn trt_matmul_latency(p: hidet_sched::MatmulProblem, allow_tc: bool, gpu: &Gpu) 
                 .iter()
                 .map(|k| {
                     let k = if allow_tc && tensor_core_eligible(p) {
-                        k.with_meta(hidet_ir::KernelMeta { uses_tensor_cores: true, ..k.meta() })
+                        k.with_meta(hidet_ir::KernelMeta {
+                            uses_tensor_cores: true,
+                            ..k.meta()
+                        })
                     } else {
                         k.clone()
                     };
@@ -94,7 +97,12 @@ fn trt_op_latency(graph: &Graph, op: &hidet_graph::Operator, gpu: &Gpu) -> f64 {
             let a = graph.tensor(op.inputs[0]).shape();
             let b = graph.tensor(op.inputs[1]).shape();
             trt_matmul_latency(
-                hidet_sched::MatmulProblem { batch: a[0], m: a[1], n: b[2], k: a[2] },
+                hidet_sched::MatmulProblem {
+                    batch: a[0],
+                    m: a[1],
+                    n: b[2],
+                    k: a[2],
+                },
                 true,
                 gpu,
             )
@@ -173,7 +181,11 @@ fn fused_attention_latency(graph: &Graph, pat: &AttentionPattern, gpu: &Gpu) -> 
     let io_bytes: f64 = qk
         .inputs
         .iter()
-        .chain(pv.inputs.iter().filter(|t| **t != graph.op(pat.softmax).output))
+        .chain(
+            pv.inputs
+                .iter()
+                .filter(|t| **t != graph.op(pat.softmax).output),
+        )
         .map(|t| graph.tensor(*t).numel() as f64 * 4.0)
         .sum::<f64>()
         + graph.tensor(pv.output).numel() as f64 * 4.0;
@@ -218,11 +230,7 @@ impl GraphExecutor for TensorRtLike {
             }
             match op.kind.fuse_class() {
                 FuseClass::Bijective
-                    if op
-                        .inputs
-                        .first()
-                        .and_then(|t| graph.producer(*t))
-                        .is_some() =>
+                    if op.inputs.first().and_then(|t| graph.producer(*t)).is_some() =>
                 {
                     // Fused into the producer.
                     continue;
@@ -239,6 +247,7 @@ impl GraphExecutor for TensorRtLike {
             latency_seconds: latency,
             tuning_seconds: 0.0,
             kernel_launches: launches,
+            failure: None,
         }
     }
 }

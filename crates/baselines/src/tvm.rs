@@ -44,7 +44,10 @@ pub struct AutoTvmLike {
 
 impl Default for AutoTvmLike {
     fn default() -> Self {
-        AutoTvmLike { trials: autotvm::AUTOTVM_TRIALS, seed: 0 }
+        AutoTvmLike {
+            trials: autotvm::AUTOTVM_TRIALS,
+            seed: 0,
+        }
     }
 }
 
@@ -59,7 +62,10 @@ pub struct AnsorLike {
 
 impl Default for AnsorLike {
     fn default() -> Self {
-        AnsorLike { trials: ansor::ANSOR_TRIALS, seed: 0 }
+        AnsorLike {
+            trials: ansor::ANSOR_TRIALS,
+            seed: 0,
+        }
     }
 }
 
@@ -83,7 +89,7 @@ pub fn autotvm_dense_tune(m: i64, n: i64, k: i64, gpu: &Gpu) -> autotvm::Baselin
                 }
                 trials += 1;
                 if let Ok(est) = gpu.estimate(&loop_matmul_kernel(m, n, k, cfg)) {
-                    if best.map_or(true, |(b, _)| est.seconds < b) {
+                    if best.is_none_or(|(b, _)| est.seconds < b) {
                         best = Some((est.seconds, cfg));
                     }
                 }
@@ -179,8 +185,8 @@ fn evaluate(flavor: Flavor, trials: usize, seed: u64, graph: &Graph, gpu: &Gpu) 
                 launches += 1;
             }
             _ => {
-                latency += streaming_latency(in_bytes + out_bytes, gpu) * non_gemm_factor
-                    + TVM_DISPATCH_S;
+                latency +=
+                    streaming_latency(in_bytes + out_bytes, gpu) * non_gemm_factor + TVM_DISPATCH_S;
                 launches += 1;
             }
         }
@@ -194,6 +200,7 @@ fn evaluate(flavor: Flavor, trials: usize, seed: u64, graph: &Graph, gpu: &Gpu) 
         latency_seconds: latency,
         tuning_seconds: tuning,
         kernel_launches: launches,
+        failure: None,
     }
 }
 
@@ -223,7 +230,16 @@ mod tests {
     use hidet_graph::models;
 
     fn small_trials() -> (AutoTvmLike, AnsorLike) {
-        (AutoTvmLike { trials: 24, seed: 1 }, AnsorLike { trials: 24, seed: 1 })
+        (
+            AutoTvmLike {
+                trials: 24,
+                seed: 1,
+            },
+            AnsorLike {
+                trials: 24,
+                seed: 1,
+            },
+        )
     }
 
     #[test]
@@ -248,7 +264,11 @@ mod tests {
         // deduplication (53 * trials * 2s would be ~2x larger).
         let distinct = models::resnet50_conv_workloads(1).len();
         let max_expected = (distinct + 2) as f64 * 24.0 * autotvm::SECONDS_PER_TRIAL * 1.2;
-        assert!(report.tuning_seconds <= max_expected, "{}", report.tuning_seconds);
+        assert!(
+            report.tuning_seconds <= max_expected,
+            "{}",
+            report.tuning_seconds
+        );
         assert!(report.tuning_seconds > 0.0);
     }
 

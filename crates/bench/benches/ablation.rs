@@ -14,7 +14,10 @@ fn bench_stages(c: &mut Criterion) {
     let problem = MatmulProblem::new(2048, 2048, 2048);
     let mut group = c.benchmark_group("stages_ablation");
     for stages in [1u32, 2] {
-        let cfg = MatmulConfig { stages, ..MatmulConfig::default() };
+        let cfg = MatmulConfig {
+            stages,
+            ..MatmulConfig::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(stages), &cfg, |b, cfg| {
             b.iter(|| {
                 let kernels = matmul_kernel(problem, *cfg, MatmulIo::direct("a", problem));

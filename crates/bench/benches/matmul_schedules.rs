@@ -4,7 +4,9 @@
 //! measure the compiler's own speed, which is what bounds tuning time.)
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hidet_sched::{matmul_kernel, matmul_space, tune_matmul, MatmulConfig, MatmulIo, MatmulProblem};
+use hidet_sched::{
+    matmul_kernel, matmul_space, tune_matmul, MatmulConfig, MatmulIo, MatmulProblem,
+};
 use hidet_sim::{Gpu, GpuSpec};
 
 fn bench_template_instantiation(c: &mut Criterion) {
@@ -24,7 +26,11 @@ fn bench_template_instantiation(c: &mut Criterion) {
 fn bench_cost_model(c: &mut Criterion) {
     let gpu = Gpu::default();
     let problem = MatmulProblem::new(1024, 1024, 1024);
-    let kernels = matmul_kernel(problem, MatmulConfig::default(), MatmulIo::direct("b", problem));
+    let kernels = matmul_kernel(
+        problem,
+        MatmulConfig::default(),
+        MatmulIo::direct("b", problem),
+    );
     c.bench_function("cost_model_estimate", |b| {
         b.iter(|| std::hint::black_box(gpu.estimate(&kernels[0]).unwrap()))
     });

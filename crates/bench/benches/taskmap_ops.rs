@@ -41,5 +41,10 @@ fn bench_lowering(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_composition, bench_worker_enumeration, bench_lowering);
+criterion_group!(
+    benches,
+    bench_composition,
+    bench_worker_enumeration,
+    bench_lowering
+);
 criterion_main!(benches);

@@ -21,7 +21,12 @@ fn main() {
     // 1. Double buffering across compute/memory balance points.
     println!("-- double buffering (stages=2) vs plain pipeline (stages=1) --");
     let mut rows = Vec::new();
-    for &(m, n, k) in &[(1024i64, 1024i64, 1024i64), (2048, 2048, 2048), (4096, 4096, 4096), (8192, 512, 512)] {
+    for &(m, n, k) in &[
+        (1024i64, 1024i64, 1024i64),
+        (2048, 2048, 2048),
+        (4096, 4096, 4096),
+        (8192, 512, 512),
+    ] {
         let problem = MatmulProblem::new(m, n, k);
         let best = tune_matmul(problem, &gpu).best;
         let with = latency(problem, MatmulConfig { stages: 2, ..best }, &gpu);
@@ -33,7 +38,10 @@ fn main() {
             format!("{:.2}x", without / with),
         ]);
     }
-    print_table(&["problem", "stages=1 (ms)", "stages=2 (ms)", "speedup"], &rows);
+    print_table(
+        &["problem", "stages=1 (ms)", "stages=2 (ms)", "speedup"],
+        &rows,
+    );
 
     // 2. Parallel-k on skinny problems (paper §6.3.4).
     println!("\n-- parallel-k reduction on skinny problems --");
@@ -44,7 +52,12 @@ fn main() {
         let no_split = latency(problem, MatmulConfig { split_k: 1, ..base }, &gpu);
         let best_split = [1i64, 2, 4, 8]
             .iter()
-            .map(|&s| (s, latency(problem, MatmulConfig { split_k: s, ..base }, &gpu)))
+            .map(|&s| {
+                (
+                    s,
+                    latency(problem, MatmulConfig { split_k: s, ..base }, &gpu),
+                )
+            })
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("candidates");
         rows.push(vec![
@@ -54,7 +67,10 @@ fn main() {
             format!("{:.2}x", no_split / best_split.1),
         ]);
     }
-    print_table(&["problem", "split_k=1 (us)", "best split (us)", "speedup"], &rows);
+    print_table(
+        &["problem", "split_k=1 (us)", "best split (us)", "speedup"],
+        &rows,
+    );
 
     // 3. Partial-tile overhead: predicated tiles vs a perfectly divisible size.
     println!("\n-- predicated partial tiles: overhead vs perfect tiling --");
@@ -73,6 +89,9 @@ fn main() {
             format!("{:.1}%", (per_flop2 / per_flop1 - 1.0) * 100.0),
         ]);
     }
-    print_table(&["sizes", "perfect (ms)", "odd (ms)", "per-FLOP overhead"], &rows);
+    print_table(
+        &["sizes", "perfect (ms)", "odd (ms)", "per-FLOP overhead"],
+        &rows,
+    );
     println!("\n[predication makes odd sizes pay only tile-quantization waste, never failure]");
 }

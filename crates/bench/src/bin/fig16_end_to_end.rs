@@ -39,7 +39,9 @@ fn main() {
         rows.push(row);
     }
     print_table(
-        &["model", "PyTorch", "OnnxRT", "AutoTVM", "Ansor", "Hidet", "speedup", "paper"],
+        &[
+            "model", "PyTorch", "OnnxRT", "AutoTVM", "Ansor", "Hidet", "speedup", "paper",
+        ],
         &rows,
     );
     println!(

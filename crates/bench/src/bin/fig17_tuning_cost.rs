@@ -20,8 +20,16 @@ fn main() {
     let (mut sum_atvm, mut sum_ansor, mut sum_hidet) = (0.0, 0.0, 0.0);
     for graph in models::all_models(1) {
         eprintln!("[fig17] tuning {} ...", graph.name());
-        let atvm = AutoTvmLike { trials: tvm_trials, seed: 0 }.evaluate(&graph, &gpu);
-        let ansor = AnsorLike { trials: ansor_trials, seed: 0 }.evaluate(&graph, &gpu);
+        let atvm = AutoTvmLike {
+            trials: tvm_trials,
+            seed: 0,
+        }
+        .evaluate(&graph, &gpu);
+        let ansor = AnsorLike {
+            trials: ansor_trials,
+            seed: 0,
+        }
+        .evaluate(&graph, &gpu);
         let hidet = HidetExecutor::tuned().evaluate(&graph, &gpu);
         sum_atvm += atvm.tuning_seconds;
         sum_ansor += ansor.tuning_seconds;
@@ -43,7 +51,10 @@ fn main() {
             ),
         ]);
     }
-    print_table(&["model", "AutoTVM", "Ansor", "Hidet", "paper (A/An/H)"], &rows);
+    print_table(
+        &["model", "AutoTVM", "Ansor", "Hidet", "paper (A/An/H)"],
+        &rows,
+    );
     println!(
         "\nmeasured speedup: {:.0}x vs AutoTVM, {:.0}x vs Ansor   [paper: 20x / 11x]",
         sum_atvm / sum_hidet,

@@ -86,12 +86,26 @@ fn main() {
         summarize("Ansor", ansor.clone()),
         summarize("Hidet", hidet.clone()),
     ];
-    print_table(&["space", "schedules", "min(us)", "p50(us)", "p90(us)", "max(us)"], &rows);
+    print_table(
+        &[
+            "space",
+            "schedules",
+            "min(us)",
+            "p50(us)",
+            "p90(us)",
+            "max(us)",
+        ],
+        &rows,
+    );
 
     // The paper's headline: the fraction of each space faster than Hidet's
     // median schedule.
     let frac = |xs: &[f64]| xs.iter().filter(|&&x| x < hidet_med).count() as f64 / xs.len() as f64;
     println!("\nfraction of schedules faster than Hidet's median ({hidet_med:.1} us):");
-    println!("  AutoTVM: {:.1}%   Ansor: {:.1}%   Hidet: 50.0% (by definition)", frac(&autotvm) * 100.0, frac(&ansor) * 100.0);
+    println!(
+        "  AutoTVM: {:.1}%   Ansor: {:.1}%   Hidet: 50.0% (by definition)",
+        frac(&autotvm) * 100.0,
+        frac(&ansor) * 100.0
+    );
     println!("[paper: most Hidet schedules beat the < 73 us mark; the sampled spaces rarely do]");
 }

@@ -29,7 +29,9 @@ fn main() {
         rows.push(row);
     }
     print_table(
-        &["batch", "PyTorch", "OnnxRT", "AutoTVM", "Ansor", "Hidet", "speedup"],
+        &[
+            "batch", "PyTorch", "OnnxRT", "AutoTVM", "Ansor", "Hidet", "speedup",
+        ],
         &rows,
     );
     println!("\n[paper: Hidet fastest at every batch; AutoTVM/Ansor lose their edge over");

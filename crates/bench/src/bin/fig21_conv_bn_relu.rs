@@ -28,7 +28,11 @@ fn main() {
         let graph = g.output(y).build();
 
         let ort = OnnxRuntimeLike.evaluate(&graph, &gpu);
-        let ansor = AnsorLike { trials: ansor_trials, seed: 0 }.evaluate(&graph, &gpu);
+        let ansor = AnsorLike {
+            trials: ansor_trials,
+            seed: 0,
+        }
+        .evaluate(&graph, &gpu);
         let hidet = HidetExecutor::tuned().evaluate(&graph, &gpu);
         if hidet.latency_seconds <= ort.latency_seconds
             && hidet.latency_seconds <= ansor.latency_seconds
@@ -37,7 +41,10 @@ fn main() {
         }
         speedups_ort.push(ort.latency_seconds / hidet.latency_seconds);
         rows.push(vec![
-            format!("c{}hw{}k{}s{}", w.in_channels, w.image_size, w.kernel, w.stride),
+            format!(
+                "c{}hw{}k{}s{}",
+                w.in_channels, w.image_size, w.kernel, w.stride
+            ),
             format!("{:.1}", ort.latency_seconds * 1e6),
             format!("{:.1}", ansor.latency_seconds * 1e6),
             format!("{:.1}", hidet.latency_seconds * 1e6),

@@ -33,7 +33,10 @@ fn main() {
             paper_winner.to_string(),
         ]);
     }
-    print_table(&["model", "TensorRT", "Hidet", "winner", "paper winner"], &rows);
+    print_table(
+        &["model", "TensorRT", "Hidet", "winner", "paper winner"],
+        &rows,
+    );
     println!(
         "\ngeomean TensorRT/Hidet ratio: {:.2}x",
         hidet_bench::geomean(&ratios)

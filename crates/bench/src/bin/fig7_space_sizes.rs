@@ -19,14 +19,20 @@ fn main() {
         sizes.push(size as f64);
         let (m, n, k) = w.gemm_shape();
         rows.push(vec![
-            format!("c{}hw{}k{}s{}", w.in_channels, w.image_size, w.kernel, w.stride),
+            format!(
+                "c{}hw{}k{}s{}",
+                w.in_channels, w.image_size, w.kernel, w.stride
+            ),
             format!("{m}x{n}x{k}"),
             format!("{size:.2e}", size = size as f64),
             hidet_space.to_string(),
         ]);
     }
     println!("=== Fig. 7: schedule-space sizes, ResNet-50 convolutions (batch 1) ===\n");
-    print_table(&["conv", "implicit GEMM", "AutoTVM space", "Hidet space"], &rows);
+    print_table(
+        &["conv", "implicit GEMM", "AutoTVM space", "Hidet space"],
+        &rows,
+    );
     let gm = geomean(&sizes);
     println!("\nmeasured geometric mean (AutoTVM): {gm:.2e}   [paper: 3.6e6]");
     println!(

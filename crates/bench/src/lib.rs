@@ -44,8 +44,14 @@ pub fn run_lineup(
     let executors: Vec<Box<dyn GraphExecutor>> = vec![
         Box::new(PyTorchLike),
         Box::new(OnnxRuntimeLike),
-        Box::new(AutoTvmLike { trials: tvm_trials, seed: 0 }),
-        Box::new(AnsorLike { trials: ansor_trials, seed: 0 }),
+        Box::new(AutoTvmLike {
+            trials: tvm_trials,
+            seed: 0,
+        }),
+        Box::new(AnsorLike {
+            trials: ansor_trials,
+            seed: 0,
+        }),
         Box::new(HidetExecutor::tuned()),
     ];
     executors.iter().map(|e| e.evaluate(graph, gpu)).collect()

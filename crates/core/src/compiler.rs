@@ -2,11 +2,14 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 use hidet_graph::passes::{constant_fold, lower_convs, partition};
 use hidet_graph::{Graph, OpKind, TensorId};
 use hidet_sched::fusion::{compile_group, CompiledGroup, GroupSchedule};
-use hidet_sched::{pick_reduce_config, tune_matmul, MatmulConfig, MatmulProblem};
+use hidet_sched::{
+    pick_reduce_config, try_tune_matmul, MatmulConfig, MatmulProblem, TuningCache, TuningRecord,
+};
 use hidet_sim::{DeviceMemory, Gpu, SimError};
 
 /// Per-kernel dispatch overhead of Hidet's lean graph executor, seconds.
@@ -42,7 +45,7 @@ impl From<SimError> for CompileError {
 }
 
 /// Compiler options.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CompilerOptions {
     /// Tune matmul anchors over the hardware-centric space. When `false`,
     /// the default configuration is used everywhere (fast compiles, e.g. in
@@ -52,6 +55,12 @@ pub struct CompilerOptions {
     pub disable_double_buffering: bool,
     /// Force parallel-k off (ablation studies).
     pub disable_parallel_k: bool,
+    /// Shared tuning-record store. When set (and `tune` is on), previously
+    /// tuned problems are scheduled from their records with **zero** trials,
+    /// and fresh tuning results are written back — the hook the serving
+    /// runtime uses to amortize tuning across compilations and process
+    /// restarts (see `hidet_sched::records`).
+    pub tuning_cache: Option<Arc<Mutex<TuningCache>>>,
 }
 
 impl CompilerOptions {
@@ -61,12 +70,49 @@ impl CompilerOptions {
             tune: true,
             disable_double_buffering: false,
             disable_parallel_k: false,
+            tuning_cache: None,
         }
     }
 
     /// No tuning: default schedules only.
     pub fn quick() -> CompilerOptions {
-        CompilerOptions { tune: false, ..CompilerOptions::tuned() }
+        CompilerOptions {
+            tune: false,
+            ..CompilerOptions::tuned()
+        }
+    }
+
+    /// Attaches a shared tuning-record store.
+    pub fn with_tuning_cache(mut self, cache: Arc<Mutex<TuningCache>>) -> CompilerOptions {
+        self.tuning_cache = Some(cache);
+        self
+    }
+
+    /// A stable fingerprint of every option that changes *what gets
+    /// compiled*. The tuning cache deliberately does not participate: it only
+    /// changes where tuned configs come from, not which config wins, so
+    /// compiled graphs remain interchangeable across cache attachments. Used
+    /// by the runtime's compiled-graph cache key.
+    pub fn cache_key_bits(&self) -> u64 {
+        (self.tune as u64)
+            | (self.disable_double_buffering as u64) << 1
+            | (self.disable_parallel_k as u64) << 2
+    }
+}
+
+impl PartialEq for CompilerOptions {
+    /// Equality over the compilation-relevant flags plus *identity* of the
+    /// attached tuning cache (two handles to the same store compare equal).
+    fn eq(&self, other: &CompilerOptions) -> bool {
+        let caches_match = match (&self.tuning_cache, &other.tuning_cache) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        self.tune == other.tune
+            && self.disable_double_buffering == other.disable_double_buffering
+            && self.disable_parallel_k == other.disable_parallel_k
+            && caches_match
     }
 }
 
@@ -83,6 +129,10 @@ pub struct CompiledGraph {
     groups: Vec<CompiledGroup>,
     tuning_seconds: f64,
     tuned: HashMap<(i64, i64, i64, i64), MatmulConfig>,
+    tuning_trials: usize,
+    record_hits: usize,
+    record_trials_saved: usize,
+    record_seconds_saved: f64,
 }
 
 /// Compiles a model for the given device (paper Fig. 10, steps 2–5).
@@ -100,6 +150,11 @@ pub fn compile(
     let groups = partition(&g);
 
     let mut tuning_seconds = 0.0;
+    let mut tuning_trials = 0usize;
+    let mut record_hits = 0usize;
+    let mut record_trials_saved = 0usize;
+    let mut record_seconds_saved = 0.0;
+    let device = gpu.spec().fingerprint();
     let mut tuned: HashMap<(i64, i64, i64, i64), MatmulConfig> = HashMap::new();
     let mut compiled_groups = Vec::with_capacity(groups.len());
     for group in &groups {
@@ -113,10 +168,30 @@ pub fn compile(
                     let config = if options.tune {
                         if let Some(cfg) = tuned.get(&key) {
                             *cfg
+                        } else if let Some(record) = lookup_record(options, gpu, &device, problem) {
+                            // Warm start: a persisted record schedules this
+                            // problem with zero trials.
+                            record_hits += 1;
+                            record_trials_saved += record.trials;
+                            record_seconds_saved += record.tuning_seconds;
+                            tuned.insert(key, record.config);
+                            record.config
                         } else {
-                            let report = tune_matmul(problem, gpu);
+                            let report = try_tune_matmul(problem, gpu).ok_or_else(|| {
+                                CompileError::Schedule(format!(
+                                    "no matmul schedule for {}x{}x{} (batch {}) fits \
+                                         device \"{}\"",
+                                    problem.m,
+                                    problem.n,
+                                    problem.k,
+                                    problem.batch,
+                                    gpu.spec().name
+                                ))
+                            })?;
                             tuning_seconds += report.tuning_seconds;
+                            tuning_trials += report.trials;
                             tuned.insert(key, report.best);
+                            store_record(options, &device, problem, &report);
                             report.best
                         }
                     } else {
@@ -148,7 +223,56 @@ pub fn compile(
         let compiled = compile_group(&g, group, &schedule).map_err(CompileError::Schedule)?;
         compiled_groups.push(compiled);
     }
-    Ok(CompiledGraph { graph: g, groups: compiled_groups, tuning_seconds, tuned })
+    Ok(CompiledGraph {
+        graph: g,
+        groups: compiled_groups,
+        tuning_seconds,
+        tuned,
+        tuning_trials,
+        record_hits,
+        record_trials_saved,
+        record_seconds_saved,
+    })
+}
+
+/// Consults the attached tuning-record store, if any. A record whose config
+/// does not actually fit the target device (a corrupted or hand-edited file;
+/// the JSON loader only guarantees positive fields) is ignored rather than
+/// fed to kernel generation — the problem simply re-tunes.
+fn lookup_record(
+    options: &CompilerOptions,
+    gpu: &Gpu,
+    device: &str,
+    problem: MatmulProblem,
+) -> Option<TuningRecord> {
+    let cache = options.tuning_cache.as_ref()?;
+    let cache = cache.lock().expect("tuning cache poisoned");
+    cache
+        .lookup(device, problem)
+        .filter(|record| record.config.fits(gpu.spec()))
+        .copied()
+}
+
+/// Persists a fresh tuning result into the attached store, if any.
+fn store_record(
+    options: &CompilerOptions,
+    device: &str,
+    problem: MatmulProblem,
+    report: &hidet_sched::TuneReport,
+) {
+    if let Some(cache) = &options.tuning_cache {
+        let mut cache = cache.lock().expect("tuning cache poisoned");
+        cache.insert(
+            device,
+            TuningRecord {
+                problem,
+                config: report.best,
+                trials: report.trials,
+                tuning_seconds: report.tuning_seconds,
+                best_latency_us: report.best_latency.micros(),
+            },
+        );
+    }
 }
 
 fn matmul_problem(g: &Graph, anchor: hidet_graph::OpId) -> MatmulProblem {
@@ -157,7 +281,12 @@ fn matmul_problem(g: &Graph, anchor: hidet_graph::OpId) -> MatmulProblem {
     let b = g.tensor(op.inputs[1]).shape();
     match op.kind {
         OpKind::Matmul => MatmulProblem::new(a[0], b[1], a[1]),
-        OpKind::BatchMatmul => MatmulProblem { batch: a[0], m: a[1], n: b[2], k: a[2] },
+        OpKind::BatchMatmul => MatmulProblem {
+            batch: a[0],
+            m: a[1],
+            n: b[2],
+            k: a[2],
+        },
         _ => unreachable!("matmul_problem on non-matmul anchor"),
     }
 }
@@ -189,8 +318,29 @@ impl CompiledGraph {
     }
 
     /// Simulated tuning wall-clock cost accumulated during compilation.
+    /// Problems served from tuning records cost nothing here.
     pub fn tuning_seconds(&self) -> f64 {
         self.tuning_seconds
+    }
+
+    /// Tuning trials actually executed during compilation.
+    pub fn tuning_trials(&self) -> usize {
+        self.tuning_trials
+    }
+
+    /// Matmul problems scheduled from persisted tuning records (zero trials).
+    pub fn record_hits(&self) -> usize {
+        self.record_hits
+    }
+
+    /// Trials that records saved (what the problems originally cost).
+    pub fn record_trials_saved(&self) -> usize {
+        self.record_trials_saved
+    }
+
+    /// Simulated tuning seconds that records saved.
+    pub fn record_seconds_saved(&self) -> f64 {
+        self.record_seconds_saved
     }
 
     /// Tuned matmul configurations, keyed by `(batch, m, n, k)`.
@@ -229,9 +379,9 @@ impl CompiledGraph {
     ) -> Result<HashMap<TensorId, Vec<f32>>, CompileError> {
         let mut mem = DeviceMemory::new();
         for &t in self.graph.inputs() {
-            let data = inputs.get(&t).ok_or_else(|| {
-                CompileError::BadInput(format!("missing input tensor t{}", t.0))
-            })?;
+            let data = inputs
+                .get(&t)
+                .ok_or_else(|| CompileError::BadInput(format!("missing input tensor t{}", t.0)))?;
             let expect = self.graph.tensor(t).numel() as usize;
             if data.len() != expect {
                 return Err(CompileError::BadInput(format!(
@@ -335,6 +485,67 @@ mod tests {
     }
 
     #[test]
+    fn tuning_cache_warm_start_costs_zero() {
+        let (graph, _, _) = toy_graph();
+        let gpu = Gpu::default();
+        let cache = Arc::new(Mutex::new(TuningCache::new()));
+        let opts = CompilerOptions::tuned().with_tuning_cache(cache.clone());
+        let cold = compile(&graph, &gpu, &opts).unwrap();
+        assert!(cold.tuning_seconds() > 0.0);
+        assert!(cold.tuning_trials() > 0);
+        assert_eq!(cold.record_hits(), 0);
+        assert_eq!(cache.lock().unwrap().len(), 1);
+
+        let warm = compile(&graph, &gpu, &opts).unwrap();
+        assert_eq!(warm.tuning_seconds(), 0.0);
+        assert_eq!(warm.tuning_trials(), 0);
+        assert_eq!(warm.record_hits(), 1);
+        assert_eq!(warm.record_trials_saved(), cold.tuning_trials());
+        assert_eq!(cold.tuned_configs(), warm.tuned_configs());
+    }
+
+    #[test]
+    fn ill_fitting_record_is_ignored_not_executed() {
+        // A record whose config exceeds the device (e.g. from a hand-edited
+        // file) must fall back to tuning, not reach kernel generation.
+        let (graph, _, _) = toy_graph();
+        let gpu = Gpu::default();
+        let cache = Arc::new(Mutex::new(TuningCache::new()));
+        let bogus = hidet_sched::MatmulConfig {
+            block_m: 1 << 20, // absurd tile: fails `fits` on any device
+            ..hidet_sched::MatmulConfig::default()
+        };
+        cache.lock().unwrap().insert(
+            &gpu.spec().fingerprint(),
+            hidet_sched::TuningRecord {
+                problem: MatmulProblem::new(8, 12, 16),
+                config: bogus,
+                trials: 1,
+                tuning_seconds: 0.2,
+                best_latency_us: 1.0,
+            },
+        );
+        let opts = CompilerOptions::tuned().with_tuning_cache(cache);
+        let compiled = compile(&graph, &gpu, &opts).unwrap();
+        assert_eq!(compiled.record_hits(), 0, "bogus record must not be used");
+        assert!(compiled.tuning_trials() > 0, "problem must re-tune");
+    }
+
+    #[test]
+    fn tuning_cache_is_device_scoped() {
+        let (graph, _, _) = toy_graph();
+        let cache = Arc::new(Mutex::new(TuningCache::new()));
+        let opts = CompilerOptions::tuned().with_tuning_cache(cache);
+        let big = Gpu::default();
+        let small = Gpu::new(hidet_sim::GpuSpec::tiny());
+        let _ = compile(&graph, &big, &opts).unwrap();
+        // Records tuned for the 3090 must not be served to the tiny device.
+        let other = compile(&graph, &small, &opts).unwrap();
+        assert_eq!(other.record_hits(), 0);
+        assert!(other.tuning_trials() > 0);
+    }
+
+    #[test]
     fn tuning_cost_deduplicates_identical_problems() {
         // Two identical matmuls: one tuning task.
         let mut g = GraphBuilder::new("twin");
@@ -357,7 +568,7 @@ mod tests {
         let opts = CompilerOptions {
             tune: false,
             disable_double_buffering: true,
-            disable_parallel_k: false,
+            ..CompilerOptions::tuned()
         };
         let compiled = compile(&graph, &gpu, &opts).unwrap();
         for group in compiled.groups() {

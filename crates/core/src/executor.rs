@@ -5,19 +5,13 @@ use hidet_baselines::{ExecutorReport, GraphExecutor};
 use hidet_graph::Graph;
 use hidet_sim::Gpu;
 
-use crate::compiler::{compile, CompilerOptions};
+use crate::compiler::{compile, CompileError, CompilerOptions};
 
 /// End-to-end Hidet executor: compile (optionally tuned), then estimate.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Default)]
 pub struct HidetExecutor {
     /// Compiler options used for every model.
     pub options: CompilerOptions,
-}
-
-impl Default for HidetExecutor {
-    fn default() -> Self {
-        HidetExecutor { options: CompilerOptions::tuned() }
-    }
 }
 
 impl HidetExecutor {
@@ -28,7 +22,23 @@ impl HidetExecutor {
 
     /// Untuned executor (default schedules; useful for quick tests).
     pub fn quick() -> HidetExecutor {
-        HidetExecutor { options: CompilerOptions::quick() }
+        HidetExecutor {
+            options: CompilerOptions::quick(),
+        }
+    }
+
+    /// Fallible evaluation: the [`CompileError`] is returned instead of being
+    /// folded into the report.
+    pub fn try_evaluate(&self, graph: &Graph, gpu: &Gpu) -> Result<ExecutorReport, CompileError> {
+        let compiled = compile(graph, gpu, &self.options)?;
+        Ok(ExecutorReport {
+            executor: "Hidet".to_string(),
+            model: graph.name().to_string(),
+            latency_seconds: compiled.estimate(gpu),
+            tuning_seconds: compiled.tuning_seconds(),
+            kernel_launches: compiled.num_kernels(),
+            failure: None,
+        })
     }
 }
 
@@ -37,17 +47,13 @@ impl GraphExecutor for HidetExecutor {
         "Hidet"
     }
 
+    /// Evaluates the model. Compile failures surface as a failed
+    /// [`ExecutorReport`] (infinite latency, `failure` set) rather than a
+    /// panic, so one broken model cannot take down a whole benchmark sweep;
+    /// use [`HidetExecutor::try_evaluate`] for the typed error.
     fn evaluate(&self, graph: &Graph, gpu: &Gpu) -> ExecutorReport {
-        match compile(graph, gpu, &self.options) {
-            Ok(compiled) => ExecutorReport {
-                executor: self.name().to_string(),
-                model: graph.name().to_string(),
-                latency_seconds: compiled.estimate(gpu),
-                tuning_seconds: compiled.tuning_seconds(),
-                kernel_launches: compiled.num_kernels(),
-            },
-            Err(e) => panic!("hidet failed to compile {}: {e}", graph.name()),
-        }
+        self.try_evaluate(graph, gpu)
+            .unwrap_or_else(|e| ExecutorReport::failed("Hidet", graph.name(), e.to_string()))
     }
 }
 
@@ -76,6 +82,34 @@ mod tests {
         assert!(report.latency_seconds > 0.0);
         assert_eq!(report.tuning_seconds, 0.0);
         assert_eq!(report.kernel_launches, 2);
+    }
+
+    #[test]
+    fn unschedulable_graph_reports_failure_instead_of_panicking() {
+        // A matmul wider than any device tile cannot break the template, but
+        // an empty-side matmul trips shape inference far earlier — instead,
+        // exercise the real failure path: a graph whose anchor has no valid
+        // schedule on a pathologically tiny device.
+        let gpu = Gpu::new(hidet_sim::GpuSpec {
+            shared_mem_per_block: 1, // nothing fits
+            ..hidet_sim::GpuSpec::tiny()
+        });
+        let report = HidetExecutor::quick().evaluate(&mlp(), &gpu);
+        if let Some(reason) = &report.failure {
+            assert!(report.latency_seconds.is_infinite());
+            assert!(!reason.is_empty());
+        } else {
+            // If the default config still fits this device the report is
+            // ordinary — the contract under test is only "no panic".
+            assert!(report.latency_seconds > 0.0);
+        }
+        // The tuned path must uphold the same contract: with no schedulable
+        // candidate the whole space is empty, which is a typed compile
+        // error, not a tuner panic.
+        let tuned = HidetExecutor::tuned().evaluate(&mlp(), &gpu);
+        let reason = tuned.failure.expect("1-byte smem schedules nothing");
+        assert!(reason.contains("no matmul schedule"), "{reason}");
+        assert!(tuned.latency_seconds.is_infinite());
     }
 
     #[test]

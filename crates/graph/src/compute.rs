@@ -95,7 +95,10 @@ impl ComputeDef {
     /// Panics if `indices.len()` differs from the axis count.
     pub fn element_at(&self, indices: &[Expr]) -> Expr {
         assert_eq!(indices.len(), self.axes.len(), "index count mismatch");
-        assert!(self.is_injective(), "element_at requires an injective definition");
+        assert!(
+            self.is_injective(),
+            "element_at requires an injective definition"
+        );
         rewrite_expr(&self.expr, &mut |e| {
             if let Expr::Var(v) = e {
                 if let Some(pos) = self.axes.iter().position(|a| a == v) {
@@ -138,7 +141,12 @@ pub fn compute_def(kind: &OpKind, input_shapes: &[&[i64]]) -> Option<ComputeDef>
     match kind {
         OpKind::Unary(u) => {
             let x = load(&input_buffer(0, input_shapes[0]), axis_exprs);
-            Some(ComputeDef { out_shape, axes, expr: unary_expr(*u, x), reduction: None })
+            Some(ComputeDef {
+                out_shape,
+                axes,
+                expr: unary_expr(*u, x),
+                reduction: None,
+            })
         }
         OpKind::Binary(b) => {
             let lhs = broadcast_load(0, input_shapes[0], &out_shape, &axis_exprs);
@@ -149,21 +157,36 @@ pub fn compute_def(kind: &OpKind, input_shapes: &[&[i64]]) -> Option<ComputeDef>
                 crate::op::BinaryKind::Mul => lhs * rhs,
                 crate::op::BinaryKind::Div => lhs / rhs,
             };
-            Some(ComputeDef { out_shape, axes, expr, reduction: None })
+            Some(ComputeDef {
+                out_shape,
+                axes,
+                expr,
+                reduction: None,
+            })
         }
         OpKind::BatchNorm => {
             let x = load(&input_buffer(0, input_shapes[0]), axis_exprs.clone());
             let ch = axis_exprs[1].clone();
             let scale = load(&input_buffer(1, input_shapes[1]), vec![ch.clone()]);
             let shift = load(&input_buffer(2, input_shapes[2]), vec![ch]);
-            Some(ComputeDef { out_shape, axes, expr: x * scale + shift, reduction: None })
+            Some(ComputeDef {
+                out_shape,
+                axes,
+                expr: x * scale + shift,
+                reduction: None,
+            })
         }
         OpKind::Reshape { .. } => {
             // out[axes] = in[delinearize(linearize(axes, out_shape), in_shape)]
             let flat = linearize_expr(&axis_exprs, &out_shape);
             let in_idx = delinearize_expr(flat, input_shapes[0]);
             let expr = load(&input_buffer(0, input_shapes[0]), in_idx);
-            Some(ComputeDef { out_shape, axes, expr, reduction: None })
+            Some(ComputeDef {
+                out_shape,
+                axes,
+                expr,
+                reduction: None,
+            })
         }
         OpKind::Transpose { perm } => {
             // out[i...] = in[inverse_perm applied]: in axis p goes to out axis
@@ -173,9 +196,18 @@ pub fn compute_def(kind: &OpKind, input_shapes: &[&[i64]]) -> Option<ComputeDef>
                 in_idx[p] = axis_exprs[j].clone();
             }
             let expr = load(&input_buffer(0, input_shapes[0]), in_idx);
-            Some(ComputeDef { out_shape, axes, expr, reduction: None })
+            Some(ComputeDef {
+                out_shape,
+                axes,
+                expr,
+                reduction: None,
+            })
         }
-        OpKind::Img2col { kernel, stride, padding } => {
+        OpKind::Img2col {
+            kernel,
+            stride,
+            padding,
+        } => {
             let x_shape = input_shapes[0];
             let (c, h, w) = (x_shape[1], x_shape[2], x_shape[3]);
             let oh = (h + 2 * padding - kernel) / stride + 1;
@@ -204,7 +236,12 @@ pub fn compute_def(kind: &OpKind, input_shapes: &[&[i64]]) -> Option<ComputeDef>
             let _ = c;
             let x = load(&input_buffer(0, x_shape), vec![n, cx, ih_c, iw_c]);
             let expr = in_bounds.select(x, 0.0f32);
-            Some(ComputeDef { out_shape, axes, expr, reduction: None })
+            Some(ComputeDef {
+                out_shape,
+                axes,
+                expr,
+                reduction: None,
+            })
         }
         OpKind::Concat { axis } => {
             // Nested select over the inputs by cumulative axis offset; the
@@ -226,18 +263,32 @@ pub fn compute_def(kind: &OpKind, input_shapes: &[&[i64]]) -> Option<ComputeDef>
                     Some(rest) => axis_exprs[*axis].clone().lt(bound).select(val, rest),
                 });
             }
-            Some(ComputeDef { out_shape, axes, expr: chain.expect("at least one input"), reduction: None })
+            Some(ComputeDef {
+                out_shape,
+                axes,
+                expr: chain.expect("at least one input"),
+                reduction: None,
+            })
         }
         OpKind::Matmul => {
             let k_extent = input_shapes[0][1];
             let k = Var::index("k");
-            let a = load(&input_buffer(0, input_shapes[0]), vec![axis_exprs[0].clone(), k.expr()]);
-            let b = load(&input_buffer(1, input_shapes[1]), vec![k.expr(), axis_exprs[1].clone()]);
+            let a = load(
+                &input_buffer(0, input_shapes[0]),
+                vec![axis_exprs[0].clone(), k.expr()],
+            );
+            let b = load(
+                &input_buffer(1, input_shapes[1]),
+                vec![k.expr(), axis_exprs[1].clone()],
+            );
             Some(ComputeDef {
                 out_shape,
                 axes,
                 expr: a * b,
-                reduction: Some(Reduction { axes: vec![(k, k_extent)], op: ReduceOp::Sum }),
+                reduction: Some(Reduction {
+                    axes: vec![(k, k_extent)],
+                    op: ReduceOp::Sum,
+                }),
             })
         }
         // Scheduled by dedicated templates / native lowering.
@@ -257,7 +308,7 @@ fn unary_expr(u: UnaryKind, x: Expr) -> Expr {
         UnaryKind::Relu6 => x.max(0.0f32).min(6.0f32),
         UnaryKind::Gelu => {
             // 0.5 x (1 + erf(x / sqrt(2)))
-            let inner = (x.clone() * 0.70710678f32).unary(UnOp::Erf);
+            let inner = (x.clone() * std::f32::consts::FRAC_1_SQRT_2).unary(UnOp::Erf);
             x * 0.5f32 * (inner + 1.0f32)
         }
         UnaryKind::Tanh => x.unary(UnOp::Tanh),
@@ -303,7 +354,11 @@ pub fn delinearize_expr(flat: Expr, shape: &[i64]) -> Vec<Expr> {
     }
     (0..n)
         .map(|i| {
-            let q = if strides[i] == 1 { flat.clone() } else { flat.clone() / strides[i] };
+            let q = if strides[i] == 1 {
+                flat.clone()
+            } else {
+                flat.clone() / strides[i]
+            };
             let e = if i == 0 { q } else { q % shape[i] };
             hidet_ir::passes::simplify_expr(&e)
         })
@@ -340,8 +395,7 @@ mod tests {
 
     #[test]
     fn transpose_definition_inverts_perm() {
-        let def =
-            compute_def(&OpKind::Transpose { perm: vec![1, 0] }, &[&[3, 5]]).unwrap();
+        let def = compute_def(&OpKind::Transpose { perm: vec![1, 0] }, &[&[3, 5]]).unwrap();
         assert_eq!(def.expr.to_string(), "in0[i1, i0]");
         assert_eq!(def.out_shape, vec![5, 3]);
     }
@@ -365,7 +419,11 @@ mod tests {
     #[test]
     fn img2col_definition_pads_with_zero() {
         let def = compute_def(
-            &OpKind::Img2col { kernel: 3, stride: 1, padding: 1 },
+            &OpKind::Img2col {
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
             &[&[1, 2, 4, 4]],
         )
         .unwrap();

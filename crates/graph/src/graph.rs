@@ -67,10 +67,7 @@ impl Graph {
 
     /// The operator producing `tensor`, if any (inputs/constants have none).
     pub fn producer(&self, tensor: TensorId) -> Option<OpId> {
-        self.ops
-            .iter()
-            .position(|op| op.output == tensor)
-            .map(OpId)
+        self.ops.iter().position(|op| op.output == tensor).map(OpId)
     }
 
     /// All operators consuming `tensor`.
@@ -179,7 +176,10 @@ impl GraphBuilder {
     /// Starts a new graph.
     pub fn new(name: &str) -> GraphBuilder {
         GraphBuilder {
-            graph: Graph { name: name.to_string(), ..Graph::default() },
+            graph: Graph {
+                name: name.to_string(),
+                ..Graph::default()
+            },
             op_counter: HashMap::new(),
             seed_counter: 0,
         }
@@ -243,13 +243,33 @@ impl GraphBuilder {
 
     /// 2-D convolution.
     pub fn conv2d(&mut self, x: TensorId, w: TensorId, stride: i64, padding: i64) -> TensorId {
-        self.apply(OpKind::Conv2d { stride, padding, groups: 1 }, &[x, w])
+        self.apply(
+            OpKind::Conv2d {
+                stride,
+                padding,
+                groups: 1,
+            },
+            &[x, w],
+        )
     }
 
     /// Depthwise 2-D convolution (`groups == channels`).
-    pub fn depthwise_conv2d(&mut self, x: TensorId, w: TensorId, stride: i64, padding: i64) -> TensorId {
+    pub fn depthwise_conv2d(
+        &mut self,
+        x: TensorId,
+        w: TensorId,
+        stride: i64,
+        padding: i64,
+    ) -> TensorId {
         let groups = self.graph.tensor(x).shape()[1];
-        self.apply(OpKind::Conv2d { stride, padding, groups }, &[x, w])
+        self.apply(
+            OpKind::Conv2d {
+                stride,
+                padding,
+                groups,
+            },
+            &[x, w],
+        )
     }
 
     /// Matrix multiplication.
@@ -325,12 +345,26 @@ impl GraphBuilder {
 
     /// Max pooling.
     pub fn max_pool(&mut self, x: TensorId, kernel: i64, stride: i64, padding: i64) -> TensorId {
-        self.apply(OpKind::MaxPool { kernel, stride, padding }, &[x])
+        self.apply(
+            OpKind::MaxPool {
+                kernel,
+                stride,
+                padding,
+            },
+            &[x],
+        )
     }
 
     /// Average pooling.
     pub fn avg_pool(&mut self, x: TensorId, kernel: i64, stride: i64, padding: i64) -> TensorId {
-        self.apply(OpKind::AvgPool { kernel, stride, padding }, &[x])
+        self.apply(
+            OpKind::AvgPool {
+                kernel,
+                stride,
+                padding,
+            },
+            &[x],
+        )
     }
 
     /// Global average pooling to `[N, C]`.
@@ -340,12 +374,22 @@ impl GraphBuilder {
 
     /// Reshape.
     pub fn reshape(&mut self, x: TensorId, shape: &[i64]) -> TensorId {
-        self.apply(OpKind::Reshape { shape: shape.to_vec() }, &[x])
+        self.apply(
+            OpKind::Reshape {
+                shape: shape.to_vec(),
+            },
+            &[x],
+        )
     }
 
     /// Transpose.
     pub fn transpose(&mut self, x: TensorId, perm: &[usize]) -> TensorId {
-        self.apply(OpKind::Transpose { perm: perm.to_vec() }, &[x])
+        self.apply(
+            OpKind::Transpose {
+                perm: perm.to_vec(),
+            },
+            &[x],
+        )
     }
 
     /// Concatenation.

@@ -20,6 +20,7 @@
 
 pub mod compute;
 pub mod graph;
+pub mod hash;
 pub mod models;
 pub mod op;
 pub mod passes;
@@ -28,6 +29,7 @@ pub mod tensor;
 
 pub use compute::{ComputeDef, Reduction};
 pub use graph::{Graph, GraphBuilder, OpId, TensorId};
+pub use hash::StableHasher;
 pub use op::{BinaryKind, FuseClass, OpKind, Operator, UnaryKind};
 pub use passes::FusedGroup;
 pub use tensor::Tensor;

@@ -39,8 +39,12 @@ pub fn resnet50(batch: i64) -> crate::graph::Graph {
     let x = g.input("images", &[batch, 3, 224, 224]);
     let mut y = g.conv_bn_relu(x, 64, 7, 2, 3);
     y = g.max_pool(y, 3, 2, 1);
-    let stages: [(i64, i64, usize, i64); 4] =
-        [(64, 256, 3, 1), (128, 512, 4, 2), (256, 1024, 6, 2), (512, 2048, 3, 2)];
+    let stages: [(i64, i64, usize, i64); 4] = [
+        (64, 256, 3, 1),
+        (128, 512, 4, 2),
+        (256, 1024, 6, 2),
+        (512, 2048, 3, 2),
+    ];
     for (mid, out, blocks, stride) in stages {
         y = bottleneck(&mut g, y, mid, out, stride);
         for _ in 1..blocks {
@@ -59,7 +63,10 @@ pub fn resnet50_conv_workloads(batch: i64) -> Vec<ConvWorkload> {
     let graph = resnet50(batch);
     let mut out: Vec<ConvWorkload> = Vec::new();
     for op in graph.ops() {
-        if let crate::op::OpKind::Conv2d { stride, padding, .. } = op.kind {
+        if let crate::op::OpKind::Conv2d {
+            stride, padding, ..
+        } = op.kind
+        {
             let xs = graph.tensor(op.inputs[0]).shape();
             let ws = graph.tensor(op.inputs[1]).shape();
             let w = ConvWorkload {

@@ -40,7 +40,10 @@ fn transformer_block(
     // Scores: [heads, seq, seq] = qh x kh^T, scaled.
     let kt = g.transpose(kh, &[0, 2, 1]);
     let scores = g.batch_matmul(qh, kt);
-    let scale = g.constant(crate::tensor::Tensor::full(&[1], 1.0 / (head_dim as f32).sqrt()));
+    let scale = g.constant(crate::tensor::Tensor::full(
+        &[1],
+        1.0 / (head_dim as f32).sqrt(),
+    ));
     let scores = g.mul(scores, scale);
     let probs = g.softmax(scores, 2);
     // Context: [heads, seq, head_dim] -> [seq, hidden].
@@ -50,9 +53,17 @@ fn transformer_block(
     let wo = g.weight(&[hidden, hidden]);
     let proj = g.matmul(ctx, wo);
     let attn_out = g.add(proj, x);
-    let attn_out = if pre_ln { attn_out } else { g.layer_norm(attn_out) };
+    let attn_out = if pre_ln {
+        attn_out
+    } else {
+        g.layer_norm(attn_out)
+    };
     // Feed-forward.
-    let ffn_in = if pre_ln { g.layer_norm(attn_out) } else { attn_out };
+    let ffn_in = if pre_ln {
+        g.layer_norm(attn_out)
+    } else {
+        attn_out
+    };
     let w1 = g.weight(&[hidden, ffn_dim]);
     let b1 = g.weight(&[ffn_dim]);
     let h = g.matmul(ffn_in, w1);
@@ -115,7 +126,11 @@ mod tests {
     fn bert_structure() {
         let g = bert_base(1, 128);
         assert_eq!(g.tensor(g.outputs()[0]).shape(), &[128, 768]);
-        let matmuls = g.ops().iter().filter(|o| matches!(o.kind, OpKind::Matmul)).count();
+        let matmuls = g
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Matmul))
+            .count();
         // 12 layers x (3 QKV + 1 out + 2 FFN) + 1 head = 73.
         assert_eq!(matmuls, 73);
         let bmm = g
@@ -124,7 +139,7 @@ mod tests {
             .filter(|o| matches!(o.kind, OpKind::BatchMatmul))
             .count();
         assert_eq!(bmm, 24); // scores + context per layer
-        // ~22.3 GFLOPs for Bert-base at seq 128 (matmul-dominated).
+                             // ~22.3 GFLOPs for Bert-base at seq 128 (matmul-dominated).
         let gflops = g.total_flops() / 1e9;
         assert!((15.0..30.0).contains(&gflops), "got {gflops}");
     }
@@ -133,7 +148,11 @@ mod tests {
     fn gpt2_uses_pre_ln() {
         let g = gpt2(1, 128);
         assert_eq!(g.tensor(g.outputs()[0]).shape(), &[128, 768]);
-        let lns = g.ops().iter().filter(|o| matches!(o.kind, OpKind::LayerNorm)).count();
+        let lns = g
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::LayerNorm))
+            .count();
         assert_eq!(lns, 25); // 2 per layer + final
     }
 
@@ -150,6 +169,9 @@ mod tests {
             .iter()
             .filter(|o| matches!(o.kind, OpKind::Transpose { .. }))
             .count();
-        assert!(reshapes >= 48 && transposes >= 60, "{reshapes} reshapes, {transposes} transposes");
+        assert!(
+            reshapes >= 48 && transposes >= 60,
+            "{reshapes} reshapes, {transposes} transposes"
+        );
     }
 }

@@ -136,13 +136,21 @@ impl OpKind {
     /// boundary.
     pub fn infer_shape(&self, inputs: &[&[i64]]) -> Vec<i64> {
         match self {
-            OpKind::Conv2d { stride, padding, groups } => {
+            OpKind::Conv2d {
+                stride,
+                padding,
+                groups,
+            } => {
                 let (x, w) = (inputs[0], inputs[1]);
                 assert_eq!(x.len(), 4, "conv2d input must be NCHW, got {x:?}");
                 assert_eq!(w.len(), 4, "conv2d weight must be OIHW, got {w:?}");
                 let (n, c, h, wd) = (x[0], x[1], x[2], x[3]);
                 let (o, ci, kh, kw) = (w[0], w[1], w[2], w[3]);
-                assert_eq!(c, ci * groups, "conv2d channel mismatch: {c} vs {ci}*{groups}");
+                assert_eq!(
+                    c,
+                    ci * groups,
+                    "conv2d channel mismatch: {c} vs {ci}*{groups}"
+                );
                 assert_eq!(o % groups, 0, "output channels must divide groups");
                 let oh = (h + 2 * padding - kh) / stride + 1;
                 let ow = (wd + 2 * padding - kw) / stride + 1;
@@ -184,8 +192,16 @@ impl OpKind {
                 assert_eq!(inputs[2], &[last], "beta must match last axis");
                 x.to_vec()
             }
-            OpKind::MaxPool { kernel, stride, padding }
-            | OpKind::AvgPool { kernel, stride, padding } => {
+            OpKind::MaxPool {
+                kernel,
+                stride,
+                padding,
+            }
+            | OpKind::AvgPool {
+                kernel,
+                stride,
+                padding,
+            } => {
                 let x = inputs[0];
                 assert_eq!(x.len(), 4, "pooling input must be NCHW");
                 let oh = (x[2] + 2 * padding - kernel) / stride + 1;
@@ -200,7 +216,11 @@ impl OpKind {
             OpKind::Reshape { shape } => {
                 let vol_in: i64 = inputs[0].iter().product();
                 let vol_out: i64 = shape.iter().product();
-                assert_eq!(vol_in, vol_out, "reshape volume mismatch: {:?} -> {shape:?}", inputs[0]);
+                assert_eq!(
+                    vol_in, vol_out,
+                    "reshape volume mismatch: {:?} -> {shape:?}",
+                    inputs[0]
+                );
                 shape.clone()
             }
             OpKind::Transpose { perm } => {
@@ -213,7 +233,11 @@ impl OpKind {
                 }
                 perm.iter().map(|&p| x[p]).collect()
             }
-            OpKind::Img2col { kernel, stride, padding } => {
+            OpKind::Img2col {
+                kernel,
+                stride,
+                padding,
+            } => {
                 let x = inputs[0];
                 assert_eq!(x.len(), 4, "img2col input must be NCHW");
                 let oh = (x[2] + 2 * padding - kernel) / stride + 1;
@@ -270,7 +294,12 @@ impl OpKind {
     /// consuming the anchor's output through input `input_idx`, given the
     /// input/output shapes. Requires bijectivity in that operand: every
     /// element flowing in lands in exactly one output element.
-    pub fn epilogue_eligible(&self, input_idx: usize, input_shape: &[i64], out_shape: &[i64]) -> bool {
+    pub fn epilogue_eligible(
+        &self,
+        input_idx: usize,
+        input_shape: &[i64],
+        out_shape: &[i64],
+    ) -> bool {
         match self {
             OpKind::Unary(_) | OpKind::Reshape { .. } | OpKind::Transpose { .. } => true,
             OpKind::BatchNorm => input_idx == 0,
@@ -327,8 +356,16 @@ pub fn broadcast_shape(a: &[i64], b: &[i64]) -> Vec<i64> {
     let rank = a.len().max(b.len());
     let mut out = Vec::with_capacity(rank);
     for i in 0..rank {
-        let da = if i < rank - a.len() { 1 } else { a[i - (rank - a.len())] };
-        let db = if i < rank - b.len() { 1 } else { b[i - (rank - b.len())] };
+        let da = if i < rank - a.len() {
+            1
+        } else {
+            a[i - (rank - a.len())]
+        };
+        let db = if i < rank - b.len() {
+            1
+        } else {
+            b[i - (rank - b.len())]
+        };
         if da == db || db == 1 {
             out.push(da);
         } else if da == 1 {
@@ -372,19 +409,36 @@ mod tests {
 
     #[test]
     fn conv_shape_inference() {
-        let k = OpKind::Conv2d { stride: 2, padding: 1, groups: 1 };
-        assert_eq!(k.infer_shape(&[&[1, 256, 28, 28], &[512, 256, 3, 3]]), vec![1, 512, 14, 14]);
+        let k = OpKind::Conv2d {
+            stride: 2,
+            padding: 1,
+            groups: 1,
+        };
+        assert_eq!(
+            k.infer_shape(&[&[1, 256, 28, 28], &[512, 256, 3, 3]]),
+            vec![1, 512, 14, 14]
+        );
     }
 
     #[test]
     fn depthwise_conv_shape() {
-        let k = OpKind::Conv2d { stride: 1, padding: 1, groups: 32 };
-        assert_eq!(k.infer_shape(&[&[1, 32, 14, 14], &[32, 1, 3, 3]]), vec![1, 32, 14, 14]);
+        let k = OpKind::Conv2d {
+            stride: 1,
+            padding: 1,
+            groups: 32,
+        };
+        assert_eq!(
+            k.infer_shape(&[&[1, 32, 14, 14], &[32, 1, 3, 3]]),
+            vec![1, 32, 14, 14]
+        );
     }
 
     #[test]
     fn matmul_and_batch_matmul() {
-        assert_eq!(OpKind::Matmul.infer_shape(&[&[128, 768], &[768, 768]]), vec![128, 768]);
+        assert_eq!(
+            OpKind::Matmul.infer_shape(&[&[128, 768], &[768, 768]]),
+            vec![128, 768]
+        );
         assert_eq!(
             OpKind::BatchMatmul.infer_shape(&[&[12, 128, 64], &[12, 64, 128]]),
             vec![12, 128, 128]
@@ -412,21 +466,34 @@ mod tests {
 
     #[test]
     fn img2col_shape() {
-        let k = OpKind::Img2col { kernel: 3, stride: 2, padding: 1 };
+        let k = OpKind::Img2col {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
         // 28x28, k3 s2 p1 -> 14x14 windows.
         assert_eq!(k.infer_shape(&[&[1, 256, 28, 28]]), vec![196, 2304]);
     }
 
     #[test]
     fn pooling_shapes() {
-        let k = OpKind::MaxPool { kernel: 3, stride: 2, padding: 1 };
+        let k = OpKind::MaxPool {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
         assert_eq!(k.infer_shape(&[&[1, 64, 112, 112]]), vec![1, 64, 56, 56]);
-        assert_eq!(OpKind::GlobalAvgPool.infer_shape(&[&[1, 2048, 7, 7]]), vec![1, 2048]);
+        assert_eq!(
+            OpKind::GlobalAvgPool.infer_shape(&[&[1, 2048, 7, 7]]),
+            vec![1, 2048]
+        );
     }
 
     #[test]
     fn transpose_and_reshape() {
-        let t = OpKind::Transpose { perm: vec![0, 2, 1] };
+        let t = OpKind::Transpose {
+            perm: vec![0, 2, 1],
+        };
         assert_eq!(t.infer_shape(&[&[2, 3, 4]]), vec![2, 4, 3]);
         let r = OpKind::Reshape { shape: vec![6, 4] };
         assert_eq!(r.infer_shape(&[&[2, 3, 4]]), vec![6, 4]);
@@ -443,9 +510,23 @@ mod tests {
 
     #[test]
     fn fusion_classes_match_paper() {
-        assert_eq!(OpKind::Unary(UnaryKind::Relu).fuse_class(), FuseClass::Bijective);
-        assert_eq!(OpKind::Reshape { shape: vec![1] }.fuse_class(), FuseClass::Bijective);
-        assert_eq!(OpKind::Img2col { kernel: 3, stride: 1, padding: 1 }.fuse_class(), FuseClass::Injective);
+        assert_eq!(
+            OpKind::Unary(UnaryKind::Relu).fuse_class(),
+            FuseClass::Bijective
+        );
+        assert_eq!(
+            OpKind::Reshape { shape: vec![1] }.fuse_class(),
+            FuseClass::Bijective
+        );
+        assert_eq!(
+            OpKind::Img2col {
+                kernel: 3,
+                stride: 1,
+                padding: 1
+            }
+            .fuse_class(),
+            FuseClass::Injective
+        );
         assert_eq!(OpKind::Matmul.fuse_class(), FuseClass::Reduce);
         assert!(OpKind::Matmul.is_anchor());
         assert!(!OpKind::Unary(UnaryKind::Relu).is_anchor());

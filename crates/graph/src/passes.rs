@@ -33,8 +33,7 @@ pub fn constant_fold(graph: &mut Graph) -> usize {
                 .iter()
                 .map(|t| tensors[t.0].data().expect("const"))
                 .collect();
-            let shapes: Vec<&[i64]> =
-                op.inputs.iter().map(|t| tensors[t.0].shape()).collect();
+            let shapes: Vec<&[i64]> = op.inputs.iter().map(|t| tensors[t.0].shape()).collect();
             let out_shape = tensors[op.output.0].shape().to_vec();
             let value = reference::eval_kind(&op.kind, &ins, &shapes, &out_shape);
             tensors[op.output.0] = Tensor::from_vec(&out_shape, value);
@@ -67,7 +66,11 @@ pub fn lower_convs(graph: &mut Graph) -> usize {
     let mut fresh: HashMap<&'static str, usize> = HashMap::new();
     for op in ops {
         match &op.kind {
-            OpKind::Conv2d { stride, padding, groups } if *groups == 1 => {
+            OpKind::Conv2d {
+                stride,
+                padding,
+                groups,
+            } if *groups == 1 => {
                 let x = op.inputs[0];
                 let w = op.inputs[1];
                 let xs = tensors[x.0].shape().to_vec();
@@ -95,30 +98,62 @@ pub fn lower_convs(graph: &mut Graph) -> usize {
                     let c = fresh.entry(kind.mnemonic()).or_insert(1000);
                     let name = format!("{}_{}", kind.mnemonic(), c);
                     *c += 1;
-                    new_ops.push(Operator { name, kind, inputs, output });
+                    new_ops.push(Operator {
+                        name,
+                        kind,
+                        inputs,
+                        output,
+                    });
                     output
                 };
                 // Data path: unfold input windows.
                 let cols = push(
-                    OpKind::Img2col { kernel: kh, stride: *stride, padding: *padding },
+                    OpKind::Img2col {
+                        kernel: kh,
+                        stride: *stride,
+                        padding: *padding,
+                    },
                     vec![x],
                     &mut tensors,
                     None,
                 );
                 // Weight path (const-folds away): [O,C,KH,KW] -> [CKK, O].
-                let wr = push(OpKind::Reshape { shape: vec![o, ckk] }, vec![w], &mut tensors, None);
-                let wt = push(OpKind::Transpose { perm: vec![1, 0] }, vec![wr], &mut tensors, None);
+                let wr = push(
+                    OpKind::Reshape {
+                        shape: vec![o, ckk],
+                    },
+                    vec![w],
+                    &mut tensors,
+                    None,
+                );
+                let wt = push(
+                    OpKind::Transpose { perm: vec![1, 0] },
+                    vec![wr],
+                    &mut tensors,
+                    None,
+                );
                 // GEMM and fold back to NCHW.
                 let mm = push(OpKind::Matmul, vec![cols, wt], &mut tensors, None);
                 let r1 = push(
-                    OpKind::Reshape { shape: vec![n, oh * ow, o] },
+                    OpKind::Reshape {
+                        shape: vec![n, oh * ow, o],
+                    },
                     vec![mm],
                     &mut tensors,
                     None,
                 );
-                let t1 = push(OpKind::Transpose { perm: vec![0, 2, 1] }, vec![r1], &mut tensors, None);
+                let t1 = push(
+                    OpKind::Transpose {
+                        perm: vec![0, 2, 1],
+                    },
+                    vec![r1],
+                    &mut tensors,
+                    None,
+                );
                 let _ = push(
-                    OpKind::Reshape { shape: out_shape.clone() },
+                    OpKind::Reshape {
+                        shape: out_shape.clone(),
+                    },
                     vec![t1],
                     &mut tensors,
                     Some(op.output),
@@ -162,7 +197,9 @@ impl FusedGroup {
 
     /// The group's single output tensor (the last operator's output).
     pub fn output(&self, graph: &Graph) -> TensorId {
-        graph.op(*self.ops.last().expect("group is non-empty")).output
+        graph
+            .op(*self.ops.last().expect("group is non-empty"))
+            .output
     }
 
     /// Operators strictly before the anchor (prologues), in topo order.
@@ -255,7 +292,10 @@ pub fn partition(graph: &Graph) -> Vec<FusedGroup> {
             tail = eop.output;
         }
         members.sort();
-        groups.push(FusedGroup { anchor: Some(OpId(idx)), ops: members });
+        groups.push(FusedGroup {
+            anchor: Some(OpId(idx)),
+            ops: members,
+        });
     }
 
     // Pass 2: injective chains.
@@ -279,7 +319,10 @@ pub fn partition(graph: &Graph) -> Vec<FusedGroup> {
             members.push(e);
             tail = graph.op(e).output;
         }
-        groups.push(FusedGroup { anchor: None, ops: members });
+        groups.push(FusedGroup {
+            anchor: None,
+            ops: members,
+        });
     }
 
     // Execution order: a group's external inputs are always outputs of groups
@@ -327,7 +370,10 @@ mod tests {
         let n = lower_convs(&mut graph);
         assert_eq!(n, 1);
         constant_fold(&mut graph);
-        assert!(graph.ops().iter().all(|op| !matches!(op.kind, OpKind::Conv2d { .. })));
+        assert!(graph
+            .ops()
+            .iter()
+            .all(|op| !matches!(op.kind, OpKind::Conv2d { .. })));
         let after = execute(&graph, &inputs)[&y].clone();
         for (a, b) in before.iter().zip(&after) {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");

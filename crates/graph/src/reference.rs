@@ -62,9 +62,13 @@ pub fn execute_op(graph: &Graph, op: &Operator, values: &ValueMap) -> Vec<f32> {
 pub fn eval_kind(kind: &OpKind, ins: &[&[f32]], shapes: &[&[i64]], out_shape: &[i64]) -> Vec<f32> {
     let out_numel: i64 = out_shape.iter().product();
     match kind {
-        OpKind::Conv2d { stride, padding, groups } => {
-            conv2d(ins[0], shapes[0], ins[1], shapes[1], *stride, *padding, *groups, out_shape)
-        }
+        OpKind::Conv2d {
+            stride,
+            padding,
+            groups,
+        } => conv2d(
+            ins[0], shapes[0], ins[1], shapes[1], *stride, *padding, *groups, out_shape,
+        ),
         OpKind::Matmul => matmul(ins[0], ins[1], shapes[0][0], shapes[0][1], shapes[1][1]),
         OpKind::BatchMatmul => {
             let (b, m, k) = (shapes[0][0], shapes[0][1], shapes[0][2]);
@@ -90,12 +94,20 @@ pub fn eval_kind(kind: &OpKind, ins: &[&[f32]], shapes: &[&[i64]], out_shape: &[
         }
         OpKind::Softmax { axis } => softmax(ins[0], shapes[0], *axis),
         OpKind::LayerNorm => layer_norm(ins[0], shapes[0], ins[1], ins[2]),
-        OpKind::MaxPool { kernel, stride, padding } => {
-            pool(ins[0], shapes[0], *kernel, *stride, *padding, out_shape, true)
-        }
-        OpKind::AvgPool { kernel, stride, padding } => {
-            pool(ins[0], shapes[0], *kernel, *stride, *padding, out_shape, false)
-        }
+        OpKind::MaxPool {
+            kernel,
+            stride,
+            padding,
+        } => pool(
+            ins[0], shapes[0], *kernel, *stride, *padding, out_shape, true,
+        ),
+        OpKind::AvgPool {
+            kernel,
+            stride,
+            padding,
+        } => pool(
+            ins[0], shapes[0], *kernel, *stride, *padding, out_shape, false,
+        ),
         OpKind::GlobalAvgPool => {
             let (n, c, h, w) = nchw(shapes[0]);
             let mut out = vec![0.0; (n * c) as usize];
@@ -110,9 +122,11 @@ pub fn eval_kind(kind: &OpKind, ins: &[&[f32]], shapes: &[&[i64]], out_shape: &[
         }
         OpKind::Reshape { .. } => ins[0].to_vec(),
         OpKind::Transpose { perm } => transpose(ins[0], shapes[0], perm),
-        OpKind::Img2col { kernel, stride, padding } => {
-            img2col(ins[0], shapes[0], *kernel, *stride, *padding)
-        }
+        OpKind::Img2col {
+            kernel,
+            stride,
+            padding,
+        } => img2col(ins[0], shapes[0], *kernel, *stride, *padding),
         OpKind::Concat { axis } => concat(ins, shapes, *axis, out_shape),
         #[allow(unreachable_patterns)]
         _ => panic!("unhandled op kind producing {out_numel} elements"),
@@ -126,7 +140,7 @@ fn nchw(shape: &[i64]) -> (i64, i64, i64, i64) {
 fn unary(u: UnaryKind, x: f32) -> f32 {
     match u {
         UnaryKind::Relu => x.max(0.0),
-        UnaryKind::Relu6 => x.max(0.0).min(6.0),
+        UnaryKind::Relu6 => x.clamp(0.0, 6.0),
         UnaryKind::Gelu => 0.5 * x * (1.0 + hidet_sim_erf(x * std::f32::consts::FRAC_1_SQRT_2)),
         UnaryKind::Tanh => x.tanh(),
         UnaryKind::Sigmoid => 1.0 / (1.0 + (-x).exp()),
@@ -142,8 +156,8 @@ fn hidet_sim_erf(x: f32) -> f32 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.3275911 * x);
     let y = 1.0
-        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
-            + 0.254829592)
+        - (((((1.061_405_4 * t - 1.453_152_1) * t) + 1.421_413_8) * t - 0.284_496_72) * t
+            + 0.254_829_6)
             * t
             * (-x * x).exp();
     sign * y
@@ -439,7 +453,16 @@ mod tests {
     fn conv_identity_kernel() {
         // 1x1 conv with weight 1 is identity.
         let x: Vec<f32> = (0..16).map(|v| v as f32).collect();
-        let out = conv2d(&x, &[1, 1, 4, 4], &[1.0], &[1, 1, 1, 1], 1, 0, 1, &[1, 1, 4, 4]);
+        let out = conv2d(
+            &x,
+            &[1, 1, 4, 4],
+            &[1.0],
+            &[1, 1, 1, 1],
+            1,
+            0,
+            1,
+            &[1, 1, 4, 4],
+        );
         assert_eq!(out, x);
     }
 
@@ -460,10 +483,10 @@ mod tests {
             &[2, 4, 4, 4],
         );
         let cols = img2col(x.data().unwrap(), &[2, 3, 8, 8], 3, 2, 1); // [2*16, 27]
-        // w as [27, 4]: transpose of [4, 27].
+                                                                       // w as [27, 4]: transpose of [4, 27].
         let wt = transpose(w.data().unwrap(), &[4, 27], &[1, 0]);
         let mm = matmul(&cols, &wt, 32, 27, 4); // [32, 4] = [n*oh*ow, o]
-        // Rearrange [N*OH*OW, O] -> [N, O, OH, OW].
+                                                // Rearrange [N*OH*OW, O] -> [N, O, OH, OW].
         let back = transpose(&mm, &[2, 16, 4], &[0, 2, 1]);
         for (a, b) in direct.iter().zip(&back) {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");
@@ -492,13 +515,29 @@ mod tests {
     #[test]
     fn max_pool_with_padding() {
         // 2x2 max pool stride 2 on a 2x2 input with padding 1 -> 2x2 output.
-        let out = pool(&[1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2], 2, 2, 1, &[1, 1, 2, 2], true);
+        let out = pool(
+            &[1.0, 2.0, 3.0, 4.0],
+            &[1, 1, 2, 2],
+            2,
+            2,
+            1,
+            &[1, 1, 2, 2],
+            true,
+        );
         assert_eq!(out, vec![1.0, 2.0, 3.0, 4.0]);
     }
 
     #[test]
     fn avg_pool_ignores_padding_in_count() {
-        let out = pool(&[2.0, 2.0, 2.0, 2.0], &[1, 1, 2, 2], 2, 2, 1, &[1, 1, 2, 2], false);
+        let out = pool(
+            &[2.0, 2.0, 2.0, 2.0],
+            &[1, 1, 2, 2],
+            2,
+            2,
+            1,
+            &[1, 1, 2, 2],
+            false,
+        );
         // Each window sees exactly one valid element of value 2.
         assert_eq!(out, vec![2.0; 4]);
     }

@@ -24,7 +24,11 @@ impl Tensor {
             shape.iter().all(|&d| d > 0),
             "tensor shape extents must be positive: {shape:?}"
         );
-        Tensor { shape: shape.to_vec(), dtype, data: None }
+        Tensor {
+            shape: shape.to_vec(),
+            dtype,
+            data: None,
+        }
     }
 
     /// A constant tensor with the given data.

@@ -50,7 +50,10 @@ impl Buffer {
     /// # Panics
     /// Panics if `shape` is empty or has non-positive extents.
     pub fn new(name: &str, scope: MemScope, dtype: DType, shape: &[i64]) -> BufferRef {
-        assert!(!shape.is_empty(), "buffer {name} must have at least one dimension");
+        assert!(
+            !shape.is_empty(),
+            "buffer {name} must have at least one dimension"
+        );
         assert!(
             shape.iter().all(|&d| d > 0),
             "buffer {name} has non-positive extent in shape {shape:?}"
@@ -113,10 +116,7 @@ impl fmt::Display for Buffer {
         write!(
             f,
             "{} {}{:?}: {}",
-            self.scope,
-            self.name,
-            self.shape,
-            self.dtype
+            self.scope, self.name, self.shape, self.dtype
         )
     }
 }

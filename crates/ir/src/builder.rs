@@ -161,7 +161,10 @@ pub fn load(buffer: &BufferRef, indices: Vec<Expr>) -> Expr {
         indices.len(),
         buffer.ndim()
     );
-    Expr::Load { buffer: buffer.clone(), indices }
+    Expr::Load {
+        buffer: buffer.clone(),
+        indices,
+    }
 }
 
 /// Store `buffer[indices...] = value`.
@@ -177,7 +180,11 @@ pub fn store(buffer: &BufferRef, indices: Vec<Expr>, value: Expr) -> Stmt {
         indices.len(),
         buffer.ndim()
     );
-    Stmt::Store { buffer: buffer.clone(), indices, value }
+    Stmt::Store {
+        buffer: buffer.clone(),
+        indices,
+        value,
+    }
 }
 
 /// Sequences statements, dropping `Nop`s.
@@ -218,7 +225,11 @@ pub fn for_unrolled(v: Var, extent: impl Into<Expr>, body: impl FnOnce(Expr) -> 
 
 /// `if cond { then_body }`.
 pub fn if_then(cond: Expr, then_body: Stmt) -> Stmt {
-    Stmt::If { cond, then_body: Box::new(then_body), else_body: None }
+    Stmt::If {
+        cond,
+        then_body: Box::new(then_body),
+        else_body: None,
+    }
 }
 
 /// `if cond { then_body } else { else_body }`.
@@ -232,7 +243,10 @@ pub fn if_then_else(cond: Expr, then_body: Stmt, else_body: Stmt) -> Stmt {
 
 /// Let binding scoping over the remainder of the enclosing sequence.
 pub fn let_(v: &Var, value: Expr) -> Stmt {
-    Stmt::Let { var: v.clone(), value }
+    Stmt::Let {
+        var: v.clone(),
+        value,
+    }
 }
 
 /// Thread-block barrier.
@@ -254,7 +268,11 @@ mod tests {
         let mut kb = KernelBuilder::new("k", 2, 64);
         let a = kb.param("A", DType::F32, &[128]);
         let s = kb.shared("S", DType::F32, &[64]);
-        kb.push(store(&s, vec![thread_idx()], load(&a, vec![block_idx() * 64 + thread_idx()])));
+        kb.push(store(
+            &s,
+            vec![thread_idx()],
+            load(&a, vec![block_idx() * 64 + thread_idx()]),
+        ));
         kb.push(sync_threads());
         let kernel = kb.build();
         assert_eq!(kernel.params().len(), 1);

@@ -49,13 +49,33 @@ pub fn to_cuda(kernel: &Kernel) -> String {
         .params()
         .iter()
         .map(|b| {
-            let qual = if written.contains(&b.name().to_string()) { "" } else { "const " };
-            format!("{}{}* __restrict__ {}", qual, b.dtype().cuda_name(), b.name())
+            let qual = if written.contains(&b.name().to_string()) {
+                ""
+            } else {
+                "const "
+            };
+            format!(
+                "{}{}* __restrict__ {}",
+                qual,
+                b.dtype().cuda_name(),
+                b.name()
+            )
         })
         .collect();
-    let _ = writeln!(out, "__global__ void {}({}) {{", kernel.name(), params.join(", "));
+    let _ = writeln!(
+        out,
+        "__global__ void {}({}) {{",
+        kernel.name(),
+        params.join(", ")
+    );
     for b in kernel.shared_buffers() {
-        let _ = writeln!(out, "  __shared__ {} {}{};", b.dtype().cuda_name(), b.name(), dims(b));
+        let _ = writeln!(
+            out,
+            "  __shared__ {} {}{};",
+            b.dtype().cuda_name(),
+            b.name(),
+            dims(b)
+        );
     }
     for b in kernel.local_buffers() {
         let _ = writeln!(out, "  {} {}{};", b.dtype().cuda_name(), b.name(), dims(b));
@@ -79,7 +99,11 @@ fn mutated_params(kernel: &Kernel) -> Vec<String> {
             }
             Stmt::Seq(items) => items.iter().for_each(|i| walk(i, out)),
             Stmt::For { body, .. } => walk(body, out),
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 walk(then_body, out);
                 if let Some(e) = else_body {
                     walk(e, out);
@@ -96,7 +120,12 @@ fn emit_stmt(out: &mut String, s: &Stmt, indent: usize) {
     let pad = "  ".repeat(indent);
     match s {
         Stmt::Seq(items) => items.iter().for_each(|i| emit_stmt(out, i, indent)),
-        Stmt::For { var, extent, body, unroll } => {
+        Stmt::For {
+            var,
+            extent,
+            body,
+            unroll,
+        } => {
             if *unroll {
                 let _ = writeln!(out, "{pad}#pragma unroll");
             }
@@ -109,7 +138,11 @@ fn emit_stmt(out: &mut String, s: &Stmt, indent: usize) {
             emit_stmt(out, body, indent + 1);
             let _ = writeln!(out, "{pad}}}");
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             let _ = writeln!(out, "{pad}if ({}) {{", emit_expr(cond));
             emit_stmt(out, then_body, indent + 1);
             if let Some(e) = else_body {
@@ -127,7 +160,11 @@ fn emit_stmt(out: &mut String, s: &Stmt, indent: usize) {
                 emit_expr(value)
             );
         }
-        Stmt::Store { buffer, indices, value } => {
+        Stmt::Store {
+            buffer,
+            indices,
+            value,
+        } => {
             let _ = writeln!(
                 out,
                 "{pad}{} = {};",
@@ -166,7 +203,10 @@ fn emit_access(buffer: &BufferRef, indices: &[Expr]) -> String {
             format!("{}[{flat}]", buffer.name())
         }
         MemScope::Shared | MemScope::Register => {
-            let idx: String = indices.iter().map(|e| format!("[{}]", emit_expr(e))).collect();
+            let idx: String = indices
+                .iter()
+                .map(|e| format!("[{}]", emit_expr(e)))
+                .collect();
             format!("{}{idx}", buffer.name())
         }
     }
@@ -210,7 +250,11 @@ fn emit_expr(e: &Expr) -> String {
         }
         Expr::Load { buffer, indices } => emit_access(buffer, indices),
         Expr::Cast { dtype, value } => format!("({}){}", dtype.cuda_name(), emit_expr(value)),
-        Expr::Select { cond, then_value, else_value } => format!(
+        Expr::Select {
+            cond,
+            then_value,
+            else_value,
+        } => format!(
             "({} ? {} : {})",
             emit_expr(cond),
             emit_expr(then_value),
@@ -247,7 +291,11 @@ pub fn source_stats(kernel: &Kernel) -> SourceStats {
             Stmt::SyncThreads => *n += 1,
             Stmt::Seq(items) => items.iter().for_each(|i| count_syncs(i, n)),
             Stmt::For { body, .. } => count_syncs(body, n),
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 count_syncs(then_body, n);
                 if let Some(e) = else_body {
                     count_syncs(e, n);
@@ -343,7 +391,11 @@ __global__ void cooperative_load_a(const float* __restrict__ A) {
         let s = kb.shared("S", DType::F32, &[32]);
         kb.push(store(&s, vec![thread_idx()], load(&a, vec![thread_idx()])));
         kb.push(sync_threads());
-        kb.push(store(&a, vec![thread_idx()], load(&s, vec![thread_idx()]) + 1.0f32));
+        kb.push(store(
+            &a,
+            vec![thread_idx()],
+            load(&s, vec![thread_idx()]) + 1.0f32,
+        ));
         let stats = source_stats(&kb.build());
         assert_eq!(stats.loads, 2);
         assert_eq!(stats.stores, 2);

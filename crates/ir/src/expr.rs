@@ -16,7 +16,10 @@ pub struct Var {
 impl Var {
     /// Creates a variable. Index variables are conventionally `I64`.
     pub fn new(name: &str, dtype: DType) -> Var {
-        Var { name: name.into(), dtype }
+        Var {
+            name: name.into(),
+            dtype,
+        }
     }
 
     /// Index variable shorthand (`I64`).
@@ -291,19 +294,30 @@ impl Expr {
         binary(BinOp::Or, self, other.into())
     }
 
-    /// Builds `!self`.
+    /// Builds `!self`. (Not `std::ops::Not`: this IR builder consumes the
+    /// expression and is called in builder-chain style alongside `and`/`or`.)
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Expr {
-        Expr::Unary { op: UnOp::Not, operand: Box::new(self) }
+        Expr::Unary {
+            op: UnOp::Not,
+            operand: Box::new(self),
+        }
     }
 
     /// Builds a unary operation on `self`.
     pub fn unary(self, op: UnOp) -> Expr {
-        Expr::Unary { op, operand: Box::new(self) }
+        Expr::Unary {
+            op,
+            operand: Box::new(self),
+        }
     }
 
     /// Builds `cast<dtype>(self)`.
     pub fn cast(self, dtype: DType) -> Expr {
-        Expr::Cast { dtype, value: Box::new(self) }
+        Expr::Cast {
+            dtype,
+            value: Box::new(self),
+        }
     }
 
     /// Builds `self ? then_value : else_value`.
@@ -317,7 +331,11 @@ impl Expr {
 }
 
 pub(crate) fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
-    Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    Expr::Binary {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    }
 }
 
 impl From<i64> for Expr {
@@ -382,7 +400,10 @@ impl_binop!(Rem, rem, BinOp::Mod);
 impl std::ops::Neg for Expr {
     type Output = Expr;
     fn neg(self) -> Expr {
-        Expr::Unary { op: UnOp::Neg, operand: Box::new(self) }
+        Expr::Unary {
+            op: UnOp::Neg,
+            operand: Box::new(self),
+        }
     }
 }
 
@@ -418,7 +439,11 @@ impl fmt::Display for Expr {
                 f.write_str("]")
             }
             Expr::Cast { dtype, value } => write!(f, "({}){value}", dtype.cuda_name()),
-            Expr::Select { cond, then_value, else_value } => {
+            Expr::Select {
+                cond,
+                then_value,
+                else_value,
+            } => {
                 write!(f, "({cond} ? {then_value} : {else_value})")
             }
         }
@@ -434,7 +459,10 @@ mod tests {
     fn operator_overloads_build_trees() {
         let t = Expr::ThreadIdx;
         let e = t.clone() / 8 * 16 + t % 8;
-        assert_eq!(e.to_string(), "(((threadIdx.x / 8) * 16) + (threadIdx.x % 8))");
+        assert_eq!(
+            e.to_string(),
+            "(((threadIdx.x / 8) * 16) + (threadIdx.x % 8))"
+        );
     }
 
     #[test]
@@ -449,7 +477,10 @@ mod tests {
     #[test]
     fn dtype_inference() {
         let b = Buffer::new("A", MemScope::Global, DType::F32, &[4]);
-        let e = Expr::Load { buffer: b, indices: vec![Expr::Int(0)] };
+        let e = Expr::Load {
+            buffer: b,
+            indices: vec![Expr::Int(0)],
+        };
         assert_eq!(e.dtype(), DType::F32);
         let pred = Expr::Int(1).lt(2);
         assert_eq!(pred.dtype(), DType::Bool);

@@ -27,7 +27,10 @@ impl LaunchConfig {
             (1..=1024).contains(&block_dim),
             "block_dim must be in 1..=1024, got {block_dim}"
         );
-        LaunchConfig { grid_dim, block_dim }
+        LaunchConfig {
+            grid_dim,
+            block_dim,
+        }
     }
 
     /// Total number of threads launched.
@@ -97,7 +100,15 @@ impl Kernel {
         meta: KernelMeta,
         body: Stmt,
     ) -> Kernel {
-        Kernel { name, params, shared, locals, launch, meta, body }
+        Kernel {
+            name,
+            params,
+            shared,
+            locals,
+            launch,
+            meta,
+            body,
+        }
     }
 
     /// Kernel name (also the CUDA `__global__` function name).
@@ -137,13 +148,19 @@ impl Kernel {
 
     /// Replaces the body, e.g. after a simplification pass.
     pub fn with_body(&self, body: Stmt) -> Kernel {
-        Kernel { body, ..self.clone() }
+        Kernel {
+            body,
+            ..self.clone()
+        }
     }
 
     /// Replaces the scheduler metadata (e.g. marking Tensor-Core execution
     /// for a library kernel).
     pub fn with_meta(&self, meta: KernelMeta) -> Kernel {
-        Kernel { meta, ..self.clone() }
+        Kernel {
+            meta,
+            ..self.clone()
+        }
     }
 
     /// Total shared memory per block, in bytes.
@@ -182,13 +199,28 @@ impl Kernel {
             );
         }
         for buf in &self.params {
-            assert_eq!(buf.scope(), MemScope::Global, "param {} must be global", buf.name());
+            assert_eq!(
+                buf.scope(),
+                MemScope::Global,
+                "param {} must be global",
+                buf.name()
+            );
         }
         for buf in &self.shared {
-            assert_eq!(buf.scope(), MemScope::Shared, "buffer {} must be shared", buf.name());
+            assert_eq!(
+                buf.scope(),
+                MemScope::Shared,
+                "buffer {} must be shared",
+                buf.name()
+            );
         }
         for buf in &self.locals {
-            assert_eq!(buf.scope(), MemScope::Register, "buffer {} must be register", buf.name());
+            assert_eq!(
+                buf.scope(),
+                MemScope::Register,
+                "buffer {} must be register",
+                buf.name()
+            );
         }
     }
 }

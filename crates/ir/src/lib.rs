@@ -36,8 +36,8 @@
 //! assert_eq!(kernel.launch().block_dim, 128);
 //! ```
 
-pub mod builder;
 pub mod buffer;
+pub mod builder;
 pub mod cuda;
 pub mod dtype;
 pub mod expr;
@@ -60,8 +60,8 @@ pub mod prelude {
     pub use crate::buffer::{Buffer, BufferRef, MemScope};
     pub use crate::builder::KernelBuilder;
     pub use crate::builder::{
-        block_idx, c, comment, fconst, for_, for_range, for_unrolled, if_then, if_then_else,
-        let_, load, seq, store, sync_threads, thread_idx, var,
+        block_idx, c, comment, fconst, for_, for_range, for_unrolled, if_then, if_then_else, let_,
+        load, seq, store, sync_threads, thread_idx, var,
     };
     pub use crate::dtype::DType;
     pub use crate::expr::{BinOp, Expr, UnOp, Var};

@@ -36,11 +36,7 @@ use crate::stmt::Stmt;
 /// Panics if `tm` contains a custom mapping ([`TaskMapping::contains_custom`]),
 /// which has no closed-form index arithmetic. Custom mappings can still be
 /// *executed* (via enumeration) but not lowered symbolically.
-pub fn foreach_task(
-    tm: &TaskMapping,
-    worker: Expr,
-    body: impl FnOnce(&[Expr]) -> Stmt,
-) -> Stmt {
+pub fn foreach_task(tm: &TaskMapping, worker: Expr, body: impl FnOnce(&[Expr]) -> Stmt) -> Stmt {
     assert!(
         !tm.contains_custom(),
         "cannot lower custom task mapping {tm} to closed-form loops"
@@ -203,7 +199,11 @@ fn delinearize_expr(worker: Expr, shape: &[i64]) -> Vec<Expr> {
             if shape[i] == 1 {
                 return Expr::Int(0);
             }
-            let q = if strides[i] == 1 { worker.clone() } else { worker.clone() / strides[i] };
+            let q = if strides[i] == 1 {
+                worker.clone()
+            } else {
+                worker.clone() / strides[i]
+            };
             if i == 0 {
                 q // worker < prod(shape), so the leading coordinate needs no mod
             } else {
@@ -281,7 +281,10 @@ mod tests {
         let stmt = foreach_task(&tm, Expr::Int(0), copy_body(&a, &s));
         let text = stmt.to_string();
         assert!(text.contains("in 0..4"));
-        assert!(!text.contains("in 0..1"), "unit dim should be elided: {text}");
+        assert!(
+            !text.contains("in 0..1"),
+            "unit dim should be elided: {text}"
+        );
     }
 
     #[test]

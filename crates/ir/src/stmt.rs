@@ -85,10 +85,11 @@ impl Stmt {
             Stmt::SyncThreads => true,
             Stmt::Seq(items) => items.iter().any(Stmt::contains_sync),
             Stmt::For { body, .. } => body.contains_sync(),
-            Stmt::If { then_body, else_body, .. } => {
-                then_body.contains_sync()
-                    || else_body.as_deref().is_some_and(Stmt::contains_sync)
-            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => then_body.contains_sync() || else_body.as_deref().is_some_and(Stmt::contains_sync),
             _ => false,
         }
     }
@@ -99,10 +100,11 @@ impl Stmt {
             Stmt::Store { .. } => 1,
             Stmt::Seq(items) => items.iter().map(Stmt::count_stores).sum(),
             Stmt::For { body, .. } => body.count_stores(),
-            Stmt::If { then_body, else_body, .. } => {
-                then_body.count_stores()
-                    + else_body.as_deref().map_or(0, Stmt::count_stores)
-            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => then_body.count_stores() + else_body.as_deref().map_or(0, Stmt::count_stores),
             _ => 0,
         }
     }
@@ -119,13 +121,22 @@ impl fmt::Display for Stmt {
                     }
                     Ok(())
                 }
-                Stmt::For { var, extent, body, unroll } => {
+                Stmt::For {
+                    var,
+                    extent,
+                    body,
+                    unroll,
+                } => {
                     let tag = if *unroll { " // unroll" } else { "" };
                     writeln!(f, "{pad}for {var} in 0..{extent} {{{tag}")?;
                     go(body, f, indent + 1)?;
                     writeln!(f, "{pad}}}")
                 }
-                Stmt::If { cond, then_body, else_body } => {
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
                     writeln!(f, "{pad}if {cond} {{")?;
                     go(then_body, f, indent + 1)?;
                     if let Some(e) = else_body {
@@ -135,7 +146,11 @@ impl fmt::Display for Stmt {
                     writeln!(f, "{pad}}}")
                 }
                 Stmt::Let { var, value } => writeln!(f, "{pad}let {var} = {value}"),
-                Stmt::Store { buffer, indices, value } => {
+                Stmt::Store {
+                    buffer,
+                    indices,
+                    value,
+                } => {
                     let idx = indices
                         .iter()
                         .map(|e| e.to_string())
@@ -160,7 +175,11 @@ mod tests {
 
     fn store_stmt() -> Stmt {
         let b = Buffer::new("A", MemScope::Global, DType::F32, &[8]);
-        Stmt::Store { buffer: b, indices: vec![Expr::Int(0)], value: Expr::Float(1.0) }
+        Stmt::Store {
+            buffer: b,
+            indices: vec![Expr::Int(0)],
+            value: Expr::Float(1.0),
+        }
     }
 
     #[test]

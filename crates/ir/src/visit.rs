@@ -7,9 +7,12 @@ use crate::stmt::Stmt;
 /// offered the rebuilt node; returning `Some` replaces it.
 pub fn rewrite_expr(e: &Expr, f: &mut impl FnMut(&Expr) -> Option<Expr>) -> Expr {
     let rebuilt = match e {
-        Expr::Int(_) | Expr::Float(_) | Expr::Bool(_) | Expr::Var(_) | Expr::ThreadIdx | Expr::BlockIdx => {
-            e.clone()
-        }
+        Expr::Int(_)
+        | Expr::Float(_)
+        | Expr::Bool(_)
+        | Expr::Var(_)
+        | Expr::ThreadIdx
+        | Expr::BlockIdx => e.clone(),
         Expr::Binary { op, lhs, rhs } => Expr::Binary {
             op: *op,
             lhs: Box::new(rewrite_expr(lhs, f)),
@@ -27,7 +30,11 @@ pub fn rewrite_expr(e: &Expr, f: &mut impl FnMut(&Expr) -> Option<Expr>) -> Expr
             dtype: *dtype,
             value: Box::new(rewrite_expr(value, f)),
         },
-        Expr::Select { cond, then_value, else_value } => Expr::Select {
+        Expr::Select {
+            cond,
+            then_value,
+            else_value,
+        } => Expr::Select {
             cond: Box::new(rewrite_expr(cond, f)),
             then_value: Box::new(rewrite_expr(then_value, f)),
             else_value: Box::new(rewrite_expr(else_value, f)),
@@ -41,13 +48,22 @@ pub fn rewrite_expr(e: &Expr, f: &mut impl FnMut(&Expr) -> Option<Expr>) -> Expr
 pub fn rewrite_stmt_exprs(s: &Stmt, f: &mut impl FnMut(&Expr) -> Option<Expr>) -> Stmt {
     match s {
         Stmt::Seq(items) => Stmt::Seq(items.iter().map(|i| rewrite_stmt_exprs(i, f)).collect()),
-        Stmt::For { var, extent, body, unroll } => Stmt::For {
+        Stmt::For {
+            var,
+            extent,
+            body,
+            unroll,
+        } => Stmt::For {
             var: var.clone(),
             extent: rewrite_expr(extent, f),
             body: Box::new(rewrite_stmt_exprs(body, f)),
             unroll: *unroll,
         },
-        Stmt::If { cond, then_body, else_body } => Stmt::If {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => Stmt::If {
             cond: rewrite_expr(cond, f),
             then_body: Box::new(rewrite_stmt_exprs(then_body, f)),
             else_body: else_body
@@ -58,7 +74,11 @@ pub fn rewrite_stmt_exprs(s: &Stmt, f: &mut impl FnMut(&Expr) -> Option<Expr>) -
             var: var.clone(),
             value: rewrite_expr(value, f),
         },
-        Stmt::Store { buffer, indices, value } => Stmt::Store {
+        Stmt::Store {
+            buffer,
+            indices,
+            value,
+        } => Stmt::Store {
             buffer: buffer.clone(),
             indices: indices.iter().map(|i| rewrite_expr(i, f)).collect(),
             value: rewrite_expr(value, f),
@@ -79,7 +99,11 @@ pub fn visit_exprs(s: &Stmt, f: &mut impl FnMut(&Expr)) {
             Expr::Unary { operand, .. } => walk_expr(operand, f),
             Expr::Load { indices, .. } => indices.iter().for_each(|i| walk_expr(i, f)),
             Expr::Cast { value, .. } => walk_expr(value, f),
-            Expr::Select { cond, then_value, else_value } => {
+            Expr::Select {
+                cond,
+                then_value,
+                else_value,
+            } => {
                 walk_expr(cond, f);
                 walk_expr(then_value, f);
                 walk_expr(else_value, f);
@@ -93,7 +117,11 @@ pub fn visit_exprs(s: &Stmt, f: &mut impl FnMut(&Expr)) {
             walk_expr(extent, f);
             visit_exprs(body, f);
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             walk_expr(cond, f);
             visit_exprs(then_body, f);
             if let Some(e) = else_body {
@@ -128,8 +156,8 @@ pub fn substitute_stmt(s: &Stmt, var: &Var, value: &Expr) -> Stmt {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::{c, store, thread_idx};
     use crate::buffer::{Buffer, MemScope};
+    use crate::builder::{c, store, thread_idx};
     use crate::dtype::DType;
 
     #[test]
@@ -160,7 +188,11 @@ mod tests {
     #[test]
     fn visit_exprs_counts_loads() {
         let b = Buffer::new("A", MemScope::Global, DType::F32, &[4]);
-        let s = store(&b, vec![thread_idx()], crate::builder::load(&b, vec![c(0)]) + 1.0f32);
+        let s = store(
+            &b,
+            vec![thread_idx()],
+            crate::builder::load(&b, vec![c(0)]) + 1.0f32,
+        );
         let mut loads = 0;
         visit_exprs(&s, &mut |e| {
             if matches!(e, Expr::Load { .. }) {

@@ -1,0 +1,220 @@
+//! The compiled-graph cache: repeat requests skip compilation entirely.
+//!
+//! Keys combine [`Graph::structural_hash`] (the computation itself, invariant
+//! under tensor-id renumbering and model names), the device fingerprint
+//! ([`hidet_sim::GpuSpec::fingerprint`] — compiled kernels embed
+//! device-specific schedules), and the compilation-relevant option bits
+//! ([`CompilerOptions::cache_key_bits`]). Two sessions loading the same model
+//! at the same batch therefore share one compile, even across registrations
+//! under different names.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use hidet::{compile, CompileError, CompiledGraph, CompilerOptions};
+use hidet_graph::Graph;
+use hidet_sim::Gpu;
+
+/// Cache key: computation × device × options.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`Graph::structural_hash`] of the model (at its concrete batch size).
+    pub graph_hash: u64,
+    /// [`hidet_sim::GpuSpec::fingerprint`] of the target device.
+    pub device: String,
+    /// [`CompilerOptions::cache_key_bits`] of the options.
+    pub options: u64,
+}
+
+impl CacheKey {
+    /// The key under which `graph` compiled for `gpu` with `options` lives.
+    ///
+    /// Computes `graph.structural_hash()` — O(model weights). Callers that
+    /// serve repeat requests should hash once and use
+    /// [`CacheKey::from_graph_hash`] (the engine caches the hash per model
+    /// variant).
+    pub fn new(graph: &Graph, gpu: &Gpu, options: &CompilerOptions) -> CacheKey {
+        CacheKey::from_graph_hash(graph.structural_hash(), gpu, options)
+    }
+
+    /// The key for a graph whose structural hash is already known.
+    pub fn from_graph_hash(graph_hash: u64, gpu: &Gpu, options: &CompilerOptions) -> CacheKey {
+        CacheKey {
+            graph_hash,
+            device: gpu.spec().fingerprint(),
+            options: options.cache_key_bits(),
+        }
+    }
+}
+
+type Slot = Arc<OnceLock<Result<Arc<CompiledGraph>, CompileError>>>;
+
+/// Thread-safe compiled-graph cache with in-flight coalescing.
+#[derive(Debug, Default)]
+pub struct CompiledCache {
+    entries: Mutex<HashMap<CacheKey, Slot>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl CompiledCache {
+    /// An empty cache.
+    pub fn new() -> CompiledCache {
+        CompiledCache::default()
+    }
+
+    /// The compiled form of `graph`, compiling at most once per key.
+    ///
+    /// Returns the shared compiled graph and whether this call was a cache
+    /// hit. Each key owns a `OnceLock` slot, so concurrent requests for the
+    /// same key run **one** compile (the others block on the slot — a tuned
+    /// compile is expensive enough that waiting beats duplicating it), while
+    /// different keys compile fully in parallel. A compile error is sticky
+    /// for its key: compilation is deterministic, so retrying cannot succeed.
+    ///
+    /// Hashes the graph on every call; hot paths with a memoized hash should
+    /// use [`CompiledCache::get_or_compile_hashed`].
+    pub fn get_or_compile(
+        &self,
+        graph: &Graph,
+        gpu: &Gpu,
+        options: &CompilerOptions,
+    ) -> Result<(Arc<CompiledGraph>, bool), CompileError> {
+        self.get_or_compile_hashed(graph, graph.structural_hash(), gpu, options)
+    }
+
+    /// [`CompiledCache::get_or_compile`] with a precomputed
+    /// [`Graph::structural_hash`], skipping the O(model-weights) rehash on
+    /// the request path.
+    pub fn get_or_compile_hashed(
+        &self,
+        graph: &Graph,
+        graph_hash: u64,
+        gpu: &Gpu,
+        options: &CompilerOptions,
+    ) -> Result<(Arc<CompiledGraph>, bool), CompileError> {
+        let key = CacheKey::from_graph_hash(graph_hash, gpu, options);
+        let slot: Slot = {
+            let mut entries = self.entries.lock().expect("cache poisoned");
+            Arc::clone(entries.entry(key).or_default())
+        };
+        let mut compiled_here = false;
+        let outcome = slot.get_or_init(|| {
+            compiled_here = true;
+            compile(graph, gpu, options).map(Arc::new)
+        });
+        if compiled_here {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        match outcome {
+            Ok(compiled) => Ok((Arc::clone(compiled), !compiled_here)),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// Number of successfully compiled graphs held (in-flight and failed
+    /// slots excluded).
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("cache poisoned")
+            .values()
+            .filter(|slot| matches!(slot.get(), Some(Ok(_))))
+            .count()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (hits, misses) so far.
+    pub fn counters(&self) -> (usize, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Drops every cached graph (e.g. after a device spec change in tests).
+    pub fn clear(&self) {
+        self.entries.lock().expect("cache poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidet_graph::{GraphBuilder, Tensor};
+
+    fn model(hidden: i64, name: &str) -> Graph {
+        let mut g = GraphBuilder::new(name);
+        let x = g.input("x", &[4, 8]);
+        let w = g.constant(Tensor::randn(&[8, hidden], 1));
+        let y = g.matmul(x, w);
+        let y = g.relu(y);
+        g.output(y).build()
+    }
+
+    #[test]
+    fn second_compile_is_a_hit() {
+        let cache = CompiledCache::new();
+        let gpu = Gpu::default();
+        let opts = CompilerOptions::quick();
+        let (a, hit_a) = cache.get_or_compile(&model(16, "m"), &gpu, &opts).unwrap();
+        let (b, hit_b) = cache.get_or_compile(&model(16, "m"), &gpu, &opts).unwrap();
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.counters(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn same_structure_different_name_shares_entry() {
+        let cache = CompiledCache::new();
+        let gpu = Gpu::default();
+        let opts = CompilerOptions::quick();
+        cache
+            .get_or_compile(&model(16, "alpha"), &gpu, &opts)
+            .unwrap();
+        let (_, hit) = cache
+            .get_or_compile(&model(16, "beta"), &gpu, &opts)
+            .unwrap();
+        assert!(hit, "names are not structure");
+    }
+
+    #[test]
+    fn different_structure_or_options_miss() {
+        let cache = CompiledCache::new();
+        let gpu = Gpu::default();
+        let opts = CompilerOptions::quick();
+        cache.get_or_compile(&model(16, "m"), &gpu, &opts).unwrap();
+        let (_, hit) = cache.get_or_compile(&model(32, "m"), &gpu, &opts).unwrap();
+        assert!(!hit, "different hidden width must recompile");
+        let ablated = CompilerOptions {
+            disable_double_buffering: true,
+            ..CompilerOptions::quick()
+        };
+        let (_, hit) = cache
+            .get_or_compile(&model(16, "m"), &gpu, &ablated)
+            .unwrap();
+        assert!(!hit, "different options must recompile");
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn different_device_misses() {
+        let cache = CompiledCache::new();
+        let opts = CompilerOptions::quick();
+        cache
+            .get_or_compile(&model(16, "m"), &Gpu::default(), &opts)
+            .unwrap();
+        let tiny = Gpu::new(hidet_sim::GpuSpec::tiny());
+        let (_, hit) = cache.get_or_compile(&model(16, "m"), &tiny, &opts).unwrap();
+        assert!(!hit, "kernels are device-specific");
+    }
+}

@@ -1,0 +1,717 @@
+//! The serving engine: a multi-session inference front-end over the Hidet
+//! compiler and the simulated GPU.
+//!
+//! ```text
+//!   clients ── submit ──▶ queue ──▶ dispatcher ──▶ batch jobs ──▶ workers
+//!                                   (coalesces same-model requests)   │
+//!                                                                     ▼
+//!                                             compiled-graph cache ──▶ hidet-sim
+//! ```
+//!
+//! * Requests for the same model are **coalesced along the batch dimension**
+//!   (up to [`EngineConfig::max_batch`], waiting at most
+//!   [`EngineConfig::batch_window`]) before dispatch, amortizing both kernel
+//!   dispatch overhead and device under-utilization at batch 1.
+//! * Compilation happens at most once per (structure, device, options) — see
+//!   [`crate::CompiledCache`] — so steady-state requests never compile.
+//! * Tuning results persist via [`hidet_sched::TuningCache`] when
+//!   [`EngineConfig::tuning_records_path`] is set: a restarted process
+//!   schedules previously seen matmuls with zero trials.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hidet::{CompileError, CompilerOptions};
+use hidet_graph::Graph;
+use hidet_sched::TuningCache;
+use hidet_sim::{Gpu, GpuSpec};
+
+use crate::cache::CompiledCache;
+use crate::stats::{ServerStats, StatsSnapshot};
+
+/// Engine construction knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Device every worker executes on.
+    pub gpu: GpuSpec,
+    /// Compiler options for every model (a tuning cache attached here is
+    /// kept; otherwise the engine attaches its own).
+    pub options: CompilerOptions,
+    /// Worker threads executing batch jobs.
+    pub workers: usize,
+    /// Maximum requests coalesced into one batch (1 disables batching).
+    pub max_batch: usize,
+    /// How long the dispatcher holds an under-full batch open for stragglers.
+    pub batch_window: Duration,
+    /// Tuning-record persistence: loaded at startup, saved on shutdown and
+    /// on [`Engine::flush_tuning_records`]. `None` keeps records in memory.
+    pub tuning_records_path: Option<PathBuf>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            gpu: GpuSpec::rtx3090(),
+            options: CompilerOptions::tuned(),
+            workers: 2,
+            max_batch: 8,
+            batch_window: Duration::from_millis(2),
+            tuning_records_path: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A config with untuned compiles — fast startup for tests and examples.
+    pub fn quick() -> EngineConfig {
+        EngineConfig {
+            options: CompilerOptions::quick(),
+            ..EngineConfig::default()
+        }
+    }
+}
+
+/// Errors surfaced to clients.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The request named a model that was never loaded.
+    UnknownModel(String),
+    /// Input tensors were missing or missized.
+    BadInput(String),
+    /// Compilation failed.
+    Compile(CompileError),
+    /// Executing the compiled graph failed.
+    Execution(String),
+    /// The engine is shutting down.
+    Closed,
+    /// Tuning-record persistence failed.
+    Records(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownModel(name) => write!(f, "unknown model \"{name}\""),
+            EngineError::BadInput(msg) => write!(f, "bad input: {msg}"),
+            EngineError::Compile(e) => write!(f, "compile failed: {e}"),
+            EngineError::Execution(msg) => write!(f, "execution failed: {msg}"),
+            EngineError::Closed => write!(f, "engine is shut down"),
+            EngineError::Records(msg) => write!(f, "tuning records: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<CompileError> for EngineError {
+    fn from(e: CompileError) -> Self {
+        EngineError::Compile(e)
+    }
+}
+
+/// One completed inference.
+#[derive(Debug, Clone)]
+pub struct InferenceResult {
+    /// This request's slice of every graph output, in `Graph::outputs` order.
+    pub outputs: Vec<Vec<f32>>,
+    /// How many requests shared the executed batch.
+    pub batch_size: usize,
+    /// Simulated device latency of the executed batch, seconds.
+    pub simulated_latency_seconds: f64,
+    /// Whether the compiled graph came from the cache.
+    pub compile_cache_hit: bool,
+}
+
+/// Handle to an in-flight request.
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<InferenceResult, EngineError>>,
+}
+
+impl Ticket {
+    /// Blocks until the result is available.
+    pub fn wait(self) -> Result<InferenceResult, EngineError> {
+        self.rx.recv().unwrap_or(Err(EngineError::Closed))
+    }
+}
+
+/// A model family: `builder(b)` must yield the model at batch size `b`, with
+/// the leading dimension of every graph input scaling linearly in `b`.
+type ModelBuilder = Box<dyn Fn(i64) -> Graph + Send + Sync>;
+
+struct Variant {
+    graph: Arc<Graph>,
+    /// Memoized `Graph::structural_hash` — O(model weights) to compute, so
+    /// it is taken once here instead of on every request batch.
+    hash: u64,
+}
+
+struct ModelEntry {
+    builder: ModelBuilder,
+    /// Whether requests may be coalesced along dim 0 (see [`Engine::load`]).
+    batchable: bool,
+    variants: Mutex<HashMap<i64, Arc<Variant>>>,
+}
+
+impl ModelEntry {
+    /// The cached graph at batch size `batch` (built on first use).
+    fn variant(&self, batch: i64) -> Arc<Variant> {
+        let mut variants = self.variants.lock().expect("registry poisoned");
+        Arc::clone(variants.entry(batch).or_insert_with(|| {
+            let graph = (self.builder)(batch);
+            let hash = graph.structural_hash();
+            Arc::new(Variant {
+                graph: Arc::new(graph),
+                hash,
+            })
+        }))
+    }
+}
+
+struct PendingRequest {
+    model: String,
+    inputs: Vec<Vec<f32>>,
+    responder: mpsc::Sender<Result<InferenceResult, EngineError>>,
+}
+
+impl PendingRequest {
+    fn respond(self, result: Result<InferenceResult, EngineError>) {
+        // A client that dropped its ticket is not an engine error.
+        let _ = self.responder.send(result);
+    }
+}
+
+struct BatchJob {
+    model: String,
+    requests: Vec<PendingRequest>,
+}
+
+struct Shared {
+    gpu: Gpu,
+    options: CompilerOptions,
+    registry: Mutex<HashMap<String, Arc<ModelEntry>>>,
+    queue: Mutex<VecDeque<PendingRequest>>,
+    queue_cv: Condvar,
+    closed: AtomicBool,
+    compiled: CompiledCache,
+    stats: ServerStats,
+    max_batch: usize,
+    batch_window: Duration,
+}
+
+/// The serving engine. See the [module docs](crate::engine) for the
+/// architecture and `examples/serving.rs` for a tour.
+pub struct Engine {
+    shared: Arc<Shared>,
+    tuning_cache: Arc<Mutex<TuningCache>>,
+    tuning_records_path: Option<PathBuf>,
+    dispatcher: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Starts an engine: loads tuning records (if configured), spawns the
+    /// dispatcher and the worker pool.
+    ///
+    /// # Errors
+    /// [`EngineError::Records`] if a configured record file exists but cannot
+    /// be read or parsed (a *missing* file is a normal cold start).
+    pub fn new(config: EngineConfig) -> Result<Engine, EngineError> {
+        assert!(config.workers >= 1, "engine needs at least one worker");
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+
+        // Attach (or adopt) the tuning-record store. An adopted store still
+        // absorbs the configured record file — otherwise shutdown's save
+        // would silently overwrite previously persisted records with only
+        // this session's.
+        let tuning_cache = match &config.options.tuning_cache {
+            Some(cache) => {
+                if let Some(path) = &config.tuning_records_path {
+                    let from_disk =
+                        TuningCache::load(path).map_err(|e| EngineError::Records(e.to_string()))?;
+                    cache
+                        .lock()
+                        .expect("tuning cache poisoned")
+                        .merge(from_disk);
+                }
+                Arc::clone(cache)
+            }
+            None => {
+                let cache = match &config.tuning_records_path {
+                    Some(path) => {
+                        TuningCache::load(path).map_err(|e| EngineError::Records(e.to_string()))?
+                    }
+                    None => TuningCache::new(),
+                };
+                Arc::new(Mutex::new(cache))
+            }
+        };
+        let options = config
+            .options
+            .clone()
+            .with_tuning_cache(Arc::clone(&tuning_cache));
+
+        let shared = Arc::new(Shared {
+            gpu: Gpu::new(config.gpu),
+            options,
+            registry: Mutex::new(HashMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            closed: AtomicBool::new(false),
+            compiled: CompiledCache::new(),
+            stats: ServerStats::default(),
+            max_batch: config.max_batch,
+            batch_window: config.batch_window,
+        });
+
+        let (job_tx, job_rx) = mpsc::channel::<BatchJob>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("hidet-dispatcher".into())
+                .spawn(move || dispatch_loop(&shared, job_tx))
+                .expect("spawn dispatcher")
+        };
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let job_rx = Arc::clone(&job_rx);
+                thread::Builder::new()
+                    .name(format!("hidet-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &job_rx))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        Ok(Engine {
+            shared,
+            tuning_cache,
+            tuning_records_path: config.tuning_records_path,
+            dispatcher: Some(dispatcher),
+            workers,
+        })
+    }
+
+    /// Registers a model family under `name`, eligible for dynamic batching.
+    ///
+    /// `builder(b)` must return the model at batch size `b`, and the model
+    /// must treat dim 0 as **independent samples**: every graph input's
+    /// leading dimension scales with `b`, and each output row depends only on
+    /// the corresponding input row. CNN-style zoo models satisfy this (e.g.
+    /// `engine.load("resnet50", models::resnet50)`); the transformer
+    /// builders do **not** — `bert_base`/`gpt2` fold batch into the sequence
+    /// axis, so coalesced requests would attend to each other's tokens.
+    /// Register those with [`Engine::load_unbatched`] instead.
+    ///
+    /// Re-loading a name replaces the previous family; compiled graphs are
+    /// keyed structurally, so identical structures stay cached.
+    pub fn load(&self, name: &str, builder: impl Fn(i64) -> Graph + Send + Sync + 'static) {
+        self.register(name, Box::new(builder), true);
+    }
+
+    /// Registers a model family whose requests must never be coalesced —
+    /// for models where dim 0 is not an independent-sample axis (the zoo's
+    /// transformers) or builders that ignore their batch argument. Requests
+    /// are always dispatched one at a time, regardless of
+    /// [`EngineConfig::max_batch`].
+    pub fn load_unbatched(
+        &self,
+        name: &str,
+        builder: impl Fn(i64) -> Graph + Send + Sync + 'static,
+    ) {
+        self.register(name, Box::new(builder), false);
+    }
+
+    fn register(&self, name: &str, builder: ModelBuilder, batchable: bool) {
+        let entry = Arc::new(ModelEntry {
+            builder,
+            batchable,
+            variants: Mutex::new(HashMap::new()),
+        });
+        self.shared
+            .registry
+            .lock()
+            .expect("registry poisoned")
+            .insert(name.to_string(), entry);
+    }
+
+    /// Pre-compiles `model` at `batch`, off the request path. Returns whether
+    /// the compiled graph was already cached.
+    pub fn warmup(&self, model: &str, batch: i64) -> Result<bool, EngineError> {
+        let entry = self.entry(model)?;
+        let variant = entry.variant(batch);
+        let (compiled, hit) = self.shared.compiled.get_or_compile_hashed(
+            &variant.graph,
+            variant.hash,
+            &self.shared.gpu,
+            &self.shared.options,
+        )?;
+        record_compile(&self.shared, &compiled, hit);
+        Ok(hit)
+    }
+
+    /// Enqueues one inference: `inputs` holds one tensor per graph input, in
+    /// `Graph::inputs` order, each shaped for **batch size 1** (the engine
+    /// batches requests itself). Returns immediately with a [`Ticket`].
+    pub fn submit(&self, model: &str, inputs: Vec<Vec<f32>>) -> Ticket {
+        let (tx, rx) = mpsc::channel();
+        if self.shared.closed.load(Ordering::SeqCst) {
+            let _ = tx.send(Err(EngineError::Closed));
+            return Ticket { rx };
+        }
+        let request = PendingRequest {
+            model: model.to_string(),
+            inputs,
+            responder: tx,
+        };
+        self.shared
+            .queue
+            .lock()
+            .expect("queue poisoned")
+            .push_back(request);
+        self.shared.queue_cv.notify_all();
+        Ticket { rx }
+    }
+
+    /// Blocking single inference: [`Engine::submit`] + [`Ticket::wait`].
+    pub fn infer(
+        &self,
+        model: &str,
+        inputs: Vec<Vec<f32>>,
+    ) -> Result<InferenceResult, EngineError> {
+        self.submit(model, inputs).wait()
+    }
+
+    /// Submits a burst of requests and waits for all of them — the pattern
+    /// that gives the dispatcher something to coalesce.
+    pub fn infer_many(
+        &self,
+        model: &str,
+        requests: Vec<Vec<Vec<f32>>>,
+    ) -> Vec<Result<InferenceResult, EngineError>> {
+        let tickets: Vec<Ticket> = requests
+            .into_iter()
+            .map(|inputs| self.submit(model, inputs))
+            .collect();
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+
+    /// Current server statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        let (hits, misses) = self.shared.compiled.counters();
+        self.shared.stats.snapshot(hits, misses)
+    }
+
+    /// Number of distinct compiled graphs held by the cache.
+    pub fn compiled_graphs(&self) -> usize {
+        self.shared.compiled.len()
+    }
+
+    /// The shared tuning-record store (also reachable from
+    /// `CompilerOptions::tuning_cache`).
+    pub fn tuning_cache(&self) -> Arc<Mutex<TuningCache>> {
+        Arc::clone(&self.tuning_cache)
+    }
+
+    /// Persists tuning records to the configured path now. Returns the number
+    /// of records written; no-op (`Ok(0)`) without a configured path.
+    pub fn flush_tuning_records(&self) -> Result<usize, EngineError> {
+        let Some(path) = &self.tuning_records_path else {
+            return Ok(0);
+        };
+        let mut cache = self.tuning_cache.lock().expect("tuning cache poisoned");
+        cache
+            .save(path)
+            .map_err(|e| EngineError::Records(e.to_string()))?;
+        Ok(cache.len())
+    }
+
+    /// Stops accepting requests, drains the queue, joins all threads and
+    /// flushes tuning records. Called automatically on drop; call explicitly
+    /// to observe persistence errors.
+    pub fn shutdown(mut self) -> Result<(), EngineError> {
+        self.shutdown_inner()
+    }
+
+    fn entry(&self, model: &str) -> Result<Arc<ModelEntry>, EngineError> {
+        self.shared
+            .registry
+            .lock()
+            .expect("registry poisoned")
+            .get(model)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownModel(model.to_string()))
+    }
+
+    fn shutdown_inner(&mut self) -> Result<(), EngineError> {
+        if self.dispatcher.is_none() {
+            return Ok(()); // already shut down
+        }
+        self.shared.closed.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+        // The dispatcher owned the only job sender; workers drain and exit.
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.flush_tuning_records().map(|_| ())
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        let _ = self.shutdown_inner();
+    }
+}
+
+/// Dispatcher: groups queued requests by model into batch jobs.
+fn dispatch_loop(shared: &Shared, job_tx: mpsc::Sender<BatchJob>) {
+    let mut queue = shared.queue.lock().expect("queue poisoned");
+    loop {
+        // Wait for work (or shutdown).
+        while queue.is_empty() {
+            if shared.closed.load(Ordering::SeqCst) {
+                return;
+            }
+            queue = shared.queue_cv.wait(queue).expect("queue poisoned");
+        }
+        let model = queue.front().expect("non-empty").model.clone();
+        let same_model =
+            |q: &VecDeque<PendingRequest>| q.iter().filter(|r| r.model == model).count();
+
+        // Coalescing ceiling for this model: non-batchable registrations
+        // (see `Engine::load_unbatched`) always dispatch one at a time.
+        let batchable = {
+            let registry = shared.registry.lock().expect("registry poisoned");
+            registry.get(&model).is_none_or(|entry| entry.batchable)
+        };
+        let cap = if batchable { shared.max_batch } else { 1 };
+
+        // Whether some model already has a full batch waiting — if so, the
+        // straggler wait below must not hold it (and every worker) hostage
+        // behind the front model's half-empty batch.
+        let any_full = |q: &VecDeque<PendingRequest>| -> bool {
+            let mut counts: HashMap<&str, usize> = HashMap::new();
+            for r in q.iter() {
+                let n = counts.entry(r.model.as_str()).or_insert(0);
+                *n += 1;
+                if *n >= shared.max_batch {
+                    return true;
+                }
+            }
+            false
+        };
+
+        // Hold the batch open briefly for stragglers (skipped when batching
+        // is off or the batch is already full, abandoned as soon as any
+        // model's batch fills — the front model's partial batch dispatches
+        // immediately and the full one follows without waiting).
+        if cap > 1 {
+            let deadline = Instant::now() + shared.batch_window;
+            while same_model(&queue) < cap
+                && !shared.closed.load(Ordering::SeqCst)
+                && !any_full(&queue)
+            {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (q, _timeout) = shared
+                    .queue_cv
+                    .wait_timeout(queue, deadline - now)
+                    .expect("queue poisoned");
+                queue = q;
+            }
+        }
+
+        // Extract up to `cap` same-model requests, preserving the order of
+        // everything else.
+        let mut requests = Vec::new();
+        let mut rest = VecDeque::with_capacity(queue.len());
+        for request in queue.drain(..) {
+            if request.model == model && requests.len() < cap {
+                requests.push(request);
+            } else {
+                rest.push_back(request);
+            }
+        }
+        *queue = rest;
+
+        drop(queue); // don't hold the queue over the channel send
+        if job_tx.send(BatchJob { model, requests }).is_err() {
+            return; // all workers gone
+        }
+        queue = shared.queue.lock().expect("queue poisoned");
+    }
+}
+
+/// Worker: executes batch jobs until the dispatcher hangs up.
+fn worker_loop(shared: &Shared, jobs: &Mutex<mpsc::Receiver<BatchJob>>) {
+    loop {
+        let job = {
+            let rx = jobs.lock().expect("job channel poisoned");
+            rx.recv()
+        };
+        match job {
+            Ok(job) => process_batch(shared, job),
+            Err(_) => return,
+        }
+    }
+}
+
+fn fail_all(shared: &Shared, requests: Vec<PendingRequest>, err: EngineError) {
+    shared
+        .stats
+        .failures
+        .fetch_add(requests.len(), Ordering::Relaxed);
+    for request in requests {
+        request.respond(Err(err.clone()));
+    }
+}
+
+/// Tuning-side stats for a fresh compile (cache hit/miss counts live in the
+/// compiled cache itself — see `CompiledCache::counters`).
+fn record_compile(shared: &Shared, compiled: &hidet::CompiledGraph, hit: bool) {
+    if !hit {
+        shared
+            .stats
+            .add_tuning_run(compiled.tuning_trials(), compiled.tuning_seconds());
+        shared.stats.add_tuning_saved(
+            compiled.record_trials_saved(),
+            compiled.record_seconds_saved(),
+        );
+    }
+}
+
+fn process_batch(shared: &Shared, job: BatchJob) {
+    let entry = {
+        let registry = shared.registry.lock().expect("registry poisoned");
+        registry.get(&job.model).cloned()
+    };
+    let Some(entry) = entry else {
+        fail_all(shared, job.requests, EngineError::UnknownModel(job.model));
+        return;
+    };
+
+    // Validate each request against the batch-1 shapes; reject misfits
+    // individually so one bad client cannot poison a batch.
+    let base = entry.variant(1);
+    let expected: Vec<usize> = base
+        .graph
+        .inputs()
+        .iter()
+        .map(|&t| base.graph.tensor(t).numel() as usize)
+        .collect();
+    let mut valid = Vec::with_capacity(job.requests.len());
+    for request in job.requests {
+        if request.inputs.len() != expected.len() {
+            let err = EngineError::BadInput(format!(
+                "expected {} input tensors, got {}",
+                expected.len(),
+                request.inputs.len()
+            ));
+            shared.stats.failures.fetch_add(1, Ordering::Relaxed);
+            request.respond(Err(err));
+            continue;
+        }
+        if let Some(pos) = (0..expected.len()).find(|&i| request.inputs[i].len() != expected[i]) {
+            let err = EngineError::BadInput(format!(
+                "input {} has {} elements, expected {}",
+                pos,
+                request.inputs[pos].len(),
+                expected[pos]
+            ));
+            shared.stats.failures.fetch_add(1, Ordering::Relaxed);
+            request.respond(Err(err));
+            continue;
+        }
+        valid.push(request);
+    }
+    if valid.is_empty() {
+        return;
+    }
+
+    let batch = valid.len() as i64;
+    let variant = entry.variant(batch);
+    // The builder contract: inputs scale linearly with the batch size.
+    let scales = variant
+        .graph
+        .inputs()
+        .iter()
+        .zip(&expected)
+        .all(|(&t, &per)| variant.graph.tensor(t).numel() as usize == per * batch as usize);
+    if !scales {
+        fail_all(
+            shared,
+            valid,
+            EngineError::BadInput(format!(
+                "model builder does not scale inputs with the batch dimension at batch {batch}"
+            )),
+        );
+        return;
+    }
+
+    let compiled = shared.compiled.get_or_compile_hashed(
+        &variant.graph,
+        variant.hash,
+        &shared.gpu,
+        &shared.options,
+    );
+    let (compiled, cache_hit) = match compiled {
+        Ok(result) => result,
+        Err(e) => {
+            fail_all(shared, valid, EngineError::Compile(e));
+            return;
+        }
+    };
+    record_compile(shared, &compiled, cache_hit);
+
+    // Coalesce: requests are laid out contiguously along dim 0.
+    let mut input_map = HashMap::new();
+    for (pos, &tid) in variant.graph.inputs().iter().enumerate() {
+        let mut buffer = Vec::with_capacity(expected[pos] * valid.len());
+        for request in &valid {
+            buffer.extend_from_slice(&request.inputs[pos]);
+        }
+        input_map.insert(tid, buffer);
+    }
+
+    let outputs = match compiled.run(&input_map, &shared.gpu) {
+        Ok(outputs) => outputs,
+        Err(e) => {
+            fail_all(shared, valid, EngineError::Execution(e.to_string()));
+            return;
+        }
+    };
+    let latency = compiled.estimate(&shared.gpu);
+    shared.stats.record_batch(valid.len(), latency);
+
+    // Scatter each output back to its request.
+    let out_ids: Vec<_> = variant.graph.outputs().to_vec();
+    let per_request: Vec<usize> = out_ids
+        .iter()
+        .map(|&t| variant.graph.tensor(t).numel() as usize / valid.len())
+        .collect();
+    for (i, request) in valid.into_iter().enumerate() {
+        let slices: Vec<Vec<f32>> = out_ids
+            .iter()
+            .zip(&per_request)
+            .map(|(&t, &len)| outputs[&t][i * len..(i + 1) * len].to_vec())
+            .collect();
+        request.respond(Ok(InferenceResult {
+            outputs: slices,
+            batch_size: batch as usize,
+            simulated_latency_seconds: latency,
+            compile_cache_hit: cache_hit,
+        }));
+    }
+}

@@ -1,0 +1,56 @@
+//! # hidet-runtime — a serving engine over the Hidet compiler
+//!
+//! The paper's headline economics — cheap tuning amortized over many runs —
+//! only pay off if compiled artifacts are actually *reused*. This crate turns
+//! the one-shot `compile + evaluate` pipeline of `hidet` into a long-lived
+//! inference service (DESIGN.md §3):
+//!
+//! * **model registry + compiled-graph cache** ([`Engine::load`],
+//!   [`CompiledCache`]): compiled graphs are keyed by
+//!   [`hidet_graph::Graph::structural_hash`] × device fingerprint × compiler
+//!   options, so repeat requests — even for the same structure registered
+//!   under a different name — skip compilation entirely;
+//! * **dynamic batching** ([`Engine::submit`]): same-model requests are
+//!   coalesced along the model zoo's batch dimension and dispatched to a
+//!   worker pool over the simulated GPU, amortizing per-kernel dispatch
+//!   overhead and reclaiming utilization lost at batch 1;
+//! * **persistent tuning records** ([`hidet_sched::TuningCache`], wired
+//!   through `CompilerOptions::tuning_cache`): tuned matmul schedules
+//!   round-trip through a JSON file, so a cold process warm-starts with zero
+//!   tuning trials;
+//! * **observability** ([`ServerStats`]): cache hit/miss counters, tuning
+//!   trials run vs. saved, p50/p95 simulated latency and simulated
+//!   throughput, consumed by `crates/bench/src/bin/serving_throughput.rs`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hidet_runtime::{Engine, EngineConfig};
+//! use hidet_graph::{GraphBuilder, Tensor};
+//!
+//! let engine = Engine::new(EngineConfig::quick())?;
+//! engine.load("mlp", |batch| {
+//!     let mut g = GraphBuilder::new("mlp");
+//!     let x = g.input("x", &[batch, 16]);
+//!     let w = g.constant(Tensor::randn(&[16, 4], 1));
+//!     let y = g.matmul(x, w);
+//!     let y = g.relu(y);
+//!     g.output(y).build()
+//! });
+//!
+//! let result = engine.infer("mlp", vec![vec![0.5; 16]])?;
+//! assert_eq!(result.outputs[0].len(), 4);
+//!
+//! // Same structure, second request: served from the compiled-graph cache.
+//! let again = engine.infer("mlp", vec![vec![0.25; 16]])?;
+//! assert!(again.compile_cache_hit);
+//! # Ok::<(), hidet_runtime::EngineError>(())
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod stats;
+
+pub use cache::{CacheKey, CompiledCache};
+pub use engine::{Engine, EngineConfig, EngineError, InferenceResult, Ticket};
+pub use stats::{ServerStats, StatsSnapshot};

@@ -1,0 +1,266 @@
+//! Server-side observability: counters for every cache layer plus a latency
+//! distribution, cheap enough to update on the hot path.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many latency samples the reservoir keeps. Past this, uniform
+/// reservoir sampling replaces old samples so memory stays bounded while
+/// percentiles remain representative of the whole run.
+const LATENCY_RESERVOIR_CAP: usize = 4096;
+
+/// Bounded uniform sample of per-request latencies (Vitter's algorithm R,
+/// with a cheap deterministic xorshift in place of a real RNG — percentile
+/// estimation needs uniformity, not unpredictability).
+#[derive(Debug)]
+pub(crate) struct LatencyReservoir {
+    samples: Vec<f64>,
+    seen: u64,
+    rng: u64,
+}
+
+impl Default for LatencyReservoir {
+    fn default() -> LatencyReservoir {
+        LatencyReservoir {
+            samples: Vec::new(),
+            seen: 0,
+            rng: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl LatencyReservoir {
+    fn push(&mut self, value: f64) {
+        self.seen += 1;
+        if self.samples.len() < LATENCY_RESERVOIR_CAP {
+            self.samples.push(value);
+            return;
+        }
+        // Replace a random slot with probability cap/seen.
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let j = self.rng % self.seen;
+        if (j as usize) < LATENCY_RESERVOIR_CAP {
+            self.samples[j as usize] = value;
+        }
+    }
+}
+
+/// Live statistics of one [`crate::Engine`].
+///
+/// Counters are atomics (hot-path increments never contend); latencies go
+/// through a bounded reservoir so a long-lived server neither grows without
+/// bound nor pays more than a ~4k-element sort per snapshot. All latencies
+/// are *simulated* device seconds — the quantity the paper's evaluation
+/// reports — not host wall-clock.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Requests completed successfully.
+    pub(crate) requests: AtomicUsize,
+    /// Requests rejected (unknown model, bad input, compile failure).
+    pub(crate) failures: AtomicUsize,
+    /// Batches dispatched to workers.
+    pub(crate) batches: AtomicUsize,
+    /// Tuning trials actually executed by compiles this engine ran.
+    pub(crate) tuning_trials_run: AtomicUsize,
+    /// Tuning trials avoided thanks to persisted tuning records.
+    pub(crate) tuning_trials_saved: AtomicUsize,
+    /// Simulated tuning seconds spent (scaled by 1e6 for atomic storage).
+    pub(crate) tuning_micros_run: AtomicU64,
+    /// Simulated tuning seconds saved by records (scaled by 1e6).
+    pub(crate) tuning_micros_saved: AtomicU64,
+    /// Total simulated device-seconds across all dispatched batches
+    /// (scaled by 1e9 for atomic storage).
+    pub(crate) simulated_nanos: AtomicU64,
+    /// Per-request simulated latency sample.
+    pub(crate) latencies: Mutex<LatencyReservoir>,
+}
+
+impl ServerStats {
+    pub(crate) fn add_tuning_run(&self, trials: usize, seconds: f64) {
+        self.tuning_trials_run.fetch_add(trials, Ordering::Relaxed);
+        self.tuning_micros_run
+            .fetch_add((seconds * 1e6) as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_tuning_saved(&self, trials: usize, seconds: f64) {
+        self.tuning_trials_saved
+            .fetch_add(trials, Ordering::Relaxed);
+        self.tuning_micros_saved
+            .fetch_add((seconds * 1e6) as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self, batch_size: usize, simulated_seconds: f64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.requests.fetch_add(batch_size, Ordering::Relaxed);
+        self.simulated_nanos
+            .fetch_add((simulated_seconds * 1e9) as u64, Ordering::Relaxed);
+        let mut lat = self.latencies.lock().expect("stats poisoned");
+        // Every request in the batch observes the batch's device latency.
+        for _ in 0..batch_size {
+            lat.push(simulated_seconds);
+        }
+    }
+
+    /// A consistent copy of the current statistics. The compiled-graph cache
+    /// owns its own hit/miss counters (it is the single source of truth —
+    /// see [`crate::CompiledCache::counters`]); the engine passes them in.
+    pub fn snapshot(
+        &self,
+        compile_cache_hits: usize,
+        compile_cache_misses: usize,
+    ) -> StatsSnapshot {
+        let mut latencies = self
+            .latencies
+            .lock()
+            .expect("stats poisoned")
+            .samples
+            .clone();
+        latencies.sort_by(f64::total_cmp);
+        let percentile = |p: f64| -> f64 {
+            if latencies.is_empty() {
+                0.0
+            } else {
+                let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
+                latencies[idx]
+            }
+        };
+        let requests = self.requests.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let simulated_seconds = self.simulated_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+        StatsSnapshot {
+            requests,
+            failures: self.failures.load(Ordering::Relaxed),
+            batches,
+            compile_cache_hits,
+            compile_cache_misses,
+            tuning_trials_run: self.tuning_trials_run.load(Ordering::Relaxed),
+            tuning_trials_saved: self.tuning_trials_saved.load(Ordering::Relaxed),
+            tuning_seconds_run: self.tuning_micros_run.load(Ordering::Relaxed) as f64 / 1e6,
+            tuning_seconds_saved: self.tuning_micros_saved.load(Ordering::Relaxed) as f64 / 1e6,
+            total_simulated_seconds: simulated_seconds,
+            p50_latency_seconds: percentile(0.50),
+            p95_latency_seconds: percentile(0.95),
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                requests as f64 / batches as f64
+            },
+            simulated_throughput_rps: if simulated_seconds > 0.0 {
+                requests as f64 / simulated_seconds
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Point-in-time view of [`ServerStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Requests completed successfully.
+    pub requests: usize,
+    /// Requests rejected with an error.
+    pub failures: usize,
+    /// Batches dispatched.
+    pub batches: usize,
+    /// Compiled-graph cache hits.
+    pub compile_cache_hits: usize,
+    /// Compiled-graph cache misses.
+    pub compile_cache_misses: usize,
+    /// Tuning trials executed.
+    pub tuning_trials_run: usize,
+    /// Tuning trials saved by persisted records.
+    pub tuning_trials_saved: usize,
+    /// Simulated tuning seconds spent.
+    pub tuning_seconds_run: f64,
+    /// Simulated tuning seconds saved by persisted records.
+    pub tuning_seconds_saved: f64,
+    /// Total simulated device time across batches, seconds.
+    pub total_simulated_seconds: f64,
+    /// Median per-request simulated latency, seconds.
+    pub p50_latency_seconds: f64,
+    /// 95th-percentile per-request simulated latency, seconds.
+    pub p95_latency_seconds: f64,
+    /// Average requests per dispatched batch.
+    pub mean_batch_size: f64,
+    /// Requests per simulated device-second.
+    pub simulated_throughput_rps: f64,
+}
+
+impl StatsSnapshot {
+    /// Compact one-line rendering for logs and benches.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} req in {} batches (mean {:.2}/batch) | compile cache {}/{} hit | \
+             {} trials run, {} saved | p50 {:.1} us, p95 {:.1} us | {:.0} req/s (simulated)",
+            self.requests,
+            self.batches,
+            self.mean_batch_size,
+            self.compile_cache_hits,
+            self.compile_cache_hits + self.compile_cache_misses,
+            self.tuning_trials_run,
+            self.tuning_trials_saved,
+            self.p50_latency_seconds * 1e6,
+            self.p95_latency_seconds * 1e6,
+            self.simulated_throughput_rps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_throughput() {
+        let stats = ServerStats::default();
+        stats.record_batch(4, 0.004); // 4 requests at 4 ms
+        stats.record_batch(1, 0.001); // 1 request at 1 ms
+        let snap = stats.snapshot(0, 0);
+        assert_eq!(snap.requests, 5);
+        assert_eq!(snap.batches, 2);
+        assert!((snap.mean_batch_size - 2.5).abs() < 1e-9);
+        assert!((snap.p50_latency_seconds - 0.004).abs() < 1e-9);
+        assert!((snap.p95_latency_seconds - 0.004).abs() < 1e-9);
+        assert!((snap.total_simulated_seconds - 0.005).abs() < 1e-6);
+        assert!((snap.simulated_throughput_rps - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let snap = ServerStats::default().snapshot(0, 0);
+        assert_eq!(snap.requests, 0);
+        assert_eq!(snap.p50_latency_seconds, 0.0);
+        assert_eq!(snap.simulated_throughput_rps, 0.0);
+        assert_eq!(snap.mean_batch_size, 0.0);
+    }
+
+    #[test]
+    fn latency_reservoir_stays_bounded() {
+        let stats = ServerStats::default();
+        for i in 0..20_000 {
+            stats.record_batch(1, 0.001 * (1.0 + (i % 10) as f64));
+        }
+        let held = stats.latencies.lock().unwrap().samples.len();
+        assert!(held <= super::LATENCY_RESERVOIR_CAP, "{held}");
+        let snap = stats.snapshot(0, 0);
+        assert_eq!(snap.requests, 20_000);
+        // Percentiles still estimate the underlying uniform 1..=10 ms mix.
+        assert!(snap.p50_latency_seconds >= 0.003 && snap.p50_latency_seconds <= 0.008);
+        assert!(snap.p95_latency_seconds >= 0.008);
+    }
+
+    #[test]
+    fn tuning_accounting() {
+        let stats = ServerStats::default();
+        stats.add_tuning_run(100, 20.0);
+        stats.add_tuning_saved(250, 50.0);
+        let snap = stats.snapshot(0, 0);
+        assert_eq!(snap.tuning_trials_run, 100);
+        assert_eq!(snap.tuning_trials_saved, 250);
+        assert!((snap.tuning_seconds_run - 20.0).abs() < 1e-6);
+        assert!((snap.tuning_seconds_saved - 50.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,348 @@
+//! Integration tests of the serving engine: functional correctness through
+//! the batching path, cache behavior, tuning-record persistence, error
+//! surfaces.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use hidet_graph::reference::{self, ValueMap};
+use hidet_graph::{Graph, GraphBuilder, Tensor};
+use hidet_runtime::{Engine, EngineConfig, EngineError};
+use hidet_sim::Gpu;
+
+/// A small two-layer MLP whose inputs scale with the batch dimension.
+fn mlp(batch: i64) -> Graph {
+    let mut g = GraphBuilder::new("mlp");
+    let x = g.input("x", &[batch, 24]);
+    let w1 = g.constant(Tensor::randn(&[24, 32], 1));
+    let w2 = g.constant(Tensor::randn(&[32, 6], 2));
+    let h = g.matmul(x, w1);
+    let h = g.relu(h);
+    let y = g.matmul(h, w2);
+    g.output(y).build()
+}
+
+fn sample_input(seed: u64) -> Vec<f32> {
+    Tensor::randn(&[1, 24], seed).data().unwrap().to_vec()
+}
+
+/// Ground truth from the reference executor at batch 1.
+fn reference_output(input: &[f32]) -> Vec<f32> {
+    let graph = mlp(1);
+    let mut inputs = ValueMap::new();
+    inputs.insert(graph.inputs()[0], input.to_vec());
+    let out = reference::execute(&graph, &inputs);
+    out[&graph.outputs()[0]].clone()
+}
+
+fn quick_engine(max_batch: usize) -> Engine {
+    let config = EngineConfig {
+        max_batch,
+        batch_window: Duration::from_millis(25),
+        ..EngineConfig::quick()
+    };
+    let engine = Engine::new(config).expect("engine starts");
+    engine.load("mlp", mlp);
+    engine
+}
+
+fn unique_temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "hidet-runtime-{tag}-{}-{:?}.json",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+#[test]
+fn single_inference_matches_reference() {
+    let engine = quick_engine(1);
+    let input = sample_input(7);
+    let result = engine.infer("mlp", vec![input.clone()]).expect("infers");
+    assert_eq!(result.batch_size, 1);
+    let expect = reference_output(&input);
+    assert_eq!(result.outputs.len(), 1);
+    for (a, b) in result.outputs[0].iter().zip(&expect) {
+        assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()), "{a} vs {b}");
+    }
+}
+
+#[test]
+fn batched_inference_matches_reference_per_request() {
+    let engine = quick_engine(4);
+    let inputs: Vec<Vec<f32>> = (0..4).map(|i| sample_input(100 + i)).collect();
+    let results = engine.infer_many("mlp", inputs.iter().map(|x| vec![x.clone()]).collect());
+    for (input, result) in inputs.iter().zip(results) {
+        let result = result.expect("infers");
+        let expect = reference_output(input);
+        for (a, b) in result.outputs[0].iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn second_request_hits_compiled_graph_cache() {
+    let engine = quick_engine(1);
+    let first = engine.infer("mlp", vec![sample_input(1)]).unwrap();
+    let second = engine.infer("mlp", vec![sample_input(2)]).unwrap();
+    assert!(!first.compile_cache_hit);
+    assert!(second.compile_cache_hit);
+    let stats = engine.stats();
+    assert_eq!(stats.compile_cache_hits, 1);
+    assert_eq!(stats.compile_cache_misses, 1);
+    assert_eq!(engine.compiled_graphs(), 1);
+}
+
+#[test]
+fn same_structure_under_two_names_shares_compile() {
+    let engine = quick_engine(1);
+    engine.load("mlp-alias", mlp);
+    engine.infer("mlp", vec![sample_input(1)]).unwrap();
+    let aliased = engine.infer("mlp-alias", vec![sample_input(2)]).unwrap();
+    assert!(
+        aliased.compile_cache_hit,
+        "structural key must ignore names"
+    );
+    assert_eq!(engine.compiled_graphs(), 1);
+}
+
+#[test]
+fn burst_is_coalesced_into_batches() {
+    let engine = quick_engine(8);
+    let requests: Vec<Vec<Vec<f32>>> = (0..8).map(|i| vec![sample_input(i)]).collect();
+    let results = engine.infer_many("mlp", requests);
+    assert!(results.iter().all(|r| r.is_ok()));
+    let stats = engine.stats();
+    assert_eq!(stats.requests, 8);
+    assert!(
+        stats.batches < 8,
+        "burst of 8 should coalesce, got {} batches",
+        stats.batches
+    );
+    assert!(stats.mean_batch_size > 1.0);
+}
+
+#[test]
+fn batched_throughput_beats_sequential() {
+    // Same 8 requests, dispatched sequentially (max_batch 1) vs batched.
+    let sequential = quick_engine(1);
+    let batched = quick_engine(8);
+    let requests = || (0..8).map(|i| vec![sample_input(i)]).collect::<Vec<_>>();
+    for r in sequential.infer_many("mlp", requests()) {
+        r.unwrap();
+    }
+    for r in batched.infer_many("mlp", requests()) {
+        r.unwrap();
+    }
+    let seq = sequential.stats();
+    let bat = batched.stats();
+    assert_eq!(seq.requests, 8);
+    assert_eq!(bat.requests, 8);
+    assert!(
+        bat.total_simulated_seconds < seq.total_simulated_seconds,
+        "batched {}s vs sequential {}s",
+        bat.total_simulated_seconds,
+        seq.total_simulated_seconds
+    );
+    assert!(bat.simulated_throughput_rps > seq.simulated_throughput_rps);
+}
+
+#[test]
+fn tuning_records_roundtrip_across_processes() {
+    let path = unique_temp_path("records");
+    let _ = std::fs::remove_file(&path);
+
+    // "Process" 1: tuned engine, cold records.
+    let config = EngineConfig {
+        max_batch: 1,
+        tuning_records_path: Some(path.clone()),
+        ..EngineConfig::default() // tuned options
+    };
+    let engine = Engine::new(config.clone()).unwrap();
+    engine.load("mlp", mlp);
+    engine.infer("mlp", vec![sample_input(1)]).unwrap();
+    let cold = engine.stats();
+    assert!(cold.tuning_trials_run > 0, "cold start must tune");
+    assert_eq!(cold.tuning_trials_saved, 0);
+    engine.shutdown().unwrap();
+    assert!(path.exists(), "shutdown persists records");
+
+    // "Process" 2: same record file, fresh engine (empty compiled cache).
+    let engine = Engine::new(config).unwrap();
+    engine.load("mlp", mlp);
+    let result = engine.infer("mlp", vec![sample_input(2)]).unwrap();
+    assert!(
+        !result.compile_cache_hit,
+        "fresh process has no compiled graphs"
+    );
+    let warm = engine.stats();
+    assert_eq!(warm.tuning_trials_run, 0, "warm start must not tune");
+    assert!(warm.tuning_seconds_run == 0.0);
+    assert_eq!(warm.tuning_trials_saved, cold.tuning_trials_run);
+    engine.shutdown().unwrap();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn warmup_precompiles_off_the_request_path() {
+    let engine = quick_engine(4);
+    assert!(!engine.warmup("mlp", 1).unwrap());
+    assert!(engine.warmup("mlp", 1).unwrap());
+    let result = engine.infer("mlp", vec![sample_input(5)]).unwrap();
+    assert!(result.compile_cache_hit);
+}
+
+#[test]
+fn unknown_model_and_bad_input_are_reported() {
+    let engine = quick_engine(2);
+    match engine.infer("nope", vec![vec![0.0; 24]]) {
+        Err(EngineError::UnknownModel(name)) => assert_eq!(name, "nope"),
+        other => panic!("expected UnknownModel, got {other:?}"),
+    }
+    match engine.infer("mlp", vec![vec![0.0; 7]]) {
+        Err(EngineError::BadInput(msg)) => assert!(msg.contains("expected 24"), "{msg}"),
+        other => panic!("expected BadInput, got {other:?}"),
+    }
+    match engine.infer("mlp", vec![]) {
+        Err(EngineError::BadInput(_)) => {}
+        other => panic!("expected BadInput, got {other:?}"),
+    }
+    // A bad request must not poison concurrent good ones.
+    let good = engine.infer("mlp", vec![sample_input(3)]).unwrap();
+    assert_eq!(good.outputs[0].len(), 6);
+    assert_eq!(engine.stats().failures, 3);
+}
+
+#[test]
+fn unbatched_models_never_coalesce() {
+    // Transformer-style models fold batch into the sequence axis, so
+    // coalescing would mix requests; `load_unbatched` must pin them to
+    // batch-1 dispatch even under a burst with batching enabled.
+    let engine = Engine::new(EngineConfig {
+        max_batch: 8,
+        batch_window: Duration::from_millis(25),
+        ..EngineConfig::quick()
+    })
+    .expect("engine starts");
+    engine.load_unbatched("mlp-solo", mlp);
+    let requests: Vec<Vec<Vec<f32>>> = (0..4).map(|i| vec![sample_input(i)]).collect();
+    for result in engine.infer_many("mlp-solo", requests) {
+        let result = result.expect("infers");
+        assert_eq!(result.batch_size, 1, "unbatched model was coalesced");
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.batches, 4);
+    assert_eq!(stats.requests, 4);
+}
+
+#[test]
+fn adopted_tuning_cache_still_absorbs_records_file() {
+    // A shared in-memory cache plus a records path: the file must be merged
+    // in at startup, not silently overwritten at shutdown.
+    let path = unique_temp_path("adopted");
+    let _ = std::fs::remove_file(&path);
+
+    let warm = EngineConfig {
+        max_batch: 1,
+        tuning_records_path: Some(path.clone()),
+        ..EngineConfig::default()
+    };
+    let engine = Engine::new(warm.clone()).unwrap();
+    engine.load("mlp", mlp);
+    engine.infer("mlp", vec![sample_input(1)]).unwrap();
+    engine.shutdown().unwrap();
+    let persisted = hidet_sched::TuningCache::load(&path).unwrap().len();
+    assert!(persisted > 0);
+
+    // Second engine adopts its own (empty) shared cache AND names the path.
+    let shared = std::sync::Arc::new(std::sync::Mutex::new(hidet_sched::TuningCache::new()));
+    let config = EngineConfig {
+        options: hidet::CompilerOptions::tuned().with_tuning_cache(shared.clone()),
+        ..warm
+    };
+    let engine = Engine::new(config).unwrap();
+    engine.load("mlp", mlp);
+    engine.infer("mlp", vec![sample_input(2)]).unwrap();
+    let stats = engine.stats();
+    assert_eq!(stats.tuning_trials_run, 0, "merged records must warm-start");
+    engine.shutdown().unwrap();
+    assert!(
+        hidet_sched::TuningCache::load(&path).unwrap().len() >= persisted,
+        "shutdown must not lose previously persisted records"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn tuned_compile_failure_is_typed_and_workers_survive() {
+    // A device too small for any matmul schedule: tuned compiles must fail
+    // with EngineError::Compile (not a tuner panic that kills the worker),
+    // and the pool must keep serving.
+    let engine = Engine::new(EngineConfig {
+        gpu: hidet_sim::GpuSpec {
+            shared_mem_per_block: 1,
+            ..hidet_sim::GpuSpec::tiny()
+        },
+        workers: 1,
+        max_batch: 1,
+        ..EngineConfig::default() // tuned options
+    })
+    .expect("engine starts");
+    engine.load("mlp", mlp);
+    for attempt in 0..3 {
+        match engine.infer("mlp", vec![sample_input(attempt)]) {
+            Err(EngineError::Compile(e)) => {
+                assert!(e.to_string().contains("no matmul schedule"), "{e}");
+            }
+            other => panic!("attempt {attempt}: expected Compile error, got {other:?}"),
+        }
+    }
+    assert_eq!(
+        engine.stats().failures,
+        3,
+        "every request got a typed reply"
+    );
+}
+
+#[test]
+fn model_zoo_builders_plug_in_directly() {
+    // The registry contract is exactly the zoo's `fn(batch) -> Graph` shape.
+    // Compile-only (`warmup`): functionally interpreting a full transformer
+    // on the simulated GPU is minutes of debug-build work, and the batching
+    // path's functional correctness is covered by the MLP tests above.
+    let engine = Engine::new(EngineConfig {
+        max_batch: 2,
+        batch_window: Duration::from_millis(10),
+        ..EngineConfig::quick()
+    })
+    .unwrap();
+    // Transformers fold batch into the sequence axis → never coalesce them.
+    engine.load_unbatched("gpt2", |b| hidet_graph::models::gpt2(b, 32));
+    assert!(
+        !engine.warmup("gpt2", 1).unwrap(),
+        "first compile is a miss"
+    );
+    assert!(engine.warmup("gpt2", 1).unwrap(), "second compile is a hit");
+    assert_eq!(engine.compiled_graphs(), 1);
+}
+
+#[test]
+fn engine_run_equals_direct_compile_run() {
+    // The batching path must be a pure refactor of compile+run.
+    let engine = quick_engine(2);
+    let input = sample_input(42);
+    let via_engine = engine.infer("mlp", vec![input.clone()]).unwrap();
+
+    let graph = mlp(1);
+    let gpu = Gpu::default();
+    let compiled = hidet::compile(&graph, &gpu, &hidet::CompilerOptions::quick()).unwrap();
+    let mut inputs = HashMap::new();
+    inputs.insert(graph.inputs()[0], input);
+    let direct = compiled.run(&inputs, &gpu).unwrap();
+    let direct_out = &direct[&graph.outputs()[0]];
+    for (a, b) in via_engine.outputs[0].iter().zip(direct_out) {
+        assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+    }
+}

@@ -46,7 +46,10 @@ impl Default for GroupSchedule {
     fn default() -> GroupSchedule {
         GroupSchedule {
             matmul: MatmulConfig::default(),
-            reduce: ReduceConfig { threads_per_row: 1, block_threads: 256 },
+            reduce: ReduceConfig {
+                threads_per_row: 1,
+                block_threads: 256,
+            },
         }
     }
 }
@@ -83,18 +86,14 @@ pub fn resolve_element(
     tensor: TensorId,
     indices: &[Expr],
 ) -> Expr {
-    let producer_in_group = graph
-        .producer(tensor)
-        .filter(|p| group_ops.contains(p));
+    let producer_in_group = graph.producer(tensor).filter(|p| group_ops.contains(p));
     match producer_in_group {
         None => load(&tensor_buffer(graph, tensor), indices.to_vec()),
         Some(p) => {
             let op = graph.op(p);
-            let shapes: Vec<&[i64]> =
-                op.inputs.iter().map(|t| graph.tensor(*t).shape()).collect();
-            let def = compute_def(&op.kind, &shapes).unwrap_or_else(|| {
-                panic!("prologue op {} has no compute definition", op.name)
-            });
+            let shapes: Vec<&[i64]> = op.inputs.iter().map(|t| graph.tensor(*t).shape()).collect();
+            let def = compute_def(&op.kind, &shapes)
+                .unwrap_or_else(|| panic!("prologue op {} has no compute definition", op.name));
             let elem = def.element_at(indices);
             // Replace placeholder input loads with recursively resolved values.
             rewrite_expr(&elem, &mut |e| {
@@ -117,7 +116,9 @@ pub fn apply_epilogues(
     mut indices: Vec<Expr>,
     mut value: Expr,
 ) -> Stmt {
-    let mut current = graph.op(group.anchor.expect("epilogues need an anchor")).output;
+    let mut current = graph
+        .op(group.anchor.expect("epilogues need an anchor"))
+        .output;
     for e in group.epilogues() {
         let op = graph.op(e);
         let input_idx = op
@@ -140,7 +141,11 @@ pub fn apply_epilogues(
                     .iter()
                     .enumerate()
                     .map(|(d, &ext)| {
-                        if ext == 1 { Expr::Int(0) } else { indices[offset + d].clone() }
+                        if ext == 1 {
+                            Expr::Int(0)
+                        } else {
+                            indices[offset + d].clone()
+                        }
                     })
                     .collect();
                 let other = resolve_element(graph, &group.ops, other_t, &oidx);
@@ -148,7 +153,8 @@ pub fn apply_epilogues(
             }
             OpKind::BatchNorm => {
                 let ch = indices[1].clone();
-                let scale = resolve_element(graph, &group.ops, op.inputs[1], &[ch.clone()]);
+                let scale =
+                    resolve_element(graph, &group.ops, op.inputs[1], std::slice::from_ref(&ch));
                 let shift = resolve_element(graph, &group.ops, op.inputs[2], &[ch]);
                 value = value * scale + shift;
             }
@@ -174,7 +180,7 @@ fn unary_value(u: hidet_graph::UnaryKind, x: Expr) -> Expr {
         Relu => x.max(0.0f32),
         Relu6 => x.max(0.0f32).min(6.0f32),
         Gelu => {
-            let inner = (x.clone() * 0.70710678f32).unary(UnOp::Erf);
+            let inner = (x.clone() * std::f32::consts::FRAC_1_SQRT_2).unary(UnOp::Erf);
             x * 0.5f32 * (inner + 1.0f32)
         }
         Tanh => x.unary(UnOp::Tanh),
@@ -185,9 +191,18 @@ fn unary_value(u: hidet_graph::UnaryKind, x: Expr) -> Expr {
     }
 }
 
-fn apply_binary(b: hidet_graph::BinaryKind, carried_idx: usize, carried: Expr, other: Expr) -> Expr {
+fn apply_binary(
+    b: hidet_graph::BinaryKind,
+    carried_idx: usize,
+    carried: Expr,
+    other: Expr,
+) -> Expr {
     use hidet_graph::BinaryKind::*;
-    let (lhs, rhs) = if carried_idx == 0 { (carried, other) } else { (other, carried) };
+    let (lhs, rhs) = if carried_idx == 0 {
+        (carried, other)
+    } else {
+        (other, carried)
+    };
     match b {
         Add => lhs + rhs,
         Sub => lhs - rhs,
@@ -213,8 +228,7 @@ pub fn compile_group(
         .map(|a| graph.op(a).name.clone())
         .unwrap_or_else(|| graph.op(group.ops[0]).name.clone())
         + "_fused";
-    let mut params: Vec<BufferRef> =
-        inputs.iter().map(|&t| tensor_buffer(graph, t)).collect();
+    let mut params: Vec<BufferRef> = inputs.iter().map(|&t| tensor_buffer(graph, t)).collect();
     params.push(tensor_buffer(graph, output));
 
     let kernels = match group.anchor {
@@ -297,7 +311,13 @@ pub fn compile_group(
                     let (outer, len, inner) = split_axis(&shape, *axis);
                     let rows = outer * inner;
                     let io = row_reduce_io(graph, group, name, &shape, *axis, params);
-                    vec![reduce_kernel(RowReduceKind::Softmax, rows, len, schedule.reduce, io)]
+                    vec![reduce_kernel(
+                        RowReduceKind::Softmax,
+                        rows,
+                        len,
+                        schedule.reduce,
+                        io,
+                    )]
                 }
                 OpKind::LayerNorm => {
                     let x_t = op.inputs[0];
@@ -323,13 +343,20 @@ pub fn compile_group(
                             })
                         },
                         store: Box::new(move |r, a, v| {
-                            let affine = v * load(&gb, vec![a.clone()]) + load(&bb, vec![a.clone()]);
+                            let affine =
+                                v * load(&gb, vec![a.clone()]) + load(&bb, vec![a.clone()]);
                             let idx = row_axis_indices(&shape2, shape2.len() - 1, r, a);
                             apply_epilogues(&graph2, &group2, idx, affine)
                         }),
                         params,
                     };
-                    vec![reduce_kernel(RowReduceKind::LayerNorm, rows, len, schedule.reduce, io)]
+                    vec![reduce_kernel(
+                        RowReduceKind::LayerNorm,
+                        rows,
+                        len,
+                        schedule.reduce,
+                        io,
+                    )]
                 }
                 OpKind::GlobalAvgPool => {
                     let x_t = op.inputs[0];
@@ -361,10 +388,24 @@ pub fn compile_group(
                         }),
                         params,
                     };
-                    vec![reduce_kernel(RowReduceKind::MeanPool, rows, len, schedule.reduce, io)]
+                    vec![reduce_kernel(
+                        RowReduceKind::MeanPool,
+                        rows,
+                        len,
+                        schedule.reduce,
+                        io,
+                    )]
                 }
-                OpKind::MaxPool { kernel, stride, padding }
-                | OpKind::AvgPool { kernel, stride, padding } => {
+                OpKind::MaxPool {
+                    kernel,
+                    stride,
+                    padding,
+                }
+                | OpKind::AvgPool {
+                    kernel,
+                    stride,
+                    padding,
+                } => {
                     let reduce = if matches!(op.kind, OpKind::MaxPool { .. }) {
                         WindowReduce::Max
                     } else {
@@ -374,9 +415,15 @@ pub fn compile_group(
                     let in_shape = graph.tensor(x_t).shape().to_vec();
                     let out_shape = graph.tensor(op.output).shape().to_vec();
                     let io = window_io(graph, group, name, x_t, params);
-                    vec![pool_kernel(reduce, &in_shape, &out_shape, *kernel, *stride, *padding, io)]
+                    vec![pool_kernel(
+                        reduce, &in_shape, &out_shape, *kernel, *stride, *padding, io,
+                    )]
                 }
-                OpKind::Conv2d { stride, padding, groups } => {
+                OpKind::Conv2d {
+                    stride,
+                    padding,
+                    groups,
+                } => {
                     let x_t = op.inputs[0];
                     let w_t = op.inputs[1];
                     let in_shape = graph.tensor(x_t).shape().to_vec();
@@ -415,7 +462,12 @@ pub fn compile_group(
     }
     scratch.dedup();
 
-    Ok(CompiledGroup { kernels, inputs, output, scratch })
+    Ok(CompiledGroup {
+        kernels,
+        inputs,
+        output,
+        scratch,
+    })
 }
 
 /// Splits `shape` at `axis` into `(outer_volume, axis_len, inner_volume)`.
@@ -430,7 +482,11 @@ fn row_axis_indices(shape: &[i64], axis: usize, r: &Expr, a: &Expr) -> Vec<Expr>
     let (_, _, inner) = split_axis(shape, axis);
     let outer_shape = &shape[..axis];
     let inner_shape = &shape[axis + 1..];
-    let o = if inner == 1 { r.clone() } else { r.clone() / inner };
+    let o = if inner == 1 {
+        r.clone()
+    } else {
+        r.clone() / inner
+    };
     let inn = r.clone() % inner.max(1);
     let mut idx = rule_based::delinearize(o, outer_shape);
     idx.push(a.clone());
@@ -572,7 +628,10 @@ mod tests {
         lower_convs(&mut graph);
         constant_fold(&mut graph);
         let mut inputs = ValueMap::new();
-        inputs.insert(x, Tensor::randn(&[1, 3, 10, 10], 4).data().unwrap().to_vec());
+        inputs.insert(
+            x,
+            Tensor::randn(&[1, 3, 10, 10], 4).data().unwrap().to_vec(),
+        );
         check_graph(&graph, &inputs, 1e-2);
     }
 

@@ -22,13 +22,15 @@
 //!   plots in Fig. 17.
 
 pub mod fusion;
+pub mod records;
 pub mod rule_based;
 pub mod space;
 pub mod templates;
 pub mod tuner;
 
 pub use fusion::{compile_group, CompiledGroup, Epilogue, GroupSchedule, Prologue};
+pub use records::{RecordsError, TuningCache, TuningRecord};
 pub use space::{matmul_space, reduce_space, MatmulConfig, ReduceConfig};
 pub use templates::matmul::{matmul_kernel, MatmulIo, MatmulProblem, Sink, Source};
 pub use templates::reduce::{reduce_kernel, ReduceIo, RowReduceKind};
-pub use tuner::{pick_reduce_config, tune_matmul, TuneReport, SECONDS_PER_TRIAL};
+pub use tuner::{pick_reduce_config, try_tune_matmul, tune_matmul, TuneReport, SECONDS_PER_TRIAL};

@@ -69,7 +69,11 @@ pub fn delinearize(flat: Expr, shape: &[i64]) -> Vec<Expr> {
     }
     (0..n)
         .map(|i| {
-            let q = if strides[i] == 1 { flat.clone() } else { flat.clone() / strides[i] };
+            let q = if strides[i] == 1 {
+                flat.clone()
+            } else {
+                flat.clone() / strides[i]
+            };
             let e = if i == 0 { q } else { q % shape[i] };
             hidet_ir::passes::simplify_expr(&e)
         })
@@ -85,6 +89,12 @@ pub enum WindowReduce {
     Avg,
 }
 
+/// Maps logical element indices to a value expression.
+pub type ElementLoad = Box<dyn Fn(&[Expr]) -> Expr>;
+
+/// Stores a computed value at logical element indices.
+pub type ElementStore = Box<dyn Fn(&[Expr], Expr) -> Stmt>;
+
 /// IO binding for window kernels (pooling / depthwise convolution): loads
 /// address logical NCHW input coordinates; the store receives full output
 /// indices and the computed value (epilogues fused by the caller).
@@ -92,16 +102,18 @@ pub struct WindowIo {
     /// Kernel name.
     pub name: String,
     /// Reads `x[n, c, h, w]`.
-    pub load: Box<dyn Fn(&[Expr]) -> Expr>,
+    pub load: ElementLoad,
     /// Stores `out[indices] = value`.
-    pub store: Box<dyn Fn(&[Expr], Expr) -> Stmt>,
+    pub store: ElementStore,
     /// Kernel parameters.
     pub params: Vec<BufferRef>,
 }
 
 impl std::fmt::Debug for WindowIo {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WindowIo").field("name", &self.name).finish_non_exhaustive()
+        f.debug_struct("WindowIo")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
     }
 }
 
@@ -127,7 +139,12 @@ pub fn pool_kernel(
     let acc = kb.local("Acc", DType::F32, &[2]); // [value, count]
     let flat = var("flat");
     let idx = delinearize(flat.expr(), out_shape);
-    let (n, ci, oh, ow) = (idx[0].clone(), idx[1].clone(), idx[2].clone(), idx[3].clone());
+    let (n, ci, oh, ow) = (
+        idx[0].clone(),
+        idx[1].clone(),
+        idx[2].clone(),
+        idx[3].clone(),
+    );
     let init = match reduce {
         WindowReduce::Max => f32::NEG_INFINITY,
         WindowReduce::Avg => 0.0,
@@ -142,7 +159,12 @@ pub fn pool_kernel(
                 .and(ih.clone().lt(h))
                 .and(iw.clone().ge(0))
                 .and(iw.clone().lt(w));
-            let v = (io.load)(&[n.clone(), ci.clone(), ih.max(0).min(h - 1), iw.max(0).min(w - 1)]);
+            let v = (io.load)(&[
+                n.clone(),
+                ci.clone(),
+                ih.max(0).min(h - 1),
+                iw.max(0).min(w - 1),
+            ]);
             let update = match reduce {
                 WindowReduce::Max => store(&acc, vec![c(0)], load(&acc, vec![c(0)]).max(v)),
                 WindowReduce::Avg => seq(vec![
@@ -195,7 +217,12 @@ pub fn depthwise_conv_kernel(
     let acc = kb.local("Acc", DType::F32, &[1]);
     let flat = var("flat");
     let idx = delinearize(flat.expr(), out_shape);
-    let (n, ci, oh, ow) = (idx[0].clone(), idx[1].clone(), idx[2].clone(), idx[3].clone());
+    let (n, ci, oh, ow) = (
+        idx[0].clone(),
+        idx[1].clone(),
+        idx[2].clone(),
+        idx[3].clone(),
+    );
     let window = for_range("kh", kernel, |kh| {
         for_range("kw", kernel, |kw| {
             let ih = oh.clone() * stride + kh.clone() - padding;
@@ -206,7 +233,12 @@ pub fn depthwise_conv_kernel(
                 .and(ih.clone().lt(h))
                 .and(iw.clone().ge(0))
                 .and(iw.clone().lt(w));
-            let x = (io.load)(&[n.clone(), ci.clone(), ih.max(0).min(h - 1), iw.max(0).min(w - 1)]);
+            let x = (io.load)(&[
+                n.clone(),
+                ci.clone(),
+                ih.max(0).min(h - 1),
+                iw.max(0).min(w - 1),
+            ]);
             let wv = load(&weight, vec![ci.clone(), c(0), kh, kw]);
             if_then(
                 valid,
@@ -252,7 +284,10 @@ mod tests {
         mem.alloc("X", &[-2.0, -1.0, 0.0, 1.0, 2.0, -3.0, 3.0, -4.0, 4.0, 5.0]);
         mem.alloc_zeroed("Y", 10);
         gpu.run(&kernel, &mut mem).unwrap();
-        assert_eq!(mem.read("Y"), &[0.0, 0.0, 0.0, 1.0, 2.0, 0.0, 3.0, 0.0, 4.0, 5.0]);
+        assert_eq!(
+            mem.read("Y"),
+            &[0.0, 0.0, 0.0, 1.0, 2.0, 0.0, 3.0, 0.0, 4.0, 5.0]
+        );
     }
 
     fn direct_window_io(name: &str, in_shape: &[i64], out_shape: &[i64]) -> WindowIo {
@@ -281,7 +316,11 @@ mod tests {
         mem.alloc_zeroed("Y", 18);
         gpu.run(&kernel, &mut mem).unwrap();
         let expect = hidet_graph::reference::eval_kind(
-            &hidet_graph::OpKind::MaxPool { kernel: 3, stride: 2, padding: 1 },
+            &hidet_graph::OpKind::MaxPool {
+                kernel: 3,
+                stride: 2,
+                padding: 1,
+            },
             &[x.data().unwrap()],
             &[&in_shape],
             &out_shape,
@@ -320,7 +359,11 @@ mod tests {
         mem.alloc_zeroed("Y", 3 * 64);
         gpu.run(&kernel, &mut mem).unwrap();
         let expect = hidet_graph::reference::eval_kind(
-            &hidet_graph::OpKind::Conv2d { stride: 1, padding: 1, groups: 3 },
+            &hidet_graph::OpKind::Conv2d {
+                stride: 1,
+                padding: 1,
+                groups: 3,
+            },
             &[x.data().unwrap(), wt.data().unwrap()],
             &[&in_shape, &[3, 1, 3, 3]],
             &out_shape,

@@ -71,8 +71,7 @@ impl MatmulConfig {
             && self.block_m % (t / self.block_k) == 0
             && t % self.block_n == 0
             && self.block_k % (t / self.block_n).max(1) == 0
-            && t <= 1024
-            && t >= 32
+            && (32..=1024).contains(&t)
     }
 
     /// Validity against device limits (shared memory, registers).
@@ -86,7 +85,9 @@ impl MatmulConfig {
         // Accumulator registers per thread: thread_m*thread_n per warp repeat.
         let (rm, rn) = self.warp_repeats();
         let acc = rm * rn * self.thread_m * self.thread_n;
-        let regs = 32 + acc + 2 * (self.block_m * self.block_k / self.threads())
+        let regs = 32
+            + acc
+            + 2 * (self.block_m * self.block_k / self.threads())
             + 2 * (self.block_k * self.block_n / self.threads());
         (regs as u64) * (self.threads() as u64) <= spec.registers_per_sm
     }
@@ -206,7 +207,10 @@ pub fn reduce_space() -> Vec<ReduceConfig> {
     let mut out = Vec::new();
     for &threads_per_row in &[1i64, 32, 128, 256] {
         for &block_threads in &[128i64, 256] {
-            let cfg = ReduceConfig { threads_per_row, block_threads };
+            let cfg = ReduceConfig {
+                threads_per_row,
+                block_threads,
+            };
             if cfg.is_valid() && cfg.rows_per_block() >= 1 {
                 out.push(cfg);
             }
@@ -233,7 +237,11 @@ mod tests {
         );
         // Every candidate respects device limits.
         for cfg in &space {
-            assert!(cfg.shared_bytes() <= spec.shared_mem_per_block, "{}", cfg.id());
+            assert!(
+                cfg.shared_bytes() <= spec.shared_mem_per_block,
+                "{}",
+                cfg.id()
+            );
             assert!(cfg.threads() <= 1024);
         }
     }
@@ -248,7 +256,10 @@ mod tests {
 
     #[test]
     fn structural_validity_checks_divisibility() {
-        let bad = MatmulConfig { block_m: 48, ..MatmulConfig::default() };
+        let bad = MatmulConfig {
+            block_m: 48,
+            ..MatmulConfig::default()
+        };
         // 48 not divisible by warp layout 2*(4*4)=32.
         assert!(!bad.is_structurally_valid());
         assert!(MatmulConfig::default().is_structurally_valid());
@@ -256,8 +267,14 @@ mod tests {
 
     #[test]
     fn shared_bytes_scales_with_stages() {
-        let c1 = MatmulConfig { stages: 1, ..MatmulConfig::default() };
-        let c2 = MatmulConfig { stages: 2, ..MatmulConfig::default() };
+        let c1 = MatmulConfig {
+            stages: 1,
+            ..MatmulConfig::default()
+        };
+        let c2 = MatmulConfig {
+            stages: 2,
+            ..MatmulConfig::default()
+        };
         assert_eq!(c2.shared_bytes(), 2 * c1.shared_bytes());
     }
 

@@ -57,8 +57,14 @@ pub enum Source {
     Direct(BufferRef),
     /// A fused prologue: maps `(batch, row, col)` index expressions to the
     /// value expression (referencing real kernel parameters).
-    Fused(Box<dyn Fn(&Expr, &Expr, &Expr) -> Expr>),
+    Fused(FusedLoad),
 }
+
+/// A fused prologue load: `(batch, row, col)` indices to a value expression.
+pub type FusedLoad = Box<dyn Fn(&Expr, &Expr, &Expr) -> Expr>;
+
+/// A fused epilogue store: `(batch, row, col, value)` to a store statement.
+pub type FusedStore = Box<dyn Fn(&Expr, &Expr, &Expr, Expr) -> Stmt>;
 
 impl Source {
     fn at(&self, b: &Expr, i: &Expr, j: &Expr) -> Expr {
@@ -66,7 +72,10 @@ impl Source {
             Source::Direct(buf) => match buf.ndim() {
                 2 => load(buf, vec![i.clone(), j.clone()]),
                 3 => load(buf, vec![b.clone(), i.clone(), j.clone()]),
-                n => panic!("matmul input buffer {} has rank {n}, want 2 or 3", buf.name()),
+                n => panic!(
+                    "matmul input buffer {} has rank {n}, want 2 or 3",
+                    buf.name()
+                ),
             },
             Source::Fused(f) => f(b, i, j),
         }
@@ -88,7 +97,7 @@ pub enum Sink {
     /// Store to a rank-2/3 buffer.
     Direct(BufferRef),
     /// A fused epilogue chain.
-    Fused(Box<dyn Fn(&Expr, &Expr, &Expr, Expr) -> Stmt>),
+    Fused(FusedStore),
 }
 
 impl Sink {
@@ -97,7 +106,10 @@ impl Sink {
             Sink::Direct(buf) => match buf.ndim() {
                 2 => store(buf, vec![i.clone(), j.clone()], value),
                 3 => store(buf, vec![b.clone(), i.clone(), j.clone()], value),
-                n => panic!("matmul output buffer {} has rank {n}, want 2 or 3", buf.name()),
+                n => panic!(
+                    "matmul output buffer {} has rank {n}, want 2 or 3",
+                    buf.name()
+                ),
             },
             Sink::Fused(f) => f(b, i, j, value),
         }
@@ -259,7 +271,9 @@ pub fn matmul_kernel(problem: MatmulProblem, config: MatmulConfig, io: MatmulIo)
 
     // Zero the accumulators.
     body.push(for_range("im", rm * tm, |im| {
-        for_range("in_", rn * tn, |jn| store(&regs_c, vec![im.clone(), jn], fconst(0.0)))
+        for_range("in_", rn * tn, |jn| {
+            store(&regs_c, vec![im.clone(), jn], fconst(0.0))
+        })
     }));
 
     // Task mappings (paper Fig. 8 / §5.1.2).
@@ -267,10 +281,8 @@ pub fn matmul_kernel(problem: MatmulProblem, config: MatmulConfig, io: MatmulIo)
     let map_b = repeat(&[bk / (threads / bn).max(1), 1]) * spatial(&[(threads / bn).max(1), bn]);
     let rows_a = threads / bk;
     let rows_b = (threads / bn).max(1);
-    let c_map = spatial(&[warps_m, warps_n])
-        * repeat(&[rm, rn])
-        * spatial(&[4, 8])
-        * repeat(&[tm, tn]);
+    let c_map =
+        spatial(&[warps_m, warps_n]) * repeat(&[rm, rn]) * spatial(&[4, 8]) * repeat(&[tm, tn]);
     debug_assert_eq!(c_map.task_shape(), &[bm, bn]);
     debug_assert_eq!(c_map.num_workers(), threads);
 
@@ -315,10 +327,8 @@ pub fn matmul_kernel(problem: MatmulProblem, config: MatmulConfig, io: MatmulIo)
         for_range("kk", bk, |kk| {
             let load_a = for_range("fr", rm, |r| {
                 for_range("fi", tm, |i| {
-                    let row = wm_idx.expr() * wtm
-                        + r.clone() * (4 * tm)
-                        + lm_idx.expr() * tm
-                        + i.clone();
+                    let row =
+                        wm_idx.expr() * wtm + r.clone() * (4 * tm) + lm_idx.expr() * tm + i.clone();
                     store(
                         &frag_a,
                         vec![r.clone() * tm + i],
@@ -328,10 +338,8 @@ pub fn matmul_kernel(problem: MatmulProblem, config: MatmulConfig, io: MatmulIo)
             });
             let load_b = for_range("fs", rn, |s| {
                 for_range("fj", tn, |j| {
-                    let col = wn_idx.expr() * wtn
-                        + s.clone() * (8 * tn)
-                        + ln_idx.expr() * tn
-                        + j.clone();
+                    let col =
+                        wn_idx.expr() * wtn + s.clone() * (8 * tn) + ln_idx.expr() * tn + j.clone();
                     store(
                         &frag_b,
                         vec![s.clone() * tn + j],
@@ -375,8 +383,10 @@ pub fn matmul_kernel(problem: MatmulProblem, config: MatmulConfig, io: MatmulIo)
                 let row = m_idx.expr() * bm + i;
                 let col = kp_idx.expr() * k_part + k0.clone() * bk + kk;
                 let valid = row.clone().lt(m).and(col.clone().lt(k_lim.expr()));
-                let value =
-                    valid.select(io.a.at(&b_idx.expr(), &row.min(m - 1), &col.min(k - 1)), 0.0f32);
+                let value = valid.select(
+                    io.a.at(&b_idx.expr(), &row.min(m - 1), &col.min(k - 1)),
+                    0.0f32,
+                );
                 store(&regs_ld_a, vec![ordinal], value)
             });
             let b_stmt = foreach_task(&map_b, thread_idx(), |coords| {
@@ -385,8 +395,10 @@ pub fn matmul_kernel(problem: MatmulProblem, config: MatmulConfig, io: MatmulIo)
                 let row = kp_idx.expr() * k_part + k0.clone() * bk + kk;
                 let col = n_idx.expr() * bn + j;
                 let valid = row.clone().lt(k_lim.expr()).and(col.clone().lt(n));
-                let value =
-                    valid.select(io.b.at(&b_idx.expr(), &row.min(k - 1), &col.min(n - 1)), 0.0f32);
+                let value = valid.select(
+                    io.b.at(&b_idx.expr(), &row.min(k - 1), &col.min(n - 1)),
+                    0.0f32,
+                );
                 store(&regs_ld_b, vec![ordinal], value)
             });
             a_stmt.then(b_stmt)
@@ -396,12 +408,20 @@ pub fn matmul_kernel(problem: MatmulProblem, config: MatmulConfig, io: MatmulIo)
             let a_stmt = foreach_task(&map_a, thread_idx(), |coords| {
                 let (i, kk) = (coords[0].clone(), coords[1].clone());
                 let ordinal = i.clone() / rows_a;
-                store(&smem_a, vec![buf.clone(), i, kk], load(&regs_ld_a, vec![ordinal]))
+                store(
+                    &smem_a,
+                    vec![buf.clone(), i, kk],
+                    load(&regs_ld_a, vec![ordinal]),
+                )
             });
             let b_stmt = foreach_task(&map_b, thread_idx(), |coords| {
                 let (kk, j) = (coords[0].clone(), coords[1].clone());
                 let ordinal = kk.clone() / rows_b;
-                store(&smem_b, vec![buf.clone(), kk, j], load(&regs_ld_b, vec![ordinal]))
+                store(
+                    &smem_b,
+                    vec![buf.clone(), kk, j],
+                    load(&regs_ld_b, vec![ordinal]),
+                )
             });
             a_stmt.then(b_stmt)
         };
@@ -482,18 +502,16 @@ pub fn matmul_kernel(problem: MatmulProblem, config: MatmulConfig, io: MatmulIo)
                         seq(vec![
                             store(&sum_buf, vec![c(0)], fconst(0.0)),
                             for_range("p", split_k, {
-                                let (pbuf, sum_buf, bb, ii, jj) =
-                                    (pbuf.clone(), sum_buf.clone(), bb.clone(), ii.clone(), jj.clone());
+                                let (pbuf, sum_buf, bb, ii, jj) = (
+                                    pbuf.clone(),
+                                    sum_buf.clone(),
+                                    bb.clone(),
+                                    ii.clone(),
+                                    jj.clone(),
+                                );
                                 move |p| {
-                                    let v = load(
-                                        &pbuf,
-                                        vec![p, bb.expr(), ii.expr(), jj.expr()],
-                                    );
-                                    store(
-                                        &sum_buf,
-                                        vec![c(0)],
-                                        load(&sum_buf, vec![c(0)]) + v,
-                                    )
+                                    let v = load(&pbuf, vec![p, bb.expr(), ii.expr(), jj.expr()]);
+                                    store(&sum_buf, vec![c(0)], load(&sum_buf, vec![c(0)]) + v)
                                 }
                             }),
                             let_(&acc, load(&sum_buf, vec![c(0)])),
@@ -629,7 +647,12 @@ mod tests {
 
     #[test]
     fn batched_matmul() {
-        let problem = MatmulProblem { batch: 3, m: 32, n: 32, k: 16 };
+        let problem = MatmulProblem {
+            batch: 3,
+            m: 32,
+            n: 32,
+            k: 16,
+        };
         let io = MatmulIo::direct("bmm", problem);
         let kernels = matmul_kernel(problem, small_config(1, 1), io);
         let gpu = Gpu::default();

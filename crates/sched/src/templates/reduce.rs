@@ -27,16 +27,22 @@ pub enum RowReduceKind {
     MeanPool,
 }
 
+/// Reads the element at `(row, axis)` coordinates.
+pub type RowLoad = Box<dyn Fn(&Expr, &Expr) -> Expr>;
+
+/// Stores the reduced value for `(row, axis, value)`.
+pub type RowStore = Box<dyn Fn(&Expr, &Expr, Expr) -> Stmt>;
+
 /// IO binding for the reduce template. Loads/stores address logical `(row,
 /// axis)` coordinates; the compiler closes over the original tensor layout.
 pub struct ReduceIo {
     /// Kernel name.
     pub name: String,
     /// Reads element `a` of row `r`.
-    pub load: Box<dyn Fn(&Expr, &Expr) -> Expr>,
+    pub load: RowLoad,
     /// Stores the result for `(r, a, value)`; for [`RowReduceKind::MeanPool`]
     /// it is invoked once per row with `a == 0`.
-    pub store: Box<dyn Fn(&Expr, &Expr, Expr) -> Stmt>,
+    pub store: RowStore,
     /// Kernel parameter buffers.
     pub params: Vec<BufferRef>,
 }
@@ -124,7 +130,11 @@ fn thread_per_row_kernel(
                 store(&acc, vec![c(0)], fconst(0.0)),
                 for_range("a", len, |a| {
                     let v = (io.load)(&r.expr(), &a) - load(&acc, vec![c(1)]);
-                    store(&acc, vec![c(0)], load(&acc, vec![c(0)]) + v.unary(UnOp::Exp))
+                    store(
+                        &acc,
+                        vec![c(0)],
+                        load(&acc, vec![c(0)]) + v.unary(UnOp::Exp),
+                    )
                 }),
                 // Pass 3: write.
                 for_range("a", len, |a| {
@@ -139,7 +149,11 @@ fn thread_per_row_kernel(
                 // Mean.
                 store(&acc, vec![c(0)], fconst(0.0)),
                 for_range("a", len, |a| {
-                    store(&acc, vec![c(0)], load(&acc, vec![c(0)]) + (io.load)(&r.expr(), &a))
+                    store(
+                        &acc,
+                        vec![c(0)],
+                        load(&acc, vec![c(0)]) + (io.load)(&r.expr(), &a),
+                    )
                 }),
                 store(&acc, vec![c(0)], load(&acc, vec![c(0)]) / len as f32),
                 // Variance.
@@ -165,7 +179,11 @@ fn thread_per_row_kernel(
             body.push(guarded(seq(vec![
                 store(&acc, vec![c(0)], fconst(0.0)),
                 for_range("a", len, |a| {
-                    store(&acc, vec![c(0)], load(&acc, vec![c(0)]) + (io.load)(&r.expr(), &a))
+                    store(
+                        &acc,
+                        vec![c(0)],
+                        load(&acc, vec![c(0)]) + (io.load)(&r.expr(), &a),
+                    )
                 }),
                 (io.store)(&r.expr(), &c(0), load(&acc, vec![c(0)]) / len as f32),
             ])));
@@ -213,7 +231,11 @@ fn cooperative_kernel(
                        stat_idx: i64|
      -> Stmt {
         let mut stmts = vec![
-            store(&red, vec![row_slot.expr(), lane.expr()], fconst(partial_init)),
+            store(
+                &red,
+                vec![row_slot.expr(), lane.expr()],
+                fconst(partial_init),
+            ),
             for_range("s", steps, |s| {
                 let a = s * p + lane.expr();
                 let cur = load(&red, vec![row_slot.expr(), lane.expr()]);
@@ -238,7 +260,11 @@ fn cooperative_kernel(
         }
         stmts.push(if_then(
             lane.expr().eq_(0),
-            store(&stat, vec![row_slot.expr(), c(stat_idx)], load(&red, vec![row_slot.expr(), c(0)])),
+            store(
+                &stat,
+                vec![row_slot.expr(), c(stat_idx)],
+                load(&red, vec![row_slot.expr(), c(0)]),
+            ),
         ));
         stmts.push(sync_threads());
         seq(stmts)
@@ -258,7 +284,12 @@ fn cooperative_kernel(
     match kind {
         RowReduceKind::Softmax => {
             let load_elem = |a: &Expr| (io.load)(&rr.expr(), a);
-            body.push(tree_reduce(f32::NEG_INFINITY, &load_elem, &|x, y| x.max(y), 0));
+            body.push(tree_reduce(
+                f32::NEG_INFINITY,
+                &load_elem,
+                &|x, y| x.max(y),
+                0,
+            ));
             let exp_elem = |a: &Expr| {
                 ((io.load)(&rr.expr(), a) - load(&stat, vec![row_slot.expr(), c(0)]))
                     .unary(UnOp::Exp)
@@ -341,9 +372,18 @@ mod tests {
 
     fn configs() -> Vec<ReduceConfig> {
         vec![
-            ReduceConfig { threads_per_row: 1, block_threads: 128 },
-            ReduceConfig { threads_per_row: 32, block_threads: 128 },
-            ReduceConfig { threads_per_row: 128, block_threads: 128 },
+            ReduceConfig {
+                threads_per_row: 1,
+                block_threads: 128,
+            },
+            ReduceConfig {
+                threads_per_row: 32,
+                block_threads: 128,
+            },
+            ReduceConfig {
+                threads_per_row: 128,
+                block_threads: 128,
+            },
         ]
     }
 
@@ -388,11 +428,12 @@ mod tests {
         let x = hidet_graph::Tensor::randn(&[rows, len], 5);
         for cfg in configs() {
             let out = run_reduce(RowReduceKind::MeanPool, rows, len, cfg);
-            for r in 0..rows as usize {
-                let expect: f32 =
-                    x.data().unwrap()[r * len as usize..(r + 1) * len as usize].iter().sum::<f32>()
-                        / len as f32;
-                assert!((out[r] - expect).abs() < 1e-4, "{cfg:?} row {r}");
+            for (r, got) in out.iter().enumerate().take(rows as usize) {
+                let expect: f32 = x.data().unwrap()[r * len as usize..(r + 1) * len as usize]
+                    .iter()
+                    .sum::<f32>()
+                    / len as f32;
+                assert!((got - expect).abs() < 1e-4, "{cfg:?} row {r}");
             }
         }
     }
@@ -400,7 +441,10 @@ mod tests {
     #[test]
     fn tail_blocks_guarded() {
         // 5 rows with 4 rows/block -> tail block has 3 invalid slots.
-        let cfg = ReduceConfig { threads_per_row: 32, block_threads: 128 };
+        let cfg = ReduceConfig {
+            threads_per_row: 32,
+            block_threads: 128,
+        };
         let out = run_reduce(RowReduceKind::Softmax, 5, 16, cfg);
         assert_eq!(out.len(), 5 * 16);
     }

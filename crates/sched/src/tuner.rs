@@ -46,8 +46,17 @@ pub struct TuneReport {
 ///
 /// # Panics
 /// Panics if no candidate in the space can be instantiated (cannot happen for
-/// the built-in space on the built-in devices).
+/// the built-in space on the built-in devices). Callers compiling for
+/// arbitrary [`hidet_sim::GpuSpec`]s — the serving runtime — should use
+/// [`try_tune_matmul`] and surface the failure as an error.
 pub fn tune_matmul(problem: MatmulProblem, gpu: &Gpu) -> TuneReport {
+    try_tune_matmul(problem, gpu).expect("schedule space exhausted without a valid candidate")
+}
+
+/// Fallible [`tune_matmul`]: `None` when no candidate in the space can be
+/// instantiated on this device (e.g. a spec whose shared memory is below the
+/// smallest tile).
+pub fn try_tune_matmul(problem: MatmulProblem, gpu: &Gpu) -> Option<TuneReport> {
     let base = matmul_space(gpu.spec());
     let mut trials = 0usize;
     let mut measure = |cfg: MatmulConfig| -> Option<LatencyEstimate> {
@@ -100,19 +109,19 @@ pub fn tune_matmul(problem: MatmulProblem, gpu: &Gpu) -> TuneReport {
             }
             let candidate = MatmulConfig { split_k, ..cfg };
             if let Some(est) = measure(candidate) {
-                if best.map_or(true, |(_, b)| est.seconds < b.seconds) {
+                if best.is_none_or(|(_, b)| est.seconds < b.seconds) {
                     best = Some((candidate, est));
                 }
             }
         }
     }
-    let (best, best_latency) = best.expect("schedule space exhausted without a valid candidate");
-    TuneReport {
+    let (best, best_latency) = best?;
+    Some(TuneReport {
         best,
         best_latency,
         trials,
         tuning_seconds: trials as f64 * SECONDS_PER_TRIAL,
-    }
+    })
 }
 
 /// Picks a reduce-template configuration for `rows` rows of length `len`:
@@ -120,9 +129,15 @@ pub fn tune_matmul(problem: MatmulProblem, gpu: &Gpu) -> TuneReport {
 pub fn pick_reduce_config(rows: i64, len: i64, gpu: &Gpu) -> ReduceConfig {
     let needed = gpu.spec().num_sms as i64 * 256;
     if rows >= needed || len < 64 {
-        ReduceConfig { threads_per_row: 1, block_threads: 256 }
+        ReduceConfig {
+            threads_per_row: 1,
+            block_threads: 256,
+        }
     } else {
-        ReduceConfig { threads_per_row: 32, block_threads: 256 }
+        ReduceConfig {
+            threads_per_row: 32,
+            block_threads: 256,
+        }
     }
 }
 
@@ -135,9 +150,16 @@ mod tests {
         let gpu = Gpu::default();
         let report = tune_matmul(MatmulProblem::new(1024, 1024, 1024), &gpu);
         // Paper: ~180 schedules, enumerable "within one minute".
-        assert!((120..500).contains(&report.trials), "{} trials", report.trials);
+        assert!(
+            (120..500).contains(&report.trials),
+            "{} trials",
+            report.trials
+        );
         assert!(report.best_latency.seconds > 0.0);
-        assert_eq!(report.tuning_seconds, report.trials as f64 * SECONDS_PER_TRIAL);
+        assert_eq!(
+            report.tuning_seconds,
+            report.trials as f64 * SECONDS_PER_TRIAL
+        );
     }
 
     #[test]
@@ -178,8 +200,11 @@ mod tests {
         let gpu = Gpu::default();
         let problem = MatmulProblem::new(2048, 2048, 2048);
         let report = tune_matmul(problem, &gpu);
-        let default_kernels =
-            matmul_kernel(problem, MatmulConfig::default(), MatmulIo::direct("d", problem));
+        let default_kernels = matmul_kernel(
+            problem,
+            MatmulConfig::default(),
+            MatmulIo::direct("d", problem),
+        );
         let default_latency = gpu.estimate(&default_kernels[0]).unwrap();
         assert!(report.best_latency.seconds <= default_latency.seconds * 1.0001);
     }

@@ -109,17 +109,15 @@ pub fn occupancy(kernel: &Kernel, spec: &GpuSpec) -> Result<Occupancy, SimError>
         limit = by_threads;
         reason = "threads";
     }
-    if shared > 0 {
-        let by_shared = (spec.shared_mem_per_sm / shared) as u32;
-        if by_shared < limit {
-            limit = by_shared;
+    if let Some(by_shared) = spec.shared_mem_per_sm.checked_div(shared) {
+        if (by_shared as u32) < limit {
+            limit = by_shared as u32;
             reason = "shared";
         }
     }
-    if regs > 0 {
-        let by_regs = (spec.registers_per_sm / regs) as u32;
-        if by_regs < limit {
-            limit = by_regs;
+    if let Some(by_regs) = spec.registers_per_sm.checked_div(regs) {
+        if (by_regs as u32) < limit {
+            limit = by_regs as u32;
             reason = "registers";
         }
     }
@@ -131,7 +129,7 @@ pub fn occupancy(kernel: &Kernel, spec: &GpuSpec) -> Result<Occupancy, SimError>
     }
     Ok(Occupancy {
         blocks_per_sm: limit,
-        warps_per_sm: limit * ((block_dim as u32 + spec.warp_size - 1) / spec.warp_size),
+        warps_per_sm: limit * (block_dim as u32).div_ceil(spec.warp_size),
         limited_by: reason,
     })
 }
@@ -191,8 +189,7 @@ pub fn estimate(kernel: &Kernel, spec: &GpuSpec) -> Result<LatencyEstimate, SimE
     let grid = launch.grid_dim as f64;
 
     // Aggregate work per block.
-    let bytes_block =
-        (per_thread.global_load_bytes + per_thread.global_store_bytes) * block_dim;
+    let bytes_block = (per_thread.global_load_bytes + per_thread.global_store_bytes) * block_dim;
     let flops_block = per_thread.flops * block_dim;
     let special_block = per_thread.special_ops * block_dim;
     let smem_block = per_thread.smem_bytes * block_dim;
@@ -285,7 +282,11 @@ fn walk_stmt(stmt: &Stmt, mult: f64, counts: &mut WorkCounts) -> Result<(), SimE
             walk_expr(extent, mult, counts);
             walk_stmt(body, mult * n, counts)
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             walk_expr(cond, mult, counts);
             let mut then_counts = WorkCounts::default();
             walk_stmt(then_body, mult, &mut then_counts)?;
@@ -300,7 +301,11 @@ fn walk_stmt(stmt: &Stmt, mult: f64, counts: &mut WorkCounts) -> Result<(), SimE
             walk_expr(value, mult, counts);
             Ok(())
         }
-        Stmt::Store { buffer, indices, value } => {
+        Stmt::Store {
+            buffer,
+            indices,
+            value,
+        } => {
             for idx in indices {
                 walk_expr(idx, mult, counts);
             }
@@ -364,7 +369,11 @@ fn walk_expr(expr: &Expr, mult: f64, counts: &mut WorkCounts) {
             account_access(buffer.scope(), buffer.dtype(), true, mult, counts);
         }
         Expr::Cast { value, .. } => walk_expr(value, mult, counts),
-        Expr::Select { cond, then_value, else_value } => {
+        Expr::Select {
+            cond,
+            then_value,
+            else_value,
+        } => {
             walk_expr(cond, mult, counts);
             walk_expr(then_value, mult, counts);
             walk_expr(else_value, mult, counts);
@@ -393,7 +402,10 @@ mod tests {
                 load(&x, vec![base.clone() + i]) * 2.0f32,
             )
         }));
-        kb.meta(KernelMeta { pipeline_stages: stages, ..KernelMeta::default() });
+        kb.meta(KernelMeta {
+            pipeline_stages: stages,
+            ..KernelMeta::default()
+        });
         kb.build()
     }
 
@@ -448,8 +460,18 @@ mod tests {
         let est = estimate(&k, &spec).unwrap();
         let bytes = 8192.0 * 256.0 * 16.0 * 8.0; // load + store
         let ideal = bytes / spec.dram_bytes_per_s();
-        assert!(est.seconds > ideal * 0.9, "est {} vs ideal {}", est.seconds, ideal);
-        assert!(est.seconds < ideal * 3.0, "est {} vs ideal {}", est.seconds, ideal);
+        assert!(
+            est.seconds > ideal * 0.9,
+            "est {} vs ideal {}",
+            est.seconds,
+            ideal
+        );
+        assert!(
+            est.seconds < ideal * 3.0,
+            "est {} vs ideal {}",
+            est.seconds,
+            ideal
+        );
     }
 
     #[test]
@@ -479,9 +501,16 @@ mod tests {
             let x = kb.param("X", DType::F32, &[256 * 256]);
             let i = block_idx() * 256 + thread_idx();
             kb.push(for_range("k", 4096, |_| {
-                store(&x, vec![i.clone()], load(&x, vec![i.clone()]) * 1.0001f32 + 1.0f32)
+                store(
+                    &x,
+                    vec![i.clone()],
+                    load(&x, vec![i.clone()]) * 1.0001f32 + 1.0f32,
+                )
             }));
-            kb.meta(KernelMeta { uses_tensor_cores: tc, ..KernelMeta::default() });
+            kb.meta(KernelMeta {
+                uses_tensor_cores: tc,
+                ..KernelMeta::default()
+            });
             kb.build()
         };
         let slow = estimate(&build(false), &spec).unwrap();

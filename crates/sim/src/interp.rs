@@ -179,14 +179,24 @@ impl<'a> BlockCtx<'a> {
         let shared = kernel
             .shared_buffers()
             .iter()
-            .map(|b| (b.name().to_string(), vec![0.0f32; b.num_elements() as usize]))
+            .map(|b| {
+                (
+                    b.name().to_string(),
+                    vec![0.0f32; b.num_elements() as usize],
+                )
+            })
             .collect();
         let locals = (0..block_dim)
             .map(|_| {
                 kernel
                     .local_buffers()
                     .iter()
-                    .map(|b| (b.name().to_string(), vec![0.0f32; b.num_elements() as usize]))
+                    .map(|b| {
+                        (
+                            b.name().to_string(),
+                            vec![0.0f32; b.num_elements() as usize],
+                        )
+                    })
                     .collect()
             })
             .collect();
@@ -221,7 +231,9 @@ impl<'a> BlockCtx<'a> {
                 }
                 Ok(())
             }
-            Stmt::For { var, extent, body, .. } => {
+            Stmt::For {
+                var, extent, body, ..
+            } => {
                 let n = self.uniform_int(extent, "loop extent")?;
                 let slots: Vec<usize> = self.envs.iter().map(Env::len).collect();
                 for env in &mut self.envs {
@@ -238,7 +250,11 @@ impl<'a> BlockCtx<'a> {
                 }
                 Ok(())
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let taken = self.uniform_bool(cond)?;
                 if taken {
                     self.exec(then_body)
@@ -265,7 +281,9 @@ impl<'a> BlockCtx<'a> {
                 self.envs[tid].truncate(mark);
                 Ok(())
             }
-            Stmt::For { var, extent, body, .. } => {
+            Stmt::For {
+                var, extent, body, ..
+            } => {
                 let n = self
                     .eval(extent, tid)?
                     .as_i64()
@@ -279,7 +297,11 @@ impl<'a> BlockCtx<'a> {
                 self.envs[tid].truncate(slot);
                 Ok(())
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let taken = self
                     .eval(cond, tid)?
                     .as_bool()
@@ -297,7 +319,11 @@ impl<'a> BlockCtx<'a> {
                 self.envs[tid].push(var.name(), v);
                 Ok(())
             }
-            Stmt::Store { buffer, indices, value } => {
+            Stmt::Store {
+                buffer,
+                indices,
+                value,
+            } => {
                 let flat = self.flat_index(buffer, indices, tid)?;
                 let v = self
                     .eval(value, tid)?
@@ -332,11 +358,14 @@ impl<'a> BlockCtx<'a> {
                     .ok_or_else(|| SimError::TypeError(format!("cannot apply {op:?}")))
             }
             Expr::Cast { dtype, value } => Ok(self.eval(value, tid)?.cast(*dtype)),
-            Expr::Select { cond, then_value, else_value } => {
-                let c = self
-                    .eval(cond, tid)?
-                    .as_bool()
-                    .ok_or_else(|| SimError::TypeError("select condition must be boolean".into()))?;
+            Expr::Select {
+                cond,
+                then_value,
+                else_value,
+            } => {
+                let c = self.eval(cond, tid)?.as_bool().ok_or_else(|| {
+                    SimError::TypeError("select condition must be boolean".into())
+                })?;
                 if c {
                     self.eval(then_value, tid)
                 } else {
@@ -487,7 +516,11 @@ mod tests {
         let s = kb.shared("S", DType::F32, &[8]);
         kb.push(store(&s, vec![thread_idx()], load(&x, vec![thread_idx()])));
         kb.push(sync_threads());
-        kb.push(store(&y, vec![thread_idx()], load(&s, vec![c(7) - thread_idx()])));
+        kb.push(store(
+            &y,
+            vec![thread_idx()],
+            load(&s, vec![c(7) - thread_idx()]),
+        ));
         let kernel = kb.build();
         let mut mem = DeviceMemory::new();
         mem.alloc("X", &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);

@@ -109,6 +109,33 @@ impl GpuSpec {
     pub fn smem_bytes_per_s(&self) -> f64 {
         self.smem_bandwidth_gbps * 1e9
     }
+
+    /// A short, stable identity string for cache keys: tuned schedules and
+    /// compiled graphs are only valid for the device they were produced on,
+    /// so persistent caches (`hidet-sched` tuning records, the
+    /// `hidet-runtime` compiled-graph cache) key on this fingerprint. Includes
+    /// every parameter the cost model reads, so editing a spec invalidates
+    /// records tuned under the old numbers.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "{}|sm{}x{}t{}b|smem{}/{}|reg{}|w{}|{:.3}GHz|{:.1}GB/s|{:.2}/{:.2}TF|{:.1}GB/s|{:.2e}s|sat{}",
+            self.name,
+            self.num_sms,
+            self.max_threads_per_sm,
+            self.max_blocks_per_sm,
+            self.shared_mem_per_sm,
+            self.shared_mem_per_block,
+            self.registers_per_sm,
+            self.warp_size,
+            self.clock_ghz,
+            self.dram_bandwidth_gbps,
+            self.fp32_tflops,
+            self.tensor_tflops,
+            self.smem_bandwidth_gbps,
+            self.launch_overhead_s,
+            self.bandwidth_saturation_sms,
+        )
+    }
 }
 
 impl Default for GpuSpec {
@@ -132,5 +159,20 @@ mod tests {
     #[test]
     fn default_is_rtx3090() {
         assert_eq!(GpuSpec::default(), GpuSpec::rtx3090());
+    }
+
+    #[test]
+    fn fingerprints_distinguish_devices() {
+        assert_eq!(
+            GpuSpec::rtx3090().fingerprint(),
+            GpuSpec::rtx3090().fingerprint()
+        );
+        assert_ne!(
+            GpuSpec::rtx3090().fingerprint(),
+            GpuSpec::tiny().fingerprint()
+        );
+        let mut derated = GpuSpec::rtx3090();
+        derated.dram_bandwidth_gbps /= 2.0;
+        assert_ne!(GpuSpec::rtx3090().fingerprint(), derated.fingerprint());
     }
 }

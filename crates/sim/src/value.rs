@@ -142,8 +142,8 @@ pub fn erf(x: f32) -> f32 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.3275911 * x);
     let y = 1.0
-        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
-            + 0.254829592)
+        - (((((1.061_405_4 * t - 1.453_152_1) * t) + 1.421_413_8) * t - 0.284_496_72) * t
+            + 0.254_829_6)
             * t
             * (-x * x).exp();
     sign * y
@@ -155,10 +155,22 @@ mod tests {
 
     #[test]
     fn int_arithmetic() {
-        assert_eq!(Value::binary(BinOp::Add, Value::I64(2), Value::I64(3)), Some(Value::I64(5)));
-        assert_eq!(Value::binary(BinOp::Div, Value::I64(7), Value::I64(2)), Some(Value::I64(3)));
-        assert_eq!(Value::binary(BinOp::Div, Value::I64(7), Value::I64(0)), None);
-        assert_eq!(Value::binary(BinOp::Mod, Value::I64(7), Value::I64(4)), Some(Value::I64(3)));
+        assert_eq!(
+            Value::binary(BinOp::Add, Value::I64(2), Value::I64(3)),
+            Some(Value::I64(5))
+        );
+        assert_eq!(
+            Value::binary(BinOp::Div, Value::I64(7), Value::I64(2)),
+            Some(Value::I64(3))
+        );
+        assert_eq!(
+            Value::binary(BinOp::Div, Value::I64(7), Value::I64(0)),
+            None
+        );
+        assert_eq!(
+            Value::binary(BinOp::Mod, Value::I64(7), Value::I64(4)),
+            Some(Value::I64(3))
+        );
     }
 
     #[test]
@@ -171,8 +183,14 @@ mod tests {
 
     #[test]
     fn comparisons_produce_bools() {
-        assert_eq!(Value::binary(BinOp::Lt, Value::F32(1.0), Value::F32(2.0)), Some(Value::Bool(true)));
-        assert_eq!(Value::binary(BinOp::Eq, Value::I64(3), Value::I64(3)), Some(Value::Bool(true)));
+        assert_eq!(
+            Value::binary(BinOp::Lt, Value::F32(1.0), Value::F32(2.0)),
+            Some(Value::Bool(true))
+        );
+        assert_eq!(
+            Value::binary(BinOp::Eq, Value::I64(3), Value::I64(3)),
+            Some(Value::Bool(true))
+        );
     }
 
     #[test]
@@ -196,6 +214,6 @@ mod tests {
         assert!((erf(0.0)).abs() < 1e-6);
         assert!((erf(1.0) - 0.8427008).abs() < 1e-5);
         assert!((erf(-1.0) + 0.8427008).abs() < 1e-5);
-        assert!((erf(3.0) - 0.99997791).abs() < 1e-5);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-5);
     }
 }

@@ -43,7 +43,8 @@ impl CoverageReport {
             MappingProperty::Disjoint => self.duplicated.is_empty(),
             MappingProperty::Uniform => self.tasks_per_worker.0 == self.tasks_per_worker.1,
             MappingProperty::Partition => {
-                self.satisfies(MappingProperty::Complete) && self.satisfies(MappingProperty::Disjoint)
+                self.satisfies(MappingProperty::Complete)
+                    && self.satisfies(MappingProperty::Disjoint)
             }
         }
     }
@@ -107,7 +108,11 @@ mod tests {
 
     #[test]
     fn basic_mappings_are_partitions() {
-        for tm in [repeat(&[3, 5]), spatial(&[4, 2]), repeat(&[2]) * spatial(&[8])] {
+        for tm in [
+            repeat(&[3, 5]),
+            spatial(&[4, 2]),
+            repeat(&[2]) * spatial(&[8]),
+        ] {
             let report = tm.check();
             assert!(report.satisfies(MappingProperty::Partition), "{tm}");
             assert!(report.satisfies(MappingProperty::Uniform));
@@ -143,7 +148,11 @@ mod tests {
     #[test]
     fn non_uniform_custom_mapping_detected() {
         let tm = TaskMapping::custom(&[3], 2, |w| {
-            if w == 0 { vec![vec![0], vec![1]] } else { vec![vec![2]] }
+            if w == 0 {
+                vec![vec![0], vec![1]]
+            } else {
+                vec![vec![2]]
+            }
         });
         let report = tm.check();
         assert!(!report.satisfies(MappingProperty::Uniform));

@@ -8,14 +8,22 @@ use crate::{TaskMapping, TaskMappingKind};
 impl fmt::Display for TaskMapping {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fn shape_list(shape: &[i64]) -> String {
-            shape.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(", ")
+            shape
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         }
         match self.kind() {
             TaskMappingKind::Repeat { shape } => write!(f, "repeat({})", shape_list(shape)),
             TaskMappingKind::Spatial { shape } => write!(f, "spatial({})", shape_list(shape)),
             TaskMappingKind::Compose { outer, inner } => write!(f, "{outer} * {inner}"),
             TaskMappingKind::Custom { shape, workers, .. } => {
-                write!(f, "custom(shape=[{}], workers={workers})", shape_list(shape))
+                write!(
+                    f,
+                    "custom(shape=[{}], workers={workers})",
+                    shape_list(shape)
+                )
             }
         }
     }

@@ -12,7 +12,9 @@ pub struct WorkerTaskIter {
 
 impl WorkerTaskIter {
     pub(crate) fn new(tasks: Vec<Task>) -> Self {
-        WorkerTaskIter { tasks: tasks.into_iter() }
+        WorkerTaskIter {
+            tasks: tasks.into_iter(),
+        }
     }
 }
 
@@ -54,7 +56,11 @@ pub struct AssignmentIter<'a> {
 
 impl<'a> AssignmentIter<'a> {
     pub(crate) fn new(mapping: &'a TaskMapping) -> Self {
-        AssignmentIter { mapping, worker: 0, current: None }
+        AssignmentIter {
+            mapping,
+            worker: 0,
+            current: None,
+        }
     }
 }
 
@@ -65,7 +71,11 @@ impl Iterator for AssignmentIter<'_> {
         loop {
             if let Some((order, iter)) = &mut self.current {
                 if let Some(task) = iter.next() {
-                    let a = Assignment { worker: self.worker - 1, order: *order, task };
+                    let a = Assignment {
+                        worker: self.worker - 1,
+                        order: *order,
+                        task,
+                    };
                     *order += 1;
                     return Some(a);
                 }

@@ -45,7 +45,9 @@ pub enum TaskMappingKind {
 impl std::fmt::Debug for TaskMappingKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TaskMappingKind::Repeat { shape } => f.debug_struct("Repeat").field("shape", shape).finish(),
+            TaskMappingKind::Repeat { shape } => {
+                f.debug_struct("Repeat").field("shape", shape).finish()
+            }
             TaskMappingKind::Spatial { shape } => {
                 f.debug_struct("Spatial").field("shape", shape).finish()
             }
@@ -94,7 +96,9 @@ impl TaskMapping {
         TaskMapping {
             shape: shape.to_vec(),
             workers: 1,
-            kind: TaskMappingKind::Repeat { shape: shape.to_vec() },
+            kind: TaskMappingKind::Repeat {
+                shape: shape.to_vec(),
+            },
         }
     }
 
@@ -115,7 +119,9 @@ impl TaskMapping {
         TaskMapping {
             shape: shape.to_vec(),
             workers: shape.iter().product(),
-            kind: TaskMappingKind::Spatial { shape: shape.to_vec() },
+            kind: TaskMappingKind::Spatial {
+                shape: shape.to_vec(),
+            },
         }
     }
 
@@ -336,7 +342,10 @@ impl PartialEq for TaskMapping {
 }
 
 fn validate_shape(shape: &[i64]) {
-    assert!(!shape.is_empty(), "task shape must have at least one dimension");
+    assert!(
+        !shape.is_empty(),
+        "task shape must have at least one dimension"
+    );
     for &d in shape {
         assert!(d > 0, "task shape extents must be positive, got {shape:?}");
     }

@@ -16,8 +16,15 @@ fn main() {
     // Define a task mapping: 4 tasks per thread, 16x8 threads spatially.
     let tm = repeat(&[4, 1]) * spatial(&[16, 8]);
     println!("task mapping: {tm}");
-    println!("  task shape {:?}, {} workers", tm.task_shape(), tm.num_workers());
-    println!("  worker 0 executes: {:?}", tm.worker_tasks(0).collect::<Vec<_>>());
+    println!(
+        "  task shape {:?}, {} workers",
+        tm.task_shape(),
+        tm.num_workers()
+    );
+    println!(
+        "  worker 0 executes: {:?}",
+        tm.worker_tasks(0).collect::<Vec<_>>()
+    );
 
     // Embed the scheduling in a tensor program (step (2) of the paradigm).
     let mut kb = KernelBuilder::new("cooperative_load_a", 1, 128);
@@ -35,7 +42,10 @@ fn main() {
     kb.push(hidet_ir::passes::simplify(&copy_back));
     let kernel = kb.build();
 
-    println!("\n--- generated CUDA ---\n{}", hidet_ir::cuda::to_cuda(&kernel));
+    println!(
+        "\n--- generated CUDA ---\n{}",
+        hidet_ir::cuda::to_cuda(&kernel)
+    );
 
     // Execute on the simulated GPU.
     let gpu = Gpu::default();

@@ -11,7 +11,10 @@ use hidet_baselines::autotvm;
 use hidet_sched::{matmul_kernel, matmul_space, MatmulIo};
 
 fn main() {
-    let args: Vec<i64> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let args: Vec<i64> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
     let (m, n, k) = match args[..] {
         [m, n, k] => (m, n, k),
         _ => (2048, 2048, 2048),
@@ -28,7 +31,9 @@ fn main() {
         .iter()
         .filter_map(|cfg| {
             let kernels = matmul_kernel(problem, *cfg, MatmulIo::direct("probe", problem));
-            gpu.estimate(&kernels[0]).ok().map(|e| (e.micros(), cfg.id()))
+            gpu.estimate(&kernels[0])
+                .ok()
+                .map(|e| (e.micros(), cfg.id()))
         })
         .collect();
     scored.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -36,7 +41,11 @@ fn main() {
     for (latency, id) in scored.iter().take(5) {
         println!("  {id:<28} {latency:>10.1} us");
     }
-    println!("worst: {:<28} {:>10.1} us", scored.last().unwrap().1, scored.last().unwrap().0);
+    println!(
+        "worst: {:<28} {:>10.1} us",
+        scored.last().unwrap().1,
+        scored.last().unwrap().0
+    );
 
     // Full tuner (adds split-K variants when profitable).
     let report = hidet_sched::tune_matmul(problem, &gpu);

@@ -8,6 +8,7 @@ pub use hidet;
 pub use hidet_baselines as baselines;
 pub use hidet_graph as graph;
 pub use hidet_ir as ir;
+pub use hidet_runtime as runtime;
 pub use hidet_sched as sched;
 pub use hidet_sim as sim;
 pub use hidet_taskmap as taskmap;

@@ -22,7 +22,12 @@ fn double_buffering_wins_on_balanced_gemm() {
         let kernels = matmul_kernel(problem, cfg, MatmulIo::direct("t", problem));
         gpu.estimate(&kernels[0]).unwrap().seconds
     };
-    assert!(lat(2) < lat(1), "double buffering must help: {} vs {}", lat(2), lat(1));
+    assert!(
+        lat(2) < lat(1),
+        "double buffering must help: {} vs {}",
+        lat(2),
+        lat(1)
+    );
 }
 
 /// §3.3 + Fig. 19: input-centric spaces fail on primes, Hidet does not.
@@ -45,7 +50,11 @@ fn consecutive_sizes_consistency() {
     let sizes = [2048i64, 2046, 2044, 2042];
     let hidet: Vec<f64> = sizes
         .iter()
-        .map(|&s| tune_matmul(MatmulProblem::new(s, s, s), &gpu).best_latency.seconds)
+        .map(|&s| {
+            tune_matmul(MatmulProblem::new(s, s, s), &gpu)
+                .best_latency
+                .seconds
+        })
         .collect();
     let spread = hidet.iter().cloned().fold(0.0, f64::max)
         / hidet.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -75,7 +84,11 @@ fn tuning_cost_ratio_holds_on_resnet() {
     let graph = models::resnet50(1);
     // Reduced budgets keep the test fast; the *ratio* is what matters and it
     // is driven by trials-per-workload.
-    let atvm = AutoTvmLike { trials: 200, seed: 0 }.evaluate(&graph, &gpu);
+    let atvm = AutoTvmLike {
+        trials: 200,
+        seed: 0,
+    }
+    .evaluate(&graph, &gpu);
     let hidet = HidetExecutor::tuned().evaluate(&graph, &gpu);
     assert!(hidet.tuning_seconds > 0.0);
     assert!(
@@ -108,7 +121,11 @@ fn ansor_wins_mobilenet() {
     let gpu = Gpu::default();
     let graph = models::mobilenet_v2(1);
     let hidet = HidetExecutor::tuned().evaluate(&graph, &gpu);
-    let ansor = AnsorLike { trials: 200, seed: 0 }.evaluate(&graph, &gpu);
+    let ansor = AnsorLike {
+        trials: 200,
+        seed: 0,
+    }
+    .evaluate(&graph, &gpu);
     assert!(
         ansor.latency_seconds < hidet.latency_seconds,
         "paper reports 0.88x here: Ansor {} vs Hidet {}",
@@ -124,11 +141,17 @@ fn tensorrt_crossover() {
     let gpu = Gpu::default();
     let trt_bert = hidet_baselines::trt::TensorRtLike.evaluate(&models::bert_base(1, 128), &gpu);
     let hidet_bert = HidetExecutor::tuned().evaluate(&models::bert_base(1, 128), &gpu);
-    assert!(trt_bert.latency_seconds < hidet_bert.latency_seconds, "TRT must win Bert");
+    assert!(
+        trt_bert.latency_seconds < hidet_bert.latency_seconds,
+        "TRT must win Bert"
+    );
 
     let trt_res = hidet_baselines::trt::TensorRtLike.evaluate(&models::resnet50(1), &gpu);
     let hidet_res = HidetExecutor::tuned().evaluate(&models::resnet50(1), &gpu);
-    assert!(hidet_res.latency_seconds < trt_res.latency_seconds, "Hidet must win ResNet-50");
+    assert!(
+        hidet_res.latency_seconds < trt_res.latency_seconds,
+        "Hidet must win ResNet-50"
+    );
 }
 
 /// §4.3: the schedule space stays in the paper's regime — a few hundred
