@@ -1,0 +1,239 @@
+//! Sharded-serving benchmark: multi-GPU placement, priority/deadline-aware
+//! batching and admission control, end to end.
+//!
+//! Demonstrates the acceptance criteria of the sharded runtime:
+//!
+//! 1. a **4-device pool** achieves at least 3x the 1-device simulated
+//!    cluster throughput on the same workload (least-estimated-queue-delay
+//!    placement balances the shards);
+//! 2. under **2x overload** with admission control, high-priority p95
+//!    sojourn latency stays below best-effort p95, best-effort is shed
+//!    first, and high-priority traffic is never shed before best-effort.
+//!
+//! Emits its metrics as the `serving_sharded` section of `BENCH_serving.json`
+//! (see `hidet_bench::report`), which CI uploads as a perf-trajectory
+//! artifact.
+//!
+//! ```text
+//! cargo run --release -p hidet-bench --bin serving_sharded -- \
+//!     --requests 96 --max-batch 8 --devices 4
+//! ```
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use hidet_bench::report::{upsert_section, BenchSection};
+use hidet_bench::{arg_str, arg_usize, print_table};
+use hidet_graph::{Graph, GraphBuilder, Tensor};
+use hidet_runtime::{Engine, EngineConfig, EngineError, Priority, StatsSnapshot, SubmitOptions};
+use hidet_sim::GpuSpec;
+
+/// The served model: a batch-scalable MLP head, sized so a batch occupies a
+/// worker for real wall time (queues build up) without dominating CI.
+fn mlp_head(batch: i64) -> Graph {
+    let mut g = GraphBuilder::new("mlp_head");
+    let x = g.input("x", &[batch, 128]);
+    let w1 = g.constant(Tensor::randn(&[128, 256], 1));
+    let w2 = g.constant(Tensor::randn(&[256, 32], 2));
+    let h = g.matmul(x, w1);
+    let h = g.relu(h);
+    let y = g.matmul(h, w2);
+    g.output(y).build()
+}
+
+fn sample(seed: u64) -> Vec<Vec<f32>> {
+    vec![Tensor::randn(&[1, 128], seed).data().unwrap().to_vec()]
+}
+
+fn pool_config(devices: usize, max_batch: usize) -> EngineConfig {
+    EngineConfig {
+        devices: vec![GpuSpec::rtx3090(); devices],
+        workers: 1,
+        max_batch,
+        batch_window: Duration::from_millis(10),
+        ..EngineConfig::quick()
+    }
+}
+
+/// Runs `requests` through a `devices`-wide pool and returns the stats.
+fn run_scaling(devices: usize, requests: usize, max_batch: usize) -> StatsSnapshot {
+    let engine = Engine::new(pool_config(devices, max_batch)).expect("engine");
+    engine.load("mlp_head", mlp_head);
+    engine.warmup("mlp_head", max_batch as i64).expect("warmup");
+    for result in engine.infer_many("mlp_head", (0..requests as u64).map(sample).collect()) {
+        result.expect("request served");
+    }
+    engine.stats()
+}
+
+fn main() {
+    let requests = arg_usize("--requests", 96);
+    let max_batch = arg_usize("--max-batch", 8);
+    let devices = arg_usize("--devices", 4);
+    let bench_json = PathBuf::from(arg_str("--bench-json", "BENCH_serving.json"));
+    if requests < 4 * max_batch || devices < 2 {
+        eprintln!(
+            "serving_sharded needs --requests >= 4x --max-batch and --devices >= 2 \
+             (got --requests {requests}, --max-batch {max_batch}, --devices {devices})"
+        );
+        std::process::exit(2);
+    }
+
+    println!("=== hidet-runtime: sharded serving ===");
+    println!("({requests} requests, max batch {max_batch}, 1 vs {devices} simulated devices)\n");
+
+    // --- 1. near-linear scaling: 1 device vs the pool ----------------------
+    let single = run_scaling(1, requests, max_batch);
+    let pool = run_scaling(devices, requests, max_batch);
+    let row = |name: &str, s: &StatsSnapshot| {
+        vec![
+            name.to_string(),
+            format!("{}", s.requests),
+            format!("{}", s.batches),
+            format!("{:.2}", s.mean_batch_size),
+            format!("{:.1}", s.makespan_seconds * 1e6),
+            format!("{:.0}", s.cluster_throughput_rps),
+        ]
+    };
+    print_table(
+        &[
+            "pool",
+            "requests",
+            "batches",
+            "mean batch",
+            "makespan(us)",
+            "req/s (cluster)",
+        ],
+        &[
+            row("1 device", &single),
+            row(&format!("{devices} devices"), &pool),
+        ],
+    );
+    println!();
+    for line in pool.shard_lines() {
+        println!("{line}");
+    }
+    let scaling = pool.cluster_throughput_rps / single.cluster_throughput_rps;
+    println!("\n{devices}-device cluster throughput: {scaling:.2}x the single device");
+    for shard in &pool.shards {
+        assert!(
+            shard.dispatched_batches > 0,
+            "placement must use every shard: {:?}",
+            pool.shards
+        );
+    }
+    assert!(
+        scaling >= 3.0,
+        "a {devices}-device pool must reach at least 3x one device, got {scaling:.2}x"
+    );
+
+    // --- 2. overload: priority classes under admission control -------------
+    // 2x overload: twice max_inflight requests, interleaved high/best-effort,
+    // submitted as one burst against capacity that drains far slower. A
+    // single fixed-capacity shard isolates the priority batcher: every high
+    // batch is placed before any best-effort batch, so the sojourn
+    // separation is the scheduler's doing, not placement luck.
+    let overload_requests = requests;
+    let max_inflight = overload_requests / 2;
+    let engine = Engine::new(EngineConfig {
+        max_inflight,
+        admission_delay_bound: Some(Duration::from_millis(5)),
+        ..pool_config(1, max_batch)
+    })
+    .expect("engine");
+    engine.load("mlp_head", mlp_head);
+    engine.warmup("mlp_head", max_batch as i64).expect("warmup");
+    let tickets: Vec<_> = (0..overload_requests as u64)
+        .map(|i| {
+            let opts = if i % 2 == 0 {
+                SubmitOptions::best_effort()
+            } else {
+                SubmitOptions::high()
+            };
+            engine.submit_with("mlp_head", sample(i), opts)
+        })
+        .collect();
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    for ticket in tickets {
+        match ticket.wait() {
+            Ok(_) => served += 1,
+            Err(EngineError::QueueFull(_)) => shed += 1,
+            Err(other) => panic!("unexpected overload error: {other:?}"),
+        }
+    }
+    let over = engine.stats();
+    let high = &over.priorities[Priority::High.index()];
+    let best_effort = &over.priorities[Priority::BestEffort.index()];
+    println!(
+        "\noverload: {served} served, {shed} shed of {overload_requests} \
+         (max_inflight {max_inflight}, delay bound 5 ms)"
+    );
+    print_table(
+        &["class", "served", "shed", "p50(us)", "p95(us)"],
+        &[
+            vec![
+                "high".into(),
+                format!("{}", high.requests),
+                format!("{}", high.shed_requests),
+                format!("{:.1}", high.p50_latency_seconds * 1e6),
+                format!("{:.1}", high.p95_latency_seconds * 1e6),
+            ],
+            vec![
+                "best-effort".into(),
+                format!("{}", best_effort.requests),
+                format!("{}", best_effort.shed_requests),
+                format!("{:.1}", best_effort.p50_latency_seconds * 1e6),
+                format!("{:.1}", best_effort.p95_latency_seconds * 1e6),
+            ],
+        ],
+    );
+    assert!(shed > 0, "2x overload must shed load");
+    assert!(
+        best_effort.shed_requests > 0,
+        "best-effort is shed under overload"
+    );
+    assert!(
+        high.shed_requests == 0 || best_effort.shed_requests >= high.shed_requests,
+        "high-priority traffic must never be shed before best-effort \
+         (high {} vs best-effort {})",
+        high.shed_requests,
+        best_effort.shed_requests
+    );
+    assert!(
+        high.p95_latency_seconds < best_effort.p95_latency_seconds,
+        "under overload, high-priority p95 ({:.1} us) must stay below \
+         best-effort p95 ({:.1} us)",
+        high.p95_latency_seconds * 1e6,
+        best_effort.p95_latency_seconds * 1e6
+    );
+
+    // --- perf-trajectory artifact -----------------------------------------
+    let section = BenchSection::new("serving_sharded")
+        .field_usize("requests", requests)
+        .field_usize("devices", devices)
+        .field_usize("max_batch", max_batch)
+        .field_f64("single_device_rps", single.cluster_throughput_rps)
+        .field_f64("sharded_rps", pool.cluster_throughput_rps)
+        .field_f64("scaling", scaling)
+        .field_f64("p50_us", pool.p50_latency_seconds * 1e6)
+        .field_f64("p95_us", pool.p95_latency_seconds * 1e6)
+        .field_usize("compile_cache_hits", pool.compile_cache_hits)
+        .field_usize("compile_cache_misses", pool.compile_cache_misses)
+        .field_usize("tuning_trials_saved", pool.tuning_trials_saved)
+        .field_usize("overload_served", served)
+        .field_usize("overload_shed", shed)
+        .field_f64("overload_high_p95_us", high.p95_latency_seconds * 1e6)
+        .field_f64(
+            "overload_best_effort_p95_us",
+            best_effort.p95_latency_seconds * 1e6,
+        )
+        .field_usize("overload_high_shed", high.shed_requests)
+        .field_usize("overload_best_effort_shed", best_effort.shed_requests);
+    upsert_section(&bench_json, &section).expect("write bench json");
+    println!(
+        "\nwrote section \"serving_sharded\" to {}",
+        bench_json.display()
+    );
+    println!("all sharded-serving acceptance checks passed");
+}

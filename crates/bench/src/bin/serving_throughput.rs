@@ -10,14 +10,20 @@
 //! 3. a process restarted with a **warm tuning-record file** reports zero
 //!    tuning seconds for previously tuned matmul problems.
 //!
+//! Emits its metrics as the `serving_throughput` section of
+//! `BENCH_serving.json` (see `hidet_bench::report`), which CI uploads as a
+//! perf-trajectory artifact.
+//!
 //! ```text
 //! cargo run --release -p hidet-bench --bin serving_throughput -- \
 //!     --requests 32 --max-batch 8
 //! ```
 
+use std::path::PathBuf;
 use std::time::Duration;
 
-use hidet_bench::{arg_usize, print_table};
+use hidet_bench::report::{upsert_section, BenchSection};
+use hidet_bench::{arg_str, arg_usize, print_table};
 use hidet_graph::{Graph, GraphBuilder, Tensor};
 use hidet_runtime::{Engine, EngineConfig, StatsSnapshot};
 
@@ -53,6 +59,7 @@ fn run_stream(engine: &Engine, requests: usize) -> StatsSnapshot {
 fn main() {
     let requests = arg_usize("--requests", 32);
     let max_batch = arg_usize("--max-batch", 8);
+    let bench_json = PathBuf::from(arg_str("--bench-json", "BENCH_serving.json"));
     if requests < 2 || max_batch < 2 {
         eprintln!(
             "serving_throughput compares batched against sequential dispatch; \
@@ -128,6 +135,10 @@ fn main() {
             row(&format!("batched x{max_batch}"), &bat),
         ],
     );
+    println!();
+    for line in bat.shard_lines() {
+        println!("{line}");
+    }
     let speedup = bat.simulated_throughput_rps / seq.simulated_throughput_rps;
     println!("\nbatched dispatch throughput: {speedup:.2}x sequential");
     assert!(
@@ -155,8 +166,29 @@ fn main() {
     assert!(seq.tuning_seconds_run == 0.0);
     assert!(seq.tuning_trials_saved > 0);
 
+    // --- perf-trajectory artifact -----------------------------------------
+    let section = BenchSection::new("serving_throughput")
+        .field_usize("requests", requests)
+        .field_usize("max_batch", max_batch)
+        .field_f64("sequential_rps", seq.simulated_throughput_rps)
+        .field_f64("batched_rps", bat.simulated_throughput_rps)
+        .field_f64("batch_speedup", speedup)
+        .field_f64("p50_us", bat.p50_latency_seconds * 1e6)
+        .field_f64("p95_us", bat.p95_latency_seconds * 1e6)
+        .field_f64("mean_batch_size", bat.mean_batch_size)
+        .field_usize("compile_cache_hits", bat.compile_cache_hits)
+        .field_usize("compile_cache_misses", bat.compile_cache_misses)
+        .field_usize("tuning_trials_run", bat.tuning_trials_run)
+        .field_usize("tuning_trials_saved", seq.tuning_trials_saved)
+        .field_f64("tuning_seconds_saved", seq.tuning_seconds_saved);
+    upsert_section(&bench_json, &section).expect("write bench json");
+    println!(
+        "\nwrote section \"serving_throughput\" to {}",
+        bench_json.display()
+    );
+
     let _ = sequential.shutdown();
     let _ = batched.shutdown();
     let _ = std::fs::remove_file(&records_path);
-    println!("\nall serving acceptance checks passed");
+    println!("all serving acceptance checks passed");
 }

@@ -1,6 +1,8 @@
 //! Shared experiment-harness utilities: table formatting, paper reference
 //! data, and the standard executor line-up of the paper's evaluation (§6.1).
 
+pub mod report;
+
 use hidet::HidetExecutor;
 use hidet_baselines::frameworks::{OnnxRuntimeLike, PyTorchLike};
 use hidet_baselines::trt::TensorRtLike;
@@ -113,6 +115,16 @@ pub fn arg_usize(name: &str, default: usize) -> usize {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Parses `--flag value`-style string arguments.
+pub fn arg_str(name: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
 }
 
 #[cfg(test)]

@@ -1,0 +1,296 @@
+//! Machine-readable benchmark output: `BENCH_*.json` emission.
+//!
+//! CI tracks the repository's performance trajectory per PR by uploading
+//! these files as workflow artifacts ("From Profiling to Optimization",
+//! PAPERS.md). Each acceptance binary contributes one named **section** to a
+//! shared file (default `BENCH_serving.json` in the working directory), so
+//! several binaries can run in any order without clobbering each other:
+//! [`upsert_section`] re-reads the file, replaces the binary's own section
+//! and leaves the others untouched.
+//!
+//! The format is deliberately flat — one top-level object whose keys are
+//! section names and whose values are objects of numeric/string metrics —
+//! and the writer is dependency-free like the rest of the workspace (no
+//! crates.io access; see `vendor/README.md`).
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// One binary's named group of metrics.
+#[derive(Debug, Clone)]
+pub struct BenchSection {
+    name: String,
+    fields: Vec<(String, String)>,
+}
+
+impl BenchSection {
+    /// An empty section named `name` (the binary's name, by convention).
+    pub fn new(name: &str) -> BenchSection {
+        BenchSection {
+            name: name.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Adds a float metric (non-finite values are recorded as `null`).
+    pub fn field_f64(mut self, key: &str, value: f64) -> BenchSection {
+        let rendered = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Adds an integer metric.
+    pub fn field_usize(mut self, key: &str, value: usize) -> BenchSection {
+        self.fields.push((key.to_string(), format!("{value}")));
+        self
+    }
+
+    /// Adds a string metric.
+    pub fn field_str(mut self, key: &str, value: &str) -> BenchSection {
+        self.fields.push((key.to_string(), json_string(value)));
+        self
+    }
+
+    /// Renders the section body as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: {}", json_string(key), value);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Writes (or updates) `section` in the bench-report file at `path`.
+///
+/// The file holds one top-level JSON object keyed by section name. An
+/// existing file has this binary's section replaced in place (other sections
+/// and their order are preserved); a missing or unparsable file is
+/// rewritten with just this section.
+pub fn upsert_section(path: &Path, section: &BenchSection) -> io::Result<()> {
+    let mut sections = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| split_sections(&text))
+        .unwrap_or_default();
+    let body = section.to_json();
+    match sections.iter_mut().find(|(name, _)| *name == section.name) {
+        Some((_, existing)) => *existing = body,
+        None => sections.push((section.name.clone(), body)),
+    }
+    let mut out = String::from("{\n");
+    for (i, (name, body)) in sections.iter().enumerate() {
+        let _ = write!(out, "  {}: {}", json_string(name), body);
+        out.push_str(if i + 1 < sections.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Splits the top level of `{"name": <value>, ...}` into `(name, raw value)`
+/// pairs without fully parsing the values. Returns `None` when the text is
+/// not such an object (the caller then rewrites the file from scratch).
+fn split_sections(text: &str) -> Option<Vec<(String, String)>> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut pos = 0usize;
+    let skip_ws = |pos: &mut usize| {
+        while *pos < chars.len() && chars[*pos].is_whitespace() {
+            *pos += 1;
+        }
+    };
+    let parse_string = |pos: &mut usize| -> Option<String> {
+        if chars.get(*pos) != Some(&'"') {
+            return None;
+        }
+        *pos += 1;
+        let mut out = String::new();
+        while *pos < chars.len() {
+            match chars[*pos] {
+                '\\' => {
+                    // Keep escapes verbatim only for the separator scan; the
+                    // section names we produce never contain escapes, so a
+                    // literal interpretation of the common ones suffices.
+                    *pos += 1;
+                    match chars.get(*pos)? {
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        c => out.push(*c),
+                    }
+                    *pos += 1;
+                }
+                '"' => {
+                    *pos += 1;
+                    return Some(out);
+                }
+                c => {
+                    out.push(c);
+                    *pos += 1;
+                }
+            }
+        }
+        None
+    };
+    // A raw JSON value: scan to its end tracking nesting and strings.
+    let parse_value = |pos: &mut usize| -> Option<String> {
+        let start = *pos;
+        let mut depth = 0i32;
+        let mut in_string = false;
+        while *pos < chars.len() {
+            let c = chars[*pos];
+            if in_string {
+                match c {
+                    '\\' => *pos += 1,
+                    '"' => in_string = false,
+                    _ => {}
+                }
+            } else {
+                match c {
+                    '"' => in_string = true,
+                    '{' | '[' => depth += 1,
+                    '}' | ']' if depth > 0 => {
+                        depth -= 1;
+                        if depth == 0 {
+                            *pos += 1;
+                            return Some(chars[start..*pos].iter().collect());
+                        }
+                    }
+                    ',' | '}' | ']' if depth == 0 => {
+                        return Some(chars[start..*pos].iter().collect::<String>());
+                    }
+                    _ => {}
+                }
+            }
+            *pos += 1;
+        }
+        None
+    };
+
+    skip_ws(&mut pos);
+    if chars.get(pos) != Some(&'{') {
+        return None;
+    }
+    pos += 1;
+    let mut sections = Vec::new();
+    loop {
+        skip_ws(&mut pos);
+        if chars.get(pos) == Some(&'}') {
+            return Some(sections);
+        }
+        let name = parse_string(&mut pos)?;
+        skip_ws(&mut pos);
+        if chars.get(pos) != Some(&':') {
+            return None;
+        }
+        pos += 1;
+        skip_ws(&mut pos);
+        let value = parse_value(&mut pos)?;
+        sections.push((name, value.trim().to_string()));
+        skip_ws(&mut pos);
+        match chars.get(pos) {
+            Some(&',') => pos += 1,
+            Some(&'}') => return Some(sections),
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "hidet-bench-report-{tag}-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn section_renders_flat_json() {
+        let s = BenchSection::new("demo")
+            .field_f64("rps", 1234.5)
+            .field_usize("requests", 32)
+            .field_str("mode", "batched");
+        assert_eq!(
+            s.to_json(),
+            "{\"rps\": 1234.5, \"requests\": 32, \"mode\": \"batched\"}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let s = BenchSection::new("demo").field_f64("bad", f64::NAN);
+        assert_eq!(s.to_json(), "{\"bad\": null}");
+    }
+
+    #[test]
+    fn upsert_creates_replaces_and_preserves() {
+        let path = temp_path("upsert");
+        let _ = std::fs::remove_file(&path);
+
+        upsert_section(&path, &BenchSection::new("a").field_usize("x", 1)).unwrap();
+        upsert_section(&path, &BenchSection::new("b").field_usize("y", 2)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"a\": {\"x\": 1}"), "{text}");
+        assert!(text.contains("\"b\": {\"y\": 2}"), "{text}");
+
+        // Re-emitting a section replaces it in place and keeps the other.
+        upsert_section(&path, &BenchSection::new("a").field_usize("x", 9)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"a\": {\"x\": 9}"), "{text}");
+        assert!(!text.contains("\"x\": 1"), "{text}");
+        assert!(text.contains("\"b\": {\"y\": 2}"), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_files_are_rewritten() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, "not json at all {{{").unwrap();
+        upsert_section(&path, &BenchSection::new("a").field_usize("x", 1)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\n  \"a\": {\"x\": 1}\n}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn split_handles_nested_values_and_strings() {
+        let text = r#"{ "one": {"a": [1, 2, {"b": "},"}]}, "two": 3.5 }"#;
+        let sections = split_sections(text).unwrap();
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0].0, "one");
+        assert_eq!(sections[0].1, r#"{"a": [1, 2, {"b": "},"}]}"#);
+        assert_eq!(sections[1], ("two".to_string(), "3.5".to_string()));
+    }
+}

@@ -14,7 +14,7 @@
 //!
 //! The crate also provides graph passes ([`passes`]: constant folding,
 //! conv→implicit-GEMM lowering, fusion partitioning), a reference CPU executor
-//! ([`reference`]) used as ground truth for every compiled kernel, and the
+//! ([`mod@reference`]) used as ground truth for every compiled kernel, and the
 //! model zoo ([`models`]) reproducing the architectures of the paper's
 //! evaluation: ResNet-50, Inception-V3, MobileNet-V2, Bert and GPT-2.
 

@@ -1,27 +1,53 @@
 //! The serving engine: a multi-session inference front-end over the Hidet
-//! compiler and the simulated GPU.
+//! compiler and a pool of simulated GPUs.
 //!
 //! ```text
-//!   clients ── submit ──▶ queue ──▶ dispatcher ──▶ batch jobs ──▶ workers
-//!                                   (coalesces same-model requests)   │
-//!                                                                     ▼
-//!                                             compiled-graph cache ──▶ hidet-sim
+//!   clients ── submit_with ──▶ admission ──▶ priority queues ──▶ dispatcher
+//!              (priority,      (sheds when    High / Normal /       │
+//!               deadline)       overloaded)   BestEffort            ▼
+//!                                                      batch former (model x class)
+//!                                                                   │ least-estimated-
+//!                                                                   ▼ queue-delay
+//!                                        shard 0 workers ◀── placement ──▶ shard N workers
+//!                                              │                                │
+//!                                              ▼                                ▼
+//!                               shared compiled-graph cache ──▶ hidet-sim device per shard
 //! ```
 //!
-//! * Requests for the same model are **coalesced along the batch dimension**
-//!   (up to [`EngineConfig::max_batch`], waiting at most
-//!   [`EngineConfig::batch_window`]) before dispatch, amortizing both kernel
-//!   dispatch overhead and device under-utilization at batch 1.
+//! * Requests carry a [`Priority`] class and an optional deadline
+//!   ([`Engine::submit_with`]). The dispatcher always serves the highest
+//!   non-empty class; requests whose deadline passes while queued are
+//!   rejected with [`EngineError::DeadlineExceeded`] and never reach a
+//!   worker.
+//! * Same-model, same-class requests are **coalesced along the batch
+//!   dimension** (up to [`EngineConfig::max_batch`], waiting at most
+//!   [`EngineConfig::batch_window`]) before dispatch. The straggler wait is
+//!   abandoned as soon as a higher class has traffic, so priority inversion
+//!   is bounded by one partial batch.
+//! * Formed batches are **placed across the device pool**
+//!   ([`EngineConfig::devices`]) on the shard with the least estimated queue
+//!   delay, computed by [`hidet_sim::estimated_queue_delay`] over the
+//!   analytic latency estimates of every in-flight batch (see the `shard`
+//!   module and [`crate::ShardSnapshot`]).
+//! * An **admission controller** sheds load with
+//!   [`EngineError::QueueFull`] when the engine holds too many in-flight
+//!   requests or the estimated queue delay exceeds
+//!   [`EngineConfig::admission_delay_bound`]. Shedding thresholds scale with
+//!   priority, so best-effort traffic is always shed before high-priority
+//!   traffic.
 //! * Compilation happens at most once per (structure, device, options) — see
-//!   [`crate::CompiledCache`] — so steady-state requests never compile.
+//!   [`crate::CompiledCache`] — so steady-state requests never compile, and
+//!   homogeneous shards share one compiled graph.
 //! * Tuning results persist via [`hidet_sched::TuningCache`] when
 //!   [`EngineConfig::tuning_records_path`] is set: a restarted process
-//!   schedules previously seen matmuls with zero trials.
+//!   schedules previously seen matmuls with zero trials. Records are flushed
+//!   on [`Engine::shutdown`] *and* from `Drop`, so a panicking caller does
+//!   not lose tuned schedules.
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
@@ -30,25 +56,144 @@ use std::time::{Duration, Instant};
 use hidet::{CompileError, CompilerOptions};
 use hidet_graph::Graph;
 use hidet_sched::TuningCache;
-use hidet_sim::{Gpu, GpuSpec};
+use hidet_sim::GpuSpec;
 
 use crate::cache::CompiledCache;
+use crate::shard::{self, LatencyModel, Shard};
 use crate::stats::{ServerStats, StatsSnapshot};
+
+/// Request priority class, highest first.
+///
+/// The dispatcher always forms batches from the highest non-empty class, and
+/// the admission controller sheds lower classes earlier: each class has a
+/// larger share of the in-flight budget and more slack against the queue
+/// delay bound than the class below it, so high-priority traffic is never
+/// shed while best-effort traffic is admitted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Priority {
+    /// Latency-critical traffic: served first, shed last.
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Background traffic: served last, shed first.
+    BestEffort,
+}
+
+impl Priority {
+    /// Number of priority classes.
+    pub const COUNT: usize = 3;
+    /// All classes, highest first — index with [`Priority::index`].
+    pub const ALL: [Priority; Priority::COUNT] =
+        [Priority::High, Priority::Normal, Priority::BestEffort];
+
+    /// Position in [`Priority::ALL`] (0 = highest).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short label for tables and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::BestEffort => "best-effort",
+        }
+    }
+
+    /// Fraction of [`EngineConfig::max_inflight`] this class may fill before
+    /// the admission controller sheds it. Monotone in priority: as load
+    /// climbs, best-effort is rejected first, then normal, then high.
+    fn queue_share(self) -> f64 {
+        match self {
+            Priority::High => 1.0,
+            Priority::Normal => 0.75,
+            Priority::BestEffort => 0.5,
+        }
+    }
+
+    /// Multiplier on [`EngineConfig::admission_delay_bound`] this class
+    /// tolerates before being shed. Monotone in priority.
+    fn delay_slack(self) -> f64 {
+        match self {
+            Priority::High => 4.0,
+            Priority::Normal => 2.0,
+            Priority::BestEffort => 1.0,
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-request submission knobs for [`Engine::submit_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// Priority class (default [`Priority::Normal`]).
+    pub priority: Priority,
+    /// Absolute deadline: once passed, the request is rejected with
+    /// [`EngineError::DeadlineExceeded`] instead of executed.
+    pub deadline: Option<Instant>,
+}
+
+impl SubmitOptions {
+    /// Options at the given priority, no deadline.
+    pub fn priority(priority: Priority) -> SubmitOptions {
+        SubmitOptions {
+            priority,
+            deadline: None,
+        }
+    }
+
+    /// Shorthand for [`Priority::High`].
+    pub fn high() -> SubmitOptions {
+        SubmitOptions::priority(Priority::High)
+    }
+
+    /// Shorthand for [`Priority::BestEffort`].
+    pub fn best_effort() -> SubmitOptions {
+        SubmitOptions::priority(Priority::BestEffort)
+    }
+
+    /// Sets an absolute deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> SubmitOptions {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a deadline `timeout` from now.
+    pub fn with_deadline_in(self, timeout: Duration) -> SubmitOptions {
+        self.with_deadline(Instant::now() + timeout)
+    }
+}
 
 /// Engine construction knobs.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Device every worker executes on.
-    pub gpu: GpuSpec,
+    /// The device pool: one shard per spec, homogeneous or mixed. Batches
+    /// are placed on the shard with the least estimated queue delay.
+    pub devices: Vec<GpuSpec>,
     /// Compiler options for every model (a tuning cache attached here is
     /// kept; otherwise the engine attaches its own).
     pub options: CompilerOptions,
-    /// Worker threads executing batch jobs.
+    /// Worker threads **per device** executing batch jobs.
     pub workers: usize,
     /// Maximum requests coalesced into one batch (1 disables batching).
     pub max_batch: usize,
     /// How long the dispatcher holds an under-full batch open for stragglers.
     pub batch_window: Duration,
+    /// Admission hard cap: maximum requests admitted but not yet answered.
+    /// Classes below [`Priority::High`] are shed at a fraction of this (see
+    /// [`Priority`]); requests beyond it get [`EngineError::QueueFull`].
+    pub max_inflight: usize,
+    /// Admission delay bound: when the estimated queue delay (simulated
+    /// seconds; least-loaded shard plus dispatcher backlog) exceeds this,
+    /// new requests are shed — best-effort at 1x the bound, normal at 2x,
+    /// high at 4x. `None` disables delay-based shedding.
+    pub admission_delay_bound: Option<Duration>,
     /// Tuning-record persistence: loaded at startup, saved on shutdown and
     /// on [`Engine::flush_tuning_records`]. `None` keeps records in memory.
     pub tuning_records_path: Option<PathBuf>,
@@ -57,11 +202,13 @@ pub struct EngineConfig {
 impl Default for EngineConfig {
     fn default() -> EngineConfig {
         EngineConfig {
-            gpu: GpuSpec::rtx3090(),
+            devices: vec![GpuSpec::rtx3090()],
             options: CompilerOptions::tuned(),
             workers: 2,
             max_batch: 8,
             batch_window: Duration::from_millis(2),
+            max_inflight: 4096,
+            admission_delay_bound: None,
             tuning_records_path: None,
         }
     }
@@ -72,6 +219,14 @@ impl EngineConfig {
     pub fn quick() -> EngineConfig {
         EngineConfig {
             options: CompilerOptions::quick(),
+            ..EngineConfig::default()
+        }
+    }
+
+    /// A pool of `n` identical RTX 3090 shards (tuned compiles).
+    pub fn sharded(n: usize) -> EngineConfig {
+        EngineConfig {
+            devices: vec![GpuSpec::rtx3090(); n.max(1)],
             ..EngineConfig::default()
         }
     }
@@ -88,6 +243,10 @@ pub enum EngineError {
     Compile(CompileError),
     /// Executing the compiled graph failed.
     Execution(String),
+    /// The admission controller shed this request (engine overloaded).
+    QueueFull(String),
+    /// The request's deadline passed before it could be executed.
+    DeadlineExceeded,
     /// The engine is shutting down.
     Closed,
     /// Tuning-record persistence failed.
@@ -101,6 +260,8 @@ impl fmt::Display for EngineError {
             EngineError::BadInput(msg) => write!(f, "bad input: {msg}"),
             EngineError::Compile(e) => write!(f, "compile failed: {e}"),
             EngineError::Execution(msg) => write!(f, "execution failed: {msg}"),
+            EngineError::QueueFull(msg) => write!(f, "request shed: {msg}"),
+            EngineError::DeadlineExceeded => write!(f, "deadline exceeded before execution"),
             EngineError::Closed => write!(f, "engine is shut down"),
             EngineError::Records(msg) => write!(f, "tuning records: {msg}"),
         }
@@ -124,6 +285,11 @@ pub struct InferenceResult {
     pub batch_size: usize,
     /// Simulated device latency of the executed batch, seconds.
     pub simulated_latency_seconds: f64,
+    /// Estimated simulated queue delay the batch saw at placement, seconds
+    /// (the request's sojourn is this plus the device latency).
+    pub queue_delay_seconds: f64,
+    /// Priority class the request executed at.
+    pub priority: Priority,
     /// Whether the compiled graph came from the cache.
     pub compile_cache_hit: bool,
 }
@@ -176,32 +342,161 @@ impl ModelEntry {
 struct PendingRequest {
     model: String,
     inputs: Vec<Vec<f32>>,
+    priority: Priority,
+    deadline: Option<Instant>,
     responder: mpsc::Sender<Result<InferenceResult, EngineError>>,
 }
 
 impl PendingRequest {
-    fn respond(self, result: Result<InferenceResult, EngineError>) {
-        // A client that dropped its ticket is not an engine error.
+    /// Answers the request and releases its in-flight admission slot.
+    /// A client that dropped its ticket is not an engine error.
+    fn respond(self, shared: &Shared, result: Result<InferenceResult, EngineError>) {
+        shared.inflight.fetch_sub(1, Ordering::Relaxed);
         let _ = self.responder.send(result);
+    }
+
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
     }
 }
 
+/// A formed batch bound for one shard's worker pool.
 struct BatchJob {
     model: String,
+    priority: Priority,
     requests: Vec<PendingRequest>,
+    /// Pending-entry token in the target shard (released on completion).
+    token: u64,
+    /// The target shard's estimated queue delay at placement, seconds.
+    queue_delay: f64,
+}
+
+/// The priority queues feeding the dispatcher: one FIFO per class.
+#[derive(Default)]
+struct ClassQueues {
+    classes: [VecDeque<PendingRequest>; Priority::COUNT],
+}
+
+impl ClassQueues {
+    fn total(&self) -> usize {
+        self.classes.iter().map(VecDeque::len).sum()
+    }
+
+    fn push(&mut self, request: PendingRequest) {
+        self.classes[request.priority.index()].push_back(request);
+    }
+
+    fn highest_nonempty(&self) -> Option<usize> {
+        self.classes.iter().position(|q| !q.is_empty())
+    }
+
+    fn higher_nonempty(&self, class: usize) -> bool {
+        self.classes[..class].iter().any(|q| !q.is_empty())
+    }
+
+    /// Earliest deadline among all queued requests, if any carries one.
+    fn earliest_deadline(&self) -> Option<Instant> {
+        self.classes
+            .iter()
+            .flat_map(|q| q.iter().filter_map(|r| r.deadline))
+            .min()
+    }
+
+    /// Whether some (class, model) group already has a full batch waiting.
+    fn any_full(&self, cap: usize) -> bool {
+        let mut counts: HashMap<(usize, &str), usize> = HashMap::new();
+        for (c, q) in self.classes.iter().enumerate() {
+            for r in q.iter() {
+                let n = counts.entry((c, r.model.as_str())).or_insert(0);
+                *n += 1;
+                if *n >= cap {
+                    return true;
+                }
+            }
+        }
+        false
+    }
 }
 
 struct Shared {
-    gpu: Gpu,
     options: CompilerOptions,
     registry: Mutex<HashMap<String, Arc<ModelEntry>>>,
-    queue: Mutex<VecDeque<PendingRequest>>,
+    queue: Mutex<ClassQueues>,
     queue_cv: Condvar,
     closed: AtomicBool,
     compiled: CompiledCache,
     stats: ServerStats,
+    shards: Vec<Shard>,
+    latency_model: LatencyModel,
+    /// Requests admitted but not yet answered (queued or placed).
+    inflight: AtomicUsize,
     max_batch: usize,
     batch_window: Duration,
+    max_inflight: usize,
+    /// [`EngineConfig::admission_delay_bound`] in seconds.
+    delay_bound: Option<f64>,
+}
+
+impl Shared {
+    /// Total worker lanes across the pool.
+    fn total_lanes(&self) -> usize {
+        self.shards.iter().map(|s| s.lanes).sum()
+    }
+
+    /// Admission verdict for a request of `class` while `queued` requests
+    /// wait in the dispatcher queue. `None` admits.
+    ///
+    /// Two monotone-in-priority checks:
+    /// 1. the in-flight count against `max_inflight x queue_share(class)`;
+    /// 2. the estimated queue delay — least-loaded shard delay plus the
+    ///    dispatcher backlog (queued requests x observed device seconds per
+    ///    request, spread over every worker lane) — against
+    ///    `delay_bound x delay_slack(class)`.
+    ///
+    /// Cost note: check 1 is a pair of atomic loads; it touches the shard
+    /// pending locks only when it actually sheds (for attribution). Check 2
+    /// re-derives every shard's queue delay per submission —
+    /// O(shards x in-flight batches) — which is why the delay bound is
+    /// opt-in (`None` by default keeps the submit path lock-free past the
+    /// queue mutex).
+    fn admission_verdict(&self, class: Priority, queued: usize) -> Option<EngineError> {
+        let inflight = self.inflight.load(Ordering::Relaxed);
+        let cap = (self.max_inflight as f64 * class.queue_share()).ceil() as usize;
+        if inflight >= cap {
+            let (idx, _) = shard::least_queue_delay(&self.shards);
+            self.shards[idx].count_shed();
+            self.stats.count_shed(class);
+            return Some(EngineError::QueueFull(format!(
+                "{inflight} requests in flight >= {cap} ({} share of max_inflight {})",
+                class.label(),
+                self.max_inflight
+            )));
+        }
+        if let Some(bound) = self.delay_bound {
+            let (idx, shard_delay) = shard::least_queue_delay(&self.shards);
+            let snapshot_requests = self.stats.requests.load(Ordering::Relaxed);
+            let per_request = if snapshot_requests > 0 {
+                let device_nanos = self.stats.simulated_nanos.load(Ordering::Relaxed) as f64;
+                device_nanos / 1e9 / snapshot_requests as f64
+            } else {
+                0.0 // cold engine: no evidence of backlog cost yet
+            };
+            let backlog = queued as f64 * per_request / self.total_lanes() as f64;
+            let estimated = shard_delay + backlog;
+            let slack = bound * class.delay_slack();
+            if estimated > slack {
+                self.shards[idx].count_shed();
+                self.stats.count_shed(class);
+                return Some(EngineError::QueueFull(format!(
+                    "estimated queue delay {:.1} us exceeds the {} bound {:.1} us",
+                    estimated * 1e6,
+                    class.label(),
+                    slack * 1e6
+                )));
+            }
+        }
+        None
+    }
 }
 
 /// The serving engine. See the [module docs](crate::engine) for the
@@ -215,15 +510,21 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Starts an engine: loads tuning records (if configured), spawns the
-    /// dispatcher and the worker pool.
+    /// Starts an engine: loads tuning records (if configured), builds one
+    /// shard per configured device, spawns the dispatcher and the per-shard
+    /// worker pools.
     ///
     /// # Errors
     /// [`EngineError::Records`] if a configured record file exists but cannot
     /// be read or parsed (a *missing* file is a normal cold start).
     pub fn new(config: EngineConfig) -> Result<Engine, EngineError> {
+        assert!(
+            !config.devices.is_empty(),
+            "engine needs at least one device"
+        );
         assert!(config.workers >= 1, "engine needs at least one worker");
         assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        assert!(config.max_inflight >= 1, "max_inflight must be at least 1");
 
         // Attach (or adopt) the tuning-record store. An adopted store still
         // absorbs the configured record file — otherwise shutdown's save
@@ -256,39 +557,56 @@ impl Engine {
             .clone()
             .with_tuning_cache(Arc::clone(&tuning_cache));
 
+        let shards: Vec<Shard> = config
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| Shard::new(i, spec.clone(), config.workers))
+            .collect();
+
         let shared = Arc::new(Shared {
-            gpu: Gpu::new(config.gpu),
             options,
             registry: Mutex::new(HashMap::new()),
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(ClassQueues::default()),
             queue_cv: Condvar::new(),
             closed: AtomicBool::new(false),
             compiled: CompiledCache::new(),
             stats: ServerStats::default(),
+            shards,
+            latency_model: LatencyModel::default(),
+            inflight: AtomicUsize::new(0),
             max_batch: config.max_batch,
             batch_window: config.batch_window,
+            max_inflight: config.max_inflight,
+            delay_bound: config.admission_delay_bound.map(|d| d.as_secs_f64()),
         });
 
-        let (job_tx, job_rx) = mpsc::channel::<BatchJob>();
-        let job_rx = Arc::new(Mutex::new(job_rx));
-
+        // One job channel per shard; the dispatcher owns every sender, so
+        // worker pools drain and exit once the dispatcher hangs up.
+        let mut senders = Vec::with_capacity(config.devices.len());
+        let mut workers = Vec::new();
+        for shard_idx in 0..config.devices.len() {
+            let (job_tx, job_rx) = mpsc::channel::<BatchJob>();
+            senders.push(job_tx);
+            let job_rx = Arc::new(Mutex::new(job_rx));
+            for lane in 0..config.workers {
+                let shared = Arc::clone(&shared);
+                let job_rx = Arc::clone(&job_rx);
+                workers.push(
+                    thread::Builder::new()
+                        .name(format!("hidet-shard{shard_idx}-worker{lane}"))
+                        .spawn(move || worker_loop(&shared, shard_idx, &job_rx))
+                        .expect("spawn worker"),
+                );
+            }
+        }
         let dispatcher = {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
                 .name("hidet-dispatcher".into())
-                .spawn(move || dispatch_loop(&shared, job_tx))
+                .spawn(move || dispatch_loop(&shared, senders))
                 .expect("spawn dispatcher")
         };
-        let workers = (0..config.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                let job_rx = Arc::clone(&job_rx);
-                thread::Builder::new()
-                    .name(format!("hidet-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &job_rx))
-                    .expect("spawn worker")
-            })
-            .collect();
 
         Ok(Engine {
             shared,
@@ -342,42 +660,75 @@ impl Engine {
             .insert(name.to_string(), entry);
     }
 
-    /// Pre-compiles `model` at `batch`, off the request path. Returns whether
-    /// the compiled graph was already cached.
+    /// Pre-compiles `model` at `batch` for **every** shard, off the request
+    /// path, and primes the placement scheduler's latency model with the
+    /// analytic estimate per device. Returns whether every per-device
+    /// compile was already cached (homogeneous shards share one entry).
     pub fn warmup(&self, model: &str, batch: i64) -> Result<bool, EngineError> {
         let entry = self.entry(model)?;
         let variant = entry.variant(batch);
-        let (compiled, hit) = self.shared.compiled.get_or_compile_hashed(
-            &variant.graph,
-            variant.hash,
-            &self.shared.gpu,
-            &self.shared.options,
-        )?;
-        record_compile(&self.shared, &compiled, hit);
-        Ok(hit)
+        let mut all_hit = true;
+        for shard in &self.shared.shards {
+            let (compiled, hit) = self.shared.compiled.get_or_compile_hashed(
+                &variant.graph,
+                variant.hash,
+                &shard.gpu,
+                &self.shared.options,
+            )?;
+            record_compile(&self.shared, &compiled, hit);
+            self.shared
+                .latency_model
+                .record(shard.id, model, batch, compiled.estimate(&shard.gpu));
+            all_hit &= hit;
+        }
+        Ok(all_hit)
     }
 
-    /// Enqueues one inference: `inputs` holds one tensor per graph input, in
-    /// `Graph::inputs` order, each shaped for **batch size 1** (the engine
-    /// batches requests itself). Returns immediately with a [`Ticket`].
+    /// Enqueues one inference at [`Priority::Normal`] with no deadline:
+    /// `inputs` holds one tensor per graph input, in `Graph::inputs` order,
+    /// each shaped for **batch size 1** (the engine batches requests
+    /// itself). Returns immediately with a [`Ticket`].
     pub fn submit(&self, model: &str, inputs: Vec<Vec<f32>>) -> Ticket {
+        self.submit_with(model, inputs, SubmitOptions::default())
+    }
+
+    /// [`Engine::submit`] with an explicit [`Priority`] and optional
+    /// deadline. The ticket resolves to [`EngineError::QueueFull`] if the
+    /// admission controller sheds the request, and to
+    /// [`EngineError::DeadlineExceeded`] if the deadline passes before a
+    /// worker executes it.
+    pub fn submit_with(&self, model: &str, inputs: Vec<Vec<f32>>, opts: SubmitOptions) -> Ticket {
         let (tx, rx) = mpsc::channel();
+        let ticket = Ticket { rx };
         if self.shared.closed.load(Ordering::SeqCst) {
             let _ = tx.send(Err(EngineError::Closed));
-            return Ticket { rx };
+            return ticket;
+        }
+        if opts.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.shared.stats.count_deadline_expired();
+            let _ = tx.send(Err(EngineError::DeadlineExceeded));
+            return ticket;
         }
         let request = PendingRequest {
             model: model.to_string(),
             inputs,
+            priority: opts.priority,
+            deadline: opts.deadline,
             responder: tx,
         };
-        self.shared
-            .queue
-            .lock()
-            .expect("queue poisoned")
-            .push_back(request);
+        {
+            // Admission and enqueue under one lock so verdicts are ordered.
+            let mut queue = self.shared.queue.lock().expect("queue poisoned");
+            if let Some(err) = self.shared.admission_verdict(opts.priority, queue.total()) {
+                drop(queue);
+                let _ = request.responder.send(Err(err));
+                return ticket;
+            }
+            self.shared.inflight.fetch_add(1, Ordering::Relaxed);
+            queue.push(request);
+        }
         self.shared.queue_cv.notify_all();
-        Ticket { rx }
+        ticket
     }
 
     /// Blocking single inference: [`Engine::submit`] + [`Ticket::wait`].
@@ -387,6 +738,16 @@ impl Engine {
         inputs: Vec<Vec<f32>>,
     ) -> Result<InferenceResult, EngineError> {
         self.submit(model, inputs).wait()
+    }
+
+    /// Blocking inference with explicit submission options.
+    pub fn infer_with(
+        &self,
+        model: &str,
+        inputs: Vec<Vec<f32>>,
+        opts: SubmitOptions,
+    ) -> Result<InferenceResult, EngineError> {
+        self.submit_with(model, inputs, opts).wait()
     }
 
     /// Submits a burst of requests and waits for all of them — the pattern
@@ -403,10 +764,16 @@ impl Engine {
         tickets.into_iter().map(Ticket::wait).collect()
     }
 
-    /// Current server statistics.
+    /// Current server statistics, including per-shard counters.
     pub fn stats(&self) -> StatsSnapshot {
         let (hits, misses) = self.shared.compiled.counters();
-        self.shared.stats.snapshot(hits, misses)
+        let shards = self.shared.shards.iter().map(Shard::snapshot).collect();
+        self.shared.stats.snapshot(hits, misses, shards)
+    }
+
+    /// Number of shards (devices) in the pool.
+    pub fn shard_count(&self) -> usize {
+        self.shared.shards.len()
     }
 
     /// Number of distinct compiled graphs held by the cache.
@@ -459,7 +826,7 @@ impl Engine {
         if let Some(handle) = self.dispatcher.take() {
             let _ = handle.join();
         }
-        // The dispatcher owned the only job sender; workers drain and exit.
+        // The dispatcher owned every job sender; workers drain and exit.
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -469,24 +836,67 @@ impl Engine {
 
 impl Drop for Engine {
     fn drop(&mut self) {
+        // A panicking caller must not lose tuned schedules: flush records
+        // *before* joining threads, which could hang or double-panic if the
+        // engine is being torn down mid-flight. The normal path below
+        // flushes again after the join, capturing records from batches that
+        // were still executing.
+        if thread::panicking() {
+            let _ = self.flush_tuning_records();
+        }
         let _ = self.shutdown_inner();
     }
 }
 
-/// Dispatcher: groups queued requests by model into batch jobs.
-fn dispatch_loop(shared: &Shared, job_tx: mpsc::Sender<BatchJob>) {
+/// Responds `DeadlineExceeded` to every queued request whose deadline has
+/// passed — expired requests never reach a worker.
+fn purge_expired(shared: &Shared, queue: &mut ClassQueues) {
+    let now = Instant::now();
+    for q in queue.classes.iter_mut() {
+        if !q.iter().any(|r| r.expired(now)) {
+            continue;
+        }
+        let mut keep = VecDeque::with_capacity(q.len());
+        for request in q.drain(..) {
+            if request.expired(now) {
+                shared.stats.count_deadline_expired();
+                request.respond(shared, Err(EngineError::DeadlineExceeded));
+            } else {
+                keep.push_back(request);
+            }
+        }
+        *q = keep;
+    }
+}
+
+/// Dispatcher: forms (model x priority class) batches from the priority
+/// queues and places each on the shard with the least estimated queue delay.
+fn dispatch_loop(shared: &Shared, senders: Vec<mpsc::Sender<BatchJob>>) {
+    let mut token = 0u64;
     let mut queue = shared.queue.lock().expect("queue poisoned");
     loop {
+        purge_expired(shared, &mut queue);
         // Wait for work (or shutdown).
-        while queue.is_empty() {
+        while queue.total() == 0 {
             if shared.closed.load(Ordering::SeqCst) {
                 return;
             }
             queue = shared.queue_cv.wait(queue).expect("queue poisoned");
+            purge_expired(shared, &mut queue);
         }
-        let model = queue.front().expect("non-empty").model.clone();
-        let same_model =
-            |q: &VecDeque<PendingRequest>| q.iter().filter(|r| r.model == model).count();
+        let class_idx = queue.highest_nonempty().expect("non-empty");
+        let class = Priority::ALL[class_idx];
+        let model = queue.classes[class_idx]
+            .front()
+            .expect("non-empty")
+            .model
+            .clone();
+        let same_group = |q: &ClassQueues| {
+            q.classes[class_idx]
+                .iter()
+                .filter(|r| r.model == model)
+                .count()
+        };
 
         // Coalescing ceiling for this model: non-batchable registrations
         // (see `Engine::load_unbatched`) always dispatch one at a time.
@@ -496,73 +906,97 @@ fn dispatch_loop(shared: &Shared, job_tx: mpsc::Sender<BatchJob>) {
         };
         let cap = if batchable { shared.max_batch } else { 1 };
 
-        // Whether some model already has a full batch waiting — if so, the
-        // straggler wait below must not hold it (and every worker) hostage
-        // behind the front model's half-empty batch.
-        let any_full = |q: &VecDeque<PendingRequest>| -> bool {
-            let mut counts: HashMap<&str, usize> = HashMap::new();
-            for r in q.iter() {
-                let n = counts.entry(r.model.as_str()).or_insert(0);
-                *n += 1;
-                if *n >= shared.max_batch {
-                    return true;
-                }
-            }
-            false
-        };
-
         // Hold the batch open briefly for stragglers (skipped when batching
-        // is off or the batch is already full, abandoned as soon as any
-        // model's batch fills — the front model's partial batch dispatches
-        // immediately and the full one follows without waiting).
+        // is off or the batch is already full). The wait is abandoned as
+        // soon as (a) some group's batch fills — the front group's partial
+        // batch dispatches immediately and the full one follows — or (b) a
+        // *higher* class gets traffic, bounding priority inversion to one
+        // partial batch.
         if cap > 1 {
-            let deadline = Instant::now() + shared.batch_window;
-            while same_model(&queue) < cap
+            let window_end = Instant::now() + shared.batch_window;
+            while same_group(&queue) < cap
+                && same_group(&queue) > 0
                 && !shared.closed.load(Ordering::SeqCst)
-                && !any_full(&queue)
+                && !queue.any_full(shared.max_batch)
+                && !queue.higher_nonempty(class_idx)
             {
                 let now = Instant::now();
-                if now >= deadline {
+                if now >= window_end {
                     break;
                 }
+                // Wake at the earliest queued request deadline if it lands
+                // inside the window, so expired requests are answered
+                // promptly instead of after the full straggler wait.
+                let wake = queue
+                    .earliest_deadline()
+                    .map_or(window_end, |d| d.min(window_end));
                 let (q, _timeout) = shared
                     .queue_cv
-                    .wait_timeout(queue, deadline - now)
+                    .wait_timeout(queue, wake.saturating_duration_since(now))
                     .expect("queue poisoned");
                 queue = q;
+                purge_expired(shared, &mut queue);
             }
         }
 
-        // Extract up to `cap` same-model requests, preserving the order of
-        // everything else.
+        // Extract up to `cap` same-group requests, preserving the order of
+        // everything else. Requests that expired while queued are answered
+        // here instead of executed.
+        let now = Instant::now();
         let mut requests = Vec::new();
-        let mut rest = VecDeque::with_capacity(queue.len());
-        for request in queue.drain(..) {
+        let source = &mut queue.classes[class_idx];
+        let mut rest = VecDeque::with_capacity(source.len());
+        for request in source.drain(..) {
             if request.model == model && requests.len() < cap {
-                requests.push(request);
+                if request.expired(now) {
+                    shared.stats.count_deadline_expired();
+                    request.respond(shared, Err(EngineError::DeadlineExceeded));
+                } else {
+                    requests.push(request);
+                }
             } else {
                 rest.push_back(request);
             }
         }
-        *queue = rest;
+        *source = rest;
+        if requests.is_empty() {
+            continue; // the whole group expired during the window
+        }
 
-        drop(queue); // don't hold the queue over the channel send
-        if job_tx.send(BatchJob { model, requests }).is_err() {
-            return; // all workers gone
+        drop(queue); // don't hold the queue over placement or the send
+        let batch = requests.len() as i64;
+        let (shard_idx, queue_delay, estimate) =
+            shard::pick_shard(&shared.shards, &shared.latency_model, &model, batch);
+        token += 1;
+        shared.shards[shard_idx].place(token, estimate);
+        let job = BatchJob {
+            model,
+            priority: class,
+            requests,
+            token,
+            queue_delay,
+        };
+        if senders[shard_idx].send(job).is_err() {
+            shared.shards[shard_idx].release(token);
+            return; // workers gone
         }
         queue = shared.queue.lock().expect("queue poisoned");
     }
 }
 
-/// Worker: executes batch jobs until the dispatcher hangs up.
-fn worker_loop(shared: &Shared, jobs: &Mutex<mpsc::Receiver<BatchJob>>) {
+/// Worker: executes one shard's batch jobs until the dispatcher hangs up.
+fn worker_loop(shared: &Shared, shard_idx: usize, jobs: &Mutex<mpsc::Receiver<BatchJob>>) {
     loop {
         let job = {
             let rx = jobs.lock().expect("job channel poisoned");
             rx.recv()
         };
         match job {
-            Ok(job) => process_batch(shared, job),
+            Ok(job) => {
+                let token = job.token;
+                process_batch(shared, shard_idx, job);
+                shared.shards[shard_idx].release(token);
+            }
             Err(_) => return,
         }
     }
@@ -574,7 +1008,7 @@ fn fail_all(shared: &Shared, requests: Vec<PendingRequest>, err: EngineError) {
         .failures
         .fetch_add(requests.len(), Ordering::Relaxed);
     for request in requests {
-        request.respond(Err(err.clone()));
+        request.respond(shared, Err(err.clone()));
     }
 }
 
@@ -592,7 +1026,10 @@ fn record_compile(shared: &Shared, compiled: &hidet::CompiledGraph, hit: bool) {
     }
 }
 
-fn process_batch(shared: &Shared, job: BatchJob) {
+/// Executes one batch job on `shard_idx`'s device, accounting served
+/// requests and busy time on the shard before any response is sent.
+fn process_batch(shared: &Shared, shard_idx: usize, job: BatchJob) {
+    let shard = &shared.shards[shard_idx];
     let entry = {
         let registry = shared.registry.lock().expect("registry poisoned");
         registry.get(&job.model).cloned()
@@ -601,6 +1038,22 @@ fn process_batch(shared: &Shared, job: BatchJob) {
         fail_all(shared, job.requests, EngineError::UnknownModel(job.model));
         return;
     };
+
+    // Last-line deadline check: a request whose deadline passed while the
+    // job sat in the shard channel is answered, not executed.
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(job.requests.len());
+    for request in job.requests {
+        if request.expired(now) {
+            shared.stats.count_deadline_expired();
+            request.respond(shared, Err(EngineError::DeadlineExceeded));
+        } else {
+            live.push(request);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
 
     // Validate each request against the batch-1 shapes; reject misfits
     // individually so one bad client cannot poison a batch.
@@ -611,8 +1064,8 @@ fn process_batch(shared: &Shared, job: BatchJob) {
         .iter()
         .map(|&t| base.graph.tensor(t).numel() as usize)
         .collect();
-    let mut valid = Vec::with_capacity(job.requests.len());
-    for request in job.requests {
+    let mut valid = Vec::with_capacity(live.len());
+    for request in live {
         if request.inputs.len() != expected.len() {
             let err = EngineError::BadInput(format!(
                 "expected {} input tensors, got {}",
@@ -620,7 +1073,7 @@ fn process_batch(shared: &Shared, job: BatchJob) {
                 request.inputs.len()
             ));
             shared.stats.failures.fetch_add(1, Ordering::Relaxed);
-            request.respond(Err(err));
+            request.respond(shared, Err(err));
             continue;
         }
         if let Some(pos) = (0..expected.len()).find(|&i| request.inputs[i].len() != expected[i]) {
@@ -631,7 +1084,7 @@ fn process_batch(shared: &Shared, job: BatchJob) {
                 expected[pos]
             ));
             shared.stats.failures.fetch_add(1, Ordering::Relaxed);
-            request.respond(Err(err));
+            request.respond(shared, Err(err));
             continue;
         }
         valid.push(request);
@@ -663,7 +1116,7 @@ fn process_batch(shared: &Shared, job: BatchJob) {
     let compiled = shared.compiled.get_or_compile_hashed(
         &variant.graph,
         variant.hash,
-        &shared.gpu,
+        &shard.gpu,
         &shared.options,
     );
     let (compiled, cache_hit) = match compiled {
@@ -685,15 +1138,25 @@ fn process_batch(shared: &Shared, job: BatchJob) {
         input_map.insert(tid, buffer);
     }
 
-    let outputs = match compiled.run(&input_map, &shared.gpu) {
+    let outputs = match compiled.run(&input_map, &shard.gpu) {
         Ok(outputs) => outputs,
         Err(e) => {
             fail_all(shared, valid, EngineError::Execution(e.to_string()));
             return;
         }
     };
-    let latency = compiled.estimate(&shared.gpu);
-    shared.stats.record_batch(valid.len(), latency);
+    let latency = compiled.estimate(&shard.gpu);
+    // Refine the placement scheduler's estimate for this shape on this shard.
+    shared
+        .latency_model
+        .record(shard_idx, &job.model, batch, latency);
+    shared.stats.record_batch(
+        job.priority,
+        valid.len(),
+        latency,
+        job.queue_delay + latency,
+    );
+    shard.account(valid.len(), latency);
 
     // Scatter each output back to its request.
     let out_ids: Vec<_> = variant.graph.outputs().to_vec();
@@ -707,11 +1170,84 @@ fn process_batch(shared: &Shared, job: BatchJob) {
             .zip(&per_request)
             .map(|(&t, &len)| outputs[&t][i * len..(i + 1) * len].to_vec())
             .collect();
-        request.respond(Ok(InferenceResult {
-            outputs: slices,
-            batch_size: batch as usize,
-            simulated_latency_seconds: latency,
-            compile_cache_hit: cache_hit,
-        }));
+        request.respond(
+            shared,
+            Ok(InferenceResult {
+                outputs: slices,
+                batch_size: batch as usize,
+                simulated_latency_seconds: latency,
+                queue_delay_seconds: job.queue_delay,
+                priority: job.priority,
+                compile_cache_hit: cache_hit,
+            }),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sheds must be monotone in priority: for any load state, a shed
+    /// high-priority request implies normal and best-effort would be shed
+    /// too — "high is never shed before best-effort".
+    #[test]
+    fn admission_thresholds_are_monotone_in_priority() {
+        for pair in Priority::ALL.windows(2) {
+            let (higher, lower) = (pair[0], pair[1]);
+            assert!(
+                higher.queue_share() >= lower.queue_share(),
+                "{higher} vs {lower}"
+            );
+            assert!(
+                higher.delay_slack() >= lower.delay_slack(),
+                "{higher} vs {lower}"
+            );
+        }
+    }
+
+    #[test]
+    fn priority_order_and_labels() {
+        assert_eq!(Priority::High.index(), 0);
+        assert_eq!(Priority::Normal.index(), 1);
+        assert_eq!(Priority::BestEffort.index(), 2);
+        assert_eq!(Priority::default(), Priority::Normal);
+        assert!(Priority::High < Priority::BestEffort);
+        assert_eq!(Priority::BestEffort.label(), "best-effort");
+    }
+
+    #[test]
+    fn submit_options_builders() {
+        let opts = SubmitOptions::high().with_deadline_in(Duration::from_secs(1));
+        assert_eq!(opts.priority, Priority::High);
+        assert!(opts.deadline.is_some());
+        assert_eq!(SubmitOptions::best_effort().priority, Priority::BestEffort);
+        assert_eq!(SubmitOptions::default().priority, Priority::Normal);
+        assert!(SubmitOptions::default().deadline.is_none());
+    }
+
+    #[test]
+    fn class_queues_priority_accounting() {
+        let (tx, _rx) = mpsc::channel();
+        let req = |priority: Priority, model: &str| PendingRequest {
+            model: model.to_string(),
+            inputs: Vec::new(),
+            priority,
+            deadline: None,
+            responder: tx.clone(),
+        };
+        let mut q = ClassQueues::default();
+        assert_eq!(q.total(), 0);
+        assert_eq!(q.highest_nonempty(), None);
+        q.push(req(Priority::BestEffort, "a"));
+        q.push(req(Priority::BestEffort, "a"));
+        assert_eq!(q.highest_nonempty(), Some(Priority::BestEffort.index()));
+        q.push(req(Priority::High, "b"));
+        assert_eq!(q.highest_nonempty(), Some(Priority::High.index()));
+        assert!(q.higher_nonempty(Priority::BestEffort.index()));
+        assert!(!q.higher_nonempty(Priority::High.index()));
+        assert_eq!(q.total(), 3);
+        assert!(q.any_full(2), "two best-effort 'a' requests fill a 2-batch");
+        assert!(!q.any_full(3));
     }
 }

@@ -1,26 +1,41 @@
-//! # hidet-runtime — a serving engine over the Hidet compiler
+//! # hidet-runtime — a sharded serving engine over the Hidet compiler
 //!
 //! The paper's headline economics — cheap tuning amortized over many runs —
 //! only pay off if compiled artifacts are actually *reused*. This crate turns
 //! the one-shot `compile + evaluate` pipeline of `hidet` into a long-lived
-//! inference service (DESIGN.md §3):
+//! inference service over a **pool of simulated devices** (DESIGN.md §3–§4):
 //!
 //! * **model registry + compiled-graph cache** ([`Engine::load`],
 //!   [`CompiledCache`]): compiled graphs are keyed by
 //!   [`hidet_graph::Graph::structural_hash`] × device fingerprint × compiler
 //!   options, so repeat requests — even for the same structure registered
-//!   under a different name — skip compilation entirely;
-//! * **dynamic batching** ([`Engine::submit`]): same-model requests are
-//!   coalesced along the model zoo's batch dimension and dispatched to a
-//!   worker pool over the simulated GPU, amortizing per-kernel dispatch
-//!   overhead and reclaiming utilization lost at batch 1;
+//!   under a different name — skip compilation entirely, and homogeneous
+//!   shards share one compiled graph;
+//! * **priority/deadline-aware dynamic batching**
+//!   ([`Engine::submit_with`]): same-model, same-class requests are
+//!   coalesced along the model zoo's batch dimension; the dispatcher always
+//!   serves the highest non-empty [`Priority`] class, and requests whose
+//!   deadline passes while queued are rejected with
+//!   [`EngineError::DeadlineExceeded`] without ever reaching a worker;
+//! * **multi-GPU sharding** ([`EngineConfig::devices`]): formed batches are
+//!   placed on the shard with the least estimated queue delay
+//!   ([`hidet_sim::estimated_queue_delay`] over analytic latency estimates),
+//!   so throughput scales near-linearly with homogeneous devices and a
+//!   cut-down device in a mixed pool naturally receives less traffic;
+//! * **admission control** ([`EngineConfig::max_inflight`],
+//!   [`EngineConfig::admission_delay_bound`]): overload sheds requests with
+//!   [`EngineError::QueueFull`], best-effort first — high-priority traffic
+//!   is never shed while lower classes are admitted;
 //! * **persistent tuning records** ([`hidet_sched::TuningCache`], wired
 //!   through `CompilerOptions::tuning_cache`): tuned matmul schedules
 //!   round-trip through a JSON file, so a cold process warm-starts with zero
-//!   tuning trials;
+//!   tuning trials — flushed on shutdown *and* from `Drop`, so a panicking
+//!   caller doesn't lose them;
 //! * **observability** ([`ServerStats`]): cache hit/miss counters, tuning
-//!   trials run vs. saved, p50/p95 simulated latency and simulated
-//!   throughput, consumed by `crates/bench/src/bin/serving_throughput.rs`.
+//!   trials run vs. saved, per-priority p50/p95 simulated sojourn latency,
+//!   per-shard dispatch/busy/shed counters ([`ShardSnapshot`]) and cluster
+//!   throughput, consumed by the `serving_throughput` and `serving_sharded`
+//!   bench binaries.
 //!
 //! ## Quickstart
 //!
@@ -46,11 +61,46 @@
 //! assert!(again.compile_cache_hit);
 //! # Ok::<(), hidet_runtime::EngineError>(())
 //! ```
+//!
+//! ## Sharding and priorities
+//!
+//! ```
+//! use hidet_runtime::{Engine, EngineConfig, Priority, SubmitOptions};
+//! use hidet_graph::{GraphBuilder, Tensor};
+//! use hidet_sim::GpuSpec;
+//! use std::time::Duration;
+//!
+//! let engine = Engine::new(EngineConfig {
+//!     devices: vec![GpuSpec::rtx3090(), GpuSpec::rtx3090()], // two shards
+//!     admission_delay_bound: Some(Duration::from_millis(50)),
+//!     ..EngineConfig::quick()
+//! })?;
+//! engine.load("mlp", |batch| {
+//!     let mut g = GraphBuilder::new("mlp");
+//!     let x = g.input("x", &[batch, 16]);
+//!     let w = g.constant(Tensor::randn(&[16, 4], 1));
+//!     let y = g.matmul(x, w);
+//!     g.output(y).build()
+//! });
+//!
+//! let urgent = engine.infer_with(
+//!     "mlp",
+//!     vec![vec![0.5; 16]],
+//!     SubmitOptions::high().with_deadline_in(Duration::from_secs(5)),
+//! )?;
+//! assert_eq!(urgent.priority, Priority::High);
+//! assert_eq!(engine.stats().shards.len(), 2);
+//! # Ok::<(), hidet_runtime::EngineError>(())
+//! ```
 
 pub mod cache;
 pub mod engine;
+pub(crate) mod shard;
 pub mod stats;
 
 pub use cache::{CacheKey, CompiledCache};
-pub use engine::{Engine, EngineConfig, EngineError, InferenceResult, Ticket};
-pub use stats::{ServerStats, StatsSnapshot};
+pub use engine::{
+    Engine, EngineConfig, EngineError, InferenceResult, Priority, SubmitOptions, Ticket,
+};
+pub use shard::ShardSnapshot;
+pub use stats::{PriorityClassStats, ServerStats, StatsSnapshot};

@@ -1,10 +1,14 @@
-//! Server-side observability: counters for every cache layer plus a latency
-//! distribution, cheap enough to update on the hot path.
+//! Server-side observability: counters for every cache layer, per-priority
+//! latency distributions and per-shard dispatch accounting, cheap enough to
+//! update on the hot path.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// How many latency samples the reservoir keeps. Past this, uniform
+use crate::engine::Priority;
+use crate::shard::ShardSnapshot;
+
+/// How many latency samples each reservoir keeps. Past this, uniform
 /// reservoir sampling replaces old samples so memory stays bounded while
 /// percentiles remain representative of the whole run.
 const LATENCY_RESERVOIR_CAP: usize = 4096;
@@ -47,19 +51,36 @@ impl LatencyReservoir {
     }
 }
 
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        0.0
+    } else {
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx]
+    }
+}
+
 /// Live statistics of one [`crate::Engine`].
 ///
 /// Counters are atomics (hot-path increments never contend); latencies go
-/// through a bounded reservoir so a long-lived server neither grows without
-/// bound nor pays more than a ~4k-element sort per snapshot. All latencies
-/// are *simulated* device seconds — the quantity the paper's evaluation
-/// reports — not host wall-clock.
+/// through bounded per-priority reservoirs so a long-lived server neither
+/// grows without bound nor pays more than a ~4k-element sort per snapshot.
+/// All latencies are *simulated* seconds — per-request **sojourn** time,
+/// i.e. the estimated shard queue delay at placement plus the executed
+/// batch's device latency — the quantity priority scheduling actually
+/// improves, not host wall-clock.
 #[derive(Debug, Default)]
 pub struct ServerStats {
     /// Requests completed successfully.
     pub(crate) requests: AtomicUsize,
-    /// Requests rejected (unknown model, bad input, compile failure).
+    /// Requests rejected with any error (bad input, compile failure, shed,
+    /// expired deadline, ...).
     pub(crate) failures: AtomicUsize,
+    /// Requests shed by the admission controller ([`crate::EngineError::QueueFull`]).
+    pub(crate) shed_requests: AtomicUsize,
+    /// Requests rejected because their deadline expired before execution
+    /// ([`crate::EngineError::DeadlineExceeded`]).
+    pub(crate) deadline_expired: AtomicUsize,
     /// Batches dispatched to workers.
     pub(crate) batches: AtomicUsize,
     /// Tuning trials actually executed by compiles this engine ran.
@@ -73,8 +94,12 @@ pub struct ServerStats {
     /// Total simulated device-seconds across all dispatched batches
     /// (scaled by 1e9 for atomic storage).
     pub(crate) simulated_nanos: AtomicU64,
-    /// Per-request simulated latency sample.
-    pub(crate) latencies: Mutex<LatencyReservoir>,
+    /// Per-priority completed-request counters.
+    pub(crate) class_requests: [AtomicUsize; Priority::COUNT],
+    /// Per-priority shed counters (admission-control rejections).
+    pub(crate) class_shed: [AtomicUsize; Priority::COUNT],
+    /// Per-priority sojourn-latency samples.
+    pub(crate) latencies: Mutex<[LatencyReservoir; Priority::COUNT]>,
 }
 
 impl ServerStats {
@@ -91,47 +116,84 @@ impl ServerStats {
             .fetch_add((seconds * 1e6) as u64, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_batch(&self, batch_size: usize, simulated_seconds: f64) {
+    /// Accounts one executed batch: `device_seconds` is the batch's device
+    /// latency (charged once), `sojourn_seconds` the per-request simulated
+    /// latency including the shard queue delay at placement.
+    pub(crate) fn record_batch(
+        &self,
+        class: Priority,
+        batch_size: usize,
+        device_seconds: f64,
+        sojourn_seconds: f64,
+    ) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.requests.fetch_add(batch_size, Ordering::Relaxed);
+        self.class_requests[class.index()].fetch_add(batch_size, Ordering::Relaxed);
         self.simulated_nanos
-            .fetch_add((simulated_seconds * 1e9) as u64, Ordering::Relaxed);
-        let mut lat = self.latencies.lock().expect("stats poisoned");
-        // Every request in the batch observes the batch's device latency.
+            .fetch_add((device_seconds * 1e9) as u64, Ordering::Relaxed);
+        let mut reservoirs = self.latencies.lock().expect("stats poisoned");
+        // Every request in the batch observes the batch's sojourn latency.
         for _ in 0..batch_size {
-            lat.push(simulated_seconds);
+            reservoirs[class.index()].push(sojourn_seconds);
         }
+    }
+
+    pub(crate) fn count_shed(&self, class: Priority) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        self.shed_requests.fetch_add(1, Ordering::Relaxed);
+        self.class_shed[class.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_deadline_expired(&self) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A consistent copy of the current statistics. The compiled-graph cache
     /// owns its own hit/miss counters (it is the single source of truth —
-    /// see [`crate::CompiledCache::counters`]); the engine passes them in.
+    /// see [`crate::CompiledCache::counters`]) and each shard owns its
+    /// dispatch accounting; the engine passes both in.
     pub fn snapshot(
         &self,
         compile_cache_hits: usize,
         compile_cache_misses: usize,
+        shards: Vec<ShardSnapshot>,
     ) -> StatsSnapshot {
-        let mut latencies = self
-            .latencies
-            .lock()
-            .expect("stats poisoned")
-            .samples
-            .clone();
-        latencies.sort_by(f64::total_cmp);
-        let percentile = |p: f64| -> f64 {
-            if latencies.is_empty() {
-                0.0
-            } else {
-                let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
-                latencies[idx]
-            }
+        let (mut merged, by_class) = {
+            let reservoirs = self.latencies.lock().expect("stats poisoned");
+            let mut merged = Vec::new();
+            let by_class: Vec<Vec<f64>> = reservoirs
+                .iter()
+                .map(|r| {
+                    merged.extend_from_slice(&r.samples);
+                    let mut s = r.samples.clone();
+                    s.sort_by(f64::total_cmp);
+                    s
+                })
+                .collect();
+            (merged, by_class)
         };
+        merged.sort_by(f64::total_cmp);
+        let priorities = std::array::from_fn(|i| PriorityClassStats {
+            priority: Priority::ALL[i],
+            requests: self.class_requests[i].load(Ordering::Relaxed),
+            shed_requests: self.class_shed[i].load(Ordering::Relaxed),
+            p50_latency_seconds: percentile(&by_class[i], 0.50),
+            p95_latency_seconds: percentile(&by_class[i], 0.95),
+        });
         let requests = self.requests.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         let simulated_seconds = self.simulated_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+        // The pool finishes when its busiest shard does: cluster throughput
+        // divides requests by that makespan, so it scales with device count
+        // while single-device throughput (requests / total device seconds)
+        // stays comparable across configurations.
+        let makespan = shards.iter().map(|s| s.busy_seconds).fold(0.0f64, f64::max);
         StatsSnapshot {
             requests,
             failures: self.failures.load(Ordering::Relaxed),
+            shed_requests: self.shed_requests.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
             batches,
             compile_cache_hits,
             compile_cache_misses,
@@ -140,8 +202,9 @@ impl ServerStats {
             tuning_seconds_run: self.tuning_micros_run.load(Ordering::Relaxed) as f64 / 1e6,
             tuning_seconds_saved: self.tuning_micros_saved.load(Ordering::Relaxed) as f64 / 1e6,
             total_simulated_seconds: simulated_seconds,
-            p50_latency_seconds: percentile(0.50),
-            p95_latency_seconds: percentile(0.95),
+            makespan_seconds: makespan,
+            p50_latency_seconds: percentile(&merged, 0.50),
+            p95_latency_seconds: percentile(&merged, 0.95),
             mean_batch_size: if batches == 0 {
                 0.0
             } else {
@@ -152,8 +215,30 @@ impl ServerStats {
             } else {
                 0.0
             },
+            cluster_throughput_rps: if makespan > 0.0 {
+                requests as f64 / makespan
+            } else {
+                0.0
+            },
+            priorities,
+            shards,
         }
     }
+}
+
+/// Per-priority-class slice of a [`StatsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriorityClassStats {
+    /// The class these numbers describe.
+    pub priority: Priority,
+    /// Requests of this class completed successfully.
+    pub requests: usize,
+    /// Requests of this class shed by the admission controller.
+    pub shed_requests: usize,
+    /// Median simulated sojourn latency (queue delay + device), seconds.
+    pub p50_latency_seconds: f64,
+    /// 95th-percentile simulated sojourn latency, seconds.
+    pub p95_latency_seconds: f64,
 }
 
 /// Point-in-time view of [`ServerStats`].
@@ -161,8 +246,12 @@ impl ServerStats {
 pub struct StatsSnapshot {
     /// Requests completed successfully.
     pub requests: usize,
-    /// Requests rejected with an error.
+    /// Requests rejected with an error (any kind).
     pub failures: usize,
+    /// Requests shed by the admission controller.
+    pub shed_requests: usize,
+    /// Requests whose deadline expired before execution.
+    pub deadline_expired: usize,
     /// Batches dispatched.
     pub batches: usize,
     /// Compiled-graph cache hits.
@@ -177,35 +266,69 @@ pub struct StatsSnapshot {
     pub tuning_seconds_run: f64,
     /// Simulated tuning seconds saved by persisted records.
     pub tuning_seconds_saved: f64,
-    /// Total simulated device time across batches, seconds.
+    /// Total simulated device time across batches and shards, seconds.
     pub total_simulated_seconds: f64,
-    /// Median per-request simulated latency, seconds.
+    /// Busy time of the busiest shard, seconds — the simulated makespan of
+    /// the work the pool executed.
+    pub makespan_seconds: f64,
+    /// Median per-request simulated sojourn latency, seconds.
     pub p50_latency_seconds: f64,
-    /// 95th-percentile per-request simulated latency, seconds.
+    /// 95th-percentile per-request simulated sojourn latency, seconds.
     pub p95_latency_seconds: f64,
     /// Average requests per dispatched batch.
     pub mean_batch_size: f64,
-    /// Requests per simulated device-second.
+    /// Requests per simulated device-second (device-count-agnostic).
     pub simulated_throughput_rps: f64,
+    /// Requests per simulated makespan-second: throughput of the pool as a
+    /// whole, which scales near-linearly with balanced shards.
+    pub cluster_throughput_rps: f64,
+    /// Per-priority-class breakdown, indexed like [`Priority::ALL`].
+    pub priorities: [PriorityClassStats; Priority::COUNT],
+    /// Per-shard dispatch accounting, indexed by device position in
+    /// `EngineConfig::devices`.
+    pub shards: Vec<ShardSnapshot>,
 }
 
 impl StatsSnapshot {
     /// Compact one-line rendering for logs and benches.
     pub fn summary(&self) -> String {
         format!(
-            "{} req in {} batches (mean {:.2}/batch) | compile cache {}/{} hit | \
-             {} trials run, {} saved | p50 {:.1} us, p95 {:.1} us | {:.0} req/s (simulated)",
+            "{} req in {} batches (mean {:.2}/batch) over {} shard(s) | compile cache {}/{} hit | \
+             {} trials run, {} saved | p50 {:.1} us, p95 {:.1} us | {:.0} req/s (cluster, simulated) | \
+             {} shed, {} expired",
             self.requests,
             self.batches,
             self.mean_batch_size,
+            self.shards.len(),
             self.compile_cache_hits,
             self.compile_cache_hits + self.compile_cache_misses,
             self.tuning_trials_run,
             self.tuning_trials_saved,
             self.p50_latency_seconds * 1e6,
             self.p95_latency_seconds * 1e6,
-            self.simulated_throughput_rps,
+            self.cluster_throughput_rps,
+            self.shed_requests,
+            self.deadline_expired,
         )
+    }
+
+    /// One formatted line per shard (dispatches, busy time, shed), for the
+    /// bench binaries' tables.
+    pub fn shard_lines(&self) -> Vec<String> {
+        self.shards
+            .iter()
+            .map(|s| {
+                format!(
+                    "shard {}: {} batches, {} req, {:.1} ms busy, {} shed [{}]",
+                    s.id,
+                    s.dispatched_batches,
+                    s.requests,
+                    s.busy_seconds * 1e3,
+                    s.shed_requests,
+                    s.device,
+                )
+            })
+            .collect()
     }
 }
 
@@ -213,12 +336,16 @@ impl StatsSnapshot {
 mod tests {
     use super::*;
 
+    fn snap(stats: &ServerStats) -> StatsSnapshot {
+        stats.snapshot(0, 0, Vec::new())
+    }
+
     #[test]
     fn percentiles_and_throughput() {
         let stats = ServerStats::default();
-        stats.record_batch(4, 0.004); // 4 requests at 4 ms
-        stats.record_batch(1, 0.001); // 1 request at 1 ms
-        let snap = stats.snapshot(0, 0);
+        stats.record_batch(Priority::Normal, 4, 0.004, 0.004); // 4 requests at 4 ms
+        stats.record_batch(Priority::Normal, 1, 0.001, 0.001); // 1 request at 1 ms
+        let snap = snap(&stats);
         assert_eq!(snap.requests, 5);
         assert_eq!(snap.batches, 2);
         assert!((snap.mean_batch_size - 2.5).abs() < 1e-9);
@@ -230,10 +357,11 @@ mod tests {
 
     #[test]
     fn empty_stats_are_zero() {
-        let snap = ServerStats::default().snapshot(0, 0);
+        let snap = snap(&ServerStats::default());
         assert_eq!(snap.requests, 0);
         assert_eq!(snap.p50_latency_seconds, 0.0);
         assert_eq!(snap.simulated_throughput_rps, 0.0);
+        assert_eq!(snap.cluster_throughput_rps, 0.0);
         assert_eq!(snap.mean_batch_size, 0.0);
     }
 
@@ -241,11 +369,14 @@ mod tests {
     fn latency_reservoir_stays_bounded() {
         let stats = ServerStats::default();
         for i in 0..20_000 {
-            stats.record_batch(1, 0.001 * (1.0 + (i % 10) as f64));
+            let lat = 0.001 * (1.0 + (i % 10) as f64);
+            stats.record_batch(Priority::Normal, 1, lat, lat);
         }
-        let held = stats.latencies.lock().unwrap().samples.len();
+        let held = stats.latencies.lock().unwrap()[Priority::Normal.index()]
+            .samples
+            .len();
         assert!(held <= super::LATENCY_RESERVOIR_CAP, "{held}");
-        let snap = stats.snapshot(0, 0);
+        let snap = snap(&stats);
         assert_eq!(snap.requests, 20_000);
         // Percentiles still estimate the underlying uniform 1..=10 ms mix.
         assert!(snap.p50_latency_seconds >= 0.003 && snap.p50_latency_seconds <= 0.008);
@@ -257,10 +388,73 @@ mod tests {
         let stats = ServerStats::default();
         stats.add_tuning_run(100, 20.0);
         stats.add_tuning_saved(250, 50.0);
-        let snap = stats.snapshot(0, 0);
+        let snap = snap(&stats);
         assert_eq!(snap.tuning_trials_run, 100);
         assert_eq!(snap.tuning_trials_saved, 250);
         assert!((snap.tuning_seconds_run - 20.0).abs() < 1e-6);
         assert!((snap.tuning_seconds_saved - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_priority_latencies_are_separate() {
+        let stats = ServerStats::default();
+        stats.record_batch(Priority::High, 2, 0.001, 0.001);
+        stats.record_batch(Priority::BestEffort, 2, 0.001, 0.010);
+        let snap = snap(&stats);
+        let high = &snap.priorities[Priority::High.index()];
+        let be = &snap.priorities[Priority::BestEffort.index()];
+        assert_eq!(high.requests, 2);
+        assert_eq!(be.requests, 2);
+        assert!(high.p95_latency_seconds < be.p95_latency_seconds);
+        // The merged distribution spans both classes.
+        assert!(snap.p50_latency_seconds >= 0.001 && snap.p50_latency_seconds <= 0.010);
+        assert!((snap.p95_latency_seconds - 0.010).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shed_and_deadline_counters() {
+        let stats = ServerStats::default();
+        stats.count_shed(Priority::BestEffort);
+        stats.count_shed(Priority::BestEffort);
+        stats.count_deadline_expired();
+        let snap = snap(&stats);
+        assert_eq!(snap.shed_requests, 2);
+        assert_eq!(snap.deadline_expired, 1);
+        assert_eq!(snap.failures, 3);
+        assert_eq!(
+            snap.priorities[Priority::BestEffort.index()].shed_requests,
+            2
+        );
+        assert_eq!(snap.priorities[Priority::High.index()].shed_requests, 0);
+    }
+
+    #[test]
+    fn cluster_throughput_uses_busiest_shard() {
+        let stats = ServerStats::default();
+        stats.record_batch(Priority::Normal, 8, 0.004, 0.004);
+        let shards = vec![
+            ShardSnapshot {
+                id: 0,
+                device: "a".into(),
+                dispatched_batches: 1,
+                requests: 4,
+                busy_seconds: 0.002,
+                shed_requests: 0,
+            },
+            ShardSnapshot {
+                id: 1,
+                device: "b".into(),
+                dispatched_batches: 1,
+                requests: 4,
+                busy_seconds: 0.001,
+                shed_requests: 0,
+            },
+        ];
+        let snap = stats.snapshot(0, 0, shards);
+        assert!((snap.makespan_seconds - 0.002).abs() < 1e-12);
+        assert!((snap.cluster_throughput_rps - 8.0 / 0.002).abs() < 1.0);
+        // Device-seconds throughput is unchanged by sharding.
+        assert!((snap.simulated_throughput_rps - 8.0 / 0.004).abs() < 1.0);
+        assert_eq!(snap.shard_lines().len(), 2);
     }
 }

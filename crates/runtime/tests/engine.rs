@@ -281,10 +281,10 @@ fn tuned_compile_failure_is_typed_and_workers_survive() {
     // with EngineError::Compile (not a tuner panic that kills the worker),
     // and the pool must keep serving.
     let engine = Engine::new(EngineConfig {
-        gpu: hidet_sim::GpuSpec {
+        devices: vec![hidet_sim::GpuSpec {
             shared_mem_per_block: 1,
             ..hidet_sim::GpuSpec::tiny()
-        },
+        }],
         workers: 1,
         max_batch: 1,
         ..EngineConfig::default() // tuned options
@@ -304,6 +304,52 @@ fn tuned_compile_failure_is_typed_and_workers_survive() {
         3,
         "every request got a typed reply"
     );
+}
+
+#[test]
+fn dropped_engine_flushes_tuning_records() {
+    // Dropping the engine without an explicit `shutdown()` must still
+    // persist tuning records — that's the only exit path a panicking or
+    // careless caller takes.
+    let path = unique_temp_path("drop-flush");
+    let _ = std::fs::remove_file(&path);
+    {
+        let engine = Engine::new(EngineConfig {
+            max_batch: 1,
+            tuning_records_path: Some(path.clone()),
+            ..EngineConfig::default() // tuned options
+        })
+        .unwrap();
+        engine.load("mlp", mlp);
+        engine.infer("mlp", vec![sample_input(1)]).unwrap();
+        drop(engine); // no shutdown()
+    }
+    assert!(path.exists(), "Drop must flush tuning records");
+    assert!(!hidet_sched::TuningCache::load(&path).unwrap().is_empty());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn panicking_caller_keeps_tuning_records() {
+    // A panic unwinding through the engine owner still persists records:
+    // Drop flushes before joining threads.
+    let path = unique_temp_path("panic-flush");
+    let _ = std::fs::remove_file(&path);
+    let config = EngineConfig {
+        max_batch: 1,
+        tuning_records_path: Some(path.clone()),
+        ..EngineConfig::default() // tuned options
+    };
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let engine = Engine::new(config).unwrap();
+        engine.load("mlp", mlp);
+        engine.infer("mlp", vec![sample_input(1)]).unwrap();
+        panic!("caller blew up after tuning");
+    }));
+    assert!(result.is_err(), "the panic must propagate");
+    assert!(path.exists(), "records survive a panicking caller");
+    assert!(!hidet_sched::TuningCache::load(&path).unwrap().is_empty());
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]

@@ -256,6 +256,37 @@ pub fn estimate(kernel: &Kernel, spec: &GpuSpec) -> Result<LatencyEstimate, SimE
     })
 }
 
+/// Estimated delay, in seconds, before a newly placed batch could start
+/// executing on a device whose queue already holds batches with the given
+/// estimated latencies, served by `lanes` concurrent execution lanes
+/// (worker threads feeding the device).
+///
+/// The pending batches are assigned to lanes greedily in FIFO order — each
+/// batch starts on the lane that frees first — and the new batch starts when
+/// the next lane frees after all of them have been placed. This is the
+/// placement signal the `hidet-runtime` shard scheduler ranks devices by:
+/// it prefers the shard whose next free lane is soonest, which balances
+/// *estimated seconds of work* rather than batch counts, so a slow device in
+/// a mixed pool naturally receives less traffic.
+///
+/// An empty queue (or one shorter than `lanes`) returns `0.0`: a lane is
+/// already free.
+pub fn estimated_queue_delay(pending_latencies: &[f64], lanes: usize) -> f64 {
+    let lanes = lanes.max(1);
+    if pending_latencies.len() < lanes {
+        return 0.0;
+    }
+    let mut finish = vec![0.0f64; lanes];
+    for &latency in pending_latencies {
+        let next = finish
+            .iter_mut()
+            .min_by(|a, b| a.total_cmp(b))
+            .expect("lanes >= 1");
+        *next += latency.max(0.0);
+    }
+    finish.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
 /// Walks a kernel body, accumulating per-thread dynamic work counts.
 ///
 /// Loop extents must be constants (they are, after scheduling); `If` branches
@@ -530,6 +561,41 @@ mod tests {
             estimate(&k, &GpuSpec::rtx3090()),
             Err(SimError::NonConstExtent(_))
         ));
+    }
+
+    #[test]
+    fn queue_delay_empty_queue_is_zero() {
+        assert_eq!(estimated_queue_delay(&[], 1), 0.0);
+        assert_eq!(estimated_queue_delay(&[], 4), 0.0);
+        // Fewer pending batches than lanes: a lane is free right now.
+        assert_eq!(estimated_queue_delay(&[0.5], 2), 0.0);
+    }
+
+    #[test]
+    fn queue_delay_single_lane_serializes() {
+        // One lane: the new batch waits for everything ahead of it.
+        let d = estimated_queue_delay(&[3.0, 1.0, 1.0], 1);
+        assert!((d - 5.0).abs() < 1e-12, "{d}");
+    }
+
+    #[test]
+    fn queue_delay_multi_lane_waits_for_first_free_lane() {
+        // Two lanes, FIFO greedy: [4] -> lane0, [1] -> lane1, [1] -> lane1
+        // (frees at 1.0). Lanes finish at 4.0 and 2.0; next start is 2.0.
+        let d = estimated_queue_delay(&[4.0, 1.0, 1.0], 2);
+        assert!((d - 2.0).abs() < 1e-12, "{d}");
+    }
+
+    #[test]
+    fn queue_delay_zero_lanes_treated_as_one() {
+        let d = estimated_queue_delay(&[2.0], 0);
+        assert!((d - 2.0).abs() < 1e-12, "{d}");
+    }
+
+    #[test]
+    fn queue_delay_ignores_negative_estimates() {
+        let d = estimated_queue_delay(&[-1.0, 2.0], 1);
+        assert!((d - 2.0).abs() < 1e-12, "{d}");
     }
 
     #[test]

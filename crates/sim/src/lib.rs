@@ -43,7 +43,7 @@ pub mod memory;
 pub mod spec;
 pub mod value;
 
-pub use cost::{CostBreakdown, LatencyEstimate, Occupancy, WorkCounts};
+pub use cost::{estimated_queue_delay, CostBreakdown, LatencyEstimate, Occupancy, WorkCounts};
 pub use interp::SimError;
 pub use memory::DeviceMemory;
 pub use spec::GpuSpec;

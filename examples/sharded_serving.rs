@@ -1,0 +1,113 @@
+//! Tour of the sharded serving runtime: a pool of simulated devices,
+//! priority classes, deadlines and admission control. Run with:
+//!
+//! ```text
+//! cargo run --release --example sharded_serving
+//! ```
+
+use std::time::Duration;
+
+use hidet_repro::graph::{Graph, GraphBuilder, Tensor};
+use hidet_repro::sim::GpuSpec;
+use hidet_runtime::{Engine, EngineConfig, EngineError, Priority, SubmitOptions};
+
+/// A ranking head: the same `fn(batch) -> Graph` family contract as the
+/// model zoo, so dim 0 is an independent-sample axis and requests coalesce.
+fn ranking_head(batch: i64) -> Graph {
+    let mut g = GraphBuilder::new("ranking_head");
+    let x = g.input("features", &[batch, 96]);
+    let w1 = g.constant(Tensor::randn(&[96, 192], 1));
+    let w2 = g.constant(Tensor::randn(&[192, 1], 2));
+    let h = g.matmul(x, w1);
+    let h = g.relu(h);
+    let y = g.matmul(h, w2);
+    g.output(y).build()
+}
+
+fn request(seed: u64) -> Vec<Vec<f32>> {
+    vec![Tensor::randn(&[1, 96], seed).data().unwrap().to_vec()]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A mixed pool: two full RTX 3090 shards plus one cut-down device.
+    // Least-estimated-queue-delay placement sends the derated shard less
+    // traffic automatically.
+    let mut derated = GpuSpec::rtx3090();
+    derated.num_sms /= 4;
+    derated.dram_bandwidth_gbps /= 4.0;
+    derated.name = "RTX 3090 (derated 1/4)".to_string();
+
+    let engine = Engine::new(EngineConfig {
+        devices: vec![GpuSpec::rtx3090(), GpuSpec::rtx3090(), derated],
+        workers: 1,
+        max_batch: 4,
+        batch_window: Duration::from_millis(5),
+        max_inflight: 64,
+        admission_delay_bound: Some(Duration::from_millis(2)),
+        ..EngineConfig::quick()
+    })?;
+    engine.load("ranking", ranking_head);
+    engine.warmup("ranking", 4)?; // compiles once per distinct device
+
+    // A burst of best-effort traffic plus a few latency-critical requests.
+    // The dispatcher always serves the high class first; the batcher groups
+    // by (model, priority class).
+    let background: Vec<_> = (0..24)
+        .map(|i| engine.submit_with("ranking", request(i), SubmitOptions::best_effort()))
+        .collect();
+    let urgent: Vec<_> = (0..4)
+        .map(|i| {
+            engine.submit_with(
+                "ranking",
+                request(100 + i),
+                SubmitOptions::high().with_deadline_in(Duration::from_secs(2)),
+            )
+        })
+        .collect();
+
+    for (i, ticket) in urgent.into_iter().enumerate() {
+        let r = ticket.wait()?;
+        println!(
+            "urgent {i}: score {:+.3} ({} class, batch of {}, {:.1} us queue + {:.1} us device)",
+            r.outputs[0][0],
+            r.priority,
+            r.batch_size,
+            r.queue_delay_seconds * 1e6,
+            r.simulated_latency_seconds * 1e6,
+        );
+    }
+    let mut shed = 0;
+    for ticket in background {
+        match ticket.wait() {
+            Ok(_) => {}
+            Err(EngineError::QueueFull(_)) => shed += 1, // admission control at work
+            Err(e) => return Err(e.into()),
+        }
+    }
+
+    // A deadline that has already passed is rejected, never executed.
+    let expired = engine.infer_with(
+        "ranking",
+        request(999),
+        SubmitOptions::priority(Priority::Normal).with_deadline_in(Duration::ZERO),
+    );
+    assert!(matches!(expired, Err(EngineError::DeadlineExceeded)));
+
+    let stats = engine.stats();
+    println!("\n{}", stats.summary());
+    for line in stats.shard_lines() {
+        println!("{line}");
+    }
+    for class in &stats.priorities {
+        println!(
+            "{:>11}: {} served, {} shed, p95 {:.1} us",
+            class.priority.label(),
+            class.requests,
+            class.shed_requests,
+            class.p95_latency_seconds * 1e6,
+        );
+    }
+    println!("(best-effort shed by admission control this run: {shed})");
+    engine.shutdown()?;
+    Ok(())
+}
