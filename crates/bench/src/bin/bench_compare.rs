@@ -1,0 +1,88 @@
+//! Bench-trajectory gate (CI): diffs the current `BENCH_serving.json`
+//! against a baseline report and fails when cluster throughput regresses
+//! more than 10% or any p95 latency worsens more than 20%.
+//!
+//! ```text
+//! cargo run --release -p hidet-bench --bin bench_compare -- \
+//!     --baseline BENCH_baseline.json --current BENCH_serving.json \
+//!     --max-throughput-drop 10 --max-p95-growth 20
+//! ```
+//!
+//! Exit codes: `0` pass (or no baseline yet — a brand-new trajectory has no
+//! history to regress against), `1` regression, `2` malformed input. See
+//! `hidet_bench::trajectory` for the classification rules.
+
+use std::path::PathBuf;
+
+use hidet_bench::trajectory::{compare_reports, Thresholds};
+use hidet_bench::{arg_f64, arg_str};
+
+fn main() {
+    let baseline_path = PathBuf::from(arg_str("--baseline", "BENCH_baseline.json"));
+    let current_path = PathBuf::from(arg_str("--current", "BENCH_serving.json"));
+    let thresholds = Thresholds {
+        max_throughput_drop_pct: arg_f64("--max-throughput-drop", 10.0),
+        max_p95_growth_pct: arg_f64("--max-p95-growth", 20.0),
+    };
+
+    // Only a genuinely *absent* baseline is "first run"; an unreadable one
+    // (permissions, mistyped path that exists as a directory, transient IO)
+    // must not silently disable the gate.
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            println!(
+                "bench_compare: no baseline at {} — first run, nothing to gate",
+                baseline_path.display()
+            );
+            return;
+        }
+        Err(e) => {
+            eprintln!(
+                "bench_compare: cannot read baseline {}: {e}",
+                baseline_path.display()
+            );
+            std::process::exit(2);
+        }
+    };
+    let current = match std::fs::read_to_string(&current_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!(
+                "bench_compare: cannot read current report {}: {e}",
+                current_path.display()
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let comparisons = match compare_reports(&baseline, &current, &thresholds) {
+        Ok(comparisons) => comparisons,
+        Err(e) => {
+            eprintln!("bench_compare: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "=== bench trajectory: {} vs {} (throughput -{:.0}% / p95 +{:.0}% budgets) ===",
+        current_path.display(),
+        baseline_path.display(),
+        thresholds.max_throughput_drop_pct,
+        thresholds.max_p95_growth_pct,
+    );
+    for comparison in &comparisons {
+        println!("{}", comparison.describe());
+    }
+    let regressions: Vec<_> = comparisons.iter().filter(|c| c.regression).collect();
+    if regressions.is_empty() {
+        println!("\n{} metric(s) gated, no regressions", comparisons.len());
+    } else {
+        eprintln!(
+            "\n{} of {} gated metric(s) regressed beyond budget",
+            regressions.len(),
+            comparisons.len()
+        );
+        std::process::exit(1);
+    }
+}

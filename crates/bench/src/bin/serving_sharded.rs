@@ -25,7 +25,9 @@ use std::time::Duration;
 use hidet_bench::report::{upsert_section, BenchSection};
 use hidet_bench::{arg_str, arg_usize, print_table};
 use hidet_graph::{Graph, GraphBuilder, Tensor};
-use hidet_runtime::{Engine, EngineConfig, EngineError, Priority, StatsSnapshot, SubmitOptions};
+use hidet_runtime::{
+    Engine, EngineConfig, EngineError, ModelSpec, Priority, Request, StatsSnapshot,
+};
 use hidet_sim::GpuSpec;
 
 /// The served model: a batch-scalable MLP head, sized so a batch occupies a
@@ -41,8 +43,11 @@ fn mlp_head(batch: i64) -> Graph {
     g.output(y).build()
 }
 
-fn sample(seed: u64) -> Vec<Vec<f32>> {
-    vec![Tensor::randn(&[1, 128], seed).data().unwrap().to_vec()]
+fn sample(seed: u64) -> Request {
+    Request::new(vec![Tensor::randn(&[1, 128], seed)
+        .data()
+        .unwrap()
+        .to_vec()])
 }
 
 fn pool_config(devices: usize, max_batch: usize) -> EngineConfig {
@@ -58,9 +63,11 @@ fn pool_config(devices: usize, max_batch: usize) -> EngineConfig {
 /// Runs `requests` through a `devices`-wide pool and returns the stats.
 fn run_scaling(devices: usize, requests: usize, max_batch: usize) -> StatsSnapshot {
     let engine = Engine::new(pool_config(devices, max_batch)).expect("engine");
-    engine.load("mlp_head", mlp_head);
-    engine.warmup("mlp_head", max_batch as i64).expect("warmup");
-    for result in engine.infer_many("mlp_head", (0..requests as u64).map(sample).collect()) {
+    let model = engine
+        .register(ModelSpec::new("mlp_head", mlp_head))
+        .expect("register");
+    model.warmup(max_batch as i64).expect("warmup");
+    for result in model.infer_many((0..requests as u64).map(sample).collect()) {
         result.expect("request served");
     }
     engine.stats()
@@ -141,16 +148,18 @@ fn main() {
         ..pool_config(1, max_batch)
     })
     .expect("engine");
-    engine.load("mlp_head", mlp_head);
-    engine.warmup("mlp_head", max_batch as i64).expect("warmup");
+    let model = engine
+        .register(ModelSpec::new("mlp_head", mlp_head))
+        .expect("register");
+    model.warmup(max_batch as i64).expect("warmup");
     let tickets: Vec<_> = (0..overload_requests as u64)
         .map(|i| {
-            let opts = if i % 2 == 0 {
-                SubmitOptions::best_effort()
+            let request = if i % 2 == 0 {
+                sample(i).best_effort()
             } else {
-                SubmitOptions::high()
+                sample(i).high()
             };
-            engine.submit_with("mlp_head", sample(i), opts)
+            model.submit(request)
         })
         .collect();
     let mut served = 0usize;

@@ -25,7 +25,7 @@ use std::time::Duration;
 use hidet_bench::report::{upsert_section, BenchSection};
 use hidet_bench::{arg_str, arg_usize, print_table};
 use hidet_graph::{Graph, GraphBuilder, Tensor};
-use hidet_runtime::{Engine, EngineConfig, StatsSnapshot};
+use hidet_runtime::{Engine, EngineConfig, ModelSpec, Request, StatsSnapshot};
 
 /// The served model: a batch-scalable MLP tower (three matmul anchors), big
 /// enough that batch-1 dispatch wastes real device capacity.
@@ -43,14 +43,19 @@ fn mlp_tower(batch: i64) -> Graph {
     g.output(y).build()
 }
 
-fn sample(seed: u64) -> Vec<Vec<f32>> {
-    vec![Tensor::randn(&[1, 256], seed).data().unwrap().to_vec()]
+fn sample(seed: u64) -> Request {
+    Request::new(vec![Tensor::randn(&[1, 256], seed)
+        .data()
+        .unwrap()
+        .to_vec()])
 }
 
 fn run_stream(engine: &Engine, requests: usize) -> StatsSnapshot {
-    engine.load("mlp_tower", mlp_tower);
-    let stream: Vec<_> = (0..requests as u64).map(sample).collect();
-    for result in engine.infer_many("mlp_tower", stream) {
+    let model = engine
+        .register(ModelSpec::new("mlp_tower", mlp_tower))
+        .expect("register");
+    let stream: Vec<Request> = (0..requests as u64).map(sample).collect();
+    for result in model.infer_many(stream) {
         result.expect("request served");
     }
     engine.stats()
@@ -85,11 +90,11 @@ fn main() {
 
     // --- 1. compile-cache: the second request must not recompile ----------
     let engine = Engine::new(tuned(1)).expect("engine");
-    engine.load("mlp_tower", mlp_tower);
-    let first = engine.infer("mlp_tower", sample(0)).expect("first request");
-    let second = engine
-        .infer("mlp_tower", sample(1))
-        .expect("second request");
+    let model = engine
+        .register(ModelSpec::new("mlp_tower", mlp_tower))
+        .expect("register");
+    let first = model.infer(sample(0)).expect("first request");
+    let second = model.infer(sample(1)).expect("second request");
     let snap = engine.stats();
     println!("request 1: compile cache hit = {}", first.compile_cache_hit);
     println!(

@@ -2,6 +2,7 @@
 //! data, and the standard executor line-up of the paper's evaluation (§6.1).
 
 pub mod report;
+pub mod trajectory;
 
 use hidet::HidetExecutor;
 use hidet_baselines::frameworks::{OnnxRuntimeLike, PyTorchLike};
@@ -109,6 +110,16 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
 /// Parses `--flag value`-style integer arguments (tiny CLI helper so that the
 /// experiment binaries stay dependency-free).
 pub fn arg_usize(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parses `--flag value`-style float arguments.
+pub fn arg_f64(name: &str, default: f64) -> f64 {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
         .position(|a| a == name)

@@ -1,0 +1,264 @@
+//! Bench-trajectory gate: compares two `BENCH_serving.json` reports and
+//! flags performance regressions.
+//!
+//! CI keeps the repository's performance trajectory honest: every run
+//! produces a fresh report ([`crate::report`]), and the `bench_compare`
+//! binary diffs it against the previous one (the committed baseline, or a
+//! downloaded CI artifact). The gate **fails** when any throughput metric
+//! (`*_rps`) drops more than the threshold (default 10%) or any p95 latency
+//! metric (`*p95_us`) grows more than its threshold (default 20%).
+//!
+//! Classification is by key suffix, so new benches joining the report are
+//! gated automatically: `*_rps` is higher-is-better, `*p95_us` is
+//! lower-is-better, everything else (counts, configuration echo, p50s —
+//! too noisy at micro scale) is informational and skipped. Sections or
+//! metrics present on only one side are skipped too: a brand-new bench must
+//! not fail the gate for lacking history.
+
+use hidet_sched::json::Json;
+
+/// Regression thresholds, in percent.
+#[derive(Debug, Clone, Copy)]
+pub struct Thresholds {
+    /// Maximum tolerated drop of a `*_rps` metric before the gate fails.
+    pub max_throughput_drop_pct: f64,
+    /// Maximum tolerated growth of a `*p95_us` metric before the gate fails.
+    pub max_p95_growth_pct: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Thresholds {
+        Thresholds {
+            max_throughput_drop_pct: 10.0,
+            max_p95_growth_pct: 20.0,
+        }
+    }
+}
+
+/// One gated metric's before/after.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Report section (bench binary) the metric belongs to.
+    pub section: String,
+    /// Metric key inside the section.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Signed change in percent (positive = the value increased).
+    pub change_pct: f64,
+    /// Whether this metric trips the gate.
+    pub regression: bool,
+}
+
+impl Comparison {
+    /// One-line rendering for the gate's output table.
+    pub fn describe(&self) -> String {
+        format!(
+            "{:4} {}.{}: {:.1} -> {:.1} ({:+.1}%)",
+            if self.regression { "FAIL" } else { "ok" },
+            self.section,
+            self.metric,
+            self.baseline,
+            self.current,
+            self.change_pct,
+        )
+    }
+}
+
+/// Parses two report files and gates every comparable metric. Returns the
+/// comparisons in report order (regressions included, marked).
+///
+/// # Errors
+/// A `String` describing a malformed report (either side).
+pub fn compare_reports(
+    baseline: &str,
+    current: &str,
+    thresholds: &Thresholds,
+) -> Result<Vec<Comparison>, String> {
+    let baseline = parse_report(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let current = parse_report(current).map_err(|e| format!("current: {e}"))?;
+    let mut out = Vec::new();
+    for (section, base_metrics) in &baseline {
+        let Some(cur_metrics) = current
+            .iter()
+            .find(|(name, _)| name == section)
+            .map(|(_, m)| m)
+        else {
+            continue; // section retired: nothing to gate
+        };
+        for (metric, base_value) in base_metrics {
+            let Some(cur_value) = cur_metrics
+                .iter()
+                .find(|(name, _)| name == metric)
+                .map(|(_, v)| *v)
+            else {
+                continue;
+            };
+            let Some(direction) = classify(metric) else {
+                continue; // informational metric
+            };
+            if *base_value <= 0.0 {
+                continue; // no meaningful percentage against a zero baseline
+            }
+            let change_pct = (cur_value - base_value) / base_value * 100.0;
+            let regression = match direction {
+                Direction::HigherIsBetter => -change_pct > thresholds.max_throughput_drop_pct,
+                Direction::LowerIsBetter => change_pct > thresholds.max_p95_growth_pct,
+            };
+            out.push(Comparison {
+                section: section.clone(),
+                metric: metric.clone(),
+                baseline: *base_value,
+                current: cur_value,
+                change_pct,
+                regression,
+            });
+        }
+    }
+    Ok(out)
+}
+
+enum Direction {
+    HigherIsBetter,
+    LowerIsBetter,
+}
+
+/// Which way a metric should move, by key suffix; `None` = not gated.
+fn classify(metric: &str) -> Option<Direction> {
+    if metric.ends_with("_rps") {
+        Some(Direction::HigherIsBetter)
+    } else if metric.ends_with("p95_us") {
+        Some(Direction::LowerIsBetter)
+    } else {
+        None
+    }
+}
+
+/// A report's sections, each with its numeric metrics in file order.
+type Sections = Vec<(String, Vec<(String, f64)>)>;
+
+/// `section -> [(metric, value)]` for every numeric metric in a report.
+fn parse_report(text: &str) -> Result<Sections, String> {
+    let value = Json::parse(text)?;
+    let sections = value.as_object("report")?;
+    let mut out = Vec::new();
+    for (name, body) in sections {
+        let metrics = body
+            .as_object(name)?
+            .iter()
+            .filter_map(|(k, v)| match v {
+                Json::Number(n) => Some((k.clone(), *n)),
+                _ => None, // strings/nulls are labels, not gated metrics
+            })
+            .collect();
+        out.push((name.clone(), metrics));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+      "serving_throughput": {"batched_rps": 1000.0, "p95_us": 100.0, "requests": 32, "mode": "x"},
+      "serving_sharded": {"sharded_rps": 4000.0, "overload_high_p95_us": 50.0}
+    }"#;
+
+    fn run(current: &str) -> Vec<Comparison> {
+        compare_reports(BASELINE, current, &Thresholds::default()).unwrap()
+    }
+
+    #[test]
+    fn unchanged_report_passes() {
+        let comparisons = run(BASELINE);
+        assert!(!comparisons.is_empty());
+        assert!(comparisons.iter().all(|c| !c.regression));
+    }
+
+    #[test]
+    fn throughput_drop_beyond_threshold_fails() {
+        let current = BASELINE.replace("\"batched_rps\": 1000.0", "\"batched_rps\": 850.0");
+        let comparisons = run(&current);
+        let rps = comparisons
+            .iter()
+            .find(|c| c.metric == "batched_rps")
+            .unwrap();
+        assert!(rps.regression, "{rps:?}");
+        assert!((rps.change_pct + 15.0).abs() < 1e-9);
+        // A 5% dip stays within the 10% budget.
+        let current = BASELINE.replace("\"batched_rps\": 1000.0", "\"batched_rps\": 950.0");
+        assert!(run(&current).iter().all(|c| !c.regression));
+    }
+
+    #[test]
+    fn p95_growth_beyond_threshold_fails() {
+        let current = BASELINE.replace("\"p95_us\": 100.0", "\"p95_us\": 125.0");
+        let p95 = run(&current)
+            .into_iter()
+            .find(|c| c.metric == "p95_us")
+            .unwrap();
+        assert!(p95.regression, "{p95:?}");
+        // 15% growth is tolerated; improvement is always fine.
+        let current = BASELINE.replace("\"p95_us\": 100.0", "\"p95_us\": 115.0");
+        assert!(run(&current).iter().all(|c| !c.regression));
+        let current = BASELINE.replace("\"p95_us\": 100.0", "\"p95_us\": 10.0");
+        assert!(run(&current).iter().all(|c| !c.regression));
+    }
+
+    #[test]
+    fn suffix_classification_gates_nested_p95_names() {
+        let current = BASELINE.replace(
+            "\"overload_high_p95_us\": 50.0",
+            "\"overload_high_p95_us\": 80.0",
+        );
+        let overload = run(&current)
+            .into_iter()
+            .find(|c| c.metric == "overload_high_p95_us")
+            .unwrap();
+        assert!(overload.regression);
+    }
+
+    #[test]
+    fn counts_and_labels_are_not_gated() {
+        // Collapsing the request count 32 -> 1 must not trip anything.
+        let current = BASELINE.replace("\"requests\": 32", "\"requests\": 1");
+        assert!(run(&current).iter().all(|c| !c.regression));
+        assert!(run(BASELINE).iter().all(|c| c.metric != "requests"));
+        assert!(run(BASELINE).iter().all(|c| c.metric != "mode"));
+    }
+
+    #[test]
+    fn new_and_retired_sections_are_skipped() {
+        // A brand-new bench (no history) must not fail the gate...
+        let current = r#"{
+          "serving_throughput": {"batched_rps": 1000.0, "p95_us": 100.0},
+          "brand_new_bench": {"shiny_rps": 1.0}
+        }"#;
+        let comparisons = run(current);
+        assert!(comparisons.iter().all(|c| c.section != "brand_new_bench"));
+        assert!(comparisons.iter().all(|c| !c.regression));
+        // ...and a retired section simply disappears from the gate.
+        assert!(comparisons.iter().all(|c| c.section != "serving_sharded"));
+    }
+
+    #[test]
+    fn malformed_reports_are_typed_errors() {
+        assert!(compare_reports("nope", BASELINE, &Thresholds::default()).is_err());
+        assert!(compare_reports(BASELINE, "{\"a\": 3}", &Thresholds::default()).is_err());
+    }
+
+    #[test]
+    fn describe_marks_regressions() {
+        let current = BASELINE.replace("\"batched_rps\": 1000.0", "\"batched_rps\": 500.0");
+        let line = run(&current)
+            .into_iter()
+            .find(|c| c.metric == "batched_rps")
+            .unwrap()
+            .describe();
+        assert!(line.starts_with("FAIL"), "{line}");
+        assert!(line.contains("-50.0%"), "{line}");
+    }
+}

@@ -12,6 +12,8 @@ use hidet_sched::{
 };
 use hidet_sim::{DeviceMemory, Gpu, SimError};
 
+use crate::artifact::{CompiledArtifact, TunedEntry};
+
 /// Per-kernel dispatch overhead of Hidet's lean graph executor, seconds.
 pub const HIDET_DISPATCH_S: f64 = 2.0e-6;
 
@@ -24,6 +26,10 @@ pub enum CompileError {
     Sim(SimError),
     /// A runtime input was missing or missized.
     BadInput(String),
+    /// A [`CompiledArtifact`] could not be applied to the graph/device it was
+    /// offered for (wrong key, wrong group count, ill-fitting schedule).
+    /// Callers should fall back to a fresh compile.
+    Artifact(String),
 }
 
 impl fmt::Display for CompileError {
@@ -32,6 +38,7 @@ impl fmt::Display for CompileError {
             CompileError::Schedule(msg) => write!(f, "scheduling failed: {msg}"),
             CompileError::Sim(e) => write!(f, "simulation failed: {e}"),
             CompileError::BadInput(msg) => write!(f, "bad input: {msg}"),
+            CompileError::Artifact(msg) => write!(f, "artifact rejected: {msg}"),
         }
     }
 }
@@ -122,14 +129,31 @@ impl Default for CompilerOptions {
     }
 }
 
-/// A compiled model: fused groups, their kernels and tuning records.
+/// The device-executable half of a compiled model: the optimized graph and
+/// its generated kernels, in execution order.
+///
+/// A plan is what actually *runs*; it is rebuilt cheaply from a
+/// [`CompiledArtifact`] (the serializable half holding the expensive schedule
+/// decisions) by [`compile_from_artifact`]. See the [`crate::artifact`]
+/// module docs for the split rationale.
 #[derive(Debug, Clone)]
-pub struct CompiledGraph {
+pub struct CompilePlan {
     graph: Graph,
     groups: Vec<CompiledGroup>,
+}
+
+/// A compiled model: an executable [`CompilePlan`] plus the serializable
+/// [`CompiledArtifact`] that records what the tuner decided, and provenance
+/// counters for what *this* compilation cost.
+#[derive(Debug, Clone)]
+pub struct CompiledGraph {
+    plan: CompilePlan,
+    artifact: CompiledArtifact,
+    /// Tuning cost *this* compilation paid (zero when rebuilt from an
+    /// artifact or fully served by tuning records).
     tuning_seconds: f64,
-    tuned: HashMap<(i64, i64, i64, i64), MatmulConfig>,
     tuning_trials: usize,
+    from_artifact: bool,
     record_hits: usize,
     record_trials_saved: usize,
     record_seconds_saved: f64,
@@ -137,10 +161,27 @@ pub struct CompiledGraph {
 
 /// Compiles a model for the given device (paper Fig. 10, steps 2–5).
 ///
+/// Computes `graph.structural_hash()` — O(model weights) — to stamp the
+/// artifact key; callers that already hold the hash (the runtime's compiled
+/// cache memoizes it per model variant) should use [`compile_hashed`].
+///
 /// # Errors
 /// [`CompileError::Schedule`] if a fused group has no applicable template.
 pub fn compile(
     graph: &Graph,
+    gpu: &Gpu,
+    options: &CompilerOptions,
+) -> Result<CompiledGraph, CompileError> {
+    compile_hashed(graph, graph.structural_hash(), gpu, options)
+}
+
+/// [`compile`] with a precomputed [`Graph::structural_hash`], skipping the
+/// O(model-weights) rehash. `graph_hash` becomes the artifact's cache key —
+/// passing a hash that is not `graph`'s produces artifacts that will never
+/// validate against the graph again.
+pub fn compile_hashed(
+    graph: &Graph,
+    graph_hash: u64,
     gpu: &Gpu,
     options: &CompilerOptions,
 ) -> Result<CompiledGraph, CompileError> {
@@ -156,6 +197,7 @@ pub fn compile(
     let mut record_seconds_saved = 0.0;
     let device = gpu.spec().fingerprint();
     let mut tuned: HashMap<(i64, i64, i64, i64), MatmulConfig> = HashMap::new();
+    let mut schedules = Vec::with_capacity(groups.len());
     let mut compiled_groups = Vec::with_capacity(groups.len());
     for group in &groups {
         let mut schedule = GroupSchedule::default();
@@ -221,17 +263,121 @@ pub fn compile(
             }
         }
         let compiled = compile_group(&g, group, &schedule).map_err(CompileError::Schedule)?;
+        schedules.push(schedule);
         compiled_groups.push(compiled);
     }
+    // The artifact records the *embodied* tuning cost of its schedules —
+    // trials run here plus trials that persisted records already paid for —
+    // so "what a warm artifact load saves" is stable across re-compiles.
+    let mut tuned_entries: Vec<TunedEntry> = tuned
+        .iter()
+        .map(|(&(batch, m, n, k), &config)| TunedEntry {
+            problem: MatmulProblem { batch, m, n, k },
+            config,
+        })
+        .collect();
+    tuned_entries.sort_by_key(|e| (e.problem.batch, e.problem.m, e.problem.n, e.problem.k));
+    let artifact = CompiledArtifact {
+        graph_hash,
+        device,
+        option_bits: options.cache_key_bits(),
+        schedules,
+        tuned: tuned_entries,
+        tuning_trials: tuning_trials + record_trials_saved,
+        tuning_seconds: tuning_seconds + record_seconds_saved,
+    };
     Ok(CompiledGraph {
-        graph: g,
-        groups: compiled_groups,
+        plan: CompilePlan {
+            graph: g,
+            groups: compiled_groups,
+        },
+        artifact,
         tuning_seconds,
-        tuned,
         tuning_trials,
+        from_artifact: false,
         record_hits,
         record_trials_saved,
         record_seconds_saved,
+    })
+}
+
+/// Rebuilds a [`CompiledGraph`] from a previously saved [`CompiledArtifact`]
+/// with **zero tuning trials**: the graph passes and kernel generation run as
+/// usual, but every schedule decision comes from the artifact.
+///
+/// The artifact must match the `(graph, device, options)` key exactly and its
+/// schedules must fit the target device — an artifact produced for a larger
+/// GPU (or a corrupted file that slipped past the parser) is rejected, never
+/// fed to kernel generation.
+///
+/// # Errors
+/// [`CompileError::Artifact`] on any key/shape/fit mismatch — the caller
+/// should fall back to [`compile`]; [`CompileError::Schedule`] if a group
+/// cannot be compiled at all.
+pub fn compile_from_artifact(
+    graph: &Graph,
+    gpu: &Gpu,
+    options: &CompilerOptions,
+    artifact: CompiledArtifact,
+) -> Result<CompiledGraph, CompileError> {
+    compile_from_artifact_hashed(graph, graph.structural_hash(), gpu, options, artifact)
+}
+
+/// [`compile_from_artifact`] with a precomputed [`Graph::structural_hash`]
+/// (the hash the artifact is validated against), skipping the
+/// O(model-weights) rehash on the cache's warm path.
+pub fn compile_from_artifact_hashed(
+    graph: &Graph,
+    graph_hash: u64,
+    gpu: &Gpu,
+    options: &CompilerOptions,
+    artifact: CompiledArtifact,
+) -> Result<CompiledGraph, CompileError> {
+    artifact
+        .validate_key(
+            graph_hash,
+            &gpu.spec().fingerprint(),
+            options.cache_key_bits(),
+        )
+        .map_err(|e| CompileError::Artifact(e.to_string()))?;
+    let mut g = graph.clone();
+    lower_convs(&mut g);
+    constant_fold(&mut g);
+    let groups = partition(&g);
+    if groups.len() != artifact.schedules.len() {
+        return Err(CompileError::Artifact(format!(
+            "artifact has {} group schedules, graph partitions into {} groups",
+            artifact.schedules.len(),
+            groups.len()
+        )));
+    }
+    let mut compiled_groups = Vec::with_capacity(groups.len());
+    for (group, schedule) in groups.iter().zip(&artifact.schedules) {
+        if let Some(anchor) = group.anchor {
+            let matmul_anchor = matches!(g.op(anchor).kind, OpKind::Matmul | OpKind::BatchMatmul);
+            if matmul_anchor && !schedule.matmul.fits(gpu.spec()) {
+                return Err(CompileError::Artifact(format!(
+                    "recorded matmul schedule {:?} does not fit device \"{}\"",
+                    schedule.matmul,
+                    gpu.spec().name
+                )));
+            }
+        }
+        let compiled = compile_group(&g, group, schedule).map_err(CompileError::Schedule)?;
+        compiled_groups.push(compiled);
+    }
+    Ok(CompiledGraph {
+        plan: CompilePlan {
+            graph: g,
+            groups: compiled_groups,
+        },
+        tuning_seconds: 0.0,
+        tuning_trials: 0,
+        from_artifact: true,
+        record_hits: artifact.tuned.len(),
+        record_trials_saved: artifact.tuning_trials,
+        record_seconds_saved: artifact.tuning_seconds,
+        artifact,
     })
 }
 
@@ -301,7 +447,7 @@ fn apply_ablations(mut cfg: MatmulConfig, options: &CompilerOptions) -> MatmulCo
     cfg
 }
 
-impl CompiledGraph {
+impl CompilePlan {
     /// The optimized graph (after conv lowering and constant folding).
     pub fn graph(&self) -> &Graph {
         &self.graph
@@ -315,37 +461,6 @@ impl CompiledGraph {
     /// Total kernels launched per inference.
     pub fn num_kernels(&self) -> usize {
         self.groups.iter().map(|g| g.kernels.len()).sum()
-    }
-
-    /// Simulated tuning wall-clock cost accumulated during compilation.
-    /// Problems served from tuning records cost nothing here.
-    pub fn tuning_seconds(&self) -> f64 {
-        self.tuning_seconds
-    }
-
-    /// Tuning trials actually executed during compilation.
-    pub fn tuning_trials(&self) -> usize {
-        self.tuning_trials
-    }
-
-    /// Matmul problems scheduled from persisted tuning records (zero trials).
-    pub fn record_hits(&self) -> usize {
-        self.record_hits
-    }
-
-    /// Trials that records saved (what the problems originally cost).
-    pub fn record_trials_saved(&self) -> usize {
-        self.record_trials_saved
-    }
-
-    /// Simulated tuning seconds that records saved.
-    pub fn record_seconds_saved(&self) -> f64 {
-        self.record_seconds_saved
-    }
-
-    /// Tuned matmul configurations, keyed by `(batch, m, n, k)`.
-    pub fn tuned_configs(&self) -> &HashMap<(i64, i64, i64, i64), MatmulConfig> {
-        &self.tuned
     }
 
     /// Estimated end-to-end latency on `gpu` in seconds (kernel estimates +
@@ -364,7 +479,7 @@ impl CompiledGraph {
         total
     }
 
-    /// Functionally executes the compiled model on the simulated device.
+    /// Functionally executes the plan on the simulated device.
     ///
     /// `inputs` maps each graph input tensor to its flat `f32` data. Returns
     /// the value of every graph output tensor.
@@ -429,6 +544,99 @@ impl CompiledGraph {
             }
         }
         out
+    }
+}
+
+impl CompiledGraph {
+    /// The executable half: optimized graph + generated kernels.
+    pub fn plan(&self) -> &CompilePlan {
+        &self.plan
+    }
+
+    /// The serializable half: the schedule decisions and their embodied
+    /// tuning cost, ready for [`CompiledArtifact::save`].
+    pub fn artifact(&self) -> &CompiledArtifact {
+        &self.artifact
+    }
+
+    /// Whether this compilation was rebuilt from a saved artifact
+    /// ([`compile_from_artifact`]) rather than scheduled from scratch.
+    pub fn from_artifact(&self) -> bool {
+        self.from_artifact
+    }
+
+    /// The optimized graph (after conv lowering and constant folding).
+    pub fn graph(&self) -> &Graph {
+        self.plan.graph()
+    }
+
+    /// Compiled fused groups, in execution order.
+    pub fn groups(&self) -> &[CompiledGroup] {
+        self.plan.groups()
+    }
+
+    /// Total kernels launched per inference.
+    pub fn num_kernels(&self) -> usize {
+        self.plan.num_kernels()
+    }
+
+    /// Simulated tuning wall-clock cost *this compilation* paid. Problems
+    /// served from tuning records or an artifact cost nothing here.
+    pub fn tuning_seconds(&self) -> f64 {
+        self.tuning_seconds
+    }
+
+    /// Tuning trials *this compilation* actually executed.
+    pub fn tuning_trials(&self) -> usize {
+        self.tuning_trials
+    }
+
+    /// Matmul problems scheduled from persisted tuning records or a loaded
+    /// artifact (zero trials).
+    pub fn record_hits(&self) -> usize {
+        self.record_hits
+    }
+
+    /// Trials that records/artifacts saved (what the problems originally
+    /// cost).
+    pub fn record_trials_saved(&self) -> usize {
+        self.record_trials_saved
+    }
+
+    /// Simulated tuning seconds that records/artifacts saved.
+    pub fn record_seconds_saved(&self) -> f64 {
+        self.record_seconds_saved
+    }
+
+    /// Tuned matmul configurations, keyed by `(batch, m, n, k)` — derived
+    /// from the artifact (the single copy of the tuner's decisions).
+    pub fn tuned_configs(&self) -> HashMap<(i64, i64, i64, i64), MatmulConfig> {
+        self.artifact.tuned_map()
+    }
+
+    /// Estimated end-to-end latency on `gpu` in seconds (kernel estimates +
+    /// dispatch overhead).
+    pub fn estimate(&self, gpu: &Gpu) -> f64 {
+        self.plan.estimate(gpu)
+    }
+
+    /// Functionally executes the compiled model on the simulated device —
+    /// see [`CompilePlan::run`].
+    ///
+    /// # Errors
+    /// [`CompileError::BadInput`] on missing/missized inputs, or
+    /// [`CompileError::Sim`] if a kernel faults.
+    pub fn run(
+        &self,
+        inputs: &HashMap<TensorId, Vec<f32>>,
+        gpu: &Gpu,
+    ) -> Result<HashMap<TensorId, Vec<f32>>, CompileError> {
+        self.plan.run(inputs, gpu)
+    }
+
+    /// The full CUDA C source of every kernel, concatenated.
+    pub fn cuda_source(&self) -> String {
+        self.plan.cuda_source()
     }
 }
 
@@ -576,6 +784,82 @@ mod tests {
                 assert_eq!(kernel.meta().pipeline_stages, 1);
             }
         }
+    }
+
+    #[test]
+    fn artifact_round_trip_rebuilds_identical_plan_with_zero_trials() {
+        let (graph, x, y) = toy_graph();
+        let gpu = Gpu::default();
+        let opts = CompilerOptions::tuned();
+        let fresh = compile(&graph, &gpu, &opts).unwrap();
+        assert!(!fresh.from_artifact());
+        assert!(fresh.tuning_trials() > 0);
+
+        let artifact = fresh.artifact().clone();
+        let json = artifact.to_json();
+        let reloaded = crate::artifact::CompiledArtifact::from_json(&json).unwrap();
+        let rebuilt = compile_from_artifact(&graph, &gpu, &opts, reloaded).unwrap();
+        assert!(rebuilt.from_artifact());
+        assert_eq!(rebuilt.tuning_trials(), 0, "artifact rebuild must not tune");
+        assert_eq!(rebuilt.tuning_seconds(), 0.0);
+        assert_eq!(rebuilt.record_trials_saved(), artifact.tuning_trials);
+        assert_eq!(rebuilt.tuned_configs(), fresh.tuned_configs());
+        assert_eq!(rebuilt.num_kernels(), fresh.num_kernels());
+        assert_eq!(rebuilt.cuda_source(), fresh.cuda_source());
+
+        // The rebuilt plan computes the same function.
+        let data: Vec<f32> = Tensor::randn(&[8, 16], 9).data().unwrap().to_vec();
+        let mut inputs = HashMap::new();
+        inputs.insert(x, data);
+        let a = fresh.run(&inputs, &gpu).unwrap();
+        let b = rebuilt.run(&inputs, &gpu).unwrap();
+        assert_eq!(a[&y], b[&y]);
+    }
+
+    #[test]
+    fn artifact_for_wrong_key_or_device_is_rejected() {
+        let (graph, _, _) = toy_graph();
+        let gpu = Gpu::default();
+        let opts = CompilerOptions::quick();
+        let artifact = compile(&graph, &gpu, &opts).unwrap().artifact().clone();
+
+        // Different options bits.
+        let ablated = CompilerOptions {
+            disable_double_buffering: true,
+            ..CompilerOptions::quick()
+        };
+        let err = compile_from_artifact(&graph, &gpu, &ablated, artifact.clone()).unwrap_err();
+        assert!(matches!(err, CompileError::Artifact(_)), "{err}");
+
+        // Different device.
+        let tiny = Gpu::new(hidet_sim::GpuSpec::tiny());
+        let err = compile_from_artifact(&graph, &tiny, &opts, artifact.clone()).unwrap_err();
+        assert!(matches!(err, CompileError::Artifact(_)), "{err}");
+
+        // Different graph structure.
+        let mut g = GraphBuilder::new("other");
+        let x = g.input("x", &[8, 16]);
+        let w = g.constant(Tensor::randn(&[16, 4], 7));
+        let y = g.matmul(x, w);
+        let other = g.output(y).build();
+        let err = compile_from_artifact(&other, &gpu, &opts, artifact).unwrap_err();
+        assert!(matches!(err, CompileError::Artifact(_)), "{err}");
+    }
+
+    #[test]
+    fn ill_fitting_artifact_schedule_is_rejected_not_executed() {
+        // An artifact whose matmul tile exceeds the device must be rejected
+        // by the fit check, not reach kernel generation.
+        let (graph, _, _) = toy_graph();
+        let gpu = Gpu::default();
+        let opts = CompilerOptions::quick();
+        let mut artifact = compile(&graph, &gpu, &opts).unwrap().artifact().clone();
+        for schedule in &mut artifact.schedules {
+            schedule.matmul.block_m = 1 << 20;
+        }
+        let err = compile_from_artifact(&graph, &gpu, &opts, artifact).unwrap_err();
+        assert!(matches!(err, CompileError::Artifact(_)), "{err}");
+        assert!(err.to_string().contains("does not fit"), "{err}");
     }
 
     #[test]

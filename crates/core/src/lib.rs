@@ -52,15 +52,23 @@
 //! # Ok::<(), hidet::CompileError>(())
 //! ```
 
+pub mod artifact;
 pub mod compiler;
 pub mod executor;
 
-pub use compiler::{compile, CompileError, CompiledGraph, CompilerOptions};
+pub use artifact::{ArtifactError, CompiledArtifact, TunedEntry, ARTIFACT_FORMAT_VERSION};
+pub use compiler::{
+    compile, compile_from_artifact, compile_from_artifact_hashed, compile_hashed, CompileError,
+    CompilePlan, CompiledGraph, CompilerOptions,
+};
 pub use executor::HidetExecutor;
 
 /// Commonly used items across the whole stack.
 pub mod prelude {
-    pub use crate::compiler::{compile, CompileError, CompiledGraph, CompilerOptions};
+    pub use crate::artifact::{ArtifactError, CompiledArtifact};
+    pub use crate::compiler::{
+        compile, compile_from_artifact, CompileError, CompilePlan, CompiledGraph, CompilerOptions,
+    };
     pub use crate::executor::HidetExecutor;
     pub use hidet_graph::{Graph, GraphBuilder, OpKind, Tensor, TensorId};
     pub use hidet_sched::{MatmulConfig, MatmulProblem};

@@ -1,4 +1,6 @@
-//! The compiled-graph cache: repeat requests skip compilation entirely.
+//! The compiled-graph cache: repeat requests skip compilation entirely, a
+//! warm artifact store makes that hold **across process restarts**, and an
+//! eviction policy keeps a long-lived server's memory bounded.
 //!
 //! Keys combine [`Graph::structural_hash`] (the computation itself, invariant
 //! under tensor-id renumbering and model names), the device fingerprint
@@ -7,12 +9,35 @@
 //! ([`CompilerOptions::cache_key_bits`]). Two sessions loading the same model
 //! at the same batch therefore share one compile, even across registrations
 //! under different names.
+//!
+//! Three layers answer a lookup, cheapest first:
+//!
+//! 1. **memory** — a completed entry under the key ([`CacheOutcome::Hit`]);
+//! 2. **disk** — a [`hidet::CompiledArtifact`] in the caller's artifact
+//!    store, rebuilt into a plan with zero tuning trials
+//!    ([`CacheOutcome::ArtifactLoad`]); corrupted, truncated or mismatched
+//!    files are rejected (counted, never panicking) and fall through;
+//! 3. **fresh compile** ([`CacheOutcome::Compiled`]), whose artifact is then
+//!    written back to the store for the next process.
+//!
+//! Eviction ([`EvictionPolicy`]): a capacity bound evicts the
+//! least-recently-used completed entry, a TTL expires entries idle longer
+//! than the configured duration, and `evict_model` (the engine's `unload`)
+//! drops a model's entries outright. An evicted key transparently recompiles
+//! (or re-loads its artifact) on next use. In-flight compiles are never
+//! evicted.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
-use hidet::{compile, CompileError, CompiledGraph, CompilerOptions};
+use hidet::{
+    compile_from_artifact_hashed, compile_hashed, ArtifactError, CompileError, CompiledArtifact,
+    CompiledGraph, CompilerOptions,
+};
 use hidet_graph::Graph;
 use hidet_sim::Gpu;
 
@@ -46,29 +71,130 @@ impl CacheKey {
             options: options.cache_key_bits(),
         }
     }
+
+    /// The file this key's artifact lives under inside a store directory.
+    /// The device fingerprint is folded through the workspace's stable hash
+    /// ([`hidet_graph::StableHasher`] — it contains spaces and separators
+    /// unfit for file names).
+    pub fn artifact_path(&self, store: &Path) -> PathBuf {
+        let mut hasher = hidet_graph::StableHasher::new();
+        hasher.write(self.device.as_bytes());
+        store.join(format!(
+            "artifact-{:016x}-{:x}-{:016x}.json",
+            self.graph_hash,
+            self.options,
+            hasher.finish()
+        ))
+    }
+}
+
+/// How a [`CompiledCache`] lookup was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from memory (or by waiting on another thread's in-flight
+    /// compile of the same key).
+    Hit,
+    /// Rebuilt from a disk artifact — graph passes and codegen ran, tuning
+    /// did not.
+    ArtifactLoad,
+    /// Compiled from scratch.
+    Compiled,
+}
+
+impl CacheOutcome {
+    /// Whether the lookup avoided a fresh compile.
+    pub fn is_hit(self) -> bool {
+        self == CacheOutcome::Hit
+    }
+}
+
+/// Bounds on the in-memory cache. `Default` is unbounded (no eviction).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvictionPolicy {
+    /// Maximum completed entries held; beyond it the least-recently-used
+    /// completed entry is evicted. `None` disables the bound.
+    pub capacity: Option<usize>,
+    /// Entries idle (not looked up) longer than this are expired. `None`
+    /// disables TTL eviction.
+    pub ttl: Option<Duration>,
+}
+
+/// Counter snapshot of a [`CompiledCache`] — the single source of truth for
+/// the engine's compile/eviction statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups served from memory.
+    pub hits: usize,
+    /// Lookups that compiled from scratch.
+    pub misses: usize,
+    /// Lookups rebuilt from a disk artifact (zero tuning trials).
+    pub artifact_loads: usize,
+    /// Artifact files rejected: corrupted, truncated, version- or
+    /// key-mismatched, or ill-fitting schedules. Each fell back to a fresh
+    /// compile.
+    pub artifact_rejects: usize,
+    /// Entries evicted because they idled past the TTL.
+    pub evicted_ttl: usize,
+    /// Entries evicted by capacity pressure (LRU order).
+    pub evicted_capacity: usize,
+    /// Entries evicted by an explicit model unload.
+    pub evicted_unload: usize,
+}
+
+impl CacheCounters {
+    /// Total evictions across all causes.
+    pub fn evictions(&self) -> usize {
+        self.evicted_ttl + self.evicted_capacity + self.evicted_unload
+    }
 }
 
 type Slot = Arc<OnceLock<Result<Arc<CompiledGraph>, CompileError>>>;
 
-/// Thread-safe compiled-graph cache with in-flight coalescing.
+#[derive(Debug)]
+struct Entry {
+    slot: Slot,
+    /// Monotone last-use tick (LRU order).
+    tick: u64,
+    /// Wall-clock last use (TTL).
+    touched: Instant,
+}
+
+/// Thread-safe compiled-graph cache with in-flight coalescing, an optional
+/// disk-backed artifact store and capacity/TTL eviction. See the
+/// [module docs](self).
 #[derive(Debug, Default)]
 pub struct CompiledCache {
-    entries: Mutex<HashMap<CacheKey, Slot>>,
+    entries: Mutex<HashMap<CacheKey, Entry>>,
+    policy: EvictionPolicy,
+    tick: AtomicU64,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    artifact_loads: AtomicUsize,
+    artifact_rejects: AtomicUsize,
+    evicted_ttl: AtomicUsize,
+    evicted_capacity: AtomicUsize,
+    evicted_unload: AtomicUsize,
 }
 
 impl CompiledCache {
-    /// An empty cache.
+    /// An unbounded cache with no artifact store.
     pub fn new() -> CompiledCache {
         CompiledCache::default()
     }
 
+    /// A cache with capacity/TTL bounds.
+    pub fn with_policy(policy: EvictionPolicy) -> CompiledCache {
+        CompiledCache {
+            policy,
+            ..CompiledCache::default()
+        }
+    }
+
     /// The compiled form of `graph`, compiling at most once per key.
     ///
-    /// Returns the shared compiled graph and whether this call was a cache
-    /// hit. Each key owns a `OnceLock` slot, so concurrent requests for the
-    /// same key run **one** compile (the others block on the slot — a tuned
+    /// Returns the shared compiled graph and how the lookup was answered.
+    /// Each key owns a `OnceLock` slot, so concurrent requests for the same
+    /// key run **one** compile (the others block on the slot — a tuned
     /// compile is expensive enough that waiting beats duplicating it), while
     /// different keys compile fully in parallel. A compile error is sticky
     /// for its key: compilation is deterministic, so retrying cannot succeed.
@@ -80,39 +206,170 @@ impl CompiledCache {
         graph: &Graph,
         gpu: &Gpu,
         options: &CompilerOptions,
-    ) -> Result<(Arc<CompiledGraph>, bool), CompileError> {
-        self.get_or_compile_hashed(graph, graph.structural_hash(), gpu, options)
+    ) -> Result<(Arc<CompiledGraph>, CacheOutcome), CompileError> {
+        self.get_or_compile_hashed(graph, graph.structural_hash(), gpu, options, None)
     }
 
     /// [`CompiledCache::get_or_compile`] with a precomputed
-    /// [`Graph::structural_hash`], skipping the O(model-weights) rehash on
-    /// the request path.
+    /// [`Graph::structural_hash`] (skipping the O(model-weights) rehash on
+    /// the request path) and an optional artifact store directory consulted
+    /// on a memory miss and written back to after a fresh compile.
     pub fn get_or_compile_hashed(
         &self,
         graph: &Graph,
         graph_hash: u64,
         gpu: &Gpu,
         options: &CompilerOptions,
-    ) -> Result<(Arc<CompiledGraph>, bool), CompileError> {
+        store: Option<&Path>,
+    ) -> Result<(Arc<CompiledGraph>, CacheOutcome), CompileError> {
         let key = CacheKey::from_graph_hash(graph_hash, gpu, options);
         let slot: Slot = {
             let mut entries = self.entries.lock().expect("cache poisoned");
-            Arc::clone(entries.entry(key).or_default())
+            // Expire an idle entry before reusing it (in-flight slots are
+            // exempt: someone is still waiting on them).
+            if let Some(ttl) = self.policy.ttl {
+                let expired = entries
+                    .get(&key)
+                    .is_some_and(|e| e.slot.get().is_some() && e.touched.elapsed() > ttl);
+                if expired {
+                    entries.remove(&key);
+                    self.evicted_ttl.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+            let entry = entries.entry(key.clone()).or_insert_with(|| Entry {
+                slot: Arc::default(),
+                tick,
+                touched: Instant::now(),
+            });
+            entry.tick = tick;
+            entry.touched = Instant::now();
+            let slot = Arc::clone(&entry.slot);
+            if let Some(capacity) = self.policy.capacity {
+                self.evict_lru_locked(&mut entries, capacity, &key);
+            }
+            slot
         };
-        let mut compiled_here = false;
-        let outcome = slot.get_or_init(|| {
-            compiled_here = true;
-            compile(graph, gpu, options).map(Arc::new)
+
+        let mut outcome = CacheOutcome::Hit;
+        let result = slot.get_or_init(|| {
+            // Without a usable artifact, fall through to a fresh compile.
+            if let Some(compiled) =
+                store.and_then(|dir| self.try_artifact(&key, graph, gpu, options, dir))
+            {
+                outcome = CacheOutcome::ArtifactLoad;
+                return Ok(Arc::new(compiled));
+            }
+            outcome = CacheOutcome::Compiled;
+            let compiled = compile_hashed(graph, graph_hash, gpu, options).map(Arc::new);
+            if let (Ok(compiled), Some(dir)) = (&compiled, store) {
+                // Best-effort write-back: a full disk must not fail the
+                // request the compile just served.
+                let _ = std::fs::create_dir_all(dir);
+                let _ = compiled.artifact().save(&key.artifact_path(dir));
+            }
+            compiled
         });
-        if compiled_here {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-        }
         match outcome {
-            Ok(compiled) => Ok((Arc::clone(compiled), !compiled_here)),
+            CacheOutcome::Hit => self.hits.fetch_add(1, Ordering::Relaxed),
+            CacheOutcome::ArtifactLoad => self.artifact_loads.fetch_add(1, Ordering::Relaxed),
+            CacheOutcome::Compiled => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        match result {
+            Ok(compiled) => Ok((Arc::clone(compiled), outcome)),
             Err(e) => Err(e.clone()),
         }
+    }
+
+    /// Attempts to serve `key` from the artifact store. Any failure short of
+    /// "file simply absent" counts one artifact reject; none panic.
+    fn try_artifact(
+        &self,
+        key: &CacheKey,
+        graph: &Graph,
+        gpu: &Gpu,
+        options: &CompilerOptions,
+        dir: &Path,
+    ) -> Option<CompiledGraph> {
+        let artifact = match CompiledArtifact::load(&key.artifact_path(dir)) {
+            Ok(artifact) => artifact,
+            Err(ArtifactError::Io(e)) if e.kind() == io::ErrorKind::NotFound => return None,
+            Err(_) => {
+                self.artifact_rejects.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match compile_from_artifact_hashed(graph, key.graph_hash, gpu, options, artifact) {
+            Ok(compiled) => Some(compiled),
+            Err(_) => {
+                self.artifact_rejects.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Evicts least-recently-used *completed* entries until at most
+    /// `capacity` entries remain. `keep` (the entry just touched) and
+    /// in-flight slots are never evicted, so the map may transiently exceed
+    /// the bound while compiles overlap.
+    fn evict_lru_locked(
+        &self,
+        entries: &mut HashMap<CacheKey, Entry>,
+        capacity: usize,
+        keep: &CacheKey,
+    ) {
+        while entries.len() > capacity.max(1) {
+            let victim = entries
+                .iter()
+                .filter(|(k, e)| *k != keep && e.slot.get().is_some())
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    entries.remove(&k);
+                    self.evicted_capacity.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break, // everything else is in flight
+            }
+        }
+    }
+
+    /// Expires every completed entry that has idled past the TTL. Called by
+    /// the engine when statistics are snapshotted (so TTL evictions become
+    /// visible without traffic); a no-op without a TTL policy.
+    pub fn evict_expired(&self) -> usize {
+        let Some(ttl) = self.policy.ttl else { return 0 };
+        let mut entries = self.entries.lock().expect("cache poisoned");
+        let expired: Vec<CacheKey> = entries
+            .iter()
+            .filter(|(_, e)| e.slot.get().is_some() && e.touched.elapsed() > ttl)
+            .map(|(k, _)| k.clone())
+            .collect();
+        let n = expired.len();
+        for k in expired {
+            entries.remove(&k);
+        }
+        self.evicted_ttl.fetch_add(n, Ordering::Relaxed);
+        n
+    }
+
+    /// Evicts every entry whose structural hash is in `graph_hashes` — the
+    /// engine's `unload`. Removes in-flight entries too (waiters on the
+    /// orphaned slot still receive their result). Returns how many entries
+    /// were dropped.
+    pub fn evict_model(&self, graph_hashes: &[u64]) -> usize {
+        let mut entries = self.entries.lock().expect("cache poisoned");
+        let victims: Vec<CacheKey> = entries
+            .keys()
+            .filter(|k| graph_hashes.contains(&k.graph_hash))
+            .cloned()
+            .collect();
+        let n = victims.len();
+        for k in victims {
+            entries.remove(&k);
+        }
+        self.evicted_unload.fetch_add(n, Ordering::Relaxed);
+        n
     }
 
     /// Number of successfully compiled graphs held (in-flight and failed
@@ -122,7 +379,7 @@ impl CompiledCache {
             .lock()
             .expect("cache poisoned")
             .values()
-            .filter(|slot| matches!(slot.get(), Some(Ok(_))))
+            .filter(|e| matches!(e.slot.get(), Some(Ok(_))))
             .count()
     }
 
@@ -131,12 +388,17 @@ impl CompiledCache {
         self.len() == 0
     }
 
-    /// (hits, misses) so far.
-    pub fn counters(&self) -> (usize, usize) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+    /// Counter snapshot.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            artifact_loads: self.artifact_loads.load(Ordering::Relaxed),
+            artifact_rejects: self.artifact_rejects.load(Ordering::Relaxed),
+            evicted_ttl: self.evicted_ttl.load(Ordering::Relaxed),
+            evicted_capacity: self.evicted_capacity.load(Ordering::Relaxed),
+            evicted_unload: self.evicted_unload.load(Ordering::Relaxed),
+        }
     }
 
     /// Drops every cached graph (e.g. after a device spec change in tests).
@@ -159,17 +421,29 @@ mod tests {
         g.output(y).build()
     }
 
+    fn temp_store(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "hidet-cache-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn second_compile_is_a_hit() {
         let cache = CompiledCache::new();
         let gpu = Gpu::default();
         let opts = CompilerOptions::quick();
-        let (a, hit_a) = cache.get_or_compile(&model(16, "m"), &gpu, &opts).unwrap();
-        let (b, hit_b) = cache.get_or_compile(&model(16, "m"), &gpu, &opts).unwrap();
-        assert!(!hit_a);
-        assert!(hit_b);
+        let (a, first) = cache.get_or_compile(&model(16, "m"), &gpu, &opts).unwrap();
+        let (b, second) = cache.get_or_compile(&model(16, "m"), &gpu, &opts).unwrap();
+        assert_eq!(first, CacheOutcome::Compiled);
+        assert_eq!(second, CacheOutcome::Hit);
+        assert!(second.is_hit());
         assert!(Arc::ptr_eq(&a, &b));
-        assert_eq!(cache.counters(), (1, 1));
+        let counters = cache.counters();
+        assert_eq!((counters.hits, counters.misses), (1, 1));
         assert_eq!(cache.len(), 1);
     }
 
@@ -181,10 +455,10 @@ mod tests {
         cache
             .get_or_compile(&model(16, "alpha"), &gpu, &opts)
             .unwrap();
-        let (_, hit) = cache
+        let (_, outcome) = cache
             .get_or_compile(&model(16, "beta"), &gpu, &opts)
             .unwrap();
-        assert!(hit, "names are not structure");
+        assert!(outcome.is_hit(), "names are not structure");
     }
 
     #[test]
@@ -193,16 +467,16 @@ mod tests {
         let gpu = Gpu::default();
         let opts = CompilerOptions::quick();
         cache.get_or_compile(&model(16, "m"), &gpu, &opts).unwrap();
-        let (_, hit) = cache.get_or_compile(&model(32, "m"), &gpu, &opts).unwrap();
-        assert!(!hit, "different hidden width must recompile");
+        let (_, outcome) = cache.get_or_compile(&model(32, "m"), &gpu, &opts).unwrap();
+        assert!(!outcome.is_hit(), "different hidden width must recompile");
         let ablated = CompilerOptions {
             disable_double_buffering: true,
             ..CompilerOptions::quick()
         };
-        let (_, hit) = cache
+        let (_, outcome) = cache
             .get_or_compile(&model(16, "m"), &gpu, &ablated)
             .unwrap();
-        assert!(!hit, "different options must recompile");
+        assert!(!outcome.is_hit(), "different options must recompile");
         assert_eq!(cache.len(), 3);
     }
 
@@ -214,7 +488,125 @@ mod tests {
             .get_or_compile(&model(16, "m"), &Gpu::default(), &opts)
             .unwrap();
         let tiny = Gpu::new(hidet_sim::GpuSpec::tiny());
-        let (_, hit) = cache.get_or_compile(&model(16, "m"), &tiny, &opts).unwrap();
-        assert!(!hit, "kernels are device-specific");
+        let (_, outcome) = cache.get_or_compile(&model(16, "m"), &tiny, &opts).unwrap();
+        assert!(!outcome.is_hit(), "kernels are device-specific");
+    }
+
+    #[test]
+    fn artifact_store_round_trips_across_cache_instances() {
+        let store = temp_store("roundtrip");
+        let gpu = Gpu::default();
+        let opts = CompilerOptions::quick();
+        let graph = model(16, "m");
+        let hash = graph.structural_hash();
+
+        // "Process" 1 compiles fresh and writes the artifact.
+        let first = CompiledCache::new();
+        let (_, outcome) = first
+            .get_or_compile_hashed(&graph, hash, &gpu, &opts, Some(&store))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Compiled);
+        assert_eq!(std::fs::read_dir(&store).unwrap().count(), 1);
+
+        // "Process" 2 (a fresh cache) rebuilds from disk: no fresh compile.
+        let second = CompiledCache::new();
+        let (compiled, outcome) = second
+            .get_or_compile_hashed(&graph, hash, &gpu, &opts, Some(&store))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::ArtifactLoad);
+        assert!(compiled.from_artifact());
+        assert_eq!(compiled.tuning_trials(), 0);
+        let counters = second.counters();
+        assert_eq!(counters.misses, 0, "warm store must avoid fresh compiles");
+        assert_eq!(counters.artifact_loads, 1);
+        assert_eq!(counters.artifact_rejects, 0);
+
+        // Third lookup in the same cache is a plain memory hit.
+        let (_, outcome) = second
+            .get_or_compile_hashed(&graph, hash, &gpu, &opts, Some(&store))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        let _ = std::fs::remove_dir_all(&store);
+    }
+
+    #[test]
+    fn corrupted_artifact_falls_back_to_fresh_compile() {
+        let store = temp_store("corrupt");
+        let gpu = Gpu::default();
+        let opts = CompilerOptions::quick();
+        let graph = model(16, "m");
+        let hash = graph.structural_hash();
+        let key = CacheKey::from_graph_hash(hash, &gpu, &opts);
+
+        std::fs::create_dir_all(&store).unwrap();
+        for garbage in ["", "not json", "{\"version\": 99}"] {
+            std::fs::write(key.artifact_path(&store), garbage).unwrap();
+            let cache = CompiledCache::new();
+            let (_, outcome) = cache
+                .get_or_compile_hashed(&graph, hash, &gpu, &opts, Some(&store))
+                .unwrap();
+            assert_eq!(outcome, CacheOutcome::Compiled, "{garbage:?}");
+            assert_eq!(cache.counters().artifact_rejects, 1, "{garbage:?}");
+        }
+        let _ = std::fs::remove_dir_all(&store);
+    }
+
+    #[test]
+    fn capacity_pressure_evicts_lru() {
+        let cache = CompiledCache::with_policy(EvictionPolicy {
+            capacity: Some(2),
+            ttl: None,
+        });
+        let gpu = Gpu::default();
+        let opts = CompilerOptions::quick();
+        cache.get_or_compile(&model(16, "a"), &gpu, &opts).unwrap();
+        cache.get_or_compile(&model(32, "b"), &gpu, &opts).unwrap();
+        // Touch "a" so "b" becomes the LRU victim.
+        cache.get_or_compile(&model(16, "a"), &gpu, &opts).unwrap();
+        cache.get_or_compile(&model(48, "c"), &gpu, &opts).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.counters().evicted_capacity, 1);
+        // "a" survived (hit); "b" was evicted (fresh compile again).
+        let (_, a) = cache.get_or_compile(&model(16, "a"), &gpu, &opts).unwrap();
+        assert!(a.is_hit(), "recently used entry must survive");
+        let (_, b) = cache.get_or_compile(&model(32, "b"), &gpu, &opts).unwrap();
+        assert_eq!(b, CacheOutcome::Compiled, "LRU entry must recompile");
+    }
+
+    #[test]
+    fn ttl_expires_idle_entries() {
+        let cache = CompiledCache::with_policy(EvictionPolicy {
+            capacity: None,
+            ttl: Some(Duration::ZERO),
+        });
+        let gpu = Gpu::default();
+        let opts = CompilerOptions::quick();
+        cache.get_or_compile(&model(16, "m"), &gpu, &opts).unwrap();
+        assert_eq!(cache.len(), 1);
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(cache.evict_expired(), 1);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.counters().evicted_ttl, 1);
+        // The evicted key recompiles transparently (and expires again at
+        // lookup time without an explicit sweep).
+        std::thread::sleep(Duration::from_millis(2));
+        let (_, outcome) = cache.get_or_compile(&model(16, "m"), &gpu, &opts).unwrap();
+        assert_eq!(outcome, CacheOutcome::Compiled);
+    }
+
+    #[test]
+    fn unload_evicts_by_graph_hash() {
+        let cache = CompiledCache::new();
+        let gpu = Gpu::default();
+        let opts = CompilerOptions::quick();
+        let a = model(16, "a");
+        let b = model(32, "b");
+        cache.get_or_compile(&a, &gpu, &opts).unwrap();
+        cache.get_or_compile(&b, &gpu, &opts).unwrap();
+        assert_eq!(cache.evict_model(&[a.structural_hash()]), 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.counters().evicted_unload, 1);
+        let (_, outcome) = cache.get_or_compile(&b, &gpu, &opts).unwrap();
+        assert!(outcome.is_hit(), "other models must be untouched");
     }
 }

@@ -1,24 +1,37 @@
 //! The serving engine: a multi-session inference front-end over the Hidet
 //! compiler and a pool of simulated GPUs.
 //!
+//! The model lifecycle is explicit: [`Engine::register`] takes a
+//! [`ModelSpec`] (name, graph-builder family, batching mode, optional
+//! artifact store) and returns a [`ModelHandle`] that owns every per-model
+//! operation — [`ModelHandle::infer`], [`ModelHandle::submit`],
+//! [`ModelHandle::warmup`], [`ModelHandle::unload`]. Requests are built with
+//! the [`Request`] builder (inputs + priority + deadline + per-request
+//! timeout). The free-function entry points of the v1 API (`Engine::load`,
+//! `Engine::submit_with`, ...) remain as thin `#[deprecated]` shims for one
+//! release.
+//!
 //! ```text
-//!   clients ── submit_with ──▶ admission ──▶ priority queues ──▶ dispatcher
-//!              (priority,      (sheds when    High / Normal /       │
-//!               deadline)       overloaded)   BestEffort            ▼
-//!                                                      batch former (model x class)
-//!                                                                   │ least-estimated-
-//!                                                                   ▼ queue-delay
+//!   clients ── handle.submit ──▶ admission ──▶ priority queues ──▶ dispatcher
+//!              (Request:         (sheds when    High / Normal /       │
+//!               priority,         overloaded)   BestEffort            ▼
+//!               deadline,                         batch former (model x class)
+//!               timeout)                                              │ least-estimated-
+//!                                                                    ▼ queue-delay
 //!                                        shard 0 workers ◀── placement ──▶ shard N workers
 //!                                              │                                │
 //!                                              ▼                                ▼
 //!                               shared compiled-graph cache ──▶ hidet-sim device per shard
+//!                                     │  ▲
+//!                                     ▼  │ (zero-tuning rebuild)
+//!                               disk artifact store (persists across processes)
 //! ```
 //!
 //! * Requests carry a [`Priority`] class and an optional deadline
-//!   ([`Engine::submit_with`]). The dispatcher always serves the highest
-//!   non-empty class; requests whose deadline passes while queued are
-//!   rejected with [`EngineError::DeadlineExceeded`] and never reach a
-//!   worker.
+//!   ([`Request::with_deadline`] / [`Request::with_timeout`]). The
+//!   dispatcher always serves the highest non-empty class; requests whose
+//!   deadline passes while queued are rejected with
+//!   [`EngineError::DeadlineExceeded`] and never reach a worker.
 //! * Same-model, same-class requests are **coalesced along the batch
 //!   dimension** (up to [`EngineConfig::max_batch`], waiting at most
 //!   [`EngineConfig::batch_window`]) before dispatch. The straggler wait is
@@ -37,7 +50,16 @@
 //!   traffic.
 //! * Compilation happens at most once per (structure, device, options) — see
 //!   [`crate::CompiledCache`] — so steady-state requests never compile, and
-//!   homogeneous shards share one compiled graph.
+//!   homogeneous shards share one compiled graph. With an **artifact store**
+//!   ([`EngineConfig::artifact_store`] or [`ModelSpec::with_artifact_store`])
+//!   that holds across *process restarts*: compiles serialize their
+//!   [`hidet::CompiledArtifact`] to disk, and a warm restart rebuilds plans
+//!   from those files with zero fresh compiles and zero tuning trials.
+//!   Capacity/TTL bounds ([`EngineConfig::compiled_capacity`],
+//!   [`EngineConfig::compiled_ttl`]) and [`ModelHandle::unload`] evict
+//!   entries — an evicted key recompiles (or re-loads its artifact)
+//!   transparently on next use, with eviction counters in
+//!   [`crate::StatsSnapshot`].
 //! * Tuning results persist via [`hidet_sched::TuningCache`] when
 //!   [`EngineConfig::tuning_records_path`] is set: a restarted process
 //!   schedules previously seen matmuls with zero trials. Records are flushed
@@ -58,7 +80,7 @@ use hidet_graph::Graph;
 use hidet_sched::TuningCache;
 use hidet_sim::GpuSpec;
 
-use crate::cache::CompiledCache;
+use crate::cache::{CacheOutcome, CompiledCache, EvictionPolicy};
 use crate::shard::{self, LatencyModel, Shard};
 use crate::stats::{ServerStats, StatsSnapshot};
 
@@ -129,7 +151,12 @@ impl fmt::Display for Priority {
     }
 }
 
-/// Per-request submission knobs for [`Engine::submit_with`].
+/// Per-request submission knobs for the deprecated v1 entry points
+/// (`Engine::submit_with` and friends).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Request` and use a `ModelHandle` instead"
+)]
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SubmitOptions {
     /// Priority class (default [`Priority::Normal`]).
@@ -139,6 +166,7 @@ pub struct SubmitOptions {
     pub deadline: Option<Instant>,
 }
 
+#[allow(deprecated)]
 impl SubmitOptions {
     /// Options at the given priority, no deadline.
     pub fn priority(priority: Priority) -> SubmitOptions {
@@ -170,6 +198,81 @@ impl SubmitOptions {
     }
 }
 
+/// One inference request, builder-style: inputs plus scheduling knobs.
+///
+/// `inputs` holds one tensor per graph input, in `Graph::inputs` order, each
+/// shaped for **batch size 1** — the engine coalesces requests itself.
+///
+/// ```
+/// use hidet_runtime::{Priority, Request};
+/// use std::time::Duration;
+///
+/// let request = Request::new(vec![vec![0.5; 16]])
+///     .with_priority(Priority::High)
+///     .with_timeout(Duration::from_millis(100));
+/// assert_eq!(request.priority(), Priority::High);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Request {
+    inputs: Vec<Vec<f32>>,
+    priority: Priority,
+    deadline: Option<Instant>,
+    timeout: Option<Duration>,
+}
+
+impl Request {
+    /// A request at [`Priority::Normal`] with no deadline.
+    pub fn new(inputs: Vec<Vec<f32>>) -> Request {
+        Request {
+            inputs,
+            ..Request::default()
+        }
+    }
+
+    /// Sets the priority class.
+    pub fn with_priority(mut self, priority: Priority) -> Request {
+        self.priority = priority;
+        self
+    }
+
+    /// Shorthand for [`Priority::High`].
+    pub fn high(self) -> Request {
+        self.with_priority(Priority::High)
+    }
+
+    /// Shorthand for [`Priority::BestEffort`].
+    pub fn best_effort(self) -> Request {
+        self.with_priority(Priority::BestEffort)
+    }
+
+    /// Sets an absolute deadline: once passed, the request is answered with
+    /// [`EngineError::DeadlineExceeded`] instead of executed.
+    pub fn with_deadline(mut self, deadline: Instant) -> Request {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a per-request timeout, counted from **submission**. Combines
+    /// with [`Request::with_deadline`]: the earlier of the two wins.
+    pub fn with_timeout(mut self, timeout: Duration) -> Request {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// The priority class this request will be scheduled at.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// The effective absolute deadline as of submission time `now`.
+    fn effective_deadline(&self, now: Instant) -> Option<Instant> {
+        match (self.deadline, self.timeout.map(|t| now + t)) {
+            (Some(d), Some(t)) => Some(d.min(t)),
+            (d, t) => d.or(t),
+        }
+    }
+}
+
 /// Engine construction knobs.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -197,6 +300,20 @@ pub struct EngineConfig {
     /// Tuning-record persistence: loaded at startup, saved on shutdown and
     /// on [`Engine::flush_tuning_records`]. `None` keeps records in memory.
     pub tuning_records_path: Option<PathBuf>,
+    /// Default disk-backed artifact store for every registered model
+    /// (overridable per model via [`ModelSpec::with_artifact_store`]).
+    /// Compiles write their [`hidet::CompiledArtifact`] here; a warm restart
+    /// pointed at the same directory rebuilds plans with **zero** fresh
+    /// compiles and zero tuning trials. `None` keeps compiles process-local.
+    pub artifact_store: Option<PathBuf>,
+    /// Compiled-graph cache capacity: beyond this many entries the
+    /// least-recently-used completed entry is evicted (recompiling — or
+    /// re-loading its artifact — transparently on next use). `None` is
+    /// unbounded.
+    pub compiled_capacity: Option<usize>,
+    /// Compiled-graph TTL: entries idle longer than this are expired (at
+    /// lookup and at every [`Engine::stats`] snapshot). `None` disables.
+    pub compiled_ttl: Option<Duration>,
 }
 
 impl Default for EngineConfig {
@@ -210,6 +327,9 @@ impl Default for EngineConfig {
             max_inflight: 4096,
             admission_delay_bound: None,
             tuning_records_path: None,
+            artifact_store: None,
+            compiled_capacity: None,
+            compiled_ttl: None,
         }
     }
 }
@@ -251,6 +371,8 @@ pub enum EngineError {
     Closed,
     /// Tuning-record persistence failed.
     Records(String),
+    /// The model's artifact store could not be prepared.
+    Artifact(String),
 }
 
 impl fmt::Display for EngineError {
@@ -264,6 +386,7 @@ impl fmt::Display for EngineError {
             EngineError::DeadlineExceeded => write!(f, "deadline exceeded before execution"),
             EngineError::Closed => write!(f, "engine is shut down"),
             EngineError::Records(msg) => write!(f, "tuning records: {msg}"),
+            EngineError::Artifact(msg) => write!(f, "artifact store: {msg}"),
         }
     }
 }
@@ -310,6 +433,71 @@ impl Ticket {
 /// the leading dimension of every graph input scaling linearly in `b`.
 type ModelBuilder = Box<dyn Fn(i64) -> Graph + Send + Sync>;
 
+/// Everything [`Engine::register`] needs to know about a model: its name,
+/// graph-builder family, batching mode and (optionally) where its compiled
+/// artifacts persist.
+///
+/// `builder(b)` must return the model at batch size `b`. By default the
+/// model is **batchable**: dim 0 must be an independent-sample axis (every
+/// graph input's leading dimension scales with `b`, and each output row
+/// depends only on the corresponding input row — true for the CNN zoo
+/// models). Models where that does not hold (the zoo's transformers fold
+/// batch into the sequence axis) must be registered [`ModelSpec::unbatched`],
+/// so their requests are never coalesced.
+pub struct ModelSpec {
+    name: String,
+    builder: ModelBuilder,
+    batchable: bool,
+    artifact_store: Option<PathBuf>,
+}
+
+impl ModelSpec {
+    /// A batchable model family named `name`.
+    pub fn new(
+        name: impl Into<String>,
+        builder: impl Fn(i64) -> Graph + Send + Sync + 'static,
+    ) -> ModelSpec {
+        ModelSpec {
+            name: name.into(),
+            builder: Box::new(builder),
+            batchable: true,
+            artifact_store: None,
+        }
+    }
+
+    /// Marks the model's requests as never coalescible — for models where
+    /// dim 0 is not an independent-sample axis or builders that ignore their
+    /// batch argument. Requests always dispatch one at a time, regardless of
+    /// [`EngineConfig::max_batch`].
+    pub fn unbatched(mut self) -> ModelSpec {
+        self.batchable = false;
+        self
+    }
+
+    /// Persists this model's compiled artifacts under `dir`, overriding
+    /// [`EngineConfig::artifact_store`]. The directory is created at
+    /// registration.
+    pub fn with_artifact_store(mut self, dir: impl Into<PathBuf>) -> ModelSpec {
+        self.artifact_store = Some(dir.into());
+        self
+    }
+
+    /// The model's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Debug for ModelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModelSpec")
+            .field("name", &self.name)
+            .field("batchable", &self.batchable)
+            .field("artifact_store", &self.artifact_store)
+            .finish_non_exhaustive()
+    }
+}
+
 struct Variant {
     graph: Arc<Graph>,
     /// Memoized `Graph::structural_hash` — O(model weights) to compute, so
@@ -319,8 +507,10 @@ struct Variant {
 
 struct ModelEntry {
     builder: ModelBuilder,
-    /// Whether requests may be coalesced along dim 0 (see [`Engine::load`]).
+    /// Whether requests may be coalesced along dim 0 (see [`ModelSpec`]).
     batchable: bool,
+    /// Resolved artifact store (per-model override, else the engine default).
+    artifact_store: Option<PathBuf>,
     variants: Mutex<HashMap<i64, Arc<Variant>>>,
 }
 
@@ -420,6 +610,9 @@ impl ClassQueues {
 
 struct Shared {
     options: CompilerOptions,
+    /// [`EngineConfig::artifact_store`] — the store models fall back to when
+    /// their spec names none.
+    default_artifact_store: Option<PathBuf>,
     registry: Mutex<HashMap<String, Arc<ModelEntry>>>,
     queue: Mutex<ClassQueues>,
     queue_cv: Condvar,
@@ -566,11 +759,15 @@ impl Engine {
 
         let shared = Arc::new(Shared {
             options,
+            default_artifact_store: config.artifact_store.clone(),
             registry: Mutex::new(HashMap::new()),
             queue: Mutex::new(ClassQueues::default()),
             queue_cv: Condvar::new(),
             closed: AtomicBool::new(false),
-            compiled: CompiledCache::new(),
+            compiled: CompiledCache::with_policy(EvictionPolicy {
+                capacity: config.compiled_capacity,
+                ttl: config.compiled_ttl,
+            }),
             stats: ServerStats::default(),
             shards,
             latency_model: LatencyModel::default(),
@@ -617,130 +814,137 @@ impl Engine {
         })
     }
 
-    /// Registers a model family under `name`, eligible for dynamic batching.
+    /// Registers a model and returns its [`ModelHandle`] — the v2 entry
+    /// point owning `infer`/`submit`/`warmup`/`unload` for that model.
     ///
-    /// `builder(b)` must return the model at batch size `b`, and the model
-    /// must treat dim 0 as **independent samples**: every graph input's
-    /// leading dimension scales with `b`, and each output row depends only on
-    /// the corresponding input row. CNN-style zoo models satisfy this (e.g.
-    /// `engine.load("resnet50", models::resnet50)`); the transformer
-    /// builders do **not** — `bert_base`/`gpt2` fold batch into the sequence
-    /// axis, so coalesced requests would attend to each other's tokens.
-    /// Register those with [`Engine::load_unbatched`] instead.
+    /// Re-registering a name replaces the previous family (outstanding
+    /// handles to the old registration keep working against the new one —
+    /// handles address models by name); compiled graphs are keyed
+    /// structurally, so identical structures stay cached. If the spec (or
+    /// [`EngineConfig::artifact_store`]) names an artifact store, the
+    /// directory is created here.
     ///
-    /// Re-loading a name replaces the previous family; compiled graphs are
-    /// keyed structurally, so identical structures stay cached.
-    pub fn load(&self, name: &str, builder: impl Fn(i64) -> Graph + Send + Sync + 'static) {
-        self.register(name, Box::new(builder), true);
-    }
-
-    /// Registers a model family whose requests must never be coalesced —
-    /// for models where dim 0 is not an independent-sample axis (the zoo's
-    /// transformers) or builders that ignore their batch argument. Requests
-    /// are always dispatched one at a time, regardless of
-    /// [`EngineConfig::max_batch`].
-    pub fn load_unbatched(
-        &self,
-        name: &str,
-        builder: impl Fn(i64) -> Graph + Send + Sync + 'static,
-    ) {
-        self.register(name, Box::new(builder), false);
-    }
-
-    fn register(&self, name: &str, builder: ModelBuilder, batchable: bool) {
+    /// # Errors
+    /// [`EngineError::Closed`] after shutdown began, [`EngineError::BadInput`]
+    /// for an empty name, [`EngineError::Artifact`] when the artifact-store
+    /// directory cannot be created.
+    pub fn register(&self, spec: ModelSpec) -> Result<ModelHandle, EngineError> {
+        if self.shared.closed.load(Ordering::SeqCst) {
+            return Err(EngineError::Closed);
+        }
+        if spec.name.is_empty() {
+            return Err(EngineError::BadInput(
+                "model name must not be empty".to_string(),
+            ));
+        }
+        let artifact_store = spec
+            .artifact_store
+            .or_else(|| self.shared.default_artifact_store.clone());
+        if let Some(dir) = &artifact_store {
+            std::fs::create_dir_all(dir).map_err(|e| {
+                EngineError::Artifact(format!(
+                    "cannot create artifact store {}: {e}",
+                    dir.display()
+                ))
+            })?;
+        }
         let entry = Arc::new(ModelEntry {
-            builder,
-            batchable,
+            builder: spec.builder,
+            batchable: spec.batchable,
+            artifact_store,
             variants: Mutex::new(HashMap::new()),
         });
         self.shared
             .registry
             .lock()
             .expect("registry poisoned")
-            .insert(name.to_string(), entry);
+            .insert(spec.name.clone(), entry);
+        Ok(ModelHandle {
+            name: Arc::from(spec.name),
+            shared: Arc::clone(&self.shared),
+        })
     }
 
-    /// Pre-compiles `model` at `batch` for **every** shard, off the request
-    /// path, and primes the placement scheduler's latency model with the
-    /// analytic estimate per device. Returns whether every per-device
-    /// compile was already cached (homogeneous shards share one entry).
+    /// Unregisters the handle's model and evicts its compiled graphs and
+    /// placement estimates — see [`ModelHandle::unload`].
+    pub fn unload(&self, handle: &ModelHandle) -> bool {
+        handle.unload()
+    }
+
+    /// Registers a batchable model family under `name`.
+    ///
+    /// # Panics
+    /// If registration fails (e.g. the configured artifact store cannot be
+    /// created) — the v1 signature has no error channel, and silently
+    /// dropping the model would surface later as a misleading
+    /// `UnknownModel`. Use [`Engine::register`] to handle the error.
+    #[deprecated(since = "0.2.0", note = "use `Engine::register(ModelSpec::new(..))`")]
+    pub fn load(&self, name: &str, builder: impl Fn(i64) -> Graph + Send + Sync + 'static) {
+        let _ = self
+            .register(ModelSpec::new(name, builder))
+            .unwrap_or_else(|e| panic!("Engine::load(\"{name}\") failed: {e}"));
+    }
+
+    /// Registers a model family whose requests must never be coalesced.
+    ///
+    /// # Panics
+    /// If registration fails — see [`Engine::load`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Engine::register(ModelSpec::new(..).unbatched())`"
+    )]
+    pub fn load_unbatched(
+        &self,
+        name: &str,
+        builder: impl Fn(i64) -> Graph + Send + Sync + 'static,
+    ) {
+        let _ = self
+            .register(ModelSpec::new(name, builder).unbatched())
+            .unwrap_or_else(|e| panic!("Engine::load_unbatched(\"{name}\") failed: {e}"));
+    }
+
+    /// Pre-compiles `model` at `batch` for every shard.
+    #[deprecated(since = "0.2.0", note = "use `ModelHandle::warmup`")]
     pub fn warmup(&self, model: &str, batch: i64) -> Result<bool, EngineError> {
-        let entry = self.entry(model)?;
-        let variant = entry.variant(batch);
-        let mut all_hit = true;
-        for shard in &self.shared.shards {
-            let (compiled, hit) = self.shared.compiled.get_or_compile_hashed(
-                &variant.graph,
-                variant.hash,
-                &shard.gpu,
-                &self.shared.options,
-            )?;
-            record_compile(&self.shared, &compiled, hit);
-            self.shared
-                .latency_model
-                .record(shard.id, model, batch, compiled.estimate(&shard.gpu));
-            all_hit &= hit;
-        }
-        Ok(all_hit)
+        warmup_model(&self.shared, model, batch)
     }
 
-    /// Enqueues one inference at [`Priority::Normal`] with no deadline:
-    /// `inputs` holds one tensor per graph input, in `Graph::inputs` order,
-    /// each shaped for **batch size 1** (the engine batches requests
-    /// itself). Returns immediately with a [`Ticket`].
+    /// Enqueues one inference at [`Priority::Normal`] with no deadline.
+    #[deprecated(since = "0.2.0", note = "use `ModelHandle::submit(Request::new(..))`")]
     pub fn submit(&self, model: &str, inputs: Vec<Vec<f32>>) -> Ticket {
-        self.submit_with(model, inputs, SubmitOptions::default())
+        submit_request(&self.shared, model, Request::new(inputs))
     }
 
-    /// [`Engine::submit`] with an explicit [`Priority`] and optional
-    /// deadline. The ticket resolves to [`EngineError::QueueFull`] if the
-    /// admission controller sheds the request, and to
-    /// [`EngineError::DeadlineExceeded`] if the deadline passes before a
-    /// worker executes it.
+    /// [`Engine::submit`] with explicit submission options.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ModelHandle::submit` with a `Request` builder"
+    )]
+    #[allow(deprecated)]
     pub fn submit_with(&self, model: &str, inputs: Vec<Vec<f32>>, opts: SubmitOptions) -> Ticket {
-        let (tx, rx) = mpsc::channel();
-        let ticket = Ticket { rx };
-        if self.shared.closed.load(Ordering::SeqCst) {
-            let _ = tx.send(Err(EngineError::Closed));
-            return ticket;
+        let mut request = Request::new(inputs).with_priority(opts.priority);
+        if let Some(deadline) = opts.deadline {
+            request = request.with_deadline(deadline);
         }
-        if opts.deadline.is_some_and(|d| Instant::now() >= d) {
-            self.shared.stats.count_deadline_expired();
-            let _ = tx.send(Err(EngineError::DeadlineExceeded));
-            return ticket;
-        }
-        let request = PendingRequest {
-            model: model.to_string(),
-            inputs,
-            priority: opts.priority,
-            deadline: opts.deadline,
-            responder: tx,
-        };
-        {
-            // Admission and enqueue under one lock so verdicts are ordered.
-            let mut queue = self.shared.queue.lock().expect("queue poisoned");
-            if let Some(err) = self.shared.admission_verdict(opts.priority, queue.total()) {
-                drop(queue);
-                let _ = request.responder.send(Err(err));
-                return ticket;
-            }
-            self.shared.inflight.fetch_add(1, Ordering::Relaxed);
-            queue.push(request);
-        }
-        self.shared.queue_cv.notify_all();
-        ticket
+        submit_request(&self.shared, model, request)
     }
 
-    /// Blocking single inference: [`Engine::submit`] + [`Ticket::wait`].
+    /// Blocking single inference.
+    #[deprecated(since = "0.2.0", note = "use `ModelHandle::infer(Request::new(..))`")]
     pub fn infer(
         &self,
         model: &str,
         inputs: Vec<Vec<f32>>,
     ) -> Result<InferenceResult, EngineError> {
-        self.submit(model, inputs).wait()
+        submit_request(&self.shared, model, Request::new(inputs)).wait()
     }
 
     /// Blocking inference with explicit submission options.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ModelHandle::infer` with a `Request` builder"
+    )]
+    #[allow(deprecated)]
     pub fn infer_with(
         &self,
         model: &str,
@@ -750,8 +954,8 @@ impl Engine {
         self.submit_with(model, inputs, opts).wait()
     }
 
-    /// Submits a burst of requests and waits for all of them — the pattern
-    /// that gives the dispatcher something to coalesce.
+    /// Submits a burst of requests and waits for all of them.
+    #[deprecated(since = "0.2.0", note = "use `ModelHandle::infer_many`")]
     pub fn infer_many(
         &self,
         model: &str,
@@ -759,16 +963,20 @@ impl Engine {
     ) -> Vec<Result<InferenceResult, EngineError>> {
         let tickets: Vec<Ticket> = requests
             .into_iter()
-            .map(|inputs| self.submit(model, inputs))
+            .map(|inputs| submit_request(&self.shared, model, Request::new(inputs)))
             .collect();
         tickets.into_iter().map(Ticket::wait).collect()
     }
 
-    /// Current server statistics, including per-shard counters.
+    /// Current server statistics, including per-shard, artifact-store and
+    /// eviction counters. Snapshotting also sweeps TTL-expired cache entries
+    /// so idle-eviction counters stay current without traffic.
     pub fn stats(&self) -> StatsSnapshot {
-        let (hits, misses) = self.shared.compiled.counters();
+        self.shared.compiled.evict_expired();
         let shards = self.shared.shards.iter().map(Shard::snapshot).collect();
-        self.shared.stats.snapshot(hits, misses, shards)
+        self.shared
+            .stats
+            .snapshot(self.shared.compiled.counters(), shards)
     }
 
     /// Number of shards (devices) in the pool.
@@ -807,16 +1015,6 @@ impl Engine {
         self.shutdown_inner()
     }
 
-    fn entry(&self, model: &str) -> Result<Arc<ModelEntry>, EngineError> {
-        self.shared
-            .registry
-            .lock()
-            .expect("registry poisoned")
-            .get(model)
-            .cloned()
-            .ok_or_else(|| EngineError::UnknownModel(model.to_string()))
-    }
-
     fn shutdown_inner(&mut self) -> Result<(), EngineError> {
         if self.dispatcher.is_none() {
             return Ok(()); // already shut down
@@ -846,6 +1044,168 @@ impl Drop for Engine {
         }
         let _ = self.shutdown_inner();
     }
+}
+
+/// A registered model's session: the v2 surface for everything scoped to one
+/// model. Cheap to clone; handles address the model **by name**, so they
+/// survive (and follow) re-registration under the same name, and resolve to
+/// [`EngineError::UnknownModel`] after [`ModelHandle::unload`].
+///
+/// A handle holds the engine's shared state alive but not its threads: after
+/// the [`Engine`] shuts down, submissions answer [`EngineError::Closed`].
+#[derive(Clone)]
+pub struct ModelHandle {
+    name: Arc<str>,
+    shared: Arc<Shared>,
+}
+
+impl fmt::Debug for ModelHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModelHandle")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ModelHandle {
+    /// The model's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Enqueues one inference, returning immediately with a [`Ticket`]. The
+    /// ticket resolves to [`EngineError::QueueFull`] if the admission
+    /// controller sheds the request, and to
+    /// [`EngineError::DeadlineExceeded`] if the request's deadline/timeout
+    /// passes before a worker executes it.
+    pub fn submit(&self, request: Request) -> Ticket {
+        submit_request(&self.shared, &self.name, request)
+    }
+
+    /// Blocking single inference: [`ModelHandle::submit`] + [`Ticket::wait`].
+    pub fn infer(&self, request: Request) -> Result<InferenceResult, EngineError> {
+        self.submit(request).wait()
+    }
+
+    /// Submits a burst of requests and waits for all of them — the pattern
+    /// that gives the dispatcher something to coalesce. Failures are
+    /// **per-request**: one shed or expired request reports its own error
+    /// without masking its siblings' results.
+    pub fn infer_many(&self, requests: Vec<Request>) -> Vec<Result<InferenceResult, EngineError>> {
+        let tickets: Vec<Ticket> = requests.into_iter().map(|r| self.submit(r)).collect();
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+
+    /// Pre-compiles the model at `batch` for **every** shard, off the
+    /// request path, and primes the placement scheduler's latency model with
+    /// the analytic estimate per device. Returns whether every per-device
+    /// compile was already cached in memory (homogeneous shards share one
+    /// entry; an artifact-store rebuild counts as *not* cached).
+    pub fn warmup(&self, batch: i64) -> Result<bool, EngineError> {
+        warmup_model(&self.shared, &self.name, batch)
+    }
+
+    /// Unregisters the model and evicts its compiled graphs (counted under
+    /// [`StatsSnapshot::compiled_evicted_unload`]) and placement estimates.
+    /// Disk artifacts are kept — a re-registered model warm-starts from
+    /// them. Requests already queued are answered
+    /// [`EngineError::UnknownModel`]; so are later submissions through this
+    /// (or any) handle. Idempotent: returns whether the model was loaded.
+    pub fn unload(&self) -> bool {
+        unload_model(&self.shared, &self.name)
+    }
+}
+
+fn lookup_entry(shared: &Shared, model: &str) -> Result<Arc<ModelEntry>, EngineError> {
+    shared
+        .registry
+        .lock()
+        .expect("registry poisoned")
+        .get(model)
+        .cloned()
+        .ok_or_else(|| EngineError::UnknownModel(model.to_string()))
+}
+
+/// [`ModelHandle::warmup`]'s engine-side implementation.
+fn warmup_model(shared: &Shared, model: &str, batch: i64) -> Result<bool, EngineError> {
+    let entry = lookup_entry(shared, model)?;
+    let variant = entry.variant(batch);
+    let mut all_hit = true;
+    for shard in &shared.shards {
+        let (compiled, outcome) = shared.compiled.get_or_compile_hashed(
+            &variant.graph,
+            variant.hash,
+            &shard.gpu,
+            &shared.options,
+            entry.artifact_store.as_deref(),
+        )?;
+        record_compile(shared, &compiled, outcome);
+        shared
+            .latency_model
+            .record(shard.id, model, batch, compiled.estimate(&shard.gpu));
+        all_hit &= outcome.is_hit();
+    }
+    Ok(all_hit)
+}
+
+/// [`ModelHandle::unload`]'s engine-side implementation.
+fn unload_model(shared: &Shared, model: &str) -> bool {
+    let entry = shared
+        .registry
+        .lock()
+        .expect("registry poisoned")
+        .remove(model);
+    let Some(entry) = entry else {
+        return false;
+    };
+    let hashes: Vec<u64> = entry
+        .variants
+        .lock()
+        .expect("registry poisoned")
+        .values()
+        .map(|v| v.hash)
+        .collect();
+    shared.compiled.evict_model(&hashes);
+    shared.latency_model.forget_model(model);
+    true
+}
+
+/// Admission + enqueue: the one path every submission (v2 handles and the
+/// deprecated free functions alike) funnels through.
+fn submit_request(shared: &Shared, model: &str, request: Request) -> Ticket {
+    let (tx, rx) = mpsc::channel();
+    let ticket = Ticket { rx };
+    if shared.closed.load(Ordering::SeqCst) {
+        let _ = tx.send(Err(EngineError::Closed));
+        return ticket;
+    }
+    let now = Instant::now();
+    let deadline = request.effective_deadline(now);
+    if deadline.is_some_and(|d| now >= d) {
+        shared.stats.count_deadline_expired();
+        let _ = tx.send(Err(EngineError::DeadlineExceeded));
+        return ticket;
+    }
+    let pending = PendingRequest {
+        model: model.to_string(),
+        inputs: request.inputs,
+        priority: request.priority,
+        deadline,
+        responder: tx,
+    };
+    {
+        // Admission and enqueue under one lock so verdicts are ordered.
+        let mut queue = shared.queue.lock().expect("queue poisoned");
+        if let Some(err) = shared.admission_verdict(request.priority, queue.total()) {
+            drop(queue);
+            let _ = pending.responder.send(Err(err));
+            return ticket;
+        }
+        shared.inflight.fetch_add(1, Ordering::Relaxed);
+        queue.push(pending);
+    }
+    shared.queue_cv.notify_all();
+    ticket
 }
 
 /// Responds `DeadlineExceeded` to every queued request whose deadline has
@@ -1012,10 +1372,12 @@ fn fail_all(shared: &Shared, requests: Vec<PendingRequest>, err: EngineError) {
     }
 }
 
-/// Tuning-side stats for a fresh compile (cache hit/miss counts live in the
-/// compiled cache itself — see `CompiledCache::counters`).
-fn record_compile(shared: &Shared, compiled: &hidet::CompiledGraph, hit: bool) {
-    if !hit {
+/// Tuning-side stats for a fresh compile or an artifact rebuild (cache
+/// hit/miss/artifact counts live in the compiled cache itself — see
+/// `CompiledCache::counters`). An artifact rebuild runs zero trials and
+/// reports the artifact's embodied tuning cost as saved.
+fn record_compile(shared: &Shared, compiled: &hidet::CompiledGraph, outcome: CacheOutcome) {
+    if !outcome.is_hit() {
         shared
             .stats
             .add_tuning_run(compiled.tuning_trials(), compiled.tuning_seconds());
@@ -1118,15 +1480,16 @@ fn process_batch(shared: &Shared, shard_idx: usize, job: BatchJob) {
         variant.hash,
         &shard.gpu,
         &shared.options,
+        entry.artifact_store.as_deref(),
     );
-    let (compiled, cache_hit) = match compiled {
+    let (compiled, outcome) = match compiled {
         Ok(result) => result,
         Err(e) => {
             fail_all(shared, valid, EngineError::Compile(e));
             return;
         }
     };
-    record_compile(shared, &compiled, cache_hit);
+    record_compile(shared, &compiled, outcome);
 
     // Coalesce: requests are laid out contiguously along dim 0.
     let mut input_map = HashMap::new();
@@ -1178,7 +1541,7 @@ fn process_batch(shared: &Shared, shard_idx: usize, job: BatchJob) {
                 simulated_latency_seconds: latency,
                 queue_delay_seconds: job.queue_delay,
                 priority: job.priority,
-                compile_cache_hit: cache_hit,
+                compile_cache_hit: outcome.is_hit(),
             }),
         );
     }
@@ -1217,6 +1580,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn submit_options_builders() {
         let opts = SubmitOptions::high().with_deadline_in(Duration::from_secs(1));
         assert_eq!(opts.priority, Priority::High);
@@ -1224,6 +1588,48 @@ mod tests {
         assert_eq!(SubmitOptions::best_effort().priority, Priority::BestEffort);
         assert_eq!(SubmitOptions::default().priority, Priority::Normal);
         assert!(SubmitOptions::default().deadline.is_none());
+    }
+
+    #[test]
+    fn request_builder_defaults_and_shorthands() {
+        let r = Request::new(vec![vec![1.0]]);
+        assert_eq!(r.priority(), Priority::Normal);
+        assert!(r.effective_deadline(Instant::now()).is_none());
+        assert_eq!(Request::default().high().priority(), Priority::High);
+        assert_eq!(
+            Request::default().best_effort().priority(),
+            Priority::BestEffort
+        );
+    }
+
+    #[test]
+    fn request_effective_deadline_takes_the_earlier_bound() {
+        let now = Instant::now();
+        let absolute = now + Duration::from_millis(50);
+
+        // Deadline only.
+        let r = Request::default().with_deadline(absolute);
+        assert_eq!(r.effective_deadline(now), Some(absolute));
+
+        // Timeout only: counted from submission.
+        let r = Request::default().with_timeout(Duration::from_millis(20));
+        assert_eq!(
+            r.effective_deadline(now),
+            Some(now + Duration::from_millis(20))
+        );
+
+        // Both: the earlier wins, whichever it is.
+        let r = Request::default()
+            .with_deadline(absolute)
+            .with_timeout(Duration::from_millis(20));
+        assert_eq!(
+            r.effective_deadline(now),
+            Some(now + Duration::from_millis(20))
+        );
+        let r = Request::default()
+            .with_deadline(absolute)
+            .with_timeout(Duration::from_millis(200));
+        assert_eq!(r.effective_deadline(now), Some(absolute));
     }
 
     #[test]

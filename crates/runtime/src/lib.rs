@@ -3,20 +3,34 @@
 //! The paper's headline economics — cheap tuning amortized over many runs —
 //! only pay off if compiled artifacts are actually *reused*. This crate turns
 //! the one-shot `compile + evaluate` pipeline of `hidet` into a long-lived
-//! inference service over a **pool of simulated devices** (DESIGN.md §3–§4):
+//! inference service over a **pool of simulated devices** (DESIGN.md §3–§5):
 //!
-//! * **model registry + compiled-graph cache** ([`Engine::load`],
-//!   [`CompiledCache`]): compiled graphs are keyed by
+//! * **explicit model lifecycle** ([`Engine::register`] → [`ModelSpec`] →
+//!   [`ModelHandle`]): a handle owns every per-model operation — `infer`,
+//!   `submit`, `warmup`, `unload` — and requests are built with the
+//!   [`Request`] builder (inputs + priority + deadline + per-request
+//!   timeout);
+//! * **compiled-graph cache with cross-process persistence**
+//!   ([`CompiledCache`]): compiled graphs are keyed by
 //!   [`hidet_graph::Graph::structural_hash`] × device fingerprint × compiler
 //!   options, so repeat requests — even for the same structure registered
 //!   under a different name — skip compilation entirely, and homogeneous
-//!   shards share one compiled graph;
-//! * **priority/deadline-aware dynamic batching**
-//!   ([`Engine::submit_with`]): same-model, same-class requests are
-//!   coalesced along the model zoo's batch dimension; the dispatcher always
-//!   serves the highest non-empty [`Priority`] class, and requests whose
-//!   deadline passes while queued are rejected with
-//!   [`EngineError::DeadlineExceeded`] without ever reaching a worker;
+//!   shards share one compiled graph. With an artifact store
+//!   ([`EngineConfig::artifact_store`]) each compile persists its
+//!   [`hidet::CompiledArtifact`] to disk, and a **warm restart rebuilds
+//!   every previously served plan with zero fresh compiles and zero tuning
+//!   trials**;
+//! * **cache eviction** ([`EngineConfig::compiled_capacity`],
+//!   [`EngineConfig::compiled_ttl`], [`ModelHandle::unload`]): capacity
+//!   pressure evicts LRU entries, idle entries expire, unloaded models are
+//!   dropped — all counted in [`StatsSnapshot`], all recompiling (or
+//!   re-loading their artifact) transparently on next use;
+//! * **priority/deadline-aware dynamic batching** ([`ModelHandle::submit`]):
+//!   same-model, same-class requests are coalesced along the model zoo's
+//!   batch dimension; the dispatcher always serves the highest non-empty
+//!   [`Priority`] class, and requests whose deadline passes while queued are
+//!   rejected with [`EngineError::DeadlineExceeded`] without ever reaching a
+//!   worker;
 //! * **multi-GPU sharding** ([`EngineConfig::devices`]): formed batches are
 //!   placed on the shard with the least estimated queue delay
 //!   ([`hidet_sim::estimated_queue_delay`] over analytic latency estimates),
@@ -31,65 +45,72 @@
 //!   round-trip through a JSON file, so a cold process warm-starts with zero
 //!   tuning trials — flushed on shutdown *and* from `Drop`, so a panicking
 //!   caller doesn't lose them;
-//! * **observability** ([`ServerStats`]): cache hit/miss counters, tuning
-//!   trials run vs. saved, per-priority p50/p95 simulated sojourn latency,
-//!   per-shard dispatch/busy/shed counters ([`ShardSnapshot`]) and cluster
-//!   throughput, consumed by the `serving_throughput` and `serving_sharded`
-//!   bench binaries.
+//! * **observability** ([`ServerStats`]): cache hit/miss/artifact/eviction
+//!   counters, tuning trials run vs. saved, per-priority p50/p95 simulated
+//!   sojourn latency, per-shard dispatch counters ([`ShardSnapshot`]) and
+//!   cluster throughput, consumed by the `serving_throughput`,
+//!   `serving_sharded` and `serving_warm_restart` bench binaries.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use hidet_runtime::{Engine, EngineConfig};
+//! use hidet_runtime::{Engine, EngineConfig, ModelSpec, Request};
 //! use hidet_graph::{GraphBuilder, Tensor};
 //!
 //! let engine = Engine::new(EngineConfig::quick())?;
-//! engine.load("mlp", |batch| {
+//! let mlp = engine.register(ModelSpec::new("mlp", |batch| {
 //!     let mut g = GraphBuilder::new("mlp");
 //!     let x = g.input("x", &[batch, 16]);
 //!     let w = g.constant(Tensor::randn(&[16, 4], 1));
 //!     let y = g.matmul(x, w);
 //!     let y = g.relu(y);
 //!     g.output(y).build()
-//! });
+//! }))?;
 //!
-//! let result = engine.infer("mlp", vec![vec![0.5; 16]])?;
+//! let result = mlp.infer(Request::new(vec![vec![0.5; 16]]))?;
 //! assert_eq!(result.outputs[0].len(), 4);
 //!
 //! // Same structure, second request: served from the compiled-graph cache.
-//! let again = engine.infer("mlp", vec![vec![0.25; 16]])?;
+//! let again = mlp.infer(Request::new(vec![vec![0.25; 16]]))?;
 //! assert!(again.compile_cache_hit);
+//!
+//! // Unload when done: compiled graphs evicted, counters updated.
+//! mlp.unload();
 //! # Ok::<(), hidet_runtime::EngineError>(())
 //! ```
 //!
-//! ## Sharding and priorities
+//! ## Sharding, priorities and the artifact store
 //!
 //! ```
-//! use hidet_runtime::{Engine, EngineConfig, Priority, SubmitOptions};
+//! use hidet_runtime::{Engine, EngineConfig, ModelSpec, Priority, Request};
 //! use hidet_graph::{GraphBuilder, Tensor};
 //! use hidet_sim::GpuSpec;
 //! use std::time::Duration;
 //!
+//! # let store_dir = std::env::temp_dir().join(format!("hidet-doc-{}", std::process::id()));
 //! let engine = Engine::new(EngineConfig {
 //!     devices: vec![GpuSpec::rtx3090(), GpuSpec::rtx3090()], // two shards
 //!     admission_delay_bound: Some(Duration::from_millis(50)),
+//!     artifact_store: Some(store_dir.clone()), // compiles persist across restarts
 //!     ..EngineConfig::quick()
 //! })?;
-//! engine.load("mlp", |batch| {
+//! let mlp = engine.register(ModelSpec::new("mlp", |batch| {
 //!     let mut g = GraphBuilder::new("mlp");
 //!     let x = g.input("x", &[batch, 16]);
 //!     let w = g.constant(Tensor::randn(&[16, 4], 1));
 //!     let y = g.matmul(x, w);
 //!     g.output(y).build()
-//! });
+//! }))?;
 //!
-//! let urgent = engine.infer_with(
-//!     "mlp",
-//!     vec![vec![0.5; 16]],
-//!     SubmitOptions::high().with_deadline_in(Duration::from_secs(5)),
+//! let urgent = mlp.infer(
+//!     Request::new(vec![vec![0.5; 16]])
+//!         .with_priority(Priority::High)
+//!         .with_timeout(Duration::from_secs(5)),
 //! )?;
 //! assert_eq!(urgent.priority, Priority::High);
 //! assert_eq!(engine.stats().shards.len(), 2);
+//! # drop(engine);
+//! # let _ = std::fs::remove_dir_all(&store_dir);
 //! # Ok::<(), hidet_runtime::EngineError>(())
 //! ```
 
@@ -98,9 +119,12 @@ pub mod engine;
 pub(crate) mod shard;
 pub mod stats;
 
-pub use cache::{CacheKey, CompiledCache};
+pub use cache::{CacheCounters, CacheKey, CacheOutcome, CompiledCache, EvictionPolicy};
+#[allow(deprecated)]
+pub use engine::SubmitOptions;
 pub use engine::{
-    Engine, EngineConfig, EngineError, InferenceResult, Priority, SubmitOptions, Ticket,
+    Engine, EngineConfig, EngineError, InferenceResult, ModelHandle, ModelSpec, Priority, Request,
+    Ticket,
 };
 pub use shard::ShardSnapshot;
 pub use stats::{PriorityClassStats, ServerStats, StatsSnapshot};

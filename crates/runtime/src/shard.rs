@@ -161,6 +161,16 @@ impl LatencyModel {
             .insert((shard, model.to_string(), batch), seconds);
     }
 
+    /// Drops every estimate recorded for `model` (all shards, all batch
+    /// sizes) — called when the engine unloads a model so a later
+    /// registration under the same name starts from fresh evidence.
+    pub fn forget_model(&self, model: &str) {
+        self.map
+            .lock()
+            .expect("latency model poisoned")
+            .retain(|(_, m, _), _| m != model);
+    }
+
     /// Best available estimate for `model` at `batch` on shard `shard`:
     /// the exact entry, else the same shape on any shard, else another batch
     /// size of the model on this shard scaled linearly, else a small default.
@@ -292,6 +302,17 @@ mod tests {
         assert!((lm.estimate(1, "m", 4) - 0.002).abs() < 1e-12);
         // Another batch size on the same shard scales linearly.
         assert!((lm.estimate(0, "m", 8) - 0.004).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forgetting_a_model_resets_its_estimates() {
+        let lm = LatencyModel::default();
+        lm.record(0, "m", 4, 0.002);
+        lm.record(1, "m", 8, 0.004);
+        lm.record(0, "other", 4, 0.001);
+        lm.forget_model("m");
+        assert!((lm.estimate(0, "m", 4) - DEFAULT_BATCH_SECONDS).abs() < 1e-12);
+        assert!((lm.estimate(0, "other", 4) - 0.001).abs() < 1e-12);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::cache::CacheCounters;
 use crate::engine::Priority;
 use crate::shard::ShardSnapshot;
 
@@ -150,15 +151,10 @@ impl ServerStats {
     }
 
     /// A consistent copy of the current statistics. The compiled-graph cache
-    /// owns its own hit/miss counters (it is the single source of truth —
-    /// see [`crate::CompiledCache::counters`]) and each shard owns its
-    /// dispatch accounting; the engine passes both in.
-    pub fn snapshot(
-        &self,
-        compile_cache_hits: usize,
-        compile_cache_misses: usize,
-        shards: Vec<ShardSnapshot>,
-    ) -> StatsSnapshot {
+    /// owns its own hit/miss/artifact/eviction counters (it is the single
+    /// source of truth — see [`crate::CompiledCache::counters`]) and each
+    /// shard owns its dispatch accounting; the engine passes both in.
+    pub fn snapshot(&self, cache: CacheCounters, shards: Vec<ShardSnapshot>) -> StatsSnapshot {
         let (mut merged, by_class) = {
             let reservoirs = self.latencies.lock().expect("stats poisoned");
             let mut merged = Vec::new();
@@ -195,8 +191,13 @@ impl ServerStats {
             shed_requests: self.shed_requests.load(Ordering::Relaxed),
             deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
             batches,
-            compile_cache_hits,
-            compile_cache_misses,
+            compile_cache_hits: cache.hits,
+            compile_cache_misses: cache.misses,
+            compiled_artifact_loads: cache.artifact_loads,
+            compiled_artifact_rejects: cache.artifact_rejects,
+            compiled_evicted_ttl: cache.evicted_ttl,
+            compiled_evicted_capacity: cache.evicted_capacity,
+            compiled_evicted_unload: cache.evicted_unload,
             tuning_trials_run: self.tuning_trials_run.load(Ordering::Relaxed),
             tuning_trials_saved: self.tuning_trials_saved.load(Ordering::Relaxed),
             tuning_seconds_run: self.tuning_micros_run.load(Ordering::Relaxed) as f64 / 1e6,
@@ -254,10 +255,24 @@ pub struct StatsSnapshot {
     pub deadline_expired: usize,
     /// Batches dispatched.
     pub batches: usize,
-    /// Compiled-graph cache hits.
+    /// Compiled-graph cache hits (served from memory).
     pub compile_cache_hits: usize,
-    /// Compiled-graph cache misses.
+    /// Compiled-graph cache misses (fresh compiles — lookups rebuilt from a
+    /// disk artifact count under [`StatsSnapshot::compiled_artifact_loads`]
+    /// instead).
     pub compile_cache_misses: usize,
+    /// Compiles avoided by rebuilding from the disk artifact store (zero
+    /// tuning trials each).
+    pub compiled_artifact_loads: usize,
+    /// Artifact files rejected (corrupted/truncated/mismatched) — each fell
+    /// back to a fresh compile.
+    pub compiled_artifact_rejects: usize,
+    /// Compiled graphs evicted after idling past the cache TTL.
+    pub compiled_evicted_ttl: usize,
+    /// Compiled graphs evicted by capacity pressure (LRU order).
+    pub compiled_evicted_capacity: usize,
+    /// Compiled graphs evicted by explicit model unloads.
+    pub compiled_evicted_unload: usize,
     /// Tuning trials executed.
     pub tuning_trials_run: usize,
     /// Tuning trials saved by persisted records.
@@ -290,18 +305,25 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
+    /// Total compiled-graph evictions across TTL, capacity and unload.
+    pub fn compiled_evictions(&self) -> usize {
+        self.compiled_evicted_ttl + self.compiled_evicted_capacity + self.compiled_evicted_unload
+    }
+
     /// Compact one-line rendering for logs and benches.
     pub fn summary(&self) -> String {
         format!(
-            "{} req in {} batches (mean {:.2}/batch) over {} shard(s) | compile cache {}/{} hit | \
-             {} trials run, {} saved | p50 {:.1} us, p95 {:.1} us | {:.0} req/s (cluster, simulated) | \
-             {} shed, {} expired",
+            "{} req in {} batches (mean {:.2}/batch) over {} shard(s) | compile cache {}/{} hit, \
+             {} artifact loads, {} evicted | {} trials run, {} saved | p50 {:.1} us, p95 {:.1} us | \
+             {:.0} req/s (cluster, simulated) | {} shed, {} expired",
             self.requests,
             self.batches,
             self.mean_batch_size,
             self.shards.len(),
             self.compile_cache_hits,
-            self.compile_cache_hits + self.compile_cache_misses,
+            self.compile_cache_hits + self.compile_cache_misses + self.compiled_artifact_loads,
+            self.compiled_artifact_loads,
+            self.compiled_evictions(),
             self.tuning_trials_run,
             self.tuning_trials_saved,
             self.p50_latency_seconds * 1e6,
@@ -337,7 +359,7 @@ mod tests {
     use super::*;
 
     fn snap(stats: &ServerStats) -> StatsSnapshot {
-        stats.snapshot(0, 0, Vec::new())
+        stats.snapshot(CacheCounters::default(), Vec::new())
     }
 
     #[test]
@@ -450,7 +472,7 @@ mod tests {
                 shed_requests: 0,
             },
         ];
-        let snap = stats.snapshot(0, 0, shards);
+        let snap = stats.snapshot(CacheCounters::default(), shards);
         assert!((snap.makespan_seconds - 0.002).abs() < 1e-12);
         assert!((snap.cluster_throughput_rps - 8.0 / 0.002).abs() < 1.0);
         // Device-seconds throughput is unchanged by sharding.

@@ -1,6 +1,6 @@
 //! Integration tests of the serving engine: functional correctness through
 //! the batching path, cache behavior, tuning-record persistence, error
-//! surfaces.
+//! surfaces — all through the v2 `ModelHandle`/`Request` API.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use hidet_graph::reference::{self, ValueMap};
 use hidet_graph::{Graph, GraphBuilder, Tensor};
-use hidet_runtime::{Engine, EngineConfig, EngineError};
+use hidet_runtime::{Engine, EngineConfig, EngineError, ModelHandle, ModelSpec, Request};
 use hidet_sim::Gpu;
 
 /// A small two-layer MLP whose inputs scale with the batch dimension.
@@ -27,6 +27,10 @@ fn sample_input(seed: u64) -> Vec<f32> {
     Tensor::randn(&[1, 24], seed).data().unwrap().to_vec()
 }
 
+fn request(seed: u64) -> Request {
+    Request::new(vec![sample_input(seed)])
+}
+
 /// Ground truth from the reference executor at batch 1.
 fn reference_output(input: &[f32]) -> Vec<f32> {
     let graph = mlp(1);
@@ -36,15 +40,17 @@ fn reference_output(input: &[f32]) -> Vec<f32> {
     out[&graph.outputs()[0]].clone()
 }
 
-fn quick_engine(max_batch: usize) -> Engine {
+fn quick_engine(max_batch: usize) -> (Engine, ModelHandle) {
     let config = EngineConfig {
         max_batch,
         batch_window: Duration::from_millis(25),
         ..EngineConfig::quick()
     };
     let engine = Engine::new(config).expect("engine starts");
-    engine.load("mlp", mlp);
-    engine
+    let model = engine
+        .register(ModelSpec::new("mlp", mlp))
+        .expect("model registers");
+    (engine, model)
 }
 
 fn unique_temp_path(tag: &str) -> PathBuf {
@@ -57,9 +63,11 @@ fn unique_temp_path(tag: &str) -> PathBuf {
 
 #[test]
 fn single_inference_matches_reference() {
-    let engine = quick_engine(1);
+    let (_engine, model) = quick_engine(1);
     let input = sample_input(7);
-    let result = engine.infer("mlp", vec![input.clone()]).expect("infers");
+    let result = model
+        .infer(Request::new(vec![input.clone()]))
+        .expect("infers");
     assert_eq!(result.batch_size, 1);
     let expect = reference_output(&input);
     assert_eq!(result.outputs.len(), 1);
@@ -70,9 +78,14 @@ fn single_inference_matches_reference() {
 
 #[test]
 fn batched_inference_matches_reference_per_request() {
-    let engine = quick_engine(4);
+    let (_engine, model) = quick_engine(4);
     let inputs: Vec<Vec<f32>> = (0..4).map(|i| sample_input(100 + i)).collect();
-    let results = engine.infer_many("mlp", inputs.iter().map(|x| vec![x.clone()]).collect());
+    let results = model.infer_many(
+        inputs
+            .iter()
+            .map(|x| Request::new(vec![x.clone()]))
+            .collect(),
+    );
     for (input, result) in inputs.iter().zip(results) {
         let result = result.expect("infers");
         let expect = reference_output(input);
@@ -84,9 +97,9 @@ fn batched_inference_matches_reference_per_request() {
 
 #[test]
 fn second_request_hits_compiled_graph_cache() {
-    let engine = quick_engine(1);
-    let first = engine.infer("mlp", vec![sample_input(1)]).unwrap();
-    let second = engine.infer("mlp", vec![sample_input(2)]).unwrap();
+    let (engine, model) = quick_engine(1);
+    let first = model.infer(request(1)).unwrap();
+    let second = model.infer(request(2)).unwrap();
     assert!(!first.compile_cache_hit);
     assert!(second.compile_cache_hit);
     let stats = engine.stats();
@@ -97,10 +110,10 @@ fn second_request_hits_compiled_graph_cache() {
 
 #[test]
 fn same_structure_under_two_names_shares_compile() {
-    let engine = quick_engine(1);
-    engine.load("mlp-alias", mlp);
-    engine.infer("mlp", vec![sample_input(1)]).unwrap();
-    let aliased = engine.infer("mlp-alias", vec![sample_input(2)]).unwrap();
+    let (engine, model) = quick_engine(1);
+    let alias = engine.register(ModelSpec::new("mlp-alias", mlp)).unwrap();
+    model.infer(request(1)).unwrap();
+    let aliased = alias.infer(request(2)).unwrap();
     assert!(
         aliased.compile_cache_hit,
         "structural key must ignore names"
@@ -110,9 +123,8 @@ fn same_structure_under_two_names_shares_compile() {
 
 #[test]
 fn burst_is_coalesced_into_batches() {
-    let engine = quick_engine(8);
-    let requests: Vec<Vec<Vec<f32>>> = (0..8).map(|i| vec![sample_input(i)]).collect();
-    let results = engine.infer_many("mlp", requests);
+    let (engine, model) = quick_engine(8);
+    let results = model.infer_many((0..8).map(request).collect());
     assert!(results.iter().all(|r| r.is_ok()));
     let stats = engine.stats();
     assert_eq!(stats.requests, 8);
@@ -127,13 +139,12 @@ fn burst_is_coalesced_into_batches() {
 #[test]
 fn batched_throughput_beats_sequential() {
     // Same 8 requests, dispatched sequentially (max_batch 1) vs batched.
-    let sequential = quick_engine(1);
-    let batched = quick_engine(8);
-    let requests = || (0..8).map(|i| vec![sample_input(i)]).collect::<Vec<_>>();
-    for r in sequential.infer_many("mlp", requests()) {
+    let (sequential, seq_model) = quick_engine(1);
+    let (batched, bat_model) = quick_engine(8);
+    for r in seq_model.infer_many((0..8).map(request).collect()) {
         r.unwrap();
     }
-    for r in batched.infer_many("mlp", requests()) {
+    for r in bat_model.infer_many((0..8).map(request).collect()) {
         r.unwrap();
     }
     let seq = sequential.stats();
@@ -161,8 +172,8 @@ fn tuning_records_roundtrip_across_processes() {
         ..EngineConfig::default() // tuned options
     };
     let engine = Engine::new(config.clone()).unwrap();
-    engine.load("mlp", mlp);
-    engine.infer("mlp", vec![sample_input(1)]).unwrap();
+    let model = engine.register(ModelSpec::new("mlp", mlp)).unwrap();
+    model.infer(request(1)).unwrap();
     let cold = engine.stats();
     assert!(cold.tuning_trials_run > 0, "cold start must tune");
     assert_eq!(cold.tuning_trials_saved, 0);
@@ -171,8 +182,8 @@ fn tuning_records_roundtrip_across_processes() {
 
     // "Process" 2: same record file, fresh engine (empty compiled cache).
     let engine = Engine::new(config).unwrap();
-    engine.load("mlp", mlp);
-    let result = engine.infer("mlp", vec![sample_input(2)]).unwrap();
+    let model = engine.register(ModelSpec::new("mlp", mlp)).unwrap();
+    let result = model.infer(request(2)).unwrap();
     assert!(
         !result.compile_cache_hit,
         "fresh process has no compiled graphs"
@@ -187,38 +198,51 @@ fn tuning_records_roundtrip_across_processes() {
 
 #[test]
 fn warmup_precompiles_off_the_request_path() {
-    let engine = quick_engine(4);
-    assert!(!engine.warmup("mlp", 1).unwrap());
-    assert!(engine.warmup("mlp", 1).unwrap());
-    let result = engine.infer("mlp", vec![sample_input(5)]).unwrap();
+    let (_engine, model) = quick_engine(4);
+    assert!(!model.warmup(1).unwrap());
+    assert!(model.warmup(1).unwrap());
+    let result = model.infer(request(5)).unwrap();
     assert!(result.compile_cache_hit);
 }
 
 #[test]
 fn unknown_model_and_bad_input_are_reported() {
-    let engine = quick_engine(2);
-    match engine.infer("nope", vec![vec![0.0; 24]]) {
-        Err(EngineError::UnknownModel(name)) => assert_eq!(name, "nope"),
+    let (engine, model) = quick_engine(2);
+    // A handle whose model was never registered under that name cannot
+    // exist; unknown-model surfaces through an unloaded handle.
+    let ghost = engine.register(ModelSpec::new("ghost", mlp)).unwrap();
+    ghost.unload();
+    match ghost.infer(Request::new(vec![vec![0.0; 24]])) {
+        Err(EngineError::UnknownModel(name)) => assert_eq!(name, "ghost"),
         other => panic!("expected UnknownModel, got {other:?}"),
     }
-    match engine.infer("mlp", vec![vec![0.0; 7]]) {
+    match model.infer(Request::new(vec![vec![0.0; 7]])) {
         Err(EngineError::BadInput(msg)) => assert!(msg.contains("expected 24"), "{msg}"),
         other => panic!("expected BadInput, got {other:?}"),
     }
-    match engine.infer("mlp", vec![]) {
+    match model.infer(Request::new(vec![])) {
         Err(EngineError::BadInput(_)) => {}
         other => panic!("expected BadInput, got {other:?}"),
     }
     // A bad request must not poison concurrent good ones.
-    let good = engine.infer("mlp", vec![sample_input(3)]).unwrap();
+    let good = model.infer(request(3)).unwrap();
     assert_eq!(good.outputs[0].len(), 6);
     assert_eq!(engine.stats().failures, 3);
 }
 
 #[test]
+fn registering_an_empty_name_is_rejected() {
+    let engine = Engine::new(EngineConfig::quick()).unwrap();
+    match engine.register(ModelSpec::new("", mlp)) {
+        Err(EngineError::BadInput(_)) => {}
+        other => panic!("expected BadInput, got {other:?}"),
+    }
+}
+
+#[test]
 fn unbatched_models_never_coalesce() {
     // Transformer-style models fold batch into the sequence axis, so
-    // coalescing would mix requests; `load_unbatched` must pin them to
+    // coalescing would mix requests; `ModelSpec::unbatched` must pin them to
     // batch-1 dispatch even under a burst with batching enabled.
     let engine = Engine::new(EngineConfig {
         max_batch: 8,
@@ -226,9 +250,10 @@ fn unbatched_models_never_coalesce() {
         ..EngineConfig::quick()
     })
     .expect("engine starts");
-    engine.load_unbatched("mlp-solo", mlp);
-    let requests: Vec<Vec<Vec<f32>>> = (0..4).map(|i| vec![sample_input(i)]).collect();
-    for result in engine.infer_many("mlp-solo", requests) {
+    let solo = engine
+        .register(ModelSpec::new("mlp-solo", mlp).unbatched())
+        .unwrap();
+    for result in solo.infer_many((0..4).map(request).collect()) {
         let result = result.expect("infers");
         assert_eq!(result.batch_size, 1, "unbatched model was coalesced");
     }
@@ -250,8 +275,8 @@ fn adopted_tuning_cache_still_absorbs_records_file() {
         ..EngineConfig::default()
     };
     let engine = Engine::new(warm.clone()).unwrap();
-    engine.load("mlp", mlp);
-    engine.infer("mlp", vec![sample_input(1)]).unwrap();
+    let model = engine.register(ModelSpec::new("mlp", mlp)).unwrap();
+    model.infer(request(1)).unwrap();
     engine.shutdown().unwrap();
     let persisted = hidet_sched::TuningCache::load(&path).unwrap().len();
     assert!(persisted > 0);
@@ -263,8 +288,8 @@ fn adopted_tuning_cache_still_absorbs_records_file() {
         ..warm
     };
     let engine = Engine::new(config).unwrap();
-    engine.load("mlp", mlp);
-    engine.infer("mlp", vec![sample_input(2)]).unwrap();
+    let model = engine.register(ModelSpec::new("mlp", mlp)).unwrap();
+    model.infer(request(2)).unwrap();
     let stats = engine.stats();
     assert_eq!(stats.tuning_trials_run, 0, "merged records must warm-start");
     engine.shutdown().unwrap();
@@ -290,9 +315,9 @@ fn tuned_compile_failure_is_typed_and_workers_survive() {
         ..EngineConfig::default() // tuned options
     })
     .expect("engine starts");
-    engine.load("mlp", mlp);
+    let model = engine.register(ModelSpec::new("mlp", mlp)).unwrap();
     for attempt in 0..3 {
-        match engine.infer("mlp", vec![sample_input(attempt)]) {
+        match model.infer(request(attempt)) {
             Err(EngineError::Compile(e)) => {
                 assert!(e.to_string().contains("no matmul schedule"), "{e}");
             }
@@ -320,9 +345,10 @@ fn dropped_engine_flushes_tuning_records() {
             ..EngineConfig::default() // tuned options
         })
         .unwrap();
-        engine.load("mlp", mlp);
-        engine.infer("mlp", vec![sample_input(1)]).unwrap();
-        drop(engine); // no shutdown()
+        let model = engine.register(ModelSpec::new("mlp", mlp)).unwrap();
+        model.infer(request(1)).unwrap();
+        drop(model);
+        // no shutdown()
     }
     assert!(path.exists(), "Drop must flush tuning records");
     assert!(!hidet_sched::TuningCache::load(&path).unwrap().is_empty());
@@ -342,8 +368,8 @@ fn panicking_caller_keeps_tuning_records() {
     };
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let engine = Engine::new(config).unwrap();
-        engine.load("mlp", mlp);
-        engine.infer("mlp", vec![sample_input(1)]).unwrap();
+        let model = engine.register(ModelSpec::new("mlp", mlp)).unwrap();
+        model.infer(request(1)).unwrap();
         panic!("caller blew up after tuning");
     }));
     assert!(result.is_err(), "the panic must propagate");
@@ -365,21 +391,20 @@ fn model_zoo_builders_plug_in_directly() {
     })
     .unwrap();
     // Transformers fold batch into the sequence axis → never coalesce them.
-    engine.load_unbatched("gpt2", |b| hidet_graph::models::gpt2(b, 32));
-    assert!(
-        !engine.warmup("gpt2", 1).unwrap(),
-        "first compile is a miss"
-    );
-    assert!(engine.warmup("gpt2", 1).unwrap(), "second compile is a hit");
+    let gpt2 = engine
+        .register(ModelSpec::new("gpt2", |b| hidet_graph::models::gpt2(b, 32)).unbatched())
+        .unwrap();
+    assert!(!gpt2.warmup(1).unwrap(), "first compile is a miss");
+    assert!(gpt2.warmup(1).unwrap(), "second compile is a hit");
     assert_eq!(engine.compiled_graphs(), 1);
 }
 
 #[test]
 fn engine_run_equals_direct_compile_run() {
     // The batching path must be a pure refactor of compile+run.
-    let engine = quick_engine(2);
+    let (_engine, model) = quick_engine(2);
     let input = sample_input(42);
-    let via_engine = engine.infer("mlp", vec![input.clone()]).unwrap();
+    let via_engine = model.infer(Request::new(vec![input.clone()])).unwrap();
 
     let graph = mlp(1);
     let gpu = Gpu::default();
@@ -391,4 +416,38 @@ fn engine_run_equals_direct_compile_run() {
     for (a, b) in via_engine.outputs[0].iter().zip(direct_out) {
         assert!((a - b).abs() < 1e-5, "{a} vs {b}");
     }
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_v1_shims_still_serve() {
+    // The v1 free-function entry points must keep working for one release:
+    // load + submit_with + infer + infer_many against the same engine state
+    // the v2 handles use.
+    use hidet_runtime::SubmitOptions;
+
+    let engine = Engine::new(EngineConfig {
+        max_batch: 2,
+        batch_window: Duration::from_millis(10),
+        ..EngineConfig::quick()
+    })
+    .unwrap();
+    engine.load("mlp", mlp);
+    engine.warmup("mlp", 1).unwrap();
+    let direct = engine.infer("mlp", vec![sample_input(1)]).unwrap();
+    assert_eq!(direct.outputs[0].len(), 6);
+    let opted = engine
+        .infer_with(
+            "mlp",
+            vec![sample_input(2)],
+            SubmitOptions::high().with_deadline_in(Duration::from_secs(5)),
+        )
+        .unwrap();
+    assert_eq!(opted.priority, hidet_runtime::Priority::High);
+    let many = engine.infer_many("mlp", vec![vec![sample_input(3)], vec![sample_input(4)]]);
+    assert!(many.iter().all(|r| r.is_ok()));
+    // Shims and handles share one registry: a v2 handle resolves the
+    // v1-loaded model.
+    let handle = engine.register(ModelSpec::new("mlp", mlp)).unwrap();
+    assert!(handle.infer(request(9)).is_ok());
 }

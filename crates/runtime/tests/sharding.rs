@@ -4,7 +4,7 @@
 use std::time::{Duration, Instant};
 
 use hidet_graph::{Graph, GraphBuilder, Tensor};
-use hidet_runtime::{Engine, EngineConfig, EngineError, Priority, SubmitOptions};
+use hidet_runtime::{Engine, EngineConfig, EngineError, ModelSpec, Priority, Request};
 use hidet_sim::GpuSpec;
 
 /// A mid-size MLP: big enough that a batch takes real wall time to interpret
@@ -20,8 +20,8 @@ fn mlp(batch: i64) -> Graph {
     g.output(y).build()
 }
 
-fn sample(seed: u64) -> Vec<Vec<f32>> {
-    vec![Tensor::randn(&[1, 32], seed).data().unwrap().to_vec()]
+fn sample(seed: u64) -> Request {
+    Request::new(vec![Tensor::randn(&[1, 32], seed).data().unwrap().to_vec()])
 }
 
 #[test]
@@ -33,9 +33,9 @@ fn sharded_engine_uses_every_device() {
         ..EngineConfig::quick()
     })
     .expect("engine starts");
-    engine.load("mlp", mlp);
-    engine.warmup("mlp", 1).unwrap();
-    for r in engine.infer_many("mlp", (0..12).map(sample).collect()) {
+    let model = engine.register(ModelSpec::new("mlp", mlp)).unwrap();
+    model.warmup(1).unwrap();
+    for r in model.infer_many((0..12).map(sample).collect()) {
         r.expect("request served");
     }
     let stats = engine.stats();
@@ -65,13 +65,13 @@ fn homogeneous_shards_share_compiled_graphs() {
         ..EngineConfig::quick()
     })
     .unwrap();
-    engine.load("mlp", mlp);
+    let model = engine.register(ModelSpec::new("mlp", mlp)).unwrap();
     // One compile serves all three shards: warmup touches each device but
     // the cache key (structure x fingerprint x options) is identical.
-    assert!(!engine.warmup("mlp", 1).unwrap());
+    assert!(!model.warmup(1).unwrap());
     assert_eq!(engine.compiled_graphs(), 1);
     assert_eq!(engine.stats().compile_cache_misses, 1);
-    assert!(engine.warmup("mlp", 1).unwrap());
+    assert!(model.warmup(1).unwrap());
     assert_eq!(engine.shard_count(), 3);
 }
 
@@ -84,12 +84,12 @@ fn mixed_pool_compiles_per_device_and_prefers_the_faster_one() {
         ..EngineConfig::quick()
     })
     .unwrap();
-    engine.load("mlp", mlp);
+    let model = engine.register(ModelSpec::new("mlp", mlp)).unwrap();
     // Distinct fingerprints -> one compile per device.
-    assert!(!engine.warmup("mlp", 1).unwrap());
+    assert!(!model.warmup(1).unwrap());
     assert_eq!(engine.compiled_graphs(), 2);
 
-    for r in engine.infer_many("mlp", (0..16).map(sample).collect()) {
+    for r in model.infer_many((0..16).map(sample).collect()) {
         r.expect("request served");
     }
     let stats = engine.stats();
@@ -113,19 +113,19 @@ fn high_priority_sojourn_beats_best_effort_under_backlog() {
         ..EngineConfig::quick()
     })
     .unwrap();
-    engine.load("mlp", mlp);
-    engine.warmup("mlp", 1).unwrap();
-    engine.warmup("mlp", 4).unwrap();
+    let model = engine.register(ModelSpec::new("mlp", mlp)).unwrap();
+    model.warmup(1).unwrap();
+    model.warmup(4).unwrap();
 
     // A plug request opens a straggler window; the burst below lands inside
     // it, so the dispatcher sees both classes queued at once and must serve
     // every high batch before any best-effort batch.
-    let plug = engine.submit("mlp", sample(0));
+    let plug = model.submit(sample(0));
     let mut best_effort = Vec::new();
     let mut high = Vec::new();
     for i in 0..16 {
-        best_effort.push(engine.submit_with("mlp", sample(100 + i), SubmitOptions::best_effort()));
-        high.push(engine.submit_with("mlp", sample(200 + i), SubmitOptions::high()));
+        best_effort.push(model.submit(sample(100 + i).best_effort()));
+        high.push(model.submit(sample(200 + i).high()));
     }
     plug.wait().expect("plug served");
     for t in high {
@@ -159,16 +159,16 @@ fn overload_sheds_with_queue_full_and_never_high_before_best_effort() {
         ..EngineConfig::quick()
     })
     .unwrap();
-    engine.load("mlp", mlp);
-    engine.warmup("mlp", 1).unwrap();
+    let model = engine.register(ModelSpec::new("mlp", mlp)).unwrap();
+    model.warmup(1).unwrap();
 
     // 2x overload: 32 requests against an in-flight budget of 8, submitted
     // faster than one worker can drain them.
     let tickets: Vec<_> = (0..16)
         .flat_map(|i| {
             [
-                engine.submit_with("mlp", sample(i), SubmitOptions::best_effort()),
-                engine.submit_with("mlp", sample(100 + i), SubmitOptions::high()),
+                model.submit(sample(i).best_effort()),
+                model.submit(sample(100 + i).high()),
             ]
         })
         .collect();
@@ -225,20 +225,20 @@ fn delay_bound_sheds_when_the_pool_is_backed_up() {
         ..EngineConfig::quick()
     })
     .unwrap();
-    engine.load("tower", slow_tower);
-    engine.warmup("tower", 1).unwrap();
+    let model = engine
+        .register(ModelSpec::new("tower", slow_tower))
+        .unwrap();
+    model.warmup(1).unwrap();
 
     // Fill the single worker. The first request is admitted against an idle
     // pool; once batches are in flight, the estimated queue delay exceeds
     // the (tiny) bound even at high priority's 4x slack, so later traffic
     // is shed with the typed delay verdict.
-    let busy: Vec<_> = (0..3)
-        .map(|i| engine.submit("tower", sample_wide(i)))
-        .collect();
+    let busy: Vec<_> = (0..3).map(|i| model.submit(sample_wide(i))).collect();
     // Give the dispatcher time to place the first batch on the shard; the
     // worker needs tens of milliseconds to interpret it.
     std::thread::sleep(Duration::from_millis(10));
-    let verdict = engine.infer_with("tower", sample_wide(99), SubmitOptions::best_effort());
+    let verdict = model.infer(sample_wide(99).best_effort());
     match verdict {
         Err(EngineError::QueueFull(msg)) => assert!(msg.contains("queue delay"), "{msg}"),
         other => panic!("expected delay-based shed, got {other:?}"),
@@ -255,16 +255,19 @@ fn delay_bound_sheds_when_the_pool_is_backed_up() {
     assert!(engine.stats().shed_requests >= 1);
 }
 
-fn sample_wide(seed: u64) -> Vec<Vec<f32>> {
-    vec![Tensor::randn(&[1, 256], seed).data().unwrap().to_vec()]
+fn sample_wide(seed: u64) -> Request {
+    Request::new(vec![Tensor::randn(&[1, 256], seed)
+        .data()
+        .unwrap()
+        .to_vec()])
 }
 
 #[test]
 fn expired_deadline_at_submit_is_rejected_immediately() {
     let engine = Engine::new(EngineConfig::quick()).unwrap();
-    engine.load("mlp", mlp);
-    let opts = SubmitOptions::default().with_deadline(Instant::now() - Duration::from_millis(1));
-    match engine.infer_with("mlp", sample(1), opts) {
+    let model = engine.register(ModelSpec::new("mlp", mlp)).unwrap();
+    let expired = sample(1).with_deadline(Instant::now() - Duration::from_millis(1));
+    match model.infer(expired) {
         Err(EngineError::DeadlineExceeded) => {}
         other => panic!("expected DeadlineExceeded, got {other:?}"),
     }
@@ -287,11 +290,10 @@ fn deadline_expiring_in_queue_never_reaches_a_worker() {
         ..EngineConfig::quick()
     })
     .unwrap();
-    engine.load("mlp", mlp);
-    engine.warmup("mlp", 1).unwrap();
+    let model = engine.register(ModelSpec::new("mlp", mlp)).unwrap();
+    model.warmup(1).unwrap();
     let started = Instant::now();
-    let opts = SubmitOptions::default().with_deadline_in(Duration::from_millis(5));
-    match engine.infer_with("mlp", sample(1), opts) {
+    match model.infer(sample(1).with_timeout(Duration::from_millis(5))) {
         Err(EngineError::DeadlineExceeded) => {}
         other => panic!("expected DeadlineExceeded, got {other:?}"),
     }
@@ -306,16 +308,17 @@ fn deadline_expiring_in_queue_never_reaches_a_worker() {
     assert_eq!(stats.requests, 0, "expired request must never execute");
     assert_eq!(stats.batches, 0, "no batch may form from expired requests");
     // The engine still serves live traffic afterwards.
-    let ok = engine.infer("mlp", sample(2)).expect("live request");
+    let ok = model.infer(sample(2)).expect("live request");
     assert_eq!(ok.batch_size, 1);
 }
 
 #[test]
 fn deadline_far_in_the_future_executes_normally() {
     let engine = Engine::new(EngineConfig::quick()).unwrap();
-    engine.load("mlp", mlp);
-    let opts = SubmitOptions::high().with_deadline_in(Duration::from_secs(60));
-    let r = engine.infer_with("mlp", sample(7), opts).expect("served");
+    let model = engine.register(ModelSpec::new("mlp", mlp)).unwrap();
+    let r = model
+        .infer(sample(7).high().with_timeout(Duration::from_secs(60)))
+        .expect("served");
     assert_eq!(r.priority, Priority::High);
     assert_eq!(engine.stats().deadline_expired, 0);
 }
@@ -331,9 +334,9 @@ fn sharded_pool_outscales_a_single_device() {
             ..EngineConfig::quick()
         })
         .unwrap();
-        engine.load("mlp", mlp);
-        engine.warmup("mlp", 4).unwrap();
-        for r in engine.infer_many("mlp", (0..24).map(sample).collect()) {
+        let model = engine.register(ModelSpec::new("mlp", mlp)).unwrap();
+        model.warmup(4).unwrap();
+        for r in model.infer_many((0..24).map(sample).collect()) {
             r.expect("request served");
         }
         engine.stats()

@@ -1,0 +1,311 @@
+//! Minimal JSON value, recursive-descent parser and escape helpers.
+//!
+//! The environment has no serde (no crates.io access — `vendor/README.md`),
+//! so every persisted format in the workspace is hand-rolled over this one
+//! module: the tuning records ([`crate::records`]), the compiled artifacts
+//! (`hidet::artifact`) and the bench-trajectory comparator (`hidet-bench`).
+//! Keeping the parser in one place means one set of escape rules and one set
+//! of number-validity checks for every on-disk schema.
+//!
+//! Errors are plain `String`s; schema-owning callers wrap them into their own
+//! typed errors (e.g. `RecordsError::Parse`).
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`; see [`Json::as_i64`]).
+    Number(f64),
+    /// A string literal (escapes resolved).
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, in source order (duplicate keys are kept as-is).
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses `text` as a single JSON value (trailing data is an error).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes: Vec<char> = text.chars().collect();
+        let mut pos = 0usize;
+        let value = parse_value(&bytes, &mut pos)?;
+        skip_ws(&bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at offset {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// The object fields, or an error naming `ctx`.
+    pub fn as_object(&self, ctx: &str) -> Result<&[(String, Json)], String> {
+        match self {
+            Json::Object(fields) => Ok(fields),
+            other => Err(format!("{ctx}: expected object, got {other:?}")),
+        }
+    }
+
+    /// The array items, or an error naming `ctx`.
+    pub fn as_array(&self, ctx: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Array(items) => Ok(items),
+            other => Err(format!("{ctx}: expected array, got {other:?}")),
+        }
+    }
+
+    /// The string value, or an error naming `ctx`.
+    pub fn as_str(&self, ctx: &str) -> Result<&str, String> {
+        match self {
+            Json::String(s) => Ok(s),
+            other => Err(format!("{ctx}: expected string, got {other:?}")),
+        }
+    }
+
+    /// The numeric value, or an error naming `ctx`.
+    pub fn as_f64(&self, ctx: &str) -> Result<f64, String> {
+        match self {
+            Json::Number(v) => Ok(*v),
+            other => Err(format!("{ctx}: expected number, got {other:?}")),
+        }
+    }
+
+    /// The numeric value as an exact integer. Rejects fractional values and
+    /// magnitudes above 2^53 (not representable exactly in the `f64` carrier).
+    pub fn as_i64(&self, ctx: &str) -> Result<i64, String> {
+        let v = self.as_f64(ctx)?;
+        if v.fract() != 0.0 || v.abs() > (1i64 << 53) as f64 {
+            return Err(format!("{ctx}: expected integer, got {v}"));
+        }
+        Ok(v as i64)
+    }
+}
+
+/// Looks up `field` in an object's fields (first match wins).
+pub fn get<'a>(obj: &'a [(String, Json)], field: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == field)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field \"{field}\""))
+}
+
+/// Renders `s` as a quoted, escaped JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a float so it stays typed as a number-with-fraction in readers.
+///
+/// `{}` prints integral floats without a dot ("0"); keep an explicit ".0".
+pub fn json_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn skip_ws(s: &[char], pos: &mut usize) {
+    while *pos < s.len() && s[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(s: &[char], pos: &mut usize, ch: char) -> Result<(), String> {
+    skip_ws(s, pos);
+    if *pos < s.len() && s[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{ch}' at offset {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(s: &[char], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(s, pos);
+    match s.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some('{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(s, pos);
+            if s.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            loop {
+                skip_ws(s, pos);
+                let name = match parse_value(s, pos)? {
+                    Json::String(n) => n,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                expect(s, pos, ':')?;
+                let value = parse_value(s, pos)?;
+                fields.push((name, value));
+                skip_ws(s, pos);
+                match s.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {}", *pos)),
+                }
+            }
+        }
+        Some('[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(s, pos);
+            if s.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(s, pos)?);
+                skip_ws(s, pos);
+                match s.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {}", *pos)),
+                }
+            }
+        }
+        Some('"') => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                match s.get(*pos) {
+                    None => return Err("unterminated string".to_string()),
+                    Some('"') => {
+                        *pos += 1;
+                        return Ok(Json::String(out));
+                    }
+                    Some('\\') => {
+                        *pos += 1;
+                        match s.get(*pos) {
+                            Some('"') => out.push('"'),
+                            Some('\\') => out.push('\\'),
+                            Some('/') => out.push('/'),
+                            Some('n') => out.push('\n'),
+                            Some('t') => out.push('\t'),
+                            Some('r') => out.push('\r'),
+                            Some('u') => {
+                                let hex: String = s
+                                    .get(*pos + 1..*pos + 5)
+                                    .ok_or("truncated \\u escape")?
+                                    .iter()
+                                    .collect();
+                                let code = u32::from_str_radix(&hex, 16)
+                                    .map_err(|_| format!("bad \\u escape {hex}"))?;
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or(format!("invalid codepoint {code}"))?,
+                                );
+                                *pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        out.push(c);
+                        *pos += 1;
+                    }
+                }
+            }
+        }
+        Some('t') if s[*pos..].starts_with(&['t', 'r', 'u', 'e']) => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some('f') if s[*pos..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some('n') if s[*pos..].starts_with(&['n', 'u', 'l', 'l']) => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < s.len() && matches!(s[*pos], '0'..='9' | '-' | '+' | '.' | 'e' | 'E') {
+                *pos += 1;
+            }
+            let text: String = s[start..*pos].iter().collect();
+            text.parse::<f64>()
+                .map(Json::Number)
+                .map_err(|_| format!("bad number \"{text}\" at offset {start}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("-2.5e1").unwrap(), Json::Number(-25.0));
+        assert_eq!(
+            Json::parse(r#""a\nbA""#).unwrap(),
+            Json::String("a\nbA".to_string())
+        );
+        let v = Json::parse(r#"{"xs": [1, 2], "s": "hi"}"#).unwrap();
+        let obj = v.as_object("top").unwrap();
+        assert_eq!(get(obj, "xs").unwrap().as_array("xs").unwrap().len(), 2);
+        assert_eq!(get(obj, "s").unwrap().as_str("s").unwrap(), "hi");
+        assert!(get(obj, "missing").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,2", "{\"a\" 1}", "nope", "1 2", "\"open"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn integer_extraction_guards_range_and_fraction() {
+        assert_eq!(Json::Number(42.0).as_i64("x").unwrap(), 42);
+        assert!(Json::Number(1.5).as_i64("x").is_err());
+        assert!(Json::Number(1e17).as_i64("x").is_err());
+    }
+
+    #[test]
+    fn string_escaping_round_trips() {
+        let original = "line\nquote\" tab\t back\\slash \u{1} end";
+        let quoted = json_string(original);
+        assert_eq!(
+            Json::parse(&quoted).unwrap(),
+            Json::String(original.to_string())
+        );
+    }
+
+    #[test]
+    fn float_rendering_keeps_fraction() {
+        assert_eq!(json_f64(2.0), "2.0");
+        assert_eq!(json_f64(2.5), "2.5");
+    }
+}

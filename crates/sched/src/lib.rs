@@ -22,6 +22,7 @@
 //!   plots in Fig. 17.
 
 pub mod fusion;
+pub mod json;
 pub mod records;
 pub mod rule_based;
 pub mod space;

@@ -10,9 +10,10 @@
 //! started with a warm record file schedules every previously seen matmul
 //! with **zero tuning trials**.
 //!
-//! The environment has no serde, so the (de)serializer is hand-rolled: a
-//! small recursive-descent JSON parser and a writer for the fixed schema
-//! below. The format is versioned; unknown versions are rejected rather than
+//! The environment has no serde, so the (de)serializer is hand-rolled over
+//! the workspace's shared [`crate::json`] module — the same parser the
+//! compiled artifacts (`hidet::artifact`) and the bench-trajectory comparator
+//! use. The format is versioned; unknown versions are rejected rather than
 //! misread.
 //!
 //! ```json
@@ -39,6 +40,7 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
+use crate::json::{self, json_f64, json_string, Json};
 use crate::space::MatmulConfig;
 use crate::templates::matmul::MatmulProblem;
 
@@ -221,8 +223,8 @@ impl TuningCache {
     /// Parses the versioned JSON format.
     pub fn from_json(text: &str) -> Result<TuningCache, RecordsError> {
         let value = Json::parse(text).map_err(RecordsError::Parse)?;
-        let root = value.as_object("top level")?;
-        let version = get(root, "version")?.as_i64("version")?;
+        let root = value.as_object("top level").map_err(RecordsError::Parse)?;
+        let version = get(root, "version")?.as_i64("version").map_err(parse)?;
         if version != RECORD_FORMAT_VERSION {
             return Err(RecordsError::Parse(format!(
                 "unsupported record format version {version} (expected {RECORD_FORMAT_VERSION})"
@@ -230,22 +232,26 @@ impl TuningCache {
         }
         let mut cache = TuningCache::new();
         for (idx, rec) in get(root, "records")?
-            .as_array("records")?
+            .as_array("records")
+            .map_err(parse)?
             .iter()
             .enumerate()
         {
             let ctx = format!("records[{idx}]");
-            let rec = rec.as_object(&ctx)?;
-            let device = get(rec, "device")?.as_str("device")?.to_string();
+            let rec = rec.as_object(&ctx).map_err(parse)?;
+            let device = get(rec, "device")?
+                .as_str("device")
+                .map_err(parse)?
+                .to_string();
             let problem = MatmulProblem {
-                batch: get(rec, "batch")?.as_i64("batch")?,
-                m: get(rec, "m")?.as_i64("m")?,
-                n: get(rec, "n")?.as_i64("n")?,
-                k: get(rec, "k")?.as_i64("k")?,
+                batch: get(rec, "batch")?.as_i64("batch").map_err(parse)?,
+                m: get(rec, "m")?.as_i64("m").map_err(parse)?,
+                n: get(rec, "n")?.as_i64("n").map_err(parse)?,
+                k: get(rec, "k")?.as_i64("k").map_err(parse)?,
             };
-            let cfg = get(rec, "config")?.as_object("config")?;
+            let cfg = get(rec, "config")?.as_object("config").map_err(parse)?;
             let positive = |field: &str| -> Result<i64, RecordsError> {
-                let v = get(cfg, field)?.as_i64(field)?;
+                let v = get(cfg, field)?.as_i64(field).map_err(parse)?;
                 if v < 1 {
                     return Err(RecordsError::Parse(format!(
                         "{ctx}: config field \"{field}\" must be >= 1, got {v} \
@@ -273,14 +279,14 @@ impl TuningCache {
                     "{ctx}: problem dimensions must be >= 1, got {problem:?}"
                 )));
             }
-            let trials = get(rec, "trials")?.as_i64("trials")?;
+            let trials = get(rec, "trials")?.as_i64("trials").map_err(parse)?;
             if trials < 0 {
                 return Err(RecordsError::Parse(format!(
                     "{ctx}: \"trials\" must be >= 0, got {trials}"
                 )));
             }
             let nonneg_f64 = |field: &str| -> Result<f64, RecordsError> {
-                let v = get(rec, field)?.as_f64(field)?;
+                let v = get(rec, field)?.as_f64(field).map_err(parse)?;
                 if !v.is_finite() || v < 0.0 {
                     return Err(RecordsError::Parse(format!(
                         "{ctx}: \"{field}\" must be a finite non-negative number, got {v}"
@@ -302,247 +308,13 @@ impl TuningCache {
     }
 }
 
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-fn json_f64(v: f64) -> String {
-    // `{}` prints integral floats without a dot ("0"); keep an explicit ".0"
-    // so the value stays typed as a number with fraction in readers.
-    if v.fract() == 0.0 && v.is_finite() {
-        format!("{v:.1}")
-    } else {
-        format!("{v}")
-    }
+/// Wraps a shared-parser error into this schema's typed error.
+fn parse(e: String) -> RecordsError {
+    RecordsError::Parse(e)
 }
 
 fn get<'a>(obj: &'a [(String, Json)], field: &str) -> Result<&'a Json, RecordsError> {
-    obj.iter()
-        .find(|(k, _)| k == field)
-        .map(|(_, v)| v)
-        .ok_or_else(|| RecordsError::Parse(format!("missing field \"{field}\"")))
-}
-
-/// Minimal JSON value + recursive-descent parser (no external deps).
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Number(f64),
-    String(String),
-    Array(Vec<Json>),
-    Object(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn parse(text: &str) -> Result<Json, String> {
-        let bytes: Vec<char> = text.chars().collect();
-        let mut pos = 0usize;
-        let value = parse_value(&bytes, &mut pos)?;
-        skip_ws(&bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing data at offset {pos}"));
-        }
-        Ok(value)
-    }
-
-    fn as_object(&self, ctx: &str) -> Result<&[(String, Json)], RecordsError> {
-        match self {
-            Json::Object(fields) => Ok(fields),
-            other => Err(RecordsError::Parse(format!(
-                "{ctx}: expected object, got {other:?}"
-            ))),
-        }
-    }
-
-    fn as_array(&self, ctx: &str) -> Result<&[Json], RecordsError> {
-        match self {
-            Json::Array(items) => Ok(items),
-            other => Err(RecordsError::Parse(format!(
-                "{ctx}: expected array, got {other:?}"
-            ))),
-        }
-    }
-
-    fn as_str(&self, ctx: &str) -> Result<&str, RecordsError> {
-        match self {
-            Json::String(s) => Ok(s),
-            other => Err(RecordsError::Parse(format!(
-                "{ctx}: expected string, got {other:?}"
-            ))),
-        }
-    }
-
-    fn as_f64(&self, ctx: &str) -> Result<f64, RecordsError> {
-        match self {
-            Json::Number(v) => Ok(*v),
-            other => Err(RecordsError::Parse(format!(
-                "{ctx}: expected number, got {other:?}"
-            ))),
-        }
-    }
-
-    fn as_i64(&self, ctx: &str) -> Result<i64, RecordsError> {
-        let v = self.as_f64(ctx)?;
-        if v.fract() != 0.0 || v.abs() > (1i64 << 53) as f64 {
-            return Err(RecordsError::Parse(format!(
-                "{ctx}: expected integer, got {v}"
-            )));
-        }
-        Ok(v as i64)
-    }
-}
-
-fn skip_ws(s: &[char], pos: &mut usize) {
-    while *pos < s.len() && s[*pos].is_ascii_whitespace() {
-        *pos += 1;
-    }
-}
-
-fn expect(s: &[char], pos: &mut usize, ch: char) -> Result<(), String> {
-    skip_ws(s, pos);
-    if *pos < s.len() && s[*pos] == ch {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(format!("expected '{ch}' at offset {pos}", pos = *pos))
-    }
-}
-
-fn parse_value(s: &[char], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(s, pos);
-    match s.get(*pos) {
-        None => Err("unexpected end of input".to_string()),
-        Some('{') => {
-            *pos += 1;
-            let mut fields = Vec::new();
-            skip_ws(s, pos);
-            if s.get(*pos) == Some(&'}') {
-                *pos += 1;
-                return Ok(Json::Object(fields));
-            }
-            loop {
-                skip_ws(s, pos);
-                let name = match parse_value(s, pos)? {
-                    Json::String(n) => n,
-                    other => return Err(format!("object key must be a string, got {other:?}")),
-                };
-                expect(s, pos, ':')?;
-                let value = parse_value(s, pos)?;
-                fields.push((name, value));
-                skip_ws(s, pos);
-                match s.get(*pos) {
-                    Some(',') => *pos += 1,
-                    Some('}') => {
-                        *pos += 1;
-                        return Ok(Json::Object(fields));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at offset {}", *pos)),
-                }
-            }
-        }
-        Some('[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(s, pos);
-            if s.get(*pos) == Some(&']') {
-                *pos += 1;
-                return Ok(Json::Array(items));
-            }
-            loop {
-                items.push(parse_value(s, pos)?);
-                skip_ws(s, pos);
-                match s.get(*pos) {
-                    Some(',') => *pos += 1,
-                    Some(']') => {
-                        *pos += 1;
-                        return Ok(Json::Array(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at offset {}", *pos)),
-                }
-            }
-        }
-        Some('"') => {
-            *pos += 1;
-            let mut out = String::new();
-            loop {
-                match s.get(*pos) {
-                    None => return Err("unterminated string".to_string()),
-                    Some('"') => {
-                        *pos += 1;
-                        return Ok(Json::String(out));
-                    }
-                    Some('\\') => {
-                        *pos += 1;
-                        match s.get(*pos) {
-                            Some('"') => out.push('"'),
-                            Some('\\') => out.push('\\'),
-                            Some('/') => out.push('/'),
-                            Some('n') => out.push('\n'),
-                            Some('t') => out.push('\t'),
-                            Some('r') => out.push('\r'),
-                            Some('u') => {
-                                let hex: String = s
-                                    .get(*pos + 1..*pos + 5)
-                                    .ok_or("truncated \\u escape")?
-                                    .iter()
-                                    .collect();
-                                let code = u32::from_str_radix(&hex, 16)
-                                    .map_err(|_| format!("bad \\u escape {hex}"))?;
-                                out.push(
-                                    char::from_u32(code)
-                                        .ok_or(format!("invalid codepoint {code}"))?,
-                                );
-                                *pos += 4;
-                            }
-                            other => return Err(format!("bad escape {other:?}")),
-                        }
-                        *pos += 1;
-                    }
-                    Some(&c) => {
-                        out.push(c);
-                        *pos += 1;
-                    }
-                }
-            }
-        }
-        Some('t') if s[*pos..].starts_with(&['t', 'r', 'u', 'e']) => {
-            *pos += 4;
-            Ok(Json::Bool(true))
-        }
-        Some('f') if s[*pos..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
-            *pos += 5;
-            Ok(Json::Bool(false))
-        }
-        Some('n') if s[*pos..].starts_with(&['n', 'u', 'l', 'l']) => {
-            *pos += 4;
-            Ok(Json::Null)
-        }
-        Some(_) => {
-            let start = *pos;
-            while *pos < s.len() && matches!(s[*pos], '0'..='9' | '-' | '+' | '.' | 'e' | 'E') {
-                *pos += 1;
-            }
-            let text: String = s[start..*pos].iter().collect();
-            text.parse::<f64>()
-                .map(Json::Number)
-                .map_err(|_| format!("bad number \"{text}\" at offset {start}"))
-        }
-    }
+    json::get(obj, field).map_err(parse)
 }
 
 #[cfg(test)]

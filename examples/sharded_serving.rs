@@ -1,5 +1,6 @@
-//! Tour of the sharded serving runtime: a pool of simulated devices,
-//! priority classes, deadlines and admission control. Run with:
+//! Tour of the sharded serving runtime with the v2 API: a pool of simulated
+//! devices, priority classes, deadlines/timeouts and admission control. Run
+//! with:
 //!
 //! ```text
 //! cargo run --release --example sharded_serving
@@ -9,7 +10,7 @@ use std::time::Duration;
 
 use hidet_repro::graph::{Graph, GraphBuilder, Tensor};
 use hidet_repro::sim::GpuSpec;
-use hidet_runtime::{Engine, EngineConfig, EngineError, Priority, SubmitOptions};
+use hidet_runtime::{Engine, EngineConfig, EngineError, ModelSpec, Request};
 
 /// A ranking head: the same `fn(batch) -> Graph` family contract as the
 /// model zoo, so dim 0 is an independent-sample axis and requests coalesce.
@@ -24,8 +25,8 @@ fn ranking_head(batch: i64) -> Graph {
     g.output(y).build()
 }
 
-fn request(seed: u64) -> Vec<Vec<f32>> {
-    vec![Tensor::randn(&[1, 96], seed).data().unwrap().to_vec()]
+fn request(seed: u64) -> Request {
+    Request::new(vec![Tensor::randn(&[1, 96], seed).data().unwrap().to_vec()])
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -46,23 +47,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         admission_delay_bound: Some(Duration::from_millis(2)),
         ..EngineConfig::quick()
     })?;
-    engine.load("ranking", ranking_head);
-    engine.warmup("ranking", 4)?; // compiles once per distinct device
+    let ranking = engine.register(ModelSpec::new("ranking", ranking_head))?;
+    ranking.warmup(4)?; // compiles once per distinct device
 
     // A burst of best-effort traffic plus a few latency-critical requests.
     // The dispatcher always serves the high class first; the batcher groups
     // by (model, priority class).
     let background: Vec<_> = (0..24)
-        .map(|i| engine.submit_with("ranking", request(i), SubmitOptions::best_effort()))
+        .map(|i| ranking.submit(request(i).best_effort()))
         .collect();
     let urgent: Vec<_> = (0..4)
-        .map(|i| {
-            engine.submit_with(
-                "ranking",
-                request(100 + i),
-                SubmitOptions::high().with_deadline_in(Duration::from_secs(2)),
-            )
-        })
+        .map(|i| ranking.submit(request(100 + i).high().with_timeout(Duration::from_secs(2))))
         .collect();
 
     for (i, ticket) in urgent.into_iter().enumerate() {
@@ -86,11 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // A deadline that has already passed is rejected, never executed.
-    let expired = engine.infer_with(
-        "ranking",
-        request(999),
-        SubmitOptions::priority(Priority::Normal).with_deadline_in(Duration::ZERO),
-    );
+    let expired = ranking.infer(request(999).with_timeout(Duration::ZERO));
     assert!(matches!(expired, Err(EngineError::DeadlineExceeded)));
 
     let stats = engine.stats();
