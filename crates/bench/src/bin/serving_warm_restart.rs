@@ -72,11 +72,17 @@ fn run_phase(phase: &str, requests: usize) {
     // so both phases compile exactly the batch-1 graph regardless of how a
     // noisy scheduler would have formed dynamic batches — the warm phase's
     // "zero fresh compiles" assertion is deterministic, not timing-luck.
+    //
+    // Exhaustive tuning pins the *expensive* cold case this bench isolates:
+    // what an artifact rebuild saves must not shrink just because the
+    // default tuner prunes its measurement set (the pruned pipeline has its
+    // own acceptance bench, `compile_throughput`).
     let engine = Engine::new(EngineConfig {
         max_batch: 1,
+        options: hidet::CompilerOptions::exhaustive(),
         artifact_store: Some(store.clone()),
         tuning_records_path: Some(store.join("tuning.json")),
-        ..EngineConfig::default() // tuned options: the expensive case
+        ..EngineConfig::default()
     })
     .expect("engine");
     let model = engine

@@ -5,15 +5,17 @@
 //! produces a fresh report ([`crate::report`]), and the `bench_compare`
 //! binary diffs it against the previous one (the committed baseline, or a
 //! downloaded CI artifact). The gate **fails** when any throughput metric
-//! (`*_rps`) drops more than the threshold (default 10%) or any p95 latency
-//! metric (`*p95_us`) grows more than its threshold (default 20%).
+//! (`*_rps`) drops more than the threshold (default 10%) or any
+//! lower-is-better metric — p95 latencies (`*p95_us`), wall-clock times
+//! (`*_ms`) and memory footprints (`*_bytes`) — grows more than its
+//! threshold (default 20%).
 //!
 //! Classification is by key suffix, so new benches joining the report are
-//! gated automatically: `*_rps` is higher-is-better, `*p95_us` is
-//! lower-is-better, everything else (counts, configuration echo, p50s —
-//! too noisy at micro scale) is informational and skipped. Sections or
-//! metrics present on only one side are skipped too: a brand-new bench must
-//! not fail the gate for lacking history.
+//! gated automatically: `*_rps` is higher-is-better; `*p95_us`, `*_ms` and
+//! `*_bytes` are lower-is-better; everything else (counts, configuration
+//! echo, p50s — too noisy at micro scale) is informational and skipped.
+//! Sections or metrics present on only one side are skipped too: a
+//! brand-new bench must not fail the gate for lacking history.
 
 use hidet_sched::json::Json;
 
@@ -22,7 +24,8 @@ use hidet_sched::json::Json;
 pub struct Thresholds {
     /// Maximum tolerated drop of a `*_rps` metric before the gate fails.
     pub max_throughput_drop_pct: f64,
-    /// Maximum tolerated growth of a `*p95_us` metric before the gate fails.
+    /// Maximum tolerated growth of a lower-is-better metric (`*p95_us`,
+    /// `*_ms`, `*_bytes`) before the gate fails.
     pub max_p95_growth_pct: f64,
 }
 
@@ -126,10 +129,13 @@ enum Direction {
 }
 
 /// Which way a metric should move, by key suffix; `None` = not gated.
+/// `*_ms` (wall-clock) and `*_bytes` (memory footprint) joined `*p95_us` in
+/// the lower-is-better class so compile-latency and planner regressions
+/// fail CI like serving-latency ones do.
 fn classify(metric: &str) -> Option<Direction> {
     if metric.ends_with("_rps") {
         Some(Direction::HigherIsBetter)
-    } else if metric.ends_with("p95_us") {
+    } else if metric.ends_with("p95_us") || metric.ends_with("_ms") || metric.ends_with("_bytes") {
         Some(Direction::LowerIsBetter)
     } else {
         None
@@ -206,6 +212,39 @@ mod tests {
         assert!(run(&current).iter().all(|c| !c.regression));
         let current = BASELINE.replace("\"p95_us\": 100.0", "\"p95_us\": 10.0");
         assert!(run(&current).iter().all(|c| !c.regression));
+    }
+
+    #[test]
+    fn ms_and_bytes_suffixes_are_growth_gated() {
+        let baseline = r#"{
+          "compile_throughput": {"cold_compile_ms": 100.0, "planned_peak_bytes": 4096.0,
+                                 "tuning_trials_run": 150}
+        }"#;
+        // 25% growth on either lower-is-better class fails...
+        for (from, to) in [
+            ("\"cold_compile_ms\": 100.0", "\"cold_compile_ms\": 125.0"),
+            (
+                "\"planned_peak_bytes\": 4096.0",
+                "\"planned_peak_bytes\": 5120.0",
+            ),
+        ] {
+            let current = baseline.replace(from, to);
+            let comparisons = compare_reports(baseline, &current, &Thresholds::default()).unwrap();
+            assert!(comparisons.iter().any(|c| c.regression), "{from}");
+        }
+        // ...15% growth and any shrinkage pass, and counts stay ungated.
+        for (from, to) in [
+            ("\"cold_compile_ms\": 100.0", "\"cold_compile_ms\": 115.0"),
+            (
+                "\"planned_peak_bytes\": 4096.0",
+                "\"planned_peak_bytes\": 64.0",
+            ),
+            ("\"tuning_trials_run\": 150", "\"tuning_trials_run\": 9999"),
+        ] {
+            let current = baseline.replace(from, to);
+            let comparisons = compare_reports(baseline, &current, &Thresholds::default()).unwrap();
+            assert!(comparisons.iter().all(|c| !c.regression), "{from}");
+        }
     }
 
     #[test]

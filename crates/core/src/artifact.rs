@@ -28,6 +28,7 @@
 //!   "device": "NVIDIA GeForce RTX 3090 (simulated)|sm82x1536t16b|...",
 //!   "option_bits": "1",
 //!   "tuning_trials": 198, "tuning_seconds": 39.6,
+//!   "planned_peak_bytes": 65536,
 //!   "schedules": [
 //!     {"matmul": {"block_m": 64, "block_n": 64, "block_k": 8,
 //!                 "warps_m": 2, "warps_n": 2, "thread_m": 4, "thread_n": 4,
@@ -49,8 +50,10 @@ use std::path::Path;
 use hidet_sched::json::{self, json_f64, json_string, Json};
 use hidet_sched::{GroupSchedule, MatmulConfig, MatmulProblem, ReduceConfig};
 
-/// Format version written by [`CompiledArtifact::save`].
-pub const ARTIFACT_FORMAT_VERSION: i64 = 1;
+/// Format version written by [`CompiledArtifact::save`]. Version 2 added
+/// `planned_peak_bytes` (the memory planner's arena size); version-1 files
+/// are rejected and recompile — schedules carry over via tuning records.
+pub const ARTIFACT_FORMAT_VERSION: i64 = 2;
 
 /// Errors from loading or validating an artifact file.
 #[derive(Debug)]
@@ -112,6 +115,10 @@ pub struct CompiledArtifact {
     pub tuning_trials: usize,
     /// Simulated tuning seconds spent producing it.
     pub tuning_seconds: f64,
+    /// The memory planner's arena size for one inference of this model, in
+    /// bytes (`hidet::MemoryPlan::peak_bytes`) — recorded so capacity
+    /// planning can read footprints without compiling.
+    pub planned_peak_bytes: usize,
 }
 
 impl CompiledArtifact {
@@ -210,6 +217,10 @@ impl CompiledArtifact {
             "  \"tuning_seconds\": {},\n",
             json_f64(self.tuning_seconds)
         ));
+        out.push_str(&format!(
+            "  \"planned_peak_bytes\": {},\n",
+            self.planned_peak_bytes
+        ));
         out.push_str("  \"schedules\": [");
         for (i, s) in self.schedules.iter().enumerate() {
             if i > 0 {
@@ -276,6 +287,14 @@ impl CompiledArtifact {
                 "\"tuning_seconds\" must be a finite non-negative number, got {tuning_seconds}"
             )));
         }
+        let planned_peak_bytes = field(root, "planned_peak_bytes")?
+            .as_i64("planned_peak_bytes")
+            .map_err(parse)?;
+        if planned_peak_bytes < 0 {
+            return Err(ArtifactError::Parse(format!(
+                "\"planned_peak_bytes\" must be >= 0, got {planned_peak_bytes}"
+            )));
+        }
 
         let mut schedules = Vec::new();
         for (idx, item) in field(root, "schedules")?
@@ -340,6 +359,7 @@ impl CompiledArtifact {
             tuned,
             tuning_trials: tuning_trials as usize,
             tuning_seconds,
+            planned_peak_bytes: planned_peak_bytes as usize,
         })
     }
 }
@@ -413,6 +433,7 @@ mod tests {
             }],
             tuning_trials: 198,
             tuning_seconds: 39.6,
+            planned_peak_bytes: 65536,
         }
     }
 
@@ -448,7 +469,7 @@ mod tests {
     fn version_mismatch_rejected() {
         let sabotaged = sample()
             .to_json()
-            .replace("\"version\": 1", "\"version\": 99");
+            .replace("\"version\": 2", "\"version\": 99");
         let err = CompiledArtifact::from_json(&sabotaged).unwrap_err();
         assert!(err.to_string().contains("version 99"), "{err}");
     }
@@ -475,6 +496,10 @@ mod tests {
             ("\"threads_per_row\": 32", "\"threads_per_row\": 3"),
             ("\"tuning_trials\": 198", "\"tuning_trials\": -1"),
             ("\"tuning_seconds\": 39.6", "\"tuning_seconds\": -1.0"),
+            (
+                "\"planned_peak_bytes\": 65536",
+                "\"planned_peak_bytes\": -4",
+            ),
             (
                 "\"graph_hash\": \"91f0c3a18e02b7d4\"",
                 "\"graph_hash\": \"zzz\"",

@@ -2,17 +2,21 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
+use hidet_graph::passes::FusedGroup;
 use hidet_graph::passes::{constant_fold, lower_convs, partition};
 use hidet_graph::{Graph, OpKind, TensorId};
 use hidet_sched::fusion::{compile_group, CompiledGroup, GroupSchedule};
 use hidet_sched::{
-    pick_reduce_config, try_tune_matmul, MatmulConfig, MatmulProblem, TuningCache, TuningRecord,
+    pick_reduce_config, try_tune_matmul_with, MatmulConfig, MatmulProblem, TunerPolicy,
+    TuningCache, TuningRecord,
 };
 use hidet_sim::{DeviceMemory, Gpu, SimError};
 
 use crate::artifact::{CompiledArtifact, TunedEntry};
+use crate::plan::{MemoryPlan, Workspace};
 
 /// Per-kernel dispatch overhead of Hidet's lean graph executor, seconds.
 pub const HIDET_DISPATCH_S: f64 = 2.0e-6;
@@ -51,6 +55,13 @@ impl From<SimError> for CompileError {
     }
 }
 
+/// Default [`CompilerOptions::measure_top_k`]: generous enough that the
+/// exhaustive search's winner always survives the cut on the evaluated
+/// problem shapes (`hidet_sched::tuner` pins this with
+/// `pruned_tuning_matches_exhaustive_choice`), ~7× fewer trials than the
+/// full space.
+pub const DEFAULT_MEASURE_TOP_K: usize = 48;
+
 /// Compiler options.
 #[derive(Debug, Clone)]
 pub struct CompilerOptions {
@@ -68,16 +79,39 @@ pub struct CompilerOptions {
     /// runtime uses to amortize tuning across compilations and process
     /// restarts (see `hidet_sched::records`).
     pub tuning_cache: Option<Arc<Mutex<TuningCache>>>,
+    /// Cost-model pruning of the tuner's measurement set: rank candidates by
+    /// the closed-form [`hidet_sched::quick_score`] and measure only the top
+    /// `K`. `None` enumerates exhaustively (the paper's configuration;
+    /// [`CompilerOptions::exhaustive`]).
+    pub measure_top_k: Option<usize>,
+    /// Worker threads fanning the per-fused-group compile+tune loop out
+    /// (`0` = one per available core, `1` = sequential). Does **not**
+    /// change what gets compiled — group order, tuning decisions and
+    /// accounting are deterministic regardless — so it takes no part in
+    /// [`CompilerOptions::cache_key_bits`].
+    pub compile_workers: usize,
 }
 
 impl CompilerOptions {
-    /// Full tuning (the paper's configuration).
+    /// Full tuning with cost-model pruning and parallel group compilation —
+    /// the serving default.
     pub fn tuned() -> CompilerOptions {
         CompilerOptions {
             tune: true,
             disable_double_buffering: false,
             disable_parallel_k: false,
             tuning_cache: None,
+            measure_top_k: Some(DEFAULT_MEASURE_TOP_K),
+            compile_workers: 0,
+        }
+    }
+
+    /// Full tuning with the exhaustive (unpruned) schedule search — the
+    /// paper's configuration, for the figure-reproduction benches.
+    pub fn exhaustive() -> CompilerOptions {
+        CompilerOptions {
+            measure_top_k: None,
+            ..CompilerOptions::tuned()
         }
     }
 
@@ -95,21 +129,52 @@ impl CompilerOptions {
         self
     }
 
+    /// Forces the per-group compile loop sequential (profiling, the
+    /// `compile_throughput` bench's baseline side).
+    pub fn sequential(mut self) -> CompilerOptions {
+        self.compile_workers = 1;
+        self
+    }
+
+    /// The worker count the per-group fan-out will actually use.
+    pub fn effective_compile_workers(&self) -> usize {
+        if self.compile_workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.compile_workers
+        }
+    }
+
     /// A stable fingerprint of every option that changes *what gets
-    /// compiled*. The tuning cache deliberately does not participate: it only
-    /// changes where tuned configs come from, not which config wins, so
-    /// compiled graphs remain interchangeable across cache attachments. Used
-    /// by the runtime's compiled-graph cache key.
+    /// compiled*. The tuning cache and the worker count deliberately do not
+    /// participate: they only change where tuned configs come from and how
+    /// many threads search for them, not which config wins, so compiled
+    /// graphs remain interchangeable across cache attachments and machine
+    /// sizes. The pruning depth **does** participate — a different
+    /// measurement set can crown a different schedule. Used by the runtime's
+    /// compiled-graph cache key.
     pub fn cache_key_bits(&self) -> u64 {
         (self.tune as u64)
             | (self.disable_double_buffering as u64) << 1
             | (self.disable_parallel_k as u64) << 2
+            | (self.measure_top_k.map_or(0, |k| k as u64 + 1) & 0xffff_ffff) << 8
+    }
+
+    /// The tuner policy these options select.
+    fn tuner_policy(&self) -> TunerPolicy {
+        TunerPolicy {
+            measure_top_k: self.measure_top_k,
+        }
     }
 }
 
 impl PartialEq for CompilerOptions {
     /// Equality over the compilation-relevant flags plus *identity* of the
     /// attached tuning cache (two handles to the same store compare equal).
+    /// `compile_workers` is execution strategy, not compilation input, and
+    /// does not participate.
     fn eq(&self, other: &CompilerOptions) -> bool {
         let caches_match = match (&self.tuning_cache, &other.tuning_cache) {
             (None, None) => true,
@@ -119,6 +184,7 @@ impl PartialEq for CompilerOptions {
         self.tune == other.tune
             && self.disable_double_buffering == other.disable_double_buffering
             && self.disable_parallel_k == other.disable_parallel_k
+            && self.measure_top_k == other.measure_top_k
             && caches_match
     }
 }
@@ -140,6 +206,8 @@ impl Default for CompilerOptions {
 pub struct CompilePlan {
     graph: Graph,
     groups: Vec<CompiledGroup>,
+    /// Liveness-planned arena placement of every intermediate buffer.
+    memory_plan: MemoryPlan,
 }
 
 /// A compiled model: an executable [`CompilePlan`] plus the serializable
@@ -190,93 +258,82 @@ pub fn compile_hashed(
     constant_fold(&mut g);
     let groups = partition(&g);
 
+    let device = gpu.spec().fingerprint();
+    // Shared per-problem tuning slots: identical matmul problems across
+    // groups coalesce onto one tuning task, whichever worker claims it first
+    // (the others block on the slot — tuning dominates group compilation).
+    let tuning = TuningSlots::default();
+    let want = options.effective_compile_workers().min(groups.len()).max(1);
+    // Concurrent compiles (several engine lanes cold-starting distinct
+    // models) share one process-wide CPU budget instead of each spawning a
+    // full complement — claiming only what is free degrades gracefully to
+    // one worker per compile rather than oversubscribing multiplicatively.
+    let budget = WorkerBudget::claim(want);
+    let workers = budget.granted();
+
+    let outcomes: Vec<Result<GroupOutcome, CompileError>> = if workers <= 1 {
+        groups
+            .iter()
+            .map(|group| compile_one_group(&g, group, gpu, options, &device, &tuning))
+            .collect()
+    } else {
+        // Fan the per-group compile+tune loop out over scoped workers; the
+        // slot vector keeps results in deterministic group order no matter
+        // which worker finishes first.
+        let slots: Vec<OnceLock<Result<GroupOutcome, CompileError>>> =
+            (0..groups.len()).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(group) = groups.get(idx) else { return };
+                    let outcome = compile_one_group(&g, group, gpu, options, &device, &tuning);
+                    let _ = slots[idx].set(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every group slot is filled"))
+            .collect()
+    };
+
+    // Reduce in group order: the first failing group's error is returned
+    // (matching the sequential pipeline), and tuning accounting sums
+    // deterministically.
     let mut tuning_seconds = 0.0;
     let mut tuning_trials = 0usize;
     let mut record_hits = 0usize;
     let mut record_trials_saved = 0usize;
     let mut record_seconds_saved = 0.0;
-    let device = gpu.spec().fingerprint();
-    let mut tuned: HashMap<(i64, i64, i64, i64), MatmulConfig> = HashMap::new();
     let mut schedules = Vec::with_capacity(groups.len());
     let mut compiled_groups = Vec::with_capacity(groups.len());
-    for group in &groups {
-        let mut schedule = GroupSchedule::default();
-        if let Some(anchor) = group.anchor {
-            let op = g.op(anchor);
-            match &op.kind {
-                OpKind::Matmul | OpKind::BatchMatmul => {
-                    let problem = matmul_problem(&g, anchor);
-                    let key = (problem.batch, problem.m, problem.n, problem.k);
-                    let config = if options.tune {
-                        if let Some(cfg) = tuned.get(&key) {
-                            *cfg
-                        } else if let Some(record) = lookup_record(options, gpu, &device, problem) {
-                            // Warm start: a persisted record schedules this
-                            // problem with zero trials.
-                            record_hits += 1;
-                            record_trials_saved += record.trials;
-                            record_seconds_saved += record.tuning_seconds;
-                            tuned.insert(key, record.config);
-                            record.config
-                        } else {
-                            let report = try_tune_matmul(problem, gpu).ok_or_else(|| {
-                                CompileError::Schedule(format!(
-                                    "no matmul schedule for {}x{}x{} (batch {}) fits \
-                                         device \"{}\"",
-                                    problem.m,
-                                    problem.n,
-                                    problem.k,
-                                    problem.batch,
-                                    gpu.spec().name
-                                ))
-                            })?;
-                            tuning_seconds += report.tuning_seconds;
-                            tuning_trials += report.trials;
-                            tuned.insert(key, report.best);
-                            store_record(options, &device, problem, &report);
-                            report.best
-                        }
-                    } else {
-                        MatmulConfig::default()
-                    };
-                    schedule.matmul = apply_ablations(config, options);
-                }
-                OpKind::Softmax { axis } => {
-                    let shape = g.tensor(op.inputs[0]).shape();
-                    let len = shape[*axis];
-                    let rows: i64 = shape.iter().product::<i64>() / len;
-                    schedule.reduce = pick_reduce_config(rows, len, gpu);
-                }
-                OpKind::LayerNorm => {
-                    let shape = g.tensor(op.inputs[0]).shape();
-                    let len = *shape.last().expect("rank >= 1");
-                    let rows: i64 = shape.iter().product::<i64>() / len;
-                    schedule.reduce = pick_reduce_config(rows, len, gpu);
-                }
-                OpKind::GlobalAvgPool => {
-                    let shape = g.tensor(op.inputs[0]).shape();
-                    let rows = shape[0] * shape[1];
-                    let len = shape[2] * shape[3];
-                    schedule.reduce = pick_reduce_config(rows, len, gpu);
-                }
-                _ => {}
+    for outcome in outcomes {
+        let outcome = outcome?;
+        match outcome.cost {
+            TuneCost::None => {}
+            TuneCost::Fresh { trials, seconds } => {
+                tuning_trials += trials;
+                tuning_seconds += seconds;
+            }
+            TuneCost::Record {
+                trials_saved,
+                seconds_saved,
+            } => {
+                record_hits += 1;
+                record_trials_saved += trials_saved;
+                record_seconds_saved += seconds_saved;
             }
         }
-        let compiled = compile_group(&g, group, &schedule).map_err(CompileError::Schedule)?;
-        schedules.push(schedule);
-        compiled_groups.push(compiled);
+        schedules.push(outcome.schedule);
+        compiled_groups.push(outcome.compiled);
     }
     // The artifact records the *embodied* tuning cost of its schedules —
     // trials run here plus trials that persisted records already paid for —
     // so "what a warm artifact load saves" is stable across re-compiles.
-    let mut tuned_entries: Vec<TunedEntry> = tuned
-        .iter()
-        .map(|(&(batch, m, n, k), &config)| TunedEntry {
-            problem: MatmulProblem { batch, m, n, k },
-            config,
-        })
-        .collect();
-    tuned_entries.sort_by_key(|e| (e.problem.batch, e.problem.m, e.problem.n, e.problem.k));
+    let tuned_entries = tuning.entries();
+    let memory_plan = MemoryPlan::build(&g, &compiled_groups);
     let artifact = CompiledArtifact {
         graph_hash,
         device,
@@ -285,11 +342,13 @@ pub fn compile_hashed(
         tuned: tuned_entries,
         tuning_trials: tuning_trials + record_trials_saved,
         tuning_seconds: tuning_seconds + record_seconds_saved,
+        planned_peak_bytes: memory_plan.peak_bytes(),
     };
     Ok(CompiledGraph {
         plan: CompilePlan {
             graph: g,
             groups: compiled_groups,
+            memory_plan,
         },
         artifact,
         tuning_seconds,
@@ -298,6 +357,221 @@ pub fn compile_hashed(
         record_hits,
         record_trials_saved,
         record_seconds_saved,
+    })
+}
+
+/// Live compile workers across every in-flight [`compile_hashed`] in the
+/// process (the main thread of each compile only parks in `thread::scope`,
+/// so it is not counted).
+static ACTIVE_COMPILE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// An RAII claim on the process-wide compile-worker budget: grants up to
+/// `want` workers, but never pushes the process total past the core count —
+/// a compile arriving while others saturate the budget runs with one
+/// worker (its own thread) instead of piling on. The accounting is
+/// advisory (claims race benignly), which is all CPU-oversubscription
+/// avoidance needs.
+struct WorkerBudget {
+    granted: usize,
+}
+
+impl WorkerBudget {
+    fn claim(want: usize) -> WorkerBudget {
+        if want <= 1 {
+            return WorkerBudget { granted: 1 };
+        }
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let active = ACTIVE_COMPILE_WORKERS.load(Ordering::Relaxed);
+        let granted = want.min(cores.saturating_sub(active).max(1));
+        if granted > 1 {
+            ACTIVE_COMPILE_WORKERS.fetch_add(granted, Ordering::Relaxed);
+        }
+        WorkerBudget { granted }
+    }
+
+    fn granted(&self) -> usize {
+        self.granted
+    }
+}
+
+impl Drop for WorkerBudget {
+    fn drop(&mut self) {
+        if self.granted > 1 {
+            ACTIVE_COMPILE_WORKERS.fetch_sub(self.granted, Ordering::Relaxed);
+        }
+    }
+}
+
+/// How one group's schedule decision was paid for, for the compile's
+/// provenance counters. Duplicate problems resolve to [`TuneCost::None`] on
+/// every group but the one that actually tuned (or hit a record).
+#[derive(Debug, Clone, Copy)]
+enum TuneCost {
+    /// Nothing new: default schedule, reduce heuristic, or a problem another
+    /// group already resolved.
+    None,
+    /// Freshly tuned here.
+    Fresh { trials: usize, seconds: f64 },
+    /// Served by a persisted tuning record.
+    Record {
+        trials_saved: usize,
+        seconds_saved: f64,
+    },
+}
+
+/// One group's compiled result plus its schedule and tuning provenance.
+struct GroupOutcome {
+    schedule: GroupSchedule,
+    compiled: CompiledGroup,
+    cost: TuneCost,
+}
+
+/// The per-compilation tuning state shared by every worker: one
+/// [`OnceLock`] slot per distinct matmul problem, so concurrent groups with
+/// the same problem run **one** tuning task.
+type TuneSlot = Arc<OnceLock<Result<(MatmulConfig, TuneCost), CompileError>>>;
+
+#[derive(Default)]
+struct TuningSlots {
+    slots: Mutex<HashMap<(i64, i64, i64, i64), TuneSlot>>,
+}
+
+impl TuningSlots {
+    fn slot(&self, key: (i64, i64, i64, i64)) -> TuneSlot {
+        Arc::clone(
+            self.slots
+                .lock()
+                .expect("tuning slots poisoned")
+                .entry(key)
+                .or_default(),
+        )
+    }
+
+    /// Every successfully resolved problem's winning config, sorted by
+    /// problem key (deterministic regardless of which worker tuned what).
+    fn entries(&self) -> Vec<TunedEntry> {
+        let slots = self.slots.lock().expect("tuning slots poisoned");
+        let mut entries: Vec<TunedEntry> = slots
+            .iter()
+            .filter_map(|(&(batch, m, n, k), slot)| match slot.get() {
+                Some(Ok((config, _))) => Some(TunedEntry {
+                    problem: MatmulProblem { batch, m, n, k },
+                    config: *config,
+                }),
+                _ => None,
+            })
+            .collect();
+        entries.sort_by_key(|e| (e.problem.batch, e.problem.m, e.problem.n, e.problem.k));
+        entries
+    }
+}
+
+/// Resolves the tuned config for one matmul problem, coalescing duplicates:
+/// the first caller per problem tunes (or consults records) and pays the
+/// cost; everyone else gets the config at [`TuneCost::None`].
+fn resolve_matmul_config(
+    problem: MatmulProblem,
+    gpu: &Gpu,
+    options: &CompilerOptions,
+    device: &str,
+    tuning: &TuningSlots,
+) -> Result<(MatmulConfig, TuneCost), CompileError> {
+    let key = (problem.batch, problem.m, problem.n, problem.k);
+    let slot = tuning.slot(key);
+    let mut first = false;
+    let result = slot.get_or_init(|| {
+        first = true;
+        if let Some(record) = lookup_record(options, gpu, device, problem) {
+            // Warm start: a persisted record schedules this problem with
+            // zero trials.
+            return Ok((
+                record.config,
+                TuneCost::Record {
+                    trials_saved: record.trials,
+                    seconds_saved: record.tuning_seconds,
+                },
+            ));
+        }
+        let report =
+            try_tune_matmul_with(problem, gpu, options.tuner_policy()).ok_or_else(|| {
+                CompileError::Schedule(format!(
+                    "no matmul schedule for {}x{}x{} (batch {}) fits device \"{}\"",
+                    problem.m,
+                    problem.n,
+                    problem.k,
+                    problem.batch,
+                    gpu.spec().name
+                ))
+            })?;
+        store_record(options, device, problem, &report);
+        Ok((
+            report.best,
+            TuneCost::Fresh {
+                trials: report.trials,
+                seconds: report.tuning_seconds,
+            },
+        ))
+    });
+    match result {
+        Ok((config, cost)) => Ok((*config, if first { *cost } else { TuneCost::None })),
+        Err(e) => Err(e.clone()),
+    }
+}
+
+/// Schedules and compiles one fused group (steps 3–4 of Fig. 10 for one
+/// sub-graph) — the unit of work the parallel pipeline fans out.
+fn compile_one_group(
+    g: &Graph,
+    group: &FusedGroup,
+    gpu: &Gpu,
+    options: &CompilerOptions,
+    device: &str,
+    tuning: &TuningSlots,
+) -> Result<GroupOutcome, CompileError> {
+    let mut schedule = GroupSchedule::default();
+    let mut cost = TuneCost::None;
+    if let Some(anchor) = group.anchor {
+        let op = g.op(anchor);
+        match &op.kind {
+            OpKind::Matmul | OpKind::BatchMatmul => {
+                let config = if options.tune {
+                    let problem = matmul_problem(g, anchor);
+                    let (config, c) = resolve_matmul_config(problem, gpu, options, device, tuning)?;
+                    cost = c;
+                    config
+                } else {
+                    MatmulConfig::default()
+                };
+                schedule.matmul = apply_ablations(config, options);
+            }
+            OpKind::Softmax { axis } => {
+                let shape = g.tensor(op.inputs[0]).shape();
+                let len = shape[*axis];
+                let rows: i64 = shape.iter().product::<i64>() / len;
+                schedule.reduce = pick_reduce_config(rows, len, gpu);
+            }
+            OpKind::LayerNorm => {
+                let shape = g.tensor(op.inputs[0]).shape();
+                let len = *shape.last().expect("rank >= 1");
+                let rows: i64 = shape.iter().product::<i64>() / len;
+                schedule.reduce = pick_reduce_config(rows, len, gpu);
+            }
+            OpKind::GlobalAvgPool => {
+                let shape = g.tensor(op.inputs[0]).shape();
+                let rows = shape[0] * shape[1];
+                let len = shape[2] * shape[3];
+                schedule.reduce = pick_reduce_config(rows, len, gpu);
+            }
+            _ => {}
+        }
+    }
+    let compiled = compile_group(g, group, &schedule).map_err(CompileError::Schedule)?;
+    Ok(GroupOutcome {
+        schedule,
+        compiled,
+        cost,
     })
 }
 
@@ -366,10 +640,12 @@ pub fn compile_from_artifact_hashed(
         let compiled = compile_group(&g, group, schedule).map_err(CompileError::Schedule)?;
         compiled_groups.push(compiled);
     }
+    let memory_plan = MemoryPlan::build(&g, &compiled_groups);
     Ok(CompiledGraph {
         plan: CompilePlan {
             graph: g,
             groups: compiled_groups,
+            memory_plan,
         },
         tuning_seconds: 0.0,
         tuning_trials: 0,
@@ -458,6 +734,12 @@ impl CompilePlan {
         &self.groups
     }
 
+    /// The liveness-based arena placement of this plan's intermediates —
+    /// see [`crate::plan`].
+    pub fn memory_plan(&self) -> &MemoryPlan {
+        &self.memory_plan
+    }
+
     /// Total kernels launched per inference.
     pub fn num_kernels(&self) -> usize {
         self.groups.iter().map(|g| g.kernels.len()).sum()
@@ -531,6 +813,24 @@ impl CompilePlan {
             out.insert(t, mem.read(&format!("t{}", t.0)).to_vec());
         }
         Ok(out)
+    }
+
+    /// [`CompilePlan::run`] through a reusable [`Workspace`]: intermediates
+    /// live at their planned arena offsets, constants upload once per
+    /// (workspace, plan) binding, and a steady stream of requests for the
+    /// same plan performs **zero heap allocations** for intermediates.
+    /// Results are bit-identical to the unplanned [`CompilePlan::run`].
+    ///
+    /// # Errors
+    /// [`CompileError::BadInput`] on missing/missized inputs, or
+    /// [`CompileError::Sim`] if a kernel faults.
+    pub fn run_with(
+        &self,
+        inputs: &HashMap<TensorId, Vec<f32>>,
+        gpu: &Gpu,
+        workspace: &mut Workspace,
+    ) -> Result<HashMap<TensorId, Vec<f32>>, CompileError> {
+        workspace.execute(self, inputs, gpu)
     }
 
     /// The full CUDA C source of every kernel, concatenated — what a real
@@ -634,6 +934,27 @@ impl CompiledGraph {
         self.plan.run(inputs, gpu)
     }
 
+    /// Memory-planned execution through a reusable [`Workspace`] — see
+    /// [`CompilePlan::run_with`].
+    ///
+    /// # Errors
+    /// [`CompileError::BadInput`] on missing/missized inputs, or
+    /// [`CompileError::Sim`] if a kernel faults.
+    pub fn run_with(
+        &self,
+        inputs: &HashMap<TensorId, Vec<f32>>,
+        gpu: &Gpu,
+        workspace: &mut Workspace,
+    ) -> Result<HashMap<TensorId, Vec<f32>>, CompileError> {
+        self.plan.run_with(inputs, gpu, workspace)
+    }
+
+    /// Planned peak bytes of this model's intermediates — the arena one
+    /// inference needs (also recorded in the artifact).
+    pub fn planned_peak_bytes(&self) -> usize {
+        self.plan.memory_plan().peak_bytes()
+    }
+
     /// The full CUDA C source of every kernel, concatenated.
     pub fn cuda_source(&self) -> String {
         self.plan.cuda_source()
@@ -655,6 +976,31 @@ mod tests {
         let y = g.add(y, b);
         let y = g.relu(y);
         (g.output(y).build(), x, y)
+    }
+
+    #[test]
+    fn worker_budget_never_exceeds_cores_and_releases_on_drop() {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let a = WorkerBudget::claim(usize::MAX);
+        assert!((1..=cores).contains(&a.granted()), "{}", a.granted());
+        // With the budget held, a second claim must not push the process
+        // past the core count (other tests may hold workers too, so only
+        // the sum bound is asserted, not exact values).
+        let b = WorkerBudget::claim(usize::MAX);
+        assert!(b.granted() >= 1);
+        assert!(
+            a.granted() + b.granted() <= cores.max(2),
+            "{} + {} workers on {} cores",
+            a.granted(),
+            b.granted(),
+            cores
+        );
+        drop(a);
+        drop(b);
+        // Sequential requests bypass the ledger entirely.
+        assert_eq!(WorkerBudget::claim(1).granted(), 1);
     }
 
     #[test]

@@ -15,9 +15,14 @@ pub struct HidetExecutor {
 }
 
 impl HidetExecutor {
-    /// Tuned executor (the paper's configuration).
+    /// Tuned executor with the exhaustive schedule search — the paper's
+    /// configuration, whose trial counts the Fig. 17 tuning-cost comparison
+    /// reproduces. (The serving runtime defaults to the cost-model-pruned
+    /// [`CompilerOptions::tuned`] instead.)
     pub fn tuned() -> HidetExecutor {
-        HidetExecutor::default()
+        HidetExecutor {
+            options: CompilerOptions::exhaustive(),
+        }
     }
 
     /// Untuned executor (default schedules; useful for quick tests).

@@ -55,13 +55,15 @@
 pub mod artifact;
 pub mod compiler;
 pub mod executor;
+pub mod plan;
 
 pub use artifact::{ArtifactError, CompiledArtifact, TunedEntry, ARTIFACT_FORMAT_VERSION};
 pub use compiler::{
     compile, compile_from_artifact, compile_from_artifact_hashed, compile_hashed, CompileError,
-    CompilePlan, CompiledGraph, CompilerOptions,
+    CompilePlan, CompiledGraph, CompilerOptions, DEFAULT_MEASURE_TOP_K,
 };
 pub use executor::HidetExecutor;
+pub use plan::{MemoryPlan, PlannedSlot, Workspace};
 
 /// Commonly used items across the whole stack.
 pub mod prelude {

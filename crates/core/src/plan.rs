@@ -1,0 +1,430 @@
+//! Liveness-based memory planning for compiled graphs.
+//!
+//! Every inference of a [`CompilePlan`] needs device
+//! buffers for its intermediates: one output buffer per fused group plus
+//! each group's scratch (e.g. split-K partials). The naive executor
+//! allocates all of them fresh per request and keeps every one resident
+//! until the end — O(request) allocator traffic and a peak footprint equal
+//! to the *sum* of all intermediates.
+//!
+//! [`MemoryPlan`] fixes both analytically, before any execution pays for it
+//! (the cache-simulation direction in PAPERS.md): it walks the plan's group
+//! execution order, computes each intermediate's **live interval** (birth =
+//! producing group, death = last consuming group; graph outputs live to the
+//! end), and assigns every buffer a **best-fit offset** into one shared
+//! arena. Two buffers share bytes exactly when their live intervals are
+//! disjoint, so in-flight buffers can never alias: a buffer's window is
+//! reused only after its last reader ran, and the planner places each new
+//! buffer in the smallest gap (among placements whose intervals overlap its
+//! own) that fits, growing the arena only when no gap does.
+//!
+//! [`Workspace`] is the runtime companion: it owns one
+//! [`DeviceMemory`] whose arena is sized to the plan's peak and rebinds
+//! itself only when handed a *different* plan. Steady-state inference
+//! through [`CompilePlan::run_with`](crate::CompilePlan::run_with) —
+//! same model, request after request — therefore performs **zero heap
+//! allocations for intermediates**: inputs overwrite their existing
+//! buffers, group outputs and scratch are zero-filled arena windows, and
+//! constants were uploaded once at bind time.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hidet_graph::{Graph, TensorId};
+use hidet_sim::DeviceMemory;
+
+use crate::compiler::{CompileError, CompilePlan};
+
+/// Monotone source of [`MemoryPlan`] identities, so a [`Workspace`] can tell
+/// "same plan again" (no rebind) from "new plan" (rebind) without comparing
+/// layouts.
+static NEXT_PLAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One planned buffer: a named window of the arena.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedSlot {
+    /// Device buffer name (`t<id>` for tensors, the kernel's scratch name
+    /// otherwise).
+    pub name: String,
+    /// Start offset into the arena, in elements.
+    pub offset: usize,
+    /// Window length in elements.
+    pub len: usize,
+    /// Index of the group that produces (and first zeroes) the buffer.
+    pub birth: usize,
+    /// Index of the last group that reads it (`groups.len()` when the
+    /// buffer is a graph output, which must survive the whole run).
+    pub death: usize,
+}
+
+/// A liveness-based placement of every intermediate buffer of one
+/// [`CompilePlan`] into a single arena. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct MemoryPlan {
+    id: u64,
+    slots: Vec<PlannedSlot>,
+    arena_len: usize,
+    unplanned_len: usize,
+}
+
+impl MemoryPlan {
+    /// Plans the intermediates of `groups` (in execution order) for `graph`.
+    ///
+    /// Only buffers the execution itself creates are planned: group outputs
+    /// and scratch. Graph inputs and constants stay owned buffers — they are
+    /// written by the caller / at bind time, not by kernels, and their
+    /// lifetime is the whole run.
+    pub fn build(graph: &Graph, groups: &[hidet_sched::fusion::CompiledGroup]) -> MemoryPlan {
+        let end = groups.len();
+        let is_output = |t: TensorId| graph.outputs().contains(&t);
+        // Collect live intervals in deterministic birth order.
+        let mut intervals: Vec<PlannedSlot> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for (i, group) in groups.iter().enumerate() {
+            let t = group.output;
+            let death = if is_output(t) {
+                end
+            } else {
+                groups
+                    .iter()
+                    .enumerate()
+                    .skip(i + 1)
+                    .filter(|(_, g)| g.inputs.contains(&t))
+                    .map(|(j, _)| j)
+                    .max()
+                    .unwrap_or(i)
+            };
+            let name = format!("t{}", t.0);
+            if seen.insert(name.clone()) {
+                intervals.push(PlannedSlot {
+                    name,
+                    offset: 0,
+                    len: graph.tensor(t).numel() as usize,
+                    birth: i,
+                    death,
+                });
+            }
+            for (name, len) in &group.scratch {
+                // A scratch name reused by another group would make one
+                // binding serve two layouts; leave such buffers unplanned
+                // (the executor falls back to an owned buffer for them).
+                if seen.insert(name.clone()) {
+                    intervals.push(PlannedSlot {
+                        name: name.clone(),
+                        offset: 0,
+                        len: *len,
+                        birth: i,
+                        death: i,
+                    });
+                }
+            }
+        }
+        let unplanned_len = intervals.iter().map(|s| s.len).sum();
+
+        // Greedy best-fit: place each buffer (in birth order) into the
+        // smallest gap between already-placed, lifetime-overlapping buffers
+        // that fits; extend the arena only when none does.
+        let mut placed: Vec<PlannedSlot> = Vec::new();
+        let mut arena_len = 0usize;
+        for mut slot in intervals {
+            let mut busy: Vec<(usize, usize)> = placed
+                .iter()
+                .filter(|p| p.birth <= slot.death && p.death >= slot.birth)
+                .map(|p| (p.offset, p.offset + p.len))
+                .collect();
+            busy.sort_unstable();
+            let mut best: Option<(usize, usize)> = None; // (gap size, offset)
+            let mut cursor = 0usize;
+            for (start, stop) in busy {
+                if start > cursor {
+                    let gap = start - cursor;
+                    if gap >= slot.len && best.is_none_or(|(g, _)| gap < g) {
+                        best = Some((gap, cursor));
+                    }
+                }
+                cursor = cursor.max(stop);
+            }
+            slot.offset = match best {
+                Some((_, offset)) => offset,
+                None => cursor, // first free byte past every overlapping buffer
+            };
+            arena_len = arena_len.max(slot.offset + slot.len);
+            placed.push(slot);
+        }
+
+        MemoryPlan {
+            id: NEXT_PLAN_ID.fetch_add(1, Ordering::Relaxed),
+            slots: placed,
+            arena_len,
+            unplanned_len,
+        }
+    }
+
+    /// The planned buffers, in birth (execution) order.
+    pub fn slots(&self) -> &[PlannedSlot] {
+        &self.slots
+    }
+
+    /// Arena size in elements — the planned peak of all intermediates.
+    pub fn arena_len(&self) -> usize {
+        self.arena_len
+    }
+
+    /// Planned peak intermediate footprint in bytes (4 bytes/element).
+    pub fn peak_bytes(&self) -> usize {
+        self.arena_len * 4
+    }
+
+    /// What the unplanned executor keeps resident by the end of a run: the
+    /// sum of every intermediate, in bytes. `peak_bytes <= unplanned_bytes`
+    /// always; strictly less whenever any two intermediates have disjoint
+    /// lifetimes.
+    pub fn unplanned_bytes(&self) -> usize {
+        self.unplanned_len * 4
+    }
+
+    /// Debug check: no two buffers whose live intervals overlap may share
+    /// arena bytes. Returns the first violating pair, if any.
+    pub fn find_alias(&self) -> Option<(&PlannedSlot, &PlannedSlot)> {
+        for (i, a) in self.slots.iter().enumerate() {
+            for b in &self.slots[i + 1..] {
+                let lifetimes_overlap = a.birth <= b.death && b.birth <= a.death;
+                let bytes_overlap = a.offset < b.offset + b.len && b.offset < a.offset + a.len;
+                if lifetimes_overlap && bytes_overlap {
+                    return Some((a, b));
+                }
+            }
+        }
+        None
+    }
+
+    pub(crate) fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// Reusable per-worker execution state: one [`DeviceMemory`] whose arena and
+/// buffer bindings persist across requests. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct Workspace {
+    mem: DeviceMemory,
+    bound: Option<u64>,
+}
+
+impl Workspace {
+    /// An empty workspace; binds lazily on first
+    /// [`CompilePlan::run_with`](crate::CompilePlan::run_with).
+    pub fn new() -> Workspace {
+        Workspace::default()
+    }
+
+    /// Total resident bytes currently held (arena + owned buffers).
+    pub fn resident_bytes(&self) -> usize {
+        self.mem.total_bytes()
+    }
+
+    /// Binds this workspace to `plan` if it is not already: sizes the arena,
+    /// binds every planned buffer as a view, and uploads the graph's
+    /// constants. A workspace already bound to the same plan returns
+    /// immediately — the steady-state path.
+    pub(crate) fn bind(&mut self, plan: &CompilePlan) {
+        let id = plan.memory_plan().id();
+        if self.bound == Some(id) {
+            return;
+        }
+        // A different plan may reuse buffer names with different meanings
+        // (another model's tensor ids); start from clean bindings.
+        self.mem = DeviceMemory::new();
+        self.mem.reserve_arena(plan.memory_plan().arena_len());
+        for slot in plan.memory_plan().slots() {
+            self.mem.bind_view(&slot.name, slot.offset, slot.len);
+        }
+        let graph = plan.graph();
+        for idx in 0..graph.num_tensors() {
+            let t = TensorId(idx);
+            if let Some(data) = graph.tensor(t).data() {
+                self.mem.alloc(&format!("t{idx}"), data);
+            }
+        }
+        self.bound = Some(id);
+    }
+
+    /// Runs `plan`'s kernels for `inputs` against the bound memory.
+    /// Mirrors the unplanned executor exactly — inputs written, every group
+    /// output and scratch zeroed immediately before the group's kernels —
+    /// so results are bit-identical to [`CompilePlan::run`](crate::CompilePlan::run).
+    pub(crate) fn execute(
+        &mut self,
+        plan: &CompilePlan,
+        inputs: &HashMap<TensorId, Vec<f32>>,
+        gpu: &hidet_sim::Gpu,
+    ) -> Result<HashMap<TensorId, Vec<f32>>, CompileError> {
+        self.bind(plan);
+        let graph = plan.graph();
+        for &t in graph.inputs() {
+            let data = inputs
+                .get(&t)
+                .ok_or_else(|| CompileError::BadInput(format!("missing input tensor t{}", t.0)))?;
+            let expect = graph.tensor(t).numel() as usize;
+            if data.len() != expect {
+                return Err(CompileError::BadInput(format!(
+                    "input t{} has {} elements, expected {expect}",
+                    t.0,
+                    data.len()
+                )));
+            }
+            self.mem.alloc(&format!("t{}", t.0), data);
+        }
+        for group in plan.groups() {
+            self.mem.alloc_zeroed(
+                &format!("t{}", group.output.0),
+                graph.tensor(group.output).numel() as usize,
+            );
+            for (name, len) in &group.scratch {
+                self.mem.alloc_zeroed(name, *len);
+            }
+            for kernel in &group.kernels {
+                gpu.run(kernel, &mut self.mem)?;
+            }
+        }
+        let mut out = HashMap::new();
+        for &t in graph.outputs() {
+            out.insert(t, self.mem.read(&format!("t{}", t.0)).to_vec());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{compile, CompilerOptions};
+    use hidet_graph::{GraphBuilder, Tensor};
+    use hidet_sim::Gpu;
+
+    /// A four-group chain: each intermediate dies as soon as the next group
+    /// has read it, so the planner should reuse bytes aggressively.
+    fn chain() -> (Graph, TensorId, TensorId) {
+        let mut g = GraphBuilder::new("chain");
+        let x = g.input("x", &[16, 32]);
+        let w1 = g.constant(Tensor::randn(&[32, 32], 1));
+        let w2 = g.constant(Tensor::randn(&[32, 32], 2));
+        let w3 = g.constant(Tensor::randn(&[32, 8], 3));
+        let a = g.matmul(x, w1);
+        let a = g.softmax(a, 1);
+        let b = g.matmul(a, w2);
+        let b = g.softmax(b, 1);
+        let y = g.matmul(b, w3);
+        (g.output(y).build(), x, y)
+    }
+
+    #[test]
+    fn planned_peak_is_below_unplanned_sum() {
+        let (graph, _, _) = chain();
+        let gpu = Gpu::default();
+        let compiled = compile(&graph, &gpu, &CompilerOptions::quick()).unwrap();
+        let plan = compiled.plan().memory_plan();
+        assert!(!plan.slots().is_empty());
+        assert!(
+            plan.peak_bytes() < plan.unplanned_bytes(),
+            "peak {} vs sum {}",
+            plan.peak_bytes(),
+            plan.unplanned_bytes()
+        );
+        assert!(plan.find_alias().is_none(), "{:?}", plan.find_alias());
+    }
+
+    #[test]
+    fn live_buffers_never_alias_and_outputs_survive() {
+        let (graph, _, y) = chain();
+        let gpu = Gpu::default();
+        let compiled = compile(&graph, &gpu, &CompilerOptions::quick()).unwrap();
+        let plan = compiled.plan().memory_plan();
+        let out = plan
+            .slots()
+            .iter()
+            .find(|s| s.name == format!("t{}", y.0))
+            .expect("graph output is planned");
+        assert_eq!(
+            out.death,
+            compiled.plan().groups().len(),
+            "graph outputs live past the last group"
+        );
+        assert!(plan.find_alias().is_none());
+    }
+
+    #[test]
+    fn workspace_runs_match_unplanned_and_reuse_memory() {
+        let (graph, x, y) = chain();
+        let gpu = Gpu::default();
+        let compiled = compile(&graph, &gpu, &CompilerOptions::quick()).unwrap();
+        let mut ws = Workspace::new();
+        for seed in 0..3u64 {
+            let data: Vec<f32> = Tensor::randn(&[16, 32], 100 + seed)
+                .data()
+                .unwrap()
+                .to_vec();
+            let mut inputs = HashMap::new();
+            inputs.insert(x, data);
+            let unplanned = compiled.run(&inputs, &gpu).unwrap();
+            let planned = compiled.run_with(&inputs, &gpu, &mut ws).unwrap();
+            assert_eq!(unplanned[&y], planned[&y], "seed {seed}");
+        }
+        let resident = ws.resident_bytes();
+        // Another request must not grow the workspace.
+        let mut inputs = HashMap::new();
+        inputs.insert(x, Tensor::randn(&[16, 32], 7).data().unwrap().to_vec());
+        compiled.run_with(&inputs, &gpu, &mut ws).unwrap();
+        assert_eq!(
+            ws.resident_bytes(),
+            resident,
+            "steady state must not allocate"
+        );
+    }
+
+    #[test]
+    fn workspace_rebinds_across_plans() {
+        let (graph, x, y) = chain();
+        let mut g2 = GraphBuilder::new("other");
+        let x2 = g2.input("x", &[4, 8]);
+        let w = g2.constant(Tensor::randn(&[8, 8], 5));
+        let y2m = g2.matmul(x2, w);
+        let y2 = g2.relu(y2m);
+        let other = g2.output(y2).build();
+
+        let gpu = Gpu::default();
+        let a = compile(&graph, &gpu, &CompilerOptions::quick()).unwrap();
+        let b = compile(&other, &gpu, &CompilerOptions::quick()).unwrap();
+        let mut ws = Workspace::new();
+
+        let mut in_a = HashMap::new();
+        in_a.insert(x, Tensor::randn(&[16, 32], 8).data().unwrap().to_vec());
+        let mut in_b = HashMap::new();
+        in_b.insert(x2, Tensor::randn(&[4, 8], 9).data().unwrap().to_vec());
+
+        // Interleave the two models through one workspace; each must match
+        // its own unplanned run every time.
+        for _ in 0..2 {
+            let got_a = a.run_with(&in_a, &gpu, &mut ws).unwrap();
+            assert_eq!(got_a[&y], a.run(&in_a, &gpu).unwrap()[&y]);
+            let got_b = b.run_with(&in_b, &gpu, &mut ws).unwrap();
+            assert_eq!(got_b[&y2], b.run(&in_b, &gpu).unwrap()[&y2]);
+        }
+    }
+
+    #[test]
+    fn missing_and_missized_inputs_reported() {
+        let (graph, x, _) = chain();
+        let gpu = Gpu::default();
+        let compiled = compile(&graph, &gpu, &CompilerOptions::quick()).unwrap();
+        let mut ws = Workspace::new();
+        let err = compiled
+            .run_with(&HashMap::new(), &gpu, &mut ws)
+            .unwrap_err();
+        assert!(matches!(err, CompileError::BadInput(_)), "{err}");
+        let mut inputs = HashMap::new();
+        inputs.insert(x, vec![0.0; 3]);
+        let err = compiled.run_with(&inputs, &gpu, &mut ws).unwrap_err();
+        assert!(matches!(err, CompileError::BadInput(_)), "{err}");
+    }
+}

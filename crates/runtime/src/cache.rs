@@ -595,6 +595,44 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_compiles_of_one_graph_coalesce_to_a_single_compile() {
+        // Many threads race the same key — including through the compiler's
+        // own parallel per-group fan-out — and exactly one fresh compile may
+        // run; everyone else must block on the in-flight slot and share the
+        // result.
+        let cache = Arc::new(CompiledCache::new());
+        let gpu = Gpu::default();
+        // Tuned options exercise the parallel compile+tune pipeline inside
+        // the single coalesced compile.
+        let opts = CompilerOptions::tuned();
+        let graph = Arc::new(model(16, "m"));
+        let hash = graph.structural_hash();
+        let compiled: Vec<Arc<CompiledGraph>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let graph = Arc::clone(&graph);
+                    let gpu = gpu.clone();
+                    let opts = opts.clone();
+                    scope.spawn(move || {
+                        let (compiled, _) = cache
+                            .get_or_compile_hashed(&graph, hash, &gpu, &opts, None)
+                            .unwrap();
+                        compiled
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let counters = cache.counters();
+        assert_eq!(counters.misses, 1, "exactly one thread compiles");
+        assert_eq!(counters.hits, 7, "everyone else coalesces");
+        for c in &compiled {
+            assert!(Arc::ptr_eq(c, &compiled[0]), "all threads share one graph");
+        }
+    }
+
+    #[test]
     fn unload_evicts_by_graph_hash() {
         let cache = CompiledCache::new();
         let gpu = Gpu::default();

@@ -83,6 +83,7 @@ use hidet_sim::GpuSpec;
 use crate::cache::{CacheOutcome, CompiledCache, EvictionPolicy};
 use crate::shard::{self, LatencyModel, Shard};
 use crate::stats::{ServerStats, StatsSnapshot};
+use crate::store::ArtifactStore;
 
 /// Request priority class, highest first.
 ///
@@ -1105,12 +1106,20 @@ impl ModelHandle {
         warmup_model(&self.shared, &self.name, batch)
     }
 
-    /// Unregisters the model and evicts its compiled graphs (counted under
-    /// [`StatsSnapshot::compiled_evicted_unload`]) and placement estimates.
-    /// Disk artifacts are kept — a re-registered model warm-starts from
-    /// them. Requests already queued are answered
-    /// [`EngineError::UnknownModel`]; so are later submissions through this
-    /// (or any) handle. Idempotent: returns whether the model was loaded.
+    /// Unregisters the model, evicts its compiled graphs (counted under
+    /// [`StatsSnapshot::compiled_evicted_unload`]) and placement estimates,
+    /// and garbage-collects its on-disk artifacts (counted under
+    /// [`StatsSnapshot::artifact_gc_removed`]) — an unloaded model's files
+    /// can never be looked up again, so keeping them would only accrete
+    /// orphans. Files whose structure is still reachable through another
+    /// live registration (artifacts are keyed structurally) are spared;
+    /// tuning records always survive, so a re-registration re-schedules
+    /// with zero trials. A store directory shared with *other processes*
+    /// is outside this engine's view — point concurrent engines at
+    /// separate stores if their model sets differ. Requests already queued
+    /// are answered [`EngineError::UnknownModel`]; so are later submissions
+    /// through this (or any) handle. Idempotent: returns whether the model
+    /// was loaded.
     pub fn unload(&self) -> bool {
         unload_model(&self.shared, &self.name)
     }
@@ -1167,6 +1176,36 @@ fn unload_model(shared: &Shared, model: &str) -> bool {
         .collect();
     shared.compiled.evict_model(&hashes);
     shared.latency_model.forget_model(model);
+    // Garbage-collect the unloaded model's on-disk artifacts: with the
+    // registration gone they can never be looked up again (a later
+    // re-registration recompiles, persisting fresh files), so keeping them
+    // would only accrete orphans in a long-lived store. Artifacts are keyed
+    // *structurally*, though, and handles address models by name — another
+    // live registration can share the structure (same builder, different
+    // name) and still warm-start from these files, so hashes reachable
+    // through any surviving registration are spared.
+    if let Some(dir) = &entry.artifact_store {
+        let still_live: std::collections::HashSet<u64> = shared
+            .registry
+            .lock()
+            .expect("registry poisoned")
+            .values()
+            .flat_map(|e| {
+                e.variants
+                    .lock()
+                    .expect("registry poisoned")
+                    .values()
+                    .map(|v| v.hash)
+                    .collect::<Vec<u64>>()
+            })
+            .collect();
+        let doomed: Vec<u64> = hashes
+            .into_iter()
+            .filter(|h| !still_live.contains(h))
+            .collect();
+        let removed = ArtifactStore::new(dir).remove_model(&doomed);
+        shared.stats.count_artifact_gc(removed);
+    }
     true
 }
 
@@ -1345,7 +1384,11 @@ fn dispatch_loop(shared: &Shared, senders: Vec<mpsc::Sender<BatchJob>>) {
 }
 
 /// Worker: executes one shard's batch jobs until the dispatcher hangs up.
+/// Each lane owns a [`hidet::Workspace`], so steady-state execution of a
+/// model reuses one memory-planned arena instead of allocating fresh
+/// buffers per request.
 fn worker_loop(shared: &Shared, shard_idx: usize, jobs: &Mutex<mpsc::Receiver<BatchJob>>) {
+    let mut workspace = hidet::Workspace::new();
     loop {
         let job = {
             let rx = jobs.lock().expect("job channel poisoned");
@@ -1354,7 +1397,7 @@ fn worker_loop(shared: &Shared, shard_idx: usize, jobs: &Mutex<mpsc::Receiver<Ba
         match job {
             Ok(job) => {
                 let token = job.token;
-                process_batch(shared, shard_idx, job);
+                process_batch(shared, shard_idx, job, &mut workspace);
                 shared.shards[shard_idx].release(token);
             }
             Err(_) => return,
@@ -1385,12 +1428,22 @@ fn record_compile(shared: &Shared, compiled: &hidet::CompiledGraph, outcome: Cac
             compiled.record_trials_saved(),
             compiled.record_seconds_saved(),
         );
+        shared
+            .stats
+            .record_planned_peak(compiled.planned_peak_bytes());
     }
 }
 
 /// Executes one batch job on `shard_idx`'s device, accounting served
-/// requests and busy time on the shard before any response is sent.
-fn process_batch(shared: &Shared, shard_idx: usize, job: BatchJob) {
+/// requests and busy time on the shard before any response is sent. The
+/// caller's `workspace` provides the memory-planned arena (reused across
+/// batches of the same compiled model).
+fn process_batch(
+    shared: &Shared,
+    shard_idx: usize,
+    job: BatchJob,
+    workspace: &mut hidet::Workspace,
+) {
     let shard = &shared.shards[shard_idx];
     let entry = {
         let registry = shared.registry.lock().expect("registry poisoned");
@@ -1501,7 +1554,7 @@ fn process_batch(shared: &Shared, shard_idx: usize, job: BatchJob) {
         input_map.insert(tid, buffer);
     }
 
-    let outputs = match compiled.run(&input_map, &shard.gpu) {
+    let outputs = match compiled.run_with(&input_map, &shard.gpu, workspace) {
         Ok(outputs) => outputs,
         Err(e) => {
             fail_all(shared, valid, EngineError::Execution(e.to_string()));

@@ -118,6 +118,7 @@ pub mod cache;
 pub mod engine;
 pub(crate) mod shard;
 pub mod stats;
+pub mod store;
 
 pub use cache::{CacheCounters, CacheKey, CacheOutcome, CompiledCache, EvictionPolicy};
 #[allow(deprecated)]
@@ -128,3 +129,4 @@ pub use engine::{
 };
 pub use shard::ShardSnapshot;
 pub use stats::{PriorityClassStats, ServerStats, StatsSnapshot};
+pub use store::ArtifactStore;

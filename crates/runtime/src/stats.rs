@@ -92,6 +92,11 @@ pub struct ServerStats {
     pub(crate) tuning_micros_run: AtomicU64,
     /// Simulated tuning seconds saved by records (scaled by 1e6).
     pub(crate) tuning_micros_saved: AtomicU64,
+    /// Artifact files removed by store GC (unload sweeps).
+    pub(crate) artifact_gc_removed: AtomicUsize,
+    /// Largest planned per-inference intermediate arena across compiled
+    /// models, bytes (the memory planner's peak).
+    pub(crate) planned_peak_bytes: AtomicUsize,
     /// Total simulated device-seconds across all dispatched batches
     /// (scaled by 1e9 for atomic storage).
     pub(crate) simulated_nanos: AtomicU64,
@@ -137,6 +142,18 @@ impl ServerStats {
         for _ in 0..batch_size {
             reservoirs[class.index()].push(sojourn_seconds);
         }
+    }
+
+    pub(crate) fn count_artifact_gc(&self, removed: usize) {
+        self.artifact_gc_removed
+            .fetch_add(removed, Ordering::Relaxed);
+    }
+
+    /// Records one compiled model's planned arena size; the snapshot reports
+    /// the maximum seen (the footprint one worker lane needs for the
+    /// heaviest model).
+    pub(crate) fn record_planned_peak(&self, bytes: usize) {
+        self.planned_peak_bytes.fetch_max(bytes, Ordering::Relaxed);
     }
 
     pub(crate) fn count_shed(&self, class: Priority) {
@@ -198,6 +215,8 @@ impl ServerStats {
             compiled_evicted_ttl: cache.evicted_ttl,
             compiled_evicted_capacity: cache.evicted_capacity,
             compiled_evicted_unload: cache.evicted_unload,
+            artifact_gc_removed: self.artifact_gc_removed.load(Ordering::Relaxed),
+            planned_peak_bytes: self.planned_peak_bytes.load(Ordering::Relaxed),
             tuning_trials_run: self.tuning_trials_run.load(Ordering::Relaxed),
             tuning_trials_saved: self.tuning_trials_saved.load(Ordering::Relaxed),
             tuning_seconds_run: self.tuning_micros_run.load(Ordering::Relaxed) as f64 / 1e6,
@@ -273,6 +292,13 @@ pub struct StatsSnapshot {
     pub compiled_evicted_capacity: usize,
     /// Compiled graphs evicted by explicit model unloads.
     pub compiled_evicted_unload: usize,
+    /// Artifact files removed from disk stores by GC (model unloads sweep
+    /// the unloaded model's artifacts; see `hidet_runtime::ArtifactStore`).
+    pub artifact_gc_removed: usize,
+    /// Largest planned per-inference intermediate footprint across compiled
+    /// models, in bytes — what the memory planner sized the execution arena
+    /// to (`hidet::MemoryPlan::peak_bytes`).
+    pub planned_peak_bytes: usize,
     /// Tuning trials executed.
     pub tuning_trials_run: usize,
     /// Tuning trials saved by persisted records.

@@ -145,9 +145,10 @@ fn corrupted_artifacts_fall_back_to_fresh_compile() {
     for (i, sabotage) in [
         "garbage, not json".to_string(),
         String::new(), // truncated to nothing
-        std::fs::read_to_string(&files[0])
-            .unwrap()
-            .replace("\"version\": 1", "\"version\": 99"),
+        std::fs::read_to_string(&files[0]).unwrap().replace(
+            &format!("\"version\": {}", hidet::ARTIFACT_FORMAT_VERSION),
+            "\"version\": 99",
+        ),
         {
             let text = std::fs::read_to_string(&files[0]).unwrap();
             text[..text.len() / 2].to_string() // truncated mid-object
@@ -176,6 +177,101 @@ fn corrupted_artifacts_fall_back_to_fresh_compile() {
         // the next round by the loop head.
         engine.shutdown().unwrap();
     }
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn unload_garbage_collects_disk_artifacts() {
+    // Unloading a model sweeps its artifact files from the store (counted in
+    // StatsSnapshot::artifact_gc_removed); other models' files survive.
+    let store = temp_dir("unload-gc");
+    let engine = Engine::new(EngineConfig {
+        artifact_store: Some(store.clone()),
+        ..EngineConfig::quick()
+    })
+    .unwrap();
+    let doomed = engine.register(ModelSpec::new("doomed", mlp)).unwrap();
+    let kept = engine.register(ModelSpec::new("kept", wide)).unwrap();
+    doomed.infer(request(1)).unwrap();
+    kept.infer(request(2)).unwrap();
+    let files_before = std::fs::read_dir(&store).unwrap().count();
+    assert_eq!(files_before, 2, "each model persisted one artifact");
+
+    assert!(doomed.unload());
+    let stats = engine.stats();
+    assert_eq!(stats.artifact_gc_removed, 1, "{stats:?}");
+    assert_eq!(
+        std::fs::read_dir(&store).unwrap().count(),
+        1,
+        "only the unloaded model's artifact is swept"
+    );
+    // The surviving model still warm-starts a fresh engine from disk.
+    engine.shutdown().unwrap();
+    let engine = Engine::new(EngineConfig {
+        artifact_store: Some(store.clone()),
+        ..EngineConfig::quick()
+    })
+    .unwrap();
+    let kept = engine.register(ModelSpec::new("kept", wide)).unwrap();
+    kept.infer(request(3)).unwrap();
+    let stats = engine.stats();
+    assert_eq!(stats.compile_cache_misses, 0, "{stats:?}");
+    assert_eq!(stats.compiled_artifact_loads, 1, "{stats:?}");
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn unload_gc_spares_artifacts_shared_by_a_live_registration() {
+    // Artifacts are keyed structurally; two names over the same builder
+    // share one file. Unloading one name must not destroy the survivor's
+    // warm-start artifact — only the last unload sweeps it.
+    let store = temp_dir("unload-gc-shared");
+    let engine = Engine::new(EngineConfig {
+        artifact_store: Some(store.clone()),
+        ..EngineConfig::quick()
+    })
+    .unwrap();
+    let a = engine.register(ModelSpec::new("a", mlp)).unwrap();
+    let b = engine.register(ModelSpec::new("b", mlp)).unwrap();
+    a.infer(request(1)).unwrap();
+    b.infer(request(2)).unwrap();
+    assert_eq!(std::fs::read_dir(&store).unwrap().count(), 1);
+
+    assert!(a.unload());
+    assert_eq!(engine.stats().artifact_gc_removed, 0, "shared file spared");
+    assert_eq!(std::fs::read_dir(&store).unwrap().count(), 1);
+
+    assert!(b.unload());
+    assert_eq!(engine.stats().artifact_gc_removed, 1, "last unload sweeps");
+    assert_eq!(std::fs::read_dir(&store).unwrap().count(), 0);
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn stats_report_planned_peak_bytes() {
+    // Every compile records its memory plan's arena size; the snapshot
+    // carries the largest one, and the artifact round-trips it.
+    let store = temp_dir("planned-peak");
+    let engine = Engine::new(EngineConfig {
+        artifact_store: Some(store.clone()),
+        ..EngineConfig::quick()
+    })
+    .unwrap();
+    let model = engine.register(ModelSpec::new("mlp", mlp)).unwrap();
+    model.infer(request(1)).unwrap();
+    let stats = engine.stats();
+    assert!(stats.planned_peak_bytes > 0, "{stats:?}");
+    engine.shutdown().unwrap();
+
+    // The artifact file carries the same figure.
+    let file = std::fs::read_dir(&store)
+        .unwrap()
+        .next()
+        .unwrap()
+        .unwrap()
+        .path();
+    let artifact = hidet::CompiledArtifact::load(&file).unwrap();
+    assert_eq!(artifact.planned_peak_bytes, stats.planned_peak_bytes);
     let _ = std::fs::remove_dir_all(&store);
 }
 

@@ -34,4 +34,7 @@ pub use records::{RecordsError, TuningCache, TuningRecord};
 pub use space::{matmul_space, reduce_space, MatmulConfig, ReduceConfig};
 pub use templates::matmul::{matmul_kernel, MatmulIo, MatmulProblem, Sink, Source};
 pub use templates::reduce::{reduce_kernel, ReduceIo, RowReduceKind};
-pub use tuner::{pick_reduce_config, try_tune_matmul, tune_matmul, TuneReport, SECONDS_PER_TRIAL};
+pub use tuner::{
+    pick_reduce_config, quick_score, splitk_variants, try_tune_matmul, try_tune_matmul_with,
+    tune_matmul, TuneReport, TunerPolicy, SECONDS_PER_TRIAL,
+};

@@ -1,5 +1,6 @@
 //! Exhaustive tuning over the hardware-centric schedule space (paper §4.3,
-//! §6.2 "Tuning Cost").
+//! §6.2 "Tuning Cost"), with optional cost-model pruning of the measurement
+//! set.
 //!
 //! Because the space has <200 candidates, Hidet simply *enumerates* it,
 //! evaluating each candidate with the simulator's latency model (standing in
@@ -7,8 +8,23 @@
 //! the **simulated wall-clock tuning cost**: each candidate costs one
 //! compile+measure round-trip, the same per-trial overhead AutoTVM/Ansor pay —
 //! the difference in Fig. 17 comes entirely from the number of trials.
+//!
+//! Two cost reducers sit in front of the measurement loop:
+//!
+//! * **dedup** — a candidate configuration is measured at most once per
+//!   problem, even when the split-K extension proposes a variant that
+//!   collapses onto one already measured (split factors are clamped to the
+//!   problem's available K tiles, so `split_k = 8` on a 4-tile reduction *is*
+//!   the `split_k = 4` candidate);
+//! * **pruning** ([`TunerPolicy::measure_top_k`]) — candidates are ranked by
+//!   [`quick_score`], a closed-form occupancy/traffic estimate computed
+//!   without instantiating the template, and only the best `K` pay for a real
+//!   compile+measure trial (the PGO direction in PAPERS.md: spend measurement
+//!   where the profile says it matters).
 
-use hidet_sim::{Gpu, LatencyEstimate};
+use std::collections::HashSet;
+
+use hidet_sim::{Gpu, GpuSpec, LatencyEstimate};
 
 use crate::space::{matmul_space, MatmulConfig, ReduceConfig};
 use crate::templates::matmul::{matmul_kernel, MatmulIo, MatmulProblem};
@@ -39,10 +55,82 @@ pub struct TuneReport {
     pub tuning_seconds: f64,
 }
 
-/// Tunes a matmul problem over the hardware-centric space.
+/// Measurement policy for [`try_tune_matmul_with`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TunerPolicy {
+    /// When set, only the `K` base-space candidates ranked best by
+    /// [`quick_score`] are measured (the split-K extension still derives
+    /// from the measured ranking). `None` measures the whole space — the
+    /// paper's exhaustive configuration.
+    pub measure_top_k: Option<usize>,
+}
+
+impl TunerPolicy {
+    /// Exhaustive enumeration (the paper's configuration).
+    pub fn exhaustive() -> TunerPolicy {
+        TunerPolicy {
+            measure_top_k: None,
+        }
+    }
+
+    /// Measure only the top `k` candidates by [`quick_score`].
+    pub fn pruned(k: usize) -> TunerPolicy {
+        TunerPolicy {
+            measure_top_k: Some(k.max(1)),
+        }
+    }
+}
+
+/// Closed-form pre-measurement rank of a candidate: estimated seconds from
+/// wave-quantized occupancy, DRAM traffic and FP32 work, **without**
+/// instantiating the template. Cheap enough to score the whole space, close
+/// enough to the full cost model that the true optimum survives a generous
+/// top-K cut (see `pruned_tuning_matches_exhaustive_choice`).
+pub fn quick_score(problem: MatmulProblem, cfg: &MatmulConfig, spec: &GpuSpec) -> f64 {
+    let tiles_m = (problem.m + cfg.block_m - 1) / cfg.block_m;
+    let tiles_n = (problem.n + cfg.block_n - 1) / cfg.block_n;
+    let blocks = (problem.batch * tiles_m * tiles_n * cfg.split_k) as f64;
+
+    // Resident blocks per SM under the thread / shared-memory / block caps.
+    let by_threads = (spec.max_threads_per_sm as i64 / cfg.threads()).max(1);
+    let by_smem = (spec.shared_mem_per_sm / cfg.shared_bytes().max(1)).max(1) as i64;
+    let resident = by_threads
+        .min(by_smem)
+        .min(spec.max_blocks_per_sm as i64)
+        .max(1);
+    let concurrent = (spec.num_sms as i64 * resident) as f64;
+    let waves = (blocks / concurrent).ceil().max(1.0);
+
+    // Per-block work over the (possibly split) reduction range.
+    let k_part = (problem.k + cfg.split_k - 1) / cfg.split_k;
+    let loads_per_block = ((cfg.block_m + cfg.block_n) * k_part * 4) as f64;
+    let flops_per_block = (2 * cfg.block_m * cfg.block_n * k_part) as f64;
+    // One wave's worth of blocks runs concurrently; memory and compute
+    // overlap under double buffering and serialize without it.
+    let blocks_per_wave = blocks.min(concurrent);
+    let mem = blocks_per_wave * loads_per_block / spec.dram_bytes_per_s();
+    let compute = blocks_per_wave * flops_per_block / spec.fp32_flops();
+    let per_wave = if cfg.stages >= 2 {
+        mem.max(compute)
+    } else {
+        mem + compute
+    };
+    // Split-K pays a finalization pass over the full output.
+    let finalize = if cfg.split_k > 1 {
+        (cfg.split_k as f64 + 1.0) * (problem.batch * problem.m * problem.n * 4) as f64
+            / spec.dram_bytes_per_s()
+            + spec.launch_overhead_s
+    } else {
+        0.0
+    };
+    waves * per_wave + finalize + spec.launch_overhead_s
+}
+
+/// Tunes a matmul problem over the hardware-centric space, exhaustively.
 ///
-/// `split_k` candidates (1/2/4/8) are appended for problems whose natural grid
-/// underutilizes the device (few output tiles, long K) — paper §6.3.4.
+/// `split_k` candidates (1/2/4/8, clamped to the problem's K tiles) are
+/// appended for problems whose natural grid underutilizes the device (few
+/// output tiles, long K) — paper §6.3.4.
 ///
 /// # Panics
 /// Panics if no candidate in the space can be instantiated (cannot happen for
@@ -57,10 +145,24 @@ pub fn tune_matmul(problem: MatmulProblem, gpu: &Gpu) -> TuneReport {
 /// instantiated on this device (e.g. a spec whose shared memory is below the
 /// smallest tile).
 pub fn try_tune_matmul(problem: MatmulProblem, gpu: &Gpu) -> Option<TuneReport> {
-    let base = matmul_space(gpu.spec());
+    try_tune_matmul_with(problem, gpu, TunerPolicy::exhaustive())
+}
+
+/// [`try_tune_matmul`] under an explicit [`TunerPolicy`]. Every candidate is
+/// measured **at most once** regardless of policy.
+pub fn try_tune_matmul_with(
+    problem: MatmulProblem,
+    gpu: &Gpu,
+    policy: TunerPolicy,
+) -> Option<TuneReport> {
+    let mut base = matmul_space(gpu.spec());
     let mut trials = 0usize;
-    let mut measure = |cfg: MatmulConfig| -> Option<LatencyEstimate> {
-        trials += 1;
+    let mut measured: HashSet<MatmulConfig> = HashSet::new();
+    let mut measure = |cfg: MatmulConfig, trials: &mut usize| -> Option<LatencyEstimate> {
+        if !measured.insert(cfg) {
+            return None; // dedup: this exact candidate already ran
+        }
+        *trials += 1;
         let io = MatmulIo::direct("tune_probe", problem);
         let kernels = matmul_kernel(problem, cfg, io);
         let mut total = 0.0;
@@ -75,10 +177,21 @@ pub fn try_tune_matmul(problem: MatmulProblem, gpu: &Gpu) -> Option<TuneReport> 
         Some(est)
     };
 
-    // Phase 1: exhaust the base space.
+    // Phase 0: cost-model pruning — rank the space by the closed-form score
+    // and keep only the most promising candidates for real measurement.
+    if let Some(k) = policy.measure_top_k {
+        if k < base.len() {
+            base.sort_by(|a, b| {
+                quick_score(problem, a, gpu.spec()).total_cmp(&quick_score(problem, b, gpu.spec()))
+            });
+            base.truncate(k);
+        }
+    }
+
+    // Phase 1: measure the (possibly pruned) base space.
     let mut scored: Vec<(MatmulConfig, LatencyEstimate)> = Vec::with_capacity(base.len());
     for cfg in &base {
-        if let Some(est) = measure(*cfg) {
+        if let Some(est) = measure(*cfg, &mut trials) {
             scored.push((*cfg, est));
         }
     }
@@ -90,7 +203,7 @@ pub fn try_tune_matmul(problem: MatmulProblem, gpu: &Gpu) -> Option<TuneReport> 
     // *unsplit* config is not always the best parent).
     let mut best = scored.first().copied();
     let mut parents: Vec<MatmulConfig> = scored.iter().take(16).map(|(c, _)| *c).collect();
-    let mut seen_tiles = std::collections::HashSet::new();
+    let mut seen_tiles = HashSet::new();
     for (cfg, _) in &scored {
         if seen_tiles.insert((cfg.block_m, cfg.block_n)) && !parents.contains(cfg) {
             parents.push(*cfg);
@@ -103,12 +216,9 @@ pub fn try_tune_matmul(problem: MatmulProblem, gpu: &Gpu) -> Option<TuneReport> 
         if tiles >= gpu.spec().num_sms as i64 * 2 || problem.k < 8 * cfg.block_k {
             continue;
         }
-        for split_k in [2, 4, 8] {
-            if problem.k / split_k < cfg.block_k {
-                continue;
-            }
+        for split_k in splitk_variants(problem, &cfg) {
             let candidate = MatmulConfig { split_k, ..cfg };
-            if let Some(est) = measure(candidate) {
+            if let Some(est) = measure(candidate, &mut trials) {
                 if best.is_none_or(|(_, b)| est.seconds < b.seconds) {
                     best = Some((candidate, est));
                 }
@@ -122,6 +232,25 @@ pub fn try_tune_matmul(problem: MatmulProblem, gpu: &Gpu) -> Option<TuneReport> 
         trials,
         tuning_seconds: trials as f64 * SECONDS_PER_TRIAL,
     })
+}
+
+/// Split-K factors worth trying for `cfg` on `problem`: the standard 2/4/8,
+/// **clamped to the reduction's available K tiles** and deduplicated — a
+/// split deeper than the tile count collapses onto the clamped variant and
+/// must not be measured twice.
+pub fn splitk_variants(problem: MatmulProblem, cfg: &MatmulConfig) -> Vec<i64> {
+    let k_tiles = (problem.k + cfg.block_k - 1) / cfg.block_k;
+    let mut out = Vec::new();
+    for split_k in [2i64, 4, 8] {
+        let clamped = split_k.min(k_tiles);
+        if clamped <= 1 || problem.k / clamped < cfg.block_k {
+            continue;
+        }
+        if !out.contains(&clamped) {
+            out.push(clamped);
+        }
+    }
+    out
 }
 
 /// Picks a reduce-template configuration for `rows` rows of length `len`:
@@ -207,6 +336,108 @@ mod tests {
         );
         let default_latency = gpu.estimate(&default_kernels[0]).unwrap();
         assert!(report.best_latency.seconds <= default_latency.seconds * 1.0001);
+    }
+
+    #[test]
+    fn splitk_variants_collapse_and_dedup() {
+        // k = 32 with block_k = 8 has 4 K tiles: a split of 8 clamps to 4 and
+        // must collapse onto the split-4 variant instead of being measured
+        // again.
+        let cfg = MatmulConfig::default(); // block_k = 8
+        let variants = splitk_variants(MatmulProblem::new(64, 64, 32), &cfg);
+        assert_eq!(variants, vec![2, 4], "8 collapses onto 4: {variants:?}");
+        // A long reduction keeps all three factors distinct.
+        let variants = splitk_variants(MatmulProblem::new(64, 64, 16384), &cfg);
+        assert_eq!(variants, vec![2, 4, 8]);
+        // No factor fits when even a 2-way split starves the K tile.
+        let variants = splitk_variants(MatmulProblem::new(64, 64, 8), &cfg);
+        assert!(variants.is_empty(), "{variants:?}");
+    }
+
+    #[test]
+    fn no_candidate_is_measured_twice() {
+        // The trial count must equal the number of *distinct* configurations:
+        // the base space (all split_k = 1, pairwise distinct) plus distinct
+        // split-k variants. Running the same tuning twice is deterministic.
+        let gpu = Gpu::default();
+        let problem = MatmulProblem::new(64, 64, 16384);
+        let a = tune_matmul(problem, &gpu);
+        let b = tune_matmul(problem, &gpu);
+        assert_eq!(a.trials, b.trials);
+        assert_eq!(a.best, b.best);
+        // Upper bound: base space + 3 split factors for every possible
+        // parent (top-16 plus one per distinct tile shape).
+        let space = crate::space::matmul_space(gpu.spec());
+        let tile_shapes: HashSet<(i64, i64)> =
+            space.iter().map(|c| (c.block_m, c.block_n)).collect();
+        assert!(
+            a.trials <= space.len() + 3 * (16 + tile_shapes.len()),
+            "{} trials",
+            a.trials
+        );
+    }
+
+    #[test]
+    fn pruned_tuning_runs_far_fewer_trials() {
+        let gpu = Gpu::default();
+        let problem = MatmulProblem::new(1024, 1024, 1024);
+        let exhaustive = try_tune_matmul_with(problem, &gpu, TunerPolicy::exhaustive()).unwrap();
+        let pruned = try_tune_matmul_with(problem, &gpu, TunerPolicy::pruned(48)).unwrap();
+        assert!(
+            pruned.trials * 2 < exhaustive.trials,
+            "pruned {} vs exhaustive {}",
+            pruned.trials,
+            exhaustive.trials
+        );
+        assert!(pruned.tuning_seconds < exhaustive.tuning_seconds);
+    }
+
+    #[test]
+    fn pruned_tuning_matches_exhaustive_choice() {
+        // The serving bench's three matmul shapes (batch 1 and 8): pruning
+        // must not change the winner the exhaustive search finds — the whole
+        // point is fewer trials at the same schedule quality.
+        let gpu = Gpu::default();
+        for (m, n, k) in [
+            (1, 512, 256),
+            (1, 512, 512),
+            (1, 64, 512),
+            (8, 512, 256),
+            (8, 512, 512),
+            (8, 64, 512),
+            (1024, 1024, 1024),
+        ] {
+            let problem = MatmulProblem::new(m, n, k);
+            let exhaustive =
+                try_tune_matmul_with(problem, &gpu, TunerPolicy::exhaustive()).unwrap();
+            let pruned = try_tune_matmul_with(problem, &gpu, TunerPolicy::pruned(48)).unwrap();
+            assert_eq!(
+                pruned.best,
+                exhaustive.best,
+                "{m}x{n}x{k}: pruned {} vs exhaustive {}",
+                pruned.best.id(),
+                exhaustive.best.id()
+            );
+        }
+    }
+
+    #[test]
+    fn quick_score_prefers_sane_configs() {
+        // The pre-measurement score must at least order a pathological config
+        // (1-warp block on a huge problem) behind a balanced one.
+        let spec = GpuSpec::rtx3090();
+        let problem = MatmulProblem::new(4096, 4096, 4096);
+        let balanced = MatmulConfig::default();
+        let tiny = MatmulConfig {
+            block_m: 16,
+            block_n: 32,
+            warps_m: 1,
+            warps_n: 1,
+            thread_m: 2,
+            thread_n: 2,
+            ..MatmulConfig::default()
+        };
+        assert!(quick_score(problem, &balanced, &spec) < quick_score(problem, &tiny, &spec));
     }
 
     #[test]

@@ -435,7 +435,6 @@ impl<'a> BlockCtx<'a> {
             MemScope::Global => self
                 .global
                 .get_mut(buffer.name())
-                .map(Vec::as_mut_slice)
                 .ok_or_else(|| SimError::MissingBuffer(buffer.name().to_string())),
             MemScope::Shared => self
                 .shared

@@ -1,16 +1,48 @@
-//! Simulated device global memory: named flat `f32` buffers.
+//! Simulated device global memory: named flat `f32` buffers, optionally
+//! backed by a single shared **arena**.
 //!
 //! All tensor element types evaluate in `f32` precision in the simulator
 //! (`F16` buffers still *account* as 2 bytes/element in the cost model); index
 //! and predicate types never live in buffers in the kernels this project
 //! generates.
+//!
+//! Two kinds of buffer coexist:
+//!
+//! * **owned** buffers hold their own `Vec<f32>` — graph inputs and
+//!   constants;
+//! * **views** address a `(offset, len)` window of the memory's arena — the
+//!   placement a memory planner (`hidet::MemoryPlan`) computed for
+//!   intermediates. Views make buffer turnover allocation-free: rebinding a
+//!   name or zeroing a region touches no allocator, so a serving worker that
+//!   reuses one `DeviceMemory` across requests performs zero heap
+//!   allocations for intermediates in steady state.
+//!
+//! [`DeviceMemory::alloc`] and [`DeviceMemory::alloc_zeroed`] write **in
+//! place** when the named buffer already exists with the right length
+//! (owned or view), allocating only on first use or on a length change.
 
 use std::collections::HashMap;
+
+/// Backing storage of one named buffer.
+#[derive(Debug, Clone)]
+enum Storage {
+    /// The buffer owns its elements.
+    Owned(Vec<f32>),
+    /// The buffer is a window of the shared arena.
+    View {
+        /// Start element within the arena.
+        offset: usize,
+        /// Length in elements.
+        len: usize,
+    },
+}
 
 /// Named global-memory buffers, keyed by kernel parameter name.
 #[derive(Debug, Clone, Default)]
 pub struct DeviceMemory {
-    buffers: HashMap<String, Vec<f32>>,
+    buffers: HashMap<String, Storage>,
+    /// Shared backing store for [`Storage::View`] buffers.
+    arena: Vec<f32>,
 }
 
 impl DeviceMemory {
@@ -19,14 +51,71 @@ impl DeviceMemory {
         DeviceMemory::default()
     }
 
-    /// Allocates (or replaces) a buffer with the given contents.
+    /// Allocates (or overwrites) a buffer with the given contents. An
+    /// existing buffer of the same length — owned or view — is written in
+    /// place without allocating.
     pub fn alloc(&mut self, name: &str, data: &[f32]) {
-        self.buffers.insert(name.to_string(), data.to_vec());
+        match self.buffers.get_mut(name) {
+            Some(Storage::Owned(buf)) if buf.len() == data.len() => {
+                buf.copy_from_slice(data);
+            }
+            Some(Storage::View { offset, len }) if *len == data.len() => {
+                self.arena[*offset..*offset + *len].copy_from_slice(data);
+            }
+            _ => {
+                self.buffers
+                    .insert(name.to_string(), Storage::Owned(data.to_vec()));
+            }
+        }
     }
 
-    /// Allocates a zero-filled buffer of `len` elements.
+    /// Allocates (or re-zeroes) a buffer of `len` elements. An existing
+    /// buffer of the same length is zero-filled in place without allocating.
     pub fn alloc_zeroed(&mut self, name: &str, len: usize) {
-        self.buffers.insert(name.to_string(), vec![0.0; len]);
+        match self.buffers.get_mut(name) {
+            Some(Storage::Owned(buf)) if buf.len() == len => {
+                buf.fill(0.0);
+            }
+            Some(Storage::View { offset, len: l }) if *l == len => {
+                self.arena[*offset..*offset + *l].fill(0.0);
+            }
+            _ => {
+                self.buffers
+                    .insert(name.to_string(), Storage::Owned(vec![0.0; len]));
+            }
+        }
+    }
+
+    /// Grows the shared arena to at least `len` elements (new space is
+    /// zero-filled). Never shrinks: existing views stay valid.
+    pub fn reserve_arena(&mut self, len: usize) {
+        if self.arena.len() < len {
+            self.arena.resize(len, 0.0);
+        }
+    }
+
+    /// Current arena size in elements.
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Binds `name` to the arena window `[offset, offset + len)`, replacing
+    /// any previous buffer under that name. The contents are whatever the
+    /// arena holds there — callers zero the window when fresh storage is
+    /// expected.
+    ///
+    /// # Panics
+    /// Panics if the window exceeds the arena ([`DeviceMemory::reserve_arena`]
+    /// first).
+    pub fn bind_view(&mut self, name: &str, offset: usize, len: usize) {
+        assert!(
+            offset + len <= self.arena.len(),
+            "view {name} [{offset}, {}) exceeds arena of {} elements",
+            offset + len,
+            self.arena.len()
+        );
+        self.buffers
+            .insert(name.to_string(), Storage::View { offset, len });
     }
 
     /// Reads a buffer.
@@ -41,12 +130,18 @@ impl DeviceMemory {
 
     /// Fallible buffer lookup.
     pub fn get(&self, name: &str) -> Option<&[f32]> {
-        self.buffers.get(name).map(Vec::as_slice)
+        match self.buffers.get(name)? {
+            Storage::Owned(buf) => Some(buf.as_slice()),
+            Storage::View { offset, len } => Some(&self.arena[*offset..*offset + *len]),
+        }
     }
 
     /// Mutable fallible lookup.
-    pub fn get_mut(&mut self, name: &str) -> Option<&mut Vec<f32>> {
-        self.buffers.get_mut(name)
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut [f32]> {
+        match self.buffers.get_mut(name)? {
+            Storage::Owned(buf) => Some(buf.as_mut_slice()),
+            Storage::View { offset, len } => Some(&mut self.arena[*offset..*offset + *len]),
+        }
     }
 
     /// True if a buffer with this name exists.
@@ -54,9 +149,13 @@ impl DeviceMemory {
         self.buffers.contains_key(name)
     }
 
-    /// Removes a buffer, returning its contents.
+    /// Removes a buffer, returning its contents. A view's window stays part
+    /// of the arena (only the name binding is dropped).
     pub fn free(&mut self, name: &str) -> Option<Vec<f32>> {
-        self.buffers.remove(name)
+        match self.buffers.remove(name)? {
+            Storage::Owned(buf) => Some(buf),
+            Storage::View { offset, len } => Some(self.arena[offset..offset + len].to_vec()),
+        }
     }
 
     /// Names of all resident buffers (unordered).
@@ -64,9 +163,18 @@ impl DeviceMemory {
         self.buffers.keys().map(String::as_str)
     }
 
-    /// Total resident bytes (4 bytes per element).
+    /// Total resident bytes (4 bytes per element): owned buffers plus the
+    /// arena (counted once — views alias it).
     pub fn total_bytes(&self) -> usize {
-        self.buffers.values().map(|b| b.len() * 4).sum()
+        let owned: usize = self
+            .buffers
+            .values()
+            .map(|s| match s {
+                Storage::Owned(buf) => buf.len() * 4,
+                Storage::View { .. } => 0,
+            })
+            .sum();
+        owned + self.arena.len() * 4
     }
 }
 
@@ -97,5 +205,57 @@ mod tests {
     #[should_panic(expected = "no buffer named")]
     fn read_missing_panics() {
         DeviceMemory::new().read("missing");
+    }
+
+    #[test]
+    fn realloc_same_length_writes_in_place() {
+        let mut m = DeviceMemory::new();
+        m.alloc("A", &[1.0, 2.0]);
+        m.alloc("A", &[3.0, 4.0]);
+        assert_eq!(m.read("A"), &[3.0, 4.0]);
+        m.alloc_zeroed("A", 2);
+        assert_eq!(m.read("A"), &[0.0, 0.0]);
+        // A length change still reallocates.
+        m.alloc("A", &[9.0]);
+        assert_eq!(m.read("A"), &[9.0]);
+    }
+
+    #[test]
+    fn views_alias_the_arena() {
+        let mut m = DeviceMemory::new();
+        m.reserve_arena(8);
+        assert_eq!(m.arena_len(), 8);
+        m.bind_view("A", 0, 4);
+        m.bind_view("B", 4, 4);
+        m.alloc("A", &[1.0, 2.0, 3.0, 4.0]); // in-place write through the view
+        m.alloc_zeroed("B", 4);
+        assert_eq!(m.read("A"), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.read("B"), &[0.0; 4]);
+        // Overlapping re-bind sees the bytes already there.
+        m.bind_view("C", 2, 2);
+        assert_eq!(m.read("C"), &[3.0, 4.0]);
+        m.get_mut("C").unwrap()[0] = 9.0;
+        assert_eq!(m.read("A"), &[1.0, 2.0, 9.0, 4.0]);
+        // Arena counted once, views are free.
+        assert_eq!(m.total_bytes(), 32);
+    }
+
+    #[test]
+    fn arena_only_grows() {
+        let mut m = DeviceMemory::new();
+        m.reserve_arena(4);
+        m.bind_view("A", 0, 4);
+        m.alloc("A", &[1.0, 2.0, 3.0, 4.0]);
+        m.reserve_arena(2); // no-op: never shrinks
+        assert_eq!(m.arena_len(), 4);
+        assert_eq!(m.read("A"), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds arena")]
+    fn out_of_arena_view_panics() {
+        let mut m = DeviceMemory::new();
+        m.reserve_arena(2);
+        m.bind_view("A", 0, 4);
     }
 }

@@ -135,4 +135,52 @@ proptest! {
             );
         }
     }
+
+    /// Memory-planned execution (arena offsets from the liveness planner,
+    /// reused `Workspace`) must be **bit-identical** to the unplanned
+    /// executor on arbitrary graphs — not merely close: both paths run the
+    /// same kernels in the same order, only the buffer placement differs.
+    #[test]
+    fn planned_execution_is_bit_identical_to_unplanned(
+        rows in 2i64..12,
+        cols in prop::sample::select(vec![4i64, 6, 8, 12, 16]),
+        steps in prop::collection::vec(step_strategy(), 1..6),
+        seed in 0u64..1000,
+    ) {
+        let mut g = GraphBuilder::new("fuzz_planned");
+        let x = g.input("x", &[rows, cols]);
+        let mut t = x;
+        let mut wseed = seed;
+        for step in &steps {
+            t = apply(&mut g, t, step, &mut wseed);
+        }
+        if g.graph().ops().is_empty() {
+            t = g.relu(t);
+        }
+        let graph = g.output(t).build();
+
+        let gpu = Gpu::default();
+        let compiled = hidet::compile(&graph, &gpu, &CompilerOptions::quick())
+            .expect("random graph compiles");
+        let plan = compiled.plan().memory_plan();
+        prop_assert!(plan.find_alias().is_none(), "live buffers alias: {:?}", plan.find_alias());
+        prop_assert!(plan.peak_bytes() <= plan.unplanned_bytes());
+
+        let data = Tensor::randn(&[rows, cols], seed ^ 0xBEEF).data().unwrap().to_vec();
+        let mut inputs = HashMap::new();
+        inputs.insert(x, data);
+        let unplanned = compiled.run(&inputs, &gpu).expect("unplanned run");
+        let mut ws = hidet::Workspace::new();
+        // Two planned runs through one workspace: cold bind, then the
+        // steady-state (zero-allocation) path — both must match exactly.
+        for round in 0..2 {
+            let planned = compiled.run_with(&inputs, &gpu, &mut ws).expect("planned run");
+            for &out in graph.outputs() {
+                prop_assert_eq!(
+                    &unplanned[&out], &planned[&out],
+                    "output t{} differs on round {} (steps {:?})", out.0, round, &steps
+                );
+            }
+        }
+    }
 }
