@@ -131,9 +131,10 @@ enum Direction {
 /// Which way a metric should move, by key suffix; `None` = not gated.
 /// `*_ms` (wall-clock) and `*_bytes` (memory footprint) joined `*p95_us` in
 /// the lower-is-better class so compile-latency and planner regressions
-/// fail CI like serving-latency ones do.
+/// fail CI like serving-latency ones do; `*_tokens_per_s` (the decode
+/// subsystem's throughput) is higher-is-better alongside `*_rps`.
 fn classify(metric: &str) -> Option<Direction> {
-    if metric.ends_with("_rps") {
+    if metric.ends_with("_rps") || metric.ends_with("_tokens_per_s") {
         Some(Direction::HigherIsBetter)
     } else if metric.ends_with("p95_us") || metric.ends_with("_ms") || metric.ends_with("_bytes") {
         Some(Direction::LowerIsBetter)
@@ -245,6 +246,35 @@ mod tests {
             let comparisons = compare_reports(baseline, &current, &Thresholds::default()).unwrap();
             assert!(comparisons.iter().all(|c| !c.regression), "{from}");
         }
+    }
+
+    #[test]
+    fn tokens_per_s_is_gated_higher_is_better() {
+        let baseline = r#"{
+          "serving_decode": {"continuous_tokens_per_s": 1000.0, "speedup": 2.5,
+                             "ttft_p95_us": 40.0}
+        }"#;
+        // A 15% throughput drop fails; a 5% dip passes; `speedup` is a ratio,
+        // not a gated suffix.
+        let current = baseline.replace(
+            "\"continuous_tokens_per_s\": 1000.0",
+            "\"continuous_tokens_per_s\": 850.0",
+        );
+        let comparisons = compare_reports(baseline, &current, &Thresholds::default()).unwrap();
+        let tps = comparisons
+            .iter()
+            .find(|c| c.metric == "continuous_tokens_per_s")
+            .unwrap();
+        assert!(tps.regression, "{tps:?}");
+        let current = baseline.replace(
+            "\"continuous_tokens_per_s\": 1000.0",
+            "\"continuous_tokens_per_s\": 950.0",
+        );
+        let comparisons = compare_reports(baseline, &current, &Thresholds::default()).unwrap();
+        assert!(comparisons.iter().all(|c| !c.regression));
+        let current = baseline.replace("\"speedup\": 2.5", "\"speedup\": 1.0");
+        let comparisons = compare_reports(baseline, &current, &Thresholds::default()).unwrap();
+        assert!(comparisons.iter().all(|c| c.metric != "speedup"));
     }
 
     #[test]

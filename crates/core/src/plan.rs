@@ -224,10 +224,15 @@ impl Workspace {
     }
 
     /// Binds this workspace to `plan` if it is not already: sizes the arena,
-    /// binds every planned buffer as a view, and uploads the graph's
-    /// constants. A workspace already bound to the same plan returns
-    /// immediately — the steady-state path.
-    pub(crate) fn bind(&mut self, plan: &CompilePlan) {
+    /// binds every planned buffer as a view, uploads the graph's constants
+    /// and allocates (zeroed) every graph input buffer. A workspace already
+    /// bound to the same plan returns immediately — the steady-state path.
+    ///
+    /// Binding is implicit in [`CompilePlan::run_with`](crate::CompilePlan::run_with);
+    /// stateful drivers that stage inputs **in place** (see
+    /// [`Workspace::input_mut`] / [`Workspace::run_prepared`]) may call it
+    /// explicitly.
+    pub fn bind(&mut self, plan: &CompilePlan) {
         let id = plan.memory_plan().id();
         if self.bound == Some(id) {
             return;
@@ -246,7 +251,90 @@ impl Workspace {
                 self.mem.alloc(&format!("t{idx}"), data);
             }
         }
+        for &t in graph.inputs() {
+            self.mem
+                .alloc_zeroed(&format!("t{}", t.0), graph.tensor(t).numel() as usize);
+        }
         self.bound = Some(id);
+    }
+
+    /// The workspace's device memory (inputs, constants, planned
+    /// intermediates and the arena) — read access for stateful drivers that
+    /// copy results device-to-device (e.g. appending a decode step's KV rows
+    /// into a persistent cache arena via
+    /// [`hidet_sim::DeviceMemory::copy_from`]).
+    pub fn device_memory(&self) -> &DeviceMemory {
+        &self.mem
+    }
+
+    /// Mutable view of graph input `t`'s device buffer, binding the plan
+    /// first if needed. Staging inputs in place, step after step, keeps the
+    /// steady state free of heap allocations (the buffer is created once at
+    /// bind time); combined with [`Workspace::run_prepared`] the input data
+    /// never passes through host vectors.
+    ///
+    /// # Errors
+    /// [`CompileError::BadInput`] when `t` is not one of the plan's graph
+    /// inputs.
+    pub fn input_mut(
+        &mut self,
+        plan: &CompilePlan,
+        t: TensorId,
+    ) -> Result<&mut [f32], CompileError> {
+        self.bind(plan);
+        if !plan.graph().inputs().contains(&t) {
+            return Err(CompileError::BadInput(format!(
+                "t{} is not a graph input",
+                t.0
+            )));
+        }
+        Ok(self
+            .mem
+            .get_mut(&format!("t{}", t.0))
+            .expect("bind allocates every input"))
+    }
+
+    /// Graph output `t`'s device buffer after a run, without copying it out.
+    /// `None` before the workspace ever bound a plan producing `t`.
+    pub fn output(&self, t: TensorId) -> Option<&[f32]> {
+        self.mem.get(&format!("t{}", t.0))
+    }
+
+    /// Runs `plan`'s kernels against inputs already staged in this
+    /// workspace's device memory (via [`Workspace::input_mut`] or
+    /// [`hidet_sim::DeviceMemory::copy_from`]). Group outputs and scratch
+    /// are zeroed exactly as in
+    /// [`CompilePlan::run_with`](crate::CompilePlan::run_with); results stay
+    /// device-side, readable through [`Workspace::output`].
+    ///
+    /// # Errors
+    /// [`CompileError::Sim`] if a kernel faults.
+    pub fn run_prepared(
+        &mut self,
+        plan: &CompilePlan,
+        gpu: &hidet_sim::Gpu,
+    ) -> Result<(), CompileError> {
+        self.bind(plan);
+        self.run_groups(plan, gpu)
+    }
+
+    /// The shared kernel-execution tail of [`Workspace::execute`] and
+    /// [`Workspace::run_prepared`].
+    fn run_groups(&mut self, plan: &CompilePlan, gpu: &hidet_sim::Gpu) -> Result<(), CompileError> {
+        let graph = plan.graph();
+        for group in plan.groups() {
+            self.mem.alloc_zeroed(
+                &format!("t{}", group.output.0),
+                graph.tensor(group.output).numel() as usize,
+            );
+            for (name, len) in &group.scratch {
+                self.mem.alloc_zeroed(name, *len);
+            }
+            for kernel in &group.kernels {
+                gpu.run(kernel, &mut self.mem)?;
+            }
+        }
+        Ok(())
     }
 
     /// Runs `plan`'s kernels for `inputs` against the bound memory.
@@ -275,18 +363,7 @@ impl Workspace {
             }
             self.mem.alloc(&format!("t{}", t.0), data);
         }
-        for group in plan.groups() {
-            self.mem.alloc_zeroed(
-                &format!("t{}", group.output.0),
-                graph.tensor(group.output).numel() as usize,
-            );
-            for (name, len) in &group.scratch {
-                self.mem.alloc_zeroed(name, *len);
-            }
-            for kernel in &group.kernels {
-                gpu.run(kernel, &mut self.mem)?;
-            }
-        }
+        self.run_groups(plan, gpu)?;
         let mut out = HashMap::new();
         for &t in graph.outputs() {
             out.insert(t, self.mem.read(&format!("t{}", t.0)).to_vec());
@@ -410,6 +487,53 @@ mod tests {
             let got_b = b.run_with(&in_b, &gpu, &mut ws).unwrap();
             assert_eq!(got_b[&y2], b.run(&in_b, &gpu).unwrap()[&y2]);
         }
+    }
+
+    #[test]
+    fn prepared_run_matches_host_staged_run_without_allocating() {
+        let (graph, x, y) = chain();
+        let gpu = Gpu::default();
+        let compiled = compile(&graph, &gpu, &CompilerOptions::quick()).unwrap();
+        let data: Vec<f32> = Tensor::randn(&[16, 32], 21).data().unwrap().to_vec();
+
+        // Host-staged baseline.
+        let mut inputs = HashMap::new();
+        inputs.insert(x, data.clone());
+        let mut ws_a = Workspace::new();
+        let expect = compiled.run_with(&inputs, &gpu, &mut ws_a).unwrap();
+
+        // Device-staged: write the input in place, run, read in place.
+        let mut ws = Workspace::new();
+        ws.input_mut(compiled.plan(), x)
+            .unwrap()
+            .copy_from_slice(&data);
+        ws.run_prepared(compiled.plan(), &gpu).unwrap();
+        assert_eq!(ws.output(y).unwrap(), expect[&y].as_slice());
+
+        // Steady state: restage + rerun must not grow resident bytes.
+        let resident = ws.resident_bytes();
+        ws.input_mut(compiled.plan(), x)
+            .unwrap()
+            .copy_from_slice(&data);
+        ws.run_prepared(compiled.plan(), &gpu).unwrap();
+        assert_eq!(ws.resident_bytes(), resident);
+
+        // Non-input tensors are rejected.
+        let err = ws.input_mut(compiled.plan(), y).unwrap_err();
+        assert!(matches!(err, CompileError::BadInput(_)), "{err}");
+    }
+
+    #[test]
+    fn device_memory_exposes_staged_buffers_for_d2d_copies() {
+        let (graph, x, _) = chain();
+        let gpu = Gpu::default();
+        let compiled = compile(&graph, &gpu, &CompilerOptions::quick()).unwrap();
+        let mut ws = Workspace::new();
+        ws.input_mut(compiled.plan(), x).unwrap()[0] = 42.0;
+        let mut other = hidet_sim::DeviceMemory::new();
+        other.alloc_zeroed("dst", 4);
+        other.copy_from("dst", 1, ws.device_memory(), &format!("t{}", x.0), 0, 1);
+        assert_eq!(other.read("dst"), &[0.0, 42.0, 0.0, 0.0]);
     }
 
     #[test]

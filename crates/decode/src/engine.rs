@@ -1,0 +1,1533 @@
+//! The decode engine: KV-cache sessions served by a continuous
+//! (iteration-level) batching scheduler.
+//!
+//! ```text
+//!   clients ── model.generate ──▶ priority queues ──▶ admission (per step!)
+//!              (prompt, max_tokens,  High/Normal/        │
+//!               priority, deadline)  BestEffort          ▼
+//!                                              ┌─── step loop ─────────────┐
+//!      token streams ◀── emit / retire ────────│ gather KV → forward pass  │
+//!      (DecodeSession)                         │ → append KV → argmax      │
+//!                                              └───────────▲───────────────┘
+//!                                      block-granular KV arena (DeviceMemory)
+//!                                        eviction + recompute on pressure
+//! ```
+//!
+//! The unit of scheduling is one **step**: a single batched forward pass
+//! that advances every active sequence by one token. Sequences join the
+//! running batch the step after they arrive and leave the moment they
+//! finish ([`BatchingMode::Continuous`]) — no sequence ever waits for a
+//! batch-mate to drain, which is where the ≥2× tokens/sec over static
+//! pad-to-max batching comes from (the `serving_decode` bench). The decode
+//! batch axis belongs to the *scheduler*: the model graph is compiled once
+//! at a fixed `(max_batch, max_context)` shape (composing with the zoo
+//! transformers' `unbatched` rule — the graph never re-partitions work), and
+//! per-row masks carve the batch. Fixing the shape also makes every row's
+//! computation **bit-identical** whether the sequence runs alone or packed
+//! with others — rows of every decode-step operator are independent — which
+//! the bit-identity proptest pins down.
+//!
+//! KV caches live in a persistent [`KvAllocator`] arena between steps;
+//! step inputs are staged and harvested **device-to-device**
+//! ([`hidet::Workspace::input_mut`] / [`hidet_sim::DeviceMemory::copy_from`]),
+//! so the steady state performs zero heap allocations for caches. Under
+//! memory pressure the scheduler preempts the lowest-ranked sequence
+//! (priority, then admission order), frees its blocks and later rebuilds
+//! them by re-feeding its tokens — eviction + recompute, counted in
+//! [`hidet_runtime::DecodeStatsSnapshot`].
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use hidet::{CompilerOptions, Workspace};
+use hidet_graph::{Graph, Tensor, TensorId};
+use hidet_runtime::{CompiledCache, DecodeStatsSnapshot, Priority};
+use hidet_sim::{Gpu, GpuSpec};
+
+use crate::kv::{KvAllocator, KvCache, KvError, KvLayout};
+use crate::stats::DecodeStats;
+
+/// Additive mask value for non-attendable positions: large enough that
+/// `exp(score + MASK)` underflows to exactly `0.0` after the row-max shift,
+/// making padded positions bit-transparent to softmax.
+const MASK_NEG: f32 = -1.0e9;
+
+/// How the step loop forms batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchingMode {
+    /// Iteration-level scheduling: sequences are admitted into free slots
+    /// every step and retired the step they finish.
+    #[default]
+    Continuous,
+    /// The pad-to-max baseline: a batch is formed only when every slot of
+    /// the previous batch has drained, so the whole batch runs as long as
+    /// its longest member. Exists for the `serving_decode` comparison.
+    Static,
+}
+
+/// Decode-engine construction knobs.
+#[derive(Debug, Clone)]
+pub struct DecodeConfig {
+    /// The simulated device executing decode steps.
+    pub device: GpuSpec,
+    /// Compiler options for the step graph (quick — untuned — by default;
+    /// decode steps are latency-bound, not schedule-bound, in the sim).
+    pub options: CompilerOptions,
+    /// Decode slots per step: the fixed batch axis of the compiled step
+    /// graph and the ceiling on concurrently active sequences.
+    pub max_batch: usize,
+    /// KV blocks per registered model's arena.
+    pub kv_blocks: usize,
+    /// Tokens per KV block (the allocation granularity).
+    pub block_tokens: usize,
+    /// Batch-formation policy.
+    pub mode: BatchingMode,
+    /// Optional compiled-artifact store (shared format with the serving
+    /// engine's [`hidet_runtime::CompiledCache`]): a warm restart rebuilds
+    /// the step graph with zero tuning trials.
+    pub artifact_store: Option<PathBuf>,
+    /// Start with admissions paused: sessions queue but no step runs until
+    /// [`DecodeEngine::resume`]. Lets a caller submit a whole workload
+    /// before the first admission, making scheduling — and with it every
+    /// simulated-time metric — independent of host scheduling jitter (the
+    /// acceptance benches rely on this for deterministic CI gating).
+    pub start_paused: bool,
+    /// Schedule decode-step matmuls with the smallest-footprint valid
+    /// configuration instead of the mid-size default (applies only when
+    /// [`DecodeConfig::options`] has tuning off). Decode-step GEMMs are
+    /// skinny — M is a handful of tokens — so the default 64×64 tile wastes
+    /// almost the whole block on predicated-out work; the compact tile cuts
+    /// both the simulated step latency and the interpreter's cost per step.
+    /// Implemented by pre-seeding tuning records (zero trials) for every
+    /// matmul problem in the step graph.
+    pub compact_schedules: bool,
+}
+
+impl Default for DecodeConfig {
+    fn default() -> DecodeConfig {
+        DecodeConfig {
+            device: GpuSpec::rtx3090(),
+            options: CompilerOptions::quick(),
+            max_batch: 8,
+            kv_blocks: 64,
+            block_tokens: 16,
+            mode: BatchingMode::Continuous,
+            artifact_store: None,
+            start_paused: false,
+            compact_schedules: true,
+        }
+    }
+}
+
+/// Errors surfaced through a [`DecodeSession`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodeError {
+    /// The session named a model that was never registered.
+    UnknownModel(String),
+    /// The model spec's builder does not produce the declared interface.
+    BadModel(String),
+    /// The request was malformed (empty prompt, token out of vocabulary,
+    /// prompt + max_tokens exceeding the context window, ...).
+    BadPrompt(String),
+    /// Compiling the step graph failed.
+    Compile(String),
+    /// Executing a decode step failed.
+    Execution(String),
+    /// The session's deadline passed before it finished.
+    DeadlineExceeded,
+    /// The KV arena cannot hold this sequence even after evicting every
+    /// lower-ranked one.
+    KvExhausted,
+    /// The engine is shut down.
+    Closed,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownModel(name) => write!(f, "unknown decode model \"{name}\""),
+            DecodeError::BadModel(msg) => write!(f, "bad decode model: {msg}"),
+            DecodeError::BadPrompt(msg) => write!(f, "bad prompt: {msg}"),
+            DecodeError::Compile(msg) => write!(f, "step compile failed: {msg}"),
+            DecodeError::Execution(msg) => write!(f, "step execution failed: {msg}"),
+            DecodeError::DeadlineExceeded => f.write_str("deadline exceeded before completion"),
+            DecodeError::KvExhausted => f.write_str("KV arena exhausted (no evictable sequence)"),
+            DecodeError::Closed => f.write_str("decode engine is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Everything the engine needs to know about a decode model: its dimensions
+/// and a `(batch, past_len) -> Graph` builder honoring the
+/// [`hidet_graph::models::transformer_decode_step`] interface.
+pub struct DecodeModelSpec {
+    name: String,
+    layers: usize,
+    hidden: i64,
+    heads: i64,
+    vocab: i64,
+    max_context: i64,
+    builder: Box<dyn Fn(i64, i64) -> Graph + Send + Sync>,
+    embed_seed: u64,
+}
+
+impl DecodeModelSpec {
+    /// A pre-LN transformer decode model built by
+    /// [`hidet_graph::models::transformer_decode_step`].
+    pub fn transformer(
+        name: impl Into<String>,
+        layers: usize,
+        hidden: i64,
+        heads: i64,
+        vocab: i64,
+        max_context: i64,
+    ) -> DecodeModelSpec {
+        let name = name.into();
+        let graph_name = name.clone();
+        DecodeModelSpec {
+            name,
+            layers,
+            hidden,
+            heads,
+            vocab,
+            max_context,
+            builder: Box::new(move |batch, past| {
+                hidet_graph::models::transformer_decode_step(
+                    &graph_name,
+                    batch,
+                    past,
+                    layers,
+                    hidden,
+                    heads,
+                    vocab,
+                )
+            }),
+            embed_seed: 0xDEC0DE,
+        }
+    }
+
+    /// GPT-2 small decode steps
+    /// ([`hidet_graph::models::gpt2_decode_step`]) with context window
+    /// `max_context`.
+    pub fn gpt2(max_context: i64) -> DecodeModelSpec {
+        DecodeModelSpec::transformer("gpt2_decode", 12, 768, 12, 768, max_context)
+    }
+
+    /// A custom `(batch, past_len) -> Graph` builder; the graph must follow
+    /// the decode-step interface for the given dimensions (validated at
+    /// registration).
+    #[allow(clippy::too_many_arguments)]
+    pub fn custom(
+        name: impl Into<String>,
+        layers: usize,
+        hidden: i64,
+        heads: i64,
+        vocab: i64,
+        max_context: i64,
+        builder: impl Fn(i64, i64) -> Graph + Send + Sync + 'static,
+    ) -> DecodeModelSpec {
+        DecodeModelSpec {
+            name: name.into(),
+            layers,
+            hidden,
+            heads,
+            vocab,
+            max_context,
+            builder: Box::new(builder),
+            embed_seed: 0xDEC0DE,
+        }
+    }
+
+    /// Seed of the deterministic host-side token-embedding table.
+    pub fn with_embed_seed(mut self, seed: u64) -> DecodeModelSpec {
+        self.embed_seed = seed;
+        self
+    }
+
+    /// The model's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Debug for DecodeModelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DecodeModelSpec")
+            .field("name", &self.name)
+            .field("layers", &self.layers)
+            .field("hidden", &self.hidden)
+            .field("heads", &self.heads)
+            .field("vocab", &self.vocab)
+            .field("max_context", &self.max_context)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One generation request: prompt tokens plus scheduling knobs, mirroring
+/// the serving engine's `Request` builder.
+#[derive(Debug, Clone)]
+pub struct GenerateRequest {
+    prompt: Vec<u32>,
+    max_tokens: usize,
+    priority: Priority,
+    deadline: Option<Instant>,
+    eos: Option<u32>,
+}
+
+impl GenerateRequest {
+    /// Generate up to `max_tokens` tokens from `prompt`, at
+    /// [`Priority::Normal`] with no deadline.
+    pub fn new(prompt: Vec<u32>, max_tokens: usize) -> GenerateRequest {
+        GenerateRequest {
+            prompt,
+            max_tokens,
+            priority: Priority::Normal,
+            deadline: None,
+            eos: None,
+        }
+    }
+
+    /// Sets the priority class (admission order and eviction rank).
+    pub fn with_priority(mut self, priority: Priority) -> GenerateRequest {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets an absolute deadline: a session still unfinished when it passes
+    /// is answered [`DecodeError::DeadlineExceeded`].
+    pub fn with_deadline(mut self, deadline: Instant) -> GenerateRequest {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Stops generation early when `token` is emitted (the token is still
+    /// delivered).
+    pub fn with_eos(mut self, token: u32) -> GenerateRequest {
+        self.eos = Some(token);
+        self
+    }
+}
+
+/// One emitted token, as streamed through a [`DecodeSession`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TokenEvent {
+    /// The greedily decoded token id.
+    pub token: u32,
+    /// Zero-based position within this session's generated tokens.
+    pub index: usize,
+    /// Simulated engine time at emission, seconds.
+    pub sim_time_seconds: f64,
+}
+
+/// A finished generation, as returned by [`DecodeSession::collect`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Generation {
+    /// Every generated token, in order (prompt excluded).
+    pub tokens: Vec<u32>,
+    /// Simulated time-to-first-token (submission → first emitted token).
+    pub ttft_seconds: f64,
+    /// Simulated engine time at completion.
+    pub completion_sim_seconds: f64,
+}
+
+enum Event {
+    Token(TokenEvent),
+    Done {
+        ttft_seconds: f64,
+        completion_sim_seconds: f64,
+    },
+    Failed(DecodeError),
+}
+
+/// A live generation: the token stream of one KV-cache session.
+///
+/// Iterate for streaming consumption (each item is one [`TokenEvent`]), or
+/// call [`DecodeSession::collect`] to block until completion. Dropping the
+/// session cancels the generation at the next step boundary; the engine
+/// frees its KV blocks.
+pub struct DecodeSession {
+    rx: mpsc::Receiver<Event>,
+    done: bool,
+}
+
+impl DecodeSession {
+    fn failed(err: DecodeError) -> DecodeSession {
+        let (tx, rx) = mpsc::channel();
+        let _ = tx.send(Event::Failed(err));
+        DecodeSession { rx, done: false }
+    }
+
+    /// Blocks until the generation finishes, returning every token plus its
+    /// timing summary.
+    ///
+    /// # Errors
+    /// The first [`DecodeError`] the engine reported, if any.
+    pub fn collect(self) -> Result<Generation, DecodeError> {
+        let mut tokens = Vec::new();
+        loop {
+            match self.rx.recv() {
+                Ok(Event::Token(event)) => tokens.push(event.token),
+                Ok(Event::Done {
+                    ttft_seconds,
+                    completion_sim_seconds,
+                }) => {
+                    return Ok(Generation {
+                        tokens,
+                        ttft_seconds,
+                        completion_sim_seconds,
+                    })
+                }
+                Ok(Event::Failed(err)) => return Err(err),
+                Err(_) => return Err(DecodeError::Closed),
+            }
+        }
+    }
+}
+
+impl Iterator for DecodeSession {
+    type Item = Result<TokenEvent, DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.rx.recv() {
+            Ok(Event::Token(event)) => Some(Ok(event)),
+            Ok(Event::Done { .. }) => {
+                self.done = true;
+                None
+            }
+            Ok(Event::Failed(err)) => {
+                self.done = true;
+                Some(Err(err))
+            }
+            Err(_) => {
+                self.done = true;
+                Some(Err(DecodeError::Closed))
+            }
+        }
+    }
+}
+
+impl fmt::Debug for DecodeSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DecodeSession").finish_non_exhaustive()
+    }
+}
+
+/// A registered decode model: the handle owning
+/// [`DecodeModel::generate`]. Clonable; addresses the model by name.
+#[derive(Clone)]
+pub struct DecodeModel {
+    name: Arc<str>,
+    shared: Arc<Shared>,
+}
+
+impl fmt::Debug for DecodeModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DecodeModel")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DecodeModel {
+    /// The model's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// A generate-time rejection: counted in
+    /// [`DecodeStatsSnapshot`](hidet_runtime::DecodeStatsSnapshot)'s
+    /// `sequences_failed` like any engine-side failure.
+    fn reject(&self, err: DecodeError) -> DecodeSession {
+        self.shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+        DecodeSession::failed(err)
+    }
+
+    /// Starts a generation: the prompt is absorbed token by token into a
+    /// fresh KV-cache session, then up to `max_tokens` tokens are greedily
+    /// decoded and streamed through the returned [`DecodeSession`].
+    ///
+    /// Invalid requests (empty prompt, out-of-vocabulary token,
+    /// `prompt + max_tokens - 1` exceeding the context window) resolve to
+    /// [`DecodeError::BadPrompt`] on the session.
+    pub fn generate(&self, request: GenerateRequest) -> DecodeSession {
+        let def = {
+            let registry = self.shared.registry.lock().expect("registry poisoned");
+            registry.get(self.name.as_ref()).cloned()
+        };
+        let Some(def) = def else {
+            return self.reject(DecodeError::UnknownModel(self.name.to_string()));
+        };
+        if request.prompt.is_empty() {
+            return self.reject(DecodeError::BadPrompt(
+                "prompt must contain at least one token".to_string(),
+            ));
+        }
+        if request.max_tokens == 0 {
+            return self.reject(DecodeError::BadPrompt(
+                "max_tokens must be at least 1".to_string(),
+            ));
+        }
+        if let Some(&bad) = request.prompt.iter().find(|&&t| t as i64 >= def.vocab) {
+            return self.reject(DecodeError::BadPrompt(format!(
+                "prompt token {bad} exceeds vocabulary {}",
+                def.vocab
+            )));
+        }
+        // The last generated token is emitted but never fed, so the cache
+        // holds at most prompt + max_tokens - 1 entries.
+        let cache_need = request.prompt.len() + request.max_tokens - 1;
+        if cache_need > def.max_context {
+            return self.reject(DecodeError::BadPrompt(format!(
+                "prompt ({}) + max_tokens ({}) needs {cache_need} cache slots, \
+                 context window holds {}",
+                request.prompt.len(),
+                request.max_tokens,
+                def.max_context
+            )));
+        }
+        let (tx, rx) = mpsc::channel();
+        let mut prompt = VecDeque::from(request.prompt);
+        let pending = prompt.pop_front().expect("prompt non-empty");
+        let sequence = Sequence {
+            def,
+            cache_need,
+            pending,
+            forced: prompt,
+            fed: Vec::new(),
+            emitted: 0,
+            max_tokens: request.max_tokens,
+            eos: request.eos,
+            priority: request.priority,
+            deadline: request.deadline,
+            rank: 0,
+            kv: KvCache::new(),
+            tx,
+            submitted_sim: self.shared.stats.sim_clock(),
+            ttft: None,
+            last_token_sim: 0.0,
+        };
+        {
+            // The closed check happens under the waiting lock: shutdown sets
+            // the flag under the same lock, and the step loop only exits
+            // after draining the queue under it, so a session admitted here
+            // is guaranteed to be either served or failed — never stranded.
+            let mut waiting = self.shared.waiting.lock().expect("waiting poisoned");
+            if self.shared.closed.load(Ordering::SeqCst) {
+                return self.reject(DecodeError::Closed);
+            }
+            waiting.classes[request.priority.index()].push_back(sequence);
+        }
+        self.shared.cv.notify_all();
+        DecodeSession { rx, done: false }
+    }
+}
+
+/// A validated decode model: dimensions, the fixed-shape step graph and its
+/// tensor-id map, and the host-side embedding table.
+struct ModelDef {
+    name: String,
+    layers: usize,
+    hidden: usize,
+    heads: usize,
+    head_dim: usize,
+    vocab: i64,
+    max_context: usize,
+    graph: Graph,
+    graph_hash: u64,
+    x_id: TensorId,
+    mask_id: TensorId,
+    past_ids: Vec<(TensorId, TensorId)>,
+    logits_id: TensorId,
+    /// Device-buffer names of the per-layer `new_k`/`new_v` graph outputs,
+    /// precomputed so the per-step KV harvest never allocates.
+    cache_out_names: Vec<(String, String)>,
+    /// `vocab × hidden` deterministic token embeddings, applied host-side
+    /// (the embedding lookup is a memory gather, matching the zoo's
+    /// convention of starting from embedded hidden states).
+    embed: Vec<f32>,
+}
+
+/// One active generation, owned by the step loop.
+struct Sequence {
+    def: Arc<ModelDef>,
+    /// Cache slots a full-length run of this sequence occupies
+    /// (`prompt + max_tokens - 1`) — the self-preemption feasibility bound.
+    cache_need: usize,
+    /// Next token to feed.
+    pending: u32,
+    /// Tokens to feed after `pending` with outputs ignored (prompt tail, or
+    /// the replay chain after an eviction).
+    forced: VecDeque<u32>,
+    /// Tokens whose K/V rows live in the cache — the replay source.
+    fed: Vec<u32>,
+    emitted: usize,
+    max_tokens: usize,
+    eos: Option<u32>,
+    priority: Priority,
+    deadline: Option<Instant>,
+    /// Admission order; `(priority, rank)` is the total eviction order.
+    rank: u64,
+    kv: KvCache,
+    tx: mpsc::Sender<Event>,
+    submitted_sim: f64,
+    ttft: Option<f64>,
+    last_token_sim: f64,
+}
+
+impl Sequence {
+    /// Eviction rank: strictly greater = evicted first.
+    fn key(&self) -> (usize, u64) {
+        (self.priority.index(), self.rank)
+    }
+
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
+}
+
+#[derive(Default)]
+struct WaitQueues {
+    classes: [VecDeque<Sequence>; Priority::COUNT],
+}
+
+impl WaitQueues {
+    fn pop_highest(&mut self) -> Option<Sequence> {
+        self.classes.iter_mut().find_map(VecDeque::pop_front)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.classes.iter().all(VecDeque::is_empty)
+    }
+}
+
+struct Shared {
+    /// `DecodeConfig::max_batch` — the fixed batch axis model specs are
+    /// validated against (the stats copy is purely informational).
+    max_batch: usize,
+    /// While set, the step loop sleeps and admits nothing
+    /// ([`DecodeConfig::start_paused`] / [`DecodeEngine::resume`]).
+    paused: AtomicBool,
+    registry: Mutex<HashMap<String, Arc<ModelDef>>>,
+    waiting: Mutex<WaitQueues>,
+    cv: Condvar,
+    closed: AtomicBool,
+    stats: Arc<DecodeStats>,
+    next_rank: AtomicU64,
+}
+
+/// The decode engine. See the [module docs](self) for the architecture and
+/// `examples/decode_serving.rs` for a tour.
+pub struct DecodeEngine {
+    shared: Arc<Shared>,
+    worker: Option<thread::JoinHandle<()>>,
+}
+
+impl DecodeEngine {
+    /// Starts the engine's step loop on a background thread.
+    pub fn new(config: DecodeConfig) -> DecodeEngine {
+        assert!(config.max_batch >= 1, "engine needs at least one slot");
+        assert!(config.kv_blocks >= 1 && config.block_tokens >= 1);
+        let shared = Arc::new(Shared {
+            max_batch: config.max_batch,
+            paused: AtomicBool::new(config.start_paused),
+            registry: Mutex::new(HashMap::new()),
+            waiting: Mutex::new(WaitQueues::default()),
+            cv: Condvar::new(),
+            closed: AtomicBool::new(false),
+            stats: Arc::new(DecodeStats::default()),
+            next_rank: AtomicU64::new(1),
+        });
+        shared
+            .stats
+            .max_batch
+            .store(config.max_batch, Ordering::Relaxed);
+        let worker = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("hidet-decode".into())
+                .spawn(move || step_loop(&shared, &config))
+                .expect("spawn decode step loop")
+        };
+        DecodeEngine {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// Registers a decode model, validating that the builder's graph at the
+    /// engine's fixed `(max_batch, max_context)` shape follows the
+    /// decode-step interface (see
+    /// [`hidet_graph::models::transformer_decode_step`]). Re-registering a
+    /// name replaces the definition for *new* sessions; in-flight sessions
+    /// finish against the one they started with.
+    ///
+    /// # Errors
+    /// [`DecodeError::BadModel`] on an interface mismatch,
+    /// [`DecodeError::Closed`] after shutdown began.
+    pub fn register(&self, spec: DecodeModelSpec) -> Result<DecodeModel, DecodeError> {
+        if self.shared.closed.load(Ordering::SeqCst) {
+            return Err(DecodeError::Closed);
+        }
+        let def = validate_spec(&spec, self.shared.max_batch)?;
+        let name = spec.name.clone();
+        self.shared
+            .registry
+            .lock()
+            .expect("registry poisoned")
+            .insert(name.clone(), Arc::new(def));
+        Ok(DecodeModel {
+            name: Arc::from(name),
+            shared: Arc::clone(&self.shared),
+        })
+    }
+
+    /// Releases a [`DecodeConfig::start_paused`] engine: the step loop
+    /// begins admitting whatever has queued. Idempotent; a no-op on an
+    /// engine that started running.
+    pub fn resume(&self) {
+        self.shared.paused.store(false, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+    }
+
+    /// Current decode statistics.
+    pub fn stats(&self) -> DecodeStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// A stats source for
+    /// [`hidet_runtime::Engine::attach_decode_stats`]: the serving engine's
+    /// `StatsSnapshot::decode` then carries this engine's token-level
+    /// metrics. Outlives the engine handle (snapshots freeze after
+    /// shutdown).
+    pub fn stats_source(&self) -> Arc<dyn Fn() -> DecodeStatsSnapshot + Send + Sync> {
+        let stats = Arc::clone(&self.shared.stats);
+        Arc::new(move || stats.snapshot())
+    }
+
+    /// Stops admitting sessions, drains every active generation to
+    /// completion, fails still-queued ones with [`DecodeError::Closed`] and
+    /// joins the step loop. Called automatically on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            // Set under the waiting lock so it serializes with `generate`'s
+            // locked closed-check + enqueue: every session pushed before
+            // this point is visible to the step loop's final drain.
+            let _waiting = self.shared.waiting.lock().expect("waiting poisoned");
+            self.shared.closed.store(true, Ordering::SeqCst);
+        }
+        self.shared.cv.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for DecodeEngine {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl fmt::Debug for DecodeEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DecodeEngine").finish_non_exhaustive()
+    }
+}
+
+/// Builds and checks a [`ModelDef`] against the decode-step interface.
+fn validate_spec(spec: &DecodeModelSpec, max_batch: usize) -> Result<ModelDef, DecodeError> {
+    let bad = |msg: String| DecodeError::BadModel(msg);
+    if spec.layers < 1 || spec.hidden < 1 || spec.heads < 1 || spec.vocab < 1 {
+        return Err(bad("layers/hidden/heads/vocab must be positive".into()));
+    }
+    if spec.hidden % spec.heads != 0 {
+        return Err(bad(format!(
+            "heads ({}) must divide hidden ({})",
+            spec.heads, spec.hidden
+        )));
+    }
+    if spec.max_context < 1 {
+        return Err(bad("max_context must be at least 1".into()));
+    }
+    let batch = max_batch as i64;
+    let graph = (spec.builder)(batch, spec.max_context);
+    let rows = batch * spec.heads;
+    let head_dim = spec.hidden / spec.heads;
+    let expect_inputs = 2 + 2 * spec.layers;
+    let expect_outputs = 1 + 2 * spec.layers;
+    if graph.inputs().len() != expect_inputs {
+        return Err(bad(format!(
+            "expected {expect_inputs} graph inputs (x, mask, caches), got {}",
+            graph.inputs().len()
+        )));
+    }
+    if graph.outputs().len() != expect_outputs {
+        return Err(bad(format!(
+            "expected {expect_outputs} graph outputs (logits, caches), got {}",
+            graph.outputs().len()
+        )));
+    }
+    let check = |t: TensorId, want: &[i64], what: &str| -> Result<(), DecodeError> {
+        let got = graph.tensor(t).shape();
+        if got != want {
+            return Err(DecodeError::BadModel(format!(
+                "{what} has shape {got:?}, expected {want:?}"
+            )));
+        }
+        Ok(())
+    };
+    let x_id = graph.inputs()[0];
+    let mask_id = graph.inputs()[1];
+    check(x_id, &[batch, spec.hidden], "input x")?;
+    check(mask_id, &[rows, 1, spec.max_context + 1], "input mask")?;
+    let mut past_ids = Vec::with_capacity(spec.layers);
+    let mut cache_out_ids = Vec::with_capacity(spec.layers);
+    for l in 0..spec.layers {
+        let pk = graph.inputs()[2 + 2 * l];
+        let pv = graph.inputs()[3 + 2 * l];
+        check(pk, &[rows, spec.max_context, head_dim], "past_k input")?;
+        check(pv, &[rows, spec.max_context, head_dim], "past_v input")?;
+        past_ids.push((pk, pv));
+        let nk = graph.outputs()[1 + 2 * l];
+        let nv = graph.outputs()[2 + 2 * l];
+        check(nk, &[rows, spec.max_context + 1, head_dim], "new_k output")?;
+        check(nv, &[rows, spec.max_context + 1, head_dim], "new_v output")?;
+        cache_out_ids.push((nk, nv));
+    }
+    let logits_id = graph.outputs()[0];
+    check(logits_id, &[batch, spec.vocab], "logits output")?;
+    let cache_out_names: Vec<(String, String)> = cache_out_ids
+        .iter()
+        .map(|(nk, nv)| (format!("t{}", nk.0), format!("t{}", nv.0)))
+        .collect();
+    let graph_hash = graph.structural_hash();
+    let embed = Tensor::randn(&[spec.vocab, spec.hidden], spec.embed_seed)
+        .data()
+        .expect("randn is materialized")
+        .to_vec();
+    Ok(ModelDef {
+        name: spec.name.clone(),
+        layers: spec.layers,
+        hidden: spec.hidden as usize,
+        heads: spec.heads as usize,
+        head_dim: head_dim as usize,
+        vocab: spec.vocab,
+        max_context: spec.max_context as usize,
+        graph,
+        graph_hash,
+        x_id,
+        mask_id,
+        past_ids,
+        logits_id,
+        cache_out_names,
+        embed,
+    })
+}
+
+/// Per-model runtime state owned by the step loop.
+struct ModelRt {
+    def: Arc<ModelDef>,
+    compiled: Arc<hidet::CompiledGraph>,
+    /// Analytic step latency on the engine device, simulated seconds.
+    estimate: f64,
+    ws: Workspace,
+    kv: KvAllocator,
+}
+
+/// The engine's background thread: admission, step execution, KV
+/// bookkeeping, token emission.
+fn step_loop(shared: &Shared, config: &DecodeConfig) {
+    let gpu = Gpu::new(config.device.clone());
+    let cache = CompiledCache::new();
+    // Compact schedules (see `DecodeConfig::compact_schedules`): one shared
+    // record store, seeded per model in `ensure_rt`, served with zero trials.
+    let options = if config.compact_schedules && !config.options.tune {
+        let mut options = config
+            .options
+            .clone()
+            .with_tuning_cache(Arc::new(Mutex::new(hidet_sched::TuningCache::new())));
+        options.tune = true;
+        options
+    } else {
+        config.options.clone()
+    };
+    // Keyed by ModelDef identity: a re-registered name gets fresh state while
+    // in-flight sessions keep theirs.
+    let mut rts: HashMap<usize, ModelRt> = HashMap::new();
+    let mut active: Vec<Sequence> = Vec::new();
+
+    loop {
+        // --- admission ---------------------------------------------------
+        {
+            let mut waiting = shared.waiting.lock().expect("waiting poisoned");
+            loop {
+                purge_expired_waiting(shared, &mut waiting);
+                if shared.closed.load(Ordering::SeqCst) {
+                    // Sessions that never started (rank 0 — assigned at
+                    // first admission) are failed; in-flight ones — active
+                    // or KV-preempted back into the queue — drain to
+                    // completion, honoring the shutdown contract.
+                    for queue in waiting.classes.iter_mut() {
+                        let mut keep = VecDeque::with_capacity(queue.len());
+                        for seq in queue.drain(..) {
+                            if seq.rank == 0 {
+                                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                                let _ = seq.tx.send(Event::Failed(DecodeError::Closed));
+                            } else {
+                                keep.push_back(seq);
+                            }
+                        }
+                        *queue = keep;
+                    }
+                }
+                // A paused engine sleeps; shutdown overrides the pause so
+                // a never-resumed engine still drains and exits.
+                let paused =
+                    shared.paused.load(Ordering::SeqCst) && !shared.closed.load(Ordering::SeqCst);
+                let admit = !paused
+                    && match config.mode {
+                        BatchingMode::Continuous => true,
+                        BatchingMode::Static => active.is_empty(),
+                    };
+                if admit {
+                    while active.len() < config.max_batch {
+                        let Some(mut seq) = waiting.pop_highest() else {
+                            break;
+                        };
+                        seq.rank = shared.next_rank.fetch_add(1, Ordering::Relaxed);
+                        active.push(seq);
+                    }
+                }
+                if !active.is_empty() {
+                    break;
+                }
+                if shared.closed.load(Ordering::SeqCst) && waiting.is_empty() {
+                    return;
+                }
+                waiting = shared.cv.wait(waiting).expect("waiting poisoned");
+            }
+
+            // Drop runtime state of departed model definitions: a
+            // re-registration replaces the `ModelDef` identity, and once no
+            // registry entry, active sequence or waiting sequence reaches
+            // the old one, its workspace and KV arena can never be used
+            // again — keeping them would leak an arena per re-registration.
+            // (`generate` never holds the registry and waiting locks at
+            // once, so taking registry inside waiting cannot deadlock.)
+            if !rts.is_empty() {
+                let mut live: std::collections::HashSet<usize> =
+                    active.iter().map(|s| def_key(&s.def)).collect();
+                for queue in waiting.classes.iter() {
+                    live.extend(queue.iter().map(|s| def_key(&s.def)));
+                }
+                {
+                    let registry = shared.registry.lock().expect("registry poisoned");
+                    live.extend(registry.values().map(def_key));
+                }
+                let before = rts.len();
+                rts.retain(|key, rt| {
+                    let keep = live.contains(key);
+                    if !keep {
+                        shared
+                            .stats
+                            .kv_capacity
+                            .fetch_sub(rt.kv.capacity(), Ordering::Relaxed);
+                    }
+                    keep
+                });
+                if rts.len() != before {
+                    refresh_kv_gauge(&rts, shared);
+                }
+            }
+        }
+
+        // --- deadline check for active sequences -------------------------
+        let now = Instant::now();
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].expired(now) {
+                let mut seq = active.swap_remove(i);
+                if let Some(rt) = rts.get_mut(&def_key(&seq.def)) {
+                    rt.kv.release(&mut seq.kv);
+                }
+                refresh_kv_gauge(&rts, shared);
+                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = seq.tx.send(Event::Failed(DecodeError::DeadlineExceeded));
+            } else {
+                i += 1;
+            }
+        }
+
+        // --- one step per model with active sequences ---------------------
+        let mut model_keys: Vec<usize> = Vec::new();
+        for seq in &active {
+            let key = def_key(&seq.def);
+            if !model_keys.contains(&key) {
+                model_keys.push(key);
+            }
+        }
+        for key in model_keys {
+            // Extract this model's batch (slot order = extraction order).
+            let mut batch: Vec<Sequence> = Vec::new();
+            let mut i = 0;
+            while i < active.len() {
+                if def_key(&active[i].def) == key {
+                    batch.push(active.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            if batch.is_empty() {
+                continue;
+            }
+            let def = Arc::clone(&batch[0].def);
+            let rt = match ensure_rt(&mut rts, &def, &gpu, &cache, &options, config, shared) {
+                Ok(rt) => rt,
+                Err(err) => {
+                    for seq in batch {
+                        shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                        let _ = seq.tx.send(Event::Failed(err.clone()));
+                    }
+                    continue;
+                }
+            };
+            let outcome = run_step(shared, &gpu, rt, batch);
+            active.extend(outcome.survivors);
+            refresh_kv_gauge(&rts, shared);
+            // Terminal events go out only after the gauges are current, so a
+            // client that observed `Done` sees post-release occupancy.
+            for (tx, event) in outcome.terminal {
+                let _ = tx.send(event);
+            }
+        }
+    }
+}
+
+fn def_key(def: &Arc<ModelDef>) -> usize {
+    Arc::as_ptr(def) as usize
+}
+
+/// Recomputes the KV occupancy gauge across every model arena.
+fn refresh_kv_gauge(rts: &HashMap<usize, ModelRt>, shared: &Shared) {
+    let in_use: usize = rts.values().map(|rt| rt.kv.blocks_in_use()).sum();
+    shared.stats.kv_in_use.store(in_use, Ordering::Relaxed);
+    shared.stats.kv_peak.fetch_max(in_use, Ordering::Relaxed);
+}
+
+/// What one [`run_step`] hands back to the loop: sequences staying active,
+/// and terminal `Done`/`Failed` events to deliver *after* the step's gauges
+/// are refreshed.
+struct StepOutcome {
+    survivors: Vec<Sequence>,
+    terminal: Vec<(mpsc::Sender<Event>, Event)>,
+}
+
+/// Fails expired waiting sequences with `DeadlineExceeded`.
+fn purge_expired_waiting(shared: &Shared, waiting: &mut WaitQueues) {
+    let now = Instant::now();
+    for queue in waiting.classes.iter_mut() {
+        if !queue.iter().any(|s| s.expired(now)) {
+            continue;
+        }
+        let mut keep = VecDeque::with_capacity(queue.len());
+        for seq in queue.drain(..) {
+            if seq.expired(now) {
+                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = seq.tx.send(Event::Failed(DecodeError::DeadlineExceeded));
+            } else {
+                keep.push_back(seq);
+            }
+        }
+        *queue = keep;
+    }
+}
+
+/// Lazily compiles the model's fixed-shape step graph (seeding compact
+/// schedules first — see [`DecodeConfig::compact_schedules`]) and builds its
+/// workspace + KV arena.
+fn ensure_rt<'a>(
+    rts: &'a mut HashMap<usize, ModelRt>,
+    def: &Arc<ModelDef>,
+    gpu: &Gpu,
+    cache: &CompiledCache,
+    options: &CompilerOptions,
+    config: &DecodeConfig,
+    shared: &Shared,
+) -> Result<&'a mut ModelRt, DecodeError> {
+    let key = def_key(def);
+    match rts.entry(key) {
+        std::collections::hash_map::Entry::Occupied(entry) => Ok(entry.into_mut()),
+        std::collections::hash_map::Entry::Vacant(entry) => {
+            if config.compact_schedules && !config.options.tune {
+                seed_compact_schedules(&def.graph, gpu, options);
+            }
+            let (compiled, _) = cache
+                .get_or_compile_hashed(
+                    &def.graph,
+                    def.graph_hash,
+                    gpu,
+                    options,
+                    config.artifact_store.as_deref(),
+                )
+                .map_err(|e| DecodeError::Compile(e.to_string()))?;
+            let estimate = compiled.estimate(gpu);
+            let layout = KvLayout {
+                layers: def.layers,
+                hidden: def.hidden,
+                block_tokens: config.block_tokens,
+            };
+            let kv = KvAllocator::new(layout, config.kv_blocks);
+            shared
+                .stats
+                .kv_capacity
+                .fetch_add(kv.capacity(), Ordering::Relaxed);
+            Ok(entry.insert(ModelRt {
+                def: Arc::clone(def),
+                compiled,
+                estimate,
+                ws: Workspace::new(),
+                kv,
+            }))
+        }
+    }
+}
+
+/// Seeds `options`' tuning cache with the smallest-footprint valid schedule
+/// for every matmul problem in `graph`, so the compiler schedules them with
+/// zero trials. Decode-step GEMMs have `M = max_batch` (a handful of rows):
+/// the smallest hardware-aligned tile both estimates and interprets far
+/// cheaper than the mid-size default.
+fn seed_compact_schedules(graph: &Graph, gpu: &Gpu, options: &CompilerOptions) {
+    let Some(cache) = &options.tuning_cache else {
+        return;
+    };
+    let spec = gpu.spec();
+    let compact = hidet_sched::matmul_space(spec)
+        .into_iter()
+        .min_by_key(|c| (c.threads(), c.block_m * c.block_n, c.block_k, c.stages))
+        .expect("schedule space is non-empty");
+    let device = spec.fingerprint();
+    let mut cache = cache.lock().expect("tuning cache poisoned");
+    for op in graph.ops() {
+        let problem = match op.kind {
+            hidet_graph::OpKind::Matmul => {
+                let a = graph.tensor(op.inputs[0]).shape();
+                let b = graph.tensor(op.inputs[1]).shape();
+                hidet_sched::MatmulProblem::new(a[0], b[1], a[1])
+            }
+            hidet_graph::OpKind::BatchMatmul => {
+                let a = graph.tensor(op.inputs[0]).shape();
+                let b = graph.tensor(op.inputs[1]).shape();
+                hidet_sched::MatmulProblem {
+                    batch: a[0],
+                    m: a[1],
+                    n: b[2],
+                    k: a[2],
+                }
+            }
+            _ => continue,
+        };
+        if cache.lookup(&device, problem).is_none() {
+            cache.insert(
+                &device,
+                hidet_sched::TuningRecord {
+                    problem,
+                    config: compact,
+                    trials: 1,
+                    tuning_seconds: 0.0,
+                    best_latency_us: 1.0,
+                },
+            );
+        }
+    }
+}
+
+/// Executes one decode step for `batch` (all sequences share `rt`'s model):
+/// stage → run → append KV (with eviction + recompute under pressure) →
+/// emit/retire. Returns the sequences staying active.
+fn run_step(shared: &Shared, gpu: &Gpu, rt: &mut ModelRt, mut batch: Vec<Sequence>) -> StepOutcome {
+    let ModelRt {
+        def,
+        compiled,
+        estimate,
+        ws,
+        kv,
+    } = rt;
+    let plan = compiled.plan();
+    let (hidden, heads, head_dim) = (def.hidden, def.heads, def.head_dim);
+    let mc = def.max_context;
+    let vocab = def.vocab as usize;
+
+    // --- stage inputs (in place: zero steady-state allocations) -----------
+    let x = ws
+        .input_mut(plan, def.x_id)
+        .expect("x id validated at registration");
+    x.fill(0.0);
+    for (slot, seq) in batch.iter().enumerate() {
+        let token = seq.pending as usize;
+        x[slot * hidden..(slot + 1) * hidden]
+            .copy_from_slice(&def.embed[token * hidden..(token + 1) * hidden]);
+    }
+    let mask = ws
+        .input_mut(plan, def.mask_id)
+        .expect("mask id validated at registration");
+    mask.fill(MASK_NEG);
+    let span = mc + 1;
+    for row in 0..mask.len() / span {
+        mask[row * span + mc] = 0.0; // the current token is always attendable
+    }
+    for (slot, seq) in batch.iter().enumerate() {
+        for h in 0..heads {
+            let row = (slot * heads + h) * span;
+            mask[row..row + seq.kv.tokens()].fill(0.0);
+        }
+    }
+    // The gather re-stages every sequence's full cache each step. An
+    // incremental variant (resident past buffers, appending only the new
+    // token's rows) would save O(tokens) copies per slot, but needs stable
+    // slot assignment across steps — today slots are re-derived from the
+    // active order, which shifts as sequences retire. Host cost is dominated
+    // by kernel interpretation, not these copies, so stable slots are left
+    // as future work.
+    for (l, &(pk_id, pv_id)) in def.past_ids.iter().enumerate() {
+        for (stream, id) in [(0usize, pk_id), (1usize, pv_id)] {
+            let buf = ws
+                .input_mut(plan, id)
+                .expect("cache ids validated at registration");
+            buf.fill(0.0);
+            for (slot, seq) in batch.iter().enumerate() {
+                for t in 0..seq.kv.tokens() {
+                    let lane = kv.lane(&seq.kv, t, l, stream);
+                    for h in 0..heads {
+                        let dst = ((slot * heads + h) * mc + t) * head_dim;
+                        buf[dst..dst + head_dim]
+                            .copy_from_slice(&lane[h * head_dim..(h + 1) * head_dim]);
+                    }
+                }
+            }
+        }
+    }
+
+    // --- forward pass ------------------------------------------------------
+    if let Err(err) = ws.run_prepared(plan, gpu) {
+        let err = DecodeError::Execution(format!("{}: {err}", def.name));
+        let mut terminal = Vec::with_capacity(batch.len());
+        for mut seq in batch {
+            kv.release(&mut seq.kv);
+            shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+            terminal.push((seq.tx.clone(), Event::Failed(err.clone())));
+        }
+        return StepOutcome {
+            survivors: Vec::new(),
+            terminal,
+        };
+    }
+    let now = shared.stats.advance_clock(*estimate);
+    shared.stats.steps.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .occupied_slots
+        .fetch_add(batch.len(), Ordering::Relaxed);
+
+    // --- append KV, decode, emit/retire ------------------------------------
+    let n = batch.len();
+    let mut state = vec![SlotState::Live; n];
+    let mut terminal: Vec<(mpsc::Sender<Event>, Event)> = Vec::new();
+    for slot in 0..n {
+        if state[slot] != SlotState::Live {
+            continue;
+        }
+        // Append the fed token's K/V rows, evicting under pressure: the
+        // strictly lower-ranked victim is preempted first; with no victim
+        // the requester *self-preempts* (yields to its elders, rebuilding
+        // later), failing only when the arena cannot hold it even alone.
+        let appended = loop {
+            match kv.append(&mut batch[slot].kv) {
+                Ok(kvslot) => break Some(kvslot),
+                Err(KvError::Exhausted) => match pick_victim(&batch, &state, slot) {
+                    Some(v) => {
+                        preempt(shared, kv, &mut batch[v]);
+                        state[v] = SlotState::Evicted;
+                    }
+                    None if kv.layout().blocks_for(batch[slot].cache_need) <= kv.capacity() => {
+                        preempt(shared, kv, &mut batch[slot]);
+                        state[slot] = SlotState::Evicted;
+                        break None;
+                    }
+                    None => {
+                        let seq = &mut batch[slot];
+                        kv.release(&mut seq.kv);
+                        shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                        terminal.push((seq.tx.clone(), Event::Failed(DecodeError::KvExhausted)));
+                        state[slot] = SlotState::Dropped;
+                        break None;
+                    }
+                },
+            }
+        };
+        let Some(kvslot) = appended else { continue };
+        // Harvest the new K/V rows device-to-device: the concat outputs hold
+        // the current token at sequence position `mc`.
+        for (l, (nk_name, nv_name)) in def.cache_out_names.iter().enumerate() {
+            for (stream, name) in [(0usize, nk_name), (1usize, nv_name)] {
+                for h in 0..heads {
+                    let src = ((slot * heads + h) * (mc + 1) + mc) * head_dim;
+                    kv.copy_into_lane(
+                        kvslot,
+                        l,
+                        stream,
+                        h * head_dim,
+                        ws.device_memory(),
+                        name,
+                        src,
+                        head_dim,
+                    );
+                }
+            }
+        }
+        let seq = &mut batch[slot];
+        seq.fed.push(seq.pending);
+        // Greedy decode of this slot's logits row.
+        let logits = ws.output(def.logits_id).expect("logits are a graph output");
+        let token = argmax(&logits[slot * vocab..(slot + 1) * vocab]);
+        if let Some(next) = seq.forced.pop_front() {
+            // Prompt absorption or post-eviction replay: the model's output
+            // is already known; keep feeding the chain.
+            shared.stats.prompt_tokens.fetch_add(1, Ordering::Relaxed);
+            seq.pending = next;
+            continue;
+        }
+        // A fresh token: emit it.
+        let index = seq.emitted;
+        seq.emitted += 1;
+        if seq.ttft.is_none() {
+            let ttft = now - seq.submitted_sim;
+            seq.ttft = Some(ttft);
+            shared.stats.record_ttft(ttft);
+        } else {
+            shared.stats.record_itl(now - seq.last_token_sim);
+        }
+        seq.last_token_sim = now;
+        shared.stats.tokens.fetch_add(1, Ordering::Relaxed);
+        let delivered = seq
+            .tx
+            .send(Event::Token(TokenEvent {
+                token,
+                index,
+                sim_time_seconds: now,
+            }))
+            .is_ok();
+        let finished = seq.emitted >= seq.max_tokens || seq.eos == Some(token) || !delivered;
+        if finished {
+            kv.release(&mut seq.kv);
+            terminal.push((
+                seq.tx.clone(),
+                Event::Done {
+                    ttft_seconds: seq.ttft.expect("at least one token emitted"),
+                    completion_sim_seconds: now,
+                },
+            ));
+            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            state[slot] = SlotState::Dropped;
+        } else {
+            seq.pending = token;
+        }
+    }
+
+    // Reassemble: live sequences stay active; evicted ones rejoin the head
+    // of their class queue (they re-admit before newcomers of their class,
+    // but with a fresh — higher — rank, so the total eviction order can
+    // never cycle). Finished/failed sequences drop here; their channels
+    // already carried Done/Failed.
+    let mut survivors = Vec::with_capacity(n);
+    let mut requeue: Vec<Sequence> = Vec::new();
+    for (seq, state) in batch.into_iter().zip(state) {
+        match state {
+            SlotState::Live => survivors.push(seq),
+            SlotState::Evicted => requeue.push(seq),
+            SlotState::Dropped => {}
+        }
+    }
+    if !requeue.is_empty() {
+        let mut waiting = shared.waiting.lock().expect("waiting poisoned");
+        for seq in requeue.into_iter().rev() {
+            waiting.classes[seq.priority.index()].push_front(seq);
+        }
+        drop(waiting);
+        shared.cv.notify_all();
+    }
+    StepOutcome {
+        survivors,
+        terminal,
+    }
+}
+
+/// Preempts `seq` under KV pressure: releases its blocks and rebuilds its
+/// feed chain so that — once re-admitted — every cached token is re-fed
+/// (outputs ignored), then the pending one, then whatever was already
+/// forced. Recompute is invisible to the client: tokens already emitted are
+/// never re-emitted, and determinism makes the replayed cache identical.
+fn preempt(shared: &Shared, kv: &mut KvAllocator, seq: &mut Sequence) {
+    kv.release(&mut seq.kv);
+    shared.stats.kv_evictions.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .recomputed_tokens
+        .fetch_add(seq.fed.len(), Ordering::Relaxed);
+    let mut chain: VecDeque<u32> = seq.fed.drain(..).collect();
+    chain.push_back(seq.pending);
+    chain.extend(seq.forced.drain(..));
+    seq.pending = chain.pop_front().expect("fed chain non-empty");
+    seq.forced = chain;
+}
+
+/// Per-slot outcome of one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// Still generating: stays active.
+    Live,
+    /// Preempted by KV pressure: cache freed, replay chain built, requeued.
+    Evicted,
+    /// Finished or failed: response sent, cache freed.
+    Dropped,
+}
+
+/// Selects the eviction victim for `requester`: the strictly lower-ranked
+/// (greatest `(priority, rank)` key) live sequence still holding blocks.
+/// `None` when no such victim exists — the requester itself must fail.
+fn pick_victim(batch: &[Sequence], state: &[SlotState], requester: usize) -> Option<usize> {
+    let req_key = batch[requester].key();
+    (0..batch.len())
+        .filter(|&i| i != requester && state[i] == SlotState::Live)
+        .filter(|&i| batch[i].kv.blocks() > 0)
+        .filter(|&i| batch[i].key() > req_key)
+        .max_by_key(|&i| batch[i].key())
+}
+
+/// Greedy decode: index of the row maximum (ties break to the lowest
+/// index, so decoding is fully deterministic).
+fn argmax(row: &[f32]) -> u32 {
+    let mut best = 0usize;
+    for (i, &v) in row.iter().enumerate().skip(1) {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_breaks_ties_low() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[0.5]), 0);
+        assert_eq!(argmax(&[-2.0, -1.0, -1.5]), 1);
+    }
+
+    #[test]
+    fn generate_request_builder() {
+        let req = GenerateRequest::new(vec![1, 2], 5)
+            .with_priority(Priority::High)
+            .with_eos(7);
+        assert_eq!(req.priority, Priority::High);
+        assert_eq!(req.eos, Some(7));
+        assert!(req.deadline.is_none());
+    }
+
+    #[test]
+    fn spec_validation_rejects_bad_dims_and_interfaces() {
+        // heads must divide hidden.
+        let spec = DecodeModelSpec::transformer("m", 1, 30, 4, 8, 8);
+        assert!(matches!(
+            validate_spec(&spec, 2),
+            Err(DecodeError::BadModel(_))
+        ));
+        // A builder whose graph is not a decode step.
+        let spec = DecodeModelSpec::custom("m", 1, 16, 2, 8, 8, |batch, _| {
+            let mut g = hidet_graph::GraphBuilder::new("not_decode");
+            let x = g.input("x", &[batch, 16]);
+            let y = g.relu(x);
+            g.output(y).build()
+        });
+        assert!(matches!(
+            validate_spec(&spec, 2),
+            Err(DecodeError::BadModel(_))
+        ));
+        // The real builder validates.
+        let spec = DecodeModelSpec::transformer("m", 1, 16, 2, 8, 8);
+        let def = validate_spec(&spec, 2).unwrap();
+        assert_eq!(def.head_dim, 8);
+        assert_eq!(def.embed.len(), 8 * 16);
+    }
+
+    #[test]
+    fn eviction_order_is_total_and_priority_first() {
+        let (tx, _rx) = mpsc::channel();
+        let def =
+            Arc::new(validate_spec(&DecodeModelSpec::transformer("m", 1, 16, 2, 8, 8), 2).unwrap());
+        let seq = |priority: Priority, rank: u64, blocks: usize| {
+            let mut kv = KvCache::new();
+            // Fake block ownership via a real allocator.
+            let mut alloc = KvAllocator::new(
+                KvLayout {
+                    layers: 1,
+                    hidden: 16,
+                    block_tokens: 1,
+                },
+                4,
+            );
+            for _ in 0..blocks {
+                alloc.append(&mut kv).unwrap();
+            }
+            Sequence {
+                def: Arc::clone(&def),
+                cache_need: 4,
+                pending: 0,
+                forced: VecDeque::new(),
+                fed: Vec::new(),
+                emitted: 0,
+                max_tokens: 4,
+                eos: None,
+                priority,
+                deadline: None,
+                rank,
+                kv,
+                tx: tx.clone(),
+                submitted_sim: 0.0,
+                ttft: None,
+                last_token_sim: 0.0,
+            }
+        };
+        let batch = vec![
+            seq(Priority::High, 1, 1),
+            seq(Priority::Normal, 2, 1),
+            seq(Priority::BestEffort, 3, 1),
+            seq(Priority::BestEffort, 4, 0), // no blocks: never a victim
+        ];
+        let state = vec![SlotState::Live; 4];
+        // High evicts the youngest best-effort holder.
+        assert_eq!(pick_victim(&batch, &state, 0), Some(2));
+        // Best-effort rank 3 can only evict strictly lower-ranked peers —
+        // none here hold blocks.
+        assert_eq!(pick_victim(&batch, &state, 2), None);
+        // Normal evicts best-effort but never High.
+        assert_eq!(pick_victim(&batch, &state, 1), Some(2));
+    }
+}

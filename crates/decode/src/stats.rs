@@ -1,0 +1,139 @@
+//! Live decode metrics, snapshotted into
+//! [`hidet_runtime::DecodeStatsSnapshot`] (the shared observability type the
+//! serving engine surfaces through `StatsSnapshot::decode`). Latency
+//! distributions reuse the runtime's bounded
+//! [`LatencyReservoir`](hidet_runtime::LatencyReservoir).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use hidet_runtime::{DecodeStatsSnapshot, LatencyReservoir};
+
+/// Atomic counters + bounded reservoirs updated by the step loop; cheap to
+/// read from any thread ([`DecodeStats::snapshot`]).
+#[derive(Debug, Default)]
+pub(crate) struct DecodeStats {
+    pub(crate) completed: AtomicUsize,
+    pub(crate) failed: AtomicUsize,
+    pub(crate) tokens: AtomicUsize,
+    pub(crate) prompt_tokens: AtomicUsize,
+    pub(crate) steps: AtomicUsize,
+    /// Sum over steps of occupied decode slots (÷ steps ÷ max_batch =
+    /// occupancy).
+    pub(crate) occupied_slots: AtomicUsize,
+    /// Decode slots per step (set once at engine construction).
+    pub(crate) max_batch: AtomicUsize,
+    pub(crate) kv_in_use: AtomicUsize,
+    pub(crate) kv_peak: AtomicUsize,
+    pub(crate) kv_capacity: AtomicUsize,
+    pub(crate) kv_evictions: AtomicUsize,
+    pub(crate) recomputed_tokens: AtomicUsize,
+    /// Simulated seconds spent in decode steps, scaled by 1e9.
+    pub(crate) sim_decode_nanos: AtomicU64,
+    /// The engine's simulated clock, scaled by 1e9 — read by `generate` to
+    /// stamp submissions (TTFT includes queueing).
+    pub(crate) sim_clock_nanos: AtomicU64,
+    reservoirs: Mutex<[LatencyReservoir; 2]>, // [ttft, itl]
+}
+
+impl DecodeStats {
+    pub(crate) fn sim_clock(&self) -> f64 {
+        self.sim_clock_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    pub(crate) fn advance_clock(&self, seconds: f64) -> f64 {
+        let nanos = (seconds * 1e9) as u64;
+        self.sim_decode_nanos.fetch_add(nanos, Ordering::Relaxed);
+        let now = self.sim_clock_nanos.fetch_add(nanos, Ordering::Relaxed) + nanos;
+        now as f64 / 1e9
+    }
+
+    pub(crate) fn record_ttft(&self, seconds: f64) {
+        self.reservoirs.lock().expect("stats poisoned")[0].push(seconds);
+    }
+
+    pub(crate) fn record_itl(&self, seconds: f64) {
+        self.reservoirs.lock().expect("stats poisoned")[1].push(seconds);
+    }
+
+    pub(crate) fn snapshot(&self) -> DecodeStatsSnapshot {
+        let (ttft_p50, ttft_p95, itl_p50, itl_p95) = {
+            let r = self.reservoirs.lock().expect("stats poisoned");
+            (
+                r[0].percentile(0.50),
+                r[0].percentile(0.95),
+                r[1].percentile(0.50),
+                r[1].percentile(0.95),
+            )
+        };
+        let steps = self.steps.load(Ordering::Relaxed);
+        let max_batch = self.max_batch.load(Ordering::Relaxed);
+        let tokens = self.tokens.load(Ordering::Relaxed);
+        let sim_seconds = self.sim_decode_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+        DecodeStatsSnapshot {
+            sequences_completed: self.completed.load(Ordering::Relaxed),
+            sequences_failed: self.failed.load(Ordering::Relaxed),
+            tokens_generated: tokens,
+            prompt_tokens: self.prompt_tokens.load(Ordering::Relaxed),
+            steps,
+            mean_step_occupancy: if steps == 0 || max_batch == 0 {
+                0.0
+            } else {
+                self.occupied_slots.load(Ordering::Relaxed) as f64 / (steps * max_batch) as f64
+            },
+            ttft_p50_seconds: ttft_p50,
+            ttft_p95_seconds: ttft_p95,
+            itl_p50_seconds: itl_p50,
+            itl_p95_seconds: itl_p95,
+            tokens_per_second: if sim_seconds > 0.0 {
+                tokens as f64 / sim_seconds
+            } else {
+                0.0
+            },
+            simulated_decode_seconds: sim_seconds,
+            kv_blocks_in_use: self.kv_in_use.load(Ordering::Relaxed),
+            kv_blocks_peak: self.kv_peak.load(Ordering::Relaxed),
+            kv_blocks_capacity: self.kv_capacity.load(Ordering::Relaxed),
+            kv_evictions: self.kv_evictions.load(Ordering::Relaxed),
+            recomputed_tokens: self.recomputed_tokens.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_and_throughput_accounting() {
+        let stats = DecodeStats::default();
+        stats.max_batch.store(4, Ordering::Relaxed);
+        assert_eq!(stats.sim_clock(), 0.0);
+        let now = stats.advance_clock(0.5);
+        assert!((now - 0.5).abs() < 1e-9);
+        stats.tokens.store(100, Ordering::Relaxed);
+        stats.steps.store(10, Ordering::Relaxed);
+        stats.occupied_slots.store(30, Ordering::Relaxed);
+        let snap = stats.snapshot();
+        assert!((snap.tokens_per_second - 200.0).abs() < 1e-6);
+        assert!((snap.mean_step_occupancy - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reservoirs_stay_bounded_and_estimate_percentiles() {
+        let stats = DecodeStats::default();
+        for i in 0..10_000 {
+            stats.record_itl(0.001 * (1.0 + (i % 10) as f64));
+        }
+        let snap = stats.snapshot();
+        assert!(snap.itl_p50_seconds >= 0.003 && snap.itl_p50_seconds <= 0.008);
+        assert!(snap.itl_p95_seconds >= 0.008);
+        assert!(stats.reservoirs.lock().unwrap()[1].len() <= 4096);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let snap = DecodeStats::default().snapshot();
+        assert_eq!(snap, DecodeStatsSnapshot::default());
+    }
+}

@@ -117,6 +117,144 @@ pub fn gpt2(batch: i64, seq: i64) -> crate::graph::Graph {
     build_transformer("gpt2", batch, seq, 12, 768, 12, true)
 }
 
+/// One pre-LN transformer block of the **decode step**: the query is a single
+/// new token per sequence, keys/values are the per-layer KV cache extended by
+/// this step's projection (concat along the sequence axis), and attention is
+/// causally masked over `past_len + 1` positions via the additive `mask`
+/// input. Returns `(hidden_out, new_k, new_v)`; the caches must be declared
+/// graph outputs by the caller.
+#[allow(clippy::too_many_arguments)]
+fn decode_block(
+    g: &mut GraphBuilder,
+    x: TensorId,      // [batch, hidden]
+    past_k: TensorId, // [batch*heads, past_len, head_dim]
+    past_v: TensorId, // [batch*heads, past_len, head_dim]
+    mask: TensorId,   // [batch*heads, 1, past_len + 1]
+    batch: i64,
+    hidden: i64,
+    heads: i64,
+    ffn_dim: i64,
+) -> (TensorId, TensorId, TensorId) {
+    let head_dim = hidden / heads;
+    let rows = batch * heads;
+    let attn_in = g.layer_norm(x);
+    let wq = g.weight(&[hidden, hidden]);
+    let wk = g.weight(&[hidden, hidden]);
+    let wv = g.weight(&[hidden, hidden]);
+    let q = g.matmul(attn_in, wq);
+    let k = g.matmul(attn_in, wk);
+    let v = g.matmul(attn_in, wv);
+    // [batch, hidden] -> [batch*heads, 1, head_dim]: with one query token the
+    // head split is a pure reshape (row-major batch-then-head), no transpose.
+    let qh = g.reshape(q, &[rows, 1, head_dim]);
+    let kh = g.reshape(k, &[rows, 1, head_dim]);
+    let vh = g.reshape(v, &[rows, 1, head_dim]);
+    // Extend the caches along the sequence axis. The concat outputs double as
+    // graph outputs (the updated caches handed back to the session), so the
+    // partitioner materializes them rather than inlining into the anchor.
+    let new_k = g.concat(&[past_k, kh], 1); // [rows, past_len + 1, head_dim]
+    let new_v = g.concat(&[past_v, vh], 1);
+    // Scores over past + current: [rows, 1, past_len + 1], scaled and masked
+    // (0 for attendable positions, a large negative for padding).
+    let kt = g.transpose(new_k, &[0, 2, 1]);
+    let scores = g.batch_matmul(qh, kt);
+    let scale = g.constant(crate::tensor::Tensor::full(
+        &[1],
+        1.0 / (head_dim as f32).sqrt(),
+    ));
+    let scores = g.mul(scores, scale);
+    let scores = g.add(scores, mask);
+    let probs = g.softmax(scores, 2);
+    let ctx = g.batch_matmul(probs, new_v); // [rows, 1, head_dim]
+    let ctx = g.reshape(ctx, &[batch, hidden]);
+    let wo = g.weight(&[hidden, hidden]);
+    let proj = g.matmul(ctx, wo);
+    let attn_out = g.add(proj, x);
+    // Feed-forward (pre-LN).
+    let ffn_in = g.layer_norm(attn_out);
+    let w1 = g.weight(&[hidden, ffn_dim]);
+    let b1 = g.weight(&[ffn_dim]);
+    let h = g.matmul(ffn_in, w1);
+    let h = g.add(h, b1);
+    let h = g.gelu(h);
+    let w2 = g.weight(&[ffn_dim, hidden]);
+    let b2 = g.weight(&[hidden]);
+    let h = g.matmul(h, w2);
+    let h = g.add(h, b2);
+    let out = g.add(h, attn_out);
+    (out, new_k, new_v)
+}
+
+/// One **autoregressive decode step** of a pre-LN transformer with explicit
+/// KV caches — the stateful workload served by `hidet-decode`.
+///
+/// Each of the `batch` sequences contributes one new token (already embedded
+/// to `[batch, hidden]`); per-layer KV caches enter as extra graph inputs and
+/// leave, extended by this token, as extra graph outputs. Attention runs over
+/// `past_len + 1` positions (cache plus current token — the causal pattern at
+/// decode time), with shorter or inactive sequences masked by the additive
+/// `mask` input.
+///
+/// Graph interface, in declaration order (the contract `hidet-decode` relies
+/// on):
+///
+/// * inputs: `x [batch, hidden]`, `mask [batch*heads, 1, past_len+1]`, then
+///   `past_k_l`/`past_v_l` `[batch*heads, past_len, head_dim]` per layer;
+/// * outputs: `logits [batch, vocab]`, then `new_k_l`/`new_v_l`
+///   `[batch*heads, past_len+1, head_dim]` per layer.
+///
+/// # Panics
+/// Panics when `past_len < 1`, `batch < 1`, or `heads` does not divide
+/// `hidden`.
+#[allow(clippy::too_many_arguments)]
+pub fn transformer_decode_step(
+    name: &str,
+    batch: i64,
+    past_len: i64,
+    layers: usize,
+    hidden: i64,
+    heads: i64,
+    vocab: i64,
+) -> crate::graph::Graph {
+    assert!(batch >= 1, "decode step needs at least one sequence");
+    assert!(past_len >= 1, "decode step needs at least one cache slot");
+    assert_eq!(hidden % heads, 0, "heads must divide hidden");
+    let head_dim = hidden / heads;
+    let rows = batch * heads;
+    let mut g = GraphBuilder::new(name);
+    let x = g.input("x", &[batch, hidden]);
+    let mask = g.input("mask", &[rows, 1, past_len + 1]);
+    let mut pasts = Vec::with_capacity(layers);
+    for l in 0..layers {
+        let pk = g.input(&format!("past_k_{l}"), &[rows, past_len, head_dim]);
+        let pv = g.input(&format!("past_v_{l}"), &[rows, past_len, head_dim]);
+        pasts.push((pk, pv));
+    }
+    let mut y = x;
+    let mut caches = Vec::with_capacity(layers);
+    for &(pk, pv) in &pasts {
+        let (out, nk, nv) = decode_block(&mut g, y, pk, pv, mask, batch, hidden, heads, 4 * hidden);
+        y = out;
+        caches.push((nk, nv));
+    }
+    y = g.layer_norm(y);
+    // LM head: next-token logits.
+    let e = g.weight(&[hidden, vocab]);
+    let logits = g.matmul(y, e);
+    g.output(logits);
+    for (nk, nv) in caches {
+        g.output(nk).output(nv);
+    }
+    g.build()
+}
+
+/// GPT-2 small **decode step**: 12 layers, hidden 768, 12 heads, pre-LN, with
+/// the zoo's 768-wide projection head standing in for the LM head (matching
+/// [`gpt2`]). See [`transformer_decode_step`] for the graph interface.
+pub fn gpt2_decode_step(batch: i64, past_len: i64) -> crate::graph::Graph {
+    transformer_decode_step("gpt2_decode", batch, past_len, 12, 768, 12, 768)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +292,67 @@ mod tests {
             .filter(|o| matches!(o.kind, OpKind::LayerNorm))
             .count();
         assert_eq!(lns, 25); // 2 per layer + final
+    }
+
+    #[test]
+    fn decode_step_graph_interface() {
+        let (batch, past, layers, hidden, heads, vocab) = (3, 7, 2, 32, 4, 48);
+        let g = transformer_decode_step("d", batch, past, layers, hidden, heads, vocab);
+        let head_dim = hidden / heads;
+        let rows = batch * heads;
+        // Inputs: x, mask, then (past_k, past_v) per layer.
+        assert_eq!(g.inputs().len(), 2 + 2 * layers);
+        assert_eq!(g.tensor(g.inputs()[0]).shape(), &[batch, hidden]);
+        assert_eq!(g.tensor(g.inputs()[1]).shape(), &[rows, 1, past + 1]);
+        for l in 0..layers {
+            for s in 0..2 {
+                assert_eq!(
+                    g.tensor(g.inputs()[2 + 2 * l + s]).shape(),
+                    &[rows, past, head_dim],
+                    "layer {l} stream {s}"
+                );
+            }
+        }
+        // Outputs: logits, then (new_k, new_v) per layer, extended by one.
+        assert_eq!(g.outputs().len(), 1 + 2 * layers);
+        assert_eq!(g.tensor(g.outputs()[0]).shape(), &[batch, vocab]);
+        for l in 0..layers {
+            for s in 0..2 {
+                assert_eq!(
+                    g.tensor(g.outputs()[1 + 2 * l + s]).shape(),
+                    &[rows, past + 1, head_dim]
+                );
+            }
+        }
+        // Concat-along-seq present, one per cache stream.
+        let concats = g
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Concat { axis: 1 }))
+            .count();
+        assert_eq!(concats, 2 * layers);
+    }
+
+    #[test]
+    fn decode_step_flops_scale_with_past_only_in_attention() {
+        // Doubling the cache length must grow only the attention score /
+        // context matmuls, not the dense projections.
+        let short = transformer_decode_step("d", 2, 8, 2, 32, 4, 32);
+        let long = transformer_decode_step("d", 2, 16, 2, 32, 4, 32);
+        let growth = long.total_flops() / short.total_flops();
+        assert!(
+            growth > 1.0 && growth < 1.5,
+            "attention is a small slice of a decode step: {growth}"
+        );
+    }
+
+    #[test]
+    fn gpt2_decode_step_structure() {
+        let g = gpt2_decode_step(2, 16);
+        assert_eq!(g.inputs().len(), 2 + 24);
+        assert_eq!(g.outputs().len(), 1 + 24);
+        assert_eq!(g.tensor(g.outputs()[0]).shape(), &[2, 768]);
+        assert_eq!(g.tensor(g.outputs()[1]).shape(), &[24, 17, 64]);
     }
 
     #[test]

@@ -255,7 +255,14 @@ pub fn partition(graph: &Graph) -> Vec<FusedGroup> {
                 continue;
             }
             let pk = &graph.op(p).kind;
-            if pk.prologue_eligible() && graph.consumers(t).len() == 1 {
+            // A graph output's producer must materialize its tensor even
+            // when the anchor is its only operator consumer (the decode
+            // models emit updated KV caches that are outputs *and* feed the
+            // attention anchor) — absorbing it would skip the write.
+            if pk.prologue_eligible()
+                && graph.consumers(t).len() == 1
+                && !graph.outputs().contains(&t)
+            {
                 assigned[p.0] = true;
                 members.push(p);
                 stack.extend(graph.op(p).inputs.iter().copied());
@@ -424,6 +431,30 @@ mod tests {
         let groups = partition(&graph);
         let anchor_group = groups.iter().find(|gr| gr.anchor.is_some()).unwrap();
         assert_eq!(anchor_group.ops.len(), 1);
+    }
+
+    #[test]
+    fn graph_output_producer_is_never_absorbed_as_prologue() {
+        // cat = concat(past, fresh) is a graph output *and* the matmul's only
+        // operator consumer. It must form its own group (materializing the
+        // output buffer), not be inlined into the anchor.
+        let mut g = GraphBuilder::new("t");
+        let past = g.input("past", &[2, 3, 4]);
+        let fresh = g.input("fresh", &[2, 1, 4]);
+        let q = g.input("q", &[2, 1, 4]);
+        let cat = g.concat(&[past, fresh], 1);
+        let kt = g.transpose(cat, &[0, 2, 1]);
+        let scores = g.batch_matmul(q, kt);
+        let graph = g.output(scores).output(cat).build();
+        let groups = partition(&graph);
+        let concat_group = groups
+            .iter()
+            .find(|gr| gr.output(&graph) == cat)
+            .expect("concat must own a group so its output is written");
+        assert_eq!(concat_group.anchor, None);
+        // The transpose (not an output) is still free to fuse as a prologue.
+        let anchor_group = groups.iter().find(|gr| gr.anchor.is_some()).unwrap();
+        assert_eq!(anchor_group.prologues().len(), 1);
     }
 
     #[test]

@@ -236,6 +236,7 @@ impl CompiledCache {
                     self.evicted_ttl.fetch_add(1, Ordering::Relaxed);
                 }
             }
+            let inserting = !entries.contains_key(&key);
             let tick = self.tick.fetch_add(1, Ordering::Relaxed);
             let entry = entries.entry(key.clone()).or_insert_with(|| Entry {
                 slot: Arc::default(),
@@ -245,6 +246,12 @@ impl CompiledCache {
             entry.tick = tick;
             entry.touched = Instant::now();
             let slot = Arc::clone(&entry.slot);
+            if inserting {
+                // Opportunistic TTL sweep on insert: a caller that never
+                // snapshots stats must not accumulate dead entries — the
+                // moments the map grows are exactly when staleness matters.
+                self.sweep_expired_locked(&mut entries);
+            }
             if let Some(capacity) = self.policy.capacity {
                 self.evict_lru_locked(&mut entries, capacity, &key);
             }
@@ -335,11 +342,19 @@ impl CompiledCache {
     }
 
     /// Expires every completed entry that has idled past the TTL. Called by
-    /// the engine when statistics are snapshotted (so TTL evictions become
-    /// visible without traffic); a no-op without a TTL policy.
+    /// the engine when statistics are snapshotted, and opportunistically
+    /// whenever an insert grows the map (so a stats-free caller doesn't
+    /// accumulate dead entries); a no-op without a TTL policy.
     pub fn evict_expired(&self) -> usize {
-        let Some(ttl) = self.policy.ttl else { return 0 };
         let mut entries = self.entries.lock().expect("cache poisoned");
+        self.sweep_expired_locked(&mut entries)
+    }
+
+    /// [`CompiledCache::evict_expired`] under an already-held lock. The entry
+    /// just touched by the caller is naturally exempt (its `touched` is
+    /// fresh); in-flight slots are never expired.
+    fn sweep_expired_locked(&self, entries: &mut HashMap<CacheKey, Entry>) -> usize {
+        let Some(ttl) = self.policy.ttl else { return 0 };
         let expired: Vec<CacheKey> = entries
             .iter()
             .filter(|(_, e)| e.slot.get().is_some() && e.touched.elapsed() > ttl)
@@ -592,6 +607,26 @@ mod tests {
         std::thread::sleep(Duration::from_millis(2));
         let (_, outcome) = cache.get_or_compile(&model(16, "m"), &gpu, &opts).unwrap();
         assert_eq!(outcome, CacheOutcome::Compiled);
+    }
+
+    #[test]
+    fn insert_sweeps_expired_entries_without_a_stats_call() {
+        // A caller that never snapshots stats (never calls evict_expired
+        // explicitly) must still shed dead entries: the insert of an
+        // unrelated key sweeps them.
+        let cache = CompiledCache::with_policy(EvictionPolicy {
+            capacity: None,
+            ttl: Some(Duration::ZERO),
+        });
+        let gpu = Gpu::default();
+        let opts = CompilerOptions::quick();
+        cache.get_or_compile(&model(16, "a"), &gpu, &opts).unwrap();
+        cache.get_or_compile(&model(32, "b"), &gpu, &opts).unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        // Fresh key "c": its insert sweeps the two idle entries.
+        cache.get_or_compile(&model(48, "c"), &gpu, &opts).unwrap();
+        assert_eq!(cache.len(), 1, "only the fresh entry survives");
+        assert_eq!(cache.counters().evicted_ttl, 2);
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //! operation — [`ModelHandle::infer`], [`ModelHandle::submit`],
 //! [`ModelHandle::warmup`], [`ModelHandle::unload`]. Requests are built with
 //! the [`Request`] builder (inputs + priority + deadline + per-request
-//! timeout). The free-function entry points of the v1 API (`Engine::load`,
-//! `Engine::submit_with`, ...) remain as thin `#[deprecated]` shims for one
-//! release.
+//! timeout). The deprecated free-function entry points of the v1 API
+//! (`Engine::load`, `Engine::submit_with`, ...) are gone — every per-model
+//! operation lives on the handle.
 //!
 //! ```text
 //!   clients ── handle.submit ──▶ admission ──▶ priority queues ──▶ dispatcher
@@ -149,53 +149,6 @@ impl Priority {
 impl fmt::Display for Priority {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.label())
-    }
-}
-
-/// Per-request submission knobs for the deprecated v1 entry points
-/// (`Engine::submit_with` and friends).
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `Request` and use a `ModelHandle` instead"
-)]
-#[derive(Debug, Clone, Copy, Default)]
-pub struct SubmitOptions {
-    /// Priority class (default [`Priority::Normal`]).
-    pub priority: Priority,
-    /// Absolute deadline: once passed, the request is rejected with
-    /// [`EngineError::DeadlineExceeded`] instead of executed.
-    pub deadline: Option<Instant>,
-}
-
-#[allow(deprecated)]
-impl SubmitOptions {
-    /// Options at the given priority, no deadline.
-    pub fn priority(priority: Priority) -> SubmitOptions {
-        SubmitOptions {
-            priority,
-            deadline: None,
-        }
-    }
-
-    /// Shorthand for [`Priority::High`].
-    pub fn high() -> SubmitOptions {
-        SubmitOptions::priority(Priority::High)
-    }
-
-    /// Shorthand for [`Priority::BestEffort`].
-    pub fn best_effort() -> SubmitOptions {
-        SubmitOptions::priority(Priority::BestEffort)
-    }
-
-    /// Sets an absolute deadline.
-    pub fn with_deadline(mut self, deadline: Instant) -> SubmitOptions {
-        self.deadline = Some(deadline);
-        self
-    }
-
-    /// Sets a deadline `timeout` from now.
-    pub fn with_deadline_in(self, timeout: Duration) -> SubmitOptions {
-        self.with_deadline(Instant::now() + timeout)
     }
 }
 
@@ -629,6 +582,9 @@ struct Shared {
     max_inflight: usize,
     /// [`EngineConfig::admission_delay_bound`] in seconds.
     delay_bound: Option<f64>,
+    /// Attached decode-subsystem stats source ([`Engine::attach_decode_stats`]).
+    #[allow(clippy::type_complexity)]
+    decode_stats: Mutex<Option<Arc<dyn Fn() -> crate::stats::DecodeStatsSnapshot + Send + Sync>>>,
 }
 
 impl Shared {
@@ -777,6 +733,7 @@ impl Engine {
             batch_window: config.batch_window,
             max_inflight: config.max_inflight,
             delay_bound: config.admission_delay_bound.map(|d| d.as_secs_f64()),
+            decode_stats: Mutex::new(None),
         });
 
         // One job channel per shard; the dispatcher owns every sender, so
@@ -872,112 +829,41 @@ impl Engine {
         handle.unload()
     }
 
-    /// Registers a batchable model family under `name`.
-    ///
-    /// # Panics
-    /// If registration fails (e.g. the configured artifact store cannot be
-    /// created) — the v1 signature has no error channel, and silently
-    /// dropping the model would surface later as a misleading
-    /// `UnknownModel`. Use [`Engine::register`] to handle the error.
-    #[deprecated(since = "0.2.0", note = "use `Engine::register(ModelSpec::new(..))`")]
-    pub fn load(&self, name: &str, builder: impl Fn(i64) -> Graph + Send + Sync + 'static) {
-        let _ = self
-            .register(ModelSpec::new(name, builder))
-            .unwrap_or_else(|e| panic!("Engine::load(\"{name}\") failed: {e}"));
-    }
-
-    /// Registers a model family whose requests must never be coalesced.
-    ///
-    /// # Panics
-    /// If registration fails — see [`Engine::load`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Engine::register(ModelSpec::new(..).unbatched())`"
-    )]
-    pub fn load_unbatched(
-        &self,
-        name: &str,
-        builder: impl Fn(i64) -> Graph + Send + Sync + 'static,
-    ) {
-        let _ = self
-            .register(ModelSpec::new(name, builder).unbatched())
-            .unwrap_or_else(|e| panic!("Engine::load_unbatched(\"{name}\") failed: {e}"));
-    }
-
-    /// Pre-compiles `model` at `batch` for every shard.
-    #[deprecated(since = "0.2.0", note = "use `ModelHandle::warmup`")]
-    pub fn warmup(&self, model: &str, batch: i64) -> Result<bool, EngineError> {
-        warmup_model(&self.shared, model, batch)
-    }
-
-    /// Enqueues one inference at [`Priority::Normal`] with no deadline.
-    #[deprecated(since = "0.2.0", note = "use `ModelHandle::submit(Request::new(..))`")]
-    pub fn submit(&self, model: &str, inputs: Vec<Vec<f32>>) -> Ticket {
-        submit_request(&self.shared, model, Request::new(inputs))
-    }
-
-    /// [`Engine::submit`] with explicit submission options.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ModelHandle::submit` with a `Request` builder"
-    )]
-    #[allow(deprecated)]
-    pub fn submit_with(&self, model: &str, inputs: Vec<Vec<f32>>, opts: SubmitOptions) -> Ticket {
-        let mut request = Request::new(inputs).with_priority(opts.priority);
-        if let Some(deadline) = opts.deadline {
-            request = request.with_deadline(deadline);
-        }
-        submit_request(&self.shared, model, request)
-    }
-
-    /// Blocking single inference.
-    #[deprecated(since = "0.2.0", note = "use `ModelHandle::infer(Request::new(..))`")]
-    pub fn infer(
-        &self,
-        model: &str,
-        inputs: Vec<Vec<f32>>,
-    ) -> Result<InferenceResult, EngineError> {
-        submit_request(&self.shared, model, Request::new(inputs)).wait()
-    }
-
-    /// Blocking inference with explicit submission options.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ModelHandle::infer` with a `Request` builder"
-    )]
-    #[allow(deprecated)]
-    pub fn infer_with(
-        &self,
-        model: &str,
-        inputs: Vec<Vec<f32>>,
-        opts: SubmitOptions,
-    ) -> Result<InferenceResult, EngineError> {
-        self.submit_with(model, inputs, opts).wait()
-    }
-
-    /// Submits a burst of requests and waits for all of them.
-    #[deprecated(since = "0.2.0", note = "use `ModelHandle::infer_many`")]
-    pub fn infer_many(
-        &self,
-        model: &str,
-        requests: Vec<Vec<Vec<f32>>>,
-    ) -> Vec<Result<InferenceResult, EngineError>> {
-        let tickets: Vec<Ticket> = requests
-            .into_iter()
-            .map(|inputs| submit_request(&self.shared, model, Request::new(inputs)))
-            .collect();
-        tickets.into_iter().map(Ticket::wait).collect()
-    }
-
     /// Current server statistics, including per-shard, artifact-store and
-    /// eviction counters. Snapshotting also sweeps TTL-expired cache entries
-    /// so idle-eviction counters stay current without traffic.
+    /// eviction counters — plus the attached decode subsystem's snapshot
+    /// when one is registered ([`Engine::attach_decode_stats`]).
+    /// Snapshotting also sweeps TTL-expired cache entries so idle-eviction
+    /// counters stay current without traffic.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.compiled.evict_expired();
         let shards = self.shared.shards.iter().map(Shard::snapshot).collect();
-        self.shared
+        let mut snapshot = self
+            .shared
             .stats
-            .snapshot(self.shared.compiled.counters(), shards)
+            .snapshot(self.shared.compiled.counters(), shards);
+        let source = self
+            .shared
+            .decode_stats
+            .lock()
+            .expect("decode stats poisoned")
+            .clone();
+        snapshot.decode = source.map(|f| f());
+        snapshot
+    }
+
+    /// Registers a decode-subsystem stats source (e.g.
+    /// `hidet_decode::DecodeEngine::stats_source`), surfacing token-level
+    /// serving metrics — TTFT, inter-token latency, tokens/sec, KV blocks in
+    /// use — in [`StatsSnapshot::decode`]. Replaces any previous source.
+    pub fn attach_decode_stats(
+        &self,
+        source: Arc<dyn Fn() -> crate::stats::DecodeStatsSnapshot + Send + Sync>,
+    ) {
+        *self
+            .shared
+            .decode_stats
+            .lock()
+            .expect("decode stats poisoned") = Some(source);
     }
 
     /// Number of shards (devices) in the pool.
@@ -1209,8 +1095,7 @@ fn unload_model(shared: &Shared, model: &str) -> bool {
     true
 }
 
-/// Admission + enqueue: the one path every submission (v2 handles and the
-/// deprecated free functions alike) funnels through.
+/// Admission + enqueue: the one path every submission funnels through.
 fn submit_request(shared: &Shared, model: &str, request: Request) -> Ticket {
     let (tx, rx) = mpsc::channel();
     let ticket = Ticket { rx };
@@ -1298,7 +1183,7 @@ fn dispatch_loop(shared: &Shared, senders: Vec<mpsc::Sender<BatchJob>>) {
         };
 
         // Coalescing ceiling for this model: non-batchable registrations
-        // (see `Engine::load_unbatched`) always dispatch one at a time.
+        // (see `ModelSpec::unbatched`) always dispatch one at a time.
         let batchable = {
             let registry = shared.registry.lock().expect("registry poisoned");
             registry.get(&model).is_none_or(|entry| entry.batchable)
@@ -1630,17 +1515,6 @@ mod tests {
         assert_eq!(Priority::default(), Priority::Normal);
         assert!(Priority::High < Priority::BestEffort);
         assert_eq!(Priority::BestEffort.label(), "best-effort");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn submit_options_builders() {
-        let opts = SubmitOptions::high().with_deadline_in(Duration::from_secs(1));
-        assert_eq!(opts.priority, Priority::High);
-        assert!(opts.deadline.is_some());
-        assert_eq!(SubmitOptions::best_effort().priority, Priority::BestEffort);
-        assert_eq!(SubmitOptions::default().priority, Priority::Normal);
-        assert!(SubmitOptions::default().deadline.is_none());
     }
 
     #[test]

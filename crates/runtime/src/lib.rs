@@ -121,12 +121,12 @@ pub mod stats;
 pub mod store;
 
 pub use cache::{CacheCounters, CacheKey, CacheOutcome, CompiledCache, EvictionPolicy};
-#[allow(deprecated)]
-pub use engine::SubmitOptions;
 pub use engine::{
     Engine, EngineConfig, EngineError, InferenceResult, ModelHandle, ModelSpec, Priority, Request,
     Ticket,
 };
 pub use shard::ShardSnapshot;
-pub use stats::{PriorityClassStats, ServerStats, StatsSnapshot};
+pub use stats::{
+    DecodeStatsSnapshot, LatencyReservoir, PriorityClassStats, ServerStats, StatsSnapshot,
+};
 pub use store::ArtifactStore;

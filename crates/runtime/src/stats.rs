@@ -16,10 +16,12 @@ const LATENCY_RESERVOIR_CAP: usize = 4096;
 
 /// Bounded uniform sample of per-request latencies (Vitter's algorithm R,
 /// with a cheap deterministic xorshift in place of a real RNG — percentile
-/// estimation needs uniformity, not unpredictability).
+/// estimation needs uniformity, not unpredictability). Shared by the
+/// serving engine's sojourn distributions and the decode subsystem's
+/// TTFT/inter-token distributions.
 #[derive(Debug)]
-pub(crate) struct LatencyReservoir {
-    samples: Vec<f64>,
+pub struct LatencyReservoir {
+    pub(crate) samples: Vec<f64>,
     seen: u64,
     rng: u64,
 }
@@ -35,7 +37,14 @@ impl Default for LatencyReservoir {
 }
 
 impl LatencyReservoir {
-    fn push(&mut self, value: f64) {
+    /// An empty reservoir.
+    pub fn new() -> LatencyReservoir {
+        LatencyReservoir::default()
+    }
+
+    /// Records one sample, replacing a uniformly random held sample once
+    /// the cap is reached.
+    pub fn push(&mut self, value: f64) {
         self.seen += 1;
         if self.samples.len() < LATENCY_RESERVOIR_CAP {
             self.samples.push(value);
@@ -49,6 +58,24 @@ impl LatencyReservoir {
         if (j as usize) < LATENCY_RESERVOIR_CAP {
             self.samples[j as usize] = value;
         }
+    }
+
+    /// Samples currently held (bounded by the reservoir cap).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no sample was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `p`-th percentile (`0.0..=1.0`) of the held samples; `0.0` when
+    /// empty. Sorts a copy — snapshot-path cost, not hot-path.
+    pub fn percentile(&self, p: f64) -> f64 {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        percentile(&sorted, p)
     }
 }
 
@@ -242,7 +269,79 @@ impl ServerStats {
             },
             priorities,
             shards,
+            decode: None,
         }
+    }
+}
+
+/// Token-level serving metrics of an attached autoregressive decode
+/// subsystem (`hidet-decode`), surfaced through [`StatsSnapshot::decode`]
+/// when a source is registered with `Engine::attach_decode_stats`.
+///
+/// All latencies are **simulated** seconds, like the rest of the snapshot:
+/// time-to-first-token is measured from submission to the step that emitted
+/// a sequence's first token, inter-token latency between consecutive emitted
+/// tokens of one sequence.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DecodeStatsSnapshot {
+    /// Generations completed (max-tokens reached, EOS, or client gone).
+    pub sequences_completed: usize,
+    /// Generations failed (bad prompt, expired deadline, KV exhaustion, ...).
+    pub sequences_failed: usize,
+    /// Tokens emitted to clients (prompt tokens excluded).
+    pub tokens_generated: usize,
+    /// Prompt tokens absorbed into KV caches (including recompute replays).
+    pub prompt_tokens: usize,
+    /// Engine steps executed (one batched forward pass each).
+    pub steps: usize,
+    /// Mean fraction of decode slots occupied per step, `0.0..=1.0` — the
+    /// iteration-level batching win shows up here.
+    pub mean_step_occupancy: f64,
+    /// Median simulated time-to-first-token, seconds.
+    pub ttft_p50_seconds: f64,
+    /// 95th-percentile simulated time-to-first-token, seconds.
+    pub ttft_p95_seconds: f64,
+    /// Median simulated inter-token latency, seconds.
+    pub itl_p50_seconds: f64,
+    /// 95th-percentile simulated inter-token latency, seconds.
+    pub itl_p95_seconds: f64,
+    /// Generated tokens per simulated decode second.
+    pub tokens_per_second: f64,
+    /// Total simulated seconds spent in decode steps.
+    pub simulated_decode_seconds: f64,
+    /// KV blocks currently allocated across live sequences.
+    pub kv_blocks_in_use: usize,
+    /// High-water mark of allocated KV blocks.
+    pub kv_blocks_peak: usize,
+    /// Total KV blocks the arena holds.
+    pub kv_blocks_capacity: usize,
+    /// Sequences preempted by KV memory pressure (their caches freed).
+    pub kv_evictions: usize,
+    /// Tokens re-fed to rebuild evicted caches (recompute cost).
+    pub recomputed_tokens: usize,
+}
+
+impl DecodeStatsSnapshot {
+    /// Compact one-line rendering for logs and benches.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} tokens from {} sequences in {} steps (occupancy {:.0}%) | \
+             {:.0} tok/s (sim) | ttft p50 {:.1} us, itl p50/p95 {:.1}/{:.1} us | \
+             kv {}/{} blocks (peak {}), {} evictions, {} recomputed",
+            self.tokens_generated,
+            self.sequences_completed,
+            self.steps,
+            self.mean_step_occupancy * 100.0,
+            self.tokens_per_second,
+            self.ttft_p50_seconds * 1e6,
+            self.itl_p50_seconds * 1e6,
+            self.itl_p95_seconds * 1e6,
+            self.kv_blocks_in_use,
+            self.kv_blocks_capacity,
+            self.kv_blocks_peak,
+            self.kv_evictions,
+            self.recomputed_tokens,
+        )
     }
 }
 
@@ -328,6 +427,9 @@ pub struct StatsSnapshot {
     /// Per-shard dispatch accounting, indexed by device position in
     /// `EngineConfig::devices`.
     pub shards: Vec<ShardSnapshot>,
+    /// Token-level decode metrics, when a decode subsystem is attached
+    /// (`Engine::attach_decode_stats`).
+    pub decode: Option<DecodeStatsSnapshot>,
 }
 
 impl StatsSnapshot {

@@ -419,35 +419,34 @@ fn engine_run_equals_direct_compile_run() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_v1_shims_still_serve() {
-    // The v1 free-function entry points must keep working for one release:
-    // load + submit_with + infer + infer_many against the same engine state
-    // the v2 handles use.
-    use hidet_runtime::SubmitOptions;
-
+fn v2_handles_cover_the_retired_v1_surface() {
+    // The five v1 free functions (load / load_unbatched / warmup / submit_with
+    // / infer*) are gone; this pins their replacements: every former entry
+    // point maps onto ModelSpec + ModelHandle + the Request builder.
     let engine = Engine::new(EngineConfig {
         max_batch: 2,
         batch_window: Duration::from_millis(10),
         ..EngineConfig::quick()
     })
     .unwrap();
-    engine.load("mlp", mlp);
-    engine.warmup("mlp", 1).unwrap();
-    let direct = engine.infer("mlp", vec![sample_input(1)]).unwrap();
+    let handle = engine.register(ModelSpec::new("mlp", mlp)).unwrap(); // was `load`
+    handle.warmup(1).unwrap(); // was `Engine::warmup`
+    let direct = handle.infer(request(1)).unwrap(); // was `Engine::infer`
     assert_eq!(direct.outputs[0].len(), 6);
-    let opted = engine
-        .infer_with(
-            "mlp",
-            vec![sample_input(2)],
-            SubmitOptions::high().with_deadline_in(Duration::from_secs(5)),
+    let opted = handle // was `infer_with` + SubmitOptions
+        .infer(
+            Request::new(vec![sample_input(2)])
+                .high()
+                .with_timeout(Duration::from_secs(5)),
         )
         .unwrap();
     assert_eq!(opted.priority, hidet_runtime::Priority::High);
-    let many = engine.infer_many("mlp", vec![vec![sample_input(3)], vec![sample_input(4)]]);
+    let many = handle.infer_many(vec![request(3), request(4)]); // was `Engine::infer_many`
     assert!(many.iter().all(|r| r.is_ok()));
-    // Shims and handles share one registry: a v2 handle resolves the
-    // v1-loaded model.
-    let handle = engine.register(ModelSpec::new("mlp", mlp)).unwrap();
-    assert!(handle.infer(request(9)).is_ok());
+    // was `load_unbatched`: the batching mode now lives on the spec.
+    let solo = engine
+        .register(ModelSpec::new("mlp_solo", mlp).unbatched())
+        .unwrap();
+    let result = solo.infer(request(5)).unwrap();
+    assert_eq!(result.batch_size, 1);
 }

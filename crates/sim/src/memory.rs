@@ -158,6 +158,42 @@ impl DeviceMemory {
         }
     }
 
+    /// Device-to-device copy: `len` elements from `src_mem`'s buffer `src`
+    /// (starting at `src_offset`) into this memory's buffer `dst` (starting
+    /// at `dst_offset`). The DMA primitive of the simulated device — data
+    /// moved between two resident buffers (e.g. a persistent KV-cache arena
+    /// and a kernel input buffer) never round-trips through host vectors.
+    ///
+    /// # Panics
+    /// Panics when either buffer is missing or a range is out of bounds.
+    pub fn copy_from(
+        &mut self,
+        dst: &str,
+        dst_offset: usize,
+        src_mem: &DeviceMemory,
+        src: &str,
+        src_offset: usize,
+        len: usize,
+    ) {
+        let from = src_mem.read(src);
+        assert!(
+            src_offset + len <= from.len(),
+            "copy_from source {src} [{src_offset}, {}) exceeds {} elements",
+            src_offset + len,
+            from.len()
+        );
+        let to = self
+            .get_mut(dst)
+            .unwrap_or_else(|| panic!("no buffer named {dst} in device memory"));
+        assert!(
+            dst_offset + len <= to.len(),
+            "copy_from destination {dst} [{dst_offset}, {}) exceeds {} elements",
+            dst_offset + len,
+            to.len()
+        );
+        to[dst_offset..dst_offset + len].copy_from_slice(&from[src_offset..src_offset + len]);
+    }
+
     /// Names of all resident buffers (unordered).
     pub fn buffer_names(&self) -> impl Iterator<Item = &str> {
         self.buffers.keys().map(String::as_str)
@@ -249,6 +285,30 @@ mod tests {
         m.reserve_arena(2); // no-op: never shrinks
         assert_eq!(m.arena_len(), 4);
         assert_eq!(m.read("A"), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn copy_from_moves_between_memories_and_storage_kinds() {
+        let mut src = DeviceMemory::new();
+        src.alloc("S", &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let mut dst = DeviceMemory::new();
+        dst.reserve_arena(4);
+        dst.bind_view("D", 0, 4); // view destination
+        dst.alloc_zeroed("O", 3); // owned destination
+        dst.copy_from("D", 1, &src, "S", 2, 2);
+        assert_eq!(dst.read("D"), &[0.0, 3.0, 4.0, 0.0]);
+        dst.copy_from("O", 0, &src, "S", 4, 1);
+        assert_eq!(dst.read("O"), &[5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 5 elements")]
+    fn copy_from_out_of_bounds_panics() {
+        let mut src = DeviceMemory::new();
+        src.alloc("S", &[0.0; 5]);
+        let mut dst = DeviceMemory::new();
+        dst.alloc_zeroed("D", 8);
+        dst.copy_from("D", 0, &src, "S", 3, 4);
     }
 
     #[test]

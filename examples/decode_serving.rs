@@ -1,0 +1,75 @@
+//! Autoregressive decoding with KV-cache sessions and continuous batching —
+//! a tour of `hidet-decode` (README §"Autoregressive decoding").
+//!
+//! ```text
+//! cargo run --release --example decode_serving
+//! ```
+
+use std::time::{Duration, Instant};
+
+use hidet_repro::decode::{DecodeConfig, DecodeEngine, DecodeModelSpec, GenerateRequest};
+use hidet_repro::runtime::{Engine, EngineConfig, Priority};
+
+fn main() {
+    // 1. An engine with 4 decode slots and a 48-block KV arena (8 tokens per
+    //    block). The step graph is compiled once at the fixed
+    //    (max_batch, max_context) shape; the *scheduler* owns batching.
+    let engine = DecodeEngine::new(DecodeConfig {
+        max_batch: 4,
+        kv_blocks: 48,
+        block_tokens: 8,
+        ..DecodeConfig::default()
+    });
+
+    // 2. A small pre-LN transformer decode model: 2 layers, hidden 32,
+    //    2 heads, vocabulary 32, context window 24. Per-layer KV caches are
+    //    graph inputs/outputs; the engine keeps them in a persistent device
+    //    arena between steps.
+    let model = engine
+        .register(DecodeModelSpec::transformer("mini", 2, 32, 2, 32, 24))
+        .expect("model registers");
+
+    // 3. Sessions join the running batch the step after they arrive and
+    //    leave the moment they finish — no pad-to-max draining. Mix
+    //    priorities and deadlines exactly like the serving engine's requests.
+    let chat = model.generate(GenerateRequest::new(vec![3, 1, 4], 6).with_priority(Priority::High));
+    let essay = model.generate(GenerateRequest::new(vec![2, 7], 18));
+    let capped = model.generate(
+        GenerateRequest::new(vec![9], 12)
+            .with_eos(5)
+            .with_deadline(Instant::now() + Duration::from_secs(30)),
+    );
+
+    // 4. Token streams: iterate for streaming consumption...
+    print!("chat tokens:  ");
+    for event in chat {
+        let event = event.expect("chat token");
+        print!("{} ", event.token);
+    }
+    println!();
+
+    // ...or collect to block until completion with timing attached.
+    let essay = essay.collect().expect("essay completes");
+    println!(
+        "essay tokens: {:?}\n  ttft {:.1} us (sim), finished at {:.1} us (sim)",
+        essay.tokens,
+        essay.ttft_seconds * 1e6,
+        essay.completion_sim_seconds * 1e6
+    );
+    let capped = capped.collect().expect("capped completes");
+    println!("capped tokens: {:?} (eos 5 stops early)", capped.tokens);
+
+    // 5. Token-level observability, attachable to the serving engine's
+    //    snapshot: TTFT / inter-token latency percentiles, tokens/sec, KV
+    //    occupancy, eviction + recompute counters.
+    let serving = Engine::new(EngineConfig::quick()).expect("serving engine");
+    serving.attach_decode_stats(engine.stats_source());
+    let decode = serving
+        .stats()
+        .decode
+        .expect("decode stats ride along in StatsSnapshot");
+    println!("\ndecode stats: {}", decode.summary());
+    assert_eq!(decode.kv_blocks_in_use, 0, "sessions freed every KV block");
+    serving.shutdown().expect("clean shutdown");
+    engine.shutdown();
+}

@@ -6,6 +6,7 @@
 
 pub use hidet;
 pub use hidet_baselines as baselines;
+pub use hidet_decode as decode;
 pub use hidet_graph as graph;
 pub use hidet_ir as ir;
 pub use hidet_runtime as runtime;
