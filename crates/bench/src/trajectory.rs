@@ -291,6 +291,55 @@ mod tests {
     }
 
     #[test]
+    fn serving_ingress_metrics_ride_the_existing_classes() {
+        // The ingress bench emits `ingress_rps` (higher-is-better) and
+        // `wire_ttfb_p95_us` (lower-is-better); its overload-phase numbers
+        // deliberately avoid gated suffixes — saturation wall-clock is not
+        // a trajectory.
+        let baseline = r#"{
+          "serving_ingress": {"ingress_rps": 200.0, "wire_ttfb_p95_us": 5000.0,
+                              "wire_ttfb_p50_us": 3000.0, "overload_high_ttfb_us": 20000.0,
+                              "overload_best_effort_shed": 39, "enqueue_cas_retries": 2}
+        }"#;
+        let current = baseline.replace("\"ingress_rps\": 200.0", "\"ingress_rps\": 150.0");
+        let comparisons = compare_reports(baseline, &current, &Thresholds::default()).unwrap();
+        assert!(comparisons
+            .iter()
+            .any(|c| c.metric == "ingress_rps" && c.regression));
+
+        let current = baseline.replace(
+            "\"wire_ttfb_p95_us\": 5000.0",
+            "\"wire_ttfb_p95_us\": 9000.0",
+        );
+        let comparisons = compare_reports(baseline, &current, &Thresholds::default()).unwrap();
+        assert!(comparisons
+            .iter()
+            .any(|c| c.metric == "wire_ttfb_p95_us" && c.regression));
+
+        // p50s, overload wall-clock, shed counts and CAS gauges stay
+        // informational even when they explode.
+        let current = baseline
+            .replace(
+                "\"wire_ttfb_p50_us\": 3000.0",
+                "\"wire_ttfb_p50_us\": 90000.0",
+            )
+            .replace(
+                "\"overload_high_ttfb_us\": 20000.0",
+                "\"overload_high_ttfb_us\": 900000.0",
+            )
+            .replace(
+                "\"overload_best_effort_shed\": 39",
+                "\"overload_best_effort_shed\": 999",
+            )
+            .replace(
+                "\"enqueue_cas_retries\": 2",
+                "\"enqueue_cas_retries\": 99999",
+            );
+        let comparisons = compare_reports(baseline, &current, &Thresholds::default()).unwrap();
+        assert!(comparisons.iter().all(|c| !c.regression));
+    }
+
+    #[test]
     fn counts_and_labels_are_not_gated() {
         // Collapsing the request count 32 -> 1 must not trip anything.
         let current = BASELINE.replace("\"requests\": 32", "\"requests\": 1");

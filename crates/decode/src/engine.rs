@@ -42,7 +42,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use hidet::{CompilerOptions, Workspace};
 use hidet_graph::{Graph, Tensor, TensorId};
@@ -346,6 +346,23 @@ enum Event {
     Failed(DecodeError),
 }
 
+/// The outcome of one bounded poll of a [`DecodeSession`]
+/// ([`DecodeSession::next_timeout`]).
+///
+/// `Pending` is what makes the poll useful to a streaming bridge: between
+/// tokens the caller gets control back and can probe its client socket; if
+/// the client is gone it drops the session, and the engine releases the
+/// session's KV blocks at the next step boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionPoll {
+    /// A token arrived within the timeout.
+    Token(TokenEvent),
+    /// The generation finished (all tokens already delivered).
+    Finished,
+    /// No event arrived within the timeout; the generation is still running.
+    Pending,
+}
+
 /// A live generation: the token stream of one KV-cache session.
 ///
 /// Iterate for streaming consumption (each item is one [`TokenEvent`]), or
@@ -386,6 +403,38 @@ impl DecodeSession {
                 }
                 Ok(Event::Failed(err)) => return Err(err),
                 Err(_) => return Err(DecodeError::Closed),
+            }
+        }
+    }
+
+    /// Waits up to `timeout` for the next event, without consuming the
+    /// session. Returns [`SessionPoll::Pending`] on timeout so callers
+    /// interleave token consumption with liveness checks of their own
+    /// downstream (e.g. a client socket) and can cancel by dropping the
+    /// session.
+    ///
+    /// After `Finished` (or an error) every further call returns `Finished`.
+    ///
+    /// # Errors
+    /// The first [`DecodeError`] the engine reported, if any.
+    pub fn next_timeout(&mut self, timeout: Duration) -> Result<SessionPoll, DecodeError> {
+        if self.done {
+            return Ok(SessionPoll::Finished);
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(Event::Token(event)) => Ok(SessionPoll::Token(event)),
+            Ok(Event::Done { .. }) => {
+                self.done = true;
+                Ok(SessionPoll::Finished)
+            }
+            Ok(Event::Failed(err)) => {
+                self.done = true;
+                Err(err)
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => Ok(SessionPoll::Pending),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                self.done = true;
+                Err(DecodeError::Closed)
             }
         }
     }

@@ -65,6 +65,6 @@ pub(crate) mod stats;
 
 pub use engine::{
     BatchingMode, DecodeConfig, DecodeEngine, DecodeError, DecodeModel, DecodeModelSpec,
-    DecodeSession, GenerateRequest, Generation, TokenEvent,
+    DecodeSession, GenerateRequest, Generation, SessionPoll, TokenEvent,
 };
 pub use kv::{KvAllocator, KvCache, KvError, KvLayout, KvSlot};

@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 
 use hidet_decode::{
     BatchingMode, DecodeConfig, DecodeEngine, DecodeError, DecodeModelSpec, GenerateRequest,
+    SessionPoll,
 };
 use hidet_runtime::Priority;
 use proptest::prelude::*;
@@ -53,6 +54,80 @@ fn single_session_generates_and_frees_blocks() {
         "8 cached tokens need two 4-blocks"
     );
     assert!(stats.tokens_per_second > 0.0);
+}
+
+#[test]
+fn next_timeout_streams_tokens_and_reports_finish() {
+    let engine = engine(2, 16, 4);
+    let model = engine.register(tiny_spec()).unwrap();
+    let mut session = model.generate(GenerateRequest::new(vec![1, 2], 4));
+    let mut tokens = Vec::new();
+    let mut pending_seen = false;
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        assert!(Instant::now() < deadline, "generation stalled");
+        match session.next_timeout(Duration::from_micros(200)).unwrap() {
+            SessionPoll::Token(event) => {
+                assert_eq!(event.index, tokens.len());
+                tokens.push(event.token);
+            }
+            SessionPoll::Pending => pending_seen = true,
+            SessionPoll::Finished => break,
+        }
+    }
+    assert_eq!(tokens.len(), 4);
+    assert!(pending_seen, "a 200us poll should observe at least one gap");
+    // Past the end the poll keeps reporting Finished instead of blocking.
+    assert_eq!(
+        session.next_timeout(Duration::from_millis(1)).unwrap(),
+        SessionPoll::Finished
+    );
+}
+
+/// The dead-client path of a streaming front-end: the bridge sees the socket
+/// is gone and drops the session. The engine must cancel the generation at
+/// the next emission attempt and release every KV block.
+///
+/// Deterministic ordering via a paused engine: the session is dropped before
+/// the step loop starts, so the very first token send fails and the engine
+/// cancels mid-generation — it can never outrun the drop.
+#[test]
+fn dropping_a_session_cancels_generation_and_frees_kv_blocks() {
+    let engine = DecodeEngine::new(DecodeConfig {
+        max_batch: 2,
+        kv_blocks: 64,
+        block_tokens: 4,
+        start_paused: true,
+        ..DecodeConfig::default()
+    });
+    let model = engine
+        .register(DecodeModelSpec::transformer("tiny-long", 1, 16, 2, 16, 256))
+        .unwrap();
+    let session = model.generate(GenerateRequest::new(vec![7], 200));
+    drop(session);
+    engine.resume();
+    // The engine admits the sequence, allocates blocks, emits one token into
+    // a dead channel, and releases. Poll until the step ran and nothing is
+    // held. (`kv_blocks_peak` stays 0 here: the gauge samples after the
+    // step, when the cancelled session's blocks are already back.)
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let stats = engine.stats();
+        if stats.steps > 0 && stats.kv_blocks_in_use == 0 {
+            assert!(
+                stats.tokens_generated >= 1,
+                "the step should have decoded a token before noticing the drop"
+            );
+            assert!(
+                stats.tokens_generated < 200,
+                "cancellation should land mid-generation, got all {} tokens",
+                stats.tokens_generated
+            );
+            break;
+        }
+        assert!(Instant::now() < deadline, "KV blocks leaked after drop");
+        std::thread::sleep(Duration::from_millis(2));
+    }
 }
 
 #[test]

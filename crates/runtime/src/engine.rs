@@ -136,8 +136,10 @@ impl Priority {
     }
 
     /// Multiplier on [`EngineConfig::admission_delay_bound`] this class
-    /// tolerates before being shed. Monotone in priority.
-    fn delay_slack(self) -> f64 {
+    /// tolerates before being shed. Monotone in priority. A network
+    /// front-end applies the same slack to its socket-level shed bound so
+    /// both admission layers degrade in the same order.
+    pub fn delay_slack(self) -> f64 {
         match self {
             Priority::High => 4.0,
             Priority::Normal => 2.0,
@@ -585,6 +587,9 @@ struct Shared {
     /// Attached decode-subsystem stats source ([`Engine::attach_decode_stats`]).
     #[allow(clippy::type_complexity)]
     decode_stats: Mutex<Option<Arc<dyn Fn() -> crate::stats::DecodeStatsSnapshot + Send + Sync>>>,
+    /// Attached network-ingress stats source ([`Engine::attach_ingress_stats`]).
+    #[allow(clippy::type_complexity)]
+    ingress_stats: Mutex<Option<Arc<dyn Fn() -> crate::stats::IngressStatsSnapshot + Send + Sync>>>,
 }
 
 impl Shared {
@@ -734,6 +739,7 @@ impl Engine {
             max_inflight: config.max_inflight,
             delay_bound: config.admission_delay_bound.map(|d| d.as_secs_f64()),
             decode_stats: Mutex::new(None),
+            ingress_stats: Mutex::new(None),
         });
 
         // One job channel per shard; the dispatcher owns every sender, so
@@ -848,6 +854,13 @@ impl Engine {
             .expect("decode stats poisoned")
             .clone();
         snapshot.decode = source.map(|f| f());
+        let ingress = self
+            .shared
+            .ingress_stats
+            .lock()
+            .expect("ingress stats poisoned")
+            .clone();
+        snapshot.ingress = ingress.map(|f| f());
         snapshot
     }
 
@@ -864,6 +877,34 @@ impl Engine {
             .decode_stats
             .lock()
             .expect("decode stats poisoned") = Some(source);
+    }
+
+    /// Registers a network-ingress stats source (e.g.
+    /// `hidet_server::HidetServer::stats_source`), surfacing wire-level
+    /// metrics — accepted/shed connections, ring occupancy,
+    /// wire-to-first-byte latency — in [`StatsSnapshot::ingress`]. Replaces
+    /// any previous source.
+    pub fn attach_ingress_stats(
+        &self,
+        source: Arc<dyn Fn() -> crate::stats::IngressStatsSnapshot + Send + Sync>,
+    ) {
+        *self
+            .shared
+            .ingress_stats
+            .lock()
+            .expect("ingress stats poisoned") = Some(source);
+    }
+
+    /// The estimated queue delay of the least-loaded shard, in **simulated**
+    /// seconds — the signal a network front-end polls to shed overload at
+    /// the socket before any parsing or scheduler work (see
+    /// [`AdmissionSignal`]).
+    ///
+    /// Takes the shard pending locks; callers on an accept hot path should
+    /// sample it from a background thread into an atomic rather than call it
+    /// per connection.
+    pub fn estimated_queue_delay_seconds(&self) -> f64 {
+        shard::least_queue_delay(&self.shared.shards).1
     }
 
     /// Number of shards (devices) in the pool.
@@ -916,6 +957,26 @@ impl Engine {
             let _ = handle.join();
         }
         self.flush_tuning_records().map(|_| ())
+    }
+}
+
+/// The load signal a network front-end polls to shed overload at the socket.
+///
+/// Implemented by [`Engine`] (via
+/// [`Engine::estimated_queue_delay_seconds`]); a front-end takes the signal
+/// as a trait object so tests can substitute a synthetic load curve without
+/// standing up an engine. The value is in **simulated** seconds, like
+/// [`EngineConfig::admission_delay_bound`] — a front-end's shed bound is
+/// expressed in the same unit, and per-class slack should stay monotone in
+/// priority (see [`Priority::delay_slack`]).
+pub trait AdmissionSignal: Send + Sync {
+    /// Estimated queue delay of the least-loaded shard, simulated seconds.
+    fn estimated_queue_delay_seconds(&self) -> f64;
+}
+
+impl AdmissionSignal for Engine {
+    fn estimated_queue_delay_seconds(&self) -> f64 {
+        Engine::estimated_queue_delay_seconds(self)
     }
 }
 

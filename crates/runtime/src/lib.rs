@@ -122,11 +122,12 @@ pub mod store;
 
 pub use cache::{CacheCounters, CacheKey, CacheOutcome, CompiledCache, EvictionPolicy};
 pub use engine::{
-    Engine, EngineConfig, EngineError, InferenceResult, ModelHandle, ModelSpec, Priority, Request,
-    Ticket,
+    AdmissionSignal, Engine, EngineConfig, EngineError, InferenceResult, ModelHandle, ModelSpec,
+    Priority, Request, Ticket,
 };
 pub use shard::ShardSnapshot;
 pub use stats::{
-    DecodeStatsSnapshot, LatencyReservoir, PriorityClassStats, ServerStats, StatsSnapshot,
+    DecodeStatsSnapshot, IngressStatsSnapshot, LatencyReservoir, PriorityClassStats, ServerStats,
+    StatsSnapshot,
 };
 pub use store::ArtifactStore;

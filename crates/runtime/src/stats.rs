@@ -270,6 +270,7 @@ impl ServerStats {
             priorities,
             shards,
             decode: None,
+            ingress: None,
         }
     }
 }
@@ -341,6 +342,60 @@ impl DecodeStatsSnapshot {
             self.kv_blocks_peak,
             self.kv_evictions,
             self.recomputed_tokens,
+        )
+    }
+}
+
+/// Wire-level metrics of an attached network front-end (`hidet-server`),
+/// surfaced through [`StatsSnapshot::ingress`] when a source is registered
+/// with `Engine::attach_ingress_stats`.
+///
+/// Unlike the rest of the snapshot, the latencies here are **host
+/// wall-clock** seconds: wire-to-first-byte is measured from the kernel
+/// handing us the accepted connection to the first response byte written
+/// back — the quantity a remote client actually observes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IngressStatsSnapshot {
+    /// Connections accepted and enqueued onto an ingress lane.
+    pub accepted: usize,
+    /// Connections shed at the acceptor by the admission signal, before any
+    /// parsing (HTTP `429`).
+    pub shed_at_socket: usize,
+    /// Connections shed because every ingress ring was full (HTTP `429`).
+    pub shed_ring_full: usize,
+    /// Requests answered (any status, shed responses excluded).
+    pub served: usize,
+    /// Streaming generations cancelled because the client socket died.
+    pub streams_cancelled: usize,
+    /// Jobs currently queued across all ingress rings.
+    pub ring_depth: usize,
+    /// Total ring capacity across all lanes.
+    pub ring_capacity: usize,
+    /// CAS retries producers paid while enqueueing (contention gauge; the
+    /// enqueue path has no mutex to block on).
+    pub enqueue_cas_retries: usize,
+    /// Median wire-to-first-byte latency, host seconds.
+    pub wire_ttfb_p50_seconds: f64,
+    /// 95th-percentile wire-to-first-byte latency, host seconds.
+    pub wire_ttfb_p95_seconds: f64,
+}
+
+impl IngressStatsSnapshot {
+    /// Compact one-line rendering for logs and benches.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} accepted, {} served, {} cancelled streams | shed {} at socket, {} ring-full | \
+             ring {}/{} queued, {} CAS retries | wire ttfb p50 {:.1} us, p95 {:.1} us",
+            self.accepted,
+            self.served,
+            self.streams_cancelled,
+            self.shed_at_socket,
+            self.shed_ring_full,
+            self.ring_depth,
+            self.ring_capacity,
+            self.enqueue_cas_retries,
+            self.wire_ttfb_p50_seconds * 1e6,
+            self.wire_ttfb_p95_seconds * 1e6,
         )
     }
 }
@@ -430,6 +485,9 @@ pub struct StatsSnapshot {
     /// Token-level decode metrics, when a decode subsystem is attached
     /// (`Engine::attach_decode_stats`).
     pub decode: Option<DecodeStatsSnapshot>,
+    /// Wire-level ingress metrics, when a network front-end is attached
+    /// (`Engine::attach_ingress_stats`).
+    pub ingress: Option<IngressStatsSnapshot>,
 }
 
 impl StatsSnapshot {

@@ -121,6 +121,161 @@ pub fn json_f64(v: f64) -> String {
     }
 }
 
+/// Streaming JSON serializer: builds a document incrementally with comma and
+/// nesting management, reusing the same escape ([`json_string`]) and number
+/// ([`json_f64`]) rules as the rest of the workspace. Callers that render
+/// responses chunk-by-chunk (e.g. a network front-end emitting one object per
+/// token) use one `JsonWriter` per chunk instead of building a [`Json`] tree.
+///
+/// Misuse (a value with no pending key inside an object, `end` with nothing
+/// open, `finish` with containers still open) panics: the writer is driven by
+/// code, not input, so an unbalanced document is a caller bug.
+///
+/// ```
+/// use hidet_sched::json::JsonWriter;
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.key("model").string("mlp");
+/// w.key("latency_us").number(12.5);
+/// w.key("shards").begin_array().integer(0).integer(1).end();
+/// w.end();
+/// assert_eq!(w.finish(), r#"{"model":"mlp","latency_us":12.5,"shards":[0,1]}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One frame per open container.
+    stack: Vec<Frame>,
+    /// Inside an object, set between `key()` and the value that consumes it.
+    after_key: bool,
+}
+
+#[derive(Debug)]
+struct Frame {
+    is_object: bool,
+    has_items: bool,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    /// Emits the comma separator if the current container already has items.
+    fn before_value(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+            return;
+        }
+        if let Some(frame) = self.stack.last_mut() {
+            assert!(!frame.is_object, "JsonWriter: object value without a key()");
+            if frame.has_items {
+                self.out.push(',');
+            }
+            frame.has_items = true;
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) -> &mut JsonWriter {
+        self.before_value();
+        self.out.push('{');
+        self.stack.push(Frame {
+            is_object: true,
+            has_items: false,
+        });
+        self
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) -> &mut JsonWriter {
+        self.before_value();
+        self.out.push('[');
+        self.stack.push(Frame {
+            is_object: false,
+            has_items: false,
+        });
+        self
+    }
+
+    /// Closes the innermost open container.
+    pub fn end(&mut self) -> &mut JsonWriter {
+        assert!(
+            !self.after_key,
+            "JsonWriter: key with no value before end()"
+        );
+        match self.stack.pop() {
+            Some(frame) if frame.is_object => self.out.push('}'),
+            Some(_) => self.out.push(']'),
+            None => panic!("JsonWriter: end() with no open container"),
+        }
+        self
+    }
+
+    /// Emits an object key; the next value call becomes its value.
+    pub fn key(&mut self, name: &str) -> &mut JsonWriter {
+        assert!(!self.after_key, "JsonWriter: two keys in a row");
+        let frame = self
+            .stack
+            .last_mut()
+            .filter(|f| f.is_object)
+            .expect("JsonWriter: key() outside an object");
+        if frame.has_items {
+            self.out.push(',');
+        }
+        frame.has_items = true;
+        self.out.push_str(&json_string(name));
+        self.out.push(':');
+        self.after_key = true;
+        self
+    }
+
+    /// Emits a string value (escaped).
+    pub fn string(&mut self, v: &str) -> &mut JsonWriter {
+        self.before_value();
+        self.out.push_str(&json_string(v));
+        self
+    }
+
+    /// Emits a float value (keeps the `.0` on integral floats).
+    pub fn number(&mut self, v: f64) -> &mut JsonWriter {
+        self.before_value();
+        self.out.push_str(&json_f64(v));
+        self
+    }
+
+    /// Emits an integer value (no fraction).
+    pub fn integer(&mut self, v: i64) -> &mut JsonWriter {
+        self.before_value();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Emits a boolean value.
+    pub fn boolean(&mut self, v: bool) -> &mut JsonWriter {
+        self.before_value();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Emits `null`.
+    pub fn null(&mut self) -> &mut JsonWriter {
+        self.before_value();
+        self.out.push_str("null");
+        self
+    }
+
+    /// The finished document. Panics if containers are still open.
+    pub fn finish(self) -> String {
+        assert!(
+            self.stack.is_empty() && !self.after_key,
+            "JsonWriter: finish() with unbalanced document"
+        );
+        self.out
+    }
+}
+
 fn skip_ws(s: &[char], pos: &mut usize) {
     while *pos < s.len() && s[*pos].is_ascii_whitespace() {
         *pos += 1;
@@ -307,5 +462,65 @@ mod tests {
     fn float_rendering_keeps_fraction() {
         assert_eq!(json_f64(2.0), "2.0");
         assert_eq!(json_f64(2.5), "2.5");
+    }
+
+    #[test]
+    fn writer_builds_nested_documents_that_parse_back() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("name").string("he\"llo\n");
+        w.key("n").number(3.0);
+        w.key("flags").begin_array().boolean(true).null().end();
+        w.key("inner").begin_object().key("k").integer(-7).end();
+        w.end();
+        let text = w.finish();
+        let parsed = Json::parse(&text).unwrap();
+        let obj = parsed.as_object("top").unwrap();
+        assert_eq!(
+            get(obj, "name").unwrap().as_str("name").unwrap(),
+            "he\"llo\n"
+        );
+        assert_eq!(get(obj, "n").unwrap().as_f64("n").unwrap(), 3.0);
+        assert_eq!(
+            get(obj, "flags").unwrap().as_array("flags").unwrap().len(),
+            2
+        );
+        let inner = get(obj, "inner").unwrap().as_object("inner").unwrap();
+        assert_eq!(get(inner, "k").unwrap().as_i64("k").unwrap(), -7);
+        // Integral floats keep their fraction so readers see a number.
+        assert!(text.contains("\"n\":3.0"), "{text}");
+    }
+
+    #[test]
+    fn writer_handles_empty_containers_and_bare_scalars() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("xs").begin_array().end();
+        w.key("o").begin_object().end();
+        w.end();
+        assert_eq!(w.finish(), r#"{"xs":[],"o":{}}"#);
+
+        let mut scalar = JsonWriter::new();
+        scalar.string("brace } in { string");
+        assert_eq!(
+            Json::parse(&scalar.finish()).unwrap(),
+            Json::String("brace } in { string".to_string())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn writer_rejects_unbalanced_finish() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "without a key")]
+    fn writer_rejects_object_value_without_key() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.number(1.0);
     }
 }

@@ -1,0 +1,276 @@
+//! Hand-rolled HTTP/1.1 over `std::net`: request parsing, fixed responses
+//! and chunked streaming.
+//!
+//! Deliberately minimal — the subset the v2 API needs and nothing else:
+//! one request per connection (`Connection: close`), `Content-Length`
+//! bodies, `Transfer-Encoding: chunked` for token streams. No keep-alive,
+//! no pipelining, no TLS; the repo has no dependencies to hand those to,
+//! and the ingress design (one ring job per connection) is simplest when a
+//! connection is a request.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on the request head (request line + headers), bytes.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Hard cap on a request body, bytes.
+const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct HttpRequest {
+    /// Uppercase method, e.g. `POST`.
+    pub method: String,
+    /// Request target path, e.g. `/v2/infer` (query strings not split off).
+    pub path: String,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body, already length-delimited by `Content-Length`.
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First header with the given lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one request from the stream. `Ok(None)` means the peer closed
+/// before sending anything (a clean no-request connection).
+///
+/// # Errors
+/// I/O errors, malformed request lines, or heads/bodies past the caps
+/// (mapped onto `io::ErrorKind::InvalidData`).
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<HttpRequest>> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(i) = find_head_end(&buf) {
+            break i;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(invalid("request head too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            return Err(invalid("connection closed mid-head"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| invalid("head not utf-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or_else(|| invalid("empty request"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| invalid("missing method"))?
+        .to_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| invalid("missing path"))?
+        .to_string();
+    let version = parts.next().ok_or_else(|| invalid("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid("unsupported HTTP version"));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| invalid("bad header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse().map_err(|_| invalid("bad content-length")))
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(invalid("body too large"));
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(invalid("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Some(HttpRequest {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// The reason phrase for the status codes the v2 API emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete JSON response with `Connection: close`.
+pub fn write_json(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes the fixed shed response: `429` + `Retry-After`. Called on the
+/// acceptor path, before any parsing — the bytes are assembled without
+/// touching the request.
+pub fn write_shed(stream: &mut TcpStream, retry_after_seconds: u64) -> io::Result<()> {
+    let body = "{\"error\":\"overloaded\"}";
+    let head = format!(
+        "HTTP/1.1 429 Too Many Requests\r\nRetry-After: {retry_after_seconds}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    // Drain request bytes that already arrived, without blocking: closing a
+    // socket with unread data in its receive queue sends RST instead of
+    // FIN, which would throw away the very response just written.
+    let _ = stream.set_nonblocking(true);
+    let mut scratch = [0u8; 4096];
+    while matches!(stream.read(&mut scratch), Ok(n) if n > 0) {}
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    Ok(())
+}
+
+/// A `Transfer-Encoding: chunked` response in progress: one JSON document
+/// per chunk (newline-terminated), ended by the zero-length chunk.
+/// Writes are blocking — a slow or stalled client backpressures the
+/// producer through the socket buffer.
+#[derive(Debug)]
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Sends the response head and returns the writer.
+    pub fn begin(stream: &'a mut TcpStream, status: u16) -> io::Result<ChunkedWriter<'a>> {
+        let head = format!(
+            "HTTP/1.1 {status} {}\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            reason(status),
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Writes one line as one chunk (the newline is appended here).
+    pub fn chunk_line(&mut self, line: &str) -> io::Result<()> {
+        let payload_len = line.len() + 1;
+        write!(self.stream, "{payload_len:x}\r\n{line}\n\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Writes the terminating zero-length chunk.
+    pub fn finish(self) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::thread;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = thread::spawn(move || TcpStream::connect(addr).unwrap());
+        let (server, _) = listener.accept().unwrap();
+        (client.join().unwrap(), server)
+    }
+
+    #[test]
+    fn parses_a_request_with_body() {
+        let (mut client, mut server) = pair();
+        client
+            .write_all(
+                b"POST /v2/infer HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\nhello world",
+            )
+            .unwrap();
+        let req = read_request(&mut server).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v2/infer");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"hello world");
+    }
+
+    #[test]
+    fn clean_close_yields_none() {
+        let (client, mut server) = pair();
+        drop(client);
+        assert!(read_request(&mut server).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_request_line() {
+        let (mut client, mut server) = pair();
+        client.write_all(b"NOT-HTTP\r\n\r\n").unwrap();
+        assert!(read_request(&mut server).is_err());
+    }
+
+    #[test]
+    fn chunked_stream_is_parseable() {
+        let (mut client, mut server) = pair();
+        let writer = thread::spawn(move || {
+            let mut w = ChunkedWriter::begin(&mut server, 200).unwrap();
+            w.chunk_line("{\"a\":1}").unwrap();
+            w.chunk_line("{\"b\":2}").unwrap();
+            w.finish().unwrap();
+            // `server` drops here, closing the socket so the client sees EOF.
+        });
+        let mut text = String::new();
+        client.read_to_string(&mut text).unwrap();
+        writer.join().unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked"), "{text}");
+        assert!(text.contains("{\"a\":1}\n"), "{text}");
+        assert!(text.contains("{\"b\":2}\n"), "{text}");
+        assert!(text.ends_with("0\r\n\r\n"), "{text}");
+    }
+}

@@ -1,0 +1,378 @@
+//! End-to-end tests over real TCP sockets: register → infer → streamed
+//! generate, socket-level shedding, and error mapping.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hidet_decode::{DecodeConfig, DecodeEngine};
+use hidet_runtime::{AdmissionSignal, Engine, EngineConfig};
+use hidet_sched::json::{get, Json};
+use hidet_server::{HidetServer, ServerConfig};
+
+fn engines() -> (Arc<Engine>, Arc<DecodeEngine>) {
+    let engine = Arc::new(Engine::new(EngineConfig::quick()).unwrap());
+    let decode = Arc::new(DecodeEngine::new(DecodeConfig {
+        max_batch: 2,
+        kv_blocks: 64,
+        block_tokens: 4,
+        ..DecodeConfig::default()
+    }));
+    (engine, decode)
+}
+
+/// One round-trip request; returns (status, headers, body text).
+fn roundtrip(addr: SocketAddr, request: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    // Read until EOF, tolerating a reset after data arrived (a shed
+    // response followed by an abortive close can race the client's read).
+    let mut bytes = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => bytes.extend_from_slice(&chunk[..n]),
+            Err(_) if !bytes.is_empty() => break,
+            Err(e) => panic!("read failed before any data: {e}"),
+        }
+    }
+    let response = String::from_utf8_lossy(&bytes).into_owned();
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .unwrap_or((response.as_str(), ""));
+    let status: u16 = head
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .and_then(|code| code.parse().ok())
+        .unwrap_or(0);
+    (status, head.to_string(), body.to_string())
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String, String) {
+    roundtrip(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn json_body(body: &str) -> Json {
+    Json::parse(body).unwrap_or_else(|e| panic!("bad json {body:?}: {e}"))
+}
+
+/// Reassembles a chunked body into its payload lines.
+fn dechunk(body: &str) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut rest = body;
+    while let Some((size_line, tail)) = rest.split_once("\r\n") {
+        let size = usize::from_str_radix(size_line.trim(), 16).unwrap_or(0);
+        if size == 0 {
+            break;
+        }
+        let payload = &tail[..size];
+        lines.extend(payload.lines().map(str::to_string));
+        rest = tail[size..].trim_start_matches("\r\n");
+    }
+    lines
+}
+
+#[test]
+fn register_infer_and_generate_over_tcp() {
+    let (engine, decode) = engines();
+    let server = HidetServer::start(
+        ServerConfig::default(),
+        Arc::clone(&engine),
+        Arc::clone(&decode),
+    )
+    .unwrap();
+    let addr = server.public_addr();
+
+    // Register a one-shot MLP and a decode transformer.
+    let (status, _, body) = post(
+        addr,
+        "/v2/models",
+        r#"{"name":"head","family":"mlp","input_dim":16,"hidden_dim":8,"output_dim":4}"#,
+    );
+    assert_eq!(status, 201, "{body}");
+    let parsed = json_body(&body);
+    let obj = parsed.as_object("register").unwrap();
+    assert_eq!(get(obj, "kind").unwrap().as_str("kind").unwrap(), "infer");
+
+    let (status, _, body) = post(
+        addr,
+        "/v2/models",
+        r#"{"name":"chat","family":"transformer-decode","layers":1,"hidden":16,"heads":2,"vocab":16,"max_context":64}"#,
+    );
+    assert_eq!(status, 201, "{body}");
+
+    // Infer: outputs come back with the right shape and priority.
+    let inputs: Vec<String> = (0..16).map(|i| format!("{}.0", i % 3)).collect();
+    let (status, _, body) = post(
+        addr,
+        "/v2/infer",
+        &format!(
+            r#"{{"model":"head","inputs":[[{}]],"priority":"high"}}"#,
+            inputs.join(",")
+        ),
+    );
+    assert_eq!(status, 200, "{body}");
+    let parsed = json_body(&body);
+    let obj = parsed.as_object("infer").unwrap();
+    let outputs = get(obj, "outputs").unwrap().as_array("outputs").unwrap();
+    assert_eq!(outputs.len(), 1);
+    assert_eq!(outputs[0].as_array("row").unwrap().len(), 4);
+    assert_eq!(get(obj, "priority").unwrap().as_str("p").unwrap(), "high");
+
+    // Generate: a chunked ndjson stream, one token per line, then done.
+    let (status, head, body) = post(
+        addr,
+        "/v2/generate",
+        r#"{"model":"chat","prompt":[3,1,4],"max_tokens":5}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(head.contains("Transfer-Encoding: chunked"), "{head}");
+    let lines = dechunk(&body);
+    assert_eq!(lines.len(), 6, "5 tokens + done line: {lines:?}");
+    for (i, line) in lines[..5].iter().enumerate() {
+        let parsed = json_body(line);
+        let obj = parsed.as_object("token").unwrap();
+        assert_eq!(get(obj, "index").unwrap().as_i64("i").unwrap(), i as i64);
+    }
+    let done = json_body(&lines[5]);
+    let obj = done.as_object("done").unwrap();
+    assert_eq!(get(obj, "tokens").unwrap().as_i64("t").unwrap(), 5);
+
+    // Stats: ingress section reflects the traffic, and the engine snapshot
+    // carries it too (the server attached its source).
+    let (status, _, body) = roundtrip(addr, "GET /v2/stats HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200, "{body}");
+    let parsed = json_body(&body);
+    let obj = parsed.as_object("stats").unwrap();
+    let ingress = get(obj, "ingress").unwrap().as_object("ingress").unwrap();
+    assert!(get(ingress, "served").unwrap().as_i64("served").unwrap() >= 4);
+    assert_eq!(
+        get(ingress, "shed_at_socket")
+            .unwrap()
+            .as_i64("shed")
+            .unwrap(),
+        0
+    );
+    let snapshot = engine.stats();
+    assert!(snapshot.ingress.is_some());
+    assert!(snapshot.ingress.unwrap().wire_ttfb_p95_seconds > 0.0);
+}
+
+#[test]
+fn error_paths_map_to_statuses() {
+    let (engine, decode) = engines();
+    let server = HidetServer::start(ServerConfig::default(), engine, decode).unwrap();
+    let addr = server.public_addr();
+
+    // Unknown route and wrong method.
+    let (status, _, _) = roundtrip(addr, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 404);
+    let (status, _, _) = roundtrip(addr, "GET /v2/infer HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 405);
+
+    // Malformed JSON body.
+    let (status, _, _) = post(addr, "/v2/infer", "not json");
+    assert_eq!(status, 400);
+
+    // Unknown model.
+    let (status, _, body) = post(addr, "/v2/infer", r#"{"model":"ghost","inputs":[[1.0]]}"#);
+    assert_eq!(status, 404, "{body}");
+    let (status, _, body) = post(
+        addr,
+        "/v2/generate",
+        r#"{"model":"ghost","prompt":[1],"max_tokens":2}"#,
+    );
+    assert_eq!(status, 404, "{body}");
+
+    // Unknown family and duplicate registration.
+    let (status, _, _) = post(addr, "/v2/models", r#"{"name":"x","family":"nope"}"#);
+    assert_eq!(status, 400);
+    let (status, _, _) = post(
+        addr,
+        "/v2/models",
+        r#"{"name":"m","family":"mlp","input_dim":4}"#,
+    );
+    assert_eq!(status, 201);
+    let (status, _, body) = post(
+        addr,
+        "/v2/models",
+        r#"{"name":"m","family":"mlp","input_dim":4}"#,
+    );
+    assert_eq!(status, 400, "{body}");
+
+    // Wrong engine for the model.
+    let (status, _, body) = post(
+        addr,
+        "/v2/generate",
+        r#"{"model":"m","prompt":[1],"max_tokens":2}"#,
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("/v2/infer"), "{body}");
+
+    // A decode request that violates the context window: 400, not a stream.
+    let (status, _, _) = post(
+        addr,
+        "/v2/models",
+        r#"{"name":"chat","family":"transformer-decode","max_context":8}"#,
+    );
+    assert_eq!(status, 201);
+    let (status, _, body) = post(
+        addr,
+        "/v2/generate",
+        r#"{"model":"chat","prompt":[1,2],"max_tokens":50}"#,
+    );
+    assert_eq!(status, 400, "{body}");
+}
+
+/// A fake admission signal the test flips between idle and overloaded.
+struct FixedDelay(std::sync::atomic::AtomicU64);
+
+impl AdmissionSignal for FixedDelay {
+    fn estimated_queue_delay_seconds(&self) -> f64 {
+        f64::from_bits(self.0.load(std::sync::atomic::Ordering::Relaxed))
+    }
+}
+
+#[test]
+fn overload_sheds_at_the_socket_with_retry_after_but_spares_priority() {
+    let (engine, decode) = engines();
+    let signal = Arc::new(FixedDelay(std::sync::atomic::AtomicU64::new(
+        0f64.to_bits(),
+    )));
+    let server = HidetServer::start_with_signal(
+        ServerConfig {
+            shed_delay_bound: Some(Duration::from_millis(10)),
+            signal_interval: Duration::from_micros(200),
+            ..ServerConfig::default()
+        },
+        Arc::clone(&engine),
+        decode,
+        Arc::clone(&signal) as Arc<dyn AdmissionSignal>,
+    )
+    .unwrap();
+
+    // Idle: both listeners admit.
+    let (status, _, _) = post(
+        server.public_addr(),
+        "/v2/models",
+        r#"{"name":"m","family":"mlp","input_dim":4}"#,
+    );
+    assert_eq!(status, 201);
+
+    // Overloaded past best-effort slack (1×bound) but inside high slack
+    // (4×bound): the public listener sheds before parsing, the priority
+    // listener still serves.
+    signal
+        .0
+        .store(0.020f64.to_bits(), std::sync::atomic::Ordering::Relaxed);
+    std::thread::sleep(Duration::from_millis(20)); // sampler refresh
+
+    let (status, head, body) = post(
+        server.public_addr(),
+        "/v2/infer",
+        r#"{"model":"m","inputs":[[1.0,1.0,1.0,1.0]]}"#,
+    );
+    assert_eq!(status, 429, "{body}");
+    assert!(head.contains("Retry-After:"), "{head}");
+    assert!(body.contains("overloaded"), "{body}");
+
+    let (status, _, body) = post(
+        server.priority_addr(),
+        "/v2/infer",
+        r#"{"model":"m","inputs":[[1.0,1.0,1.0,1.0]],"priority":"high"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+
+    let stats = server.ingress_stats();
+    assert!(stats.shed_at_socket >= 1, "{}", stats.summary());
+
+    // Past even the high slack: the priority listener sheds too.
+    signal
+        .0
+        .store(1.0f64.to_bits(), std::sync::atomic::Ordering::Relaxed);
+    std::thread::sleep(Duration::from_millis(20));
+    let (status, _, _) = post(
+        server.priority_addr(),
+        "/v2/infer",
+        r#"{"model":"m","inputs":[[1.0,1.0,1.0,1.0]]}"#,
+    );
+    assert_eq!(status, 429);
+}
+
+#[test]
+fn dropped_generate_connection_frees_kv_blocks() {
+    let (engine, _) = engines();
+    // Paused decode engine: the session queues, the client vanishes, and
+    // only then does the engine run — the first token send fails, the
+    // server drops the session, and its KV blocks come back.
+    let decode = Arc::new(DecodeEngine::new(DecodeConfig {
+        max_batch: 2,
+        kv_blocks: 64,
+        block_tokens: 4,
+        start_paused: true,
+        ..DecodeConfig::default()
+    }));
+    let server = HidetServer::start(ServerConfig::default(), engine, Arc::clone(&decode)).unwrap();
+    let addr = server.public_addr();
+
+    let (status, _, _) = post(
+        addr,
+        "/v2/models",
+        r#"{"name":"chat","family":"transformer-decode","max_context":64}"#,
+    );
+    assert_eq!(status, 201);
+
+    // Open a generate request and slam the connection shut immediately.
+    let body = r#"{"model":"chat","prompt":[3],"max_tokens":40}"#;
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(
+            format!(
+                "POST /v2/generate HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    // Give the lane time to park the session on the paused engine, then
+    // drop the socket before any token exists.
+    std::thread::sleep(Duration::from_millis(100));
+    drop(stream);
+    std::thread::sleep(Duration::from_millis(50));
+    decode.resume();
+
+    // The server notices the dead socket (either at the pending probe or at
+    // the first failed write) and drops the session; KV drains to zero well
+    // before 40 tokens' worth of steps.
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    loop {
+        let stats = decode.stats();
+        if stats.steps > 0 && stats.kv_blocks_in_use == 0 {
+            assert!(
+                stats.tokens_generated < 40,
+                "generation should stop early, got {}",
+                stats.tokens_generated
+            );
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "kv blocks never freed: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let ingress = server.ingress_stats();
+    assert!(ingress.streams_cancelled >= 1, "{}", ingress.summary());
+}

@@ -1,0 +1,115 @@
+//! Serving over the network with `hidet-server` — a tour of the v2 HTTP
+//! API (README §"Serving over the network").
+//!
+//! Starts the front-end on two loopback listeners, then speaks plain
+//! HTTP/1.1 to it the way `curl` would: register a model, run an
+//! inference, stream a generation chunk by chunk, and read the stats.
+//!
+//! ```text
+//! cargo run --release --example http_serving
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use hidet_repro::decode::{DecodeConfig, DecodeEngine};
+use hidet_repro::runtime::{Engine, EngineConfig};
+use hidet_repro::server::{HidetServer, ServerConfig};
+
+/// One request → full response text, like `curl -i`.
+fn http(addr: SocketAddr, request: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("write");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    response
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> String {
+    http(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: demo\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn body_of(response: &str) -> &str {
+    response.split_once("\r\n\r\n").map_or("", |(_, b)| b)
+}
+
+fn main() {
+    // 1. The engines: one-shot serving + autoregressive decode. The server
+    //    bridges both behind one API.
+    let engine = Arc::new(Engine::new(EngineConfig::quick()).expect("engine starts"));
+    let decode = Arc::new(DecodeEngine::new(DecodeConfig {
+        max_batch: 2,
+        kv_blocks: 64,
+        block_tokens: 4,
+        ..DecodeConfig::default()
+    }));
+
+    // 2. The front-end: two loopback listeners (priority + public), a
+    //    lock-free ingress ring per lane, shedding disabled for the demo
+    //    (`shed_delay_bound: None`).
+    let server =
+        HidetServer::start(ServerConfig::default(), engine, decode).expect("server starts");
+    let addr = server.public_addr();
+    println!(
+        "serving on http://{addr}  (priority listener: {})",
+        server.priority_addr()
+    );
+    println!("try it from a shell:");
+    println!("  curl -s http://{addr}/v2/stats");
+    println!();
+
+    // 3. Register models over the wire.
+    //    curl -X POST http://.../v2/models -d '{{"name":"head","family":"mlp",...}}'
+    let response = post(
+        addr,
+        "/v2/models",
+        r#"{"name":"head","family":"mlp","input_dim":16,"hidden_dim":32,"output_dim":4}"#,
+    );
+    println!("register mlp     -> {}", body_of(&response));
+    let response = post(
+        addr,
+        "/v2/models",
+        r#"{"name":"chat","family":"transformer-decode","layers":1,"hidden":16,"heads":2,"vocab":16,"max_context":32}"#,
+    );
+    println!("register decoder -> {}", body_of(&response));
+
+    // 4. One-shot inference; priority and timeout ride in the body.
+    let inputs: Vec<String> = (0..16).map(|i| format!("{}.25", i % 4)).collect();
+    let response = post(
+        addr,
+        "/v2/infer",
+        &format!(
+            r#"{{"model":"head","inputs":[[{}]],"priority":"high"}}"#,
+            inputs.join(",")
+        ),
+    );
+    println!("infer            -> {}", body_of(&response));
+
+    // 5. Streamed generation: `Transfer-Encoding: chunked`, one JSON line
+    //    per token — the first chunk arrives while later tokens are still
+    //    being decoded.
+    let response = post(
+        addr,
+        "/v2/generate",
+        r#"{"model":"chat","prompt":[3,1,4],"max_tokens":6}"#,
+    );
+    println!("generate stream  ->");
+    for line in body_of(&response).lines() {
+        let line = line.trim_matches('\r');
+        if line.starts_with('{') {
+            println!("  {line}");
+        }
+    }
+
+    // 6. Stats: the engine snapshot plus the ingress section (accepted /
+    //    shed / served counters, ring depth, wire-TTFB percentiles).
+    let response = http(addr, "GET /v2/stats HTTP/1.1\r\nHost: demo\r\n\r\n");
+    println!("stats            -> {}", body_of(&response));
+}

@@ -11,5 +11,6 @@ pub use hidet_graph as graph;
 pub use hidet_ir as ir;
 pub use hidet_runtime as runtime;
 pub use hidet_sched as sched;
+pub use hidet_server as server;
 pub use hidet_sim as sim;
 pub use hidet_taskmap as taskmap;
