@@ -1,5 +1,6 @@
 //! Autoregressive-decode benchmark: continuous (iteration-level) batching
-//! vs. static pad-to-max batching on a mixed-length generation workload.
+//! vs. static pad-to-max batching on a mixed-length generation workload,
+//! plus a long-prompt phase measuring chunked prefill's time-to-first-token.
 //!
 //! Demonstrates the acceptance criteria of the decode subsystem:
 //!
@@ -11,11 +12,16 @@
 //!    token streams for every session (the fixed-shape step graph computes
 //!    each batch row independently);
 //! 3. KV blocks are fully recycled — zero blocks in use once the workload
-//!    drains.
+//!    drains;
+//! 4. **chunked prefill cuts long-prompt TTFT ≥2×** (asserted at ≤0.5×
+//!    token-wise) while the short sessions sharing the batch keep their
+//!    inter-token latency p95 within 20% — the interleaving budget bounds
+//!    the prefill bubble.
 //!
 //! Emits its metrics as the `serving_decode` section of
-//! `BENCH_serving.json`; `*_tokens_per_s` is gated higher-is-better by
-//! `bench_compare` alongside the serving `*_rps` class.
+//! `BENCH_serving.json`; `*_tokens_per_s` is gated higher-is-better and
+//! `*_ttft_p95_us` lower-is-better by `bench_compare` alongside the serving
+//! `*_rps` class.
 //!
 //! ```text
 //! cargo run --release -p hidet-bench --bin serving_decode -- --groups 4
@@ -25,7 +31,9 @@ use std::path::PathBuf;
 
 use hidet_bench::report::{upsert_section, BenchSection};
 use hidet_bench::{arg_str, arg_usize, print_table};
-use hidet_decode::{BatchingMode, DecodeConfig, DecodeEngine, DecodeModelSpec, GenerateRequest};
+use hidet_decode::{
+    BatchingMode, DecodeConfig, DecodeEngine, DecodeModelSpec, GenerateRequest, Generation,
+};
 use hidet_runtime::DecodeStatsSnapshot;
 
 /// The served model: a 2-layer pre-LN transformer, hidden 32, 2 heads,
@@ -76,8 +84,65 @@ fn run_mode(mode: BatchingMode, groups: usize) -> (Vec<Vec<u32>>, DecodeStatsSna
     (tokens, engine.stats())
 }
 
+/// The long-prompt model: 1 layer, hidden 16, 2 heads, vocabulary 32, and a
+/// context window fitting a 512-token prompt plus its completion — sized so
+/// the token-wise baseline (one scheduler step per prompt token) stays
+/// interpretable in minutes while the TTFT gap is structural, not tuned.
+fn long_spec(long_prompt: usize) -> DecodeModelSpec {
+    let mc = (long_prompt + 8) as i64;
+    DecodeModelSpec::transformer("long_decode", 1, 16, 2, 32, mc)
+}
+
+/// The long-prompt mix of the TTFT phase: per group, three short chats
+/// (2-token prompts, 60 generated tokens — the ITL-p95 population) and one
+/// `long_prompt`-token completion.
+fn long_workload(groups: usize, long_prompt: usize) -> Vec<(Vec<u32>, usize)> {
+    let mut out = Vec::new();
+    for g in 0..groups as u32 {
+        out.push((vec![g % 32, 5], 60));
+        out.push((vec![(g + 7) % 32, 11], 60));
+        out.push((vec![(g + 13) % 32, 17], 60));
+        let long: Vec<u32> = (0..long_prompt as u32).map(|i| (i * 7 + g) % 32).collect();
+        out.push((long, 8));
+    }
+    out
+}
+
+/// Runs the long-prompt mix with the given chunk menu (empty = token-wise)
+/// and returns the token streams plus decode stats.
+fn run_long(
+    menu: Vec<usize>,
+    groups: usize,
+    long_prompt: usize,
+) -> (Vec<Generation>, DecodeStatsSnapshot) {
+    let engine = DecodeEngine::new(DecodeConfig {
+        max_batch: 4,
+        kv_blocks: 256,
+        block_tokens: 8,
+        chunk_menu: menu,
+        prefill_token_budget: 256,
+        mode: BatchingMode::Continuous,
+        start_paused: true,
+        ..DecodeConfig::default()
+    });
+    let model = engine
+        .register(long_spec(long_prompt))
+        .expect("long-prompt model registers");
+    let sessions: Vec<_> = long_workload(groups, long_prompt)
+        .into_iter()
+        .map(|(prompt, max_tokens)| model.generate(GenerateRequest::new(prompt, max_tokens)))
+        .collect();
+    engine.resume();
+    let generations: Vec<Generation> = sessions
+        .into_iter()
+        .map(|session| session.collect().expect("session completes"))
+        .collect();
+    (generations, engine.stats())
+}
+
 fn main() {
     let groups = arg_usize("--groups", 4);
+    let long_prompt = arg_usize("--long-prompt", 512);
     let bench_json = PathBuf::from(arg_str("--bench-json", "BENCH_serving.json"));
     let sequences = groups * 4;
     println!("=== hidet-decode: continuous vs static batching ===");
@@ -137,6 +202,74 @@ fn main() {
         "every session completes"
     );
 
+    // --- 4. the long-prompt TTFT phase: chunked prefill vs token-wise ------
+    println!(
+        "\n=== long-prompt mix: chunked prefill vs token-wise absorption ===\n\
+         (3 short chats : 1 x {long_prompt}-token prompt, chunk menu [16, 64, 256], \
+         prefill budget 256 tokens/iteration)\n"
+    );
+    let (chunked_gens, chunked) = run_long(vec![16, 64, 256], 1, long_prompt);
+    let (tokenwise_gens, tokenwise) = run_long(vec![], 1, long_prompt);
+
+    // Chunking must be invisible: bit-identical streams either way.
+    let streams = |gens: &[Generation]| gens.iter().map(|g| g.tokens.clone()).collect::<Vec<_>>();
+    assert_eq!(
+        streams(&chunked_gens),
+        streams(&tokenwise_gens),
+        "chunked prefill must emit bit-identical token streams"
+    );
+
+    // The long session is every 4th of the mix; its TTFT is the headline.
+    let long_ttft = |gens: &[Generation]| {
+        gens.iter()
+            .skip(3)
+            .step_by(4)
+            .map(|g| g.ttft_from_admission_seconds)
+            .fold(0.0f64, f64::max)
+    };
+    let chunked_ttft = long_ttft(&chunked_gens);
+    let tokenwise_ttft = long_ttft(&tokenwise_gens);
+    let row = |name: &str, ttft: f64, s: &DecodeStatsSnapshot| {
+        vec![
+            name.to_string(),
+            format!("{:.1}", ttft * 1e6),
+            format!("{:.1}", s.itl_p95_seconds * 1e6),
+            format!("{}", s.prefill_passes),
+            format!("{:.0}", s.prefill_tokens_per_second),
+            format!("{:.0}%", s.prefill_interleave_occupancy * 100.0),
+        ]
+    };
+    print_table(
+        &[
+            "prefill",
+            "long ttft p95(us)",
+            "itl p95(us)",
+            "passes",
+            "prefill tok/s",
+            "interleaved",
+        ],
+        &[
+            row("chunked", chunked_ttft, &chunked),
+            row("token-wise", tokenwise_ttft, &tokenwise),
+        ],
+    );
+    let ttft_speedup = tokenwise_ttft / chunked_ttft;
+    let itl_ratio = chunked.itl_p95_seconds / tokenwise.itl_p95_seconds;
+    println!(
+        "\nlong-prompt TTFT: {ttft_speedup:.1}x faster chunked; \
+         short-session ITL p95 ratio {itl_ratio:.2}x"
+    );
+    assert!(
+        chunked_ttft <= 0.5 * tokenwise_ttft,
+        "chunked TTFT must be <= 0.5x token-wise on {long_prompt}-token prompts, \
+         got {chunked_ttft:.6}s vs {tokenwise_ttft:.6}s"
+    );
+    assert!(
+        itl_ratio < 1.2,
+        "short-session ITL p95 must regress < 20%, got {itl_ratio:.2}x"
+    );
+    assert_eq!(chunked.kv_blocks_in_use, 0, "long mix leaked KV blocks");
+
     // --- perf-trajectory artifact -----------------------------------------
     let section = BenchSection::new("serving_decode")
         .field_usize("sequences", sequences)
@@ -149,7 +282,17 @@ fn main() {
         .field_f64("itl_p95_us", cont.itl_p95_seconds * 1e6)
         .field_usize("steps_continuous", cont.steps)
         .field_usize("steps_static", stat.steps)
-        .field_usize("kv_blocks_peak", cont.kv_blocks_peak);
+        .field_usize("kv_blocks_peak", cont.kv_blocks_peak)
+        .field_f64("long_prompt_ttft_p95_us", chunked_ttft * 1e6)
+        .field_f64("long_prompt_tokenwise_ttft_us", tokenwise_ttft * 1e6)
+        .field_f64("long_prompt_ttft_speedup", ttft_speedup)
+        .field_f64("long_mix_itl_p95_us", chunked.itl_p95_seconds * 1e6)
+        .field_f64("prefill_tokens_per_s", chunked.prefill_tokens_per_second)
+        .field_f64(
+            "prefill_interleave_occupancy",
+            chunked.prefill_interleave_occupancy,
+        )
+        .field_usize("prefill_passes", chunked.prefill_passes);
     upsert_section(&bench_json, &section).expect("write bench json");
     println!(
         "\nwrote section \"serving_decode\" to {}",

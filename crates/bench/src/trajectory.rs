@@ -133,10 +133,20 @@ enum Direction {
 /// the lower-is-better class so compile-latency and planner regressions
 /// fail CI like serving-latency ones do; `*_tokens_per_s` (the decode
 /// subsystem's throughput) is higher-is-better alongside `*_rps`.
+///
+/// `*_ttft_p95_us` — time-to-first-token, the chunked-prefill headline — is
+/// matched explicitly even though the generic `p95_us` suffix already
+/// covers it: the class is load-bearing (a >20% TTFT growth fails CI), and
+/// the explicit arm keeps it gated even if the generic latency suffix is
+/// ever narrowed.
 fn classify(metric: &str) -> Option<Direction> {
     if metric.ends_with("_rps") || metric.ends_with("_tokens_per_s") {
         Some(Direction::HigherIsBetter)
-    } else if metric.ends_with("p95_us") || metric.ends_with("_ms") || metric.ends_with("_bytes") {
+    } else if metric.ends_with("_ttft_p95_us")
+        || metric.ends_with("p95_us")
+        || metric.ends_with("_ms")
+        || metric.ends_with("_bytes")
+    {
         Some(Direction::LowerIsBetter)
     } else {
         None
@@ -275,6 +285,50 @@ mod tests {
         let current = baseline.replace("\"speedup\": 2.5", "\"speedup\": 1.0");
         let comparisons = compare_reports(baseline, &current, &Thresholds::default()).unwrap();
         assert!(comparisons.iter().all(|c| c.metric != "speedup"));
+    }
+
+    #[test]
+    fn ttft_p95_is_gated_lower_is_better() {
+        // The chunked-prefill headline metric: >20% TTFT growth fails CI,
+        // improvement and sub-threshold growth pass, and the informational
+        // companions (raw token-wise TTFT, speedup ratio) stay ungated.
+        let baseline = r#"{
+          "serving_decode": {"long_prompt_ttft_p95_us": 1000.0,
+                             "long_prompt_tokenwise_ttft_us": 9000.0,
+                             "long_prompt_ttft_speedup": 9.0}
+        }"#;
+        let current = baseline.replace(
+            "\"long_prompt_ttft_p95_us\": 1000.0",
+            "\"long_prompt_ttft_p95_us\": 1250.0",
+        );
+        let comparisons = compare_reports(baseline, &current, &Thresholds::default()).unwrap();
+        let ttft = comparisons
+            .iter()
+            .find(|c| c.metric == "long_prompt_ttft_p95_us")
+            .unwrap();
+        assert!(ttft.regression, "{ttft:?}");
+        // 15% growth stays inside the budget; a 2x improvement passes.
+        for to in ["1150.0", "500.0"] {
+            let current = baseline.replace(
+                "\"long_prompt_ttft_p95_us\": 1000.0",
+                &format!("\"long_prompt_ttft_p95_us\": {to}"),
+            );
+            let comparisons = compare_reports(baseline, &current, &Thresholds::default()).unwrap();
+            assert!(comparisons.iter().all(|c| !c.regression), "{to}");
+        }
+        // The raw token-wise anchor (no `p95_us` suffix) and the speedup
+        // ratio never gate, even when they collapse.
+        let current = baseline
+            .replace(
+                "\"long_prompt_tokenwise_ttft_us\": 9000.0",
+                "\"long_prompt_tokenwise_ttft_us\": 90000.0",
+            )
+            .replace(
+                "\"long_prompt_ttft_speedup\": 9.0",
+                "\"long_prompt_ttft_speedup\": 1.0",
+            );
+        let comparisons = compare_reports(baseline, &current, &Thresholds::default()).unwrap();
+        assert!(comparisons.iter().all(|c| !c.regression));
     }
 
     #[test]

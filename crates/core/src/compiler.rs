@@ -10,8 +10,8 @@ use hidet_graph::passes::{constant_fold, lower_convs, partition};
 use hidet_graph::{Graph, OpKind, TensorId};
 use hidet_sched::fusion::{compile_group, CompiledGroup, GroupSchedule};
 use hidet_sched::{
-    pick_reduce_config, try_tune_matmul_with, MatmulConfig, MatmulProblem, TunerPolicy,
-    TuningCache, TuningRecord,
+    pick_reduce_config, try_tune_matmul_with, MatmulConfig, MatmulProblem, ReduceConfig,
+    TunerPolicy, TuningCache, TuningRecord,
 };
 use hidet_sim::{DeviceMemory, Gpu, SimError};
 
@@ -73,6 +73,17 @@ pub struct CompilerOptions {
     pub disable_double_buffering: bool,
     /// Force parallel-k off (ablation studies).
     pub disable_parallel_k: bool,
+    /// Force every reduction onto schedules whose floating-point
+    /// accumulation order depends only on element *indices*, never on the
+    /// reduced length: row reductions (softmax, layer norm, pooling) run
+    /// sequentially per row (`threads_per_row = 1`) and matmul split-K is
+    /// clamped to 1. Slower for long rows, but two graphs that compute the
+    /// same values over different paddings produce **bit-identical** results
+    /// — the property the decode engine's chunked-prefill path is built on
+    /// (a cooperative tree reduction regroups terms by row length, so the
+    /// same mathematical sum can round differently between a decode-step row
+    /// and a prefill-chunk row).
+    pub order_stable_reductions: bool,
     /// Shared tuning-record store. When set (and `tune` is on), previously
     /// tuned problems are scheduled from their records with **zero** trials,
     /// and fresh tuning results are written back — the hook the serving
@@ -100,6 +111,7 @@ impl CompilerOptions {
             tune: true,
             disable_double_buffering: false,
             disable_parallel_k: false,
+            order_stable_reductions: false,
             tuning_cache: None,
             measure_top_k: Some(DEFAULT_MEASURE_TOP_K),
             compile_workers: 0,
@@ -121,6 +133,14 @@ impl CompilerOptions {
             tune: false,
             ..CompilerOptions::tuned()
         }
+    }
+
+    /// Turns on [`CompilerOptions::order_stable_reductions`]: every
+    /// reduction accumulates in pure index order, so differently padded
+    /// graphs computing the same values produce bit-identical outputs.
+    pub fn order_stable(mut self) -> CompilerOptions {
+        self.order_stable_reductions = true;
+        self
     }
 
     /// Attaches a shared tuning-record store.
@@ -159,6 +179,7 @@ impl CompilerOptions {
         (self.tune as u64)
             | (self.disable_double_buffering as u64) << 1
             | (self.disable_parallel_k as u64) << 2
+            | (self.order_stable_reductions as u64) << 3
             | (self.measure_top_k.map_or(0, |k| k as u64 + 1) & 0xffff_ffff) << 8
     }
 
@@ -184,6 +205,7 @@ impl PartialEq for CompilerOptions {
         self.tune == other.tune
             && self.disable_double_buffering == other.disable_double_buffering
             && self.disable_parallel_k == other.disable_parallel_k
+            && self.order_stable_reductions == other.order_stable_reductions
             && self.measure_top_k == other.measure_top_k
             && caches_match
     }
@@ -532,6 +554,19 @@ fn compile_one_group(
 ) -> Result<GroupOutcome, CompileError> {
     let mut schedule = GroupSchedule::default();
     let mut cost = TuneCost::None;
+    // Order-stable mode overrides the row-reduce heuristic: a sequential
+    // per-row pass accumulates in pure index order, so the result is
+    // independent of how much masked padding the row carries.
+    let reduce_for = |rows: i64, len: i64| {
+        if options.order_stable_reductions {
+            ReduceConfig {
+                threads_per_row: 1,
+                block_threads: 256,
+            }
+        } else {
+            pick_reduce_config(rows, len, gpu)
+        }
+    };
     if let Some(anchor) = group.anchor {
         let op = g.op(anchor);
         match &op.kind {
@@ -550,19 +585,19 @@ fn compile_one_group(
                 let shape = g.tensor(op.inputs[0]).shape();
                 let len = shape[*axis];
                 let rows: i64 = shape.iter().product::<i64>() / len;
-                schedule.reduce = pick_reduce_config(rows, len, gpu);
+                schedule.reduce = reduce_for(rows, len);
             }
             OpKind::LayerNorm => {
                 let shape = g.tensor(op.inputs[0]).shape();
                 let len = *shape.last().expect("rank >= 1");
                 let rows: i64 = shape.iter().product::<i64>() / len;
-                schedule.reduce = pick_reduce_config(rows, len, gpu);
+                schedule.reduce = reduce_for(rows, len);
             }
             OpKind::GlobalAvgPool => {
                 let shape = g.tensor(op.inputs[0]).shape();
                 let rows = shape[0] * shape[1];
                 let len = shape[2] * shape[3];
-                schedule.reduce = pick_reduce_config(rows, len, gpu);
+                schedule.reduce = reduce_for(rows, len);
             }
             _ => {}
         }
@@ -717,7 +752,9 @@ fn apply_ablations(mut cfg: MatmulConfig, options: &CompilerOptions) -> MatmulCo
     if options.disable_double_buffering {
         cfg.stages = 1;
     }
-    if options.disable_parallel_k {
+    if options.disable_parallel_k || options.order_stable_reductions {
+        // Split-K sums per-split partials in a second kernel — a different
+        // association of the same terms — so order-stable mode forbids it.
         cfg.split_k = 1;
     }
     cfg

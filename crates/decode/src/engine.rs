@@ -1,31 +1,53 @@
 //! The decode engine: KV-cache sessions served by a continuous
-//! (iteration-level) batching scheduler.
+//! (iteration-level) batching scheduler with chunked multi-token prefill.
 //!
 //! ```text
 //!   clients ── model.generate ──▶ priority queues ──▶ admission (per step!)
 //!              (prompt, max_tokens,  High/Normal/        │
 //!               priority, deadline)  BestEffort          ▼
-//!                                              ┌─── step loop ─────────────┐
-//!      token streams ◀── emit / retire ────────│ gather KV → forward pass  │
-//!      (DecodeSession)                         │ → append KV → argmax      │
-//!                                              └───────────▲───────────────┘
+//!                                       ┌─── scheduler iteration ──────────┐
+//!                                       │ prefill phase: chunk the longest │
+//!                                       │   prompt chains (token budget)   │
+//!      token streams ◀── emit / retire ─│ decode step for everyone else:   │
+//!      (DecodeSession)                  │   gather KV → forward pass       │
+//!                                       │   → append KV → argmax           │
+//!                                       └───────────▲──────────────────────┘
 //!                                      block-granular KV arena (DeviceMemory)
 //!                                        eviction + recompute on pressure
 //! ```
 //!
-//! The unit of scheduling is one **step**: a single batched forward pass
-//! that advances every active sequence by one token. Sequences join the
-//! running batch the step after they arrive and leave the moment they
-//! finish ([`BatchingMode::Continuous`]) — no sequence ever waits for a
-//! batch-mate to drain, which is where the ≥2× tokens/sec over static
-//! pad-to-max batching comes from (the `serving_decode` bench). The decode
-//! batch axis belongs to the *scheduler*: the model graph is compiled once
-//! at a fixed `(max_batch, max_context)` shape (composing with the zoo
-//! transformers' `unbatched` rule — the graph never re-partitions work), and
-//! per-row masks carve the batch. Fixing the shape also makes every row's
-//! computation **bit-identical** whether the sequence runs alone or packed
-//! with others — rows of every decode-step operator are independent — which
-//! the bit-identity proptest pins down.
+//! The unit of scheduling is one **iteration**: an optional *prefill phase*
+//! absorbing prompt chunks, then one batched decode step that advances every
+//! other active sequence by one token. Sequences join the running batch the
+//! step after they arrive and leave the moment they finish
+//! ([`BatchingMode::Continuous`]) — no sequence ever waits for a batch-mate
+//! to drain, which is where the ≥2× tokens/sec over static pad-to-max
+//! batching comes from (the `serving_decode` bench). The decode batch axis
+//! belongs to the *scheduler*: the model graph is compiled once at a fixed
+//! `(max_batch, max_context)` shape (composing with the zoo transformers'
+//! `unbatched` rule — the graph never re-partitions work), and per-row masks
+//! carve the batch. Fixing the shape also makes every row's computation
+//! **bit-identical** whether the sequence runs alone or packed with others —
+//! rows of every decode-step operator are independent — which the
+//! bit-identity proptest pins down.
+//!
+//! **Chunked prefill** (DESIGN.md §9) collapses the prompt-absorption tax:
+//! instead of one scheduler step per prompt token, a prompt is fed through
+//! single-sequence multi-token *prefill graphs*
+//! ([`hidet_graph::models::transformer_prefill`]) compiled at the fixed
+//! chunk shapes of [`DecodeConfig::chunk_menu`]. Each iteration elects, per
+//! sequence in `(priority, admission)` order, the **largest compiled chunk
+//! that fits both the remaining feed chain and the iteration's leftover
+//! [`DecodeConfig::prefill_token_budget`]** — the budget bounds the ITL
+//! bubble in-flight decodes observe while a prefill pass shares their
+//! iteration. Tails smaller than the smallest chunk (and everything when
+//! chunking is off) fall through to the token-wise decode path, so chunking
+//! is never a liveness dependency — a chunk whose graph fails to compile is
+//! retired and its sequences keep absorbing token-wise. Prefill passes use
+//! the same order-stable reduction schedules as decode steps, so the
+//! resulting KV rows — and every downstream token — are **bit-identical to
+//! token-wise absorption** (the `chunked_prefill_is_bit_identical_to_tokenwise`
+//! proptest).
 //!
 //! KV caches live in a persistent [`KvAllocator`] arena between steps;
 //! step inputs are staged and harvested **device-to-device**
@@ -34,7 +56,8 @@
 //! memory pressure the scheduler preempts the lowest-ranked sequence
 //! (priority, then admission order), frees its blocks and later rebuilds
 //! them by re-feeding its tokens — eviction + recompute, counted in
-//! [`hidet_runtime::DecodeStatsSnapshot`].
+//! [`hidet_runtime::DecodeStatsSnapshot`]. A replayed chain re-enters the
+//! same chunk-election path, so recompute after eviction is chunked too.
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -106,6 +129,22 @@ pub struct DecodeConfig {
     /// Implemented by pre-seeding tuning records (zero trials) for every
     /// matmul problem in the step graph.
     pub compact_schedules: bool,
+    /// Chunk sizes the prefill graph family is compiled at (sanitized at
+    /// construction: deduplicated, ascending; entries above a model's
+    /// context window are skipped for that model). Long prompts are absorbed
+    /// through the largest compiled chunk that fits the remaining chain;
+    /// tails smaller than the smallest chunk fall back to the token-wise
+    /// path. Empty disables chunked prefill entirely — every prompt token
+    /// then rides the decode step graph, exactly as before this knob
+    /// existed. Only models registered with a prefill builder
+    /// ([`DecodeModelSpec::transformer`] has one; [`DecodeModelSpec::custom`]
+    /// opts in via [`DecodeModelSpec::with_prefill`]) use the menu.
+    pub chunk_menu: Vec<usize>,
+    /// Prefill tokens one scheduler iteration may absorb across all
+    /// sequences — the Sarathi-style bound on the inter-token-latency bubble
+    /// in-flight decodes observe while a long prompt streams in. `0`
+    /// disables chunked prefill (like an empty [`DecodeConfig::chunk_menu`]).
+    pub prefill_token_budget: usize,
 }
 
 impl Default for DecodeConfig {
@@ -120,6 +159,8 @@ impl Default for DecodeConfig {
             artifact_store: None,
             start_paused: false,
             compact_schedules: true,
+            chunk_menu: vec![16, 64, 256],
+            prefill_token_budget: 256,
         }
     }
 }
@@ -175,6 +216,10 @@ pub struct DecodeModelSpec {
     vocab: i64,
     max_context: i64,
     builder: Box<dyn Fn(i64, i64) -> Graph + Send + Sync>,
+    /// Optional `(chunk_len, past_len) -> Graph` builder for the chunked
+    /// prefill family ([`hidet_graph::models::transformer_prefill`]
+    /// interface). Models without one absorb prompts token-wise only.
+    prefill_builder: Option<Box<dyn Fn(i64, i64) -> Graph + Send + Sync>>,
     embed_seed: u64,
 }
 
@@ -191,6 +236,7 @@ impl DecodeModelSpec {
     ) -> DecodeModelSpec {
         let name = name.into();
         let graph_name = name.clone();
+        let prefill_name = format!("{name}_prefill");
         DecodeModelSpec {
             name,
             layers,
@@ -209,6 +255,17 @@ impl DecodeModelSpec {
                     vocab,
                 )
             }),
+            prefill_builder: Some(Box::new(move |chunk, past| {
+                hidet_graph::models::transformer_prefill(
+                    &prefill_name,
+                    chunk,
+                    past,
+                    layers,
+                    hidden,
+                    heads,
+                    vocab,
+                )
+            })),
             embed_seed: 0xDEC0DE,
         }
     }
@@ -241,8 +298,22 @@ impl DecodeModelSpec {
             vocab,
             max_context,
             builder: Box::new(builder),
+            prefill_builder: None,
             embed_seed: 0xDEC0DE,
         }
+    }
+
+    /// Adds a `(chunk_len, past_len) -> Graph` prefill builder to a
+    /// [`DecodeModelSpec::custom`] spec, enabling chunked prompt absorption.
+    /// The graph must follow the
+    /// [`hidet_graph::models::transformer_prefill`] interface for the spec's
+    /// dimensions (validated at registration for every menu chunk).
+    pub fn with_prefill(
+        mut self,
+        builder: impl Fn(i64, i64) -> Graph + Send + Sync + 'static,
+    ) -> DecodeModelSpec {
+        self.prefill_builder = Some(Box::new(builder));
+        self
     }
 
     /// Seed of the deterministic host-side token-embedding table.
@@ -331,8 +402,15 @@ pub struct TokenEvent {
 pub struct Generation {
     /// Every generated token, in order (prompt excluded).
     pub tokens: Vec<u32>,
-    /// Simulated time-to-first-token (submission → first emitted token).
-    pub ttft_seconds: f64,
+    /// Simulated time-to-first-token measured from the
+    /// [`DecodeModel::generate`] call — includes time queued before
+    /// admission, so it is what a client experiences.
+    pub ttft_from_submit_seconds: f64,
+    /// Simulated time-to-first-token measured from first admission into the
+    /// running batch — prompt processing only, so queueing and compute are
+    /// separable in benches (`ttft_from_submit - ttft_from_admission` is the
+    /// queue wait).
+    pub ttft_from_admission_seconds: f64,
     /// Simulated engine time at completion.
     pub completion_sim_seconds: f64,
 }
@@ -340,7 +418,8 @@ pub struct Generation {
 enum Event {
     Token(TokenEvent),
     Done {
-        ttft_seconds: f64,
+        ttft_from_submit_seconds: f64,
+        ttft_from_admission_seconds: f64,
         completion_sim_seconds: f64,
     },
     Failed(DecodeError),
@@ -392,12 +471,14 @@ impl DecodeSession {
             match self.rx.recv() {
                 Ok(Event::Token(event)) => tokens.push(event.token),
                 Ok(Event::Done {
-                    ttft_seconds,
+                    ttft_from_submit_seconds,
+                    ttft_from_admission_seconds,
                     completion_sim_seconds,
                 }) => {
                     return Ok(Generation {
                         tokens,
-                        ttft_seconds,
+                        ttft_from_submit_seconds,
+                        ttft_from_admission_seconds,
                         completion_sim_seconds,
                     })
                 }
@@ -562,7 +643,10 @@ impl DecodeModel {
             kv: KvCache::new(),
             tx,
             submitted_sim: self.shared.stats.sim_clock(),
+            admitted_sim: None,
+            prompt_done_sim: None,
             ttft: None,
+            ttft_admission: None,
             last_token_sim: 0.0,
         };
         {
@@ -604,6 +688,25 @@ struct ModelDef {
     /// (the embedding lookup is a memory gather, matching the zoo's
     /// convention of starting from embedded hidden states).
     embed: Vec<f32>,
+    /// The validated chunked-prefill graph family, one entry per engine menu
+    /// chunk that fits the context window (ascending). Empty when the spec
+    /// has no prefill builder or the menu is empty — prompts then absorb
+    /// token-wise only.
+    prefill: Vec<PrefillDef>,
+}
+
+/// One validated prefill graph: a single-sequence `chunk`-token forward pass
+/// over `max_context` past slots, plus its tensor-id map (mirrors the decode
+/// half of [`ModelDef`]).
+struct PrefillDef {
+    chunk: usize,
+    graph: Graph,
+    graph_hash: u64,
+    x_id: TensorId,
+    mask_id: TensorId,
+    past_ids: Vec<(TensorId, TensorId)>,
+    logits_id: TensorId,
+    cache_out_names: Vec<(String, String)>,
 }
 
 /// One active generation, owned by the step loop.
@@ -629,7 +732,15 @@ struct Sequence {
     kv: KvCache,
     tx: mpsc::Sender<Event>,
     submitted_sim: f64,
+    /// Simulated clock at *first* admission into the running batch (eviction
+    /// re-admissions keep the original stamp) — the `ttft_from_admission`
+    /// anchor.
+    admitted_sim: Option<f64>,
+    /// Simulated clock when every prompt token but the final one was
+    /// absorbed — splits TTFT into its prefill and first-decode segments.
+    prompt_done_sim: Option<f64>,
     ttft: Option<f64>,
+    ttft_admission: Option<f64>,
     last_token_sim: f64,
 }
 
@@ -663,6 +774,10 @@ struct Shared {
     /// `DecodeConfig::max_batch` — the fixed batch axis model specs are
     /// validated against (the stats copy is purely informational).
     max_batch: usize,
+    /// `DecodeConfig::chunk_menu`, sanitized (deduplicated, ascending,
+    /// zeroes dropped) — the chunk shapes prefill builders are validated and
+    /// compiled at.
+    chunk_menu: Vec<usize>,
     /// While set, the step loop sleeps and admits nothing
     /// ([`DecodeConfig::start_paused`] / [`DecodeEngine::resume`]).
     paused: AtomicBool,
@@ -686,8 +801,13 @@ impl DecodeEngine {
     pub fn new(config: DecodeConfig) -> DecodeEngine {
         assert!(config.max_batch >= 1, "engine needs at least one slot");
         assert!(config.kv_blocks >= 1 && config.block_tokens >= 1);
+        let mut chunk_menu = config.chunk_menu.clone();
+        chunk_menu.retain(|&c| c >= 1);
+        chunk_menu.sort_unstable();
+        chunk_menu.dedup();
         let shared = Arc::new(Shared {
             max_batch: config.max_batch,
+            chunk_menu,
             paused: AtomicBool::new(config.start_paused),
             registry: Mutex::new(HashMap::new()),
             waiting: Mutex::new(WaitQueues::default()),
@@ -727,7 +847,7 @@ impl DecodeEngine {
         if self.shared.closed.load(Ordering::SeqCst) {
             return Err(DecodeError::Closed);
         }
-        let def = validate_spec(&spec, self.shared.max_batch)?;
+        let def = validate_spec(&spec, self.shared.max_batch, &self.shared.chunk_menu)?;
         let name = spec.name.clone();
         self.shared
             .registry
@@ -797,8 +917,14 @@ impl fmt::Debug for DecodeEngine {
     }
 }
 
-/// Builds and checks a [`ModelDef`] against the decode-step interface.
-fn validate_spec(spec: &DecodeModelSpec, max_batch: usize) -> Result<ModelDef, DecodeError> {
+/// Builds and checks a [`ModelDef`] against the decode-step interface, plus
+/// — when the spec has a prefill builder — one [`PrefillDef`] per menu chunk
+/// against the prefill interface.
+fn validate_spec(
+    spec: &DecodeModelSpec,
+    max_batch: usize,
+    chunk_menu: &[usize],
+) -> Result<ModelDef, DecodeError> {
     let bad = |msg: String| DecodeError::BadModel(msg);
     if spec.layers < 1 || spec.hidden < 1 || spec.heads < 1 || spec.vocab < 1 {
         return Err(bad("layers/hidden/heads/vocab must be positive".into()));
@@ -868,6 +994,96 @@ fn validate_spec(spec: &DecodeModelSpec, max_batch: usize) -> Result<ModelDef, D
         .data()
         .expect("randn is materialized")
         .to_vec();
+    let mut prefill = Vec::new();
+    if let Some(prefill_builder) = &spec.prefill_builder {
+        for &chunk in chunk_menu {
+            let c = chunk as i64;
+            if c > spec.max_context {
+                continue; // a chunk can never exceed a sequence's cache need
+            }
+            let g = prefill_builder(c, spec.max_context);
+            let what = |part: &str| format!("prefill[{chunk}] {part}");
+            if g.inputs().len() != expect_inputs {
+                return Err(bad(format!(
+                    "{}: expected {expect_inputs} graph inputs, got {}",
+                    what("interface"),
+                    g.inputs().len()
+                )));
+            }
+            if g.outputs().len() != expect_outputs {
+                return Err(bad(format!(
+                    "{}: expected {expect_outputs} graph outputs, got {}",
+                    what("interface"),
+                    g.outputs().len()
+                )));
+            }
+            let pcheck = |t: TensorId, want: &[i64], part: &str| -> Result<(), DecodeError> {
+                let got = g.tensor(t).shape();
+                if got != want {
+                    return Err(DecodeError::BadModel(format!(
+                        "{} has shape {got:?}, expected {want:?}",
+                        what(part)
+                    )));
+                }
+                Ok(())
+            };
+            let x_id = g.inputs()[0];
+            let mask_id = g.inputs()[1];
+            pcheck(x_id, &[c, spec.hidden], "input x")?;
+            pcheck(
+                mask_id,
+                &[spec.heads, c, spec.max_context + c],
+                "input mask",
+            )?;
+            let mut past_ids = Vec::with_capacity(spec.layers);
+            let mut out_ids = Vec::with_capacity(spec.layers);
+            for l in 0..spec.layers {
+                let pk = g.inputs()[2 + 2 * l];
+                let pv = g.inputs()[3 + 2 * l];
+                pcheck(
+                    pk,
+                    &[spec.heads, spec.max_context, head_dim],
+                    "past_k input",
+                )?;
+                pcheck(
+                    pv,
+                    &[spec.heads, spec.max_context, head_dim],
+                    "past_v input",
+                )?;
+                past_ids.push((pk, pv));
+                let nk = g.outputs()[1 + 2 * l];
+                let nv = g.outputs()[2 + 2 * l];
+                pcheck(
+                    nk,
+                    &[spec.heads, spec.max_context + c, head_dim],
+                    "new_k output",
+                )?;
+                pcheck(
+                    nv,
+                    &[spec.heads, spec.max_context + c, head_dim],
+                    "new_v output",
+                )?;
+                out_ids.push((nk, nv));
+            }
+            let logits_id = g.outputs()[0];
+            pcheck(logits_id, &[c, spec.vocab], "logits output")?;
+            let cache_out_names: Vec<(String, String)> = out_ids
+                .iter()
+                .map(|(nk, nv)| (format!("t{}", nk.0), format!("t{}", nv.0)))
+                .collect();
+            let graph_hash = g.structural_hash();
+            prefill.push(PrefillDef {
+                chunk,
+                graph: g,
+                graph_hash,
+                x_id,
+                mask_id,
+                past_ids,
+                logits_id,
+                cache_out_names,
+            });
+        }
+    }
     Ok(ModelDef {
         name: spec.name.clone(),
         layers: spec.layers,
@@ -884,6 +1100,7 @@ fn validate_spec(spec: &DecodeModelSpec, max_batch: usize) -> Result<ModelDef, D
         logits_id,
         cache_out_names,
         embed,
+        prefill,
     })
 }
 
@@ -895,6 +1112,22 @@ struct ModelRt {
     estimate: f64,
     ws: Workspace,
     kv: KvAllocator,
+    /// Lazily compiled prefill runtimes, keyed by chunk size — a chunk costs
+    /// compile time only once a prompt long enough to use it shows up.
+    prefill_rts: HashMap<usize, PrefillRt>,
+    /// Chunks whose prefill graph failed to compile: the scheduler stops
+    /// electing them and the affected prompts absorb token-wise instead —
+    /// chunked prefill is an optimization, never a liveness dependency.
+    dead_chunks: std::collections::HashSet<usize>,
+}
+
+/// One compiled prefill chunk: its plan, analytic latency and a dedicated
+/// workspace (prefill buffers are chunk-shaped, so they cannot share the
+/// decode workspace).
+struct PrefillRt {
+    compiled: Arc<hidet::CompiledGraph>,
+    estimate: f64,
+    ws: Workspace,
 }
 
 /// The engine's background thread: admission, step execution, KV
@@ -914,6 +1147,13 @@ fn step_loop(shared: &Shared, config: &DecodeConfig) {
     } else {
         config.options.clone()
     };
+    // Order-stable reductions, unconditionally: the chunked-prefill contract
+    // — token streams and KV contents bit-identical to token-wise absorption
+    // — holds only when every reduction in *both* graph families accumulates
+    // in pure element-index order, so the same real terms sum in the same
+    // order regardless of how many padded positions surround them (see
+    // `CompilerOptions::order_stable_reductions`).
+    let options = options.order_stable();
     // Keyed by ModelDef identity: a re-registered name gets fresh state while
     // in-flight sessions keep theirs.
     let mut rts: HashMap<usize, ModelRt> = HashMap::new();
@@ -958,6 +1198,15 @@ fn step_loop(shared: &Shared, config: &DecodeConfig) {
                             break;
                         };
                         seq.rank = shared.next_rank.fetch_add(1, Ordering::Relaxed);
+                        if seq.admitted_sim.is_none() {
+                            let now = shared.stats.sim_clock();
+                            seq.admitted_sim = Some(now);
+                            if seq.forced.is_empty() {
+                                // Single-token prompt: there is nothing to
+                                // prefill, the whole TTFT is first-decode.
+                                seq.prompt_done_sim = Some(now);
+                            }
+                        }
                         active.push(seq);
                     }
                 }
@@ -1054,7 +1303,7 @@ fn step_loop(shared: &Shared, config: &DecodeConfig) {
                     continue;
                 }
             };
-            let outcome = run_step(shared, &gpu, rt, batch);
+            let outcome = run_iteration(shared, &gpu, &cache, &options, config, rt, batch);
             active.extend(outcome.survivors);
             refresh_kv_gauge(&rts, shared);
             // Terminal events go out only after the gauges are current, so a
@@ -1150,6 +1399,8 @@ fn ensure_rt<'a>(
                 estimate,
                 ws: Workspace::new(),
                 kv,
+                prefill_rts: HashMap::new(),
+                dead_chunks: std::collections::HashSet::new(),
             }))
         }
     }
@@ -1205,195 +1456,109 @@ fn seed_compact_schedules(graph: &Graph, gpu: &Gpu, options: &CompilerOptions) {
     }
 }
 
-/// Executes one decode step for `batch` (all sequences share `rt`'s model):
-/// stage → run → append KV (with eviction + recompute under pressure) →
-/// emit/retire. Returns the sequences staying active.
-fn run_step(shared: &Shared, gpu: &Gpu, rt: &mut ModelRt, mut batch: Vec<Sequence>) -> StepOutcome {
-    let ModelRt {
-        def,
-        compiled,
-        estimate,
-        ws,
-        kv,
-    } = rt;
-    let plan = compiled.plan();
-    let (hidden, heads, head_dim) = (def.hidden, def.heads, def.head_dim);
-    let mc = def.max_context;
-    let vocab = def.vocab as usize;
+/// Chunk-size election: the largest compiled chunk that fits both the
+/// remaining feed chain and the iteration's leftover token budget. `None`
+/// sends the sequence down the token-wise path (tail smaller than the
+/// smallest chunk, budget exhausted, or chunking disabled).
+fn elect_chunk(remaining: usize, menu: &[usize], budget: usize) -> Option<usize> {
+    menu.iter()
+        .copied()
+        .filter(|&c| c <= remaining && c <= budget)
+        .max()
+}
 
-    // --- stage inputs (in place: zero steady-state allocations) -----------
-    let x = ws
-        .input_mut(plan, def.x_id)
-        .expect("x id validated at registration");
-    x.fill(0.0);
-    for (slot, seq) in batch.iter().enumerate() {
-        let token = seq.pending as usize;
-        x[slot * hidden..(slot + 1) * hidden]
-            .copy_from_slice(&def.embed[token * hidden..(token + 1) * hidden]);
-    }
-    let mask = ws
-        .input_mut(plan, def.mask_id)
-        .expect("mask id validated at registration");
-    mask.fill(MASK_NEG);
-    let span = mc + 1;
-    for row in 0..mask.len() / span {
-        mask[row * span + mc] = 0.0; // the current token is always attendable
-    }
-    for (slot, seq) in batch.iter().enumerate() {
-        for h in 0..heads {
-            let row = (slot * heads + h) * span;
-            mask[row..row + seq.kv.tokens()].fill(0.0);
-        }
-    }
-    // The gather re-stages every sequence's full cache each step. An
-    // incremental variant (resident past buffers, appending only the new
-    // token's rows) would save O(tokens) copies per slot, but needs stable
-    // slot assignment across steps — today slots are re-derived from the
-    // active order, which shifts as sequences retire. Host cost is dominated
-    // by kernel interpretation, not these copies, so stable slots are left
-    // as future work.
-    for (l, &(pk_id, pv_id)) in def.past_ids.iter().enumerate() {
-        for (stream, id) in [(0usize, pk_id), (1usize, pv_id)] {
-            let buf = ws
-                .input_mut(plan, id)
-                .expect("cache ids validated at registration");
-            buf.fill(0.0);
-            for (slot, seq) in batch.iter().enumerate() {
-                for t in 0..seq.kv.tokens() {
-                    let lane = kv.lane(&seq.kv, t, l, stream);
-                    for h in 0..heads {
-                        let dst = ((slot * heads + h) * mc + t) * head_dim;
-                        buf[dst..dst + head_dim]
-                            .copy_from_slice(&lane[h * head_dim..(h + 1) * head_dim]);
-                    }
-                }
-            }
-        }
-    }
-
-    // --- forward pass ------------------------------------------------------
-    if let Err(err) = ws.run_prepared(plan, gpu) {
-        let err = DecodeError::Execution(format!("{}: {err}", def.name));
-        let mut terminal = Vec::with_capacity(batch.len());
-        for mut seq in batch {
-            kv.release(&mut seq.kv);
-            shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-            terminal.push((seq.tx.clone(), Event::Failed(err.clone())));
-        }
-        return StepOutcome {
-            survivors: Vec::new(),
-            terminal,
-        };
-    }
-    let now = shared.stats.advance_clock(*estimate);
-    shared.stats.steps.fetch_add(1, Ordering::Relaxed);
-    shared
-        .stats
-        .occupied_slots
-        .fetch_add(batch.len(), Ordering::Relaxed);
-
-    // --- append KV, decode, emit/retire ------------------------------------
+/// One scheduler iteration for `batch` (all sequences share `rt`'s model):
+/// a prefill phase — chunked prompt absorption under the iteration token
+/// budget, in `(priority, rank)` order — followed by one decode step for
+/// every live sequence that did not prefill. A sequence advances through
+/// exactly one forward pass per iteration, so decodes never observe more
+/// than one prefill-chunk bubble between tokens.
+fn run_iteration(
+    shared: &Shared,
+    gpu: &Gpu,
+    cache: &CompiledCache,
+    options: &CompilerOptions,
+    config: &DecodeConfig,
+    rt: &mut ModelRt,
+    mut batch: Vec<Sequence>,
+) -> StepOutcome {
     let n = batch.len();
     let mut state = vec![SlotState::Live; n];
     let mut terminal: Vec<(mpsc::Sender<Event>, Event)> = Vec::new();
-    for slot in 0..n {
-        if state[slot] != SlotState::Live {
-            continue;
-        }
-        // Append the fed token's K/V rows, evicting under pressure: the
-        // strictly lower-ranked victim is preempted first; with no victim
-        // the requester *self-preempts* (yields to its elders, rebuilding
-        // later), failing only when the arena cannot hold it even alone.
-        let appended = loop {
-            match kv.append(&mut batch[slot].kv) {
-                Ok(kvslot) => break Some(kvslot),
-                Err(KvError::Exhausted) => match pick_victim(&batch, &state, slot) {
-                    Some(v) => {
-                        preempt(shared, kv, &mut batch[v]);
-                        state[v] = SlotState::Evicted;
-                    }
-                    None if kv.layout().blocks_for(batch[slot].cache_need) <= kv.capacity() => {
-                        preempt(shared, kv, &mut batch[slot]);
-                        state[slot] = SlotState::Evicted;
-                        break None;
-                    }
-                    None => {
-                        let seq = &mut batch[slot];
-                        kv.release(&mut seq.kv);
-                        shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-                        terminal.push((seq.tx.clone(), Event::Failed(DecodeError::KvExhausted)));
-                        state[slot] = SlotState::Dropped;
-                        break None;
-                    }
-                },
+    let mut prefilled = vec![false; n];
+
+    // --- prefill phase -----------------------------------------------------
+    // Static mode stays the pure token-wise baseline the serving benches
+    // compare against.
+    let mut ran_prefill = false;
+    if config.mode == BatchingMode::Continuous
+        && !rt.def.prefill.is_empty()
+        && config.prefill_token_budget > 0
+    {
+        let mut budget = config.prefill_token_budget;
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| batch[i].key());
+        for i in order {
+            if state[i] != SlotState::Live || batch[i].forced.is_empty() {
+                // Plain decode, or the final chain token: token-wise path.
+                continue;
             }
-        };
-        let Some(kvslot) = appended else { continue };
-        // Harvest the new K/V rows device-to-device: the concat outputs hold
-        // the current token at sequence position `mc`.
-        for (l, (nk_name, nv_name)) in def.cache_out_names.iter().enumerate() {
-            for (stream, name) in [(0usize, nk_name), (1usize, nv_name)] {
-                for h in 0..heads {
-                    let src = ((slot * heads + h) * (mc + 1) + mc) * head_dim;
-                    kv.copy_into_lane(
-                        kvslot,
-                        l,
-                        stream,
-                        h * head_dim,
-                        ws.device_memory(),
-                        name,
-                        src,
-                        head_dim,
-                    );
-                }
+            let menu: Vec<usize> = rt
+                .def
+                .prefill
+                .iter()
+                .map(|p| p.chunk)
+                .filter(|c| !rt.dead_chunks.contains(c))
+                .collect();
+            let remaining = 1 + batch[i].forced.len();
+            let Some(chunk) = elect_chunk(remaining, &menu, budget) else {
+                continue;
+            };
+            if run_prefill(
+                shared,
+                gpu,
+                cache,
+                options,
+                config,
+                rt,
+                &mut batch,
+                &mut state,
+                &mut terminal,
+                i,
+                chunk,
+            ) {
+                budget -= chunk;
+                prefilled[i] = true;
+                ran_prefill = true;
             }
         }
-        let seq = &mut batch[slot];
-        seq.fed.push(seq.pending);
-        // Greedy decode of this slot's logits row.
-        let logits = ws.output(def.logits_id).expect("logits are a graph output");
-        let token = argmax(&logits[slot * vocab..(slot + 1) * vocab]);
-        if let Some(next) = seq.forced.pop_front() {
-            // Prompt absorption or post-eviction replay: the model's output
-            // is already known; keep feeding the chain.
-            shared.stats.prompt_tokens.fetch_add(1, Ordering::Relaxed);
-            seq.pending = next;
-            continue;
-        }
-        // A fresh token: emit it.
-        let index = seq.emitted;
-        seq.emitted += 1;
-        if seq.ttft.is_none() {
-            let ttft = now - seq.submitted_sim;
-            seq.ttft = Some(ttft);
-            shared.stats.record_ttft(ttft);
-        } else {
-            shared.stats.record_itl(now - seq.last_token_sim);
-        }
-        seq.last_token_sim = now;
-        shared.stats.tokens.fetch_add(1, Ordering::Relaxed);
-        let delivered = seq
-            .tx
-            .send(Event::Token(TokenEvent {
-                token,
-                index,
-                sim_time_seconds: now,
-            }))
-            .is_ok();
-        let finished = seq.emitted >= seq.max_tokens || seq.eos == Some(token) || !delivered;
-        if finished {
-            kv.release(&mut seq.kv);
-            terminal.push((
-                seq.tx.clone(),
-                Event::Done {
-                    ttft_seconds: seq.ttft.expect("at least one token emitted"),
-                    completion_sim_seconds: now,
-                },
-            ));
-            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
-            state[slot] = SlotState::Dropped;
-        } else {
-            seq.pending = token;
+    }
+
+    // --- decode step for everything that did not prefill -------------------
+    let decode_slots: Vec<usize> = (0..n)
+        .filter(|&i| state[i] == SlotState::Live && !prefilled[i])
+        .collect();
+    if !decode_slots.is_empty() {
+        run_decode_step(
+            shared,
+            gpu,
+            rt,
+            &mut batch,
+            &mut state,
+            &mut terminal,
+            &decode_slots,
+        );
+    }
+    if ran_prefill {
+        shared
+            .stats
+            .prefill_iterations
+            .fetch_add(1, Ordering::Relaxed);
+        if !decode_slots.is_empty() {
+            shared
+                .stats
+                .interleaved_iterations
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -1422,6 +1587,460 @@ fn run_step(shared: &Shared, gpu: &Gpu, rt: &mut ModelRt, mut batch: Vec<Sequenc
     StepOutcome {
         survivors,
         terminal,
+    }
+}
+
+/// Absorbs one `chunk`-token slice of `batch[slot]`'s feed chain through the
+/// chunk's prefill graph: stage past + causal mask → forward pass → append
+/// `chunk` KV slots (with the same eviction machinery as decode) → harvest
+/// the fresh rows. When the chunk consumes the whole chain, the last logits
+/// row yields the sequence's next token — a chunk ending a prompt emits the
+/// first generated token in the same pass.
+///
+/// Returns whether the pass ran (and thus consumed budget); `false` means
+/// the chunk's graph failed to compile — it is retired to `dead_chunks` and
+/// the sequence falls through to the token-wise path, untouched.
+#[allow(clippy::too_many_arguments)]
+fn run_prefill(
+    shared: &Shared,
+    gpu: &Gpu,
+    cache: &CompiledCache,
+    options: &CompilerOptions,
+    config: &DecodeConfig,
+    rt: &mut ModelRt,
+    batch: &mut [Sequence],
+    state: &mut [SlotState],
+    terminal: &mut Vec<(mpsc::Sender<Event>, Event)>,
+    slot: usize,
+    chunk: usize,
+) -> bool {
+    // Lazily compile this chunk's runtime (same compact-schedule seeding as
+    // the decode step).
+    if !rt.prefill_rts.contains_key(&chunk) {
+        let pdef = rt
+            .def
+            .prefill
+            .iter()
+            .find(|p| p.chunk == chunk)
+            .expect("elected chunks come from def.prefill");
+        if config.compact_schedules && !config.options.tune {
+            seed_compact_schedules(&pdef.graph, gpu, options);
+        }
+        match cache.get_or_compile_hashed(
+            &pdef.graph,
+            pdef.graph_hash,
+            gpu,
+            options,
+            config.artifact_store.as_deref(),
+        ) {
+            Ok((compiled, _)) => {
+                let estimate = compiled.estimate(gpu);
+                rt.prefill_rts.insert(
+                    chunk,
+                    PrefillRt {
+                        compiled,
+                        estimate,
+                        ws: Workspace::new(),
+                    },
+                );
+            }
+            Err(_) => {
+                rt.dead_chunks.insert(chunk);
+                return false;
+            }
+        }
+    }
+    let ModelRt {
+        def,
+        kv,
+        prefill_rts,
+        ..
+    } = rt;
+    let pdef = def
+        .prefill
+        .iter()
+        .find(|p| p.chunk == chunk)
+        .expect("compiled above");
+    let prt = prefill_rts.get_mut(&chunk).expect("compiled above");
+    let plan = prt.compiled.plan();
+    let (hidden, heads, head_dim) = (def.hidden, def.heads, def.head_dim);
+    let mc = def.max_context;
+    let vocab = def.vocab as usize;
+
+    // --- stage inputs ------------------------------------------------------
+    let seq = &batch[slot];
+    let p = seq.kv.tokens();
+    let x = prt
+        .ws
+        .input_mut(plan, pdef.x_id)
+        .expect("x id validated at registration");
+    let embed_row = |t: u32| &def.embed[t as usize * hidden..(t as usize + 1) * hidden];
+    x[..hidden].copy_from_slice(embed_row(seq.pending));
+    for (j, &t) in seq.forced.iter().take(chunk - 1).enumerate() {
+        x[(j + 1) * hidden..(j + 2) * hidden].copy_from_slice(embed_row(t));
+    }
+    // Causal mask: chunk row `i` (global position `p + i`) attends the `p`
+    // cached tokens (columns `0..p`) and chunk positions `0..=i` (columns
+    // `mc..=mc + i`); padded cache slots and intra-chunk future positions
+    // stay at MASK_NEG, exactly as bit-transparent as decode-step padding.
+    let mask = prt
+        .ws
+        .input_mut(plan, pdef.mask_id)
+        .expect("mask id validated at registration");
+    mask.fill(MASK_NEG);
+    let span = mc + chunk;
+    for h in 0..heads {
+        for i in 0..chunk {
+            let row = (h * chunk + i) * span;
+            mask[row..row + p].fill(0.0);
+            mask[row + mc..row + mc + i + 1].fill(0.0);
+        }
+    }
+    for (l, &(pk_id, pv_id)) in pdef.past_ids.iter().enumerate() {
+        for (stream, id) in [(0usize, pk_id), (1usize, pv_id)] {
+            let buf = prt
+                .ws
+                .input_mut(plan, id)
+                .expect("cache ids validated at registration");
+            buf.fill(0.0);
+            for t in 0..p {
+                let lane = kv.lane(&seq.kv, t, l, stream);
+                for h in 0..heads {
+                    let dst = (h * mc + t) * head_dim;
+                    buf[dst..dst + head_dim]
+                        .copy_from_slice(&lane[h * head_dim..(h + 1) * head_dim]);
+                }
+            }
+        }
+    }
+
+    // --- forward pass ------------------------------------------------------
+    if let Err(err) = prt.ws.run_prepared(plan, gpu) {
+        let err = DecodeError::Execution(format!("{} prefill[{chunk}]: {err}", def.name));
+        let seq = &mut batch[slot];
+        kv.release(&mut seq.kv);
+        shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+        terminal.push((seq.tx.clone(), Event::Failed(err)));
+        state[slot] = SlotState::Dropped;
+        return true;
+    }
+    let now = shared.stats.advance_prefill_clock(prt.estimate);
+    shared.stats.prefill_passes.fetch_add(1, Ordering::Relaxed);
+
+    // --- append + harvest the chunk's KV rows ------------------------------
+    let remaining = 1 + batch[slot].forced.len();
+    let mut absorbed = 0usize;
+    for j in 0..chunk {
+        let Some(kvslot) = append_with_pressure(shared, kv, batch, state, terminal, slot) else {
+            // Self-preempted (replay chain rebuilt from what was harvested)
+            // or dropped — either way this pass is over.
+            break;
+        };
+        // Fresh rows sit at positions `mc..mc + chunk` of the concat
+        // outputs; rows are per-head (`heads` is the batch axis of the
+        // single-sequence prefill graph).
+        for (l, (nk_name, nv_name)) in pdef.cache_out_names.iter().enumerate() {
+            for (stream, name) in [(0usize, nk_name), (1usize, nv_name)] {
+                for h in 0..heads {
+                    let src = (h * (mc + chunk) + mc + j) * head_dim;
+                    kv.copy_into_lane(
+                        kvslot,
+                        l,
+                        stream,
+                        h * head_dim,
+                        prt.ws.device_memory(),
+                        name,
+                        src,
+                        head_dim,
+                    );
+                }
+            }
+        }
+        let seq = &mut batch[slot];
+        seq.fed.push(seq.pending);
+        absorbed += 1;
+        if let Some(next) = seq.forced.pop_front() {
+            seq.pending = next;
+        }
+    }
+    if absorbed > 0 {
+        shared
+            .stats
+            .prefill_tokens
+            .fetch_add(absorbed, Ordering::Relaxed);
+    }
+    if state[slot] != SlotState::Live {
+        return true;
+    }
+    let seq = &mut batch[slot];
+    if absorbed == remaining {
+        // The chunk consumed the whole chain: the last row's logits are this
+        // sequence's next token. For a first-time prompt that token is the
+        // first emission — TTFT lands here, a whole chunk earlier than
+        // token-wise absorption would have allowed.
+        shared
+            .stats
+            .prompt_tokens
+            .fetch_add(absorbed - 1, Ordering::Relaxed);
+        if seq.emitted == 0 && seq.prompt_done_sim.is_none() {
+            seq.prompt_done_sim = Some(now);
+        }
+        let logits = prt
+            .ws
+            .output(pdef.logits_id)
+            .expect("logits are a graph output");
+        let token = argmax(&logits[(chunk - 1) * vocab..chunk * vocab]);
+        state[slot] = emit_token(shared, kv, seq, token, now, terminal);
+    } else {
+        // Mid-prompt (or mid-replay): every output of this pass is ignored,
+        // exactly like token-wise forced feeding.
+        shared
+            .stats
+            .prompt_tokens
+            .fetch_add(absorbed, Ordering::Relaxed);
+        if seq.forced.is_empty() && seq.emitted == 0 && seq.prompt_done_sim.is_none() {
+            seq.prompt_done_sim = Some(now);
+        }
+    }
+    true
+}
+
+/// Executes one decode step for the `slots` members of `batch`: stage → run
+/// → append KV (with eviction + recompute under pressure) → emit/retire.
+/// Logits/buffer rows are indexed by position within `slots`, not by batch
+/// index — prefilled sequences simply leave their row staged to zero.
+fn run_decode_step(
+    shared: &Shared,
+    gpu: &Gpu,
+    rt: &mut ModelRt,
+    batch: &mut [Sequence],
+    state: &mut [SlotState],
+    terminal: &mut Vec<(mpsc::Sender<Event>, Event)>,
+    slots: &[usize],
+) {
+    let ModelRt {
+        def,
+        compiled,
+        estimate,
+        ws,
+        kv,
+        ..
+    } = rt;
+    let plan = compiled.plan();
+    let (hidden, heads, head_dim) = (def.hidden, def.heads, def.head_dim);
+    let mc = def.max_context;
+    let vocab = def.vocab as usize;
+
+    // --- stage inputs (in place: zero steady-state allocations) -----------
+    let x = ws
+        .input_mut(plan, def.x_id)
+        .expect("x id validated at registration");
+    x.fill(0.0);
+    for (pos, &i) in slots.iter().enumerate() {
+        let token = batch[i].pending as usize;
+        x[pos * hidden..(pos + 1) * hidden]
+            .copy_from_slice(&def.embed[token * hidden..(token + 1) * hidden]);
+    }
+    let mask = ws
+        .input_mut(plan, def.mask_id)
+        .expect("mask id validated at registration");
+    mask.fill(MASK_NEG);
+    let span = mc + 1;
+    for row in 0..mask.len() / span {
+        mask[row * span + mc] = 0.0; // the current token is always attendable
+    }
+    for (pos, &i) in slots.iter().enumerate() {
+        for h in 0..heads {
+            let row = (pos * heads + h) * span;
+            mask[row..row + batch[i].kv.tokens()].fill(0.0);
+        }
+    }
+    // The gather re-stages every sequence's full cache each step. An
+    // incremental variant (resident past buffers, appending only the new
+    // token's rows) would save O(tokens) copies per slot, but needs stable
+    // slot assignment across steps — today slots are re-derived from the
+    // active order, which shifts as sequences retire. Host cost is dominated
+    // by kernel interpretation, not these copies, so stable slots are left
+    // as future work.
+    for (l, &(pk_id, pv_id)) in def.past_ids.iter().enumerate() {
+        for (stream, id) in [(0usize, pk_id), (1usize, pv_id)] {
+            let buf = ws
+                .input_mut(plan, id)
+                .expect("cache ids validated at registration");
+            buf.fill(0.0);
+            for (pos, &i) in slots.iter().enumerate() {
+                let seq = &batch[i];
+                for t in 0..seq.kv.tokens() {
+                    let lane = kv.lane(&seq.kv, t, l, stream);
+                    for h in 0..heads {
+                        let dst = ((pos * heads + h) * mc + t) * head_dim;
+                        buf[dst..dst + head_dim]
+                            .copy_from_slice(&lane[h * head_dim..(h + 1) * head_dim]);
+                    }
+                }
+            }
+        }
+    }
+
+    // --- forward pass ------------------------------------------------------
+    if let Err(err) = ws.run_prepared(plan, gpu) {
+        let err = DecodeError::Execution(format!("{}: {err}", def.name));
+        for &i in slots {
+            let seq = &mut batch[i];
+            kv.release(&mut seq.kv);
+            shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+            terminal.push((seq.tx.clone(), Event::Failed(err.clone())));
+            state[i] = SlotState::Dropped;
+        }
+        return;
+    }
+    let now = shared.stats.advance_clock(*estimate);
+    shared.stats.steps.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .occupied_slots
+        .fetch_add(slots.len(), Ordering::Relaxed);
+
+    // --- append KV, decode, emit/retire ------------------------------------
+    for (pos, &i) in slots.iter().enumerate() {
+        if state[i] != SlotState::Live {
+            continue;
+        }
+        let Some(kvslot) = append_with_pressure(shared, kv, batch, state, terminal, i) else {
+            continue;
+        };
+        // Harvest the new K/V rows device-to-device: the concat outputs hold
+        // the current token at sequence position `mc`.
+        for (l, (nk_name, nv_name)) in def.cache_out_names.iter().enumerate() {
+            for (stream, name) in [(0usize, nk_name), (1usize, nv_name)] {
+                for h in 0..heads {
+                    let src = ((pos * heads + h) * (mc + 1) + mc) * head_dim;
+                    kv.copy_into_lane(
+                        kvslot,
+                        l,
+                        stream,
+                        h * head_dim,
+                        ws.device_memory(),
+                        name,
+                        src,
+                        head_dim,
+                    );
+                }
+            }
+        }
+        let seq = &mut batch[i];
+        seq.fed.push(seq.pending);
+        // Greedy decode of this slot's logits row.
+        let logits = ws.output(def.logits_id).expect("logits are a graph output");
+        let token = argmax(&logits[pos * vocab..(pos + 1) * vocab]);
+        if let Some(next) = seq.forced.pop_front() {
+            // Prompt absorption or post-eviction replay: the model's output
+            // is already known; keep feeding the chain.
+            shared.stats.prompt_tokens.fetch_add(1, Ordering::Relaxed);
+            seq.pending = next;
+            if seq.forced.is_empty() && seq.emitted == 0 && seq.prompt_done_sim.is_none() {
+                seq.prompt_done_sim = Some(now);
+            }
+            continue;
+        }
+        // A fresh token: emit it.
+        state[i] = emit_token(shared, kv, seq, token, now, terminal);
+    }
+}
+
+/// Reserves one KV token slot for `batch[slot]`, evicting under pressure:
+/// the strictly lower-ranked victim is preempted first; with no victim the
+/// requester *self-preempts* (yields to its elders, rebuilding later),
+/// failing only when the arena cannot hold it even alone. Returns `None`
+/// when the slot itself was preempted or dropped — `state` and `terminal`
+/// already reflect it.
+fn append_with_pressure(
+    shared: &Shared,
+    kv: &mut KvAllocator,
+    batch: &mut [Sequence],
+    state: &mut [SlotState],
+    terminal: &mut Vec<(mpsc::Sender<Event>, Event)>,
+    slot: usize,
+) -> Option<crate::kv::KvSlot> {
+    loop {
+        match kv.append(&mut batch[slot].kv) {
+            Ok(kvslot) => return Some(kvslot),
+            Err(KvError::Exhausted) => match pick_victim(batch, state, slot) {
+                Some(v) => {
+                    preempt(shared, kv, &mut batch[v]);
+                    state[v] = SlotState::Evicted;
+                }
+                None if kv.layout().blocks_for(batch[slot].cache_need) <= kv.capacity() => {
+                    preempt(shared, kv, &mut batch[slot]);
+                    state[slot] = SlotState::Evicted;
+                    return None;
+                }
+                None => {
+                    let seq = &mut batch[slot];
+                    kv.release(&mut seq.kv);
+                    shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                    terminal.push((seq.tx.clone(), Event::Failed(DecodeError::KvExhausted)));
+                    state[slot] = SlotState::Dropped;
+                    return None;
+                }
+            },
+        }
+    }
+}
+
+/// Emits a freshly decoded token for `seq` — TTFT on first emission (with
+/// its queue/prefill/first-decode decomposition), ITL afterwards — and
+/// retires the sequence when it finished. Returns the slot's next state.
+fn emit_token(
+    shared: &Shared,
+    kv: &mut KvAllocator,
+    seq: &mut Sequence,
+    token: u32,
+    now: f64,
+    terminal: &mut Vec<(mpsc::Sender<Event>, Event)>,
+) -> SlotState {
+    let index = seq.emitted;
+    seq.emitted += 1;
+    if seq.ttft.is_none() {
+        let submitted = seq.submitted_sim;
+        let admitted = seq.admitted_sim.unwrap_or(submitted);
+        let prompt_done = seq.prompt_done_sim.unwrap_or(admitted);
+        seq.ttft = Some(now - submitted);
+        seq.ttft_admission = Some(now - admitted);
+        shared.stats.record_ttft(now - submitted);
+        shared.stats.record_ttft_admission(now - admitted);
+        shared.stats.record_ttft_queue(admitted - submitted);
+        shared.stats.record_ttft_prefill(prompt_done - admitted);
+        shared.stats.record_ttft_first_decode(now - prompt_done);
+    } else {
+        shared.stats.record_itl(now - seq.last_token_sim);
+    }
+    seq.last_token_sim = now;
+    shared.stats.tokens.fetch_add(1, Ordering::Relaxed);
+    let delivered = seq
+        .tx
+        .send(Event::Token(TokenEvent {
+            token,
+            index,
+            sim_time_seconds: now,
+        }))
+        .is_ok();
+    let finished = seq.emitted >= seq.max_tokens || seq.eos == Some(token) || !delivered;
+    if finished {
+        kv.release(&mut seq.kv);
+        terminal.push((
+            seq.tx.clone(),
+            Event::Done {
+                ttft_from_submit_seconds: seq.ttft.expect("at least one token emitted"),
+                ttft_from_admission_seconds: seq.ttft_admission.expect("set alongside ttft"),
+                completion_sim_seconds: now,
+            },
+        ));
+        shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+        SlotState::Dropped
+    } else {
+        seq.pending = token;
+        SlotState::Live
     }
 }
 
@@ -1505,7 +2124,7 @@ mod tests {
         // heads must divide hidden.
         let spec = DecodeModelSpec::transformer("m", 1, 30, 4, 8, 8);
         assert!(matches!(
-            validate_spec(&spec, 2),
+            validate_spec(&spec, 2, &[]),
             Err(DecodeError::BadModel(_))
         ));
         // A builder whose graph is not a decode step.
@@ -1516,21 +2135,61 @@ mod tests {
             g.output(y).build()
         });
         assert!(matches!(
-            validate_spec(&spec, 2),
+            validate_spec(&spec, 2, &[]),
             Err(DecodeError::BadModel(_))
         ));
         // The real builder validates.
         let spec = DecodeModelSpec::transformer("m", 1, 16, 2, 8, 8);
-        let def = validate_spec(&spec, 2).unwrap();
+        let def = validate_spec(&spec, 2, &[]).unwrap();
         assert_eq!(def.head_dim, 8);
         assert_eq!(def.embed.len(), 8 * 16);
     }
 
     #[test]
+    fn prefill_defs_follow_the_menu_and_skip_oversized_chunks() {
+        // Context window 8: chunks 4 and 8 fit, 16 is skipped; a custom spec
+        // without a prefill builder yields no prefill defs at all.
+        let spec = DecodeModelSpec::transformer("m", 1, 16, 2, 8, 8);
+        let def = validate_spec(&spec, 2, &[4, 8, 16]).unwrap();
+        let chunks: Vec<usize> = def.prefill.iter().map(|p| p.chunk).collect();
+        assert_eq!(chunks, vec![4, 8]);
+        for p in &def.prefill {
+            assert_eq!(p.past_ids.len(), 1);
+            assert_eq!(p.cache_out_names.len(), 1);
+        }
+        let plain = DecodeModelSpec::custom("m", 1, 16, 2, 8, 8, |batch, past| {
+            hidet_graph::models::transformer_decode_step("m", batch, past, 1, 16, 2, 8)
+        });
+        let def = validate_spec(&plain, 2, &[4, 8]).unwrap();
+        assert!(def.prefill.is_empty());
+    }
+
+    #[test]
+    fn chunk_election_boundaries() {
+        let menu = [16, 64, 256];
+        // Exact multiple of the largest chunk.
+        assert_eq!(elect_chunk(512, &menu, 256), Some(256));
+        assert_eq!(elect_chunk(256, &menu, 256), Some(256));
+        // One short of a chunk boundary drops to the next size down.
+        assert_eq!(elect_chunk(255, &menu, 256), Some(64));
+        assert_eq!(elect_chunk(17, &menu, 256), Some(16));
+        assert_eq!(elect_chunk(16, &menu, 256), Some(16));
+        // Tails smaller than the smallest chunk go token-wise.
+        assert_eq!(elect_chunk(15, &menu, 256), None);
+        assert_eq!(elect_chunk(1, &menu, 256), None);
+        // The iteration budget caps the chunk, then disables election.
+        assert_eq!(elect_chunk(512, &menu, 100), Some(64));
+        assert_eq!(elect_chunk(512, &menu, 15), None);
+        // No compiled chunks: chunking is off.
+        assert_eq!(elect_chunk(512, &[], 256), None);
+    }
+
+    #[test]
     fn eviction_order_is_total_and_priority_first() {
         let (tx, _rx) = mpsc::channel();
-        let def =
-            Arc::new(validate_spec(&DecodeModelSpec::transformer("m", 1, 16, 2, 8, 8), 2).unwrap());
+        let def = Arc::new(
+            validate_spec(&DecodeModelSpec::transformer("m", 1, 16, 2, 8, 8), 2, &[]).unwrap(),
+        );
         let seq = |priority: Priority, rank: u64, blocks: usize| {
             let mut kv = KvCache::new();
             // Fake block ownership via a real allocator.
@@ -1560,7 +2219,10 @@ mod tests {
                 kv,
                 tx: tx.clone(),
                 submitted_sim: 0.0,
+                admitted_sim: None,
+                prompt_done_sim: None,
                 ttft: None,
+                ttft_admission: None,
                 last_token_sim: 0.0,
             }
         };

@@ -26,13 +26,24 @@
 //!   ≥2× the tokens/sec of static pad-to-max batching on mixed-length
 //!   workloads (the `serving_decode` bench). Requests carry the runtime's
 //!   [`hidet_runtime::Priority`] classes and optional deadlines;
+//! * **chunked multi-token prefill** ([`hidet_graph::models::transformer_prefill`]):
+//!   long prompts absorb through fixed-shape prefill graphs — the largest
+//!   compiled chunk fitting the remaining prompt, interleaved with decode
+//!   steps under a per-iteration token budget — so a 512-token prompt costs
+//!   a few prefill passes instead of 512 scheduler steps, cutting TTFT ≥2×
+//!   on the `serving_decode` long-prompt mix while the budget bounds the
+//!   ITL bubble of in-flight sessions. Token streams and KV contents stay
+//!   **bit-identical** to token-wise absorption;
 //! * **eviction + recompute**: under KV memory pressure the lowest-ranked
-//!   sequence is preempted — blocks freed, tokens later re-fed to rebuild
-//!   the cache — so high-priority sessions always make progress;
-//! * **token-level observability**: TTFT, inter-token latency p50/p95,
-//!   tokens/sec and KV occupancy, snapshotted as
-//!   [`hidet_runtime::DecodeStatsSnapshot`] and attachable to the serving
-//!   engine's `StatsSnapshot` via `Engine::attach_decode_stats`.
+//!   sequence is preempted — blocks freed, tokens later re-fed (chunked,
+//!   via the same election path) to rebuild the cache — so high-priority
+//!   sessions always make progress;
+//! * **token-level observability**: TTFT from submit *and* from admission,
+//!   decomposed into queue / prefill / first-decode segments, inter-token
+//!   latency p50/p95, decode and prefill tokens/sec, interleave occupancy
+//!   and KV gauges, snapshotted as [`hidet_runtime::DecodeStatsSnapshot`]
+//!   and attachable to the serving engine's `StatsSnapshot` via
+//!   `Engine::attach_decode_stats`.
 //!
 //! ## Quickstart
 //!
@@ -51,13 +62,15 @@
 //! let session = model.generate(GenerateRequest::new(vec![3, 1, 4], 5));
 //! let generation = session.collect()?;
 //! assert_eq!(generation.tokens.len(), 5);
-//! assert!(generation.ttft_seconds > 0.0);
+//! assert!(generation.ttft_from_submit_seconds > 0.0);
 //!
 //! let stats = engine.stats();
 //! assert_eq!(stats.tokens_generated, 5);
 //! assert_eq!(stats.kv_blocks_in_use, 0, "session end frees every block");
 //! # Ok::<(), hidet_decode::DecodeError>(())
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod engine;
 pub mod kv;

@@ -28,12 +28,25 @@ pub(crate) struct DecodeStats {
     pub(crate) kv_capacity: AtomicUsize,
     pub(crate) kv_evictions: AtomicUsize,
     pub(crate) recomputed_tokens: AtomicUsize,
+    /// Prompt tokens absorbed through chunked prefill passes.
+    pub(crate) prefill_tokens: AtomicUsize,
+    /// Chunked prefill forward passes executed.
+    pub(crate) prefill_passes: AtomicUsize,
+    /// Scheduler iterations that ran at least one prefill pass.
+    pub(crate) prefill_iterations: AtomicUsize,
+    /// Prefill iterations that also ran a decode step — prefill riding along
+    /// with in-flight decodes instead of stalling the engine.
+    pub(crate) interleaved_iterations: AtomicUsize,
     /// Simulated seconds spent in decode steps, scaled by 1e9.
     pub(crate) sim_decode_nanos: AtomicU64,
+    /// Simulated seconds spent in chunked prefill passes, scaled by 1e9
+    /// (kept apart from decode time so tokens/sec stays a decode metric).
+    pub(crate) sim_prefill_nanos: AtomicU64,
     /// The engine's simulated clock, scaled by 1e9 — read by `generate` to
     /// stamp submissions (TTFT includes queueing).
     pub(crate) sim_clock_nanos: AtomicU64,
-    reservoirs: Mutex<[LatencyReservoir; 2]>, // [ttft, itl]
+    // [ttft(submit), itl, ttft(admission), queue, prefill, first-decode]
+    reservoirs: Mutex<[LatencyReservoir; 6]>,
 }
 
 impl DecodeStats {
@@ -48,6 +61,15 @@ impl DecodeStats {
         now as f64 / 1e9
     }
 
+    /// [`DecodeStats::advance_clock`] for prefill passes: advances the
+    /// engine clock but books the time under `sim_prefill_nanos`.
+    pub(crate) fn advance_prefill_clock(&self, seconds: f64) -> f64 {
+        let nanos = (seconds * 1e9) as u64;
+        self.sim_prefill_nanos.fetch_add(nanos, Ordering::Relaxed);
+        let now = self.sim_clock_nanos.fetch_add(nanos, Ordering::Relaxed) + nanos;
+        now as f64 / 1e9
+    }
+
     pub(crate) fn record_ttft(&self, seconds: f64) {
         self.reservoirs.lock().expect("stats poisoned")[0].push(seconds);
     }
@@ -56,20 +78,36 @@ impl DecodeStats {
         self.reservoirs.lock().expect("stats poisoned")[1].push(seconds);
     }
 
+    pub(crate) fn record_ttft_admission(&self, seconds: f64) {
+        self.reservoirs.lock().expect("stats poisoned")[2].push(seconds);
+    }
+
+    pub(crate) fn record_ttft_queue(&self, seconds: f64) {
+        self.reservoirs.lock().expect("stats poisoned")[3].push(seconds);
+    }
+
+    pub(crate) fn record_ttft_prefill(&self, seconds: f64) {
+        self.reservoirs.lock().expect("stats poisoned")[4].push(seconds);
+    }
+
+    pub(crate) fn record_ttft_first_decode(&self, seconds: f64) {
+        self.reservoirs.lock().expect("stats poisoned")[5].push(seconds);
+    }
+
     pub(crate) fn snapshot(&self) -> DecodeStatsSnapshot {
-        let (ttft_p50, ttft_p95, itl_p50, itl_p95) = {
+        let pct = {
             let r = self.reservoirs.lock().expect("stats poisoned");
-            (
-                r[0].percentile(0.50),
-                r[0].percentile(0.95),
-                r[1].percentile(0.50),
-                r[1].percentile(0.95),
-            )
+            let both = |i: usize| (r[i].percentile(0.50), r[i].percentile(0.95));
+            [both(0), both(1), both(2), both(3), both(4), both(5)]
         };
+        let [(ttft_p50, ttft_p95), (itl_p50, itl_p95), adm, queue, prefill, first] = pct;
         let steps = self.steps.load(Ordering::Relaxed);
         let max_batch = self.max_batch.load(Ordering::Relaxed);
         let tokens = self.tokens.load(Ordering::Relaxed);
         let sim_seconds = self.sim_decode_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+        let prefill_seconds = self.sim_prefill_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+        let prefill_tokens = self.prefill_tokens.load(Ordering::Relaxed);
+        let prefill_iterations = self.prefill_iterations.load(Ordering::Relaxed);
         DecodeStatsSnapshot {
             sequences_completed: self.completed.load(Ordering::Relaxed),
             sequences_failed: self.failed.load(Ordering::Relaxed),
@@ -85,12 +123,34 @@ impl DecodeStats {
             ttft_p95_seconds: ttft_p95,
             itl_p50_seconds: itl_p50,
             itl_p95_seconds: itl_p95,
+            ttft_from_admission_p50_seconds: adm.0,
+            ttft_from_admission_p95_seconds: adm.1,
+            ttft_queue_p50_seconds: queue.0,
+            ttft_queue_p95_seconds: queue.1,
+            ttft_prefill_p50_seconds: prefill.0,
+            ttft_prefill_p95_seconds: prefill.1,
+            ttft_first_decode_p50_seconds: first.0,
+            ttft_first_decode_p95_seconds: first.1,
             tokens_per_second: if sim_seconds > 0.0 {
                 tokens as f64 / sim_seconds
             } else {
                 0.0
             },
             simulated_decode_seconds: sim_seconds,
+            simulated_prefill_seconds: prefill_seconds,
+            prefill_tokens,
+            prefill_passes: self.prefill_passes.load(Ordering::Relaxed),
+            prefill_tokens_per_second: if prefill_seconds > 0.0 {
+                prefill_tokens as f64 / prefill_seconds
+            } else {
+                0.0
+            },
+            prefill_interleave_occupancy: if prefill_iterations > 0 {
+                self.interleaved_iterations.load(Ordering::Relaxed) as f64
+                    / prefill_iterations as f64
+            } else {
+                0.0
+            },
             kv_blocks_in_use: self.kv_in_use.load(Ordering::Relaxed),
             kv_blocks_peak: self.kv_peak.load(Ordering::Relaxed),
             kv_blocks_capacity: self.kv_capacity.load(Ordering::Relaxed),

@@ -36,8 +36,9 @@ fn single_session_generates_and_frees_blocks() {
         .unwrap();
     assert_eq!(generation.tokens.len(), 6);
     assert!(generation.tokens.iter().all(|&t| t < 16));
-    assert!(generation.ttft_seconds > 0.0);
-    assert!(generation.completion_sim_seconds >= generation.ttft_seconds);
+    assert!(generation.ttft_from_submit_seconds > 0.0);
+    assert!(generation.ttft_from_admission_seconds <= generation.ttft_from_submit_seconds);
+    assert!(generation.completion_sim_seconds >= generation.ttft_from_submit_seconds);
     let stats = engine.stats();
     assert_eq!(stats.sequences_completed, 1);
     assert_eq!(stats.tokens_generated, 6);
@@ -516,6 +517,154 @@ fn workload(mut seed: u64, sequences: usize) -> Vec<(Vec<u32>, usize)> {
         .collect()
 }
 
+/// A decode model sized for the chunked-prefill tests: context window 40
+/// admits prompts that straddle every menu's chunk boundaries, and the
+/// single tiny layer keeps the interpreter fast enough for proptest cases.
+fn prefill_spec() -> DecodeModelSpec {
+    DecodeModelSpec::transformer("tiny-prefill", 1, 8, 2, 12, 40)
+}
+
+fn chunked_engine(menu: Vec<usize>, budget: usize, kv_blocks: usize) -> DecodeEngine {
+    DecodeEngine::new(DecodeConfig {
+        max_batch: 3,
+        kv_blocks,
+        block_tokens: 2,
+        chunk_menu: menu,
+        prefill_token_budget: budget,
+        ..DecodeConfig::default()
+    })
+}
+
+/// Deterministic eviction-pressure scenario: a best-effort session with a
+/// 17-token prompt (long enough for a 16-chunk) is preempted by a
+/// high-priority arrival, so its replay chain — prompt plus already-emitted
+/// tokens — must be re-absorbed *chunked* after re-admission. The stream
+/// must match an ample token-wise run exactly.
+#[test]
+fn chunked_replay_after_eviction_matches_tokenwise() {
+    let hog_prompt: Vec<u32> = (0..17).map(|i| (i * 5 % 12) as u32).collect();
+    let urgent_prompt = vec![3, 7, 1, 9];
+
+    // Reference: ample KV, empty chunk menu — pure token-wise absorption.
+    let ample = DecodeEngine::new(DecodeConfig {
+        max_batch: 2,
+        kv_blocks: 64,
+        block_tokens: 2,
+        chunk_menu: vec![],
+        ..DecodeConfig::default()
+    });
+    let model = ample.register(prefill_spec()).unwrap();
+    let hog_expected = model
+        .generate(GenerateRequest::new(hog_prompt.clone(), 6))
+        .collect()
+        .unwrap()
+        .tokens;
+    let urgent_expected = model
+        .generate(GenerateRequest::new(urgent_prompt.clone(), 8))
+        .collect()
+        .unwrap()
+        .tokens;
+
+    // Tight arena: 12 blocks of 2 tokens. The hog needs 11 blocks
+    // (17 + 6 - 1 = 22 tokens), the urgent session 6 — they cannot coexist,
+    // but each fits alone, so preemption (not failure) must resolve it. The
+    // urgent generation is long enough (8 tokens) that it still holds its
+    // blocks when the hog's cache reaches the capacity wall.
+    let tight = DecodeEngine::new(DecodeConfig {
+        max_batch: 2,
+        kv_blocks: 12,
+        block_tokens: 2,
+        chunk_menu: vec![4, 16],
+        prefill_token_budget: 16,
+        start_paused: true,
+        ..DecodeConfig::default()
+    });
+    let model = tight.register(prefill_spec()).unwrap();
+    let hog =
+        model.generate(GenerateRequest::new(hog_prompt, 6).with_priority(Priority::BestEffort));
+    let urgent =
+        model.generate(GenerateRequest::new(urgent_prompt, 8).with_priority(Priority::High));
+    tight.resume();
+    assert_eq!(urgent.collect().unwrap().tokens, urgent_expected);
+    assert_eq!(
+        hog.collect().unwrap().tokens,
+        hog_expected,
+        "chunked replay after eviction must be invisible"
+    );
+    let stats = tight.stats();
+    assert!(stats.kv_evictions > 0, "the hog must have been preempted");
+    assert!(stats.recomputed_tokens >= 17, "replay re-feeds the chain");
+    assert!(
+        stats.prefill_passes >= 2,
+        "both first absorption and replay must go through chunked prefill, got {}",
+        stats.prefill_passes
+    );
+    assert!(stats.prefill_tokens > 17);
+    assert_eq!(stats.kv_blocks_in_use, 0, "no block leaked");
+}
+
+/// TTFT decomposition telescopes: queue + prefill + first-decode segments
+/// must sum to the full submit-to-first-token time, and a chunk that
+/// finishes a prompt books a zero first-decode segment (the first token
+/// rides the prefill pass itself).
+#[test]
+fn ttft_decomposition_telescopes() {
+    let engine = chunked_engine(vec![4, 16], 16, 32);
+    let model = engine.register(prefill_spec()).unwrap();
+    let prompt: Vec<u32> = (0..16).map(|i| (i % 12) as u32).collect();
+    let generation = model
+        .generate(GenerateRequest::new(prompt, 3))
+        .collect()
+        .unwrap();
+    assert!(generation.ttft_from_admission_seconds <= generation.ttft_from_submit_seconds);
+    let stats = engine.stats();
+    assert!(
+        stats.prefill_passes >= 1,
+        "16-token prompt uses the 16-chunk"
+    );
+    let sum = stats.ttft_queue_p50_seconds
+        + stats.ttft_prefill_p50_seconds
+        + stats.ttft_first_decode_p50_seconds;
+    assert!(
+        (sum - stats.ttft_p50_seconds).abs() < 1e-9,
+        "queue {} + prefill {} + first-decode {} != ttft {}",
+        stats.ttft_queue_p50_seconds,
+        stats.ttft_prefill_p50_seconds,
+        stats.ttft_first_decode_p50_seconds,
+        stats.ttft_p50_seconds
+    );
+    // A 16-chunk consumed the whole 16-token prompt, so the first token was
+    // emitted by the prefill pass itself: zero first-decode segment.
+    assert_eq!(stats.ttft_first_decode_p50_seconds, 0.0);
+    assert!(stats.ttft_prefill_p50_seconds > 0.0);
+}
+
+/// Chunk menus the randomized bit-identity test draws from: mixed strides,
+/// including menus whose smallest chunk forces token-wise tails.
+const MENUS: [&[usize]; 4] = [&[4, 16], &[3, 8], &[2, 4, 16], &[5, 12]];
+
+/// Prompt lengths that straddle the menu's chunk boundaries: exact
+/// multiples, tails of one, sub-chunk prompts, and off-by-one around the
+/// largest chunk.
+fn straddling_lengths(menu: &[usize], mut seed: u64) -> Vec<usize> {
+    let largest = *menu.last().unwrap();
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^ (z >> 31)
+    };
+    vec![
+        1,
+        largest - 1,
+        largest,
+        largest + 1,
+        2 * largest,
+        2 * largest + 1,
+        1 + (next() % (2 * largest as u64)) as usize,
+    ]
+}
+
 proptest::proptest! {
     #![proptest_config(proptest::prelude::ProptestConfig::with_cases(4))]
 
@@ -567,5 +716,84 @@ proptest::proptest! {
         }
         prop_assert_eq!(batched, solo);
         prop_assert_eq!(batched_engine.stats().kv_blocks_in_use, 0);
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(3))]
+
+    /// The chunked-prefill signature invariant: for random chunk menus,
+    /// prompt lengths straddling every chunk boundary, staggered arrivals
+    /// and random generation budgets, the chunked engine's token streams are
+    /// bit-identical to token-wise absorption — the prompt path changes, the
+    /// math must not.
+    #[test]
+    fn chunked_prefill_is_bit_identical_to_tokenwise(
+        seed in 0u64..1_000_000,
+        menu_idx in 0usize..MENUS.len(),
+        budget in 4usize..24,
+        stagger in 0usize..3,
+    ) {
+        let menu = MENUS[menu_idx];
+        let mut lengths = straddling_lengths(menu, seed);
+        // Three sequences per case keep the interpreter budget sane; rotate
+        // through the boundary lengths so every case straddles differently.
+        let rot = (seed % lengths.len() as u64) as usize;
+        lengths.rotate_left(rot);
+        let requests: Vec<(Vec<u32>, usize)> = lengths
+            .into_iter()
+            .take(3)
+            .enumerate()
+            .map(|(i, plen)| {
+                let prompt: Vec<u32> = (0..plen)
+                    .map(|j| ((seed as usize + i * 7 + j * 3) % 12) as u32)
+                    .collect();
+                (prompt, 1 + (seed as usize + i) % 3)
+            })
+            .collect();
+
+        // Reference: same scheduler, chunking disabled. Sessions submit
+        // together — batching is already proven stream-invisible, and one
+        // batched pass costs max-chain iterations instead of sum-of-chains.
+        let tokenwise = chunked_engine(vec![], 0, 32);
+        let model = tokenwise.register(prefill_spec()).unwrap();
+        let sessions: Vec<_> = requests
+            .iter()
+            .map(|(p, n)| model.generate(GenerateRequest::new(p.clone(), *n)))
+            .collect();
+        let expected: Vec<Vec<u32>> = sessions
+            .into_iter()
+            .map(|s| s.collect().unwrap().tokens)
+            .collect();
+
+        let chunked = chunked_engine(menu.to_vec(), budget, 32);
+        let model = chunked.register(prefill_spec()).unwrap();
+        // Staggered arrival: the tail submits only after the head's first
+        // session completes, so late prompts chunk into a mid-flight batch.
+        let split = stagger.min(requests.len() - 1);
+        let head: Vec<_> = requests[..requests.len() - split]
+            .iter()
+            .map(|(p, n)| model.generate(GenerateRequest::new(p.clone(), *n)))
+            .collect();
+        let mut streams: Vec<Vec<u32>> = Vec::new();
+        let mut head_iter = head.into_iter();
+        if let Some(first) = head_iter.next() {
+            streams.push(first.collect().unwrap().tokens);
+        }
+        let tail: Vec<_> = requests[requests.len() - split..]
+            .iter()
+            .map(|(p, n)| model.generate(GenerateRequest::new(p.clone(), *n)))
+            .collect();
+        for session in head_iter.chain(tail) {
+            streams.push(session.collect().unwrap().tokens);
+        }
+        prop_assert_eq!(streams, expected);
+        let stats = chunked.stats();
+        // The boundary lengths guarantee at least one chunkable prompt
+        // whenever the budget admits the smallest chunk.
+        if budget >= menu[0] {
+            prop_assert!(stats.prefill_passes > 0);
+        }
+        prop_assert_eq!(stats.kv_blocks_in_use, 0);
     }
 }

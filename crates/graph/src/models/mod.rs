@@ -18,7 +18,9 @@ mod transformer;
 pub use inception::inception_v3;
 pub use mobilenet::mobilenet_v2;
 pub use resnet::{resnet50, resnet50_conv_workloads, ConvWorkload};
-pub use transformer::{bert_base, gpt2, gpt2_decode_step, transformer_decode_step};
+pub use transformer::{
+    bert_base, gpt2, gpt2_decode_step, gpt2_prefill, transformer_decode_step, transformer_prefill,
+};
 
 use crate::graph::Graph;
 

@@ -255,6 +255,162 @@ pub fn gpt2_decode_step(batch: i64, past_len: i64) -> crate::graph::Graph {
     transformer_decode_step("gpt2_decode", batch, past_len, 12, 768, 12, 768)
 }
 
+/// One pre-LN transformer block of the **prefill chunk**: `chunk` new tokens
+/// of a single sequence attend to the cache plus each other (causally, via
+/// the additive `mask` input). Mirrors [`decode_block`] exactly — same
+/// operators, same weight-creation order, so a prefill graph and a decode
+/// graph built back to back draw identical weights from the builder's seed
+/// counter.
+#[allow(clippy::too_many_arguments)]
+fn prefill_block(
+    g: &mut GraphBuilder,
+    x: TensorId,      // [chunk, hidden]
+    past_k: TensorId, // [heads, past_len, head_dim]
+    past_v: TensorId, // [heads, past_len, head_dim]
+    mask: TensorId,   // [heads, chunk, past_len + chunk]
+    chunk: i64,
+    hidden: i64,
+    heads: i64,
+    ffn_dim: i64,
+) -> (TensorId, TensorId, TensorId) {
+    let head_dim = hidden / heads;
+    let attn_in = g.layer_norm(x);
+    let wq = g.weight(&[hidden, hidden]);
+    let wk = g.weight(&[hidden, hidden]);
+    let wv = g.weight(&[hidden, hidden]);
+    let q = g.matmul(attn_in, wq);
+    let k = g.matmul(attn_in, wk);
+    let v = g.matmul(attn_in, wv);
+    // [chunk, hidden] -> [heads, chunk, head_dim]: with several query tokens
+    // the head split needs the encoder's reshape + transpose.
+    let split = |g: &mut GraphBuilder, t: TensorId| -> TensorId {
+        let r = g.reshape(t, &[chunk, heads, head_dim]);
+        g.transpose(r, &[1, 0, 2])
+    };
+    let qh = split(g, q);
+    let kh = split(g, k);
+    let vh = split(g, v);
+    // Extend the caches by the whole chunk along the sequence axis.
+    let new_k = g.concat(&[past_k, kh], 1); // [heads, past_len + chunk, head_dim]
+    let new_v = g.concat(&[past_v, vh], 1);
+    // Scores over past + chunk: [heads, chunk, past_len + chunk]. The mask
+    // carries both the cache-padding carve-out and the intra-chunk causal
+    // triangle.
+    let kt = g.transpose(new_k, &[0, 2, 1]);
+    let scores = g.batch_matmul(qh, kt);
+    let scale = g.constant(crate::tensor::Tensor::full(
+        &[1],
+        1.0 / (head_dim as f32).sqrt(),
+    ));
+    let scores = g.mul(scores, scale);
+    let scores = g.add(scores, mask);
+    let probs = g.softmax(scores, 2);
+    let ctx = g.batch_matmul(probs, new_v); // [heads, chunk, head_dim]
+    let ctx = g.transpose(ctx, &[1, 0, 2]);
+    let ctx = g.reshape(ctx, &[chunk, hidden]);
+    let wo = g.weight(&[hidden, hidden]);
+    let proj = g.matmul(ctx, wo);
+    let attn_out = g.add(proj, x);
+    // Feed-forward (pre-LN).
+    let ffn_in = g.layer_norm(attn_out);
+    let w1 = g.weight(&[hidden, ffn_dim]);
+    let b1 = g.weight(&[ffn_dim]);
+    let h = g.matmul(ffn_in, w1);
+    let h = g.add(h, b1);
+    let h = g.gelu(h);
+    let w2 = g.weight(&[ffn_dim, hidden]);
+    let b2 = g.weight(&[hidden]);
+    let h = g.matmul(h, w2);
+    let h = g.add(h, b2);
+    let out = g.add(h, attn_out);
+    (out, new_k, new_v)
+}
+
+/// A **prefill chunk** of a pre-LN transformer with explicit KV caches:
+/// `chunk_len` consecutive prompt tokens of **one** sequence are absorbed in
+/// a single forward pass, extending the per-layer caches by the whole chunk —
+/// the multi-token companion of [`transformer_decode_step`] used by
+/// `hidet-decode`'s chunked-prefill scheduler (Sarathi-style).
+///
+/// The weights are created in exactly the same order as the decode-step
+/// graph's, so both graphs built from the same dimensions embody the same
+/// model; attention is causally masked over `past_len + chunk_len` positions
+/// via the additive `mask` input (cache padding *and* the intra-chunk causal
+/// triangle — position `i` of the chunk may attend to cache positions and to
+/// chunk positions `<= i`).
+///
+/// Graph interface, in declaration order (the contract `hidet-decode` relies
+/// on):
+///
+/// * inputs: `x [chunk_len, hidden]`, `mask [heads, chunk_len,
+///   past_len + chunk_len]`, then `past_k_l`/`past_v_l`
+///   `[heads, past_len, head_dim]` per layer;
+/// * outputs: `logits [chunk_len, vocab]` (row `i` scores the token after
+///   chunk position `i` — only the last row matters when the chunk ends the
+///   prompt), then `new_k_l`/`new_v_l`
+///   `[heads, past_len + chunk_len, head_dim]` per layer.
+///
+/// # Panics
+/// Panics when `chunk_len < 1`, `past_len < 1`, or `heads` does not divide
+/// `hidden`.
+#[allow(clippy::too_many_arguments)]
+pub fn transformer_prefill(
+    name: &str,
+    chunk_len: i64,
+    past_len: i64,
+    layers: usize,
+    hidden: i64,
+    heads: i64,
+    vocab: i64,
+) -> crate::graph::Graph {
+    assert!(chunk_len >= 1, "prefill chunk needs at least one token");
+    assert!(past_len >= 1, "prefill needs at least one cache slot");
+    assert_eq!(hidden % heads, 0, "heads must divide hidden");
+    let head_dim = hidden / heads;
+    let mut g = GraphBuilder::new(name);
+    let x = g.input("x", &[chunk_len, hidden]);
+    let mask = g.input("mask", &[heads, chunk_len, past_len + chunk_len]);
+    let mut pasts = Vec::with_capacity(layers);
+    for l in 0..layers {
+        let pk = g.input(&format!("past_k_{l}"), &[heads, past_len, head_dim]);
+        let pv = g.input(&format!("past_v_{l}"), &[heads, past_len, head_dim]);
+        pasts.push((pk, pv));
+    }
+    let mut y = x;
+    let mut caches = Vec::with_capacity(layers);
+    for &(pk, pv) in &pasts {
+        let (out, nk, nv) = prefill_block(
+            &mut g,
+            y,
+            pk,
+            pv,
+            mask,
+            chunk_len,
+            hidden,
+            heads,
+            4 * hidden,
+        );
+        y = out;
+        caches.push((nk, nv));
+    }
+    y = g.layer_norm(y);
+    // LM head: per-position next-token logits.
+    let e = g.weight(&[hidden, vocab]);
+    let logits = g.matmul(y, e);
+    g.output(logits);
+    for (nk, nv) in caches {
+        g.output(nk).output(nv);
+    }
+    g.build()
+}
+
+/// GPT-2 small **prefill chunk**: 12 layers, hidden 768, 12 heads, pre-LN,
+/// matching [`gpt2_decode_step`]. See [`transformer_prefill`] for the graph
+/// interface.
+pub fn gpt2_prefill(chunk_len: i64, past_len: i64) -> crate::graph::Graph {
+    transformer_prefill("gpt2_prefill", chunk_len, past_len, 12, 768, 12, 768)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,6 +509,74 @@ mod tests {
         assert_eq!(g.outputs().len(), 1 + 24);
         assert_eq!(g.tensor(g.outputs()[0]).shape(), &[2, 768]);
         assert_eq!(g.tensor(g.outputs()[1]).shape(), &[24, 17, 64]);
+    }
+
+    #[test]
+    fn prefill_graph_interface() {
+        let (chunk, past, layers, hidden, heads, vocab) = (4, 7, 2, 32, 4, 48);
+        let g = transformer_prefill("p", chunk, past, layers, hidden, heads, vocab);
+        let head_dim = hidden / heads;
+        // Inputs: x, mask, then (past_k, past_v) per layer.
+        assert_eq!(g.inputs().len(), 2 + 2 * layers);
+        assert_eq!(g.tensor(g.inputs()[0]).shape(), &[chunk, hidden]);
+        assert_eq!(
+            g.tensor(g.inputs()[1]).shape(),
+            &[heads, chunk, past + chunk]
+        );
+        for l in 0..layers {
+            for s in 0..2 {
+                assert_eq!(
+                    g.tensor(g.inputs()[2 + 2 * l + s]).shape(),
+                    &[heads, past, head_dim],
+                    "layer {l} stream {s}"
+                );
+            }
+        }
+        // Outputs: per-position logits, then caches extended by the chunk.
+        assert_eq!(g.outputs().len(), 1 + 2 * layers);
+        assert_eq!(g.tensor(g.outputs()[0]).shape(), &[chunk, vocab]);
+        for l in 0..layers {
+            for s in 0..2 {
+                assert_eq!(
+                    g.tensor(g.outputs()[1 + 2 * l + s]).shape(),
+                    &[heads, past + chunk, head_dim]
+                );
+            }
+        }
+        let concats = g
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Concat { axis: 1 }))
+            .count();
+        assert_eq!(concats, 2 * layers);
+    }
+
+    #[test]
+    fn prefill_weights_are_bitwise_identical_to_decode_weights() {
+        // The chunked-prefill invariant starts here: both graph families must
+        // draw the same deterministic weights in the same order, or nothing
+        // downstream can be bit-identical.
+        let d = transformer_decode_step("d", 1, 8, 2, 32, 4, 48);
+        let p = transformer_prefill("p", 4, 8, 2, 32, 4, 48);
+        let weights = |g: &crate::graph::Graph| -> Vec<Vec<f32>> {
+            g.ops()
+                .iter()
+                .filter(|o| matches!(o.kind, OpKind::Matmul))
+                .map(|o| g.tensor(o.inputs[1]).data().unwrap().to_vec())
+                .collect()
+        };
+        let (dw, pw) = (weights(&d), weights(&p));
+        assert_eq!(dw.len(), pw.len());
+        assert_eq!(dw, pw);
+    }
+
+    #[test]
+    fn gpt2_prefill_structure() {
+        let g = gpt2_prefill(16, 32);
+        assert_eq!(g.inputs().len(), 2 + 24);
+        assert_eq!(g.outputs().len(), 1 + 24);
+        assert_eq!(g.tensor(g.outputs()[0]).shape(), &[16, 768]);
+        assert_eq!(g.tensor(g.outputs()[1]).shape(), &[12, 48, 64]);
     }
 
     #[test]

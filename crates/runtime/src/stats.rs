@@ -306,10 +306,45 @@ pub struct DecodeStatsSnapshot {
     pub itl_p50_seconds: f64,
     /// 95th-percentile simulated inter-token latency, seconds.
     pub itl_p95_seconds: f64,
+    /// Median time-to-first-token measured from batch admission (queueing
+    /// excluded — the compute-only TTFT).
+    pub ttft_from_admission_p50_seconds: f64,
+    /// 95th-percentile time-to-first-token from admission.
+    pub ttft_from_admission_p95_seconds: f64,
+    /// Median queue segment of TTFT: submission → first admission.
+    pub ttft_queue_p50_seconds: f64,
+    /// 95th-percentile queue segment of TTFT.
+    pub ttft_queue_p95_seconds: f64,
+    /// Median prefill segment of TTFT: admission → all but the final prompt
+    /// token absorbed. This is the segment chunked prefill collapses.
+    pub ttft_prefill_p50_seconds: f64,
+    /// 95th-percentile prefill segment of TTFT.
+    pub ttft_prefill_p95_seconds: f64,
+    /// Median first-decode segment of TTFT: the pass feeding the final
+    /// prompt token and emitting the first output (zero when a prefill chunk
+    /// finishes the prompt — the emission rides the chunk's pass).
+    pub ttft_first_decode_p50_seconds: f64,
+    /// 95th-percentile first-decode segment of TTFT.
+    pub ttft_first_decode_p95_seconds: f64,
     /// Generated tokens per simulated decode second.
     pub tokens_per_second: f64,
     /// Total simulated seconds spent in decode steps.
     pub simulated_decode_seconds: f64,
+    /// Total simulated seconds spent in chunked prefill passes (booked
+    /// separately so `tokens_per_second` stays a decode metric).
+    pub simulated_prefill_seconds: f64,
+    /// Prompt tokens absorbed through chunked prefill passes (also counted
+    /// in `prompt_tokens`).
+    pub prefill_tokens: usize,
+    /// Chunked prefill forward passes executed.
+    pub prefill_passes: usize,
+    /// Prefill tokens per simulated prefill second — the multi-token
+    /// absorption bandwidth.
+    pub prefill_tokens_per_second: f64,
+    /// Fraction of prefill-running scheduler iterations that also ran a
+    /// decode step, `0.0..=1.0` — 1.0 means every prefill chunk rode along
+    /// with in-flight decodes instead of having the engine to itself.
+    pub prefill_interleave_occupancy: f64,
     /// KV blocks currently allocated across live sequences.
     pub kv_blocks_in_use: usize,
     /// High-water mark of allocated KV blocks.
@@ -328,6 +363,7 @@ impl DecodeStatsSnapshot {
         format!(
             "{} tokens from {} sequences in {} steps (occupancy {:.0}%) | \
              {:.0} tok/s (sim) | ttft p50 {:.1} us, itl p50/p95 {:.1}/{:.1} us | \
+             prefill {} tokens in {} passes ({:.0} tok/s, interleave {:.0}%) | \
              kv {}/{} blocks (peak {}), {} evictions, {} recomputed",
             self.tokens_generated,
             self.sequences_completed,
@@ -337,6 +373,10 @@ impl DecodeStatsSnapshot {
             self.ttft_p50_seconds * 1e6,
             self.itl_p50_seconds * 1e6,
             self.itl_p95_seconds * 1e6,
+            self.prefill_tokens,
+            self.prefill_passes,
+            self.prefill_tokens_per_second,
+            self.prefill_interleave_occupancy * 100.0,
             self.kv_blocks_in_use,
             self.kv_blocks_capacity,
             self.kv_blocks_peak,

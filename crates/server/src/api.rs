@@ -367,6 +367,19 @@ pub(crate) fn render_stats(snapshot: &StatsSnapshot) -> String {
         w.key("kv_blocks_capacity")
             .integer(decode.kv_blocks_capacity as i64);
         w.key("tokens_per_second").number(decode.tokens_per_second);
+        w.key("ttft_p95_us").number(decode.ttft_p95_seconds * 1e6);
+        w.key("ttft_queue_p95_us")
+            .number(decode.ttft_queue_p95_seconds * 1e6);
+        w.key("ttft_prefill_p95_us")
+            .number(decode.ttft_prefill_p95_seconds * 1e6);
+        w.key("ttft_first_decode_p95_us")
+            .number(decode.ttft_first_decode_p95_seconds * 1e6);
+        w.key("prefill_tokens")
+            .integer(decode.prefill_tokens as i64);
+        w.key("prefill_tokens_per_second")
+            .number(decode.prefill_tokens_per_second);
+        w.key("prefill_interleave_occupancy")
+            .number(decode.prefill_interleave_occupancy);
         w.end();
     }
     if let Some(ingress) = &snapshot.ingress {

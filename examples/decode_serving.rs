@@ -53,7 +53,7 @@ fn main() {
     println!(
         "essay tokens: {:?}\n  ttft {:.1} us (sim), finished at {:.1} us (sim)",
         essay.tokens,
-        essay.ttft_seconds * 1e6,
+        essay.ttft_from_submit_seconds * 1e6,
         essay.completion_sim_seconds * 1e6
     );
     let capped = capped.collect().expect("capped completes");
