@@ -1,0 +1,315 @@
+//! The repo-invariant lint harness (`hidet-lint`): source-level rules that
+//! `cargo test` cannot express as unit tests without grepping source from
+//! inside a test — which is exactly the ad-hoc pattern this module absorbs
+//! (PR 6's "zero mutexes on enqueue" test shipped as an `include_str!` grep
+//! inside `crates/server/tests/ring.rs`).
+//!
+//! Three rules:
+//!
+//! * **HA101** — no blocking primitive (`Mutex`, `RwLock`, `Condvar`,
+//!   `mpsc::`) anywhere in `server::ring`, the lock-free ingress hot path.
+//! * **HA102** — no `unwrap()` / `expect()` / `panic!`-family macro in the
+//!   runtime/decode/server hot-loop files, except sites justified in the
+//!   allowlist (`crates/analysis/lint_allow.txt`). Test modules (everything
+//!   from the first `#[cfg(test)]` down) and comment lines are exempt.
+//! * **HA103** — every workspace crate's `lib.rs` carries
+//!   `#![warn(missing_docs)]`.
+//!
+//! The harness reads sources relative to a repo root, so it runs identically
+//! from CI (`cargo run -p hidet-analysis --bin hidet-lint`), from tests, and
+//! from any checkout path.
+
+use std::path::Path;
+
+use crate::diag::{Diagnostic, Rule};
+
+/// The lock-free ingress file covered by HA101.
+pub const RING_FILE: &str = "crates/server/src/ring.rs";
+
+/// Blocking primitives banned from [`RING_FILE`].
+pub const BLOCKING_PATTERNS: &[&str] = &["Mutex", "RwLock", "Condvar", "mpsc::"];
+
+/// Hot-loop files covered by HA102. Steady-state request paths: a panic
+/// here takes down a worker mid-batch instead of failing one request.
+pub const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/compiler.rs",
+    "crates/runtime/src/engine.rs",
+    "crates/decode/src/engine.rs",
+    "crates/decode/src/kv.rs",
+    "crates/server/src/ring.rs",
+    "crates/server/src/server.rs",
+];
+
+/// Panic-capable call patterns banned by HA102. Note `.unwrap_or(` /
+/// `.unwrap_or_else(` do not match `.unwrap()` — converting a site to a
+/// fallback is the usual fix.
+pub const PANIC_PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// The attribute HA103 requires in every crate's `lib.rs`.
+pub const DOC_ATTR: &str = "#![warn(missing_docs)]";
+
+/// Relative path of the HA102 allowlist.
+pub const ALLOWLIST_FILE: &str = "crates/analysis/lint_allow.txt";
+
+/// One justified HA102 site: `path: needle` — suppresses findings in `path`
+/// on lines containing `needle`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Repo-relative file the entry applies to.
+    pub path: String,
+    /// Substring of the tolerated line.
+    pub needle: String,
+}
+
+/// Parses the allowlist format: one `path: needle` per line, `#` comments
+/// and blank lines ignored. Malformed lines become entries matching nothing
+/// (and will be reported unused).
+pub fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (path, needle) = l.split_once(':')?;
+            Some(AllowEntry {
+                path: path.trim().to_string(),
+                needle: needle.trim().to_string(),
+            })
+        })
+        .collect()
+}
+
+/// HA101 over one source text.
+pub fn scan_ring_source(rel_path: &str, content: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (lineno, line) in content.lines().enumerate() {
+        for pat in BLOCKING_PATTERNS {
+            if line.contains(pat) {
+                diags.push(Diagnostic::error(
+                    Rule::LintBlockingPrimitive,
+                    format!("{rel_path}:{}", lineno + 1),
+                    format!("blocking primitive `{pat}` on the lock-free ingress path"),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+/// HA102 over one source text. `used[i]` is set when allowlist entry `i`
+/// suppresses a finding. Scanning stops at the first `#[cfg(test)]` — hot
+/// loops live above the test module, and tests may panic freely.
+pub fn scan_hot_source(
+    rel_path: &str,
+    content: &str,
+    allow: &[AllowEntry],
+    used: &mut [bool],
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (lineno, line) in content.lines().enumerate() {
+        if line.contains("#[cfg(test)]") {
+            break;
+        }
+        if line.trim_start().starts_with("//") {
+            continue;
+        }
+        for pat in PANIC_PATTERNS {
+            if !line.contains(pat) {
+                continue;
+            }
+            let mut allowed = false;
+            for (i, entry) in allow.iter().enumerate() {
+                if entry.path == rel_path
+                    && !entry.needle.is_empty()
+                    && line.contains(&entry.needle)
+                {
+                    allowed = true;
+                    used[i] = true;
+                }
+            }
+            if !allowed {
+                diags.push(Diagnostic::error(
+                    Rule::LintPanicInHotPath,
+                    format!("{rel_path}:{}", lineno + 1),
+                    format!(
+                        "`{pat}` in a hot loop; return a typed error or add a \
+                         justified entry to {ALLOWLIST_FILE}"
+                    ),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+/// HA103 over one `lib.rs` text.
+pub fn scan_lib_docs(rel_path: &str, content: &str) -> Vec<Diagnostic> {
+    if content.lines().any(|l| l.trim() == DOC_ATTR) {
+        Vec::new()
+    } else {
+        vec![Diagnostic::error(
+            Rule::LintMissingDocsAttr,
+            rel_path,
+            format!("public crate root must carry `{DOC_ATTR}`"),
+        )]
+    }
+}
+
+/// Runs every lint rule against the repo rooted at `root`. Missing covered
+/// files are themselves errors (a rule silently skipping a renamed hot file
+/// would hollow out the invariant); unused allowlist entries are warnings so
+/// stale justifications surface without gating.
+pub fn run_lint(root: &Path) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let read = |rel: &str| std::fs::read_to_string(root.join(rel));
+
+    match read(RING_FILE) {
+        Ok(text) => diags.extend(scan_ring_source(RING_FILE, &text)),
+        Err(e) => diags.push(Diagnostic::error(
+            Rule::LintBlockingPrimitive,
+            RING_FILE,
+            format!("cannot read covered file: {e}"),
+        )),
+    }
+
+    let allow = match read(ALLOWLIST_FILE) {
+        Ok(text) => parse_allowlist(&text),
+        Err(_) => Vec::new(), // an absent allowlist allows nothing
+    };
+    let mut used = vec![false; allow.len()];
+    for rel in HOT_PATH_FILES {
+        match read(rel) {
+            Ok(text) => diags.extend(scan_hot_source(rel, &text, &allow, &mut used)),
+            Err(e) => diags.push(Diagnostic::error(
+                Rule::LintPanicInHotPath,
+                *rel,
+                format!("cannot read covered file: {e}"),
+            )),
+        }
+    }
+    for (entry, used) in allow.iter().zip(&used) {
+        if !used {
+            diags.push(Diagnostic::warning(
+                Rule::LintPanicInHotPath,
+                ALLOWLIST_FILE,
+                format!(
+                    "allowlist entry `{}: {}` matches nothing — remove it",
+                    entry.path, entry.needle
+                ),
+            ));
+        }
+    }
+
+    // HA103: every crates/*/src/lib.rs, plus the umbrella crate root.
+    let mut lib_files: Vec<String> = Vec::new();
+    match std::fs::read_dir(root.join("crates")) {
+        Ok(entries) => {
+            for entry in entries.flatten() {
+                let lib = entry.path().join("src").join("lib.rs");
+                if lib.is_file() {
+                    if let Some(name) = entry.file_name().to_str() {
+                        lib_files.push(format!("crates/{name}/src/lib.rs"));
+                    }
+                }
+            }
+        }
+        Err(e) => diags.push(Diagnostic::error(
+            Rule::LintMissingDocsAttr,
+            "crates",
+            format!("cannot enumerate workspace crates: {e}"),
+        )),
+    }
+    lib_files.push("src/lib.rs".to_string());
+    lib_files.sort();
+    for rel in &lib_files {
+        match read(rel) {
+            Ok(text) => diags.extend(scan_lib_docs(rel, &text)),
+            Err(e) => diags.push(Diagnostic::error(
+                Rule::LintMissingDocsAttr,
+                rel.as_str(),
+                format!("cannot read crate root: {e}"),
+            )),
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{has_errors, Severity};
+
+    #[test]
+    fn ring_rule_flags_each_blocking_primitive() {
+        let clean = "use std::sync::atomic::AtomicUsize;\nlet x = 1;\n";
+        assert_eq!(scan_ring_source("r.rs", clean), vec![]);
+        let dirty = "use std::sync::Mutex;\nlet (tx, rx) = mpsc::channel();\n";
+        let diags = scan_ring_source("r.rs", dirty);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == Rule::LintBlockingPrimitive));
+        assert_eq!(diags[0].location, "r.rs:1");
+    }
+
+    #[test]
+    fn hot_path_rule_respects_comments_tests_and_allowlist() {
+        let src = "\
+let a = x.unwrap();
+// commented: y.unwrap() is fine
+let b = y.unwrap_or(0);
+let c = z.expect(\"justified because tested\");
+#[cfg(test)]
+mod tests { fn f() { q.unwrap(); } }
+";
+        // No allowlist: the unwrap and the expect are flagged; the comment,
+        // the unwrap_or and the test module are not.
+        let diags = scan_hot_source("h.rs", src, &[], &mut []);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == Rule::LintPanicInHotPath));
+        assert_eq!(diags[0].location, "h.rs:1");
+        assert_eq!(diags[1].location, "h.rs:4");
+
+        // Allowlist suppresses by path + needle; wrong path does not.
+        let allow = parse_allowlist(
+            "# a comment\n\nh.rs: justified because tested\nother.rs: x.unwrap()\n",
+        );
+        assert_eq!(allow.len(), 2);
+        let mut used = vec![false; allow.len()];
+        let diags = scan_hot_source("h.rs", src, &allow, &mut used);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].location, "h.rs:1");
+        assert_eq!(used, vec![true, false]);
+    }
+
+    #[test]
+    fn docs_rule_requires_the_attribute() {
+        assert_eq!(
+            scan_lib_docs("l.rs", "//! docs\n#![warn(missing_docs)]\npub fn f() {}\n"),
+            vec![]
+        );
+        let diags = scan_lib_docs("l.rs", "pub fn f() {}\n");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::LintMissingDocsAttr);
+    }
+
+    #[test]
+    fn whole_repo_passes_the_lint() {
+        // The crate sits at crates/analysis; the repo root is two up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let diags = run_lint(&root);
+        let errors: Vec<_> = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        assert!(errors.is_empty(), "{}", crate::diag::render_text(&diags));
+        assert!(!has_errors(&diags));
+        // Stale allowlist entries surface as warnings; the checked-in
+        // allowlist must be tight.
+        assert_eq!(diags, vec![], "{}", crate::diag::render_text(&diags));
+    }
+}

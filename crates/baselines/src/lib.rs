@@ -24,6 +24,8 @@
 //!   system (including Hidet, in `crates/core`) implements so the benchmark
 //!   harness can compare them uniformly.
 
+#![warn(missing_docs)]
+
 pub mod ansor;
 pub mod autotvm;
 pub mod executor;

@@ -11,7 +11,10 @@
 //!    trials well below the historical 1143 (three matmul problems × the
 //!    exhaustive ~381-candidate search) while electing the same schedules;
 //! 3. **memory-planned execution** produces outputs bit-identical to the
-//!    unplanned executor at a strictly lower intermediate footprint.
+//!    unplanned executor at a strictly lower intermediate footprint;
+//! 4. the always-on **stage verifiers** (`hidet-analysis`, default
+//!    `VerifyLevel::Cheap`) cost under 5% of the cold compile
+//!    (`verify_overhead_pct`).
 //!
 //! Emits its metrics as the `compile_throughput` section of
 //! `BENCH_serving.json`; `cold_compile_ms` and `planned_peak_bytes` are
@@ -129,6 +132,23 @@ fn main() {
         println!("({cores} core(s): the >= 2x speedup assertion needs >= 4, skipping)");
     }
 
+    // --- 1b. verifier overhead --------------------------------------------
+    // The always-on `VerifyLevel::Cheap` stage verifiers (graph IR after
+    // every pass, partition coverage, schedule + plan legality) must cost
+    // under 5% of the cold compile. Both sides are best-of-3 cold compiles,
+    // so host noise can make the difference go negative — clamp at zero.
+    let (verified_ms, _) = time_compile(&tower, &gpu, &CompilerOptions::tuned());
+    let (unverified_ms, _) = time_compile(&tower, &gpu, &CompilerOptions::tuned().verify_off());
+    let verify_overhead_pct = ((verified_ms - unverified_ms) / unverified_ms * 100.0).max(0.0);
+    println!(
+        "\nverifier overhead: {verified_ms:.1} ms verified vs {unverified_ms:.1} ms \
+         with VerifyLevel::Off ({verify_overhead_pct:.2}%)"
+    );
+    assert!(
+        verify_overhead_pct < 5.0,
+        "always-on verification must cost < 5% of the cold compile, got {verify_overhead_pct:.2}%"
+    );
+
     // --- 2. pruned tuning on the serving bench model ----------------------
     let serving_model = mlp_tower(1);
     let (_, pruned) = time_compile(&serving_model, &gpu, &CompilerOptions::tuned());
@@ -189,6 +209,7 @@ fn main() {
         .field_f64("cold_compile_ms", parallel_ms)
         .field_f64("sequential_compile_ms", sequential_ms)
         .field_f64("compile_speedup", speedup)
+        .field_f64("verify_overhead_pct", verify_overhead_pct)
         .field_usize("tuning_trials_run", pruned.tuning_trials())
         .field_usize("tuning_trials_exhaustive", exhaustive.tuning_trials())
         .field_usize("planned_peak_bytes", plan.peak_bytes())

@@ -1,0 +1,112 @@
+//! Static-analysis sweep: the whole model zoo through the `hidet-analysis`
+//! verifiers at every pipeline stage, with **zero diagnostics** as the
+//! acceptance bar.
+//!
+//! Three layers of proof:
+//!
+//! 1. **graph IR**: every zoo model (the paper's five evaluation networks
+//!    plus the decode-step and prefill-chunk graphs) deep-verifies clean as
+//!    imported, after `lower_convs`, and after `constant_fold`, and its
+//!    fusion partition covers the graph exactly once;
+//! 2. **pipeline**: a full compile at `VerifyLevel::Deep` — every stage
+//!    verifier (graph, partition, schedule, memory plan) armed — succeeds;
+//! 3. **artifact load**: the compiled artifact round-trips through
+//!    `compile_from_artifact`, which re-proves every recorded schedule and
+//!    the rebuilt memory plan with the same checkers.
+//!
+//! Emits the `verify_sweep` section of `BENCH_serving.json`; the
+//! `diagnostics` field must stay 0.
+//!
+//! ```text
+//! cargo run --release -p hidet-bench --bin verify_sweep
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use hidet::CompilerOptions;
+use hidet_analysis::{verify_graph, verify_partition, Diagnostic, VerifyLevel};
+use hidet_bench::report::{upsert_section, BenchSection};
+use hidet_bench::{arg_str, print_table};
+use hidet_graph::models;
+use hidet_graph::passes::{constant_fold, lower_convs, partition};
+use hidet_graph::Graph;
+use hidet_sim::Gpu;
+
+/// Deep-verifies one model through the graph-pass pipeline; returns every
+/// diagnostic (expected: none) and the number of checks run.
+fn sweep_graph(mut g: Graph, diags: &mut Vec<Diagnostic>) -> usize {
+    diags.extend(verify_graph(&g, VerifyLevel::Deep));
+    lower_convs(&mut g);
+    diags.extend(verify_graph(&g, VerifyLevel::Deep));
+    constant_fold(&mut g);
+    diags.extend(verify_graph(&g, VerifyLevel::Deep));
+    diags.extend(verify_partition(&g, &partition(&g)));
+    4
+}
+
+fn main() {
+    let bench_json = PathBuf::from(arg_str("--bench-json", "BENCH_serving.json"));
+    println!("=== hidet: static-analysis sweep (graph IR / schedules / plans) ===\n");
+    let start = Instant::now();
+
+    // --- 1. graph IR over the whole zoo -----------------------------------
+    let mut zoo = models::all_models(1);
+    zoo.push(models::gpt2_decode_step(2, 16));
+    zoo.push(models::gpt2_prefill(8, 16));
+    let mut rows = Vec::new();
+    let mut diags = Vec::new();
+    let mut checks = 0usize;
+    let n_models = zoo.len();
+    for g in zoo {
+        let before = diags.len();
+        checks += sweep_graph(g.clone(), &mut diags);
+        rows.push(vec![
+            g.name().to_string(),
+            format!("{}", g.ops().len()),
+            format!("{}", diags.len() - before),
+        ]);
+    }
+    print_table(&["model", "ops", "diagnostics"], &rows);
+
+    // --- 2 + 3. full pipeline at Deep, then the artifact round-trip -------
+    let gpu = Gpu::default();
+    let options = CompilerOptions::quick().verify_deep();
+    for graph in [models::gpt2_decode_step(1, 16), models::gpt2_prefill(4, 16)] {
+        let compiled = hidet::compile(&graph, &gpu, &options)
+            .unwrap_or_else(|e| panic!("{} failed deep-verified compile: {e}", graph.name()));
+        let artifact = compiled.artifact().clone();
+        hidet::compile_from_artifact(&graph, &gpu, &options, artifact)
+            .unwrap_or_else(|e| panic!("{} artifact re-load rejected: {e}", graph.name()));
+        checks += 2;
+        println!(
+            "{}: deep-verified compile + artifact re-load clean ({} kernels)",
+            graph.name(),
+            compiled.num_kernels()
+        );
+    }
+
+    let sweep_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "\nswept {n_models} zoo models, {checks} verifier passes, {} diagnostics in {sweep_ms:.0} ms",
+        diags.len()
+    );
+    if !diags.is_empty() {
+        print!("{}", hidet_analysis::render_text(&diags));
+    }
+
+    let section = BenchSection::new("verify_sweep")
+        .field_usize("models", n_models)
+        .field_usize("verifier_passes", checks)
+        .field_usize("diagnostics", diags.len())
+        .field_f64("sweep_ms", sweep_ms);
+    upsert_section(&bench_json, &section).expect("write bench json");
+    println!("wrote section \"verify_sweep\" to {}", bench_json.display());
+
+    assert!(
+        diags.is_empty(),
+        "the zoo must verify clean at every stage, got {} diagnostics",
+        diags.len()
+    );
+    println!("all static-analysis sweep checks passed");
+}

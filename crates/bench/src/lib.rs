@@ -1,6 +1,8 @@
 //! Shared experiment-harness utilities: table formatting, paper reference
 //! data, and the standard executor line-up of the paper's evaluation (§6.1).
 
+#![warn(missing_docs)]
+
 pub mod report;
 pub mod trajectory;
 

@@ -5,6 +5,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use hidet_analysis::{self as analysis, VerifyLevel};
 use hidet_graph::passes::FusedGroup;
 use hidet_graph::passes::{constant_fold, lower_convs, partition};
 use hidet_graph::{Graph, OpKind, TensorId};
@@ -34,6 +35,11 @@ pub enum CompileError {
     /// offered for (wrong key, wrong group count, ill-fitting schedule).
     /// Callers should fall back to a fresh compile.
     Artifact(String),
+    /// The in-pipeline verifier (`hidet-analysis`) found the graph, a
+    /// schedule, or the memory plan ill-formed after a pass — a compiler
+    /// bug surfaced as a diagnostic instead of a miscompile. The message
+    /// carries the rendered `HAxxx` findings.
+    Verify(String),
 }
 
 impl fmt::Display for CompileError {
@@ -43,6 +49,7 @@ impl fmt::Display for CompileError {
             CompileError::Sim(e) => write!(f, "simulation failed: {e}"),
             CompileError::BadInput(msg) => write!(f, "bad input: {msg}"),
             CompileError::Artifact(msg) => write!(f, "artifact rejected: {msg}"),
+            CompileError::Verify(msg) => write!(f, "verification failed: {msg}"),
         }
     }
 }
@@ -95,6 +102,17 @@ pub struct CompilerOptions {
     /// `K`. `None` enumerates exhaustively (the paper's configuration;
     /// [`CompilerOptions::exhaustive`]).
     pub measure_top_k: Option<usize>,
+    /// How much of the in-pipeline verifier runs (see
+    /// [`hidet_analysis::VerifyLevel`]). [`VerifyLevel::Cheap`] (the
+    /// default) re-proves structural graph invariants after each rewriting
+    /// pass plus schedule/plan legality; [`VerifyLevel::Deep`] adds full
+    /// shape re-inference and the KV-cache family rules;
+    /// [`VerifyLevel::Off`] exists for the `verify_overhead_pct` bench
+    /// baseline. Verification never changes *what gets compiled* — only
+    /// whether a broken pipeline aborts with [`CompileError::Verify`] or
+    /// miscompiles — so it takes no part in
+    /// [`CompilerOptions::cache_key_bits`] or equality.
+    pub verify_level: VerifyLevel,
     /// Worker threads fanning the per-fused-group compile+tune loop out
     /// (`0` = one per available core, `1` = sequential). Does **not**
     /// change what gets compiled — group order, tuning decisions and
@@ -114,6 +132,7 @@ impl CompilerOptions {
             order_stable_reductions: false,
             tuning_cache: None,
             measure_top_k: Some(DEFAULT_MEASURE_TOP_K),
+            verify_level: VerifyLevel::Cheap,
             compile_workers: 0,
         }
     }
@@ -156,6 +175,20 @@ impl CompilerOptions {
         self
     }
 
+    /// Turns on deep verification (shape re-inference, KV-family rules)
+    /// after every rewriting pass.
+    pub fn verify_deep(mut self) -> CompilerOptions {
+        self.verify_level = VerifyLevel::Deep;
+        self
+    }
+
+    /// Disables the in-pipeline verifier entirely. Bench-baseline escape
+    /// hatch — production callers keep the default cheap level.
+    pub fn verify_off(mut self) -> CompilerOptions {
+        self.verify_level = VerifyLevel::Off;
+        self
+    }
+
     /// The worker count the per-group fan-out will actually use.
     pub fn effective_compile_workers(&self) -> usize {
         if self.compile_workers == 0 {
@@ -173,8 +206,9 @@ impl CompilerOptions {
     /// many threads search for them, not which config wins, so compiled
     /// graphs remain interchangeable across cache attachments and machine
     /// sizes. The pruning depth **does** participate — a different
-    /// measurement set can crown a different schedule. Used by the runtime's
-    /// compiled-graph cache key.
+    /// measurement set can crown a different schedule. The verify level
+    /// does not: it gates whether bugs abort, never what is produced.
+    /// Used by the runtime's compiled-graph cache key.
     pub fn cache_key_bits(&self) -> u64 {
         (self.tune as u64)
             | (self.disable_double_buffering as u64) << 1
@@ -194,8 +228,8 @@ impl CompilerOptions {
 impl PartialEq for CompilerOptions {
     /// Equality over the compilation-relevant flags plus *identity* of the
     /// attached tuning cache (two handles to the same store compare equal).
-    /// `compile_workers` is execution strategy, not compilation input, and
-    /// does not participate.
+    /// `compile_workers` and `verify_level` are execution strategy, not
+    /// compilation input, and do not participate.
     fn eq(&self, other: &CompilerOptions) -> bool {
         let caches_match = match (&self.tuning_cache, &other.tuning_cache) {
             (None, None) => true,
@@ -277,8 +311,20 @@ pub fn compile_hashed(
 ) -> Result<CompiledGraph, CompileError> {
     let mut g = graph.clone();
     lower_convs(&mut g);
+    // Each rewriting pass rebuilds the op/tensor tables; re-prove the IR
+    // invariants behind it. Structural checks after every pass, the deep
+    // (shape re-inference + KV family) sweep once, after the last rewrite.
+    let level = options.verify_level;
+    verify_stage(
+        analysis::verify_graph(&g, level.min(VerifyLevel::Cheap)),
+        "lower_convs",
+    )?;
     constant_fold(&mut g);
+    verify_stage(analysis::verify_graph(&g, level), "constant_fold")?;
     let groups = partition(&g);
+    if level > VerifyLevel::Off {
+        verify_stage(analysis::verify_partition(&g, &groups), "partition")?;
+    }
 
     let device = gpu.spec().fingerprint();
     // Shared per-problem tuning slots: identical matmul problems across
@@ -317,7 +363,15 @@ pub fn compile_hashed(
         });
         slots
             .into_iter()
-            .map(|slot| slot.into_inner().expect("every group slot is filled"))
+            .map(|slot| {
+                // Workers drain the index counter before exiting, so every
+                // slot is filled; an empty one means a worker died mid-group.
+                slot.into_inner().unwrap_or_else(|| {
+                    Err(CompileError::Schedule(
+                        "internal: a compile worker exited without filling its group slot".into(),
+                    ))
+                })
+            })
             .collect()
     };
 
@@ -331,8 +385,17 @@ pub fn compile_hashed(
     let mut record_seconds_saved = 0.0;
     let mut schedules = Vec::with_capacity(groups.len());
     let mut compiled_groups = Vec::with_capacity(groups.len());
-    for outcome in outcomes {
+    for (i, outcome) in outcomes.into_iter().enumerate() {
         let outcome = outcome?;
+        if level > VerifyLevel::Off {
+            // Re-prove the elected schedule against the device — the tuner
+            // and the ablation clamps must never hand kernel generation an
+            // illegal config.
+            verify_stage(
+                check_group_schedule(&g, &groups[i], &outcome.schedule, gpu, options, i),
+                "tuning",
+            )?;
+        }
         match outcome.cost {
             TuneCost::None => {}
             TuneCost::Fresh { trials, seconds } => {
@@ -356,6 +419,9 @@ pub fn compile_hashed(
     // so "what a warm artifact load saves" is stable across re-compiles.
     let tuned_entries = tuning.entries();
     let memory_plan = MemoryPlan::build(&g, &compiled_groups);
+    if level > VerifyLevel::Off {
+        verify_stage(memory_plan.verify(g.name()), "memory planning")?;
+    }
     let artifact = CompiledArtifact {
         graph_hash,
         device,
@@ -462,10 +528,12 @@ struct TuningSlots {
 
 impl TuningSlots {
     fn slot(&self, key: (i64, i64, i64, i64)) -> TuneSlot {
+        // The map is insert-only (never torn by a panicking writer), so a
+        // poisoned lock is safe to enter rather than propagate.
         Arc::clone(
             self.slots
                 .lock()
-                .expect("tuning slots poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .entry(key)
                 .or_default(),
         )
@@ -474,7 +542,10 @@ impl TuningSlots {
     /// Every successfully resolved problem's winning config, sorted by
     /// problem key (deterministic regardless of which worker tuned what).
     fn entries(&self) -> Vec<TunedEntry> {
-        let slots = self.slots.lock().expect("tuning slots poisoned");
+        let slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut entries: Vec<TunedEntry> = slots
             .iter()
             .filter_map(|(&(batch, m, n, k), slot)| match slot.get() {
@@ -572,7 +643,7 @@ fn compile_one_group(
         match &op.kind {
             OpKind::Matmul | OpKind::BatchMatmul => {
                 let config = if options.tune {
-                    let problem = matmul_problem(g, anchor);
+                    let problem = matmul_problem(g, anchor)?;
                     let (config, c) = resolve_matmul_config(problem, gpu, options, device, tuning)?;
                     cost = c;
                     config
@@ -589,7 +660,12 @@ fn compile_one_group(
             }
             OpKind::LayerNorm => {
                 let shape = g.tensor(op.inputs[0]).shape();
-                let len = *shape.last().expect("rank >= 1");
+                let Some(&len) = shape.last() else {
+                    return Err(CompileError::Schedule(format!(
+                        "layernorm anchor {} has a rank-0 input",
+                        op.name
+                    )));
+                };
                 let rows: i64 = shape.iter().product::<i64>() / len;
                 schedule.reduce = reduce_for(rows, len);
             }
@@ -608,6 +684,42 @@ fn compile_one_group(
         compiled,
         cost,
     })
+}
+
+/// Lifts a verifier stage's findings into [`CompileError::Verify`]:
+/// gating findings abort the compile with the rendered diagnostics.
+fn verify_stage(diags: Vec<analysis::Diagnostic>, stage: &str) -> Result<(), CompileError> {
+    if analysis::has_errors(&diags) {
+        Err(CompileError::Verify(format!(
+            "after {stage}: {}",
+            analysis::render_text(&diags).trim_end()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+/// Re-proves one group's elected schedule against the device spec
+/// (`hidet_analysis::check_schedule` with this group's anchor kind and the
+/// compile's determinism contract).
+fn check_group_schedule(
+    g: &Graph,
+    group: &FusedGroup,
+    schedule: &GroupSchedule,
+    gpu: &Gpu,
+    options: &CompilerOptions,
+    index: usize,
+) -> Vec<analysis::Diagnostic> {
+    let matmul_anchor = group
+        .anchor
+        .is_some_and(|a| matches!(g.op(a).kind, OpKind::Matmul | OpKind::BatchMatmul));
+    analysis::check_schedule(
+        schedule,
+        gpu.spec(),
+        matmul_anchor,
+        options.order_stable_reductions,
+        &format!("{}::group {index}", g.name()),
+    )
 }
 
 /// Rebuilds a [`CompiledGraph`] from a previously saved [`CompiledArtifact`]
@@ -661,21 +773,26 @@ pub fn compile_from_artifact_hashed(
         )));
     }
     let mut compiled_groups = Vec::with_capacity(groups.len());
-    for (group, schedule) in groups.iter().zip(&artifact.schedules) {
-        if let Some(anchor) = group.anchor {
-            let matmul_anchor = matches!(g.op(anchor).kind, OpKind::Matmul | OpKind::BatchMatmul);
-            if matmul_anchor && !schedule.matmul.fits(gpu.spec()) {
-                return Err(CompileError::Artifact(format!(
-                    "recorded matmul schedule {:?} does not fit device \"{}\"",
-                    schedule.matmul,
-                    gpu.spec().name
-                )));
-            }
+    for (i, (group, schedule)) in groups.iter().zip(&artifact.schedules).enumerate() {
+        // Recorded schedules crossed a serialization boundary (possibly a
+        // hand-edited file): re-prove full legality, not just "fits" — a
+        // corrupted/oversized config is rejected with its diagnostics,
+        // never fed to kernel generation.
+        let diags = check_group_schedule(&g, group, schedule, gpu, options, i);
+        if analysis::has_errors(&diags) {
+            return Err(CompileError::Artifact(format!(
+                "recorded schedule rejected: {}",
+                analysis::render_text(&diags).trim_end()
+            )));
         }
         let compiled = compile_group(&g, group, schedule).map_err(CompileError::Schedule)?;
         compiled_groups.push(compiled);
     }
     let memory_plan = MemoryPlan::build(&g, &compiled_groups);
+    verify_stage(
+        memory_plan.verify(g.name()),
+        "memory planning (artifact load)",
+    )?;
     Ok(CompiledGraph {
         plan: CompilePlan {
             graph: g,
@@ -703,7 +820,11 @@ fn lookup_record(
     problem: MatmulProblem,
 ) -> Option<TuningRecord> {
     let cache = options.tuning_cache.as_ref()?;
-    let cache = cache.lock().expect("tuning cache poisoned");
+    // Tuning records are monotone (insert/overwrite whole entries); a
+    // poisoned store still serves consistent records.
+    let cache = cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     cache
         .lookup(device, problem)
         .filter(|record| record.config.fits(gpu.spec()))
@@ -718,7 +839,9 @@ fn store_record(
     report: &hidet_sched::TuneReport,
 ) {
     if let Some(cache) = &options.tuning_cache {
-        let mut cache = cache.lock().expect("tuning cache poisoned");
+        let mut cache = cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         cache.insert(
             device,
             TuningRecord {
@@ -732,19 +855,22 @@ fn store_record(
     }
 }
 
-fn matmul_problem(g: &Graph, anchor: hidet_graph::OpId) -> MatmulProblem {
+fn matmul_problem(g: &Graph, anchor: hidet_graph::OpId) -> Result<MatmulProblem, CompileError> {
     let op = g.op(anchor);
     let a = g.tensor(op.inputs[0]).shape();
     let b = g.tensor(op.inputs[1]).shape();
     match op.kind {
-        OpKind::Matmul => MatmulProblem::new(a[0], b[1], a[1]),
-        OpKind::BatchMatmul => MatmulProblem {
+        OpKind::Matmul => Ok(MatmulProblem::new(a[0], b[1], a[1])),
+        OpKind::BatchMatmul => Ok(MatmulProblem {
             batch: a[0],
             m: a[1],
             n: b[2],
             k: a[2],
-        },
-        _ => unreachable!("matmul_problem on non-matmul anchor"),
+        }),
+        _ => Err(CompileError::Schedule(format!(
+            "internal: tuning requested for non-matmul anchor {}",
+            op.name
+        ))),
     }
 }
 

@@ -52,6 +52,8 @@
 //! # Ok::<(), hidet::CompileError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod artifact;
 pub mod compiler;
 pub mod executor;
@@ -63,6 +65,7 @@ pub use compiler::{
     CompilePlan, CompiledGraph, CompilerOptions, DEFAULT_MEASURE_TOP_K,
 };
 pub use executor::HidetExecutor;
+pub use hidet_analysis::VerifyLevel;
 pub use plan::{MemoryPlan, PlannedSlot, Workspace};
 
 /// Commonly used items across the whole stack.

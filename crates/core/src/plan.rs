@@ -183,6 +183,27 @@ impl MemoryPlan {
         self.unplanned_len * 4
     }
 
+    /// Proves the plan sound through `hidet_analysis::check_plan`: slot
+    /// intervals well-formed, every window inside the arena, names unique,
+    /// and no two lifetime-overlapping slots sharing bytes. Subsumes
+    /// [`MemoryPlan::find_alias`] (which reports only the first aliasing
+    /// pair, without rule codes); the compiler runs this after planning and
+    /// again on artifact load.
+    pub fn verify(&self, location: &str) -> Vec<hidet_analysis::Diagnostic> {
+        let slots: Vec<hidet_analysis::PlanSlot> = self
+            .slots
+            .iter()
+            .map(|s| hidet_analysis::PlanSlot {
+                name: s.name.clone(),
+                offset: s.offset,
+                len: s.len,
+                birth: s.birth,
+                death: s.death,
+            })
+            .collect();
+        hidet_analysis::check_plan(&slots, self.arena_len, location)
+    }
+
     /// Debug check: no two buffers whose live intervals overlap may share
     /// arena bytes. Returns the first violating pair, if any.
     pub fn find_alias(&self) -> Option<(&PlannedSlot, &PlannedSlot)> {

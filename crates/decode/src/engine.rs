@@ -940,6 +940,21 @@ fn validate_spec(
     }
     let batch = max_batch as i64;
     let graph = (spec.builder)(batch, spec.max_context);
+    // The graph comes from an arbitrary builder closure: deep-verify it
+    // (structure, shape re-inference, KV pairing, mask shape) before
+    // trusting its interface — a malformed model is rejected at
+    // registration, never inside the step loop.
+    let deep_verify = |g: &hidet_graph::Graph, what: &str| -> Result<(), DecodeError> {
+        let diags = hidet_analysis::verify_graph(g, hidet_analysis::VerifyLevel::Deep);
+        if hidet_analysis::has_errors(&diags) {
+            return Err(DecodeError::BadModel(format!(
+                "{what} failed verification: {}",
+                hidet_analysis::render_text(&diags).trim_end()
+            )));
+        }
+        Ok(())
+    };
+    deep_verify(&graph, "decode graph")?;
     let rows = batch * spec.heads;
     let head_dim = spec.hidden / spec.heads;
     let expect_inputs = 2 + 2 * spec.layers;
@@ -1003,6 +1018,7 @@ fn validate_spec(
             }
             let g = prefill_builder(c, spec.max_context);
             let what = |part: &str| format!("prefill[{chunk}] {part}");
+            deep_verify(&g, &what("graph"))?;
             if g.inputs().len() != expect_inputs {
                 return Err(bad(format!(
                     "{}: expected {expect_inputs} graph inputs, got {}",

@@ -104,6 +104,46 @@ impl Graph {
     pub(crate) fn parts(&self) -> (&[Tensor], &[Operator]) {
         (&self.tensors, &self.ops)
     }
+
+    /// Assembles a graph from raw parts **without any validation** — unlike
+    /// [`GraphBuilder`], nothing checks ids, shapes or topological order.
+    ///
+    /// This is an escape hatch for verifier tooling (`hidet-analysis`
+    /// constructs deliberately ill-formed graphs to prove its rules fire);
+    /// regular construction must go through [`GraphBuilder`].
+    #[doc(hidden)]
+    pub fn from_raw_parts(
+        name: String,
+        tensors: Vec<Tensor>,
+        ops: Vec<Operator>,
+        inputs: Vec<TensorId>,
+        outputs: Vec<TensorId>,
+    ) -> Graph {
+        Graph {
+            tensors,
+            ops,
+            inputs,
+            outputs,
+            name,
+        }
+    }
+
+    /// Decomposes the graph into its raw parts (name, tensors, operators,
+    /// inputs, outputs) — the inverse of [`Graph::from_raw_parts`], with the
+    /// same caveat: only verifier tooling should need this.
+    #[doc(hidden)]
+    #[allow(clippy::type_complexity)]
+    pub fn into_raw_parts(
+        self,
+    ) -> (
+        String,
+        Vec<Tensor>,
+        Vec<Operator>,
+        Vec<TensorId>,
+        Vec<TensorId>,
+    ) {
+        (self.name, self.tensors, self.ops, self.inputs, self.outputs)
+    }
 }
 
 impl fmt::Display for Graph {

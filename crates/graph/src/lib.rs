@@ -18,6 +18,8 @@
 //! model zoo ([`models`]) reproducing the architectures of the paper's
 //! evaluation: ResNet-50, Inception-V3, MobileNet-V2, Bert and GPT-2.
 
+#![warn(missing_docs)]
+
 pub mod compute;
 pub mod graph;
 pub mod hash;

@@ -36,6 +36,8 @@
 //! assert_eq!(kernel.launch().block_dim, 128);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod buffer;
 pub mod builder;
 pub mod cuda;

@@ -114,6 +114,8 @@
 //! # Ok::<(), hidet_runtime::EngineError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod engine;
 pub(crate) mod shard;

@@ -21,6 +21,8 @@
 //!   simulator's cost model, reporting the simulated tuning cost the paper
 //!   plots in Fig. 17.
 
+#![warn(missing_docs)]
+
 pub mod fusion;
 pub mod json;
 pub mod records;

@@ -37,6 +37,8 @@
 //! # Ok::<(), hidet_sim::SimError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cost;
 pub mod interp;
 pub mod memory;

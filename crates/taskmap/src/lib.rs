@@ -33,6 +33,8 @@
 //! The crate is dependency-free; the tensor-program IR (`hidet-ir`) lowers these
 //! mappings to loop nests and index arithmetic.
 
+#![warn(missing_docs)]
+
 mod check;
 mod display;
 mod iter;

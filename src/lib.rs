@@ -4,7 +4,10 @@
 //! See the repository `README.md` and `DESIGN.md` for the full picture, and
 //! the [`hidet`] crate for the compiler entry points.
 
+#![warn(missing_docs)]
+
 pub use hidet;
+pub use hidet_analysis as analysis;
 pub use hidet_baselines as baselines;
 pub use hidet_decode as decode;
 pub use hidet_graph as graph;
