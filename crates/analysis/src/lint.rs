@@ -36,6 +36,7 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/runtime/src/engine.rs",
     "crates/decode/src/engine.rs",
     "crates/decode/src/kv.rs",
+    "crates/decode/src/placement.rs",
     "crates/server/src/ring.rs",
     "crates/server/src/server.rs",
 ];

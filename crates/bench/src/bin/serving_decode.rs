@@ -16,7 +16,12 @@
 //! 4. **chunked prefill cuts long-prompt TTFT ≥2×** (asserted at ≤0.5×
 //!    token-wise) while the short sessions sharing the batch keep their
 //!    inter-token latency p95 within 20% — the interleaving budget bounds
-//!    the prefill bubble.
+//!    the prefill bubble;
+//! 5. **multi-device decode scales**: four homogeneous shards sustain ≥3×
+//!    the cluster tokens/sec of one shard on the same (scaled-up) workload
+//!    — with every long session *force-migrated* mid-generation, token
+//!    streams stay bit-identical to the solo run and every shard's KV arena
+//!    drains to zero.
 //!
 //! Emits its metrics as the `serving_decode` section of
 //! `BENCH_serving.json`; `*_tokens_per_s` is gated higher-is-better and
@@ -34,7 +39,8 @@ use hidet_bench::{arg_str, arg_usize, print_table};
 use hidet_decode::{
     BatchingMode, DecodeConfig, DecodeEngine, DecodeModelSpec, GenerateRequest, Generation,
 };
-use hidet_runtime::DecodeStatsSnapshot;
+use hidet_runtime::{DecodeStatsSnapshot, Priority};
+use hidet_sim::GpuSpec;
 
 /// The served model: a 2-layer pre-LN transformer, hidden 32, 2 heads,
 /// vocabulary 32, context window 24 — big enough that a decode step is a
@@ -75,6 +81,48 @@ fn run_mode(mode: BatchingMode, groups: usize) -> (Vec<Vec<u32>>, DecodeStatsSna
     let sessions: Vec<_> = workload(groups)
         .into_iter()
         .map(|(prompt, max_tokens)| model.generate(GenerateRequest::new(prompt, max_tokens)))
+        .collect();
+    engine.resume();
+    let tokens: Vec<Vec<u32>> = sessions
+        .into_iter()
+        .map(|session| session.collect().expect("session completes").tokens)
+        .collect();
+    (tokens, engine.stats())
+}
+
+/// Runs the mixed workload on a pool of `n` homogeneous shards. Lane
+/// shares stay pinned at the full batch width (autoscaling is off, as in
+/// production: a fixed-shape step graph costs the same at any occupancy, so
+/// shrinking a share can only serialize work — DESIGN.md §11) and the
+/// migration stress knob is set on multi-shard pools, so every session
+/// generating past two tokens is live-migrated to the next shard mid-flight
+/// — the scaling number already pays for the replay chains. Long
+/// completions are submitted at [`Priority::High`] (identically on both
+/// pool sizes): admission drains priority classes in order, so the longest
+/// sessions start first and the makespan is bounded by balanced work, not
+/// by one long session admitted into a draining queue.
+fn run_pool(n: usize, groups: usize) -> (Vec<Vec<u32>>, DecodeStatsSnapshot) {
+    let engine = DecodeEngine::new(DecodeConfig {
+        max_batch: 4,
+        kv_blocks: 64,
+        block_tokens: 8,
+        devices: vec![GpuSpec::rtx3090(); n],
+        stress_migrate_after: if n > 1 { 2 } else { 0 },
+        mode: BatchingMode::Continuous,
+        start_paused: true,
+        ..DecodeConfig::default()
+    });
+    let model = engine.register(spec()).expect("decode model registers");
+    let sessions: Vec<_> = workload(groups)
+        .into_iter()
+        .map(|(prompt, max_tokens)| {
+            let priority = if max_tokens >= 20 {
+                Priority::High
+            } else {
+                Priority::Normal
+            };
+            model.generate(GenerateRequest::new(prompt, max_tokens).with_priority(priority))
+        })
         .collect();
     engine.resume();
     let tokens: Vec<Vec<u32>> = sessions
@@ -270,6 +318,68 @@ fn main() {
     );
     assert_eq!(chunked.kv_blocks_in_use, 0, "long mix leaked KV blocks");
 
+    // --- 5. multi-device scaling: 1 shard vs 4 homogeneous shards ----------
+    // The workload is scaled up 4x so throughput — not one long session's
+    // critical path — bounds the cluster.
+    let pool_groups = groups * 4;
+    println!(
+        "\n=== multi-device decode: 1 shard vs 4 homogeneous shards ===\n\
+         ({} sessions, every long session force-migrated mid-generation)\n",
+        pool_groups * 4
+    );
+    let (solo_streams, solo) = run_pool(1, pool_groups);
+    let (pool_streams, pool) = run_pool(4, pool_groups);
+    assert_eq!(
+        pool_streams, solo_streams,
+        "shard placement and live migration must emit bit-identical streams"
+    );
+    assert!(
+        pool.sessions_migrated > 0,
+        "the stress knob must force live migrations"
+    );
+    assert_eq!(pool.kv_blocks_in_use, 0, "shard pool leaked KV blocks");
+    for shard in &pool.shards {
+        assert_eq!(
+            shard.kv_blocks_in_use, 0,
+            "shard {} leaked KV blocks",
+            shard.device
+        );
+    }
+    let shard_row = |s: &hidet_runtime::DecodeShardSnapshot| {
+        vec![
+            s.device.clone(),
+            format!("{}", s.sessions_placed),
+            format!("{}/{}", s.migrations_in, s.migrations_out),
+            format!("{}", s.tokens_generated),
+            format!("{}", s.lane_share),
+            format!("{:.1}", s.queue_delay_ewma_seconds * 1e6),
+            format!("{:.0}", s.tokens_per_second),
+        ]
+    };
+    print_table(
+        &[
+            "shard",
+            "placed",
+            "migr in/out",
+            "tokens",
+            "lanes",
+            "queue ewma(us)",
+            "tok/s (sim)",
+        ],
+        &pool.shards.iter().map(shard_row).collect::<Vec<_>>(),
+    );
+    let scaling = pool.cluster_tokens_per_second / solo.cluster_tokens_per_second;
+    println!(
+        "\ncluster throughput: {:.0} tok/s on 4 shards vs {:.0} on 1 — {scaling:.2}x \
+         ({} live migrations)",
+        pool.cluster_tokens_per_second, solo.cluster_tokens_per_second, pool.sessions_migrated
+    );
+    assert!(
+        scaling >= 3.0,
+        "4 homogeneous shards must sustain >= 3x one shard's cluster tokens/sec, \
+         got {scaling:.2}x"
+    );
+
     // --- perf-trajectory artifact -----------------------------------------
     let section = BenchSection::new("serving_decode")
         .field_usize("sequences", sequences)
@@ -292,7 +402,11 @@ fn main() {
             "prefill_interleave_occupancy",
             chunked.prefill_interleave_occupancy,
         )
-        .field_usize("prefill_passes", chunked.prefill_passes);
+        .field_usize("prefill_passes", chunked.prefill_passes)
+        .field_f64("cluster_tokens_per_s", pool.cluster_tokens_per_second)
+        .field_f64("solo_cluster_tokens_per_s", solo.cluster_tokens_per_second)
+        .field_f64("shard_scaling", scaling)
+        .field_usize("sessions_migrated", pool.sessions_migrated);
     upsert_section(&bench_json, &section).expect("write bench json");
     println!(
         "\nwrote section \"serving_decode\" to {}",

@@ -58,6 +58,24 @@
 //! them by re-feeding its tokens — eviction + recompute, counted in
 //! [`hidet_runtime::DecodeStatsSnapshot`]. A replayed chain re-enters the
 //! same chunk-election path, so recompute after eviction is chunked too.
+//!
+//! **Multi-device decode** (DESIGN.md §11): the engine owns one *decode
+//! shard* per device of [`DecodeConfig::devices`] — its own KV arena,
+//! compiled step/prefill graphs, simulated clock and iteration scheduler —
+//! multiplexed by the single step-loop thread (shards model *parallel*
+//! devices, so each pass advances only its own shard's clock). New sessions
+//! land on the shard minimizing estimated queue delay
+//! ([`hidet_sim::estimated_queue_delay`] over the shard's published gauges)
+//! plus a KV-headroom penalty, and sessions *migrate* between shards live: a
+//! migration is an eviction whose recompute/replay chain re-admits on the
+//! target shard, its time anchors rebased onto the target's clock — used for
+//! pressure relief (a full arena evicts to the pool's roomiest shard instead
+//! of thrashing locally) and for rebalance when headroom skews. Each shard's
+//! decode lane share grows/shrinks from its observed queue-delay EWMA
+//! ([`DecodeConfig::lane_autoscale`]), bounded and hysteretic. Every shard
+//! runs the same order-stable schedules, so token streams stay
+//! **bit-identical** to a single-device run — including across migrations
+//! (the `migrated_session_is_bit_identical_to_pinned` proptest).
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -73,12 +91,30 @@ use hidet_runtime::{CompiledCache, DecodeStatsSnapshot, Priority};
 use hidet_sim::{Gpu, GpuSpec};
 
 use crate::kv::{KvAllocator, KvCache, KvError, KvLayout};
+use crate::placement::{placement_score, LaneAutoscaler};
 use crate::stats::DecodeStats;
 
 /// Additive mask value for non-attendable positions: large enough that
 /// `exp(score + MASK)` underflows to exactly `0.0` after the row-max shift,
 /// making padded positions bit-transparent to softmax.
 const MASK_NEG: f32 = -1.0e9;
+
+/// Pressure-relief migrations one sequence may take before it must stay put
+/// and requeue locally — two overloaded shards cannot ping-pong a session
+/// between them forever.
+const PRESSURE_MOVE_LIMIT: u32 = 3;
+
+/// KV in-use fraction of the fullest shard above which the rebalancer
+/// considers moving a session off it at all.
+const REBALANCE_HOT_FRACTION: f64 = 0.75;
+
+/// KV in-use fraction gap between the fullest and emptiest shard above
+/// which one session migrates hot → cold.
+const REBALANCE_SKEW: f64 = 0.5;
+
+/// Outer scheduler iterations between rebalance moves, so each move lands
+/// and shows up in the gauges before the next is considered.
+const REBALANCE_COOLDOWN_ITERS: u64 = 8;
 
 /// How the step loop forms batches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -96,8 +132,17 @@ pub enum BatchingMode {
 /// Decode-engine construction knobs.
 #[derive(Debug, Clone)]
 pub struct DecodeConfig {
-    /// The simulated device executing decode steps.
+    /// The simulated device executing decode steps when
+    /// [`DecodeConfig::devices`] is empty — the single-shard configuration.
     pub device: GpuSpec,
+    /// The decode shard pool: one decode shard per entry, each with its own
+    /// KV arena, compiled step/prefill graphs, simulated clock and iteration
+    /// scheduler. Empty (the default) means one shard on
+    /// [`DecodeConfig::device`]; when non-empty, `device` is ignored. New
+    /// sessions are placed by joint queue-delay + KV-headroom score and may
+    /// be live-migrated between shards under pressure (see the
+    /// [module docs](self)).
+    pub devices: Vec<GpuSpec>,
     /// Compiler options for the step graph (quick — untuned — by default;
     /// decode steps are latency-bound, not schedule-bound, in the sim).
     pub options: CompilerOptions,
@@ -145,12 +190,28 @@ pub struct DecodeConfig {
     /// in-flight decodes observe while a long prompt streams in. `0`
     /// disables chunked prefill (like an empty [`DecodeConfig::chunk_menu`]).
     pub prefill_token_budget: usize,
+    /// Queue-driven lane autoscaling: each shard's decode lane share (its
+    /// admission ceiling, out of [`DecodeConfig::max_batch`] slots) starts
+    /// at [`DecodeConfig::lane_min`], grows while the shard's observed
+    /// queue-delay EWMA stays above the grow threshold and shrinks back when
+    /// the queue drains — one lane at a time, bounded and hysteretic. Off
+    /// (the default): every shard always admits up to `max_batch`.
+    pub lane_autoscale: bool,
+    /// Lower lane-share bound when [`DecodeConfig::lane_autoscale`] is on
+    /// (sanitized to `1..=max_batch` at construction).
+    pub lane_min: usize,
+    /// Test/bench knob exercising live migration deterministically: when
+    /// non-zero, every session is migrated to the next shard (round-robin)
+    /// once it has emitted this many tokens — at most once per session. `0`
+    /// (the default) disables it.
+    pub stress_migrate_after: usize,
 }
 
 impl Default for DecodeConfig {
     fn default() -> DecodeConfig {
         DecodeConfig {
             device: GpuSpec::rtx3090(),
+            devices: Vec::new(),
             options: CompilerOptions::quick(),
             max_batch: 8,
             kv_blocks: 64,
@@ -161,6 +222,9 @@ impl Default for DecodeConfig {
             compact_schedules: true,
             chunk_menu: vec![16, 64, 256],
             prefill_token_budget: 256,
+            lane_autoscale: false,
+            lane_min: 1,
+            stress_migrate_after: 0,
         }
     }
 }
@@ -350,6 +414,7 @@ pub struct GenerateRequest {
     priority: Priority,
     deadline: Option<Instant>,
     eos: Option<u32>,
+    shard: Option<usize>,
 }
 
 impl GenerateRequest {
@@ -362,6 +427,7 @@ impl GenerateRequest {
             priority: Priority::Normal,
             deadline: None,
             eos: None,
+            shard: None,
         }
     }
 
@@ -382,6 +448,15 @@ impl GenerateRequest {
     /// delivered).
     pub fn with_eos(mut self, token: u32) -> GenerateRequest {
         self.eos = Some(token);
+        self
+    }
+
+    /// Pins the session to decode shard `shard`, bypassing placement (the
+    /// session may still be live-migrated later). Out-of-range indices
+    /// resolve to [`DecodeError::BadPrompt`] on the session. Mainly for
+    /// tests and benches that need a reproducible single-shard baseline.
+    pub fn with_shard(mut self, shard: usize) -> GenerateRequest {
+        self.shard = Some(shard);
         self
     }
 }
@@ -625,10 +700,19 @@ impl DecodeModel {
                 def.max_context
             )));
         }
+        if let Some(s) = request.shard {
+            if s >= self.shared.devices.len() {
+                return self.reject(DecodeError::BadPrompt(format!(
+                    "shard {s} out of range: engine has {} decode shards",
+                    self.shared.devices.len()
+                )));
+            }
+        }
         let (tx, rx) = mpsc::channel();
+        let model_key = def_key(&def);
         let mut prompt = VecDeque::from(request.prompt);
         let pending = prompt.pop_front().expect("prompt non-empty");
-        let sequence = Sequence {
+        let mut sequence = Sequence {
             def,
             cache_need,
             pending,
@@ -642,12 +726,15 @@ impl DecodeModel {
             rank: 0,
             kv: KvCache::new(),
             tx,
-            submitted_sim: self.shared.stats.sim_clock(),
+            submitted_sim: 0.0,
             admitted_sim: None,
             prompt_done_sim: None,
             ttft: None,
             ttft_admission: None,
             last_token_sim: 0.0,
+            queued_sim: 0.0,
+            pressure_moves: 0,
+            stress_migrated: false,
         };
         {
             // The closed check happens under the waiting lock: shutdown sets
@@ -658,7 +745,20 @@ impl DecodeModel {
             if self.shared.closed.load(Ordering::SeqCst) {
                 return self.reject(DecodeError::Closed);
             }
-            waiting.classes[request.priority.index()].push_back(sequence);
+            // KV-aware placement (under the same lock, so concurrent
+            // submitters see each other's queued work): pinned shard if
+            // requested, else the cheapest by joint score.
+            let needed_blocks = sequence.cache_need.div_ceil(self.shared.block_tokens);
+            let shard = request
+                .shard
+                .unwrap_or_else(|| place_shard(&self.shared, &waiting, model_key, needed_blocks));
+            let now = self.shared.stats.shard_clock(shard);
+            sequence.submitted_sim = now;
+            sequence.queued_sim = now;
+            self.shared.stats.shards[shard]
+                .placed
+                .fetch_add(1, Ordering::Relaxed);
+            waiting.shards[shard].classes[request.priority.index()].push_back(sequence);
         }
         self.shared.cv.notify_all();
         DecodeSession { rx, done: false }
@@ -742,6 +842,16 @@ struct Sequence {
     ttft: Option<f64>,
     ttft_admission: Option<f64>,
     last_token_sim: f64,
+    /// Owning shard's simulated clock when the sequence last entered a
+    /// waiting queue — the queue-delay observation the lane autoscaler
+    /// smooths.
+    queued_sim: f64,
+    /// Pressure-relief migrations taken so far (bounded by
+    /// [`PRESSURE_MOVE_LIMIT`]).
+    pressure_moves: u32,
+    /// Whether [`DecodeConfig::stress_migrate_after`] already moved this
+    /// sequence.
+    stress_migrated: bool,
 }
 
 impl Sequence {
@@ -752,6 +862,28 @@ impl Sequence {
 
     fn expired(&self, now: Instant) -> bool {
         self.deadline.is_some_and(|d| now >= d)
+    }
+
+    /// Rebases every simulated-time anchor onto a target shard's clock at
+    /// migration: `offset` is target-now minus source-now, so durations
+    /// spanning the move (TTFT, ITL) compose the time spent on each
+    /// timeline.
+    fn rebase(&mut self, offset: f64) {
+        self.submitted_sim += offset;
+        if let Some(t) = self.admitted_sim.as_mut() {
+            *t += offset;
+        }
+        if let Some(t) = self.prompt_done_sim.as_mut() {
+            *t += offset;
+        }
+        self.last_token_sim += offset;
+    }
+
+    /// Forward passes this sequence still needs, roughly: the unfed chain
+    /// plus one decode step per remaining token — the work term of the
+    /// placement score.
+    fn remaining_work(&self) -> usize {
+        1 + self.forced.len() + self.max_tokens.saturating_sub(self.emitted)
     }
 }
 
@@ -770,6 +902,19 @@ impl WaitQueues {
     }
 }
 
+/// The engine's waiting sessions: one [`WaitQueues`] per decode shard
+/// (placement decides the shard at submission; migration moves sessions
+/// between queues later).
+struct Waiting {
+    shards: Vec<WaitQueues>,
+}
+
+impl Waiting {
+    fn is_empty(&self) -> bool {
+        self.shards.iter().all(WaitQueues::is_empty)
+    }
+}
+
 struct Shared {
     /// `DecodeConfig::max_batch` — the fixed batch axis model specs are
     /// validated against (the stats copy is purely informational).
@@ -778,11 +923,20 @@ struct Shared {
     /// zeroes dropped) — the chunk shapes prefill builders are validated and
     /// compiled at.
     chunk_menu: Vec<usize>,
+    /// The decode shard pool ([`DecodeConfig::devices`], defaulted to the
+    /// single [`DecodeConfig::device`]); index = shard id everywhere.
+    devices: Vec<GpuSpec>,
+    /// `DecodeConfig::kv_blocks` — placement's capacity assumption for
+    /// model arenas that do not exist yet.
+    kv_blocks: usize,
+    /// `DecodeConfig::block_tokens` — the allocation granularity placement
+    /// converts cache needs into blocks with.
+    block_tokens: usize,
     /// While set, the step loop sleeps and admits nothing
     /// ([`DecodeConfig::start_paused`] / [`DecodeEngine::resume`]).
     paused: AtomicBool,
     registry: Mutex<HashMap<String, Arc<ModelDef>>>,
-    waiting: Mutex<WaitQueues>,
+    waiting: Mutex<Waiting>,
     cv: Condvar,
     closed: AtomicBool,
     stats: Arc<DecodeStats>,
@@ -805,15 +959,39 @@ impl DecodeEngine {
         chunk_menu.retain(|&c| c >= 1);
         chunk_menu.sort_unstable();
         chunk_menu.dedup();
+        let devices = if config.devices.is_empty() {
+            vec![config.device.clone()]
+        } else {
+            config.devices.clone()
+        };
+        let stats = Arc::new(DecodeStats::for_shards(
+            devices.iter().map(|d| d.name.clone()).collect(),
+        ));
+        // Publish the initial lane share so the gauge is meaningful before
+        // the step loop's first control decision.
+        let initial_share = if config.lane_autoscale {
+            config.lane_min.clamp(1, config.max_batch)
+        } else {
+            config.max_batch
+        };
+        for shard in &stats.shards {
+            shard.lane_share.store(initial_share, Ordering::Relaxed);
+        }
+        let waiting = Waiting {
+            shards: (0..devices.len()).map(|_| WaitQueues::default()).collect(),
+        };
         let shared = Arc::new(Shared {
             max_batch: config.max_batch,
             chunk_menu,
+            devices,
+            kv_blocks: config.kv_blocks,
+            block_tokens: config.block_tokens,
             paused: AtomicBool::new(config.start_paused),
             registry: Mutex::new(HashMap::new()),
-            waiting: Mutex::new(WaitQueues::default()),
+            waiting: Mutex::new(waiting),
             cv: Condvar::new(),
             closed: AtomicBool::new(false),
-            stats: Arc::new(DecodeStats::default()),
+            stats,
             next_rank: AtomicU64::new(1),
         });
         shared
@@ -1146,10 +1324,204 @@ struct PrefillRt {
     ws: Workspace,
 }
 
+/// One decode shard owned by the step loop: its device, per-model runtimes
+/// (compiled graphs + KV arenas), active set and lane autoscaler. Shards
+/// model parallel devices multiplexed by the single engine thread — each
+/// shard's pass advances only its own simulated clock.
+struct ShardRt {
+    gpu: Gpu,
+    rts: HashMap<usize, ModelRt>,
+    active: Vec<Sequence>,
+    scaler: LaneAutoscaler,
+    iterations: u64,
+}
+
+/// Scores every shard for one incoming sequence — estimated queue delay
+/// ([`hidet_sim::estimated_queue_delay`] over the shard's active + waiting
+/// work at its current lane share) plus the KV-headroom penalty
+/// ([`placement_score`]) — and returns the cheapest. Ties break to the
+/// least total pending work, then the lowest id: the delay estimate is the
+/// head-of-queue wait, which plateaus while short sessions fill lanes
+/// behind the current minimum, so a burst of submissions would otherwise
+/// pile onto one shard until its *head* wait finally moved. Runs under the
+/// waiting lock, reading only the gauges the step loop publishes, so
+/// placement never touches scheduler state.
+fn place_shard(shared: &Shared, waiting: &Waiting, model: usize, needed_blocks: usize) -> usize {
+    // Shards with no compiled estimate yet are assumed as costly as the
+    // hottest known shard (1.0 before any compile — only relative
+    // magnitudes matter while everything is cold).
+    let mut fallback = 0.0f64;
+    for st in &shared.stats.shards {
+        let g = st.gauges.lock().expect("stats poisoned");
+        fallback = fallback.max(g.step_estimate);
+    }
+    if fallback <= 0.0 {
+        fallback = 1.0;
+    }
+    let mut best = 0usize;
+    let mut best_score = f64::INFINITY;
+    let mut best_load = f64::INFINITY;
+    for (s, st) in shared.stats.shards.iter().enumerate() {
+        let g = st.gauges.lock().expect("stats poisoned");
+        let est = if g.step_estimate > 0.0 {
+            g.step_estimate
+        } else {
+            fallback
+        };
+        let mut pending = g.active_remaining.clone();
+        for queue in waiting.shards[s].classes.iter() {
+            pending.extend(queue.iter().map(|q| q.remaining_work() as f64 * est));
+        }
+        let load: f64 = pending.iter().sum();
+        let lanes = st.lane_share.load(Ordering::Relaxed).max(1);
+        let delay = hidet_sim::estimated_queue_delay(&pending, lanes);
+        let (free, capacity) = g
+            .kv_free
+            .get(&model)
+            .copied()
+            .unwrap_or((shared.kv_blocks, shared.kv_blocks));
+        let score = placement_score(
+            delay,
+            est,
+            needed_blocks,
+            free,
+            capacity,
+            shared.block_tokens,
+        );
+        if score < best_score || (score == best_score && load < best_load) {
+            best_score = score;
+            best_load = load;
+            best = s;
+        }
+    }
+    best
+}
+
+/// The pool's KV headroom as one scheduler pass sees it: `(free, capacity)`
+/// blocks per `(shard, model)` arena, debited as migration targets are
+/// chosen within the pass so two victims cannot both claim the same free
+/// blocks. Arenas that do not exist yet count as full free arenas.
+struct ClusterView {
+    free: Vec<HashMap<usize, (usize, usize)>>,
+    default_blocks: usize,
+}
+
+impl ClusterView {
+    fn collect(shards: &[ShardRt], default_blocks: usize) -> ClusterView {
+        ClusterView {
+            free: shards
+                .iter()
+                .map(|sh| {
+                    sh.rts
+                        .iter()
+                        .map(|(key, rt)| {
+                            let cap = rt.kv.capacity();
+                            (*key, (cap - rt.kv.blocks_in_use(), cap))
+                        })
+                        .collect()
+                })
+                .collect(),
+            default_blocks,
+        }
+    }
+
+    fn entry(&self, shard: usize, model: usize) -> (usize, usize) {
+        self.free[shard]
+            .get(&model)
+            .copied()
+            .unwrap_or((self.default_blocks, self.default_blocks))
+    }
+
+    /// The shard (≠ `from`) with the most free blocks, if any has `needed`
+    /// free right now; ties to the lowest id.
+    fn headroom_target(&self, from: usize, model: usize, needed: usize) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None; // (free, shard)
+        for s in 0..self.free.len() {
+            if s == from {
+                continue;
+            }
+            let (free, _) = self.entry(s, model);
+            let better = match best {
+                None => free >= needed,
+                Some((best_free, _)) => free >= needed && free > best_free,
+            };
+            if better {
+                best = Some((free, s));
+            }
+        }
+        best.map(|(_, s)| s)
+    }
+
+    /// The first shard (≠ `from`) whose whole arena could hold `needed`
+    /// blocks — the sequence fits there *alone*, even if it has to preempt.
+    fn capacity_target(&self, from: usize, model: usize, needed: usize) -> Option<usize> {
+        (0..self.free.len())
+            .filter(|&s| s != from)
+            .find(|&s| self.entry(s, model).1 >= needed)
+    }
+
+    fn debit(&mut self, shard: usize, model: usize, needed: usize) {
+        let (free, cap) = self.entry(shard, model);
+        self.free[shard].insert(model, (free.saturating_sub(needed), cap));
+    }
+}
+
+/// Moves a preempted sequence onto shard `to`'s queue front: rebases its
+/// time anchors onto the target clock and books the migration counters.
+/// The caller has already released its KV blocks and rebuilt its replay
+/// chain ([`preempt`]) — re-admission replays it on the target, where
+/// order-stable schedules make the rebuilt KV bytes (and every downstream
+/// token) identical.
+fn migrate_sequence(shared: &Shared, mut seq: Sequence, from: usize, to: usize) {
+    let target_now = shared.stats.shard_clock(to);
+    seq.rebase(target_now - shared.stats.shard_clock(from));
+    seq.queued_sim = target_now;
+    shared.stats.shards[from]
+        .migrations_out
+        .fetch_add(1, Ordering::Relaxed);
+    shared.stats.shards[to]
+        .migrations_in
+        .fetch_add(1, Ordering::Relaxed);
+    let mut waiting = shared.waiting.lock().expect("waiting poisoned");
+    waiting.shards[to].classes[seq.priority.index()].push_front(seq);
+    drop(waiting);
+    shared.cv.notify_all();
+}
+
+/// `(hot, cold)` shard pair when KV occupancy skews: the fullest shard is
+/// above [`REBALANCE_HOT_FRACTION`] and leads the emptiest by more than
+/// [`REBALANCE_SKEW`].
+fn kv_skew(shards: &[ShardRt]) -> Option<(usize, usize)> {
+    let frac: Vec<f64> = shards
+        .iter()
+        .map(|sh| {
+            let cap: usize = sh.rts.values().map(|rt| rt.kv.capacity()).sum();
+            let used: usize = sh.rts.values().map(|rt| rt.kv.blocks_in_use()).sum();
+            if cap == 0 {
+                0.0
+            } else {
+                used as f64 / cap as f64
+            }
+        })
+        .collect();
+    let mut hot = 0usize;
+    let mut cold = 0usize;
+    for s in 1..frac.len() {
+        if frac[s] > frac[hot] {
+            hot = s;
+        }
+        if frac[s] < frac[cold] {
+            cold = s;
+        }
+    }
+    (frac[hot] >= REBALANCE_HOT_FRACTION && frac[hot] - frac[cold] > REBALANCE_SKEW)
+        .then_some((hot, cold))
+}
+
 /// The engine's background thread: admission, step execution, KV
-/// bookkeeping, token emission.
+/// bookkeeping, token emission — per shard, one pass each per outer
+/// iteration.
 fn step_loop(shared: &Shared, config: &DecodeConfig) {
-    let gpu = Gpu::new(config.device.clone());
     let cache = CompiledCache::new();
     // Compact schedules (see `DecodeConfig::compact_schedules`): one shared
     // record store, seeded per model in `ensure_rt`, served with zero trials.
@@ -1170,10 +1542,23 @@ fn step_loop(shared: &Shared, config: &DecodeConfig) {
     // order regardless of how many padded positions surround them (see
     // `CompilerOptions::order_stable_reductions`).
     let options = options.order_stable();
-    // Keyed by ModelDef identity: a re-registered name gets fresh state while
-    // in-flight sessions keep theirs.
-    let mut rts: HashMap<usize, ModelRt> = HashMap::new();
-    let mut active: Vec<Sequence> = Vec::new();
+    // One ShardRt per device; within a shard, per-ModelDef runtimes are
+    // keyed by definition identity — a re-registered name gets fresh state
+    // while in-flight sessions keep theirs.
+    let lane_min = config.lane_min.clamp(1, config.max_batch);
+    let mut shards: Vec<ShardRt> = shared
+        .devices
+        .iter()
+        .map(|spec| ShardRt {
+            gpu: Gpu::new(spec.clone()),
+            rts: HashMap::new(),
+            active: Vec::new(),
+            scaler: LaneAutoscaler::new(config.lane_autoscale, lane_min, config.max_batch),
+            iterations: 0,
+        })
+        .collect();
+    let nshards = shards.len();
+    let mut rebalance_cooldown = 0u64;
 
     loop {
         // --- admission ---------------------------------------------------
@@ -1184,9 +1569,13 @@ fn step_loop(shared: &Shared, config: &DecodeConfig) {
                 if shared.closed.load(Ordering::SeqCst) {
                     // Sessions that never started (rank 0 — assigned at
                     // first admission) are failed; in-flight ones — active
-                    // or KV-preempted back into the queue — drain to
+                    // or KV-preempted back into a queue — drain to
                     // completion, honoring the shutdown contract.
-                    for queue in waiting.classes.iter_mut() {
+                    for queue in waiting
+                        .shards
+                        .iter_mut()
+                        .flat_map(|wq| wq.classes.iter_mut())
+                    {
                         let mut keep = VecDeque::with_capacity(queue.len());
                         for seq in queue.drain(..) {
                             if seq.rank == 0 {
@@ -1203,30 +1592,49 @@ fn step_loop(shared: &Shared, config: &DecodeConfig) {
                 // a never-resumed engine still drains and exits.
                 let paused =
                     shared.paused.load(Ordering::SeqCst) && !shared.closed.load(Ordering::SeqCst);
-                let admit = !paused
-                    && match config.mode {
-                        BatchingMode::Continuous => true,
-                        BatchingMode::Static => active.is_empty(),
-                    };
-                if admit {
-                    while active.len() < config.max_batch {
-                        let Some(mut seq) = waiting.pop_highest() else {
-                            break;
+                if !paused {
+                    for (s, shard) in shards.iter_mut().enumerate() {
+                        // The autoscaler's signal: how long this shard's
+                        // oldest queued session has waited on the shard's
+                        // own simulated timeline (zero when the queue is
+                        // empty — that is what lets the share shrink back).
+                        let now = shared.stats.shard_clock(s);
+                        let head_wait = waiting.shards[s]
+                            .classes
+                            .iter()
+                            .flatten()
+                            .map(|q| (now - q.queued_sim).max(0.0))
+                            .fold(0.0f64, f64::max);
+                        shard.scaler.observe(head_wait);
+                        shared.stats.shards[s]
+                            .queue_delay_ewma_nanos
+                            .store((shard.scaler.ewma() * 1e9) as u64, Ordering::Relaxed);
+                        let admit = match config.mode {
+                            BatchingMode::Continuous => true,
+                            BatchingMode::Static => shard.active.is_empty(),
                         };
-                        seq.rank = shared.next_rank.fetch_add(1, Ordering::Relaxed);
-                        if seq.admitted_sim.is_none() {
-                            let now = shared.stats.sim_clock();
-                            seq.admitted_sim = Some(now);
-                            if seq.forced.is_empty() {
-                                // Single-token prompt: there is nothing to
-                                // prefill, the whole TTFT is first-decode.
-                                seq.prompt_done_sim = Some(now);
-                            }
+                        if !admit {
+                            continue;
                         }
-                        active.push(seq);
+                        while shard.active.len() < shard.scaler.share() {
+                            let Some(mut seq) = waiting.shards[s].pop_highest() else {
+                                break;
+                            };
+                            seq.rank = shared.next_rank.fetch_add(1, Ordering::Relaxed);
+                            if seq.admitted_sim.is_none() {
+                                seq.admitted_sim = Some(now);
+                                if seq.forced.is_empty() {
+                                    // Single-token prompt: there is nothing
+                                    // to prefill, the whole TTFT is
+                                    // first-decode.
+                                    seq.prompt_done_sim = Some(now);
+                                }
+                            }
+                            shard.active.push(seq);
+                        }
                     }
                 }
-                if !active.is_empty() {
+                if shards.iter().any(|sh| !sh.active.is_empty()) {
                     break;
                 }
                 if shared.closed.load(Ordering::SeqCst) && waiting.is_empty() {
@@ -1242,91 +1650,232 @@ fn step_loop(shared: &Shared, config: &DecodeConfig) {
             // again — keeping them would leak an arena per re-registration.
             // (`generate` never holds the registry and waiting locks at
             // once, so taking registry inside waiting cannot deadlock.)
-            if !rts.is_empty() {
-                let mut live: std::collections::HashSet<usize> =
-                    active.iter().map(|s| def_key(&s.def)).collect();
-                for queue in waiting.classes.iter() {
+            if shards.iter().any(|sh| !sh.rts.is_empty()) {
+                let mut live: std::collections::HashSet<usize> = shards
+                    .iter()
+                    .flat_map(|sh| sh.active.iter().map(|s| def_key(&s.def)))
+                    .collect();
+                for queue in waiting.shards.iter().flat_map(|wq| wq.classes.iter()) {
                     live.extend(queue.iter().map(|s| def_key(&s.def)));
                 }
                 {
                     let registry = shared.registry.lock().expect("registry poisoned");
                     live.extend(registry.values().map(def_key));
                 }
-                let before = rts.len();
-                rts.retain(|key, rt| {
-                    let keep = live.contains(key);
-                    if !keep {
-                        shared
-                            .stats
-                            .kv_capacity
-                            .fetch_sub(rt.kv.capacity(), Ordering::Relaxed);
+                for (s, shard) in shards.iter_mut().enumerate() {
+                    let before = shard.rts.len();
+                    shard.rts.retain(|key, rt| {
+                        let keep = live.contains(key);
+                        if !keep {
+                            shared
+                                .stats
+                                .kv_capacity
+                                .fetch_sub(rt.kv.capacity(), Ordering::Relaxed);
+                            shared.stats.shards[s]
+                                .kv_capacity
+                                .fetch_sub(rt.kv.capacity(), Ordering::Relaxed);
+                        }
+                        keep
+                    });
+                    if shard.rts.len() != before {
+                        refresh_shard_kv_gauge(&shard.rts, shared, s);
                     }
-                    keep
-                });
-                if rts.len() != before {
-                    refresh_kv_gauge(&rts, shared);
                 }
             }
         }
 
         // --- deadline check for active sequences -------------------------
         let now = Instant::now();
-        let mut i = 0;
-        while i < active.len() {
-            if active[i].expired(now) {
-                let mut seq = active.swap_remove(i);
-                if let Some(rt) = rts.get_mut(&def_key(&seq.def)) {
-                    rt.kv.release(&mut seq.kv);
-                }
-                refresh_kv_gauge(&rts, shared);
-                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-                let _ = seq.tx.send(Event::Failed(DecodeError::DeadlineExceeded));
-            } else {
-                i += 1;
-            }
-        }
-
-        // --- one step per model with active sequences ---------------------
-        let mut model_keys: Vec<usize> = Vec::new();
-        for seq in &active {
-            let key = def_key(&seq.def);
-            if !model_keys.contains(&key) {
-                model_keys.push(key);
-            }
-        }
-        for key in model_keys {
-            // Extract this model's batch (slot order = extraction order).
-            let mut batch: Vec<Sequence> = Vec::new();
+        for (s, shard) in shards.iter_mut().enumerate() {
             let mut i = 0;
-            while i < active.len() {
-                if def_key(&active[i].def) == key {
-                    batch.push(active.remove(i));
+            let mut removed = false;
+            while i < shard.active.len() {
+                if shard.active[i].expired(now) {
+                    let mut seq = shard.active.swap_remove(i);
+                    if let Some(rt) = shard.rts.get_mut(&def_key(&seq.def)) {
+                        rt.kv.release(&mut seq.kv);
+                    }
+                    removed = true;
+                    shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                    let _ = seq.tx.send(Event::Failed(DecodeError::DeadlineExceeded));
                 } else {
                     i += 1;
                 }
             }
-            if batch.is_empty() {
+            if removed {
+                refresh_shard_kv_gauge(&shard.rts, shared, s);
+            }
+        }
+
+        // --- one pass per shard: a step per model with active sequences ---
+        for s in 0..nshards {
+            if shards[s].active.is_empty() {
                 continue;
             }
-            let def = Arc::clone(&batch[0].def);
-            let rt = match ensure_rt(&mut rts, &def, &gpu, &cache, &options, config, shared) {
-                Ok(rt) => rt,
-                Err(err) => {
-                    for seq in batch {
-                        shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-                        let _ = seq.tx.send(Event::Failed(err.clone()));
+            // The headroom view migration targets are chosen against,
+            // debited as targets are picked within the pass. Entries for
+            // shards processed earlier this iteration are fresh; later ones
+            // may be one pass stale — safe, because a migrated-to shard
+            // re-resolves pressure itself at admission.
+            let mut view = ClusterView::collect(&shards, config.kv_blocks);
+            let shard = &mut shards[s];
+            let mut model_keys: Vec<usize> = Vec::new();
+            for seq in &shard.active {
+                let key = def_key(&seq.def);
+                if !model_keys.contains(&key) {
+                    model_keys.push(key);
+                }
+            }
+            for key in model_keys {
+                // Extract this model's batch (slot order = extraction order).
+                let mut batch: Vec<Sequence> = Vec::new();
+                let mut i = 0;
+                while i < shard.active.len() {
+                    if def_key(&shard.active[i].def) == key {
+                        batch.push(shard.active.remove(i));
+                    } else {
+                        i += 1;
                     }
+                }
+                if batch.is_empty() {
                     continue;
                 }
-            };
-            let outcome = run_iteration(shared, &gpu, &cache, &options, config, rt, batch);
-            active.extend(outcome.survivors);
-            refresh_kv_gauge(&rts, shared);
-            // Terminal events go out only after the gauges are current, so a
-            // client that observed `Done` sees post-release occupancy.
-            for (tx, event) in outcome.terminal {
-                let _ = tx.send(event);
+                let def = Arc::clone(&batch[0].def);
+                let rt = match ensure_rt(
+                    &mut shard.rts,
+                    &def,
+                    &shard.gpu,
+                    &cache,
+                    &options,
+                    config,
+                    shared,
+                    s,
+                ) {
+                    Ok(rt) => rt,
+                    Err(err) => {
+                        for seq in batch {
+                            shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                            let _ = seq.tx.send(Event::Failed(err.clone()));
+                        }
+                        continue;
+                    }
+                };
+                let outcome = run_iteration(
+                    shared, &shard.gpu, &cache, &options, config, rt, batch, s, &mut view,
+                );
+                shard.active.extend(outcome.survivors);
+                refresh_shard_kv_gauge(&shard.rts, shared, s);
+                // Terminal events go out only after the gauges are current,
+                // so a client that observed `Done` sees post-release
+                // occupancy.
+                for (tx, event) in outcome.terminal {
+                    let _ = tx.send(event);
+                }
             }
+        }
+
+        // --- stress migration (test/bench knob) ---------------------------
+        if config.stress_migrate_after > 0 && nshards > 1 {
+            for (s, shard) in shards.iter_mut().enumerate() {
+                let target = (s + 1) % nshards;
+                let mut moved = Vec::new();
+                let mut i = 0;
+                while i < shard.active.len() {
+                    let pick = {
+                        let seq = &shard.active[i];
+                        !seq.stress_migrated
+                            && seq.emitted >= config.stress_migrate_after
+                            && shard.rts.contains_key(&def_key(&seq.def))
+                    };
+                    if pick {
+                        let mut seq = shard.active.remove(i);
+                        seq.stress_migrated = true;
+                        if let Some(rt) = shard.rts.get_mut(&def_key(&seq.def)) {
+                            preempt(shared, &mut rt.kv, &mut seq);
+                        }
+                        moved.push(seq);
+                    } else {
+                        i += 1;
+                    }
+                }
+                if !moved.is_empty() {
+                    refresh_shard_kv_gauge(&shard.rts, shared, s);
+                }
+                for seq in moved {
+                    migrate_sequence(shared, seq, s, target);
+                }
+            }
+        }
+
+        // --- headroom rebalance -------------------------------------------
+        if nshards > 1 {
+            if rebalance_cooldown > 0 {
+                rebalance_cooldown -= 1;
+            } else if let Some((hot, cold)) = kv_skew(&shards) {
+                // Move the lowest-ranked hot-shard session whose worst-case
+                // block need fits the cold shard's free blocks right now.
+                let cold_free: HashMap<usize, usize> = shards[cold]
+                    .rts
+                    .iter()
+                    .map(|(key, rt)| (*key, rt.kv.capacity() - rt.kv.blocks_in_use()))
+                    .collect();
+                let shard = &mut shards[hot];
+                let pick = (0..shard.active.len())
+                    .filter(|&i| {
+                        let seq = &shard.active[i];
+                        let needed = seq.cache_need.div_ceil(config.block_tokens);
+                        let free = cold_free
+                            .get(&def_key(&seq.def))
+                            .copied()
+                            .unwrap_or(config.kv_blocks);
+                        needed <= free && shard.rts.contains_key(&def_key(&seq.def))
+                    })
+                    .max_by_key(|&i| shard.active[i].key());
+                if let Some(i) = pick {
+                    let mut seq = shard.active.remove(i);
+                    if let Some(rt) = shard.rts.get_mut(&def_key(&seq.def)) {
+                        preempt(shared, &mut rt.kv, &mut seq);
+                    }
+                    refresh_shard_kv_gauge(&shard.rts, shared, hot);
+                    migrate_sequence(shared, seq, hot, cold);
+                    rebalance_cooldown = REBALANCE_COOLDOWN_ITERS;
+                }
+            }
+        }
+
+        // --- lane autoscaling + placement gauge publish -------------------
+        for (s, shard) in shards.iter_mut().enumerate() {
+            shard.iterations += 1;
+            let est = shard
+                .rts
+                .values()
+                .map(|rt| rt.estimate)
+                .fold(0.0f64, f64::max);
+            let share = shard.scaler.update(shard.iterations, est);
+            let st = &shared.stats.shards[s];
+            st.lane_share.store(share, Ordering::Relaxed);
+            st.queue_delay_ewma_nanos
+                .store((shard.scaler.ewma() * 1e9) as u64, Ordering::Relaxed);
+            let rts = &shard.rts;
+            let mut gauges = st.gauges.lock().expect("stats poisoned");
+            gauges.step_estimate = est;
+            gauges.active_remaining = shard
+                .active
+                .iter()
+                .map(|seq| {
+                    let e = rts
+                        .get(&def_key(&seq.def))
+                        .map_or(if est > 0.0 { est } else { 1.0 }, |rt| rt.estimate);
+                    seq.remaining_work() as f64 * e
+                })
+                .collect();
+            gauges.kv_free = rts
+                .iter()
+                .map(|(key, rt)| {
+                    let cap = rt.kv.capacity();
+                    (*key, (cap - rt.kv.blocks_in_use(), cap))
+                })
+                .collect();
         }
     }
 }
@@ -1335,11 +1884,23 @@ fn def_key(def: &Arc<ModelDef>) -> usize {
     Arc::as_ptr(def) as usize
 }
 
-/// Recomputes the KV occupancy gauge across every model arena.
-fn refresh_kv_gauge(rts: &HashMap<usize, ModelRt>, shared: &Shared) {
+/// Recomputes shard `s`'s KV occupancy gauge from its model arenas, then
+/// the pool-wide gauge as the sum of every shard's published value (other
+/// shards' arenas are untouched since their last refresh, so their gauges
+/// are current).
+fn refresh_shard_kv_gauge(rts: &HashMap<usize, ModelRt>, shared: &Shared, s: usize) {
     let in_use: usize = rts.values().map(|rt| rt.kv.blocks_in_use()).sum();
-    shared.stats.kv_in_use.store(in_use, Ordering::Relaxed);
-    shared.stats.kv_peak.fetch_max(in_use, Ordering::Relaxed);
+    let st = &shared.stats.shards[s];
+    st.kv_in_use.store(in_use, Ordering::Relaxed);
+    st.kv_peak.fetch_max(in_use, Ordering::Relaxed);
+    let total: usize = shared
+        .stats
+        .shards
+        .iter()
+        .map(|st| st.kv_in_use.load(Ordering::Relaxed))
+        .sum();
+    shared.stats.kv_in_use.store(total, Ordering::Relaxed);
+    shared.stats.kv_peak.fetch_max(total, Ordering::Relaxed);
 }
 
 /// What one [`run_step`] hands back to the loop: sequences staying active,
@@ -1351,9 +1912,13 @@ struct StepOutcome {
 }
 
 /// Fails expired waiting sequences with `DeadlineExceeded`.
-fn purge_expired_waiting(shared: &Shared, waiting: &mut WaitQueues) {
+fn purge_expired_waiting(shared: &Shared, waiting: &mut Waiting) {
     let now = Instant::now();
-    for queue in waiting.classes.iter_mut() {
+    for queue in waiting
+        .shards
+        .iter_mut()
+        .flat_map(|wq| wq.classes.iter_mut())
+    {
         if !queue.iter().any(|s| s.expired(now)) {
             continue;
         }
@@ -1373,6 +1938,7 @@ fn purge_expired_waiting(shared: &Shared, waiting: &mut WaitQueues) {
 /// Lazily compiles the model's fixed-shape step graph (seeding compact
 /// schedules first — see [`DecodeConfig::compact_schedules`]) and builds its
 /// workspace + KV arena.
+#[allow(clippy::too_many_arguments)]
 fn ensure_rt<'a>(
     rts: &'a mut HashMap<usize, ModelRt>,
     def: &Arc<ModelDef>,
@@ -1381,6 +1947,7 @@ fn ensure_rt<'a>(
     options: &CompilerOptions,
     config: &DecodeConfig,
     shared: &Shared,
+    shard: usize,
 ) -> Result<&'a mut ModelRt, DecodeError> {
     let key = def_key(def);
     match rts.entry(key) {
@@ -1407,6 +1974,9 @@ fn ensure_rt<'a>(
             let kv = KvAllocator::new(layout, config.kv_blocks);
             shared
                 .stats
+                .kv_capacity
+                .fetch_add(kv.capacity(), Ordering::Relaxed);
+            shared.stats.shards[shard]
                 .kv_capacity
                 .fetch_add(kv.capacity(), Ordering::Relaxed);
             Ok(entry.insert(ModelRt {
@@ -1489,6 +2059,7 @@ fn elect_chunk(remaining: usize, menu: &[usize], budget: usize) -> Option<usize>
 /// every live sequence that did not prefill. A sequence advances through
 /// exactly one forward pass per iteration, so decodes never observe more
 /// than one prefill-chunk bubble between tokens.
+#[allow(clippy::too_many_arguments)]
 fn run_iteration(
     shared: &Shared,
     gpu: &Gpu,
@@ -1497,6 +2068,8 @@ fn run_iteration(
     config: &DecodeConfig,
     rt: &mut ModelRt,
     mut batch: Vec<Sequence>,
+    shard: usize,
+    view: &mut ClusterView,
 ) -> StepOutcome {
     let n = batch.len();
     let mut state = vec![SlotState::Live; n];
@@ -1542,6 +2115,8 @@ fn run_iteration(
                 &mut terminal,
                 i,
                 chunk,
+                shard,
+                view,
             ) {
                 budget -= chunk;
                 prefilled[i] = true;
@@ -1563,6 +2138,8 @@ fn run_iteration(
             &mut state,
             &mut terminal,
             &decode_slots,
+            shard,
+            view,
         );
     }
     if ran_prefill {
@@ -1581,24 +2158,32 @@ fn run_iteration(
     // Reassemble: live sequences stay active; evicted ones rejoin the head
     // of their class queue (they re-admit before newcomers of their class,
     // but with a fresh — higher — rank, so the total eviction order can
-    // never cycle). Finished/failed sequences drop here; their channels
-    // already carried Done/Failed.
+    // never cycle); migrated ones rejoin the *target shard's* queue head
+    // with their time anchors rebased. Finished/failed sequences drop here;
+    // their channels already carried Done/Failed.
     let mut survivors = Vec::with_capacity(n);
     let mut requeue: Vec<Sequence> = Vec::new();
+    let mut migrations: Vec<(Sequence, usize)> = Vec::new();
     for (seq, state) in batch.into_iter().zip(state) {
         match state {
             SlotState::Live => survivors.push(seq),
             SlotState::Evicted => requeue.push(seq),
+            SlotState::Migrated(target) => migrations.push((seq, target)),
             SlotState::Dropped => {}
         }
     }
     if !requeue.is_empty() {
+        let now = shared.stats.shard_clock(shard);
         let mut waiting = shared.waiting.lock().expect("waiting poisoned");
-        for seq in requeue.into_iter().rev() {
-            waiting.classes[seq.priority.index()].push_front(seq);
+        for mut seq in requeue.into_iter().rev() {
+            seq.queued_sim = now;
+            waiting.shards[shard].classes[seq.priority.index()].push_front(seq);
         }
         drop(waiting);
         shared.cv.notify_all();
+    }
+    for (seq, target) in migrations {
+        migrate_sequence(shared, seq, shard, target);
     }
     StepOutcome {
         survivors,
@@ -1629,6 +2214,8 @@ fn run_prefill(
     terminal: &mut Vec<(mpsc::Sender<Event>, Event)>,
     slot: usize,
     chunk: usize,
+    shard: usize,
+    view: &mut ClusterView,
 ) -> bool {
     // Lazily compile this chunk's runtime (same compact-schedule seeding as
     // the decode step).
@@ -1740,14 +2327,18 @@ fn run_prefill(
         state[slot] = SlotState::Dropped;
         return true;
     }
-    let now = shared.stats.advance_prefill_clock(prt.estimate);
+    let now = shared
+        .stats
+        .advance_shard_prefill_clock(shard, prt.estimate);
     shared.stats.prefill_passes.fetch_add(1, Ordering::Relaxed);
 
     // --- append + harvest the chunk's KV rows ------------------------------
     let remaining = 1 + batch[slot].forced.len();
     let mut absorbed = 0usize;
     for j in 0..chunk {
-        let Some(kvslot) = append_with_pressure(shared, kv, batch, state, terminal, slot) else {
+        let Some(kvslot) =
+            append_with_pressure(shared, kv, batch, state, terminal, slot, shard, view)
+        else {
             // Self-preempted (replay chain rebuilt from what was harvested)
             // or dropped — either way this pass is over.
             break;
@@ -1806,7 +2397,7 @@ fn run_prefill(
             .output(pdef.logits_id)
             .expect("logits are a graph output");
         let token = argmax(&logits[(chunk - 1) * vocab..chunk * vocab]);
-        state[slot] = emit_token(shared, kv, seq, token, now, terminal);
+        state[slot] = emit_token(shared, kv, seq, token, now, terminal, shard);
     } else {
         // Mid-prompt (or mid-replay): every output of this pass is ignored,
         // exactly like token-wise forced feeding.
@@ -1825,6 +2416,7 @@ fn run_prefill(
 /// → append KV (with eviction + recompute under pressure) → emit/retire.
 /// Logits/buffer rows are indexed by position within `slots`, not by batch
 /// index — prefilled sequences simply leave their row staged to zero.
+#[allow(clippy::too_many_arguments)]
 fn run_decode_step(
     shared: &Shared,
     gpu: &Gpu,
@@ -1833,6 +2425,8 @@ fn run_decode_step(
     state: &mut [SlotState],
     terminal: &mut Vec<(mpsc::Sender<Event>, Event)>,
     slots: &[usize],
+    shard: usize,
+    view: &mut ClusterView,
 ) {
     let ModelRt {
         def,
@@ -1910,8 +2504,11 @@ fn run_decode_step(
         }
         return;
     }
-    let now = shared.stats.advance_clock(*estimate);
+    let now = shared.stats.advance_shard_clock(shard, *estimate);
     shared.stats.steps.fetch_add(1, Ordering::Relaxed);
+    shared.stats.shards[shard]
+        .steps
+        .fetch_add(1, Ordering::Relaxed);
     shared
         .stats
         .occupied_slots
@@ -1922,7 +2519,8 @@ fn run_decode_step(
         if state[i] != SlotState::Live {
             continue;
         }
-        let Some(kvslot) = append_with_pressure(shared, kv, batch, state, terminal, i) else {
+        let Some(kvslot) = append_with_pressure(shared, kv, batch, state, terminal, i, shard, view)
+        else {
             continue;
         };
         // Harvest the new K/V rows device-to-device: the concat outputs hold
@@ -1960,16 +2558,21 @@ fn run_decode_step(
             continue;
         }
         // A fresh token: emit it.
-        state[i] = emit_token(shared, kv, seq, token, now, terminal);
+        state[i] = emit_token(shared, kv, seq, token, now, terminal, shard);
     }
 }
 
-/// Reserves one KV token slot for `batch[slot]`, evicting under pressure:
-/// the strictly lower-ranked victim is preempted first; with no victim the
-/// requester *self-preempts* (yields to its elders, rebuilding later),
-/// failing only when the arena cannot hold it even alone. Returns `None`
-/// when the slot itself was preempted or dropped — `state` and `terminal`
-/// already reflect it.
+/// Reserves one KV token slot for `batch[slot]`, evicting under pressure.
+/// The strictly lower-ranked victim is preempted first — landing on the
+/// pool's roomiest other shard ([`SlotState::Migrated`]) when one has the
+/// headroom, locally otherwise. With no victim the requester yields itself:
+/// to a shard with free blocks, else locally (when this arena could hold it
+/// alone), else to any shard whose *whole arena* could.
+/// [`DecodeError::KvExhausted`] surfaces only when no shard in the pool can
+/// fit the sequence even alone. Returns `None` when the slot itself was
+/// preempted, migrated or dropped — `state` and `terminal` already reflect
+/// it.
+#[allow(clippy::too_many_arguments)]
 fn append_with_pressure(
     shared: &Shared,
     kv: &mut KvAllocator,
@@ -1977,26 +2580,55 @@ fn append_with_pressure(
     state: &mut [SlotState],
     terminal: &mut Vec<(mpsc::Sender<Event>, Event)>,
     slot: usize,
+    shard: usize,
+    view: &mut ClusterView,
 ) -> Option<crate::kv::KvSlot> {
+    let model = def_key(&batch[slot].def);
+    // Pressure relief may only move a sequence so many times
+    // ([`PRESSURE_MOVE_LIMIT`]); past the cap it behaves single-shard.
+    let relief_target = |seq: &Sequence, view: &ClusterView, needed: usize| {
+        (seq.pressure_moves < PRESSURE_MOVE_LIMIT)
+            .then(|| view.headroom_target(shard, model, needed))
+            .flatten()
+    };
     loop {
         match kv.append(&mut batch[slot].kv) {
             Ok(kvslot) => return Some(kvslot),
             Err(KvError::Exhausted) => match pick_victim(batch, state, slot) {
                 Some(v) => {
+                    let needed = kv.layout().blocks_for(batch[v].cache_need);
+                    let target = relief_target(&batch[v], view, needed);
                     preempt(shared, kv, &mut batch[v]);
-                    state[v] = SlotState::Evicted;
-                }
-                None if kv.layout().blocks_for(batch[slot].cache_need) <= kv.capacity() => {
-                    preempt(shared, kv, &mut batch[slot]);
-                    state[slot] = SlotState::Evicted;
-                    return None;
+                    state[v] = match target {
+                        Some(t) => {
+                            view.debit(t, model, needed);
+                            batch[v].pressure_moves += 1;
+                            SlotState::Migrated(t)
+                        }
+                        None => SlotState::Evicted,
+                    };
                 }
                 None => {
-                    let seq = &mut batch[slot];
-                    kv.release(&mut seq.kv);
-                    shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-                    terminal.push((seq.tx.clone(), Event::Failed(DecodeError::KvExhausted)));
-                    state[slot] = SlotState::Dropped;
+                    let needed = kv.layout().blocks_for(batch[slot].cache_need);
+                    if let Some(t) = relief_target(&batch[slot], view, needed) {
+                        preempt(shared, kv, &mut batch[slot]);
+                        view.debit(t, model, needed);
+                        batch[slot].pressure_moves += 1;
+                        state[slot] = SlotState::Migrated(t);
+                    } else if needed <= kv.capacity() {
+                        preempt(shared, kv, &mut batch[slot]);
+                        state[slot] = SlotState::Evicted;
+                    } else if let Some(t) = view.capacity_target(shard, model, needed) {
+                        preempt(shared, kv, &mut batch[slot]);
+                        view.debit(t, model, needed);
+                        state[slot] = SlotState::Migrated(t);
+                    } else {
+                        let seq = &mut batch[slot];
+                        kv.release(&mut seq.kv);
+                        shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                        terminal.push((seq.tx.clone(), Event::Failed(DecodeError::KvExhausted)));
+                        state[slot] = SlotState::Dropped;
+                    }
                     return None;
                 }
             },
@@ -2014,6 +2646,7 @@ fn emit_token(
     token: u32,
     now: f64,
     terminal: &mut Vec<(mpsc::Sender<Event>, Event)>,
+    shard: usize,
 ) -> SlotState {
     let index = seq.emitted;
     seq.emitted += 1;
@@ -2033,6 +2666,9 @@ fn emit_token(
     }
     seq.last_token_sim = now;
     shared.stats.tokens.fetch_add(1, Ordering::Relaxed);
+    shared.stats.shards[shard]
+        .tokens
+        .fetch_add(1, Ordering::Relaxed);
     let delivered = seq
         .tx
         .send(Event::Token(TokenEvent {
@@ -2084,8 +2720,12 @@ fn preempt(shared: &Shared, kv: &mut KvAllocator, seq: &mut Sequence) {
 enum SlotState {
     /// Still generating: stays active.
     Live,
-    /// Preempted by KV pressure: cache freed, replay chain built, requeued.
+    /// Preempted by KV pressure: cache freed, replay chain built, requeued
+    /// on the same shard.
     Evicted,
+    /// Live-migrated: cache freed, replay chain built, re-admitted at the
+    /// front of the target shard's queue.
+    Migrated(usize),
     /// Finished or failed: response sent, cache freed.
     Dropped,
 }
@@ -2240,6 +2880,9 @@ mod tests {
                 ttft: None,
                 ttft_admission: None,
                 last_token_sim: 0.0,
+                queued_sim: 0.0,
+                pressure_moves: 0,
+                stress_migrated: false,
             }
         };
         let batch = vec![

@@ -38,6 +38,14 @@
 //!   sequence is preempted — blocks freed, tokens later re-fed (chunked,
 //!   via the same election path) to rebuild the cache — so high-priority
 //!   sessions always make progress;
+//! * **multi-device decode** ([`DecodeConfig::devices`], DESIGN.md §11):
+//!   one decode *shard* per configured [`hidet_sim::GpuSpec`], each with its
+//!   own KV arena, compiled graphs and iteration scheduler. New sessions
+//!   land on the shard minimizing estimated queue delay plus a KV-headroom
+//!   penalty; KV pressure *live-migrates* sessions to roomier shards via
+//!   the eviction/recompute chain (token streams stay bit-identical); each
+//!   shard's decode lane share autoscales from its queue-delay EWMA,
+//!   bounded and hysteretic ([`DecodeConfig::lane_autoscale`]);
 //! * **token-level observability**: TTFT from submit *and* from admission,
 //!   decomposed into queue / prefill / first-decode segments, inter-token
 //!   latency p50/p95, decode and prefill tokens/sec, interleave occupancy
@@ -74,6 +82,7 @@
 
 pub mod engine;
 pub mod kv;
+pub(crate) mod placement;
 pub(crate) mod stats;
 
 pub use engine::{

@@ -3,15 +3,72 @@
 //! serving engine surfaces through `StatsSnapshot::decode`). Latency
 //! distributions reuse the runtime's bounded
 //! [`LatencyReservoir`](hidet_runtime::LatencyReservoir).
+//!
+//! Since the multi-device refactor the aggregate counters are joined by one
+//! [`DecodeShardStats`] block per decode shard: each shard owns its own
+//! simulated clock (shards model *parallel* devices, so their busy times
+//! overlap rather than add) plus the placement gauges `generate` reads to
+//! score shards without touching the step loop's state.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use hidet_runtime::{DecodeStatsSnapshot, LatencyReservoir};
+use hidet_runtime::{DecodeShardSnapshot, DecodeStatsSnapshot, LatencyReservoir};
+
+/// Placement inputs the step loop publishes after each pass, read by
+/// `generate` under the waiting lock to score this shard.
+#[derive(Debug, Default)]
+pub(crate) struct ShardGauges {
+    /// Estimated remaining simulated seconds of each active sequence.
+    pub(crate) active_remaining: Vec<f64>,
+    /// Decode-step latency estimate, simulated seconds (0 until the first
+    /// graph compiles on this shard).
+    pub(crate) step_estimate: f64,
+    /// `(free, capacity)` KV blocks per model arena, keyed by `ModelDef`
+    /// identity. Models without an arena yet default to a full arena.
+    pub(crate) kv_free: HashMap<usize, (usize, usize)>,
+}
+
+/// Counters, clock and gauges of one decode shard.
+#[derive(Debug, Default)]
+pub(crate) struct DecodeShardStats {
+    /// The shard's device name (its `GpuSpec::name`).
+    pub(crate) device: String,
+    /// Sessions the placement policy landed here at submission.
+    pub(crate) placed: AtomicUsize,
+    /// Live sessions migrated onto this shard.
+    pub(crate) migrations_in: AtomicUsize,
+    /// Live sessions migrated off this shard.
+    pub(crate) migrations_out: AtomicUsize,
+    pub(crate) tokens: AtomicUsize,
+    pub(crate) steps: AtomicUsize,
+    pub(crate) kv_in_use: AtomicUsize,
+    pub(crate) kv_peak: AtomicUsize,
+    pub(crate) kv_capacity: AtomicUsize,
+    /// Current decode lane share (admission ceiling) of this shard.
+    pub(crate) lane_share: AtomicUsize,
+    /// Queue-delay EWMA driving the lane autoscaler, scaled by 1e9.
+    pub(crate) queue_delay_ewma_nanos: AtomicU64,
+    /// Simulated seconds this shard spent in decode steps, scaled by 1e9.
+    pub(crate) sim_decode_nanos: AtomicU64,
+    /// Simulated seconds this shard spent in prefill passes, scaled by 1e9.
+    pub(crate) sim_prefill_nanos: AtomicU64,
+    /// The shard's simulated clock (decode + prefill), scaled by 1e9 — the
+    /// timeline all of this shard's sequence stamps live on.
+    pub(crate) sim_clock_nanos: AtomicU64,
+    pub(crate) gauges: Mutex<ShardGauges>,
+}
+
+impl DecodeShardStats {
+    pub(crate) fn sim_clock(&self) -> f64 {
+        self.sim_clock_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+}
 
 /// Atomic counters + bounded reservoirs updated by the step loop; cheap to
 /// read from any thread ([`DecodeStats::snapshot`]).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct DecodeStats {
     pub(crate) completed: AtomicUsize,
     pub(crate) failed: AtomicUsize,
@@ -37,36 +94,84 @@ pub(crate) struct DecodeStats {
     /// Prefill iterations that also ran a decode step — prefill riding along
     /// with in-flight decodes instead of stalling the engine.
     pub(crate) interleaved_iterations: AtomicUsize,
-    /// Simulated seconds spent in decode steps, scaled by 1e9.
+    /// Simulated seconds spent in decode steps summed over shards, scaled by
+    /// 1e9 (shards run in parallel, so this is work, not wall time).
     pub(crate) sim_decode_nanos: AtomicU64,
-    /// Simulated seconds spent in chunked prefill passes, scaled by 1e9
-    /// (kept apart from decode time so tokens/sec stays a decode metric).
+    /// Simulated seconds spent in chunked prefill passes summed over shards,
+    /// scaled by 1e9 (kept apart from decode time so tokens/sec stays a
+    /// decode metric).
     pub(crate) sim_prefill_nanos: AtomicU64,
-    /// The engine's simulated clock, scaled by 1e9 — read by `generate` to
-    /// stamp submissions (TTFT includes queueing).
-    pub(crate) sim_clock_nanos: AtomicU64,
+    /// One stats block per decode shard.
+    pub(crate) shards: Vec<DecodeShardStats>,
     // [ttft(submit), itl, ttft(admission), queue, prefill, first-decode]
     reservoirs: Mutex<[LatencyReservoir; 6]>,
 }
 
+impl Default for DecodeStats {
+    fn default() -> DecodeStats {
+        DecodeStats::for_shards(vec![String::new()])
+    }
+}
+
 impl DecodeStats {
-    pub(crate) fn sim_clock(&self) -> f64 {
-        self.sim_clock_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    /// Stats with one [`DecodeShardStats`] block per device label.
+    pub(crate) fn for_shards(devices: Vec<String>) -> DecodeStats {
+        let shards = devices
+            .into_iter()
+            .map(|device| DecodeShardStats {
+                device,
+                ..DecodeShardStats::default()
+            })
+            .collect();
+        DecodeStats {
+            completed: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
+            tokens: AtomicUsize::new(0),
+            prompt_tokens: AtomicUsize::new(0),
+            steps: AtomicUsize::new(0),
+            occupied_slots: AtomicUsize::new(0),
+            max_batch: AtomicUsize::new(0),
+            kv_in_use: AtomicUsize::new(0),
+            kv_peak: AtomicUsize::new(0),
+            kv_capacity: AtomicUsize::new(0),
+            kv_evictions: AtomicUsize::new(0),
+            recomputed_tokens: AtomicUsize::new(0),
+            prefill_tokens: AtomicUsize::new(0),
+            prefill_passes: AtomicUsize::new(0),
+            prefill_iterations: AtomicUsize::new(0),
+            interleaved_iterations: AtomicUsize::new(0),
+            sim_decode_nanos: AtomicU64::new(0),
+            sim_prefill_nanos: AtomicU64::new(0),
+            shards,
+            reservoirs: Mutex::new(Default::default()),
+        }
     }
 
-    pub(crate) fn advance_clock(&self, seconds: f64) -> f64 {
+    /// Shard `s`'s simulated clock, seconds.
+    pub(crate) fn shard_clock(&self, s: usize) -> f64 {
+        self.shards[s].sim_clock()
+    }
+
+    /// Advances shard `s`'s clock by one decode step, booking the time both
+    /// on the shard and in the aggregate decode-work counter. Returns the
+    /// shard's new clock.
+    pub(crate) fn advance_shard_clock(&self, s: usize, seconds: f64) -> f64 {
         let nanos = (seconds * 1e9) as u64;
         self.sim_decode_nanos.fetch_add(nanos, Ordering::Relaxed);
-        let now = self.sim_clock_nanos.fetch_add(nanos, Ordering::Relaxed) + nanos;
+        let shard = &self.shards[s];
+        shard.sim_decode_nanos.fetch_add(nanos, Ordering::Relaxed);
+        let now = shard.sim_clock_nanos.fetch_add(nanos, Ordering::Relaxed) + nanos;
         now as f64 / 1e9
     }
 
-    /// [`DecodeStats::advance_clock`] for prefill passes: advances the
-    /// engine clock but books the time under `sim_prefill_nanos`.
-    pub(crate) fn advance_prefill_clock(&self, seconds: f64) -> f64 {
+    /// [`DecodeStats::advance_shard_clock`] for prefill passes: advances the
+    /// shard clock but books the time under the prefill counters.
+    pub(crate) fn advance_shard_prefill_clock(&self, s: usize, seconds: f64) -> f64 {
         let nanos = (seconds * 1e9) as u64;
         self.sim_prefill_nanos.fetch_add(nanos, Ordering::Relaxed);
-        let now = self.sim_clock_nanos.fetch_add(nanos, Ordering::Relaxed) + nanos;
+        let shard = &self.shards[s];
+        shard.sim_prefill_nanos.fetch_add(nanos, Ordering::Relaxed);
+        let now = shard.sim_clock_nanos.fetch_add(nanos, Ordering::Relaxed) + nanos;
         now as f64 / 1e9
     }
 
@@ -108,6 +213,43 @@ impl DecodeStats {
         let prefill_seconds = self.sim_prefill_nanos.load(Ordering::Relaxed) as f64 / 1e9;
         let prefill_tokens = self.prefill_tokens.load(Ordering::Relaxed);
         let prefill_iterations = self.prefill_iterations.load(Ordering::Relaxed);
+        let shards: Vec<DecodeShardSnapshot> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let shard_tokens = s.tokens.load(Ordering::Relaxed);
+                let decode_seconds = s.sim_decode_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+                DecodeShardSnapshot {
+                    device: s.device.clone(),
+                    sessions_placed: s.placed.load(Ordering::Relaxed),
+                    migrations_in: s.migrations_in.load(Ordering::Relaxed),
+                    migrations_out: s.migrations_out.load(Ordering::Relaxed),
+                    tokens_generated: shard_tokens,
+                    steps: s.steps.load(Ordering::Relaxed),
+                    kv_blocks_in_use: s.kv_in_use.load(Ordering::Relaxed),
+                    kv_blocks_peak: s.kv_peak.load(Ordering::Relaxed),
+                    kv_blocks_capacity: s.kv_capacity.load(Ordering::Relaxed),
+                    lane_share: s.lane_share.load(Ordering::Relaxed),
+                    queue_delay_ewma_seconds: s.queue_delay_ewma_nanos.load(Ordering::Relaxed)
+                        as f64
+                        / 1e9,
+                    simulated_decode_seconds: decode_seconds,
+                    simulated_busy_seconds: s.sim_clock(),
+                    tokens_per_second: if decode_seconds > 0.0 {
+                        shard_tokens as f64 / decode_seconds
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+        // Shards model parallel devices: cluster throughput divides by the
+        // busiest shard's timeline (the makespan), not the summed busy time.
+        let makespan = shards
+            .iter()
+            .map(|s| s.simulated_busy_seconds)
+            .fold(0.0f64, f64::max);
+        let sessions_migrated = shards.iter().map(|s| s.migrations_out).sum();
         DecodeStatsSnapshot {
             sequences_completed: self.completed.load(Ordering::Relaxed),
             sequences_failed: self.failed.load(Ordering::Relaxed),
@@ -136,6 +278,11 @@ impl DecodeStats {
             } else {
                 0.0
             },
+            cluster_tokens_per_second: if makespan > 0.0 {
+                tokens as f64 / makespan
+            } else {
+                0.0
+            },
             simulated_decode_seconds: sim_seconds,
             simulated_prefill_seconds: prefill_seconds,
             prefill_tokens,
@@ -156,6 +303,8 @@ impl DecodeStats {
             kv_blocks_capacity: self.kv_capacity.load(Ordering::Relaxed),
             kv_evictions: self.kv_evictions.load(Ordering::Relaxed),
             recomputed_tokens: self.recomputed_tokens.load(Ordering::Relaxed),
+            sessions_migrated,
+            shards,
         }
     }
 }
@@ -168,8 +317,8 @@ mod tests {
     fn clock_and_throughput_accounting() {
         let stats = DecodeStats::default();
         stats.max_batch.store(4, Ordering::Relaxed);
-        assert_eq!(stats.sim_clock(), 0.0);
-        let now = stats.advance_clock(0.5);
+        assert_eq!(stats.shard_clock(0), 0.0);
+        let now = stats.advance_shard_clock(0, 0.5);
         assert!((now - 0.5).abs() < 1e-9);
         stats.tokens.store(100, Ordering::Relaxed);
         stats.steps.store(10, Ordering::Relaxed);
@@ -177,6 +326,26 @@ mod tests {
         let snap = stats.snapshot();
         assert!((snap.tokens_per_second - 200.0).abs() < 1e-6);
         assert!((snap.mean_step_occupancy - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shard_clocks_are_independent_and_cluster_uses_the_makespan() {
+        let stats = DecodeStats::for_shards(vec!["a".into(), "b".into()]);
+        stats.advance_shard_clock(0, 1.0);
+        stats.advance_shard_clock(1, 0.25);
+        stats.advance_shard_prefill_clock(1, 0.25);
+        assert!((stats.shard_clock(0) - 1.0).abs() < 1e-9);
+        assert!((stats.shard_clock(1) - 0.5).abs() < 1e-9);
+        stats.tokens.store(100, Ordering::Relaxed);
+        let snap = stats.snapshot();
+        // Aggregate tokens/sec divides by summed decode work (1.25s); the
+        // cluster number divides by the busiest shard's clock (1.0s).
+        assert!((snap.tokens_per_second - 80.0).abs() < 1e-6);
+        assert!((snap.cluster_tokens_per_second - 100.0).abs() < 1e-6);
+        assert_eq!(snap.shards.len(), 2);
+        assert_eq!(snap.shards[0].device, "a");
+        assert!((snap.shards[1].simulated_busy_seconds - 0.5).abs() < 1e-9);
+        assert!((snap.shards[1].simulated_decode_seconds - 0.25).abs() < 1e-9);
     }
 
     #[test]
@@ -194,6 +363,10 @@ mod tests {
     #[test]
     fn empty_snapshot_is_zero() {
         let snap = DecodeStats::default().snapshot();
-        assert_eq!(snap, DecodeStatsSnapshot::default());
+        let want = DecodeStatsSnapshot {
+            shards: vec![DecodeShardSnapshot::default()],
+            ..DecodeStatsSnapshot::default()
+        };
+        assert_eq!(snap, want);
     }
 }

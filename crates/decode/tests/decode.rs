@@ -9,6 +9,7 @@ use hidet_decode::{
     SessionPoll,
 };
 use hidet_runtime::Priority;
+use hidet_sim::GpuSpec;
 use proptest::prelude::*;
 
 /// A tiny decode model the interpreter chews through quickly: 1 layer,
@@ -496,6 +497,116 @@ fn decode_stats_attach_to_the_serving_engine_snapshot() {
     serving.shutdown().unwrap();
 }
 
+/// KV pressure on a shard pool migrates sessions instead of failing them:
+/// with one shard's arena full, a competing session lands on (or moves to)
+/// the empty shard and completes. `KvExhausted` surfaces only when *no*
+/// shard in the pool could hold the sequence even alone.
+#[test]
+fn kv_exhausted_only_when_no_shard_in_the_pool_fits() {
+    // Reference streams from an ample single-device engine.
+    let ample = engine(2, 32, 2);
+    let ample_model = ample.register(tiny_spec()).unwrap();
+    let reference = |prompt: Vec<u32>, n: usize| {
+        ample_model
+            .generate(GenerateRequest::new(prompt, n))
+            .collect()
+            .unwrap()
+            .tokens
+    };
+    let hog_expected = reference(vec![1, 2], 7);
+    let other_expected = reference(vec![3, 4], 6);
+
+    // Two shards, each a 4-block × 2-token arena (8 cached tokens). The hog
+    // (2 + 7 - 1 = 8 tokens) and the other session (7 tokens) each need a
+    // full arena — they cannot share one, but the pool holds both.
+    let pool = DecodeEngine::new(DecodeConfig {
+        max_batch: 2,
+        kv_blocks: 4,
+        block_tokens: 2,
+        devices: vec![GpuSpec::rtx3090(), GpuSpec::rtx3090()],
+        start_paused: true,
+        ..DecodeConfig::default()
+    });
+    let model = pool.register(tiny_spec()).unwrap();
+    let hog = model.generate(
+        GenerateRequest::new(vec![1, 2], 7)
+            .with_shard(0)
+            .with_priority(Priority::High),
+    );
+    let other = model.generate(GenerateRequest::new(vec![3, 4], 6).with_shard(0));
+    pool.resume();
+    assert_eq!(other.collect().unwrap().tokens, other_expected);
+    assert_eq!(hog.collect().unwrap().tokens, hog_expected);
+    let stats = pool.stats();
+    assert!(
+        stats.sessions_migrated >= 1,
+        "pressure must relocate, not evict in place: {stats:?}"
+    );
+    assert_eq!(stats.sequences_failed, 0, "no KvExhausted with headroom");
+
+    // 5 + 6 - 1 = 10 cached tokens = 5 blocks: bigger than EVERY arena
+    // alone — only now does the pool refuse.
+    let err = model
+        .generate(GenerateRequest::new(vec![1, 2, 3, 4, 5], 6))
+        .collect()
+        .unwrap_err();
+    assert_eq!(err, DecodeError::KvExhausted);
+    let stats = pool.stats();
+    assert_eq!(stats.kv_blocks_in_use, 0, "no block leaked");
+    for shard in &stats.shards {
+        assert_eq!(shard.kv_blocks_in_use, 0, "shard leaked: {shard:?}");
+    }
+}
+
+/// Satellite invariant of the multi-device stats: per-shard rows telescope
+/// to the aggregates — tokens, steps and placements sum up, and every
+/// migration out of one shard lands in another.
+#[test]
+fn per_shard_stats_telescope_to_the_aggregates() {
+    let pool = DecodeEngine::new(DecodeConfig {
+        max_batch: 2,
+        kv_blocks: 16,
+        block_tokens: 4,
+        devices: vec![GpuSpec::rtx3090(), GpuSpec::rtx3090()],
+        stress_migrate_after: 2,
+        ..DecodeConfig::default()
+    });
+    let model = pool.register(tiny_spec()).unwrap();
+    let sessions: Vec<_> = workload(7, 4)
+        .into_iter()
+        .map(|(p, n)| model.generate(GenerateRequest::new(p, n.max(3))))
+        .collect();
+    for session in sessions {
+        session.collect().unwrap();
+    }
+    let stats = pool.stats();
+    assert_eq!(stats.shards.len(), 2);
+    let sum = |f: fn(&hidet_runtime::DecodeShardSnapshot) -> usize| -> usize {
+        stats.shards.iter().map(f).sum()
+    };
+    assert_eq!(sum(|s| s.tokens_generated), stats.tokens_generated);
+    assert_eq!(sum(|s| s.steps), stats.steps);
+    assert_eq!(sum(|s| s.sessions_placed), 4);
+    assert_eq!(
+        sum(|s| s.migrations_out),
+        sum(|s| s.migrations_in),
+        "every migration out must land somewhere"
+    );
+    assert_eq!(sum(|s| s.migrations_out), stats.sessions_migrated);
+    assert!(stats.sessions_migrated > 0, "stress knob must force moves");
+    assert!(stats.cluster_tokens_per_second > 0.0);
+    assert!(
+        stats.cluster_tokens_per_second >= stats.tokens_per_second,
+        "parallel shards: makespan throughput can only beat summed-work"
+    );
+    for shard in &stats.shards {
+        assert_eq!(shard.device, GpuSpec::rtx3090().name);
+        assert_eq!(shard.kv_blocks_in_use, 0);
+        assert!(shard.lane_share >= 1);
+        assert!(shard.queue_delay_ewma_seconds >= 0.0);
+    }
+}
+
 /// Deterministic PRNG (SplitMix64) deriving a random decode workload from
 /// one proptest-supplied seed: prompt lengths, token values, generation
 /// budgets and arrival order all vary per case.
@@ -795,5 +906,78 @@ proptest::proptest! {
             prop_assert!(stats.prefill_passes > 0);
         }
         prop_assert_eq!(stats.kv_blocks_in_use, 0);
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(3))]
+
+    /// The multi-device signature invariant: live migration is a pure
+    /// placement decision. For random prompts, budgets and staggered
+    /// arrivals, a shard pool that *forcibly migrates every session
+    /// mid-generation* emits token streams bit-identical to the same
+    /// workload pinned to a single shard — and releases every KV block on
+    /// every shard it touched.
+    #[test]
+    fn migrated_session_is_bit_identical_to_pinned(
+        seed in 0u64..1_000_000,
+        sequences in 2usize..5,
+        stagger in 0usize..3,
+    ) {
+        let mut requests = workload(seed, sequences);
+        // At least one session must survive past the stress threshold, or a
+        // degenerate draw (all budgets of 1) would see zero migrations.
+        requests[0].1 = requests[0].1.max(3);
+        // Pinned reference: one device, every session pinned to shard 0.
+        let pinned_engine = engine(3, 32, 4);
+        let pinned_model = pinned_engine.register(tiny_spec()).unwrap();
+        let pinned: Vec<Vec<u32>> = requests
+            .iter()
+            .map(|(p, n)| {
+                pinned_model
+                    .generate(GenerateRequest::new(p.clone(), *n).with_shard(0))
+                    .collect()
+                    .unwrap()
+                    .tokens
+            })
+            .collect();
+        // Three-shard pool with the stress knob on: every session is
+        // force-migrated to the next shard after its first emitted token,
+        // so the replay chain crosses arenas mid-generation.
+        let pool = DecodeEngine::new(DecodeConfig {
+            max_batch: 3,
+            kv_blocks: 32,
+            block_tokens: 4,
+            devices: vec![GpuSpec::rtx3090(), GpuSpec::rtx3090(), GpuSpec::rtx3090()],
+            stress_migrate_after: 1,
+            ..DecodeConfig::default()
+        });
+        let model = pool.register(tiny_spec()).unwrap();
+        // Staggered arrival, as in the batching proptest: the tail submits
+        // only after the head's first session completes.
+        let split = stagger.min(requests.len() - 1);
+        let head: Vec<_> = requests[..requests.len() - split]
+            .iter()
+            .map(|(p, n)| model.generate(GenerateRequest::new(p.clone(), *n)))
+            .collect();
+        let mut streams: Vec<Vec<u32>> = Vec::new();
+        let mut head_iter = head.into_iter();
+        if let Some(first) = head_iter.next() {
+            streams.push(first.collect().unwrap().tokens);
+        }
+        let tail: Vec<_> = requests[requests.len() - split..]
+            .iter()
+            .map(|(p, n)| model.generate(GenerateRequest::new(p.clone(), *n)))
+            .collect();
+        for session in head_iter.chain(tail) {
+            streams.push(session.collect().unwrap().tokens);
+        }
+        prop_assert_eq!(streams, pinned);
+        let stats = pool.stats();
+        prop_assert!(stats.sessions_migrated > 0, "stress knob must fire");
+        prop_assert_eq!(stats.kv_blocks_in_use, 0);
+        for shard in &stats.shards {
+            prop_assert_eq!(shard.kv_blocks_in_use, 0, "leak on {}", shard.device);
+        }
     }
 }

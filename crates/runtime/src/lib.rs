@@ -129,7 +129,7 @@ pub use engine::{
 };
 pub use shard::ShardSnapshot;
 pub use stats::{
-    DecodeStatsSnapshot, IngressStatsSnapshot, LatencyReservoir, PriorityClassStats, ServerStats,
-    StatsSnapshot,
+    DecodeShardSnapshot, DecodeStatsSnapshot, IngressStatsSnapshot, LatencyReservoir,
+    PriorityClassStats, ServerStats, StatsSnapshot,
 };
 pub use store::ArtifactStore;

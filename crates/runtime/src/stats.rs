@@ -355,16 +355,72 @@ pub struct DecodeStatsSnapshot {
     pub kv_evictions: usize,
     /// Tokens re-fed to rebuild evicted caches (recompute cost).
     pub recomputed_tokens: usize,
+    /// Live sessions migrated between decode shards (each migration is an
+    /// eviction whose replay chain re-admits on another shard).
+    pub sessions_migrated: usize,
+    /// Generated tokens over the busiest shard's simulated busy time (the
+    /// makespan). Shards model parallel devices, so this — not
+    /// `tokens_per_second`, which divides by summed per-shard work — is the
+    /// number that scales with the device pool. Equal to tokens over total
+    /// busy time on a single-shard engine.
+    pub cluster_tokens_per_second: f64,
+    /// Per-shard decode rows, one per device in the engine's pool. Counters
+    /// telescope: shard tokens/steps/placements sum to the aggregates, and
+    /// total migrations-in equals total migrations-out.
+    pub shards: Vec<DecodeShardSnapshot>,
+}
+
+/// One decode shard's slice of a [`DecodeStatsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DecodeShardSnapshot {
+    /// The shard's device name.
+    pub device: String,
+    /// Sessions the placement policy landed here at submission.
+    pub sessions_placed: usize,
+    /// Live sessions migrated onto this shard.
+    pub migrations_in: usize,
+    /// Live sessions migrated off this shard.
+    pub migrations_out: usize,
+    /// Tokens this shard's decode steps emitted.
+    pub tokens_generated: usize,
+    /// Decode steps this shard executed.
+    pub steps: usize,
+    /// KV blocks currently allocated in this shard's arenas.
+    pub kv_blocks_in_use: usize,
+    /// High-water mark of this shard's allocated KV blocks.
+    pub kv_blocks_peak: usize,
+    /// Total KV blocks this shard's arenas hold.
+    pub kv_blocks_capacity: usize,
+    /// Current decode lane share — the autoscaler's admission ceiling.
+    pub lane_share: usize,
+    /// Smoothed queue delay driving the lane autoscaler, simulated seconds.
+    pub queue_delay_ewma_seconds: f64,
+    /// Simulated seconds this shard spent in decode steps.
+    pub simulated_decode_seconds: f64,
+    /// This shard's simulated clock: decode + prefill busy time.
+    pub simulated_busy_seconds: f64,
+    /// This shard's tokens per simulated decode second.
+    pub tokens_per_second: f64,
 }
 
 impl DecodeStatsSnapshot {
     /// Compact one-line rendering for logs and benches.
     pub fn summary(&self) -> String {
+        let cluster = if self.shards.len() > 1 {
+            format!(
+                " | {} shards, {:.0} tok/s cluster, {} migrations",
+                self.shards.len(),
+                self.cluster_tokens_per_second,
+                self.sessions_migrated,
+            )
+        } else {
+            String::new()
+        };
         format!(
             "{} tokens from {} sequences in {} steps (occupancy {:.0}%) | \
              {:.0} tok/s (sim) | ttft p50 {:.1} us, itl p50/p95 {:.1}/{:.1} us | \
              prefill {} tokens in {} passes ({:.0} tok/s, interleave {:.0}%) | \
-             kv {}/{} blocks (peak {}), {} evictions, {} recomputed",
+             kv {}/{} blocks (peak {}), {} evictions, {} recomputed{cluster}",
             self.tokens_generated,
             self.sequences_completed,
             self.steps,

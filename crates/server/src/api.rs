@@ -380,6 +380,30 @@ pub(crate) fn render_stats(snapshot: &StatsSnapshot) -> String {
             .number(decode.prefill_tokens_per_second);
         w.key("prefill_interleave_occupancy")
             .number(decode.prefill_interleave_occupancy);
+        w.key("sessions_migrated")
+            .integer(decode.sessions_migrated as i64);
+        w.key("cluster_tokens_per_second")
+            .number(decode.cluster_tokens_per_second);
+        w.key("shards").begin_array();
+        for shard in &decode.shards {
+            w.begin_object();
+            w.key("device").string(&shard.device);
+            w.key("sessions_placed")
+                .integer(shard.sessions_placed as i64);
+            w.key("migrations_in").integer(shard.migrations_in as i64);
+            w.key("migrations_out").integer(shard.migrations_out as i64);
+            w.key("tokens_generated")
+                .integer(shard.tokens_generated as i64);
+            w.key("kv_blocks_in_use")
+                .integer(shard.kv_blocks_in_use as i64);
+            w.key("kv_blocks_peak").integer(shard.kv_blocks_peak as i64);
+            w.key("lane_share").integer(shard.lane_share as i64);
+            w.key("queue_delay_ewma_us")
+                .number(shard.queue_delay_ewma_seconds * 1e6);
+            w.key("tokens_per_second").number(shard.tokens_per_second);
+            w.end();
+        }
+        w.end();
         w.end();
     }
     if let Some(ingress) = &snapshot.ingress {

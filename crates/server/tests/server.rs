@@ -165,6 +165,25 @@ fn register_infer_and_generate_over_tcp() {
             .unwrap(),
         0
     );
+    // The decode section carries the multi-device fields: a per-shard row
+    // for the single default shard, and zero migrations on this workload.
+    let dec = get(obj, "decode").unwrap().as_object("decode").unwrap();
+    assert_eq!(
+        get(dec, "sessions_migrated").unwrap().as_i64("m").unwrap(),
+        0
+    );
+    let shards = get(dec, "shards").unwrap().as_array("shards").unwrap();
+    assert_eq!(shards.len(), 1, "single-device engine: one shard row");
+    let shard = shards[0].as_object("shard").unwrap();
+    assert_eq!(
+        get(shard, "tokens_generated").unwrap().as_i64("t").unwrap(),
+        5
+    );
+    assert!(get(shard, "lane_share").unwrap().as_i64("l").unwrap() >= 1);
+    assert_eq!(
+        get(shard, "kv_blocks_in_use").unwrap().as_i64("k").unwrap(),
+        0
+    );
     let snapshot = engine.stats();
     assert!(snapshot.ingress.is_some());
     assert!(snapshot.ingress.unwrap().wire_ttfb_p95_seconds > 0.0);
