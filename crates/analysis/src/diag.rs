@@ -97,6 +97,10 @@ pub enum Rule {
     /// HA103 — a public crate's `lib.rs` is missing
     /// `#![warn(missing_docs)]`.
     LintMissingDocsAttr,
+    /// HA104 — unbalanced `span_start`/`span_end` call sites in an
+    /// instrumented file (a bare start without an end leaks an open span on
+    /// early-return paths; the RAII `span()` guard is the endorsed form).
+    LintSpanPairing,
 }
 
 impl Rule {
@@ -125,6 +129,7 @@ impl Rule {
             Rule::LintBlockingPrimitive => "HA101",
             Rule::LintPanicInHotPath => "HA102",
             Rule::LintMissingDocsAttr => "HA103",
+            Rule::LintSpanPairing => "HA104",
         }
     }
 
@@ -153,6 +158,7 @@ impl Rule {
             Rule::LintBlockingPrimitive => "blocking primitive in the lock-free ingress ring",
             Rule::LintPanicInHotPath => "panic-capable call in a runtime/decode hot loop",
             Rule::LintMissingDocsAttr => "public crate missing #![warn(missing_docs)]",
+            Rule::LintSpanPairing => "unbalanced span_start/span_end in an instrumented file",
         }
     }
 }
@@ -275,6 +281,7 @@ mod tests {
             Rule::LintBlockingPrimitive,
             Rule::LintPanicInHotPath,
             Rule::LintMissingDocsAttr,
+            Rule::LintSpanPairing,
         ];
         let mut seen = std::collections::HashSet::new();
         for r in rules {

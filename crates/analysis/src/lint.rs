@@ -4,16 +4,22 @@
 //! (PR 6's "zero mutexes on enqueue" test shipped as an `include_str!` grep
 //! inside `crates/server/tests/ring.rs`).
 //!
-//! Three rules:
+//! Four rules:
 //!
 //! * **HA101** — no blocking primitive (`Mutex`, `RwLock`, `Condvar`,
-//!   `mpsc::`) anywhere in `server::ring`, the lock-free ingress hot path.
+//!   `mpsc::`) anywhere in the lock-free hot-path ring files: the server's
+//!   ingress ring and the trace crate's per-thread event ring.
 //! * **HA102** — no `unwrap()` / `expect()` / `panic!`-family macro in the
 //!   runtime/decode/server hot-loop files, except sites justified in the
 //!   allowlist (`crates/analysis/lint_allow.txt`). Test modules (everything
 //!   from the first `#[cfg(test)]` down) and comment lines are exempt.
 //! * **HA103** — every workspace crate's `lib.rs` carries
 //!   `#![warn(missing_docs)]`.
+//! * **HA104** — in every trace-instrumented file, bare `span_start(` call
+//!   sites balance `span_end(` call sites. A start without an end leaks an
+//!   open span on early-return paths; the RAII `Tracer::span` guard closes
+//!   on every path and is the endorsed form (it does not match either
+//!   pattern, so guard-only files trivially pass).
 //!
 //! The harness reads sources relative to a repo root, so it runs identically
 //! from CI (`cargo run -p hidet-analysis --bin hidet-lint`), from tests, and
@@ -23,11 +29,23 @@ use std::path::Path;
 
 use crate::diag::{Diagnostic, Rule};
 
-/// The lock-free ingress file covered by HA101.
-pub const RING_FILE: &str = "crates/server/src/ring.rs";
+/// The lock-free ring files covered by HA101: the server's ingress ring and
+/// the trace crate's per-thread SPSC event ring.
+pub const RING_FILES: &[&str] = &["crates/server/src/ring.rs", "crates/trace/src/ring.rs"];
 
-/// Blocking primitives banned from [`RING_FILE`].
+/// Blocking primitives banned from every file in [`RING_FILES`].
 pub const BLOCKING_PATTERNS: &[&str] = &["Mutex", "RwLock", "Condvar", "mpsc::"];
+
+/// Trace-instrumented files covered by HA104: everywhere spans are emitted,
+/// bare `span_start`/`span_end` call sites must balance.
+pub const INSTRUMENTED_FILES: &[&str] = &[
+    "crates/core/src/compiler.rs",
+    "crates/sim/src/interp.rs",
+    "crates/runtime/src/engine.rs",
+    "crates/decode/src/engine.rs",
+    "crates/server/src/server.rs",
+    "crates/server/src/api.rs",
+];
 
 /// Hot-loop files covered by HA102. Steady-state request paths: a panic
 /// here takes down a worker mid-batch instead of failing one request.
@@ -149,6 +167,37 @@ pub fn scan_hot_source(
     diags
 }
 
+/// HA104 over one source text: counts bare `span_start(` and `span_end(`
+/// call sites outside comments and test modules (same exemptions as HA102).
+/// Unequal counts mean some return path leaks an open span — or closes one
+/// it never opened.
+pub fn scan_span_pairing(rel_path: &str, content: &str) -> Vec<Diagnostic> {
+    let mut starts = 0usize;
+    let mut ends = 0usize;
+    for line in content.lines() {
+        if line.contains("#[cfg(test)]") {
+            break;
+        }
+        if line.trim_start().starts_with("//") {
+            continue;
+        }
+        starts += line.matches("span_start(").count();
+        ends += line.matches("span_end(").count();
+    }
+    if starts == ends {
+        Vec::new()
+    } else {
+        vec![Diagnostic::error(
+            Rule::LintSpanPairing,
+            rel_path,
+            format!(
+                "{starts} `span_start(` call site(s) vs {ends} `span_end(` — every start \
+                 needs a matching end on all return paths (prefer the RAII `span()` guard)"
+            ),
+        )]
+    }
+}
+
 /// HA103 over one `lib.rs` text.
 pub fn scan_lib_docs(rel_path: &str, content: &str) -> Vec<Diagnostic> {
     if content.lines().any(|l| l.trim() == DOC_ATTR) {
@@ -170,13 +219,26 @@ pub fn run_lint(root: &Path) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let read = |rel: &str| std::fs::read_to_string(root.join(rel));
 
-    match read(RING_FILE) {
-        Ok(text) => diags.extend(scan_ring_source(RING_FILE, &text)),
-        Err(e) => diags.push(Diagnostic::error(
-            Rule::LintBlockingPrimitive,
-            RING_FILE,
-            format!("cannot read covered file: {e}"),
-        )),
+    for rel in RING_FILES {
+        match read(rel) {
+            Ok(text) => diags.extend(scan_ring_source(rel, &text)),
+            Err(e) => diags.push(Diagnostic::error(
+                Rule::LintBlockingPrimitive,
+                *rel,
+                format!("cannot read covered file: {e}"),
+            )),
+        }
+    }
+
+    for rel in INSTRUMENTED_FILES {
+        match read(rel) {
+            Ok(text) => diags.extend(scan_span_pairing(rel, &text)),
+            Err(e) => diags.push(Diagnostic::error(
+                Rule::LintSpanPairing,
+                *rel,
+                format!("cannot read covered file: {e}"),
+            )),
+        }
     }
 
     let allow = match read(ALLOWLIST_FILE) {
@@ -285,6 +347,28 @@ mod tests { fn f() { q.unwrap(); } }
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].location, "h.rs:1");
         assert_eq!(used, vec![true, false]);
+    }
+
+    #[test]
+    fn span_pairing_rule_balances_bare_starts_and_ends() {
+        // RAII guards and `span_closed` retro-spans don't match either
+        // pattern; balanced bare calls pass.
+        let clean = "\
+let _g = tracer.span(SpanKind::HttpHandle, id);
+tracer.span_closed(SpanKind::HttpQueue, id, a, b);
+let t = tracer.span_start(SpanKind::Compile, id);
+tracer.span_end(t);
+// span_start( in a comment is ignored
+#[cfg(test)]
+mod tests { fn f() { tracer.span_start(SpanKind::Tune, 0); } }
+";
+        assert_eq!(scan_span_pairing("i.rs", clean), vec![]);
+
+        let leaky = "let t = tracer.span_start(SpanKind::Compile, id);\nreturn;\n";
+        let diags = scan_span_pairing("i.rs", leaky);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, Rule::LintSpanPairing);
+        assert_eq!(diags[0].location, "i.rs");
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //!    unplanned executor at a strictly lower intermediate footprint;
 //! 4. the always-on **stage verifiers** (`hidet-analysis`, default
 //!    `VerifyLevel::Cheap`) cost under 5% of the cold compile
-//!    (`verify_overhead_pct`).
+//!    (`verify_overhead_pct`);
+//! 5. **full tracing** (`hidet-trace` at `TraceConfig::Full`, spans for
+//!    every compile/tune stage) also costs under 5% of the cold compile
+//!    (`trace_overhead_pct`).
 //!
 //! Emits its metrics as the `compile_throughput` section of
 //! `BENCH_serving.json`; `cold_compile_ms` and `planned_peak_bytes` are
@@ -149,6 +152,29 @@ fn main() {
         "always-on verification must cost < 5% of the cold compile, got {verify_overhead_pct:.2}%"
     );
 
+    // --- 1c. trace overhead -----------------------------------------------
+    // The always-on tracing layer must stay out of the compile hot path:
+    // at `TraceConfig::Full` every compile/tune stage emits spans into the
+    // per-thread rings (no collector running — the rings fill and shed,
+    // which is the worst case for emit cost). Both sides are best-of-3 cold
+    // compiles; clamp at zero like the verifier gate above.
+    let tracer = hidet_trace::global();
+    tracer.set_config(hidet_trace::TraceConfig::Off);
+    let (untraced_ms, _) = time_compile(&tower, &gpu, &CompilerOptions::tuned());
+    tracer.set_config(hidet_trace::TraceConfig::Full);
+    let (traced_ms, _) = time_compile(&tower, &gpu, &CompilerOptions::tuned());
+    tracer.set_config(hidet_trace::TraceConfig::MetricsOnly);
+    tracer.drain();
+    let trace_overhead_pct = ((traced_ms - untraced_ms) / untraced_ms * 100.0).max(0.0);
+    println!(
+        "trace overhead: {traced_ms:.1} ms at TraceConfig::Full vs {untraced_ms:.1} ms \
+         with tracing off ({trace_overhead_pct:.2}%)"
+    );
+    assert!(
+        trace_overhead_pct < 5.0,
+        "full tracing must cost < 5% of the cold compile, got {trace_overhead_pct:.2}%"
+    );
+
     // --- 2. pruned tuning on the serving bench model ----------------------
     let serving_model = mlp_tower(1);
     let (_, pruned) = time_compile(&serving_model, &gpu, &CompilerOptions::tuned());
@@ -210,10 +236,12 @@ fn main() {
         .field_f64("sequential_compile_ms", sequential_ms)
         .field_f64("compile_speedup", speedup)
         .field_f64("verify_overhead_pct", verify_overhead_pct)
+        .field_f64("trace_overhead_pct", trace_overhead_pct)
         .field_usize("tuning_trials_run", pruned.tuning_trials())
         .field_usize("tuning_trials_exhaustive", exhaustive.tuning_trials())
         .field_usize("planned_peak_bytes", plan.peak_bytes())
-        .field_usize("unplanned_resident_bytes", plan.unplanned_bytes());
+        .field_usize("unplanned_resident_bytes", plan.unplanned_bytes())
+        .with_trace_metrics();
     upsert_section(&bench_json, &section).expect("write bench json");
     println!(
         "\nwrote section \"compile_throughput\" to {}",

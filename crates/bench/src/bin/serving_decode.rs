@@ -40,6 +40,7 @@ use hidet_decode::{
     BatchingMode, DecodeConfig, DecodeEngine, DecodeModelSpec, GenerateRequest, Generation,
 };
 use hidet_runtime::{DecodeStatsSnapshot, Priority};
+use hidet_sched::json::{get, Json};
 use hidet_sim::GpuSpec;
 
 /// The served model: a 2-layer pre-LN transformer, hidden 32, 2 heads,
@@ -328,7 +329,13 @@ fn main() {
         pool_groups * 4
     );
     let (solo_streams, solo) = run_pool(1, pool_groups);
+    // The 4-shard run is traced at `TraceConfig::Full`, so its placement,
+    // iteration, prefill, decode-step and KV alloc/evict/migrate spans land
+    // in the trace buffer for the Chrome-trace export below.
+    hidet_trace::global().set_config(hidet_trace::TraceConfig::Full);
     let (pool_streams, pool) = run_pool(4, pool_groups);
+    let trace_json = hidet_trace::global().chrome_trace_json();
+    hidet_trace::global().set_config(hidet_trace::TraceConfig::MetricsOnly);
     assert_eq!(
         pool_streams, solo_streams,
         "shard placement and live migration must emit bit-identical streams"
@@ -380,6 +387,39 @@ fn main() {
          got {scaling:.2}x"
     );
 
+    // --- Chrome-trace export of the multi-device run ------------------------
+    // The export must be the object form Perfetto / `chrome://tracing`
+    // load: `displayTimeUnit` plus a `traceEvents` array whose members all
+    // carry name/ph/ts/pid/tid.
+    let trace_path = PathBuf::from(arg_str("--trace-json", "TRACE_serving_decode.json"));
+    let parsed = Json::parse(&trace_json).expect("chrome trace parses as JSON");
+    let trace_obj = parsed.as_object("trace").expect("trace is an object");
+    let unit = get(trace_obj, "displayTimeUnit")
+        .expect("displayTimeUnit")
+        .as_str("displayTimeUnit")
+        .expect("string");
+    assert_eq!(unit, "ns");
+    let events = get(trace_obj, "traceEvents")
+        .expect("traceEvents")
+        .as_array("traceEvents")
+        .expect("array");
+    assert!(
+        !events.is_empty(),
+        "the multi-device run must export at least one span"
+    );
+    for event in events {
+        let ev = event.as_object("event").expect("event is an object");
+        for key in ["name", "ph", "ts", "pid", "tid"] {
+            assert!(get(ev, key).is_ok(), "trace event missing {key}");
+        }
+    }
+    std::fs::write(&trace_path, &trace_json).expect("write trace json");
+    println!(
+        "\nexported {} trace events to {} (Perfetto-loadable)",
+        events.len(),
+        trace_path.display()
+    );
+
     // --- perf-trajectory artifact -----------------------------------------
     let section = BenchSection::new("serving_decode")
         .field_usize("sequences", sequences)
@@ -406,7 +446,9 @@ fn main() {
         .field_f64("cluster_tokens_per_s", pool.cluster_tokens_per_second)
         .field_f64("solo_cluster_tokens_per_s", solo.cluster_tokens_per_second)
         .field_f64("shard_scaling", scaling)
-        .field_usize("sessions_migrated", pool.sessions_migrated);
+        .field_usize("sessions_migrated", pool.sessions_migrated)
+        .field_usize("trace_events", events.len())
+        .with_trace_metrics();
     upsert_section(&bench_json, &section).expect("write bench json");
     println!(
         "\nwrote section \"serving_decode\" to {}",

@@ -12,7 +12,10 @@
 //!    bound;
 //! 3. the enqueue hot path takes **zero mutex acquisitions** — structural
 //!    (`crates/server/tests/ring.rs` bans blocking primitives from the ring
-//!    source); this bench reports the CAS-retry contention gauge instead.
+//!    source); this bench reports the CAS-retry contention gauge instead;
+//! 4. `GET /v2/metrics` serves a **well-formed Prometheus exposition** over
+//!    the same socket path, and the default metrics-only tracing mode costs
+//!    ≈0% of the wire path (`trace_overhead_pct`, gated < 5% for noise).
 //!
 //! Emits the `serving_ingress` section of `BENCH_serving.json`:
 //! `ingress_rps` (higher-is-better) and `wire_ttfb_p95_us`
@@ -171,6 +174,28 @@ fn main() {
     );
     assert_eq!(status, 200, "streamed generate: {body}");
     assert!(body.contains("\"done\":true"), "stream terminates: {body}");
+
+    // The live metrics endpoint, scraped over the same real socket: the
+    // exposition must be well-formed and cover the ingress/engine/decode/KV
+    // families (the CI workflow gates on this bench, so a malformed line
+    // fails the e2e job here).
+    let (status, _, metrics) = timed_request(
+        warm.public_addr(),
+        "GET /v2/metrics HTTP/1.1\r\nHost: bench\r\n\r\n",
+    );
+    assert_eq!(status, 200, "metrics scrape: {metrics}");
+    hidet_trace::validate_exposition(&metrics)
+        .unwrap_or_else(|e| panic!("malformed /v2/metrics exposition: {e}\n{metrics}"));
+    for family in [
+        "hidet_ingress_accepted_total",
+        "hidet_engine_requests_total",
+        "hidet_decode_tokens_total",
+        "hidet_decode_kv_blocks_in_use",
+        "hidet_span_seconds",
+    ] {
+        assert!(metrics.contains(family), "missing family {family}");
+    }
+    println!("scraped /v2/metrics: well-formed exposition, all families present");
     drop(warm);
     let register_head = post_request(
         "/v2/models",
@@ -215,6 +240,36 @@ fn main() {
     let unloaded_p50 = percentile(&unloaded, 0.50);
     let unloaded_p95 = percentile(&unloaded, 0.95);
     let ingress_rps = unloaded_n as f64 / unloaded_wall.as_secs_f64();
+
+    // Phase 1b — metrics-only trace overhead: two adjacent closed loops over
+    // the same socket path, tracing fully off vs the default metrics-only
+    // mode. Metrics-only still emits every span event into the per-thread
+    // rings, so this measures the full emit cost minus span retention —
+    // the mode every production server runs in, expected ≈0%. The bound is
+    // 5% because single-digit-ms wire loops carry host scheduling noise.
+    let timed_loop = |n: usize| {
+        let start = Instant::now();
+        for _ in 0..n {
+            let (status, _, body) = timed_request(server.priority_addr(), &infer_normal);
+            assert_eq!(status, 200, "overhead-phase infer: {body}");
+        }
+        start.elapsed().as_secs_f64()
+    };
+    hidet_trace::global().set_config(hidet_trace::TraceConfig::Off);
+    let untraced_s = timed_loop(unloaded_n);
+    hidet_trace::global().set_config(hidet_trace::TraceConfig::MetricsOnly);
+    let metrics_only_s = timed_loop(unloaded_n);
+    let trace_overhead_pct = ((metrics_only_s - untraced_s) / untraced_s * 100.0).max(0.0);
+    println!(
+        "trace overhead (metrics-only vs off, {unloaded_n} requests): \
+         {:.1} ms vs {:.1} ms ({trace_overhead_pct:.2}%)",
+        metrics_only_s * 1e3,
+        untraced_s * 1e3,
+    );
+    assert!(
+        trace_overhead_pct < 5.0,
+        "metrics-only tracing must cost ~0% of the ingress path, got {trace_overhead_pct:.2}%"
+    );
 
     // Phase 2 — 2x overload, open-loop: each class offered at the closed-
     // loop service rate, so together the offered load is 2x what the single
@@ -338,7 +393,9 @@ fn main() {
         .field_usize("overload_best_effort_shed", be_shed)
         .field_usize("overload_high_served", high_served)
         .field_f64("overload_high_ttfb_us", high_p95 * 1e6)
-        .field_usize("enqueue_cas_retries", ingress.enqueue_cas_retries);
+        .field_f64("trace_overhead_pct", trace_overhead_pct)
+        .field_usize("enqueue_cas_retries", ingress.enqueue_cas_retries)
+        .with_trace_metrics();
     upsert_section(&bench_json, &section).expect("write bench json");
     println!(
         "\nwrote section \"serving_ingress\" to {}",

@@ -56,6 +56,31 @@ impl BenchSection {
         self
     }
 
+    /// Appends the process's trace-metrics snapshot as a nested
+    /// `"trace_metrics"` object (series name → value), so a trajectory diff
+    /// of a gated number ships with the span/KV/ingress counters that
+    /// explain *why* it moved. Drains the global tracer's rings first so
+    /// the snapshot covers everything the run emitted.
+    pub fn with_trace_metrics(mut self) -> BenchSection {
+        let tracer = hidet_trace::global();
+        tracer.drain();
+        let mut obj = String::from("{");
+        for (i, (name, value)) in tracer.metrics().samples().iter().enumerate() {
+            if i > 0 {
+                obj.push_str(", ");
+            }
+            let rendered = if value.is_finite() {
+                format!("{value}")
+            } else {
+                "null".to_string()
+            };
+            let _ = write!(obj, "{}: {}", json_string(name), rendered);
+        }
+        obj.push('}');
+        self.fields.push(("trace_metrics".to_string(), obj));
+        self
+    }
+
     /// Renders the section body as a JSON object.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
@@ -246,6 +271,25 @@ mod tests {
             s.to_json(),
             "{\"rps\": 1234.5, \"requests\": 32, \"mode\": \"batched\"}"
         );
+    }
+
+    #[test]
+    fn trace_metrics_nest_as_a_json_object() {
+        // Emit at least one span so the registry has series to snapshot.
+        hidet_trace::global().instant(hidet_trace::SpanKind::Compile, 1);
+        let s = BenchSection::new("demo")
+            .field_usize("x", 1)
+            .with_trace_metrics();
+        let json = s.to_json();
+        assert!(json.contains("\"trace_metrics\": {"), "{json}");
+        assert!(json.contains("hidet_trace_events_total"), "{json}");
+        // The nested object must parse as part of the section.
+        let path = temp_path("trace-metrics");
+        upsert_section(&path, &s).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let sections = split_sections(&text).unwrap();
+        assert_eq!(sections[0].0, "demo");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -309,6 +309,10 @@ pub fn compile_hashed(
     gpu: &Gpu,
     options: &CompilerOptions,
 ) -> Result<CompiledGraph, CompileError> {
+    // The whole cold compile is one span; the tuning stage inside each
+    // group nests its own `Tune` spans under it. Compiles are not tied to
+    // a single request, so the span is unattributed (trace id 0).
+    let _span = hidet_trace::global().span(hidet_trace::SpanKind::Compile, 0);
     let mut g = graph.clone();
     lower_convs(&mut g);
     // Each rewriting pass rebuilds the op/tensor tables; re-prove the IR
@@ -644,6 +648,7 @@ fn compile_one_group(
             OpKind::Matmul | OpKind::BatchMatmul => {
                 let config = if options.tune {
                     let problem = matmul_problem(g, anchor)?;
+                    let _tune = hidet_trace::global().span(hidet_trace::SpanKind::Tune, 0);
                     let (config, c) = resolve_matmul_config(problem, gpu, options, device, tuning)?;
                     cost = c;
                     config

@@ -415,6 +415,7 @@ pub struct GenerateRequest {
     deadline: Option<Instant>,
     eos: Option<u32>,
     shard: Option<usize>,
+    trace_id: u64,
 }
 
 impl GenerateRequest {
@@ -428,7 +429,16 @@ impl GenerateRequest {
             deadline: None,
             eos: None,
             shard: None,
+            trace_id: 0,
         }
+    }
+
+    /// Attributes the session to a trace: placement, prefill-chunk, decode
+    /// step, and KV events it touches carry `trace_id` in the exported
+    /// trace. Id 0 (the default) means unattributed.
+    pub fn with_trace(mut self, trace_id: u64) -> GenerateRequest {
+        self.trace_id = trace_id;
+        self
     }
 
     /// Sets the priority class (admission order and eviction rank).
@@ -735,6 +745,7 @@ impl DecodeModel {
             queued_sim: 0.0,
             pressure_moves: 0,
             stress_migrated: false,
+            trace_id: request.trace_id,
         };
         {
             // The closed check happens under the waiting lock: shutdown sets
@@ -749,9 +760,11 @@ impl DecodeModel {
             // submitters see each other's queued work): pinned shard if
             // requested, else the cheapest by joint score.
             let needed_blocks = sequence.cache_need.div_ceil(self.shared.block_tokens);
-            let shard = request
-                .shard
-                .unwrap_or_else(|| place_shard(&self.shared, &waiting, model_key, needed_blocks));
+            let shard = request.shard.unwrap_or_else(|| {
+                let _place =
+                    hidet_trace::global().span(hidet_trace::SpanKind::ShardPlace, request.trace_id);
+                place_shard(&self.shared, &waiting, model_key, needed_blocks)
+            });
             let now = self.shared.stats.shard_clock(shard);
             sequence.submitted_sim = now;
             sequence.queued_sim = now;
@@ -852,6 +865,8 @@ struct Sequence {
     /// Whether [`DecodeConfig::stress_migrate_after`] already moved this
     /// sequence.
     stress_migrated: bool,
+    /// Trace id the session's spans/instants are attributed to (0 = none).
+    trace_id: u64,
 }
 
 impl Sequence {
@@ -1473,6 +1488,7 @@ impl ClusterView {
 /// order-stable schedules make the rebuilt KV bytes (and every downstream
 /// token) identical.
 fn migrate_sequence(shared: &Shared, mut seq: Sequence, from: usize, to: usize) {
+    hidet_trace::global().instant(hidet_trace::SpanKind::KvMigrate, seq.trace_id);
     let target_now = shared.stats.shard_clock(to);
     seq.rebase(target_now - shared.stats.shard_clock(from));
     seq.queued_sim = target_now;
@@ -1667,10 +1683,6 @@ fn step_loop(shared: &Shared, config: &DecodeConfig) {
                     shard.rts.retain(|key, rt| {
                         let keep = live.contains(key);
                         if !keep {
-                            shared
-                                .stats
-                                .kv_capacity
-                                .fetch_sub(rt.kv.capacity(), Ordering::Relaxed);
                             shared.stats.shards[s]
                                 .kv_capacity
                                 .fetch_sub(rt.kv.capacity(), Ordering::Relaxed);
@@ -1893,13 +1905,15 @@ fn refresh_shard_kv_gauge(rts: &HashMap<usize, ModelRt>, shared: &Shared, s: usi
     let st = &shared.stats.shards[s];
     st.kv_in_use.store(in_use, Ordering::Relaxed);
     st.kv_peak.fetch_max(in_use, Ordering::Relaxed);
+    // The cluster-wide occupancy is derived from the shard gauges at
+    // snapshot time; only its peak needs the summed value *now* (the peak
+    // of the sum is not the sum of per-shard peaks).
     let total: usize = shared
         .stats
         .shards
         .iter()
         .map(|st| st.kv_in_use.load(Ordering::Relaxed))
         .sum();
-    shared.stats.kv_in_use.store(total, Ordering::Relaxed);
     shared.stats.kv_peak.fetch_max(total, Ordering::Relaxed);
 }
 
@@ -1972,10 +1986,6 @@ fn ensure_rt<'a>(
                 block_tokens: config.block_tokens,
             };
             let kv = KvAllocator::new(layout, config.kv_blocks);
-            shared
-                .stats
-                .kv_capacity
-                .fetch_add(kv.capacity(), Ordering::Relaxed);
             shared.stats.shards[shard]
                 .kv_capacity
                 .fetch_add(kv.capacity(), Ordering::Relaxed);
@@ -2071,6 +2081,9 @@ fn run_iteration(
     shard: usize,
     view: &mut ClusterView,
 ) -> StepOutcome {
+    // Iteration spans are shard-scoped (many sequences), so they carry
+    // trace id 0; the nested prefill/decode spans attribute per-sequence.
+    let _span = hidet_trace::global().span(hidet_trace::SpanKind::DecodeIteration, 0);
     let n = batch.len();
     let mut state = vec![SlotState::Live; n];
     let mut terminal: Vec<(mpsc::Sender<Event>, Event)> = Vec::new();
@@ -2217,6 +2230,8 @@ fn run_prefill(
     shard: usize,
     view: &mut ClusterView,
 ) -> bool {
+    let _span =
+        hidet_trace::global().span(hidet_trace::SpanKind::PrefillChunk, batch[slot].trace_id);
     // Lazily compile this chunk's runtime (same compact-schedule seeding as
     // the decode step).
     if !rt.prefill_rts.contains_key(&chunk) {
@@ -2428,6 +2443,12 @@ fn run_decode_step(
     shard: usize,
     view: &mut ClusterView,
 ) {
+    // A decode step covers the whole batch; attribute it to the first
+    // slot's trace so at least one request's timeline shows the step.
+    let _span = hidet_trace::global().span(
+        hidet_trace::SpanKind::DecodeStep,
+        slots.first().map_or(0, |&i| batch[i].trace_id),
+    );
     let ModelRt {
         def,
         compiled,
@@ -2505,7 +2526,6 @@ fn run_decode_step(
         return;
     }
     let now = shared.stats.advance_shard_clock(shard, *estimate);
-    shared.stats.steps.fetch_add(1, Ordering::Relaxed);
     shared.stats.shards[shard]
         .steps
         .fetch_add(1, Ordering::Relaxed);
@@ -2593,7 +2613,10 @@ fn append_with_pressure(
     };
     loop {
         match kv.append(&mut batch[slot].kv) {
-            Ok(kvslot) => return Some(kvslot),
+            Ok(kvslot) => {
+                hidet_trace::global().instant(hidet_trace::SpanKind::KvAlloc, batch[slot].trace_id);
+                return Some(kvslot);
+            }
             Err(KvError::Exhausted) => match pick_victim(batch, state, slot) {
                 Some(v) => {
                     let needed = kv.layout().blocks_for(batch[v].cache_need);
@@ -2665,7 +2688,6 @@ fn emit_token(
         shared.stats.record_itl(now - seq.last_token_sim);
     }
     seq.last_token_sim = now;
-    shared.stats.tokens.fetch_add(1, Ordering::Relaxed);
     shared.stats.shards[shard]
         .tokens
         .fetch_add(1, Ordering::Relaxed);
@@ -2702,6 +2724,7 @@ fn emit_token(
 /// forced. Recompute is invisible to the client: tokens already emitted are
 /// never re-emitted, and determinism makes the replayed cache identical.
 fn preempt(shared: &Shared, kv: &mut KvAllocator, seq: &mut Sequence) {
+    hidet_trace::global().instant(hidet_trace::SpanKind::KvEvict, seq.trace_id);
     kv.release(&mut seq.kv);
     shared.stats.kv_evictions.fetch_add(1, Ordering::Relaxed);
     shared
@@ -2883,6 +2906,7 @@ mod tests {
                 queued_sim: 0.0,
                 pressure_moves: 0,
                 stress_migrated: false,
+                trace_id: 0,
             }
         };
         let batch = vec![

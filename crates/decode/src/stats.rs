@@ -68,21 +68,27 @@ impl DecodeShardStats {
 
 /// Atomic counters + bounded reservoirs updated by the step loop; cheap to
 /// read from any thread ([`DecodeStats::snapshot`]).
+///
+/// Anything a shard can account for itself lives **only** in its
+/// [`DecodeShardStats`] block — tokens, steps, KV occupancy/capacity and the
+/// simulated decode/prefill work are summed from the shards at snapshot
+/// time, so the aggregate always telescopes over the per-shard numbers by
+/// construction. The fields kept here are the ones no single shard owns:
+/// sequence outcomes, prompt/prefill pipeline counters, and `kv_peak` (the
+/// peak of the *summed* occupancy, which is not the sum of per-shard peaks).
 #[derive(Debug)]
 pub(crate) struct DecodeStats {
     pub(crate) completed: AtomicUsize,
     pub(crate) failed: AtomicUsize,
-    pub(crate) tokens: AtomicUsize,
     pub(crate) prompt_tokens: AtomicUsize,
-    pub(crate) steps: AtomicUsize,
     /// Sum over steps of occupied decode slots (÷ steps ÷ max_batch =
     /// occupancy).
     pub(crate) occupied_slots: AtomicUsize,
     /// Decode slots per step (set once at engine construction).
     pub(crate) max_batch: AtomicUsize,
-    pub(crate) kv_in_use: AtomicUsize,
+    /// Peak of the cluster-wide KV occupancy (updated where the summed
+    /// occupancy is computed; a per-shard peak cannot reconstruct it).
     pub(crate) kv_peak: AtomicUsize,
-    pub(crate) kv_capacity: AtomicUsize,
     pub(crate) kv_evictions: AtomicUsize,
     pub(crate) recomputed_tokens: AtomicUsize,
     /// Prompt tokens absorbed through chunked prefill passes.
@@ -94,13 +100,6 @@ pub(crate) struct DecodeStats {
     /// Prefill iterations that also ran a decode step — prefill riding along
     /// with in-flight decodes instead of stalling the engine.
     pub(crate) interleaved_iterations: AtomicUsize,
-    /// Simulated seconds spent in decode steps summed over shards, scaled by
-    /// 1e9 (shards run in parallel, so this is work, not wall time).
-    pub(crate) sim_decode_nanos: AtomicU64,
-    /// Simulated seconds spent in chunked prefill passes summed over shards,
-    /// scaled by 1e9 (kept apart from decode time so tokens/sec stays a
-    /// decode metric).
-    pub(crate) sim_prefill_nanos: AtomicU64,
     /// One stats block per decode shard.
     pub(crate) shards: Vec<DecodeShardStats>,
     // [ttft(submit), itl, ttft(admission), queue, prefill, first-decode]
@@ -126,22 +125,16 @@ impl DecodeStats {
         DecodeStats {
             completed: AtomicUsize::new(0),
             failed: AtomicUsize::new(0),
-            tokens: AtomicUsize::new(0),
             prompt_tokens: AtomicUsize::new(0),
-            steps: AtomicUsize::new(0),
             occupied_slots: AtomicUsize::new(0),
             max_batch: AtomicUsize::new(0),
-            kv_in_use: AtomicUsize::new(0),
             kv_peak: AtomicUsize::new(0),
-            kv_capacity: AtomicUsize::new(0),
             kv_evictions: AtomicUsize::new(0),
             recomputed_tokens: AtomicUsize::new(0),
             prefill_tokens: AtomicUsize::new(0),
             prefill_passes: AtomicUsize::new(0),
             prefill_iterations: AtomicUsize::new(0),
             interleaved_iterations: AtomicUsize::new(0),
-            sim_decode_nanos: AtomicU64::new(0),
-            sim_prefill_nanos: AtomicU64::new(0),
             shards,
             reservoirs: Mutex::new(Default::default()),
         }
@@ -152,12 +145,11 @@ impl DecodeStats {
         self.shards[s].sim_clock()
     }
 
-    /// Advances shard `s`'s clock by one decode step, booking the time both
-    /// on the shard and in the aggregate decode-work counter. Returns the
-    /// shard's new clock.
+    /// Advances shard `s`'s clock by one decode step, booking the time on
+    /// the shard only — the aggregate decode-work number is derived by
+    /// summing the shards at snapshot time. Returns the shard's new clock.
     pub(crate) fn advance_shard_clock(&self, s: usize, seconds: f64) -> f64 {
         let nanos = (seconds * 1e9) as u64;
-        self.sim_decode_nanos.fetch_add(nanos, Ordering::Relaxed);
         let shard = &self.shards[s];
         shard.sim_decode_nanos.fetch_add(nanos, Ordering::Relaxed);
         let now = shard.sim_clock_nanos.fetch_add(nanos, Ordering::Relaxed) + nanos;
@@ -165,10 +157,9 @@ impl DecodeStats {
     }
 
     /// [`DecodeStats::advance_shard_clock`] for prefill passes: advances the
-    /// shard clock but books the time under the prefill counters.
+    /// shard clock but books the time under the prefill counter.
     pub(crate) fn advance_shard_prefill_clock(&self, s: usize, seconds: f64) -> f64 {
         let nanos = (seconds * 1e9) as u64;
-        self.sim_prefill_nanos.fetch_add(nanos, Ordering::Relaxed);
         let shard = &self.shards[s];
         shard.sim_prefill_nanos.fetch_add(nanos, Ordering::Relaxed);
         let now = shard.sim_clock_nanos.fetch_add(nanos, Ordering::Relaxed) + nanos;
@@ -206,11 +197,7 @@ impl DecodeStats {
             [both(0), both(1), both(2), both(3), both(4), both(5)]
         };
         let [(ttft_p50, ttft_p95), (itl_p50, itl_p95), adm, queue, prefill, first] = pct;
-        let steps = self.steps.load(Ordering::Relaxed);
         let max_batch = self.max_batch.load(Ordering::Relaxed);
-        let tokens = self.tokens.load(Ordering::Relaxed);
-        let sim_seconds = self.sim_decode_nanos.load(Ordering::Relaxed) as f64 / 1e9;
-        let prefill_seconds = self.sim_prefill_nanos.load(Ordering::Relaxed) as f64 / 1e9;
         let prefill_tokens = self.prefill_tokens.load(Ordering::Relaxed);
         let prefill_iterations = self.prefill_iterations.load(Ordering::Relaxed);
         let shards: Vec<DecodeShardSnapshot> = self
@@ -243,6 +230,21 @@ impl DecodeStats {
                 }
             })
             .collect();
+        // The aggregates telescope over the shard snapshots by construction:
+        // each is the sum of the per-shard values captured above (prefill
+        // work sums the raw per-shard counters — the shard snapshot only
+        // carries decode + busy time).
+        let steps: usize = shards.iter().map(|s| s.steps).sum();
+        let tokens: usize = shards.iter().map(|s| s.tokens_generated).sum();
+        let kv_in_use: usize = shards.iter().map(|s| s.kv_blocks_in_use).sum();
+        let kv_capacity: usize = shards.iter().map(|s| s.kv_blocks_capacity).sum();
+        let sim_seconds: f64 = shards.iter().map(|s| s.simulated_decode_seconds).sum();
+        let prefill_seconds = self
+            .shards
+            .iter()
+            .map(|s| s.sim_prefill_nanos.load(Ordering::Relaxed))
+            .sum::<u64>() as f64
+            / 1e9;
         // Shards model parallel devices: cluster throughput divides by the
         // busiest shard's timeline (the makespan), not the summed busy time.
         let makespan = shards
@@ -298,9 +300,9 @@ impl DecodeStats {
             } else {
                 0.0
             },
-            kv_blocks_in_use: self.kv_in_use.load(Ordering::Relaxed),
+            kv_blocks_in_use: kv_in_use,
             kv_blocks_peak: self.kv_peak.load(Ordering::Relaxed),
-            kv_blocks_capacity: self.kv_capacity.load(Ordering::Relaxed),
+            kv_blocks_capacity: kv_capacity,
             kv_evictions: self.kv_evictions.load(Ordering::Relaxed),
             recomputed_tokens: self.recomputed_tokens.load(Ordering::Relaxed),
             sessions_migrated,
@@ -320,10 +322,12 @@ mod tests {
         assert_eq!(stats.shard_clock(0), 0.0);
         let now = stats.advance_shard_clock(0, 0.5);
         assert!((now - 0.5).abs() < 1e-9);
-        stats.tokens.store(100, Ordering::Relaxed);
-        stats.steps.store(10, Ordering::Relaxed);
+        stats.shards[0].tokens.store(100, Ordering::Relaxed);
+        stats.shards[0].steps.store(10, Ordering::Relaxed);
         stats.occupied_slots.store(30, Ordering::Relaxed);
         let snap = stats.snapshot();
+        assert_eq!(snap.tokens_generated, 100);
+        assert_eq!(snap.steps, 10);
         assert!((snap.tokens_per_second - 200.0).abs() < 1e-6);
         assert!((snap.mean_step_occupancy - 0.75).abs() < 1e-9);
     }
@@ -336,10 +340,13 @@ mod tests {
         stats.advance_shard_prefill_clock(1, 0.25);
         assert!((stats.shard_clock(0) - 1.0).abs() < 1e-9);
         assert!((stats.shard_clock(1) - 0.5).abs() < 1e-9);
-        stats.tokens.store(100, Ordering::Relaxed);
+        stats.shards[0].tokens.store(75, Ordering::Relaxed);
+        stats.shards[1].tokens.store(25, Ordering::Relaxed);
         let snap = stats.snapshot();
-        // Aggregate tokens/sec divides by summed decode work (1.25s); the
-        // cluster number divides by the busiest shard's clock (1.0s).
+        // The aggregate sums the shards (75 + 25 tokens). Aggregate
+        // tokens/sec divides by summed decode work (1.25s); the cluster
+        // number divides by the busiest shard's clock (1.0s).
+        assert_eq!(snap.tokens_generated, 100);
         assert!((snap.tokens_per_second - 80.0).abs() < 1e-6);
         assert!((snap.cluster_tokens_per_second - 100.0).abs() < 1e-6);
         assert_eq!(snap.shards.len(), 2);

@@ -174,6 +174,7 @@ pub struct Request {
     priority: Priority,
     deadline: Option<Instant>,
     timeout: Option<Duration>,
+    trace_id: u64,
 }
 
 impl Request {
@@ -213,6 +214,20 @@ impl Request {
     pub fn with_timeout(mut self, timeout: Duration) -> Request {
         self.timeout = Some(timeout);
         self
+    }
+
+    /// Attributes this request to a trace: every engine span it touches
+    /// (submit, batch formation, execution) carries `trace_id`, so the
+    /// request's path is reconstructable from the exported trace. Id 0
+    /// (the default) means unattributed.
+    pub fn with_trace(mut self, trace_id: u64) -> Request {
+        self.trace_id = trace_id;
+        self
+    }
+
+    /// The trace id spans are attributed to (0 = unattributed).
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
     }
 
     /// The priority class this request will be scheduled at.
@@ -490,6 +505,7 @@ struct PendingRequest {
     inputs: Vec<Vec<f32>>,
     priority: Priority,
     deadline: Option<Instant>,
+    trace_id: u64,
     responder: mpsc::Sender<Result<InferenceResult, EngineError>>,
 }
 
@@ -1158,6 +1174,7 @@ fn unload_model(shared: &Shared, model: &str) -> bool {
 
 /// Admission + enqueue: the one path every submission funnels through.
 fn submit_request(shared: &Shared, model: &str, request: Request) -> Ticket {
+    let _span = hidet_trace::global().span(hidet_trace::SpanKind::EngineSubmit, request.trace_id);
     let (tx, rx) = mpsc::channel();
     let ticket = Ticket { rx };
     if shared.closed.load(Ordering::SeqCst) {
@@ -1176,6 +1193,7 @@ fn submit_request(shared: &Shared, model: &str, request: Request) -> Ticket {
         inputs: request.inputs,
         priority: request.priority,
         deadline,
+        trace_id: request.trace_id,
         responder: tx,
     };
     {
@@ -1309,9 +1327,13 @@ fn dispatch_loop(shared: &Shared, senders: Vec<mpsc::Sender<BatchJob>>) {
         }
 
         drop(queue); // don't hold the queue over placement or the send
+        let batch_trace = requests.first().map_or(0, |r| r.trace_id);
+        let _form = hidet_trace::global().span(hidet_trace::SpanKind::BatchForm, batch_trace);
         let batch = requests.len() as i64;
-        let (shard_idx, queue_delay, estimate) =
-            shard::pick_shard(&shared.shards, &shared.latency_model, &model, batch);
+        let (shard_idx, queue_delay, estimate) = {
+            let _place = hidet_trace::global().span(hidet_trace::SpanKind::ShardPlace, batch_trace);
+            shard::pick_shard(&shared.shards, &shared.latency_model, &model, batch)
+        };
         token += 1;
         shared.shards[shard_idx].place(token, estimate);
         let job = BatchJob {
@@ -1390,6 +1412,10 @@ fn process_batch(
     job: BatchJob,
     workspace: &mut hidet::Workspace,
 ) {
+    let _span = hidet_trace::global().span(
+        hidet_trace::SpanKind::BatchExecute,
+        job.requests.first().map_or(0, |r| r.trace_id),
+    );
     let shard = &shared.shards[shard_idx];
     let entry = {
         let registry = shared.registry.lock().expect("registry poisoned");
@@ -1628,6 +1654,7 @@ mod tests {
             inputs: Vec::new(),
             priority,
             deadline: None,
+            trace_id: 0,
             responder: tx.clone(),
         };
         let mut q = ClassQueues::default();

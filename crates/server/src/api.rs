@@ -282,8 +282,27 @@ pub(crate) fn render_registered(name: &str, kind: &str) -> String {
     w.finish()
 }
 
+/// Writes the `?debug=timing` breakdown: one integer-nanosecond field per
+/// segment plus `total_ns`. Segments are consecutive wall-clock checkpoint
+/// differences, so they telescope: the sum of the segment fields equals
+/// `total_ns` exactly (pinned by the server e2e tests).
+pub(crate) fn render_timing(w: &mut JsonWriter, segments: &[(&'static str, u128)]) {
+    w.key("timing").begin_object();
+    let mut total = 0u128;
+    for (name, ns) in segments {
+        w.key(&format!("{name}_ns")).integer(*ns as i64);
+        total += ns;
+    }
+    w.key("total_ns").integer(total as i64);
+    w.end();
+}
+
 /// The `POST /v2/infer` success body.
-pub(crate) fn render_infer_result(model: &str, result: &InferenceResult) -> String {
+pub(crate) fn render_infer_result(
+    model: &str,
+    result: &InferenceResult,
+    timing: Option<&[(&'static str, u128)]>,
+) -> String {
     let mut w = JsonWriter::new();
     w.begin_object();
     w.key("model").string(model);
@@ -303,6 +322,9 @@ pub(crate) fn render_infer_result(model: &str, result: &InferenceResult) -> Stri
         .number(result.queue_delay_seconds * 1e6);
     w.key("priority").string(result.priority.label());
     w.key("compile_cache_hit").boolean(result.compile_cache_hit);
+    if let Some(segments) = timing {
+        render_timing(&mut w, segments);
+    }
     w.end();
     w.finish()
 }
@@ -319,11 +341,17 @@ pub(crate) fn render_token_event(event: &TokenEvent) -> String {
 }
 
 /// The terminal line of a `POST /v2/generate` stream.
-pub(crate) fn render_generate_done(tokens: usize) -> String {
+pub(crate) fn render_generate_done(
+    tokens: usize,
+    timing: Option<&[(&'static str, u128)]>,
+) -> String {
     let mut w = JsonWriter::new();
     w.begin_object();
     w.key("done").boolean(true);
     w.key("tokens").integer(tokens as i64);
+    if let Some(segments) = timing {
+        render_timing(&mut w, segments);
+    }
     w.end();
     w.finish()
 }
@@ -434,6 +462,205 @@ pub(crate) fn render_ingress_fields(w: &mut JsonWriter, ingress: &IngressStatsSn
         .number(ingress.wire_ttfb_p95_seconds * 1e6);
 }
 
+/// Bridges the engine's [`StatsSnapshot`] (engine, decode and ingress
+/// sections) into Prometheus text exposition. Values are staged through a
+/// fresh [`hidet_trace::MetricsRegistry`] so the output shares the tracer's
+/// renderer — and therefore its well-formedness guarantees
+/// ([`hidet_trace::validate_exposition`] accepts it by construction).
+pub(crate) fn render_prometheus(s: &StatsSnapshot) -> String {
+    use hidet_trace::MetricType::{Counter, Gauge};
+    let m = hidet_trace::MetricsRegistry::new();
+    let c = |name: &str, help: &str, v: usize| {
+        m.describe(name, Counter, help);
+        m.counter_add(name, &[], v as u64);
+    };
+    let g = |name: &str, help: &str, v: f64| {
+        m.describe(name, Gauge, help);
+        m.gauge_set(name, &[], v);
+    };
+
+    c(
+        "hidet_engine_requests_total",
+        "Requests answered by the serving engine.",
+        s.requests,
+    );
+    c(
+        "hidet_engine_failures_total",
+        "Requests answered with an error.",
+        s.failures,
+    );
+    c(
+        "hidet_engine_shed_total",
+        "Requests shed by engine admission control.",
+        s.shed_requests,
+    );
+    c(
+        "hidet_engine_batches_total",
+        "Batch jobs executed.",
+        s.batches,
+    );
+    g(
+        "hidet_engine_batch_size_mean",
+        "Mean formed batch size.",
+        s.mean_batch_size,
+    );
+    g(
+        "hidet_engine_latency_p50_seconds",
+        "Median end-to-end request latency.",
+        s.p50_latency_seconds,
+    );
+    g(
+        "hidet_engine_latency_p95_seconds",
+        "95th percentile end-to-end request latency.",
+        s.p95_latency_seconds,
+    );
+    g(
+        "hidet_engine_throughput_rps",
+        "Cluster-wide request throughput.",
+        s.cluster_throughput_rps,
+    );
+    m.describe(
+        "hidet_engine_class_requests_total",
+        Counter,
+        "Requests by priority class.",
+    );
+    m.describe(
+        "hidet_engine_class_shed_total",
+        Counter,
+        "Shed requests by priority class.",
+    );
+    for class in &s.priorities {
+        let labels = [("priority", class.priority.label())];
+        m.counter_add(
+            "hidet_engine_class_requests_total",
+            &labels,
+            class.requests as u64,
+        );
+        m.counter_add(
+            "hidet_engine_class_shed_total",
+            &labels,
+            class.shed_requests as u64,
+        );
+    }
+
+    if let Some(d) = &s.decode {
+        c(
+            "hidet_decode_sequences_completed_total",
+            "Decode sessions run to completion.",
+            d.sequences_completed,
+        );
+        c(
+            "hidet_decode_tokens_total",
+            "Tokens generated across all decode shards.",
+            d.tokens_generated,
+        );
+        c(
+            "hidet_decode_prefill_tokens_total",
+            "Prompt tokens absorbed through chunked prefill.",
+            d.prefill_tokens,
+        );
+        c(
+            "hidet_decode_migrations_total",
+            "Sessions live-migrated between decode shards.",
+            d.sessions_migrated,
+        );
+        g(
+            "hidet_decode_kv_blocks_in_use",
+            "KV cache blocks currently allocated.",
+            d.kv_blocks_in_use as f64,
+        );
+        g(
+            "hidet_decode_kv_blocks_capacity",
+            "KV cache block capacity.",
+            d.kv_blocks_capacity as f64,
+        );
+        g(
+            "hidet_decode_tokens_per_second",
+            "Decode token throughput.",
+            d.tokens_per_second,
+        );
+        g(
+            "hidet_decode_ttft_p95_seconds",
+            "95th percentile time to first token.",
+            d.ttft_p95_seconds,
+        );
+        m.describe(
+            "hidet_decode_shard_tokens_total",
+            Counter,
+            "Tokens generated per decode shard.",
+        );
+        m.describe(
+            "hidet_decode_shard_kv_blocks_in_use",
+            Gauge,
+            "KV blocks allocated per decode shard.",
+        );
+        for (i, shard) in d.shards.iter().enumerate() {
+            let idx = i.to_string();
+            let labels = [("shard", idx.as_str())];
+            m.counter_add(
+                "hidet_decode_shard_tokens_total",
+                &labels,
+                shard.tokens_generated as u64,
+            );
+            m.gauge_set(
+                "hidet_decode_shard_kv_blocks_in_use",
+                &labels,
+                shard.kv_blocks_in_use as f64,
+            );
+        }
+    }
+
+    if let Some(i) = &s.ingress {
+        c(
+            "hidet_ingress_accepted_total",
+            "Connections accepted into a lane ring.",
+            i.accepted,
+        );
+        c(
+            "hidet_ingress_shed_at_socket_total",
+            "Connections shed at the socket by the delay signal.",
+            i.shed_at_socket,
+        );
+        c(
+            "hidet_ingress_shed_ring_full_total",
+            "Connections shed because every lane ring was full.",
+            i.shed_ring_full,
+        );
+        c(
+            "hidet_ingress_served_total",
+            "Connections answered by a lane.",
+            i.served,
+        );
+        c(
+            "hidet_ingress_streams_cancelled_total",
+            "Token streams dropped because the client went away.",
+            i.streams_cancelled,
+        );
+        g(
+            "hidet_ingress_ring_depth",
+            "Connections queued across lane rings.",
+            i.ring_depth as f64,
+        );
+        g(
+            "hidet_ingress_ring_capacity",
+            "Total lane ring capacity.",
+            i.ring_capacity as f64,
+        );
+        g(
+            "hidet_ingress_wire_ttfb_p50_seconds",
+            "Median wire time to first byte.",
+            i.wire_ttfb_p50_seconds,
+        );
+        g(
+            "hidet_ingress_wire_ttfb_p95_seconds",
+            "95th percentile wire time to first byte.",
+            i.wire_ttfb_p95_seconds,
+        );
+    }
+
+    m.render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -512,7 +739,7 @@ mod tests {
             priority: Priority::Normal,
             compile_cache_hit: true,
         };
-        let text = render_infer_result("m", &result);
+        let text = render_infer_result("m", &result, None);
         let parsed = Json::parse(&text).unwrap();
         let obj = parsed.as_object("infer response").unwrap();
         assert_eq!(get(obj, "batch_size").unwrap().as_i64("b").unwrap(), 3);
@@ -530,6 +757,43 @@ mod tests {
         assert_eq!(get(obj, "token").unwrap().as_i64("t").unwrap(), 9);
 
         assert!(Json::parse(&render_error("boom")).is_ok());
-        assert!(Json::parse(&render_generate_done(5)).is_ok());
+        assert!(Json::parse(&render_generate_done(5, None)).is_ok());
+    }
+
+    #[test]
+    fn timing_segments_telescope_in_the_rendered_json() {
+        let segments: [(&'static str, u128); 3] =
+            [("queue", 1200), ("handle", 800), ("serialize", 40)];
+        let result = InferenceResult {
+            outputs: vec![vec![1.0]],
+            batch_size: 1,
+            simulated_latency_seconds: 0.001,
+            queue_delay_seconds: 0.0,
+            priority: Priority::Normal,
+            compile_cache_hit: false,
+        };
+        let text = render_infer_result("m", &result, Some(&segments));
+        let parsed = Json::parse(&text).unwrap();
+        let obj = parsed.as_object("infer response").unwrap();
+        let timing = get(obj, "timing").unwrap().as_object("timing").unwrap();
+        let field = |name: &str| get(timing, name).unwrap().as_i64(name).unwrap();
+        assert_eq!(
+            field("queue_ns") + field("handle_ns") + field("serialize_ns"),
+            field("total_ns")
+        );
+        assert_eq!(field("total_ns"), 2040);
+    }
+
+    #[test]
+    fn prometheus_bridge_renders_a_valid_exposition() {
+        use hidet_runtime::{CacheCounters, ServerStats};
+        let snapshot = ServerStats::default().snapshot(CacheCounters::default(), Vec::new());
+        let text = render_prometheus(&snapshot);
+        hidet_trace::validate_exposition(&text).unwrap();
+        assert!(text.contains("hidet_engine_requests_total"), "{text}");
+        assert!(
+            text.contains("# TYPE hidet_engine_requests_total counter"),
+            "{text}"
+        );
     }
 }

@@ -21,8 +21,10 @@ const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 pub struct HttpRequest {
     /// Uppercase method, e.g. `POST`.
     pub method: String,
-    /// Request target path, e.g. `/v2/infer` (query strings not split off).
+    /// Request target path with the query string split off, e.g. `/v2/infer`.
     pub path: String,
+    /// The query string (without the `?`), empty when the target has none.
+    pub query: String,
     /// Headers in arrival order, names lowercased.
     pub headers: Vec<(String, String)>,
     /// The body, already length-delimited by `Content-Length`.
@@ -36,6 +38,13 @@ impl HttpRequest {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the query string contains the exact `key=value` pair.
+    pub fn query_flag(&self, key: &str, value: &str) -> bool {
+        self.query
+            .split('&')
+            .any(|pair| pair.split_once('=') == Some((key, value)))
     }
 }
 
@@ -73,10 +82,11 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<HttpRequest>> {
         .next()
         .ok_or_else(|| invalid("missing method"))?
         .to_uppercase();
-    let path = parts
-        .next()
-        .ok_or_else(|| invalid("missing path"))?
-        .to_string();
+    let target = parts.next().ok_or_else(|| invalid("missing path"))?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
     let version = parts.next().ok_or_else(|| invalid("missing version"))?;
     if !version.starts_with("HTTP/1.") {
         return Err(invalid("unsupported HTTP version"));
@@ -114,6 +124,7 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<HttpRequest>> {
     Ok(Some(HttpRequest {
         method,
         path,
+        query,
         headers,
         body,
     }))
@@ -145,8 +156,19 @@ pub fn reason(status: u16) -> &'static str {
 
 /// Writes a complete JSON response with `Connection: close`.
 pub fn write_json(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    write_response(stream, status, "application/json", body)
+}
+
+/// Writes a complete response of any content type with `Connection: close`
+/// (the Prometheus text exposition at `GET /v2/metrics` is not JSON).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         reason(status),
         body.len(),
     );
@@ -237,8 +259,23 @@ mod tests {
         let req = read_request(&mut server).unwrap().unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v2/infer");
+        assert_eq!(req.query, "");
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.body, b"hello world");
+    }
+
+    #[test]
+    fn splits_the_query_string_off_the_path() {
+        let (mut client, mut server) = pair();
+        client
+            .write_all(b"POST /v2/generate?debug=timing&x=1 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let req = read_request(&mut server).unwrap().unwrap();
+        assert_eq!(req.path, "/v2/generate");
+        assert_eq!(req.query, "debug=timing&x=1");
+        assert!(req.query_flag("debug", "timing"));
+        assert!(req.query_flag("x", "1"));
+        assert!(!req.query_flag("debug", "on"));
     }
 
     #[test]

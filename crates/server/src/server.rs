@@ -25,6 +25,7 @@ use hidet_decode::{DecodeEngine, DecodeError, GenerateRequest, SessionPoll};
 use hidet_runtime::{
     AdmissionSignal, Engine, EngineError, IngressStatsSnapshot, LatencyReservoir, Priority, Request,
 };
+use hidet_trace::{Collector, SpanKind, TraceConfig};
 
 use crate::api::{self, ModelDirectory};
 use crate::http::{self, ChunkedWriter, HttpRequest};
@@ -47,6 +48,11 @@ pub struct ServerConfig {
     pub signal_interval: Duration,
     /// Pin lane threads to distinct cores (Linux only; best-effort).
     pub pin_lanes: bool,
+    /// Tracing level applied to the process-wide tracer at startup:
+    /// `MetricsOnly` (the default) keeps `GET /v2/metrics` live at ~zero
+    /// overhead; `Full` (or sampled) additionally retains spans for
+    /// `GET /v2/trace`.
+    pub trace: TraceConfig,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +64,7 @@ impl Default for ServerConfig {
             retry_after_seconds: 1,
             signal_interval: Duration::from_millis(1),
             pin_lanes: false,
+            trace: TraceConfig::MetricsOnly,
         }
     }
 }
@@ -98,6 +105,8 @@ pub struct HidetServer {
     inner: Arc<Inner>,
     producers: Vec<Producer<ConnJob>>,
     threads: Vec<JoinHandle<()>>,
+    /// Drains per-thread trace rings in the background; joined on drop.
+    _collector: Collector,
 }
 
 impl std::fmt::Debug for HidetServer {
@@ -132,6 +141,7 @@ impl HidetServer {
         signal: Arc<dyn AdmissionSignal>,
     ) -> io::Result<HidetServer> {
         let lanes = config.lanes.max(1);
+        hidet_trace::global().set_config(config.trace);
         let priority_listener = TcpListener::bind("127.0.0.1:0")?;
         let public_listener = TcpListener::bind("127.0.0.1:0")?;
         let priority_addr = priority_listener.local_addr()?;
@@ -224,6 +234,7 @@ impl HidetServer {
             inner,
             producers,
             threads,
+            _collector: Collector::spawn(hidet_trace::global(), Duration::from_millis(10)),
         };
         engine.attach_ingress_stats(server.stats_source());
         engine.attach_decode_stats(decode.stats_source());
@@ -365,45 +376,139 @@ fn lane_loop(mut consumer: Consumer<ConnJob>, inner: &Inner) {
     }
 }
 
+/// Consecutive wall-clock checkpoints for one request, in integer
+/// nanoseconds. Each [`RequestTiming::mark`] charges the time since the
+/// previous checkpoint to a named segment (re-marking a name accumulates,
+/// which is how the generate stream splits alternating decode waits and
+/// chunk writes) — so the segments always telescope: their sum equals the
+/// wire total from accept to the last checkpoint, exactly.
+struct RequestTiming {
+    cursor: Instant,
+    segments: Vec<(&'static str, u128)>,
+    trace_id: u64,
+    debug: bool,
+}
+
+impl RequestTiming {
+    fn new(accepted_at: Instant, trace_id: u64) -> RequestTiming {
+        RequestTiming {
+            cursor: accepted_at,
+            segments: Vec::new(),
+            trace_id,
+            debug: false,
+        }
+    }
+
+    /// Charges the interval since the previous checkpoint to `name`.
+    fn mark(&mut self, name: &'static str) {
+        let now = Instant::now();
+        let ns = now.duration_since(self.cursor).as_nanos();
+        self.cursor = now;
+        match self.segments.iter_mut().find(|(n, _)| *n == name) {
+            Some(seg) => seg.1 += ns,
+            None => self.segments.push((name, ns)),
+        }
+    }
+
+    /// The segments to render, or `None` without `?debug=timing`.
+    fn rendered(&self) -> Option<&[(&'static str, u128)]> {
+        self.debug.then_some(self.segments.as_slice())
+    }
+}
+
 fn handle_connection(mut job: ConnJob, inner: &Inner) {
+    let tracer = hidet_trace::global();
+    let trace_id = tracer.new_trace_id();
+    let mut timing = RequestTiming::new(job.accepted_at, trace_id);
+    // The ring wait ended when this lane picked the job up — recorded
+    // retroactively from the accept timestamp.
+    tracer.span_closed(
+        SpanKind::HttpQueue,
+        trace_id,
+        job.accepted_at,
+        timing.cursor,
+    );
+    timing.mark("queue");
+
     let _ = job.stream.set_read_timeout(Some(Duration::from_secs(5)));
     let _ = job.stream.set_write_timeout(Some(Duration::from_secs(5)));
-    let request = match http::read_request(&mut job.stream) {
-        Ok(Some(request)) => request,
-        Ok(None) => return,
-        Err(err) => {
-            record_ttfb(inner, job.accepted_at);
-            let _ = http::write_json(&mut job.stream, 400, &api::render_error(&err.to_string()));
-            inner.counters.served.fetch_add(1, Ordering::Relaxed);
-            return;
+    let request = {
+        let _parse = tracer.span(SpanKind::HttpParse, trace_id);
+        match http::read_request(&mut job.stream) {
+            Ok(Some(request)) => request,
+            Ok(None) => return,
+            Err(err) => {
+                record_ttfb(inner, job.accepted_at);
+                let _ =
+                    http::write_json(&mut job.stream, 400, &api::render_error(&err.to_string()));
+                inner.counters.served.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
         }
     };
+    timing.mark("parse");
+    timing.debug = request.query_flag("debug", "timing");
 
+    let _handle = tracer.span(SpanKind::HttpHandle, trace_id);
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v2/models") => respond(inner, &mut job, register(inner, &request)),
-        ("POST", "/v2/infer") => respond(inner, &mut job, infer(inner, &request)),
-        ("POST", "/v2/generate") => generate(inner, &mut job, &request),
+        ("POST", "/v2/models") => respond(inner, &mut job, trace_id, register(inner, &request)),
+        ("POST", "/v2/infer") => {
+            let response = infer(inner, &request, &mut timing);
+            respond(inner, &mut job, trace_id, response);
+        }
+        ("POST", "/v2/generate") => generate(inner, &mut job, &request, &mut timing),
         ("GET", "/v2/stats") => {
             let body = api::render_stats(&inner.engine.stats());
-            respond(inner, &mut job, (200, body));
+            respond(inner, &mut job, trace_id, (200, body));
         }
-        (_, "/v2/models" | "/v2/infer" | "/v2/generate" | "/v2/stats") => respond(
+        ("GET", "/v2/metrics") => {
+            let body = metrics_exposition(inner);
+            record_ttfb(inner, job.accepted_at);
+            let _respond = tracer.span(SpanKind::HttpRespond, trace_id);
+            let _ = http::write_response(
+                &mut job.stream,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            );
+            inner.counters.served.fetch_add(1, Ordering::Relaxed);
+        }
+        ("GET", "/v2/trace") => {
+            let body = hidet_trace::global().chrome_trace_json();
+            respond(inner, &mut job, trace_id, (200, body));
+        }
+        (
+            _,
+            "/v2/models" | "/v2/infer" | "/v2/generate" | "/v2/stats" | "/v2/metrics" | "/v2/trace",
+        ) => respond(
             inner,
             &mut job,
+            trace_id,
             (405, api::render_error("method not allowed")),
         ),
         (_, path) => respond(
             inner,
             &mut job,
+            trace_id,
             (404, api::render_error(&format!("no route for {path}"))),
         ),
     }
 }
 
+/// The `GET /v2/metrics` body: engine/decode/ingress families bridged from
+/// the live stats snapshot, followed by the tracer's own span/event
+/// families — one well-formed text exposition.
+fn metrics_exposition(inner: &Inner) -> String {
+    let mut text = api::render_prometheus(&inner.engine.stats());
+    text.push_str(&hidet_trace::global().render_metrics());
+    text
+}
+
 /// Writes a complete JSON response, recording TTFB just before the first
 /// byte goes out.
-fn respond(inner: &Inner, job: &mut ConnJob, (status, body): (u16, String)) {
+fn respond(inner: &Inner, job: &mut ConnJob, trace_id: u64, (status, body): (u16, String)) {
     record_ttfb(inner, job.accepted_at);
+    let _respond = hidet_trace::global().span(SpanKind::HttpRespond, trace_id);
     let _ = http::write_json(&mut job.stream, status, &body);
     inner.counters.served.fetch_add(1, Ordering::Relaxed);
 }
@@ -465,7 +570,7 @@ fn register(inner: &Inner, request: &HttpRequest) -> (u16, String) {
     }
 }
 
-fn infer(inner: &Inner, request: &HttpRequest) -> (u16, String) {
+fn infer(inner: &Inner, request: &HttpRequest, timing: &mut RequestTiming) -> (u16, String) {
     let body = match api::parse_infer(&request.body) {
         Ok(body) => body,
         Err(msg) => return (400, api::render_error(&msg)),
@@ -493,12 +598,19 @@ fn infer(inner: &Inner, request: &HttpRequest) -> (u16, String) {
             }
         }
     };
-    let mut engine_request = Request::new(body.inputs).with_priority(body.priority);
+    let mut engine_request = Request::new(body.inputs)
+        .with_priority(body.priority)
+        .with_trace(timing.trace_id);
     if let Some(ms) = body.timeout_ms {
         engine_request = engine_request.with_timeout(Duration::from_millis(ms));
     }
-    match handle.infer(engine_request) {
-        Ok(result) => (200, api::render_infer_result(&body.model, &result)),
+    let outcome = handle.infer(engine_request);
+    timing.mark("handle");
+    match outcome {
+        Ok(result) => {
+            let body = api::render_infer_result(&body.model, &result, timing.rendered());
+            (200, body)
+        }
         Err(err) => (engine_status(&err), api::render_error(&err.to_string())),
     }
 }
@@ -508,10 +620,11 @@ fn infer(inner: &Inner, request: &HttpRequest) -> (u16, String) {
 /// TTFB); each `Pending` poll probes the socket so a vanished client drops
 /// the session — freeing its KV blocks — instead of generating into the
 /// void.
-fn generate(inner: &Inner, job: &mut ConnJob, request: &HttpRequest) {
+fn generate(inner: &Inner, job: &mut ConnJob, request: &HttpRequest, timing: &mut RequestTiming) {
+    let trace_id = timing.trace_id;
     let body = match api::parse_generate(&request.body) {
         Ok(body) => body,
-        Err(msg) => return respond(inner, job, (400, api::render_error(&msg))),
+        Err(msg) => return respond(inner, job, trace_id, (400, api::render_error(&msg))),
     };
     let model = {
         let generate = inner.directory.generate.lock().expect("directory poisoned");
@@ -533,17 +646,19 @@ fn generate(inner: &Inner, job: &mut ConnJob, request: &HttpRequest) {
                         api::render_error(&format!("unknown model \"{}\"", body.model)),
                     )
                 };
-                return respond(inner, job, response);
+                return respond(inner, job, trace_id, response);
             }
         }
     };
 
-    let mut generate_request =
-        GenerateRequest::new(body.prompt, body.max_tokens).with_priority(body.priority);
+    let mut generate_request = GenerateRequest::new(body.prompt, body.max_tokens)
+        .with_priority(body.priority)
+        .with_trace(trace_id);
     if let Some(eos) = body.eos {
         generate_request = generate_request.with_eos(eos);
     }
     let mut session = model.generate(generate_request);
+    timing.mark("placement");
 
     // Phase one: wait for the first event before committing to a status
     // line, so generate-time failures still map onto proper error codes.
@@ -568,23 +683,30 @@ fn generate(inner: &Inner, job: &mut ConnJob, request: &HttpRequest) {
         Ok(event) => event,
         Err(err) => {
             let response = (decode_status(&err), api::render_error(&err.to_string()));
-            return respond(inner, job, response);
+            return respond(inner, job, trace_id, response);
         }
     };
+    timing.mark("prefill");
 
     record_ttfb(inner, job.accepted_at);
     let mut tokens = 0usize;
     let outcome: io::Result<()> = (|| {
         let mut writer = ChunkedWriter::begin(&mut job.stream, 200)?;
+        timing.mark("serialize");
         let mut event = first;
         loop {
             match event {
                 SessionPoll::Token(token) => {
                     tokens += 1;
-                    writer.chunk_line(&api::render_token_event(&token))?;
+                    let line = api::render_token_event(&token);
+                    timing.mark("decode");
+                    writer.chunk_line(&line)?;
+                    timing.mark("serialize");
                 }
                 SessionPoll::Finished => {
-                    writer.chunk_line(&api::render_generate_done(tokens))?;
+                    timing.mark("decode");
+                    let done = api::render_generate_done(tokens, timing.rendered());
+                    writer.chunk_line(&done)?;
                     return writer.finish();
                 }
                 SessionPoll::Pending => {}

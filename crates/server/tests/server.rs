@@ -10,6 +10,7 @@ use hidet_decode::{DecodeConfig, DecodeEngine};
 use hidet_runtime::{AdmissionSignal, Engine, EngineConfig};
 use hidet_sched::json::{get, Json};
 use hidet_server::{HidetServer, ServerConfig};
+use hidet_trace::TraceConfig;
 
 fn engines() -> (Arc<Engine>, Arc<DecodeEngine>) {
     let engine = Arc::new(Engine::new(EngineConfig::quick()).unwrap());
@@ -253,6 +254,160 @@ fn error_paths_map_to_statuses() {
         r#"{"model":"chat","prompt":[1,2],"max_tokens":50}"#,
     );
     assert_eq!(status, 400, "{body}");
+}
+
+/// Sums every `*_ns` segment of a `timing` object and pins it against
+/// `total_ns` — the telescoping contract of `?debug=timing`.
+fn assert_timing_telescopes(timing: &[(String, Json)], expect: &[&str]) {
+    let total = get(timing, "total_ns").unwrap().as_i64("total_ns").unwrap();
+    let mut sum = 0i64;
+    for (key, value) in timing {
+        if key == "total_ns" {
+            continue;
+        }
+        assert!(key.ends_with("_ns"), "unexpected timing field {key}");
+        sum += value.as_i64(key).unwrap();
+    }
+    assert_eq!(
+        sum, total,
+        "segments must telescope to the total: {timing:?}"
+    );
+    for name in expect {
+        assert!(
+            timing.iter().any(|(k, _)| k == &format!("{name}_ns")),
+            "missing segment {name}: {timing:?}"
+        );
+    }
+}
+
+#[test]
+fn metrics_trace_and_timing_endpoints() {
+    let (engine, decode) = engines();
+    let server = HidetServer::start(
+        ServerConfig {
+            trace: TraceConfig::Full,
+            ..ServerConfig::default()
+        },
+        Arc::clone(&engine),
+        Arc::clone(&decode),
+    )
+    .unwrap();
+    let addr = server.public_addr();
+
+    let (status, _, _) = post(
+        addr,
+        "/v2/models",
+        r#"{"name":"head","family":"mlp","input_dim":8,"hidden_dim":8,"output_dim":2}"#,
+    );
+    assert_eq!(status, 201);
+    let (status, _, _) = post(
+        addr,
+        "/v2/models",
+        r#"{"name":"chat","family":"transformer-decode","layers":1,"hidden":16,"heads":2,"vocab":16,"max_context":64}"#,
+    );
+    assert_eq!(status, 201);
+
+    // Infer with ?debug=timing: the breakdown telescopes to the total.
+    let inputs = ["1.0"; 8].join(",");
+    let (status, _, body) = post(
+        addr,
+        "/v2/infer?debug=timing",
+        &format!(r#"{{"model":"head","inputs":[[{inputs}]]}}"#),
+    );
+    assert_eq!(status, 200, "{body}");
+    let parsed = json_body(&body);
+    let obj = parsed.as_object("infer").unwrap();
+    let timing = get(obj, "timing").unwrap().as_object("timing").unwrap();
+    assert_timing_telescopes(timing, &["queue", "parse", "handle"]);
+
+    // Without the flag, no timing object rides the response.
+    let (status, _, body) = post(
+        addr,
+        "/v2/infer",
+        &format!(r#"{{"model":"head","inputs":[[{inputs}]]}}"#),
+    );
+    assert_eq!(status, 200, "{body}");
+    let parsed = json_body(&body);
+    let obj = parsed.as_object("infer").unwrap();
+    assert!(get(obj, "timing").is_err(), "{body}");
+
+    // Generate with ?debug=timing: the done line carries the full
+    // queue/placement/prefill/decode/serialize decomposition.
+    let (status, _, body) = post(
+        addr,
+        "/v2/generate?debug=timing",
+        r#"{"model":"chat","prompt":[3,1,4],"max_tokens":4}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let lines = dechunk(&body);
+    let done = json_body(lines.last().unwrap());
+    let obj = done.as_object("done").unwrap();
+    let timing = get(obj, "timing").unwrap().as_object("timing").unwrap();
+    assert_timing_telescopes(
+        timing,
+        &[
+            "queue",
+            "parse",
+            "placement",
+            "prefill",
+            "decode",
+            "serialize",
+        ],
+    );
+
+    // /v2/metrics: well-formed Prometheus text exposition covering the
+    // ingress, engine, decode and trace families.
+    let (status, head, body) = roundtrip(addr, "GET /v2/metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200, "{body}");
+    assert!(head.contains("text/plain"), "{head}");
+    hidet_trace::validate_exposition(&body).unwrap_or_else(|e| panic!("{e}\n---\n{body}"));
+    for family in [
+        "hidet_ingress_accepted_total",
+        "hidet_engine_requests_total",
+        "hidet_decode_tokens_total",
+        "hidet_decode_kv_blocks_in_use",
+        "hidet_span_seconds",
+        "hidet_trace_events_dropped_total",
+    ] {
+        assert!(body.contains(family), "missing {family} in:\n{body}");
+    }
+
+    // /v2/trace: Chrome trace_event JSON that Perfetto loads. The global
+    // tracer is process-wide and other tests may flip its mode, so re-arm
+    // and retry a few times before declaring the export empty.
+    let mut events_seen = 0usize;
+    for _ in 0..3 {
+        hidet_trace::global().set_config(TraceConfig::Full);
+        let (status, _, _) = post(
+            addr,
+            "/v2/generate",
+            r#"{"model":"chat","prompt":[2],"max_tokens":2}"#,
+        );
+        assert_eq!(status, 200);
+        let (status, _, body) = roundtrip(addr, "GET /v2/trace HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200, "{body}");
+        let parsed = json_body(&body);
+        let obj = parsed.as_object("trace").unwrap();
+        assert_eq!(
+            get(obj, "displayTimeUnit").unwrap().as_str("u").unwrap(),
+            "ns"
+        );
+        let events = get(obj, "traceEvents").unwrap().as_array("events").unwrap();
+        events_seen = events.len();
+        if events_seen > 0 {
+            // Every event carries the Chrome schema's required fields.
+            for event in events {
+                let e = event.as_object("event").unwrap();
+                get(e, "name").unwrap().as_str("name").unwrap();
+                get(e, "ph").unwrap().as_str("ph").unwrap();
+                get(e, "ts").unwrap().as_f64("ts").unwrap();
+                get(e, "pid").unwrap().as_i64("pid").unwrap();
+                get(e, "tid").unwrap().as_i64("tid").unwrap();
+            }
+            break;
+        }
+    }
+    assert!(events_seen > 0, "trace export stayed empty after retries");
 }
 
 /// A fake admission signal the test flips between idle and overloaded.

@@ -92,6 +92,10 @@ pub fn run_kernel(
     memory: &mut DeviceMemory,
     spec: &GpuSpec,
 ) -> Result<(), SimError> {
+    // One span per interpreted kernel; the simulated device has no request
+    // context, so the span is unattributed (trace id 0). The guard closes
+    // the span on every return path, validation errors included.
+    let _span = hidet_trace::global().span(hidet_trace::SpanKind::KernelSim, 0);
     // Launch validation.
     if kernel.shared_bytes() > spec.shared_mem_per_block {
         return Err(SimError::ResourceLimit(format!(

@@ -1,0 +1,288 @@
+//! Bounded lock-free SPSC ring buffer: the tracing hot path.
+//!
+//! Same per-slot sequence-number design as the ingress ring
+//! (`hidet_server::ring`, after Vyukov), restricted further to a *single*
+//! producer: each instrumented thread owns exactly one ring, so claiming a
+//! slot needs no CAS arbitration at all — a push is one Acquire load, one
+//! value write, and one Release store. The single consumer is the trace
+//! collector, which drains every thread's ring from one place.
+//!
+//! A full ring drops the event and bumps the ring's dropped counter —
+//! tracing must never block or slow the thread being traced, so the
+//! backpressure signal is a counter (`trace_events_dropped`), not a stall.
+//!
+//! ```
+//! use hidet_trace::ring::ring;
+//! let (mut tx, mut rx) = ring::<u32>(4);
+//! assert!(tx.push(7));
+//! assert_eq!(rx.pop(), Some(7));
+//! assert_eq!(rx.pop(), None);
+//! ```
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Slot<T> {
+    /// Slot state, Vyukov-style: `pos` means free for the producer's ticket
+    /// `pos`; `pos + 1` means occupied and readable when the consumer
+    /// reaches ticket `pos`; `pos + capacity` means drained and free for the
+    /// producer one lap later.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+struct Shared<T> {
+    slots: Box<[Slot<T>]>,
+    /// `capacity - 1`; capacity is always a power of two.
+    mask: usize,
+    /// Events refused because the ring was full. The producer increments,
+    /// the collector reads — the `trace_events_dropped` metric.
+    dropped: AtomicU64,
+}
+
+// The ring moves `T` values from the producer thread to the consumer
+// thread, exactly like a channel: `T: Send` is the only requirement.
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Drain still-enqueued values so their destructors run. `&mut self`
+        // guarantees neither side remains.
+        for pos in 0..self.slots.len() {
+            let slot = &self.slots[pos];
+            let seq = slot.seq.load(Ordering::Acquire);
+            // Occupied slots hold seq = claim-ticket + 1; free slots hold a
+            // ticket or ticket + capacity, both ≡ pos (mod capacity).
+            if (seq.wrapping_sub(pos)) & self.mask == 1 {
+                unsafe { (*slot.value.get()).assume_init_drop() };
+            }
+        }
+    }
+}
+
+/// A new ring holding at least `capacity` items (rounded up to a power of
+/// two, minimum 2, so index arithmetic is a mask). The [`Producer`] stays on
+/// the instrumented thread; the [`Consumer`] goes to the collector.
+pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let capacity = capacity.max(2).next_power_of_two();
+    let slots = (0..capacity)
+        .map(|i| Slot {
+            seq: AtomicUsize::new(i),
+            value: UnsafeCell::new(MaybeUninit::uninit()),
+        })
+        .collect();
+    let shared = Arc::new(Shared {
+        slots,
+        mask: capacity - 1,
+        dropped: AtomicU64::new(0),
+    });
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+            head: 0,
+        },
+        Consumer { shared, tail: 0 },
+    )
+}
+
+/// The producer side: owned by exactly one instrumented thread. `push`
+/// takes `&mut self`, so a second producer is ruled out at compile time —
+/// which is what lets the head cursor live as a plain field instead of an
+/// atomic.
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+    head: usize,
+}
+
+impl<T> Producer<T> {
+    /// Enqueues `value`. Returns `false` — after counting the drop — when
+    /// the ring is full: tracing sheds events rather than ever stalling the
+    /// thread being traced.
+    ///
+    /// Wait-free: one Acquire load, one write, one Release store; no loop,
+    /// no CAS.
+    pub fn push(&mut self, value: T) -> bool {
+        let shared = &*self.shared;
+        let slot = &shared.slots[self.head & shared.mask];
+        if slot.seq.load(Ordering::Acquire) != self.head {
+            // The slot still holds an undrained value from one lap ago.
+            shared.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        unsafe { (*slot.value.get()).write(value) };
+        slot.seq.store(self.head.wrapping_add(1), Ordering::Release);
+        self.head = self.head.wrapping_add(1);
+        true
+    }
+
+    /// The ring's capacity (post power-of-two rounding).
+    pub fn capacity(&self) -> usize {
+        self.shared.mask + 1
+    }
+
+    /// Events refused so far because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// The consumer side: exactly one per ring, owned by the collector. Not
+/// clonable; [`Consumer::pop`] takes `&mut self`.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+    tail: usize,
+}
+
+impl<T> Consumer<T> {
+    /// Dequeues the next value, or `None` when the ring is empty.
+    pub fn pop(&mut self) -> Option<T> {
+        let shared = &*self.shared;
+        let slot = &shared.slots[self.tail & shared.mask];
+        if slot.seq.load(Ordering::Acquire) != self.tail.wrapping_add(1) {
+            return None;
+        }
+        let value = unsafe { (*slot.value.get()).assume_init_read() };
+        // Free the slot for the producer one full lap later.
+        slot.seq
+            .store(self.tail.wrapping_add(shared.mask + 1), Ordering::Release);
+        self.tail = self.tail.wrapping_add(1);
+        Some(value)
+    }
+
+    /// The ring's capacity (post power-of-two rounding).
+    pub fn capacity(&self) -> usize {
+        self.shared.mask + 1
+    }
+
+    /// Events the producer refused so far because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> std::fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ring::Producer")
+            .field("capacity", &self.capacity())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl<T> std::fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ring::Consumer")
+            .field("capacity", &self.capacity())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_round_trips_in_order() {
+        let (mut tx, mut rx) = ring::<u64>(8);
+        for i in 0..8 {
+            assert!(tx.push(i));
+        }
+        for i in 0..8 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn full_ring_drops_and_counts_without_blocking() {
+        let (mut tx, mut rx) = ring::<u64>(4);
+        for i in 0..4 {
+            assert!(tx.push(i));
+        }
+        assert!(!tx.push(99));
+        assert!(!tx.push(100));
+        assert_eq!(tx.dropped(), 2);
+        // The queued values survive; the dropped ones are simply absent.
+        let drained: Vec<u64> = std::iter::from_fn(|| rx.pop()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3]);
+        assert_eq!(rx.dropped(), 2);
+        // Freed slots accept new pushes.
+        assert!(tx.push(7));
+        assert_eq!(rx.pop(), Some(7));
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (tx, _rx) = ring::<u8>(5);
+        assert_eq!(tx.capacity(), 8);
+        let (tx, _rx) = ring::<u8>(0);
+        assert_eq!(tx.capacity(), 2);
+    }
+
+    #[test]
+    fn cross_thread_stream_preserves_order() {
+        let (mut tx, mut rx) = ring::<u64>(1024);
+        let producer = std::thread::spawn(move || {
+            let mut sent = 0u64;
+            for i in 0..10_000u64 {
+                if tx.push(i) {
+                    sent += 1;
+                }
+            }
+            (tx.dropped(), sent)
+        });
+        let mut last = None;
+        let mut got = 0u64;
+        loop {
+            match rx.pop() {
+                Some(v) => {
+                    if let Some(prev) = last {
+                        assert!(v > prev, "order violated: {v} after {prev}");
+                    }
+                    last = Some(v);
+                    got += 1;
+                }
+                None => {
+                    if producer.is_finished() {
+                        while let Some(v) = rx.pop() {
+                            if let Some(prev) = last {
+                                assert!(v > prev);
+                            }
+                            last = Some(v);
+                            got += 1;
+                        }
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        let (dropped, sent) = producer.join().expect("producer");
+        assert_eq!(got, sent);
+        assert_eq!(sent + dropped, 10_000);
+    }
+
+    #[test]
+    fn dropping_a_nonempty_ring_runs_destructors() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (mut tx, mut rx) = ring::<Counted>(4);
+        for _ in 0..3 {
+            assert!(tx.push(Counted));
+        }
+        drop(rx.pop()); // one drained normally
+        drop(tx);
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 3);
+    }
+}

@@ -1,0 +1,198 @@
+//! Trace-ring overflow coverage: a full ring sheds events without ever
+//! blocking, sheds are counted into `trace_events_dropped`, and — the
+//! property that makes drops safe — span assembly emits a properly nested
+//! trace no matter which events were lost.
+
+use hidet_trace::tracer::assemble_events;
+use hidet_trace::{CompletedSpan, Phase, SpanKind, TraceConfig, TraceEvent, Tracer};
+
+use proptest::prelude::*;
+
+#[test]
+fn overflowing_ring_counts_drops_and_never_blocks() {
+    // Ring of 8 events; 50 two-event spans emitted with no drain in
+    // between: most events must be shed, all of them counted.
+    let tracer = Tracer::with_capacity(TraceConfig::Full, 8, 1024);
+    let start = std::time::Instant::now();
+    for i in 0..50u64 {
+        let _g = tracer.span(SpanKind::DecodeStep, i);
+    }
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(5),
+        "a full ring must shed, not block"
+    );
+    tracer.drain();
+    let dropped = tracer
+        .metrics()
+        .counter_value("hidet_trace_events_dropped_total", &[]);
+    assert_eq!(dropped, 100 - 8, "every shed event is counted");
+    assert_eq!(tracer.events_dropped(), dropped);
+    // The 8 ring-resident events are 4 complete spans; they all assemble.
+    let spans = tracer.spans();
+    assert_eq!(spans.len(), 4, "{spans:?}");
+}
+
+#[test]
+fn drops_during_a_deep_nest_keep_the_survivors_well_formed() {
+    // Ring of 4: Begin a, Begin b, End b, End a fills it exactly; the next
+    // span's four events are all shed. Survivors stay paired.
+    let tracer = Tracer::with_capacity(TraceConfig::Full, 4, 1024);
+    {
+        let _outer = tracer.span(SpanKind::DecodeIteration, 1);
+        let _inner = tracer.span(SpanKind::DecodeStep, 1);
+    }
+    {
+        let _outer = tracer.span(SpanKind::DecodeIteration, 2);
+        let _inner = tracer.span(SpanKind::DecodeStep, 2);
+    }
+    let spans = tracer.spans();
+    assert_eq!(spans.len(), 2);
+    assert!(spans.iter().all(|s| s.trace_id == 1));
+    assert_well_nested(&spans);
+    assert_eq!(
+        tracer
+            .metrics()
+            .counter_value("hidet_trace_events_dropped_total", &[]),
+        4
+    );
+}
+
+/// Checks the Perfetto invariant: on each tid, any two spans are either
+/// disjoint in time or one contains the other — never partially overlapping.
+fn assert_well_nested(spans: &[CompletedSpan]) {
+    for (i, a) in spans.iter().enumerate() {
+        for b in &spans[i + 1..] {
+            if a.tid != b.tid || a.instant || b.instant {
+                continue;
+            }
+            let (a0, a1) = (a.start_nanos, a.start_nanos + a.dur_nanos);
+            let (b0, b1) = (b.start_nanos, b.start_nanos + b.dur_nanos);
+            let disjoint = a1 <= b0 || b1 <= a0;
+            let a_contains_b = a0 <= b0 && b1 <= a1;
+            let b_contains_a = b0 <= a0 && a1 <= b1;
+            assert!(
+                disjoint || a_contains_b || b_contains_a,
+                "spans {a:?} and {b:?} partially overlap"
+            );
+        }
+    }
+}
+
+/// A well-formed per-thread event stream: properly nested Begin/End pairs
+/// with strictly increasing timestamps, interleaved with instants. Returns
+/// the events in emission order.
+fn nested_stream(structure: &[u8]) -> Vec<TraceEvent> {
+    let mut events = Vec::new();
+    let mut open: Vec<u64> = Vec::new();
+    let mut next_id = 1u64;
+    let mut t = 0u64;
+    let kinds = [
+        SpanKind::DecodeIteration,
+        SpanKind::PrefillChunk,
+        SpanKind::DecodeStep,
+        SpanKind::KernelSim,
+    ];
+    for &op in structure {
+        t += 1;
+        match op % 3 {
+            // Open a span.
+            0 => {
+                let span_id = next_id;
+                next_id += 1;
+                events.push(TraceEvent {
+                    kind: kinds[(span_id as usize) % kinds.len()],
+                    phase: Phase::Begin,
+                    trace_id: span_id % 5,
+                    span_id,
+                    t_nanos: t,
+                });
+                open.push(span_id);
+            }
+            // Close the innermost open span.
+            1 => {
+                if let Some(span_id) = open.pop() {
+                    events.push(TraceEvent {
+                        kind: kinds[(span_id as usize) % kinds.len()],
+                        phase: Phase::End,
+                        trace_id: span_id % 5,
+                        span_id,
+                        t_nanos: t,
+                    });
+                }
+            }
+            // An instant.
+            _ => {
+                let span_id = next_id;
+                next_id += 1;
+                events.push(TraceEvent {
+                    kind: SpanKind::KvEvict,
+                    phase: Phase::Instant,
+                    trace_id: span_id % 5,
+                    span_id,
+                    t_nanos: t,
+                });
+            }
+        }
+    }
+    // Close whatever is still open, innermost first.
+    while let Some(span_id) = open.pop() {
+        t += 1;
+        events.push(TraceEvent {
+            kind: kinds[(span_id as usize) % kinds.len()],
+            phase: Phase::End,
+            trace_id: span_id % 5,
+            span_id,
+            t_nanos: t,
+        });
+    }
+    events
+}
+
+proptest! {
+    /// Arbitrary drop patterns applied to arbitrary well-nested streams:
+    /// whatever survives assembly is properly nested, every span's End is
+    /// at or after its Begin, and no span id appears twice.
+    #[test]
+    fn assembly_is_well_nested_under_arbitrary_drops(
+        structure in proptest::collection::vec(0u8..=255, 0..80),
+        drop_mask in proptest::collection::vec(0u8..=1, 0..200),
+    ) {
+        let full = nested_stream(&structure);
+        let mangled: Vec<TraceEvent> = full
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| drop_mask.get(*i).copied().unwrap_or(0) == 0)
+            .map(|(_, &e)| e)
+            .collect();
+        let spans = assemble_events(&mangled);
+        assert_well_nested(&spans);
+        let mut seen = std::collections::HashSet::new();
+        for span in &spans {
+            prop_assert!(seen.insert(span.span_id), "span id {} twice", span.span_id);
+            // Every assembled span came from a surviving Begin/End pair of
+            // the same id (or an instant).
+            if !span.instant {
+                let begin = mangled.iter().find(|e|
+                    e.span_id == span.span_id && e.phase == Phase::Begin);
+                let end = mangled.iter().find(|e|
+                    e.span_id == span.span_id && e.phase == Phase::End);
+                prop_assert!(begin.is_some() && end.is_some());
+                prop_assert_eq!(span.start_nanos, begin.expect("begin").t_nanos);
+            }
+        }
+    }
+
+    /// With no drops at all, assembly is lossless: every Begin/End pair and
+    /// every instant comes out, and nesting is exact.
+    #[test]
+    fn assembly_is_lossless_without_drops(
+        structure in proptest::collection::vec(0u8..=255, 0..80),
+    ) {
+        let events = nested_stream(&structure);
+        let spans = assemble_events(&events);
+        let pairs = events.iter().filter(|e| e.phase == Phase::Begin).count();
+        let instants = events.iter().filter(|e| e.phase == Phase::Instant).count();
+        prop_assert_eq!(spans.len(), pairs + instants);
+        assert_well_nested(&spans);
+    }
+}

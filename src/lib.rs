@@ -17,3 +17,4 @@ pub use hidet_sched as sched;
 pub use hidet_server as server;
 pub use hidet_sim as sim;
 pub use hidet_taskmap as taskmap;
+pub use hidet_trace as trace;
